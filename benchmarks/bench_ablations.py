@@ -1,0 +1,37 @@
+"""Bench: ablations over the design choices (DESIGN.md §5).
+
+* selling-discount sweep — savings grow with the seller's ``a``;
+* decision-fraction sweep — the generalised A_{φT} over a φ grid (the
+  paper's future-work direction), plus the randomized-spot policy;
+* marketplace-fee sweep — Amazon's 12% cut shrinks but does not erase
+  the savings.
+"""
+
+from repro.experiments import ablations
+
+
+def test_ablations(benchmark, config, population):
+    result = benchmark.pedantic(
+        ablations.run, args=(config,), kwargs={"users": population},
+        rounds=1, iterations=1,
+    )
+    print()
+    print(ablations.render(result))
+
+    # Deeper seller discounts (larger a) monotonically improve the mean
+    # at the endpoints of the grid.
+    for policy in ("A_{3T/4}", "A_{T/2}", "A_{T/4}"):
+        assert result.discount_sweep[1.0][policy] <= result.discount_sweep[0.2][policy] + 1e-9
+
+    # Earlier decision spots save more across the phi grid's endpoints.
+    assert result.phi_sweep[0.125] <= result.phi_sweep[0.875] + 1e-9
+
+    # Fees shrink savings but never push the mean above Keep-Reserved.
+    for fee, row in result.fee_sweep.items():
+        for value in row.values():
+            assert value <= 1.0 + 1e-6
+    assert result.fee_sweep[0.0]["A_{T/4}"] <= result.fee_sweep[0.25]["A_{T/4}"] + 1e-9
+
+    # The randomized-spot extension lands between the deterministic
+    # extremes (sanity for the future-work policy).
+    assert result.randomized_mean < 1.0

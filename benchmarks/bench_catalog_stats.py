@@ -1,0 +1,16 @@
+"""Bench: the Section IV-C catalog statistics (θ ∈ (1, 4), α < 0.36).
+
+These two claims are what let the paper substitute θ → 4 and conclude
+that Case 1 binds for ``A_{3T/4}`` on every standard instance.
+"""
+
+from repro.pricing.statistics import compute_statistics, format_statistics
+
+
+def test_catalog_statistics(benchmark):
+    stats = benchmark(compute_statistics)
+    print()
+    print(format_statistics(stats))
+    assert stats.theta_in_paper_range
+    assert stats.alpha_below_paper_bound
+    assert stats.size >= 60

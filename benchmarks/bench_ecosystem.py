@@ -1,0 +1,48 @@
+"""Bench: how much of Eq. (1)'s assumed income does the market realize?
+
+The paper books marketplace income the instant a selling decision is
+made. Clearing the population's listings against its own endogenous
+reservation demand quantifies the optimism: the 12% fee caps the
+realization ratio at 0.88, non-clearing pulls it lower, and thinner
+buyer participation pulls it lower still.
+"""
+
+import numpy as np
+
+from repro.marketplace.ecosystem import clear_market, endogenous_buy_requests
+
+
+def test_ecosystem_realization(benchmark, config, population):
+    model = config.cost_model()
+    schedules = [user.schedule for user in population]
+
+    def run():
+        outcomes = {}
+        for participation in (1.0, 0.25):
+            requests = endogenous_buy_requests(
+                schedules, model, participation=participation,
+                rng=np.random.default_rng(7),
+            )
+            outcomes[participation] = clear_market(
+                schedules, requests, model, phi=0.25
+            )
+        return outcomes
+
+    outcomes = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    for participation, outcome in outcomes.items():
+        print(
+            f"participation {participation:.0%}: "
+            f"{outcome.total_sold}/{outcome.total_listings} sold "
+            f"({outcome.sell_through:.0%}), mean realization ratio "
+            f"{outcome.mean_realization_ratio:.3f}, fees ${outcome.total_fees:,.0f}"
+        )
+    full = outcomes[1.0]
+    thin = outcomes[0.25]
+    # Eq. (1)'s income is an upper bound: the fee alone caps it at 0.88.
+    assert full.mean_realization_ratio <= 0.88 + 1e-9
+    # Thinner demand realizes less.
+    assert thin.total_sold <= full.total_sold
+    assert thin.mean_realization_ratio <= full.mean_realization_ratio + 1e-9
+    # And the market genuinely clears when the whole population shops.
+    assert full.sell_through > 0.2

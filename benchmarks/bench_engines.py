@@ -1,0 +1,56 @@
+"""Bench: throughput of the two simulation engines.
+
+Not a paper artefact — this guards the harness itself: the vectorised
+Algorithm-1 engine must be substantially faster than the object-model
+reference on population-scale inputs while producing identical results.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.fastsim import run_fast
+from repro.core.policies import OnlineSellingPolicy
+from repro.core.simulator import run_policy
+from repro.pricing.catalog import paper_experiment_plan
+from repro.core.account import CostModel
+
+
+@pytest.fixture(scope="module")
+def inputs():
+    plan = paper_experiment_plan().with_period(672)
+    model = CostModel(plan=plan, selling_discount=0.8)
+    rng = np.random.default_rng(0)
+    horizon = 1344
+    demands = rng.integers(0, 10, size=horizon)
+    reservations = np.where(
+        rng.random(horizon) < 0.05, rng.integers(1, 4, size=horizon), 0
+    )
+    return model, demands, reservations
+
+
+def test_fast_engine_throughput(benchmark, inputs):
+    model, demands, reservations = inputs
+    result = benchmark(run_fast, demands, reservations, model, 0.75)
+    assert result.total_cost > 0
+
+
+def test_reference_engine_throughput(benchmark, inputs):
+    model, demands, reservations = inputs
+    result = benchmark(
+        run_policy, demands, reservations, model, OnlineSellingPolicy.a_3t4()
+    )
+    assert result.total_cost > 0
+
+
+def test_engines_agree_on_bench_input(benchmark, inputs):
+    model, demands, reservations = inputs
+
+    def both():
+        fast = run_fast(demands, reservations, model, 0.75)
+        slow = run_policy(
+            demands, reservations, model, OnlineSellingPolicy.a_3t4()
+        )
+        return fast, slow
+
+    fast, slow = benchmark.pedantic(both, rounds=1, iterations=1)
+    assert slow.breakdown.approx_equal(fast.breakdown)

@@ -1,0 +1,24 @@
+"""Bench: regenerate Fig. 1 (the Algorithm-1 selling illustration).
+
+Paper shape: at the decision spot one instance of the early batch is
+sold and the reservation curve drops from that hour onward (the figure's
+dotted line), while later-reserved instances count toward the ``l`` term
+of the working-time rule.
+"""
+
+import numpy as np
+
+from repro.experiments import fig1
+
+
+def test_fig1_example(benchmark, config):
+    result = benchmark.pedantic(
+        fig1.run, kwargs={"config": config, "period": 32}, rounds=1, iterations=1
+    )
+    print()
+    print(fig1.render(result))
+    spot = 24  # 3T/4 of the 32-hour example
+    assert any(sale.hour == spot for sale in result.online.sales)
+    keep, online = result.keep.r_physical, result.online.r_physical
+    assert np.array_equal(keep[:spot], online[:spot])
+    assert online[spot:].sum() < keep[spot:].sum()

@@ -1,0 +1,25 @@
+"""Bench: regenerate Fig. 2 (σ/μ statistics of the three user groups).
+
+Paper shape: three groups of 100 users with σ/μ < 1, in (1, 3), and > 3.
+Measured shape: every synthesized user falls in its group's band and the
+group medians are strictly ordered.
+"""
+
+from repro.experiments import fig2
+from repro.workload.groups import FluctuationGroup
+
+
+def test_fig2_fluctuation(benchmark, config):
+    result = benchmark.pedantic(fig2.run, args=(config,), rounds=1, iterations=1)
+    print()
+    print(fig2.render(result))
+    assert result.all_in_band()
+    medians = [
+        result.per_group[group]["median"]
+        for group in (
+            FluctuationGroup.STABLE,
+            FluctuationGroup.MODERATE,
+            FluctuationGroup.BURSTY,
+        )
+    ]
+    assert medians[0] < 1.0 <= medians[1] < 3.0 <= medians[2]

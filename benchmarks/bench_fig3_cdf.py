@@ -1,0 +1,39 @@
+"""Bench: regenerate Fig. 3 (per-algorithm CDFs vs both benchmarks).
+
+Paper shape (§VI-B): each online algorithm saves money versus
+Keep-Reserved for the majority of users (>60% / >70% / >75% for
+A_{3T/4} / A_{T/2} / A_{T/4}); a small tail loses (~1% / 3% / 5%); the
+online rule's losing tail is far smaller than All-Selling's.
+"""
+
+from repro.experiments import fig3
+from repro.experiments.runner import POLICY_KEEP
+
+
+def test_fig3_cdfs(benchmark, config, sweep):
+    result = benchmark.pedantic(
+        fig3.run, args=(config,), kwargs={"sweep": sweep}, rounds=1, iterations=1
+    )
+    print()
+    print(fig3.render(result))
+
+    summaries = result.summaries
+    # Majority of users save, increasingly with earlier decision spots.
+    assert summaries["A_{3T/4}"].fraction_saving > 0.5
+    assert summaries["A_{T/4}"].fraction_saving >= summaries["A_{3T/4}"].fraction_saving
+    # Mean savings beat Keep-Reserved for every algorithm.
+    for name, summary in summaries.items():
+        assert summary.mean < 1.0, name
+    # The losing tail stays small (paper: 1-5%).
+    for summary in summaries.values():
+        assert summary.fraction_losing < 0.15
+
+    # All-Selling loses for far more users than the online rule does
+    # (the point of being selective).
+    normalized = sweep.normalized()
+    import numpy as np
+
+    for online_name, all_name in fig3.PANELS.items():
+        online_losing = float(np.mean(normalized[online_name] > 1.0))
+        all_losing = float(np.mean(normalized[all_name] > 1.0))
+        assert online_losing < all_losing, (online_name, all_name)

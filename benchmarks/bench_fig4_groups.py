@@ -1,0 +1,20 @@
+"""Bench: regenerate Fig. 4 (the three algorithms within each group).
+
+Paper shape: on average the earlier the decision spot the better, in
+every fluctuation group — A_{T/4} <= A_{T/2} <= A_{3T/4} < 1.
+"""
+
+from repro.experiments import fig4
+from repro.workload.groups import FluctuationGroup
+
+
+def test_fig4_groups(benchmark, config, sweep):
+    result = benchmark.pedantic(
+        fig4.run, args=(config,), kwargs={"sweep": sweep}, rounds=1, iterations=1
+    )
+    print()
+    print(fig4.render(result))
+    for group in FluctuationGroup:
+        assert result.mean_ordering_holds(group), group
+        for summary in result.summaries[group].values():
+            assert summary.mean < 1.0

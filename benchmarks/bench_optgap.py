@@ -1,0 +1,27 @@
+"""Bench: optimality gap of the online algorithms (extension).
+
+Reports each algorithm's cost ratio against (a) the unrestricted fleet
+optimum (practical foresight headroom) and (b) the spot-restricted
+optimum mirroring the proofs' benchmark. The fleet-level restricted
+ratios are expected to sit inside the proved single-instance bounds —
+not a theorem at fleet level, but a strong consistency check.
+"""
+
+from repro.experiments import optgap
+
+
+def test_optimality_gap(benchmark, config, population):
+    # The benchmark's OPT runs are the expensive part; use a slice of
+    # the shared population so the bench stays in seconds.
+    subset = population[:: max(len(population) // 60, 1)]
+    result = benchmark.pedantic(
+        optgap.run, args=(config,), kwargs={"users": subset}, rounds=1, iterations=1
+    )
+    print()
+    print(optgap.render(result))
+    for row in result.rows:
+        assert row.mean_ratio_unrestricted >= 1.0 - 1e-9
+        # Fleet-level consistency with the theory: the mean restricted
+        # ratio respects the proved single-instance bound.
+        assert row.mean_ratio_restricted <= row.proved_bound
+    assert result.ordering_holds()

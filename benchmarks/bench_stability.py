@@ -1,0 +1,22 @@
+"""Bench: seed stability of the headline Table III result.
+
+Not a paper artefact — this guards the reproduction itself: the shape
+criteria must not be a single-population fluke. Five independently
+seeded populations are swept; every replication must have all means
+below one, and the spot ordering must hold in (almost) all of them.
+"""
+
+from repro.experiments import stability
+
+
+def test_seed_stability(benchmark, config):
+    result = benchmark.pedantic(
+        stability.run, args=(config,), kwargs={"n_seeds": 5}, rounds=1, iterations=1
+    )
+    print()
+    print(stability.render(result))
+    assert result.all_below_one == 5
+    assert result.orderings_held >= 4
+    # The across-seed spread is small relative to the effect size.
+    for policy in ("A_{T/2}", "A_{T/4}"):
+        assert result.std(policy) < (1.0 - result.mean(policy)) / 2

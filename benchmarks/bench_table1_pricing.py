@@ -1,0 +1,14 @@
+"""Bench: regenerate Table I (d2.xlarge pricing) and verify it matches.
+
+Paper values (Table I): No Upfront $0/$293.46/0.402; Partial Upfront
+$1506/$125.56/0.344; All Upfront $2952/$0/0.337; On-Demand $0.69/h.
+"""
+
+from repro.experiments import table1
+
+
+def test_table1_pricing(benchmark):
+    result = benchmark(table1.run)
+    print()
+    print(table1.render(result))
+    assert result.max_deviation() < 5e-4

@@ -1,0 +1,22 @@
+"""Bench: Propositions 1-3b — proved bounds vs empirical worst ratios.
+
+Paper: A_{3T/4} is (2 − α − a/4)-competitive, A_{T/2} is
+(3 − 2α − a/2) / (2/(2−a))-competitive, A_{T/4} is (4 − 3α − 3a/4) /
+(4/(4−3a))-competitive. The bench stress-tests each with adversarial and
+random single-instance profiles; the observed worst ratio must respect
+the proved bound (and come close enough to show the bound has teeth).
+"""
+
+from repro.experiments import theory
+
+
+def test_theory_bounds(benchmark, config):
+    result = benchmark.pedantic(
+        theory.run, args=(config,), kwargs={"trials": 300}, rounds=1, iterations=1
+    )
+    print()
+    print(theory.render(result))
+    assert result.all_bounds_hold()
+    for row in result.rows:
+        assert row.empirical_max > 1.0  # the adversary does real damage
+        assert row.empirical_max > 0.5 * row.bound  # and stresses the bound

@@ -1,0 +1,45 @@
+"""Shared fixtures for the benchmark harness.
+
+Every table/figure bench consumes the same population sweep, built once
+per session. Scale is controlled by ``REPRO_BENCH_SCALE``:
+
+* ``quick``   — 45 users, 336-hour period (seconds);
+* ``default`` — 150 users, 672-hour period (the default);
+* ``paper``   — 300 users, 8760-hour period (the paper's full setting).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.population import build_experiment_population
+from repro.experiments.runner import run_sweep
+
+_SCALES = {
+    "quick": ExperimentConfig.quick,
+    "default": ExperimentConfig.default,
+    "paper": ExperimentConfig.paper_scale,
+}
+
+
+@pytest.fixture(scope="session")
+def config() -> ExperimentConfig:
+    scale = os.environ.get("REPRO_BENCH_SCALE", "default")
+    if scale not in _SCALES:
+        raise ValueError(
+            f"REPRO_BENCH_SCALE must be one of {sorted(_SCALES)}, got {scale!r}"
+        )
+    return _SCALES[scale]()
+
+
+@pytest.fixture(scope="session")
+def population(config):
+    return build_experiment_population(config)
+
+
+@pytest.fixture(scope="session")
+def sweep(config, population):
+    return run_sweep(config, users=population)

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Designing the randomized selling algorithm (the paper's future work).
+
+Section VII speculates that a *randomized* decision spot "will achieve a
+better possible competitive ratio". This example makes that concrete:
+
+1. measure each deterministic spot's worst-case cost ratio against the
+   two-block adversary family (the structure behind the proofs' worst
+   cases);
+2. solve the minimax linear program for the optimal spot mixture;
+3. compare — randomisation buys a strictly better worst case;
+4. sanity-check the designed mixture on simulated fleets via the
+   RandomizedSellingPolicy.
+
+Run:  python examples/randomized_spot_design.py
+"""
+
+import numpy as np
+
+from repro.core import (
+    CostModel,
+    KeepReservedPolicy,
+    RandomizedSellingPolicy,
+    SpotDistribution,
+    optimize_distribution,
+    run_policy,
+    worst_case_expected_ratio,
+)
+from repro.pricing import paper_experiment_plan
+from repro.purchasing import AllReserved, imitate
+from repro.workload import TargetCVWorkload
+
+
+def main() -> None:
+    plan = paper_experiment_plan().with_period(192)
+    a = 0.8
+    print(f"designing on {plan.name} (alpha={plan.alpha}, a={a}, "
+          f"T={plan.period_hours}h scaled)\n")
+
+    # 1-2. Deterministic baselines and the minimax mixture.
+    design = optimize_distribution(plan, a)
+    print("worst-case cost ratios against the two-block adversary:")
+    for phi, ratio in sorted(design.deterministic_ratios.items()):
+        print(f"  deterministic A_{{{phi:g}T}}: {ratio:.4f}")
+    mixture = ", ".join(
+        f"P(phi={phi:g}) = {p:.2f}"
+        for phi, p in zip(design.distribution.spots, design.distribution.probabilities)
+    )
+    print(f"\noptimal mixture: {mixture}")
+    print(f"randomized worst case: {design.ratio:.4f} "
+          f"({design.improvement:.1%} better than the best single spot)")
+
+    # 3. A uniform mixture for contrast.
+    uniform = worst_case_expected_ratio(plan, a, SpotDistribution.uniform())
+    print(f"(uniform mixture would give {uniform:.4f})")
+
+    # 4. Fleet-level sanity check of the randomized policy.
+    print("\nfleet check (20 moderate users, normalized to Keep-Reserved):")
+    rng = np.random.default_rng(3)
+    model = CostModel(plan, selling_discount=a)
+    policy = RandomizedSellingPolicy(
+        spots=design.distribution.spots,
+        weights=design.distribution.probabilities,
+        seed=7,
+    )
+    ratios = []
+    for index in range(20):
+        trace = TargetCVWorkload(target_cv=1.8, mean_demand=5.0).generate(
+            2 * plan.period_hours, rng
+        )
+        schedule = imitate(trace, plan, AllReserved())
+        keep = run_policy(trace, schedule.reservations, model, KeepReservedPolicy())
+        if keep.total_cost <= 0:
+            continue
+        random_result = run_policy(trace, schedule.reservations, model, policy)
+        ratios.append(random_result.total_cost / keep.total_cost)
+    print(f"  randomized-spot policy mean normalized cost: {np.mean(ratios):.4f}")
+    print("\nThe guarantee improves in the worst case; on average the mixture"
+          "\nbehaves like a blend of its component spots - exactly the paper's"
+          "\nspeculated trade-off.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""repro — reproduction of "To Sell or Not To Sell: Trading Your Reserved
+Instances in Amazon EC2 Marketplace" (Yang, Pan, Wang, Liu — ICDCS 2018).
+
+The library implements the paper's three online reserved-instance selling
+algorithms (``A_{3T/4}``, ``A_{T/2}``, ``A_{T/4}``) with their proved
+competitive-ratio bounds, the optimal offline benchmark, the EC2 pricing
+and Reserved Instance Marketplace substrates, workload synthesizers for
+the two trace families the paper evaluates on, the four reservation-
+behaviour imitators, and an experiment harness regenerating every table
+and figure of the evaluation section.
+
+Quickstart::
+
+    from repro import (
+        CostModel, OnlineSellingPolicy, run_policy, paper_experiment_plan,
+    )
+    from repro.purchasing import AllReserved, imitate
+    from repro.workload import DiurnalWorkload
+    import numpy as np
+
+    plan = paper_experiment_plan().with_period(672)     # scaled year
+    trace = DiurnalWorkload(base_level=6).generate(1344, np.random.default_rng(0))
+    schedule = imitate(trace, plan, AllReserved())
+    model = CostModel(plan, selling_discount=0.8)
+    result = run_policy(trace, schedule.reservations, model,
+                        OnlineSellingPolicy.a_3t4())
+    print(result.total_cost, result.instances_sold)
+"""
+
+from repro._version import __version__
+from repro.core import (
+    AllSellingPolicy,
+    CostBreakdown,
+    CostModel,
+    HourlyFeeMode,
+    KeepReservedPolicy,
+    OnlineSellingPolicy,
+    RandomizedSellingPolicy,
+    SellingSimulator,
+    SimulationResult,
+    competitive_ratio,
+    run_fast,
+    run_offline_optimal,
+    run_policy,
+)
+from repro.errors import ReproError
+from repro.pricing import (
+    HOURS_PER_YEAR,
+    PricingPlan,
+    default_catalog,
+    get_plan,
+    paper_experiment_plan,
+)
+from repro.workload import DemandTrace, FluctuationGroup, build_population
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "PricingPlan",
+    "default_catalog",
+    "get_plan",
+    "paper_experiment_plan",
+    "HOURS_PER_YEAR",
+    "DemandTrace",
+    "FluctuationGroup",
+    "build_population",
+    "CostModel",
+    "CostBreakdown",
+    "HourlyFeeMode",
+    "OnlineSellingPolicy",
+    "KeepReservedPolicy",
+    "AllSellingPolicy",
+    "RandomizedSellingPolicy",
+    "SellingSimulator",
+    "SimulationResult",
+    "run_policy",
+    "run_fast",
+    "run_offline_optimal",
+    "competitive_ratio",
+]

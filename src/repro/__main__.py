@@ -1,0 +1,6 @@
+"""``python -m repro`` — alias of the ``repro-experiments`` CLI."""
+
+from repro.experiments.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,33 @@
+"""Analysis toolkit: normalisation, CDFs, summaries, and text rendering."""
+
+from repro.analysis.ascii_plots import ascii_cdf, ascii_histogram
+from repro.analysis.bootstrap import ConfidenceInterval, bootstrap_ci, difference_ci
+from repro.analysis.cdf import EmpiricalCDF
+from repro.analysis.diagnostics import SavingsWaterfall, decompose_savings, explain
+from repro.analysis.report import UserReport, user_report
+from repro.analysis.normalize import KEEP_RESERVED, normalize_costs, savings
+from repro.analysis.summary import SavingsSummary, group_means
+from repro.analysis.svgplot import svg_cdf, write_svg
+from repro.analysis.tables import format_table
+
+__all__ = [
+    "EmpiricalCDF",
+    "ConfidenceInterval",
+    "bootstrap_ci",
+    "difference_ci",
+    "UserReport",
+    "user_report",
+    "SavingsWaterfall",
+    "decompose_savings",
+    "explain",
+    "normalize_costs",
+    "savings",
+    "KEEP_RESERVED",
+    "SavingsSummary",
+    "group_means",
+    "format_table",
+    "ascii_cdf",
+    "ascii_histogram",
+    "svg_cdf",
+    "write_svg",
+]

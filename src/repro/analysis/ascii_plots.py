@@ -1,0 +1,138 @@
+"""Terminal rendering of the paper's figures (CDF curves, histograms).
+
+No plotting dependency is assumed; the experiment harness renders each
+figure as ASCII so ``repro-experiments fig3`` works anywhere. The
+renderers are deliberately simple — a character grid with one glyph per
+series — but they make the crossovers and orderings of Figs. 3/4 visible.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.analysis.cdf import EmpiricalCDF
+from repro.errors import ReproError
+
+#: Glyphs assigned to series in insertion order.
+SERIES_GLYPHS = "*o+x#@%&"
+
+
+def ascii_cdf(
+    series: "Mapping[str, Sequence[float]]",
+    width: int = 70,
+    height: int = 20,
+    x_range: "tuple[float, float] | None" = None,
+    x_label: str = "normalized cost",
+) -> str:
+    """Render empirical CDFs of several samples on one character grid."""
+    if not series:
+        raise ReproError("need at least one series")
+    if width < 10 or height < 4:
+        raise ReproError("grid too small (need width >= 10, height >= 4)")
+    cdfs = {name: EmpiricalCDF(values) for name, values in series.items()}
+    if x_range is None:
+        lows, highs = zip(*(cdf.support() for cdf in cdfs.values()))
+        low, high = min(lows), max(highs)
+        if low == high:
+            low, high = low - 0.5, high + 0.5
+    else:
+        low, high = x_range
+        if not low < high:
+            raise ReproError(f"x_range must be increasing, got {x_range!r}")
+
+    xs = np.linspace(low, high, width)
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, cdf) in enumerate(cdfs.items()):
+        glyph = SERIES_GLYPHS[index % len(SERIES_GLYPHS)]
+        ys = cdf.evaluate(xs)
+        rows = np.clip(((1.0 - ys) * (height - 1)).round().astype(int), 0, height - 1)
+        for col, row in enumerate(rows):
+            grid[row][col] = glyph
+
+    lines = []
+    for row_index, row in enumerate(grid):
+        fraction = 1.0 - row_index / (height - 1)
+        lines.append(f"{fraction:4.2f} |" + "".join(row))
+    lines.append("     +" + "-" * width)
+    lines.append(f"      {low:<12.3f}{x_label:^{max(width - 24, 1)}}{high:>12.3f}")
+    legend = "      " + "   ".join(
+        f"{SERIES_GLYPHS[i % len(SERIES_GLYPHS)]} {name}"
+        for i, name in enumerate(cdfs)
+    )
+    lines.append(legend)
+    return "\n".join(lines)
+
+
+def ascii_series(
+    series: "Mapping[str, Sequence[float]]",
+    width: int = 70,
+    height: int = 12,
+    x_label: str = "hour",
+) -> str:
+    """Render step time-series (e.g. the reservation curve r_t) as text.
+
+    All series must share one length; the x axis is the index (hour).
+    """
+    if not series:
+        raise ReproError("need at least one series")
+    if width < 10 or height < 4:
+        raise ReproError("grid too small (need width >= 10, height >= 4)")
+    arrays = {
+        name: np.asarray(values, dtype=np.float64) for name, values in series.items()
+    }
+    lengths = {array.size for array in arrays.values()}
+    if len(lengths) != 1 or 0 in lengths:
+        raise ReproError("all series must share one non-zero length")
+    (horizon,) = lengths
+    top = max(float(array.max()) for array in arrays.values())
+    top = max(top, 1.0)
+
+    columns = np.linspace(0, horizon - 1, width).round().astype(int)
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, array) in enumerate(arrays.items()):
+        glyph = SERIES_GLYPHS[index % len(SERIES_GLYPHS)]
+        for col, hour in enumerate(columns):
+            row = round((1.0 - array[hour] / top) * (height - 1))
+            grid[int(np.clip(row, 0, height - 1))][col] = glyph
+
+    lines = []
+    for row_index, row in enumerate(grid):
+        level = top * (1.0 - row_index / (height - 1))
+        lines.append(f"{level:6.1f} |" + "".join(row))
+    lines.append("       +" + "-" * width)
+    lines.append(f"        0{x_label:^{max(width - 14, 1)}}{horizon - 1:>6d}")
+    lines.append(
+        "        "
+        + "   ".join(
+            f"{SERIES_GLYPHS[i % len(SERIES_GLYPHS)]} {name}"
+            for i, name in enumerate(arrays)
+        )
+    )
+    return "\n".join(lines)
+
+
+def ascii_histogram(
+    values: "Sequence[float]",
+    bins: int = 12,
+    width: int = 50,
+    value_format: str = "{:.2f}",
+) -> str:
+    """Horizontal-bar histogram of one sample."""
+    data = np.asarray(values, dtype=np.float64)
+    if data.ndim != 1 or data.size == 0:
+        raise ReproError("need a non-empty 1-D sample")
+    if bins < 1 or width < 1:
+        raise ReproError("bins and width must be positive")
+    counts, edges = np.histogram(data, bins=bins)
+    peak = max(int(counts.max()), 1)
+    lines = []
+    for index, count in enumerate(counts):
+        bar = "#" * round(width * count / peak)
+        label = (
+            f"[{value_format.format(edges[index])}, "
+            f"{value_format.format(edges[index + 1])})"
+        )
+        lines.append(f"{label:>22} | {bar} {count}")
+    return "\n".join(lines)

@@ -1,0 +1,69 @@
+"""Empirical CDFs — the form in which Figs. 3 and 4 present results."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReproError
+
+
+class EmpiricalCDF:
+    """The empirical distribution of a sample of per-user costs."""
+
+    def __init__(self, samples) -> None:
+        data = np.asarray(samples, dtype=np.float64)
+        if data.ndim != 1 or data.size == 0:
+            raise ReproError("an empirical CDF needs a non-empty 1-D sample")
+        if np.any(~np.isfinite(data)):
+            raise ReproError("samples must be finite")
+        self._sorted = np.sort(data)
+
+    @property
+    def n(self) -> int:
+        return int(self._sorted.size)
+
+    @property
+    def samples(self) -> np.ndarray:
+        """The sorted sample (read-only view)."""
+        view = self._sorted.view()
+        view.flags.writeable = False
+        return view
+
+    def __call__(self, x: float) -> float:
+        """F(x) = fraction of samples ≤ x."""
+        return float(np.searchsorted(self._sorted, x, side="right")) / self.n
+
+    def evaluate(self, xs) -> np.ndarray:
+        """Vectorised F over many points."""
+        xs = np.asarray(xs, dtype=np.float64)
+        return np.searchsorted(self._sorted, xs, side="right") / self.n
+
+    def quantile(self, q: float) -> float:
+        """Inverse CDF (linear interpolation between order statistics)."""
+        if not 0.0 <= q <= 1.0:
+            raise ReproError(f"quantile level must lie in [0, 1], got {q!r}")
+        return float(np.quantile(self._sorted, q))
+
+    def fraction_below(self, x: float, strict: bool = False) -> float:
+        """Fraction of samples < x (strict) or ≤ x."""
+        side = "left" if strict else "right"
+        return float(np.searchsorted(self._sorted, x, side=side)) / self.n
+
+    def fraction_above(self, x: float, strict: bool = True) -> float:
+        """Fraction of samples > x (strict) or ≥ x."""
+        return 1.0 - self.fraction_below(x, strict=not strict)
+
+    def support(self) -> "tuple[float, float]":
+        """(min, max) of the sample."""
+        return float(self._sorted[0]), float(self._sorted[-1])
+
+    def curve(self, points: int = 100) -> "tuple[np.ndarray, np.ndarray]":
+        """(x, F(x)) arrays for plotting, spanning the sample's support."""
+        if points < 2:
+            raise ReproError(f"points must be >= 2, got {points!r}")
+        low, high = self.support()
+        if low == high:
+            xs = np.array([low, high])
+        else:
+            xs = np.linspace(low, high, points)
+        return xs, self.evaluate(xs)

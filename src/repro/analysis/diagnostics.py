@@ -1,0 +1,103 @@
+"""Per-user savings diagnostics: *where* did the money go?
+
+A policy's saving over Keep-Reserved decomposes exactly into three
+Eq. (1) flows::
+
+    saving = sale income  +  avoided reserved-hourly fees
+                          −  extra on-demand spending
+
+(upfronts are identical in the decoupled pipeline — the reservations are
+fixed — so they cancel). :func:`decompose_savings` computes the waterfall
+from two :class:`~repro.core.simulator.SimulationResult` objects and
+:func:`explain` renders it; the experiments use it to answer "did this
+user win because of marketplace income or because it stopped paying for
+idle reservations?".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.simulator import SimulationResult
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class SavingsWaterfall:
+    """Exact decomposition of one policy's saving over a baseline."""
+
+    baseline_cost: float
+    policy_cost: float
+    sale_income: float
+    avoided_reserved_fees: float
+    extra_on_demand: float
+    extra_upfronts: float  # non-zero only in coupled runs (re-buys)
+
+    @property
+    def saving(self) -> float:
+        return self.baseline_cost - self.policy_cost
+
+    @property
+    def saving_fraction(self) -> float:
+        if self.baseline_cost == 0:
+            return 0.0
+        return self.saving / self.baseline_cost
+
+    def check(self, tolerance: float = 1e-6) -> bool:
+        """The waterfall must reconstruct the saving exactly."""
+        rebuilt = (
+            self.sale_income
+            + self.avoided_reserved_fees
+            - self.extra_on_demand
+            - self.extra_upfronts
+        )
+        return math.isclose(rebuilt, self.saving, abs_tol=tolerance)
+
+
+def decompose_savings(
+    baseline: SimulationResult, policy: SimulationResult
+) -> SavingsWaterfall:
+    """Decompose ``policy``'s saving over ``baseline`` (usually Keep).
+
+    Both results must come from the same demands and horizon.
+    """
+    if baseline.horizon != policy.horizon:
+        raise ReproError(
+            f"results cover different horizons: {baseline.horizon} vs "
+            f"{policy.horizon}"
+        )
+    if baseline.demands != policy.demands:
+        raise ReproError("results were produced from different demand traces")
+    waterfall = SavingsWaterfall(
+        baseline_cost=baseline.total_cost,
+        policy_cost=policy.total_cost,
+        sale_income=policy.breakdown.sale_income - baseline.breakdown.sale_income,
+        avoided_reserved_fees=(
+            baseline.breakdown.reserved_hourly - policy.breakdown.reserved_hourly
+        ),
+        extra_on_demand=policy.breakdown.on_demand - baseline.breakdown.on_demand,
+        extra_upfronts=policy.breakdown.upfront - baseline.breakdown.upfront,
+    )
+    if not waterfall.check():
+        raise ReproError(
+            "savings waterfall does not reconcile; the results do not share "
+            "a cost model"
+        )
+    return waterfall
+
+
+def explain(waterfall: SavingsWaterfall, label: str = "policy") -> str:
+    """Human-readable waterfall."""
+    lines = [
+        f"{label}: {waterfall.saving_fraction:+.1%} vs baseline "
+        f"({waterfall.baseline_cost:,.0f} -> {waterfall.policy_cost:,.0f})",
+        f"  + marketplace income        {waterfall.sale_income:12,.0f}",
+        f"  + avoided reserved fees     {waterfall.avoided_reserved_fees:12,.0f}",
+        f"  - extra on-demand           {waterfall.extra_on_demand:12,.0f}",
+    ]
+    if waterfall.extra_upfronts:
+        lines.append(
+            f"  - extra upfronts (re-buys)  {waterfall.extra_upfronts:12,.0f}"
+        )
+    return "\n".join(lines)

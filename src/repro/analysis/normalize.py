@@ -1,0 +1,50 @@
+"""Cost normalisation (Section VI-B: "costs … normalized to Keep-reserved")."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ReproError
+
+#: The baseline policy name used throughout the paper's figures.
+KEEP_RESERVED = "Keep-Reserved"
+
+
+def normalize_costs(
+    costs: "Mapping[str, Sequence[float]]",
+    baseline: str = KEEP_RESERVED,
+) -> dict[str, np.ndarray]:
+    """Divide every policy's per-user cost vector by the baseline's.
+
+    Users whose baseline cost is zero (no reservations, no demand) are
+    normalised to 1 for every policy — all policies are trivially equal
+    there, and dropping them would silently shrink the population.
+    """
+    if baseline not in costs:
+        raise ReproError(
+            f"baseline {baseline!r} missing from costs "
+            f"(have: {sorted(costs)})"
+        )
+    base = np.asarray(costs[baseline], dtype=np.float64)
+    if base.ndim != 1:
+        raise ReproError("cost vectors must be 1-D (one entry per user)")
+    degenerate = base == 0.0
+    safe_base = np.where(degenerate, 1.0, base)
+    normalized: dict[str, np.ndarray] = {}
+    for name, values in costs.items():
+        array = np.asarray(values, dtype=np.float64)
+        if array.shape != base.shape:
+            raise ReproError(
+                f"cost vector for {name!r} has shape {array.shape}, "
+                f"baseline has {base.shape}"
+            )
+        ratio = array / safe_base
+        normalized[name] = np.where(degenerate, 1.0, ratio)
+    return normalized
+
+
+def savings(normalized: np.ndarray) -> np.ndarray:
+    """Per-user fractional saving: 1 − normalized cost."""
+    return 1.0 - np.asarray(normalized, dtype=np.float64)

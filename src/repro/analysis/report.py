@@ -1,0 +1,140 @@
+"""One-call user report: simulation, decomposition, and advice together.
+
+:func:`user_report` takes what a cloud user actually has — a demand
+history, their reservation history, an instance type, and selling terms
+— and produces a markdown report answering the paper's two questions
+("should I sell this reserved instance, and when?") with the numbers to
+back it up:
+
+1. policy comparison (Keep-Reserved, the three online algorithms, OPT);
+2. the savings waterfall of the recommended policy;
+3. the live advisor's per-instance SELL/KEEP/WAIT verdicts at "now";
+4. marketplace guidance: expected proceeds at the configured discount
+   under a sale-latency model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.diagnostics import SavingsWaterfall, decompose_savings
+from repro.core.account import CostModel
+from repro.core.advisor import AdvisorReport, SellingAdvisor
+from repro.core.offline import run_offline_optimal
+from repro.core.policies import KeepReservedPolicy, OnlineSellingPolicy
+from repro.core.simulator import SimulationResult, run_policy
+from repro.errors import ReproError
+from repro.marketplace.seller import SaleLatencyModel
+from repro.marketplace.valuation import ListingValuation, value_listing
+from repro.workload.base import as_trace
+
+
+@dataclass(frozen=True)
+class UserReport:
+    """All the pieces of one user's review."""
+
+    policy_results: dict[str, SimulationResult]
+    opt_result: SimulationResult
+    recommended: str
+    waterfall: SavingsWaterfall
+    advice: AdvisorReport
+    listing_value: "ListingValuation | None"
+
+    def to_markdown(self) -> str:
+        """Render the report as markdown."""
+        keep_cost = self.policy_results["Keep-Reserved"].total_cost
+        lines = ["# Reserved-instance selling review", "", "## Policy comparison", ""]
+        lines.append("| policy | total cost | vs Keep-Reserved | sold |")
+        lines.append("|---|---|---|---|")
+        for name, result in self.policy_results.items():
+            ratio = result.total_cost / keep_cost if keep_cost else 1.0
+            lines.append(
+                f"| {name} | {result.total_cost:,.0f} | {ratio:.3f} "
+                f"| {result.instances_sold} |"
+            )
+        opt_ratio = self.opt_result.total_cost / keep_cost if keep_cost else 1.0
+        lines.append(
+            f"| OPT (offline) | {self.opt_result.total_cost:,.0f} "
+            f"| {opt_ratio:.3f} | {self.opt_result.instances_sold} |"
+        )
+        lines.extend(["", f"**Recommended policy: {self.recommended}**", ""])
+        lines.extend(["## Where the saving comes from", ""])
+        lines.append(f"- marketplace income: {self.waterfall.sale_income:,.0f}")
+        lines.append(
+            f"- avoided reserved fees: {self.waterfall.avoided_reserved_fees:,.0f}"
+        )
+        lines.append(f"- extra on-demand: {self.waterfall.extra_on_demand:,.0f}")
+        lines.append(
+            f"- net saving: {self.waterfall.saving:,.0f} "
+            f"({self.waterfall.saving_fraction:+.1%})"
+        )
+        lines.extend(["", "## Current holdings", "", "```", self.advice.render(), "```"])
+        if self.listing_value is not None:
+            lines.extend(["", "## Marketplace outlook", ""])
+            lines.append(
+                f"- expected proceeds per listing: "
+                f"{self.listing_value.expected_proceeds:,.2f}"
+            )
+            lines.append(
+                f"- sale probability before expiry: "
+                f"{self.listing_value.sale_probability:.0%}"
+            )
+            lines.append(
+                f"- expected wait: {self.listing_value.expected_wait_hours:,.0f}h"
+            )
+        return "\n".join(lines)
+
+
+def user_report(
+    demands,
+    reservations,
+    model: CostModel,
+    latency: "SaleLatencyModel | None" = None,
+) -> UserReport:
+    """Build the full review for one user's history.
+
+    ``demands``/``reservations`` cover the observed hours; the policy
+    comparison replays that history, the advisor evaluates "now" = the
+    end of it.
+    """
+    trace = as_trace(demands)
+    policies = {
+        "Keep-Reserved": KeepReservedPolicy(),
+        "A_{3T/4}": OnlineSellingPolicy.a_3t4(),
+        "A_{T/2}": OnlineSellingPolicy.a_t2(),
+        "A_{T/4}": OnlineSellingPolicy.a_t4(),
+    }
+    results = {
+        name: run_policy(trace, reservations, model, policy)
+        for name, policy in policies.items()
+    }
+    opt = run_offline_optimal(trace, reservations, model)
+    online_names = [name for name in results if name != "Keep-Reserved"]
+    recommended = min(online_names, key=lambda name: results[name].total_cost)
+    if not online_names:
+        raise ReproError("no online policy evaluated")
+    waterfall = decompose_savings(results["Keep-Reserved"], results[recommended])
+
+    advisor = SellingAdvisor(model, phi=0.75)
+    advice = advisor.review(trace, reservations)
+
+    listing_value = None
+    if latency is not None:
+        pending = advice.to_sell()
+        if pending:
+            elapsed = pending[0].age_hours
+            listing_value = value_listing(
+                model.plan,
+                min(elapsed, model.plan.period_hours - 1),
+                model.selling_discount,
+                latency,
+                marketplace_fee=0.12,
+            )
+    return UserReport(
+        policy_results=results,
+        opt_result=opt,
+        recommended=recommended,
+        waterfall=waterfall,
+        advice=advice,
+        listing_value=listing_value,
+    )

@@ -1,0 +1,87 @@
+"""Headline statistics of normalised costs (the numbers quoted in §VI-B).
+
+The paper summarises Fig. 3 with sentences like "more than 60% users
+reduce their costs … only 1% users incur slightly more costs", and
+Table III with per-group mean normalised costs. :class:`SavingsSummary`
+computes exactly those quantities from a normalised cost vector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class SavingsSummary:
+    """Headline statistics of one policy's normalised per-user costs."""
+
+    users: int
+    mean: float
+    median: float
+    fraction_saving: float  # normalized cost < 1
+    fraction_saving_20pct: float  # normalized cost < 0.8
+    fraction_saving_30pct: float  # normalized cost < 0.7
+    fraction_losing: float  # normalized cost > 1
+    worst_increase: float  # max(normalized) − 1, floored at 0
+
+    @classmethod
+    def of(cls, normalized) -> "SavingsSummary":
+        values = np.asarray(normalized, dtype=np.float64)
+        if values.ndim != 1 or values.size == 0:
+            raise ReproError("need a non-empty 1-D normalized-cost vector")
+        return cls(
+            users=int(values.size),
+            mean=float(values.mean()),
+            median=float(np.median(values)),
+            fraction_saving=float(np.mean(values < 1.0)),
+            fraction_saving_20pct=float(np.mean(values < 0.8)),
+            fraction_saving_30pct=float(np.mean(values < 0.7)),
+            fraction_losing=float(np.mean(values > 1.0)),
+            worst_increase=float(max(values.max() - 1.0, 0.0)),
+        )
+
+    def describe(self) -> str:
+        """One-line textual summary in the paper's phrasing."""
+        return (
+            f"{self.fraction_saving:.0%} of users reduce their costs "
+            f"({self.fraction_saving_20pct:.0%} save >20%, "
+            f"{self.fraction_saving_30pct:.0%} save >30%); "
+            f"{self.fraction_losing:.0%} incur more costs "
+            f"(worst increase {self.worst_increase:.1%}); "
+            f"mean normalized cost {self.mean:.4f}"
+        )
+
+
+def group_means(
+    normalized_by_policy: "dict[str, np.ndarray]",
+    group_labels,
+    group_order,
+) -> dict[str, dict[str, float]]:
+    """Mean normalised cost per (policy, group) — the body of Table III.
+
+    ``group_labels`` assigns each user (vector position) to a group;
+    ``group_order`` fixes the column order. An ``"All users"`` column is
+    appended, matching the paper's table.
+    """
+    labels = np.asarray(group_labels)
+    table: dict[str, dict[str, float]] = {}
+    for policy, values in normalized_by_policy.items():
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape != labels.shape:
+            raise ReproError(
+                f"policy {policy!r}: {values.shape} values vs "
+                f"{labels.shape} group labels"
+            )
+        row = {}
+        for group in group_order:
+            mask = labels == group
+            if not mask.any():
+                raise ReproError(f"group {group!r} has no users")
+            row[str(group)] = float(values[mask].mean())
+        row["All users"] = float(values.mean())
+        table[policy] = row
+    return table

@@ -1,0 +1,348 @@
+"""Dependency-free SVG rendering of CDF figures.
+
+The experiment harness renders every figure as ASCII for the terminal;
+this module additionally emits real, viewable SVG files (no matplotlib
+required — the documents are assembled by hand). ``repro-experiments
+fig3 --output reports`` drops ``fig3*.svg`` next to the text reports.
+
+Only what the paper's figures need is implemented: step-function CDF
+plots with axes, ticks, a legend, and a small colour cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+from xml.sax.saxutils import escape
+
+import numpy as np
+
+from repro.errors import ReproError
+
+#: Colour cycle (colour-blind-friendly).
+SERIES_COLORS = (
+    "#0072B2",  # blue
+    "#D55E00",  # vermillion
+    "#009E73",  # green
+    "#CC79A7",  # pink
+    "#E69F00",  # orange
+    "#56B4E9",  # sky
+)
+
+_MARGIN_LEFT = 60
+_MARGIN_RIGHT = 20
+_MARGIN_TOP = 40
+_MARGIN_BOTTOM = 50
+
+
+def _step_points(samples: np.ndarray) -> "list[tuple[float, float]]":
+    """(x, F(x)) step coordinates of an empirical CDF."""
+    ordered = np.sort(samples)
+    n = ordered.size
+    points = [(float(ordered[0]), 0.0)]
+    for index, value in enumerate(ordered):
+        points.append((float(value), index / n))
+        points.append((float(value), (index + 1) / n))
+    return points
+
+
+def _ticks(low: float, high: float, count: int = 5) -> "list[float]":
+    return [low + (high - low) * i / (count - 1) for i in range(count)]
+
+
+def svg_cdf(
+    series: "Mapping[str, Sequence[float]]",
+    title: str = "",
+    x_label: str = "normalized cost",
+    width: int = 640,
+    height: int = 400,
+    x_range: "tuple[float, float] | None" = None,
+) -> str:
+    """Render step-function CDFs of several samples as an SVG document."""
+    if not series:
+        raise ReproError("need at least one series")
+    if width < 200 or height < 150:
+        raise ReproError("figure too small (need width >= 200, height >= 150)")
+    arrays = {
+        name: np.asarray(values, dtype=np.float64) for name, values in series.items()
+    }
+    for name, values in arrays.items():
+        if values.ndim != 1 or values.size == 0 or np.any(~np.isfinite(values)):
+            raise ReproError(f"series {name!r} must be a non-empty finite 1-D sample")
+    if x_range is None:
+        low = min(float(v.min()) for v in arrays.values())
+        high = max(float(v.max()) for v in arrays.values())
+        if low == high:
+            low, high = low - 0.5, high + 0.5
+    else:
+        low, high = x_range
+        if not low < high:
+            raise ReproError(f"x_range must be increasing, got {x_range!r}")
+
+    plot_w = width - _MARGIN_LEFT - _MARGIN_RIGHT
+    plot_h = height - _MARGIN_TOP - _MARGIN_BOTTOM
+
+    def sx(x: float) -> float:
+        clamped = min(max(x, low), high)
+        return _MARGIN_LEFT + (clamped - low) / (high - low) * plot_w
+
+    def sy(y: float) -> float:
+        return _MARGIN_TOP + (1.0 - y) * plot_h
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+    ]
+    if title:
+        parts.append(
+            f'<text x="{width / 2}" y="22" text-anchor="middle" '
+            f'font-family="sans-serif" font-size="14">{escape(title)}</text>'
+        )
+    # Axes.
+    parts.append(
+        f'<line x1="{_MARGIN_LEFT}" y1="{sy(0)}" x2="{width - _MARGIN_RIGHT}" '
+        f'y2="{sy(0)}" stroke="black"/>'
+    )
+    parts.append(
+        f'<line x1="{_MARGIN_LEFT}" y1="{sy(0)}" x2="{_MARGIN_LEFT}" '
+        f'y2="{sy(1)}" stroke="black"/>'
+    )
+    for tick in _ticks(low, high):
+        x = sx(tick)
+        parts.append(
+            f'<line x1="{x}" y1="{sy(0)}" x2="{x}" y2="{sy(0) + 5}" stroke="black"/>'
+        )
+        parts.append(
+            f'<text x="{x}" y="{sy(0) + 18}" text-anchor="middle" '
+            f'font-family="sans-serif" font-size="10">{tick:.2f}</text>'
+        )
+    for tick in _ticks(0.0, 1.0):
+        y = sy(tick)
+        parts.append(
+            f'<line x1="{_MARGIN_LEFT - 5}" y1="{y}" x2="{_MARGIN_LEFT}" '
+            f'y2="{y}" stroke="black"/>'
+        )
+        parts.append(
+            f'<text x="{_MARGIN_LEFT - 8}" y="{y + 3}" text-anchor="end" '
+            f'font-family="sans-serif" font-size="10">{tick:.2f}</text>'
+        )
+    parts.append(
+        f'<text x="{_MARGIN_LEFT + plot_w / 2}" y="{height - 12}" '
+        f'text-anchor="middle" font-family="sans-serif" font-size="12">'
+        f"{escape(x_label)}</text>"
+    )
+    parts.append(
+        f'<text x="16" y="{_MARGIN_TOP + plot_h / 2}" text-anchor="middle" '
+        f'font-family="sans-serif" font-size="12" '
+        f'transform="rotate(-90 16 {_MARGIN_TOP + plot_h / 2})">CDF</text>'
+    )
+    # Series.
+    for index, (name, values) in enumerate(arrays.items()):
+        color = SERIES_COLORS[index % len(SERIES_COLORS)]
+        coordinates = " ".join(
+            f"{sx(x):.1f},{sy(y):.1f}" for x, y in _step_points(values)
+        )
+        parts.append(
+            f'<polyline fill="none" stroke="{color}" stroke-width="1.8" '
+            f'points="{coordinates}"/>'
+        )
+        legend_y = _MARGIN_TOP + 14 + 16 * index
+        parts.append(
+            f'<line x1="{_MARGIN_LEFT + 10}" y1="{legend_y - 4}" '
+            f'x2="{_MARGIN_LEFT + 34}" y2="{legend_y - 4}" stroke="{color}" '
+            f'stroke-width="1.8"/>'
+        )
+        parts.append(
+            f'<text x="{_MARGIN_LEFT + 40}" y="{legend_y}" '
+            f'font-family="sans-serif" font-size="11">{escape(name)}</text>'
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def svg_histogram(
+    values: "Sequence[float]",
+    bins: int = 12,
+    title: str = "",
+    x_label: str = "sigma/mu",
+    width: int = 640,
+    height: int = 400,
+    color: str = SERIES_COLORS[0],
+) -> str:
+    """Render one sample's histogram as an SVG document."""
+    data = np.asarray(values, dtype=np.float64)
+    if data.ndim != 1 or data.size == 0 or np.any(~np.isfinite(data)):
+        raise ReproError("need a non-empty finite 1-D sample")
+    if bins < 1:
+        raise ReproError(f"bins must be positive, got {bins!r}")
+    if width < 200 or height < 150:
+        raise ReproError("figure too small (need width >= 200, height >= 150)")
+    counts, edges = np.histogram(data, bins=bins)
+    peak = max(int(counts.max()), 1)
+    low, high = float(edges[0]), float(edges[-1])
+    if low == high:
+        low, high = low - 0.5, high + 0.5
+
+    plot_w = width - _MARGIN_LEFT - _MARGIN_RIGHT
+    plot_h = height - _MARGIN_TOP - _MARGIN_BOTTOM
+
+    def sx(x: float) -> float:
+        return _MARGIN_LEFT + (x - low) / (high - low) * plot_w
+
+    def sy_count(count: float) -> float:
+        return _MARGIN_TOP + (1.0 - count / peak) * plot_h
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+    ]
+    if title:
+        parts.append(
+            f'<text x="{width / 2}" y="22" text-anchor="middle" '
+            f'font-family="sans-serif" font-size="14">{escape(title)}</text>'
+        )
+    baseline = sy_count(0)
+    for index, count in enumerate(counts):
+        if count == 0:
+            continue
+        x0, x1 = sx(float(edges[index])), sx(float(edges[index + 1]))
+        top = sy_count(float(count))
+        parts.append(
+            f'<rect x="{x0:.1f}" y="{top:.1f}" width="{max(x1 - x0 - 1, 1):.1f}" '
+            f'height="{baseline - top:.1f}" fill="{color}" opacity="0.85"/>'
+        )
+    parts.append(
+        f'<line x1="{_MARGIN_LEFT}" y1="{baseline}" x2="{width - _MARGIN_RIGHT}" '
+        f'y2="{baseline}" stroke="black"/>'
+    )
+    for tick in _ticks(low, high):
+        x = sx(tick)
+        parts.append(
+            f'<line x1="{x}" y1="{baseline}" x2="{x}" y2="{baseline + 5}" '
+            f'stroke="black"/>'
+        )
+        parts.append(
+            f'<text x="{x}" y="{baseline + 18}" text-anchor="middle" '
+            f'font-family="sans-serif" font-size="10">{tick:.2f}</text>'
+        )
+    parts.append(
+        f'<text x="{_MARGIN_LEFT + plot_w / 2}" y="{height - 12}" '
+        f'text-anchor="middle" font-family="sans-serif" font-size="12">'
+        f"{escape(x_label)}</text>"
+    )
+    parts.append(
+        f'<text x="{_MARGIN_LEFT - 30}" y="{_MARGIN_TOP - 8}" '
+        f'font-family="sans-serif" font-size="10">users (peak {peak})</text>'
+    )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def svg_series(
+    series: "Mapping[str, Sequence[float]]",
+    title: str = "",
+    x_label: str = "hour",
+    y_label: str = "value",
+    width: int = 640,
+    height: int = 400,
+) -> str:
+    """Render step time-series (index = hour) as an SVG document."""
+    if not series:
+        raise ReproError("need at least one series")
+    if width < 200 or height < 150:
+        raise ReproError("figure too small (need width >= 200, height >= 150)")
+    arrays = {
+        name: np.asarray(values, dtype=np.float64) for name, values in series.items()
+    }
+    lengths = {array.size for array in arrays.values()}
+    if len(lengths) != 1 or 0 in lengths:
+        raise ReproError("all series must share one non-zero length")
+    (horizon,) = lengths
+    top = max(max(float(array.max()) for array in arrays.values()), 1.0)
+
+    plot_w = width - _MARGIN_LEFT - _MARGIN_RIGHT
+    plot_h = height - _MARGIN_TOP - _MARGIN_BOTTOM
+
+    def sx(hour: float) -> float:
+        return _MARGIN_LEFT + hour / max(horizon - 1, 1) * plot_w
+
+    def sy(value: float) -> float:
+        return _MARGIN_TOP + (1.0 - value / top) * plot_h
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+    ]
+    if title:
+        parts.append(
+            f'<text x="{width / 2}" y="22" text-anchor="middle" '
+            f'font-family="sans-serif" font-size="14">{escape(title)}</text>'
+        )
+    parts.append(
+        f'<line x1="{_MARGIN_LEFT}" y1="{sy(0)}" x2="{width - _MARGIN_RIGHT}" '
+        f'y2="{sy(0)}" stroke="black"/>'
+    )
+    parts.append(
+        f'<line x1="{_MARGIN_LEFT}" y1="{sy(0)}" x2="{_MARGIN_LEFT}" '
+        f'y2="{sy(top)}" stroke="black"/>'
+    )
+    for tick in _ticks(0, horizon - 1):
+        x = sx(tick)
+        parts.append(
+            f'<line x1="{x}" y1="{sy(0)}" x2="{x}" y2="{sy(0) + 5}" stroke="black"/>'
+        )
+        parts.append(
+            f'<text x="{x}" y="{sy(0) + 18}" text-anchor="middle" '
+            f'font-family="sans-serif" font-size="10">{tick:.0f}</text>'
+        )
+    for tick in _ticks(0.0, top):
+        y = sy(tick)
+        parts.append(
+            f'<line x1="{_MARGIN_LEFT - 5}" y1="{y}" x2="{_MARGIN_LEFT}" '
+            f'y2="{y}" stroke="black"/>'
+        )
+        parts.append(
+            f'<text x="{_MARGIN_LEFT - 8}" y="{y + 3}" text-anchor="end" '
+            f'font-family="sans-serif" font-size="10">{tick:.0f}</text>'
+        )
+    parts.append(
+        f'<text x="{_MARGIN_LEFT + plot_w / 2}" y="{height - 12}" '
+        f'text-anchor="middle" font-family="sans-serif" font-size="12">'
+        f"{escape(x_label)}</text>"
+    )
+    parts.append(
+        f'<text x="16" y="{_MARGIN_TOP + plot_h / 2}" text-anchor="middle" '
+        f'font-family="sans-serif" font-size="12" '
+        f'transform="rotate(-90 16 {_MARGIN_TOP + plot_h / 2})">'
+        f"{escape(y_label)}</text>"
+    )
+    for index, (name, array) in enumerate(arrays.items()):
+        color = SERIES_COLORS[index % len(SERIES_COLORS)]
+        points = []
+        for hour in range(horizon):
+            if hour:
+                points.append(f"{sx(hour):.1f},{sy(array[hour - 1]):.1f}")
+            points.append(f"{sx(hour):.1f},{sy(array[hour]):.1f}")
+        parts.append(
+            f'<polyline fill="none" stroke="{color}" stroke-width="1.8" '
+            f'points="{" ".join(points)}"/>'
+        )
+        legend_y = _MARGIN_TOP + 14 + 16 * index
+        parts.append(
+            f'<line x1="{width - 190}" y1="{legend_y - 4}" x2="{width - 166}" '
+            f'y2="{legend_y - 4}" stroke="{color}" stroke-width="1.8"/>'
+        )
+        parts.append(
+            f'<text x="{width - 160}" y="{legend_y}" font-family="sans-serif" '
+            f'font-size="11">{escape(name)}</text>'
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def write_svg(document: str, path) -> None:
+    """Write an SVG document to ``path``."""
+    with open(path, "w") as handle:
+        handle.write(document)

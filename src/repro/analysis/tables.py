@@ -1,0 +1,61 @@
+"""Plain-text table rendering for experiment reports."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import ReproError
+
+
+def format_cell(value, float_format: str = "{:.4f}") -> str:
+    """Render one cell: floats via ``float_format``, the rest via str()."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return float_format.format(value)
+    return str(value)
+
+
+def format_table(
+    headers: "Sequence[str]",
+    rows: "Iterable[Sequence[object]]",
+    float_format: str = "{:.4f}",
+    title: str = "",
+) -> str:
+    """Fixed-width table with a header rule, e.g.::
+
+        Policy      Group 1   Group 2
+        ---------   -------   -------
+        A_{3T/4}     0.9387    0.9154
+    """
+    rendered = [[format_cell(cell, float_format) for cell in row] for row in rows]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ReproError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+    widths = [
+        max(len(header), *(len(row[col]) for row in rendered)) if rendered else len(header)
+        for col, header in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("   ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("   ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append(
+            "   ".join(
+                cell.rjust(w) if _is_numeric(cell) else cell.ljust(w)
+                for cell, w in zip(row, widths)
+            )
+        )
+    return "\n".join(lines)
+
+
+def _is_numeric(cell: str) -> bool:
+    try:
+        float(cell.replace("%", ""))
+    except ValueError:
+        return False
+    return True

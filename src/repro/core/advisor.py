@@ -1,0 +1,200 @@
+"""The selling advisor: actionable per-instance recommendations.
+
+The simulators replay whole horizons; a real user wants an answer *now*:
+"here is my demand history and my reservations — which should I list in
+the marketplace today?" :class:`SellingAdvisor` answers with one
+:class:`Recommendation` per active instance:
+
+* ``SELL`` — the instance is at (or past) its decision spot and its
+  working time is below β: Algorithm 1 says list it, at ``a ×`` the
+  prorated cap (the expected income is reported);
+* ``KEEP`` — at/past the spot with working time ≥ β;
+* ``WAIT`` — the spot is still ahead; the report shows the working
+  time accumulated so far against the β pace, so the user can see which
+  way the decision is trending.
+
+The advisor is deliberately *online*: it only ever reads history up to
+``now``, so following its SELL/KEEP answers hour by hour reproduces the
+simulator's decisions exactly (property-tested).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.account import CostModel
+from repro.core.breakeven import break_even_working_hours, decision_age_hours
+from repro.core.ledger import ReservationLedger
+from repro.errors import SimulationError
+from repro.workload.base import as_trace
+
+
+class Action(enum.Enum):
+    """The advisor's verdict kinds."""
+
+    SELL = "sell"
+    KEEP = "keep"
+    WAIT = "wait"
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """The advisor's verdict on one reserved instance."""
+
+    instance_id: int
+    reserved_at: int
+    action: Action
+    age_hours: int
+    decision_hour: int
+    working_hours: int  # over [reserved_at, min(decision spot, now))
+    beta: float
+    expected_income: float  # if sold now (0 for KEEP)
+
+    @property
+    def utilisation(self) -> float:
+        """Working time over the observed window."""
+        observed = max(
+            min(self.decision_hour, self.reserved_at + self.age_hours)
+            - self.reserved_at,
+            1,
+        )
+        return self.working_hours / observed
+
+    def rationale(self) -> str:
+        """One-sentence explanation of the verdict."""
+        if self.action is Action.SELL:
+            return (
+                f"worked {self.working_hours}h < beta {self.beta:.0f}h over the "
+                f"decision window; list at the discounted prorated upfront "
+                f"(expected income {self.expected_income:,.2f})"
+            )
+        if self.action is Action.KEEP:
+            return (
+                f"worked {self.working_hours}h >= beta {self.beta:.0f}h; the "
+                f"reservation is paying for itself"
+            )
+        remaining = self.decision_hour - (self.reserved_at + self.age_hours)
+        return (
+            f"decision in {remaining}h; worked {self.working_hours}h of "
+            f"beta {self.beta:.0f}h so far"
+        )
+
+
+@dataclass(frozen=True)
+class AdvisorReport:
+    """All recommendations at one instant."""
+
+    now: int
+    phi: float
+    beta: float
+    recommendations: list[Recommendation]
+
+    def to_sell(self) -> list[Recommendation]:
+        """The SELL recommendations only."""
+        return [r for r in self.recommendations if r.action is Action.SELL]
+
+    def expected_income(self) -> float:
+        """Marketplace income if every SELL recommendation is listed."""
+        return sum(r.expected_income for r in self.to_sell())
+
+    def render(self) -> str:
+        """Human-readable report, one line per instance."""
+        lines = [
+            f"advisor @ hour {self.now} (decision spot {self.phi:g}T, "
+            f"beta {self.beta:.0f}h)"
+        ]
+        for r in self.recommendations:
+            lines.append(
+                f"  #{r.instance_id:<4d} reserved@{r.reserved_at:<6d} "
+                f"{r.action.value.upper():4s}  {r.rationale()}"
+            )
+        lines.append(
+            f"{len(self.to_sell())} instance(s) to list; expected income "
+            f"{self.expected_income():,.2f}"
+        )
+        return "\n".join(lines)
+
+
+class SellingAdvisor:
+    """Online advisor applying ``A_{φT}`` to live history."""
+
+    def __init__(self, model: CostModel, phi: float = 0.75) -> None:
+        self.model = model
+        self.phi = phi
+        self.decision_age = decision_age_hours(model.plan, phi)
+        self.beta = break_even_working_hours(
+            model.plan, model.selling_discount, phi
+        )
+        if self.decision_age < 1:
+            raise SimulationError(
+                "the decision spot rounds to age 0 at this period; use a "
+                "longer period or a later phi"
+            )
+
+    def review(self, demands_so_far, reservations_so_far, sold_hours: "dict[int, int] | None" = None) -> AdvisorReport:
+        """Evaluate every reservation given history up to now.
+
+        ``demands_so_far`` and ``reservations_so_far`` cover hours
+        ``[0, now)``; ``sold_hours`` maps already-sold instance ids to
+        their sale hours (so their history rewrites apply).
+        """
+        trace = as_trace(demands_so_far)
+        now = len(trace)
+        schedule = np.asarray(reservations_so_far).astype(np.int64)
+        if schedule.shape != (now,):
+            raise SimulationError(
+                f"reservations must cover exactly the {now} observed hours"
+            )
+        ledger = ReservationLedger(now, self.model.period, trace.values)
+        for hour in np.flatnonzero(schedule):
+            ledger.reserve(int(hour), int(schedule[hour]))
+        for instance_id, hour in sorted((sold_hours or {}).items(), key=lambda kv: kv[1]):
+            ledger.sell(ledger.instances[instance_id], hour)
+
+        recommendations = []
+        for instance in ledger.instances:
+            if instance.is_sold or not instance.is_active(now - 1):
+                continue
+            decision_hour = instance.reserved_at + self.decision_age
+            window_end = min(decision_hour, now)
+            working = (
+                ledger.working_hours(instance, window_end)
+                if window_end > instance.reserved_at
+                else 0
+            )
+            age = now - instance.reserved_at
+            if decision_hour <= now:
+                if working < self.beta:
+                    action = Action.SELL
+                    income = self.model.sale_income(
+                        instance.remaining_fraction(now)
+                    )
+                    # Algorithm 1 evaluates a batch sequentially, applying
+                    # each sale's history rewrite before the next member;
+                    # mirror that so later recommendations in this report
+                    # see the adjusted timeline (the ledger is local).
+                    ledger.sell(instance, decision_hour)
+                else:
+                    action = Action.KEEP
+                    income = 0.0
+            else:
+                action = Action.WAIT
+                income = 0.0
+            recommendations.append(
+                Recommendation(
+                    instance_id=instance.instance_id,
+                    reserved_at=instance.reserved_at,
+                    action=action,
+                    age_hours=age,
+                    decision_hour=decision_hour,
+                    working_hours=working,
+                    beta=self.beta,
+                    expected_income=income,
+                )
+            )
+        return AdvisorReport(
+            now=now, phi=self.phi, beta=self.beta, recommendations=recommendations
+        )

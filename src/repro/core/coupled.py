@@ -1,0 +1,101 @@
+"""Coupled purchasing + selling simulation (extension beyond the paper).
+
+The paper evaluates selling policies on a *fixed* reservation schedule
+produced beforehand by a purchasing imitator (Section VI-A). In reality
+the two loops interact: after the selling policy disposes of an
+instance, a later demand surge makes the purchasing rule buy a new one —
+which the selling policy may again evaluate T/4 later, and so on.
+
+:func:`run_coupled` closes that loop. Each hour:
+
+1. instances reaching their decision spot are evaluated by the selling
+   policy (Algorithm 1's working-time rule, unchanged; sales take
+   effect at the start of the hour);
+2. the purchasing stepper sees the demand and the *live*, post-sale
+   pool and reserves (so a gap opened by a sale can be refilled the
+   same hour — the stepper genuinely reacts to the seller);
+3. on-demand tops up the residual gap and Eq. (1) costs are booked.
+
+The function returns the same :class:`~repro.core.simulator.SimulationResult`
+as the decoupled path, so all analyses apply. The decoupled run is the
+special case where the stepper ignores the pool's sales — equivalently,
+``run_coupled`` with a :class:`KeepReservedPolicy` reproduces the
+imitator's batch schedule exactly (property-tested).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.account import CostModel, HourlyCosts, HourlyFeeMode
+from repro.core.instance import ReservedInstance
+from repro.core.ledger import ReservationLedger
+from repro.core.policies import SellingPolicy
+from repro.core.simulator import (
+    SaleRecord,
+    SimulationResult,
+    evaluate_decision,
+    schedule_decision,
+)
+from repro.purchasing.stepper import PurchasingStepper
+from repro.workload.base import as_trace
+
+
+def run_coupled(
+    demands,
+    stepper: PurchasingStepper,
+    model: CostModel,
+    policy: SellingPolicy,
+    policy_label: "str | None" = None,
+) -> SimulationResult:
+    """Simulate purchasing and selling reacting to each other.
+
+    See the module docstring for the per-hour sequence; all Eq. (1)
+    accounting matches :class:`~repro.core.simulator.SellingSimulator`.
+    """
+    trace = as_trace(demands)
+    horizon = len(trace)
+    period = model.period
+    ledger = ReservationLedger(horizon, period, trace.values)
+    costs = HourlyCosts(horizon)
+    sales: list[SaleRecord] = []
+    on_demand = np.zeros(horizon, dtype=np.int64)
+    reservations = np.zeros(horizon, dtype=np.int64)
+    pending: dict[int, list[ReservedInstance]] = {}
+
+    for hour in range(horizon):
+        demand = int(trace.values[hour])
+        for instance in pending.pop(hour, ()):
+            evaluate_decision(policy, instance, hour, ledger, model, costs, sales)
+
+        count = int(stepper.step(hour, demand, ledger.active_count(hour)))
+        if count < 0:
+            raise ValueError(f"stepper returned a negative count at hour {hour}")
+        if count:
+            reservations[hour] = count
+            created = ledger.reserve(hour, count)
+            costs.record_upfront(hour, count, model)
+            for instance in created:
+                schedule_decision(policy, instance, horizon, pending)
+
+        active = ledger.active_count(hour)
+        needed = ledger.on_demand_needed(hour)
+        on_demand[hour] = needed
+        costs.record_on_demand(hour, needed, model)
+        if model.fee_mode is HourlyFeeMode.ACTIVE:
+            costs.record_reserved_hourly(hour, active, model)
+        else:
+            costs.record_reserved_hourly(hour, ledger.busy_count(hour), model)
+
+    return SimulationResult(
+        policy_name=policy_label or f"coupled:{policy.name}",
+        horizon=horizon,
+        period=period,
+        demands=trace,
+        reservations=reservations,
+        costs=costs,
+        sales=sales,
+        instances=ledger.instances,
+        on_demand=on_demand,
+        r_physical=ledger.r_physical.copy(),
+    )

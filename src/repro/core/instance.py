@@ -1,0 +1,132 @@
+"""Reserved-instance lifecycle: reservation, activity, sale.
+
+A :class:`ReservedInstance` records one reservation's timing — when it was
+bought, its period, its position within the batch of reservations made the
+same hour (Algorithm 1 iterates ``i = 1..n_t`` over such batches), and
+when (if ever) it was sold in the marketplace.
+
+Time is discrete in hours. An instance reserved at hour ``t0`` with period
+``T`` is active during the half-open range ``[t0, t0 + T)``. A sale at
+hour ``ts`` takes effect at the *start* of that hour: the instance is
+active during ``[t0, ts)``, pays the discounted hourly fee for exactly
+``ts − t0`` hours, and the sale income is proportional to the remaining
+fraction ``(t0 + T − ts)/T`` — so a sale at age φT yields exactly the
+paper's ``(1 − φ)·a·R`` (cf. Eq. (15): the instance serves no demand after
+the decision spot).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+
+
+@dataclass
+class ReservedInstance:
+    """One reservation and its (possible) sale.
+
+    Parameters
+    ----------
+    instance_id:
+        Unique id within a simulation, assigned in reservation order.
+    reserved_at:
+        Hour the reservation was made (start of activity).
+    period:
+        Reservation period ``T`` in hours.
+    batch_offset:
+        Zero-based position among the reservations made the same hour;
+        Algorithm 1's loop index ``i`` equals ``batch_offset + 1``.
+    """
+
+    instance_id: int
+    reserved_at: int
+    period: int
+    batch_offset: int = 0
+    sold_at: "int | None" = field(default=None)
+
+    def __post_init__(self) -> None:
+        if self.reserved_at < 0:
+            raise SimulationError(f"reserved_at must be >= 0, got {self.reserved_at!r}")
+        if self.period <= 0:
+            raise SimulationError(f"period must be positive, got {self.period!r}")
+        if self.batch_offset < 0:
+            raise SimulationError(f"batch_offset must be >= 0, got {self.batch_offset!r}")
+        if self.sold_at is not None:
+            self._validate_sale_hour(self.sold_at)
+
+    # ------------------------------------------------------------------
+    # Timing
+    # ------------------------------------------------------------------
+
+    @property
+    def expires_at(self) -> int:
+        """First hour the reservation would no longer be active."""
+        return self.reserved_at + self.period
+
+    @property
+    def end_of_activity(self) -> int:
+        """First hour the instance is inactive: sale hour or expiry."""
+        return self.expires_at if self.sold_at is None else self.sold_at
+
+    @property
+    def is_sold(self) -> bool:
+        return self.sold_at is not None
+
+    def is_active(self, hour: int) -> bool:
+        """Whether the instance can serve demand during ``hour``."""
+        return self.reserved_at <= hour < self.end_of_activity
+
+    def age(self, hour: int) -> int:
+        """Hours elapsed since reservation at the start of ``hour``."""
+        return hour - self.reserved_at
+
+    def elapsed_fraction(self, hour: int) -> float:
+        """The paper's ε = t/T at the start of ``hour``."""
+        return self.age(hour) / self.period
+
+    def remaining_fraction(self, hour: int) -> float:
+        """The paper's ``rp``: fraction of the period still ahead."""
+        return 1.0 - self.elapsed_fraction(hour)
+
+    def active_hours(self) -> int:
+        """Hours the instance was (or will be) active: until sale or expiry."""
+        return self.end_of_activity - self.reserved_at
+
+    def decision_hour(self, phi: float) -> int:
+        """The hour at which an ``A_{φT}`` policy evaluates this instance.
+
+        The decision spot is age ``round(φ·T)`` (exact for the paper's
+        φ ∈ {1/4, 1/2, 3/4} whenever ``T`` is a multiple of 4).
+        """
+        if not 0.0 < phi < 1.0:
+            raise SimulationError(f"phi must lie in (0, 1), got {phi!r}")
+        return self.reserved_at + round(phi * self.period)
+
+    # ------------------------------------------------------------------
+    # Sale
+    # ------------------------------------------------------------------
+
+    def _validate_sale_hour(self, hour: int) -> None:
+        if not self.reserved_at < hour < self.expires_at:
+            raise SimulationError(
+                f"instance {self.instance_id} can only be sold strictly within "
+                f"({self.reserved_at}, {self.expires_at}), got hour {hour!r}"
+            )
+
+    def sell(self, hour: int) -> float:
+        """Mark the instance sold at ``hour``; returns the remaining fraction.
+
+        Raises
+        ------
+        SimulationError
+            If the instance is already sold or the hour is outside the
+            open interval ``(reserved_at, expires_at)``.
+        """
+        if self.is_sold:
+            raise SimulationError(
+                f"instance {self.instance_id} was already sold at hour {self.sold_at}"
+            )
+        self._validate_sale_hour(hour)
+        self.sold_at = hour
+        return self.remaining_fraction(hour)

@@ -1,0 +1,199 @@
+"""Reservation ledger: active counts, batches, and Algorithm 1's bookkeeping.
+
+The ledger owns every :class:`~repro.core.instance.ReservedInstance` of a
+simulation and maintains three hour-indexed arrays:
+
+* ``r_physical`` — active reservations per hour for *cost* purposes
+  (Eq. (1)'s ``r_t``): a sale removes the instance from its sale hour
+  onward, never retroactively (fees already paid stay paid).
+* ``r_effective`` — active reservations per hour for *decision* purposes.
+  Algorithm 1 (lines 17–21) erases a sold instance from the whole
+  timeline, history included, so later instances' working-time
+  computations treat it as never having existed.
+* ``n_effective`` — reservations made per hour, likewise erased on sale;
+  Algorithm 1's ``l`` (the count of instances with more remaining time
+  than the one under evaluation) is a running sum of this array.
+
+The working-time rule (Algorithm 1 lines 7–14): within the decision
+window, instance ``i`` of a batch (1-based offset) is *free* at hour ``j``
+iff ``r_j − d_j − i + 1 > l_j`` — the idle pool at ``j`` is deep enough to
+cover all newer instances plus the instance's earlier batch mates, because
+demand is assigned to reservations with the least remaining period first
+(Section IV-B's working sequence).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.instance import ReservedInstance
+from repro.errors import SimulationError
+
+
+class ReservationLedger:
+    """Tracks reservations, sales, and Algorithm 1's decision arrays."""
+
+    def __init__(self, horizon: int, period: int, demands: np.ndarray) -> None:
+        if horizon <= 0:
+            raise SimulationError(f"horizon must be positive, got {horizon!r}")
+        if period <= 0:
+            raise SimulationError(f"period must be positive, got {period!r}")
+        demands = np.asarray(demands)
+        if demands.ndim != 1 or demands.size < horizon:
+            raise SimulationError(
+                f"demands must be a 1-D array covering at least {horizon} hours"
+            )
+        self.horizon = horizon
+        self.period = period
+        self.demands = demands[:horizon].astype(np.int64)
+        self.r_physical = np.zeros(horizon, dtype=np.int64)
+        self.r_effective = np.zeros(horizon, dtype=np.int64)
+        self.n_effective = np.zeros(horizon, dtype=np.int64)
+        self.instances: list[ReservedInstance] = []
+        self._batch_sizes = np.zeros(horizon, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def reserve(self, hour: int, count: int = 1) -> list[ReservedInstance]:
+        """Reserve ``count`` new instances at ``hour``; returns them in
+        batch order (their ``batch_offset`` continues any earlier batch
+        made the same hour)."""
+        if not 0 <= hour < self.horizon:
+            raise SimulationError(
+                f"reservation hour must lie in [0, {self.horizon}), got {hour!r}"
+            )
+        if count <= 0:
+            raise SimulationError(f"count must be positive, got {count!r}")
+        created = []
+        for _ in range(count):
+            instance = ReservedInstance(
+                instance_id=len(self.instances),
+                reserved_at=hour,
+                period=self.period,
+                batch_offset=int(self._batch_sizes[hour]),
+            )
+            self._batch_sizes[hour] += 1
+            self.instances.append(instance)
+            created.append(instance)
+        end = min(hour + self.period, self.horizon)
+        self.r_physical[hour:end] += count
+        self.r_effective[hour:end] += count
+        self.n_effective[hour] += count
+        return created
+
+    def sell(self, instance: ReservedInstance, hour: int) -> float:
+        """Sell ``instance`` at the start of ``hour``; returns the remaining
+        fraction of its period (the paper's ``rp``).
+
+        Physically the instance stops serving (and being billed) from
+        ``hour``; for future decisions it is erased from its entire span
+        (Algorithm 1 lines 17–21).
+        """
+        if instance is not self.instances[instance.instance_id]:
+            raise SimulationError(
+                f"instance {instance.instance_id} does not belong to this ledger"
+            )
+        remaining = instance.sell(hour)  # validates the hour, marks sold
+        physical_end = min(instance.expires_at, self.horizon)
+        self.r_physical[hour:physical_end] -= 1
+        self.r_effective[instance.reserved_at:physical_end] -= 1
+        self.n_effective[instance.reserved_at] -= 1
+        return remaining
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def active_count(self, hour: int) -> int:
+        """Eq. (1)'s ``r_t``: physically active reservations at ``hour``."""
+        return int(self.r_physical[hour])
+
+    def on_demand_needed(self, hour: int) -> int:
+        """Eq. (1)'s ``o_t`` = max(0, d_t − r_t)."""
+        return max(0, int(self.demands[hour]) - self.active_count(hour))
+
+    def busy_count(self, hour: int) -> int:
+        """Reservations actually serving demand at ``hour``: min(d_t, r_t)."""
+        return min(int(self.demands[hour]), self.active_count(hour))
+
+    def working_hours(self, instance: ReservedInstance, end_hour: int) -> int:
+        """Algorithm 1's working time ``w`` over ``[reserved_at, end_hour)``.
+
+        Uses the *effective* (history-rewritten) arrays, exactly as the
+        paper's pseudocode does.
+        """
+        start = instance.reserved_at
+        if not start < end_hour <= self.horizon:
+            raise SimulationError(
+                f"end_hour must lie in ({start}, {self.horizon}], got {end_hour!r}"
+            )
+        window = slice(start, end_hour)
+        # l_j = reservations made strictly after `start`, up to and
+        # including hour j (Algorithm 1 line 8's running sum).
+        later = self.n_effective[start + 1:end_hour]
+        l_values = np.concatenate(([0], np.cumsum(later)))
+        idle_depth = (
+            self.r_effective[window]
+            - self.demands[window]
+            - instance.batch_offset  # the paper's i − 1
+        )
+        free_hours = int(np.count_nonzero(idle_depth > l_values))
+        return (end_hour - start) - free_hours
+
+    def busy_profile(self, instance: ReservedInstance, end_hour: "int | None" = None) -> np.ndarray:
+        """Boolean per-hour busy profile of ``instance`` under the same
+        effective-allocation rule, over ``[reserved_at, end_hour)``.
+
+        Used by the offline optimum, which needs *where* the working time
+        falls, not just its total.
+        """
+        if end_hour is None:
+            end_hour = min(instance.expires_at, self.horizon)
+        start = instance.reserved_at
+        if not start < end_hour <= self.horizon:
+            raise SimulationError(
+                f"end_hour must lie in ({start}, {self.horizon}], got {end_hour!r}"
+            )
+        window = slice(start, end_hour)
+        later = self.n_effective[start + 1:end_hour]
+        l_values = np.concatenate(([0], np.cumsum(later)))
+        idle_depth = (
+            self.r_effective[window]
+            - self.demands[window]
+            - instance.batch_offset
+        )
+        return ~(idle_depth > l_values)
+
+    def unsold_instances(self) -> list[ReservedInstance]:
+        """All instances not (yet) sold, in reservation order."""
+        return [instance for instance in self.instances if not instance.is_sold]
+
+    # ------------------------------------------------------------------
+    # Physical utilisation reporting
+    # ------------------------------------------------------------------
+
+    def physical_busy_hours(self) -> dict[int, int]:
+        """Actual busy hours per instance under least-remaining-first
+        assignment against the *physical* timeline (sold instances serve
+        until their sale hour). One O(horizon × pool) pass; reporting
+        only — decisions use :meth:`working_hours`.
+        """
+        busy: dict[int, int] = {instance.instance_id: 0 for instance in self.instances}
+        for hour in range(self.horizon):
+            active = [
+                instance
+                for instance in self.instances
+                if instance.is_active(hour)
+            ]
+            if not active:
+                continue
+            # Least remaining period first == earliest reservation first.
+            # Within a same-hour batch Algorithm 1's freeness test
+            # (r - d - i + 1 > l) marks *lower* i free first, i.e. work
+            # goes to the later batch entries first — mirror that here.
+            active.sort(key=lambda item: (item.reserved_at, -item.batch_offset))
+            for instance in active[: int(self.demands[hour])]:
+                busy[instance.instance_id] += 1
+        return busy

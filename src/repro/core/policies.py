@@ -1,0 +1,228 @@
+"""Selling policies: the paper's three online algorithms and baselines.
+
+A policy answers two questions per reserved instance:
+
+1. *When* to evaluate it — a decision fraction φ of the period (or never).
+2. *Whether* to sell — given the instance's measured working time during
+   its first φT hours.
+
+The paper's algorithms ``A_{3T/4}``, ``A_{T/2}`` and ``A_{T/4}`` share one
+rule (Algorithm 1/2): sell iff the working time is below the break-even
+point β = φ·a·R/(p(1−α)). The evaluation's two benchmarks are
+:class:`KeepReservedPolicy` (never sell) and :class:`AllSellingPolicy`
+(always sell at the decision spot). :class:`RandomizedSellingPolicy`
+implements the paper's future-work sketch: each instance is evaluated at
+a random spot.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.breakeven import (
+    PHI_3T4,
+    PHI_T2,
+    PHI_T4,
+    break_even_working_hours,
+    validate_phi,
+)
+from repro.core.instance import ReservedInstance
+from repro.errors import PolicyError
+from repro.pricing.plan import PricingPlan
+
+
+@dataclass(frozen=True)
+class DecisionContext:
+    """Everything a policy may consult when deciding on one instance."""
+
+    plan: PricingPlan
+    selling_discount: float
+    phi: float
+    beta: float
+    decision_hour: int
+    instance: ReservedInstance
+
+
+class SellingPolicy(abc.ABC):
+    """Interface of all selling policies."""
+
+    #: Human-readable name used in reports and result tables.
+    name: str = "selling-policy"
+
+    @abc.abstractmethod
+    def decision_fraction(self, instance: ReservedInstance) -> "float | None":
+        """φ at which ``instance`` is evaluated, or None to never evaluate."""
+
+    @abc.abstractmethod
+    def should_sell(self, working_hours: float, context: DecisionContext) -> bool:
+        """Decide given the working time during the first φT hours."""
+
+    def decision_hour(self, instance: ReservedInstance) -> "int | None":
+        """Hour at which ``instance`` is evaluated (scheduling primitive).
+
+        Defaults to ``reserved_at + round(φ·T)``; policies that need an
+        exact hour (e.g. the scripted replay of an offline optimum) may
+        override this directly.
+        """
+        phi = self.decision_fraction(instance)
+        if phi is None:
+            return None
+        return instance.decision_hour(phi)
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class OnlineSellingPolicy(SellingPolicy):
+    """The paper's deterministic online algorithm ``A_{φT}``.
+
+    Sells an instance at age φT iff its working time is strictly below
+    the break-even point β = φ·a·R/(p(1−α)) (Algorithm 1 line 15).
+
+    ``threshold_scale`` multiplies β; 1.0 is the paper's rule, other
+    values support the sensitivity ablation.
+    """
+
+    def __init__(self, phi: float, threshold_scale: float = 1.0) -> None:
+        validate_phi(phi)
+        if threshold_scale < 0:
+            raise PolicyError(f"threshold_scale must be >= 0, got {threshold_scale!r}")
+        self.phi = phi
+        self.threshold_scale = threshold_scale
+        self.name = f"A_{{{self._spot_label(phi)}}}"
+
+    @staticmethod
+    def _spot_label(phi: float) -> str:
+        named = {PHI_3T4: "3T/4", PHI_T2: "T/2", PHI_T4: "T/4"}
+        return named.get(phi, f"{phi:g}T")
+
+    def decision_fraction(self, instance: ReservedInstance) -> float:
+        return self.phi
+
+    def should_sell(self, working_hours: float, context: DecisionContext) -> bool:
+        return working_hours < self.threshold_scale * context.beta
+
+    # The paper's three named algorithms -----------------------------------
+
+    @classmethod
+    def a_3t4(cls) -> "OnlineSellingPolicy":
+        """``A_{3T/4}`` — decide at 3/4 of the period (Section IV)."""
+        return cls(PHI_3T4)
+
+    @classmethod
+    def a_t2(cls) -> "OnlineSellingPolicy":
+        """``A_{T/2}`` — decide at half the period (Section V)."""
+        return cls(PHI_T2)
+
+    @classmethod
+    def a_t4(cls) -> "OnlineSellingPolicy":
+        """``A_{T/4}`` — decide at a quarter of the period (Section V)."""
+        return cls(PHI_T4)
+
+    @classmethod
+    def paper_policies(cls) -> "list[OnlineSellingPolicy]":
+        """The three algorithms in the paper's presentation order."""
+        return [cls.a_3t4(), cls.a_t2(), cls.a_t4()]
+
+
+class KeepReservedPolicy(SellingPolicy):
+    """Benchmark: never sell (the normalisation baseline of Fig. 3/4)."""
+
+    name = "Keep-Reserved"
+
+    def decision_fraction(self, instance: ReservedInstance) -> None:
+        return None
+
+    def should_sell(self, working_hours: float, context: DecisionContext) -> bool:
+        return False
+
+
+class AllSellingPolicy(SellingPolicy):
+    """Benchmark: sell every instance at the decision spot (Section VI-B)."""
+
+    def __init__(self, phi: float) -> None:
+        validate_phi(phi)
+        self.phi = phi
+        self.name = f"All-Selling@{OnlineSellingPolicy._spot_label(phi)}"
+
+    def decision_fraction(self, instance: ReservedInstance) -> float:
+        return self.phi
+
+    def should_sell(self, working_hours: float, context: DecisionContext) -> bool:
+        return True
+
+
+class RandomizedSellingPolicy(SellingPolicy):
+    """Future-work extension: evaluate each instance at a random spot.
+
+    Each instance draws its decision fraction from ``spots`` (uniformly,
+    or with the given ``weights``), deterministically from ``seed`` and
+    the instance id, then applies the break-even rule at that spot.
+    """
+
+    def __init__(
+        self,
+        spots: "tuple[float, ...]" = (PHI_T4, PHI_T2, PHI_3T4),
+        weights: "tuple[float, ...] | None" = None,
+        seed: int = 0,
+    ) -> None:
+        if not spots:
+            raise PolicyError("spots must be a non-empty tuple of decision fractions")
+        for phi in spots:
+            validate_phi(phi)
+        if weights is not None:
+            if len(weights) != len(spots):
+                raise PolicyError("weights must match spots in length")
+            if any(w < 0 for w in weights) or sum(weights) <= 0:
+                raise PolicyError("weights must be non-negative and sum to > 0")
+            total = float(sum(weights))
+            self._probabilities = tuple(w / total for w in weights)
+        else:
+            self._probabilities = tuple(1.0 / len(spots) for _ in spots)
+        self.spots = tuple(spots)
+        self.seed = seed
+        self.name = "Randomized"
+
+    def decision_fraction(self, instance: ReservedInstance) -> float:
+        rng = np.random.default_rng((self.seed, instance.instance_id))
+        index = rng.choice(len(self.spots), p=self._probabilities)
+        return self.spots[int(index)]
+
+    def should_sell(self, working_hours: float, context: DecisionContext) -> bool:
+        return working_hours < context.beta
+
+
+class ScriptedSellingPolicy(SellingPolicy):
+    """Replays a precomputed sell schedule (instance id → sale hour).
+
+    Used by the offline optimum so its cost accounting goes through the
+    exact same simulator path as every online policy.
+    """
+
+    name = "Scripted"
+
+    def __init__(self, sale_hours: "dict[int, int]", name: str = "Scripted") -> None:
+        self.sale_hours = dict(sale_hours)
+        self.name = name
+
+    def decision_fraction(self, instance: ReservedInstance) -> "float | None":
+        hour = self.sale_hours.get(instance.instance_id)
+        if hour is None:
+            return None
+        return (hour - instance.reserved_at) / instance.period
+
+    def decision_hour(self, instance: ReservedInstance) -> "int | None":
+        return self.sale_hours.get(instance.instance_id)
+
+    def should_sell(self, working_hours: float, context: DecisionContext) -> bool:
+        return True
+
+
+def beta_for(
+    plan: PricingPlan, selling_discount: float, policy: SellingPolicy, phi: float
+) -> float:
+    """β for one decision; thin wrapper kept for symmetry with the paper."""
+    return break_even_working_hours(plan, selling_discount, phi)

@@ -1,0 +1,134 @@
+"""Portfolios: one user, many instance types.
+
+The paper's model treats each instance type independently (demand for a
+d2.xlarge cannot be served by an m4.large, and marketplace listings are
+per type), so a multi-type user is a collection of per-type simulations
+sharing the selling terms. :class:`Portfolio` packages that: one
+position per type, one policy across all of them, aggregate accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.account import CostBreakdown, CostModel, HourlyFeeMode
+from repro.core.policies import SellingPolicy
+from repro.core.simulator import SimulationResult, run_policy
+from repro.errors import SimulationError
+from repro.pricing.plan import PricingPlan
+from repro.purchasing.base import PurchasingAlgorithm
+from repro.purchasing.runner import imitate
+from repro.workload.base import DemandTrace, as_trace
+
+
+@dataclass(frozen=True)
+class Position:
+    """One instance type's demand and reservations within a portfolio."""
+
+    plan: PricingPlan
+    demands: DemandTrace
+    reservations: "object"  # per-hour counts, validated by the simulator
+
+    @classmethod
+    def imitated(
+        cls, plan: PricingPlan, demands, algorithm: PurchasingAlgorithm
+    ) -> "Position":
+        """Build a position by imitating the user's purchasing."""
+        schedule = imitate(demands, plan, algorithm)
+        return cls(plan=plan, demands=schedule.demands,
+                   reservations=schedule.reservations)
+
+
+@dataclass
+class PortfolioResult:
+    """Aggregate of the per-type simulation results."""
+
+    policy_name: str
+    per_type: dict[str, SimulationResult]
+    breakdown: CostBreakdown = field(init=False)
+
+    def __post_init__(self) -> None:
+        total = CostBreakdown()
+        for result in self.per_type.values():
+            total = total + result.breakdown
+        self.breakdown = total
+
+    @property
+    def total_cost(self) -> float:
+        return self.breakdown.total
+
+    @property
+    def instances_sold(self) -> int:
+        return sum(result.instances_sold for result in self.per_type.values())
+
+    def cost_of(self, instance_type: str) -> float:
+        """Total cost of one instance type's position."""
+        return self.per_type[instance_type].total_cost
+
+
+class Portfolio:
+    """A user's holdings across instance types."""
+
+    def __init__(
+        self,
+        selling_discount: float = 0.8,
+        marketplace_fee: float = 0.0,
+        fee_mode: HourlyFeeMode = HourlyFeeMode.ACTIVE,
+    ) -> None:
+        self.selling_discount = selling_discount
+        self.marketplace_fee = marketplace_fee
+        self.fee_mode = fee_mode
+        self._positions: dict[str, Position] = {}
+
+    def __len__(self) -> int:
+        return len(self._positions)
+
+    def __contains__(self, instance_type: str) -> bool:
+        return instance_type in self._positions
+
+    @property
+    def instance_types(self) -> list[str]:
+        return list(self._positions)
+
+    def add(self, position: Position) -> None:
+        """Register one instance type's position (plan must be named)."""
+        name = position.plan.name
+        if not name:
+            raise SimulationError("portfolio positions need a named plan")
+        if name in self._positions:
+            raise SimulationError(f"duplicate position for {name!r}")
+        self._positions[name] = position
+
+    def add_imitated(
+        self, plan: PricingPlan, demands, algorithm: PurchasingAlgorithm
+    ) -> None:
+        """Convenience: imitate purchasing and add the position."""
+        self.add(Position.imitated(plan, as_trace(demands), algorithm))
+
+    def model_for(self, instance_type: str) -> CostModel:
+        """The cost model applied to one position (shared terms)."""
+        position = self._positions[instance_type]
+        return CostModel(
+            plan=position.plan,
+            selling_discount=self.selling_discount,
+            marketplace_fee=self.marketplace_fee,
+            fee_mode=self.fee_mode,
+        )
+
+    def run(self, policy: SellingPolicy) -> PortfolioResult:
+        """Run one selling policy across every position."""
+        if not self._positions:
+            raise SimulationError("portfolio is empty")
+        per_type = {}
+        for name, position in self._positions.items():
+            per_type[name] = run_policy(
+                position.demands,
+                position.reservations,
+                self.model_for(name),
+                policy,
+            )
+        return PortfolioResult(policy_name=policy.name, per_type=per_type)
+
+    def compare(self, policies: "list[SellingPolicy]") -> dict[str, PortfolioResult]:
+        """Run several policies; returns {policy name: result}."""
+        return {policy.name: self.run(policy) for policy in policies}

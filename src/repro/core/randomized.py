@@ -1,0 +1,199 @@
+"""Randomized selling: the paper's future-work direction, made concrete.
+
+Section VII: "we would like to design a randomized online selling
+algorithm … we speculate that the randomized online selling algorithm
+will achieve a better possible competitive ratio." This module builds
+that algorithm in the proofs' single-instance model:
+
+* :func:`expected_online_cost` — the expected cost of drawing the
+  decision spot φ from a distribution over a spot menu, each spot then
+  applying Algorithm 1's break-even rule;
+* :func:`adversary_profiles` — the structured adversary family the
+  deterministic proofs implicitly optimise over (busy prefix of length
+  ``x0`` before the spot, busy block afterwards): all two-block
+  profiles on a grid;
+* :func:`worst_case_expected_ratio` — the randomized algorithm's
+  worst expected ratio against that family (OPT knows the profile but
+  not the realised spot — the oblivious-adversary model);
+* :func:`optimize_distribution` — a linear program (scipy) choosing the
+  spot probabilities minimising the worst-case expected ratio; the
+  classic ski-rental result suggests (and the tests confirm) that the
+  optimised mixture beats every deterministic spot on the same
+  adversary family.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.breakeven import PAPER_DECISION_FRACTIONS, validate_phi
+from repro.core.single import offline_single_cost, online_single_cost
+from repro.errors import PolicyError
+from repro.pricing.plan import PricingPlan
+
+
+@dataclass(frozen=True)
+class SpotDistribution:
+    """A probability distribution over decision spots."""
+
+    spots: tuple[float, ...]
+    probabilities: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.spots) != len(self.probabilities) or not self.spots:
+            raise PolicyError("spots and probabilities must align and be non-empty")
+        for phi in self.spots:
+            validate_phi(phi)
+        if any(p < -1e-12 for p in self.probabilities):
+            raise PolicyError("probabilities must be non-negative")
+        if abs(sum(self.probabilities) - 1.0) > 1e-9:
+            raise PolicyError(
+                f"probabilities must sum to 1, got {sum(self.probabilities)!r}"
+            )
+
+    @classmethod
+    def uniform(
+        cls, spots: tuple[float, ...] = PAPER_DECISION_FRACTIONS
+    ) -> "SpotDistribution":
+        return cls(tuple(spots), tuple(1.0 / len(spots) for _ in spots))
+
+    @classmethod
+    def deterministic(cls, phi: float) -> "SpotDistribution":
+        return cls((phi,), (1.0,))
+
+
+def expected_online_cost(
+    busy, plan: PricingPlan, selling_discount: float, distribution: SpotDistribution
+) -> float:
+    """Expected single-instance cost when φ is drawn from ``distribution``."""
+    total = 0.0
+    for phi, probability in zip(distribution.spots, distribution.probabilities):
+        if probability == 0.0:
+            continue
+        cost, _ = online_single_cost(busy, plan, selling_discount, phi)
+        total += probability * cost
+    return total
+
+
+def adversary_profiles(period: int, grid_step: "int | None" = None) -> list[np.ndarray]:
+    """Two-block busy profiles: busy on [0, k) and on [m, T), k ≤ m.
+
+    This family contains the proofs' worst cases (the x0/x1/x2 block
+    structure of Section IV-C) and is what the minimax LP optimises
+    against. ``grid_step`` controls resolution (default: T/24).
+    """
+    if period <= 0:
+        raise PolicyError(f"period must be positive, got {period!r}")
+    step = grid_step or max(period // 24, 1)
+    profiles = []
+    cuts = list(range(0, period + 1, step))
+    if cuts[-1] != period:
+        cuts.append(period)
+    hours = np.arange(period)
+    for k in cuts:
+        for m in cuts:
+            if m < k:
+                continue
+            profiles.append((hours < k) | (hours >= m))
+    return profiles
+
+
+def worst_case_expected_ratio(
+    plan: PricingPlan,
+    selling_discount: float,
+    distribution: SpotDistribution,
+    profiles: "list[np.ndarray] | None" = None,
+) -> float:
+    """Max over the adversary family of E[online] / OPT (oblivious OPT,
+    unrestricted sale instant)."""
+    profiles = profiles if profiles is not None else adversary_profiles(plan.period_hours)
+    worst = 0.0
+    for profile in profiles:
+        opt_cost, _ = offline_single_cost(profile, plan, selling_discount)
+        if opt_cost <= 0:
+            continue
+        expected = expected_online_cost(profile, plan, selling_discount, distribution)
+        worst = max(worst, expected / opt_cost)
+    return worst
+
+
+@dataclass(frozen=True)
+class RandomizedDesign:
+    """Output of the minimax optimisation."""
+
+    distribution: SpotDistribution
+    ratio: float  # the achieved worst-case expected ratio
+    deterministic_ratios: dict[float, float]  # spot -> its worst-case ratio
+
+    @property
+    def best_deterministic(self) -> float:
+        return min(self.deterministic_ratios.values())
+
+    @property
+    def improvement(self) -> float:
+        """Relative gain of the mixture over the best single spot."""
+        return 1.0 - self.ratio / self.best_deterministic
+
+
+def optimize_distribution(
+    plan: PricingPlan,
+    selling_discount: float,
+    spots: tuple[float, ...] = PAPER_DECISION_FRACTIONS,
+    profiles: "list[np.ndarray] | None" = None,
+) -> RandomizedDesign:
+    """Choose spot probabilities minimising the worst expected ratio.
+
+    Linear program: minimise ``t`` subject to, for every adversary
+    profile ``b``: Σ_i p_i · cost_i(b) ≤ t · OPT(b), Σ p_i = 1, p ≥ 0.
+    """
+    from scipy.optimize import linprog
+
+    for phi in spots:
+        validate_phi(phi)
+    profiles = profiles if profiles is not None else adversary_profiles(plan.period_hours)
+
+    costs = np.zeros((len(profiles), len(spots)))
+    opts = np.zeros(len(profiles))
+    for row, profile in enumerate(profiles):
+        opts[row], _ = offline_single_cost(profile, plan, selling_discount)
+        for col, phi in enumerate(spots):
+            costs[row, col], _ = online_single_cost(
+                profile, plan, selling_discount, phi
+            )
+    keep = opts > 0
+    costs, opts = costs[keep], opts[keep]
+
+    # Variables: [p_1 .. p_n, t]; minimise t.
+    n = len(spots)
+    objective = np.zeros(n + 1)
+    objective[-1] = 1.0
+    # cost_i(b) · p − OPT(b) · t <= 0 for every profile b.
+    a_ub = np.hstack([costs, -opts[:, None]])
+    b_ub = np.zeros(costs.shape[0])
+    a_eq = np.zeros((1, n + 1))
+    a_eq[0, :n] = 1.0
+    b_eq = np.array([1.0])
+    bounds = [(0.0, 1.0)] * n + [(0.0, None)]
+    solution = linprog(
+        objective, A_ub=a_ub, b_ub=b_ub, A_eq=a_eq, b_eq=b_eq, bounds=bounds,
+        method="highs",
+    )
+    if not solution.success:
+        raise PolicyError(f"minimax LP failed: {solution.message}")
+    probabilities = np.clip(solution.x[:n], 0.0, None)
+    probabilities = probabilities / probabilities.sum()
+    distribution = SpotDistribution(tuple(spots), tuple(probabilities))
+
+    deterministic = {
+        phi: worst_case_expected_ratio(
+            plan, selling_discount, SpotDistribution.deterministic(phi), profiles
+        )
+        for phi in spots
+    }
+    return RandomizedDesign(
+        distribution=distribution,
+        ratio=float(solution.x[-1]),
+        deterministic_ratios=deterministic,
+    )

@@ -1,0 +1,227 @@
+"""Competitive-ratio theory: the bounds of Propositions 1, 2a/2b, 3a/3b.
+
+The paper proves, for decision fraction φ and all standard (Linux,
+US-East) 1-year instances (which satisfy θ = p·T/R ∈ (1, 4) and α < 0.36):
+
+* **Case 1** (the instance was sold; worst at ε = 1)::
+
+      ratio < 1 + (1 − φ)·θ·(1 − α) − (1 − φ)·a          (Eqs. (22)/(37)/(46))
+
+  With the catalog-wide θ < 4 this yields the headline bounds
+  2 − α − a/4 (φ = 3/4), 3 − 2α − a/2 (φ = 1/2), 4 − 3α − 3a/4 (φ = 1/4).
+
+* **Case 2** (the instance was kept; worst at ε = φ)::
+
+      ratio < 1 / (1 − (1 − φ)·a)                          (Eqs. (31)/(41)/(50))
+
+  i.e. 4/(4−a), 2/(2−a), 4/(4−3a) for the three algorithms.
+
+The algorithm's competitive ratio is the larger of the two cases; the
+paper's case predicates (e.g. α + a/4 + 4/(4−a) ≤ 2 for ``A_{3T/4}``)
+decide which one binds. This module provides the general formulas, the
+paper's named forms, adversarial profile constructions approaching the
+Case-1/Case-2 worst cases, and a catalog-wide bounds table.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.breakeven import (
+    PHI_3T4,
+    PHI_T2,
+    PHI_T4,
+    break_even_working_hours,
+    validate_phi,
+)
+from repro.errors import PolicyError
+from repro.pricing.catalog import Catalog, default_catalog
+from repro.pricing.plan import PricingPlan
+
+#: The θ supremum the paper plugs in for the standard catalog.
+PAPER_THETA_SUP = 4.0
+
+
+def _validate_inputs(phi: float, alpha: float, a: float) -> None:
+    validate_phi(phi)
+    if not 0.0 <= alpha < 1.0:
+        raise PolicyError(f"alpha must lie in [0, 1), got {alpha!r}")
+    if not 0.0 <= a <= 1.0:
+        raise PolicyError(f"selling discount a must lie in [0, 1], got {a!r}")
+
+
+def case1_bound(phi: float, alpha: float, a: float, theta: float = PAPER_THETA_SUP) -> float:
+    """Case-1 bound: 1 + (1−φ)·θ·(1−α) − (1−φ)·a."""
+    _validate_inputs(phi, alpha, a)
+    if theta <= 0:
+        raise PolicyError(f"theta must be positive, got {theta!r}")
+    return 1.0 + (1.0 - phi) * theta * (1.0 - alpha) - (1.0 - phi) * a
+
+
+def case2_bound(phi: float, a: float) -> float:
+    """Case-2 bound: 1 / (1 − (1−φ)·a)."""
+    validate_phi(phi)
+    if not 0.0 <= a <= 1.0:
+        raise PolicyError(f"selling discount a must lie in [0, 1], got {a!r}")
+    return 1.0 / (1.0 - (1.0 - phi) * a)
+
+
+def case1_binds(phi: float, alpha: float, a: float, theta: float = PAPER_THETA_SUP) -> bool:
+    """The paper's case predicate: Case 2 is dominated by Case 1.
+
+    For φ = 3/4 and θ = 4 this is exactly "α + a/4 + 4/(4−a) ≤ 2"
+    (Section IV-C), and analogously for the other spots.
+    """
+    return case2_bound(phi, a) <= case1_bound(phi, alpha, a, theta)
+
+
+def competitive_ratio(
+    phi: float, alpha: float, a: float, theta: float = PAPER_THETA_SUP
+) -> float:
+    """The proved competitive ratio of ``A_{φT}``: max of the two cases."""
+    return max(case1_bound(phi, alpha, a, theta), case2_bound(phi, a))
+
+
+def competitive_ratio_for_plan(
+    plan: PricingPlan, a: float, phi: float, use_paper_theta: bool = True
+) -> float:
+    """Ratio for one concrete instance type.
+
+    ``use_paper_theta=True`` plugs in the catalog supremum θ = 4 (the
+    paper's headline numbers); ``False`` uses the plan's own θ (a tighter,
+    still valid bound per Eq. (21))."""
+    theta = PAPER_THETA_SUP if use_paper_theta else plan.theta
+    return competitive_ratio(phi, plan.alpha, a, theta)
+
+
+# ----------------------------------------------------------------------
+# The paper's named propositions
+# ----------------------------------------------------------------------
+
+
+def ratio_a_3t4(alpha: float, a: float) -> float:
+    """Proposition 1: ``A_{3T/4}`` is (2 − α − a/4)-competitive (when the
+    Case-1 predicate holds, which it does for the standard catalog)."""
+    return competitive_ratio(PHI_3T4, alpha, a)
+
+
+def ratio_a_t2(alpha: float, a: float) -> float:
+    """Propositions 2a/2b: ``A_{T/2}`` is (3 − 2α − a/2)- or
+    (2/(2−a))-competitive depending on the predicate."""
+    return competitive_ratio(PHI_T2, alpha, a)
+
+
+def ratio_a_t4(alpha: float, a: float) -> float:
+    """Propositions 3a/3b: ``A_{T/4}`` is (4 − 3α − 3a/4)- or
+    (4/(4−3a))-competitive depending on the predicate."""
+    return competitive_ratio(PHI_T4, alpha, a)
+
+
+def predicate_3t4(alpha: float, a: float) -> bool:
+    """The literal Section IV-C predicate: α + a/4 + 4/(4−a) ≤ 2."""
+    return alpha + a / 4.0 + 4.0 / (4.0 - a) <= 2.0
+
+
+def predicate_t2(alpha: float, a: float) -> bool:
+    """The literal Proposition 2a predicate: α + a/4 + 1/(2−a) ≤ 3/2."""
+    return alpha + a / 4.0 + 1.0 / (2.0 - a) <= 1.5
+
+
+def predicate_t4(alpha: float, a: float) -> bool:
+    """The literal Proposition 3a predicate: α + a/4 + 4/(12−9a) ≤ 4/3."""
+    return alpha + a / 4.0 + 4.0 / (12.0 - 9.0 * a) <= 4.0 / 3.0
+
+
+# ----------------------------------------------------------------------
+# Adversarial profiles (worst-case constructions of the proofs)
+# ----------------------------------------------------------------------
+
+
+def adversarial_case1_profile(
+    plan: PricingPlan, a: float, phi: float
+) -> np.ndarray:
+    """Busy profile approaching the Case-1 worst case.
+
+    Working time just *below* β before the decision spot (so the online
+    algorithm sells) and demand every hour afterwards (so ε = 1 is where
+    OPT lands and the on-demand penalty is maximal — Eq. (19) ff.).
+    """
+    validate_phi(phi)
+    period = plan.period_hours
+    decision_age = round(phi * period)
+    beta = break_even_working_hours(plan, a, phi)
+    x0 = min(max(int(math.ceil(beta)) - 1, 0), decision_age)
+    profile = np.zeros(period, dtype=bool)
+    profile[:x0] = True  # x0 busy hours, then idle until the spot
+    profile[decision_age:] = True  # fully busy afterwards
+    return profile
+
+
+def adversarial_case2_profile(
+    plan: PricingPlan, a: float, phi: float
+) -> np.ndarray:
+    """Busy profile approaching the Case-2 worst case.
+
+    Working time just *above* β before the spot (so the online algorithm
+    keeps) and no demand afterwards (so OPT sells immediately at ε = φ —
+    Eq. (29) ff.).
+    """
+    validate_phi(phi)
+    period = plan.period_hours
+    decision_age = round(phi * period)
+    beta = break_even_working_hours(plan, a, phi)
+    x0 = min(int(math.floor(beta)) + 1, decision_age)
+    profile = np.zeros(period, dtype=bool)
+    profile[:x0] = True
+    return profile
+
+
+# ----------------------------------------------------------------------
+# Catalog-wide bounds table
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BoundRow:
+    """Proved bounds for one instance type at one decision spot."""
+
+    instance_type: str
+    phi: float
+    alpha: float
+    theta: float
+    case1: float
+    case2: float
+    ratio: float
+    case1_binds: bool
+
+
+def bounds_table(
+    a: float,
+    catalog: "Catalog | None" = None,
+    phis: "tuple[float, ...]" = (PHI_3T4, PHI_T2, PHI_T4),
+    use_paper_theta: bool = True,
+) -> list[BoundRow]:
+    """Proved competitive ratios for every catalog entry and spot."""
+    catalog = catalog or default_catalog()
+    rows = []
+    for name, plan in catalog.items():
+        theta = PAPER_THETA_SUP if use_paper_theta else plan.theta
+        for phi in phis:
+            one = case1_bound(phi, plan.alpha, a, theta)
+            two = case2_bound(phi, a)
+            rows.append(
+                BoundRow(
+                    instance_type=name,
+                    phi=phi,
+                    alpha=plan.alpha,
+                    theta=plan.theta,
+                    case1=one,
+                    case2=two,
+                    ratio=max(one, two),
+                    case1_binds=two <= one,
+                )
+            )
+    return rows

@@ -1,0 +1,151 @@
+"""The proofs' single-instance setting (Sections IV-A and IV-C).
+
+Every proposition in the paper reasons about *one* reserved instance and
+the demands it would serve: ``x0`` busy hours before the decision spot,
+``x1`` between the spot and the offline sale instant ε·T, ``x2`` after.
+Costs in the proofs bill the discounted hourly fee per *busy* hour and
+prorate the upfront (the ``ε·R`` terms of Eqs. (4)–(5)) — the
+``HourlyFeeMode.USAGE`` convention.
+
+This module computes, for an arbitrary busy profile over one period:
+
+* the online algorithm's cost (Eq. (15) / Eq. (25) depending on the case),
+* the offline optimum's cost over every sale instant (restricted to
+  ε ∈ [φ, 1] as in the proofs, or unrestricted),
+* their ratio — which the property tests compare against the proved
+  bounds of :mod:`repro.core.ratios`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.breakeven import break_even_working_hours, validate_phi
+from repro.errors import SimulationError
+from repro.pricing.plan import PricingPlan
+
+
+@dataclass(frozen=True)
+class SingleInstanceOutcome:
+    """Result of the single-instance online-vs-offline comparison."""
+
+    online_cost: float
+    offline_cost: float
+    online_sold: bool
+    offline_sell_hour: "int | None"
+    x0: int  # busy hours before the decision spot
+
+    @property
+    def ratio(self) -> float:
+        """Empirical competitive ratio (inf when OPT is zero-cost)."""
+        if self.offline_cost <= 0:
+            return math.inf
+        return self.online_cost / self.offline_cost
+
+
+def _validate_busy(busy, period: int) -> np.ndarray:
+    profile = np.asarray(busy).astype(bool)
+    if profile.ndim != 1 or profile.size != period:
+        raise SimulationError(
+            f"busy profile must be 1-D of length {period}, got shape {profile.shape}"
+        )
+    return profile
+
+
+def online_single_cost(
+    busy, plan: PricingPlan, selling_discount: float, phi: float
+) -> "tuple[float, bool]":
+    """Cost of ``A_{φT}`` on one instance, in the proof model.
+
+    Returns ``(cost, sold)``. If the working time ``x0`` before φT is
+    below β the instance is sold at φT (Eq. (15)); otherwise it is kept
+    (Eq. (25))."""
+    validate_phi(phi)
+    profile = _validate_busy(busy, plan.period_hours)
+    decision_age = round(phi * plan.period_hours)
+    x0 = int(profile[:decision_age].sum())
+    beta = break_even_working_hours(plan, selling_discount, phi)
+    alpha_p = plan.alpha * plan.on_demand_hourly
+    if x0 < beta:
+        residual = int(profile[decision_age:].sum())
+        income = (1.0 - phi) * selling_discount * plan.upfront
+        cost = (
+            plan.upfront
+            + alpha_p * x0
+            - income
+            + plan.on_demand_hourly * residual
+        )
+        return cost, True
+    return plan.upfront + alpha_p * int(profile.sum()), False
+
+
+def offline_single_cost(
+    busy,
+    plan: PricingPlan,
+    selling_discount: float,
+    min_age: "int | None" = None,
+) -> "tuple[float, int | None]":
+    """The offline optimum's cost on one instance, in the proof model.
+
+    Evaluates every sale age ``ts ∈ [min_age, T)`` (plus keeping) where
+    selling at age ``ts`` costs ``R + αp·busy[:ts] − (1 − ts/T)·a·R +
+    p·busy[ts:]``. ``min_age`` defaults to 1; the proofs restrict the
+    benchmark to ε ∈ [φ, 1], i.e. ``min_age = round(φT)``."""
+    profile = _validate_busy(busy, plan.period_hours)
+    period = plan.period_hours
+    if min_age is None:
+        min_age = 1
+    if not 1 <= min_age <= period:
+        raise SimulationError(f"min_age must lie in [1, {period}], got {min_age!r}")
+    alpha_p = plan.alpha * plan.on_demand_hourly
+    busy_int = profile.astype(np.int64)
+    prefix = np.concatenate(([0], np.cumsum(busy_int)))  # prefix[k] = busy[:k]
+    total = int(prefix[-1])
+    keep_cost = plan.upfront + alpha_p * total
+
+    ages = np.arange(min_age, period)
+    if ages.size == 0:
+        return keep_cost, None
+    incomes = (1.0 - ages / period) * selling_discount * plan.upfront
+    sell_costs = (
+        plan.upfront
+        + alpha_p * prefix[ages]
+        - incomes
+        + plan.on_demand_hourly * (total - prefix[ages])
+    )
+    best = int(np.argmin(sell_costs))
+    if sell_costs[best] < keep_cost:
+        return float(sell_costs[best]), int(ages[best])
+    return keep_cost, None
+
+
+def compare_single_instance(
+    busy,
+    plan: PricingPlan,
+    selling_discount: float,
+    phi: float,
+    restrict_offline: bool = True,
+) -> SingleInstanceOutcome:
+    """Run both the online algorithm and OPT on one busy profile.
+
+    ``restrict_offline=True`` matches the proofs (OPT sells no earlier
+    than the online decision spot); ``False`` gives OPT the full range.
+    """
+    validate_phi(phi)
+    profile = _validate_busy(busy, plan.period_hours)
+    decision_age = round(phi * plan.period_hours)
+    online_cost, sold = online_single_cost(profile, plan, selling_discount, phi)
+    min_age = decision_age if restrict_offline else 1
+    offline_cost, sell_hour = offline_single_cost(
+        profile, plan, selling_discount, min_age=max(min_age, 1)
+    )
+    return SingleInstanceOutcome(
+        online_cost=online_cost,
+        offline_cost=offline_cost,
+        online_sold=sold,
+        offline_sell_hour=sell_hour,
+        x0=int(profile[:decision_age].sum()),
+    )

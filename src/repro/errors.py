@@ -1,0 +1,52 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one base class. Subclasses are grouped by subsystem:
+pricing, workload, simulation, marketplace, and experiment configuration.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class PricingError(ReproError):
+    """Invalid pricing parameters (negative rates, discount out of range)."""
+
+
+class UnknownInstanceTypeError(PricingError):
+    """An instance type was requested that is not in the catalog."""
+
+    def __init__(self, instance_type: str) -> None:
+        super().__init__(f"unknown instance type: {instance_type!r}")
+        self.instance_type = instance_type
+
+
+class WorkloadError(ReproError):
+    """Invalid workload trace or generator configuration."""
+
+
+class TraceLengthError(WorkloadError):
+    """A demand trace is shorter than the simulation requires."""
+
+
+class SimulationError(ReproError):
+    """Inconsistent simulation state or invalid simulation input."""
+
+
+class PolicyError(SimulationError):
+    """Invalid selling/purchasing policy configuration."""
+
+
+class MarketplaceError(ReproError):
+    """Invalid marketplace operation (bad listing, double sale...)."""
+
+
+class ListingError(MarketplaceError):
+    """A listing violates the marketplace rules (e.g. above prorated cap)."""
+
+
+class ExperimentError(ReproError):
+    """Invalid experiment configuration."""

@@ -1,0 +1,199 @@
+"""Ablations over the design choices DESIGN.md calls out.
+
+Not figures from the paper, but the sensitivity studies its design
+implies:
+
+* **selling-discount sweep** — how the savings of each algorithm move
+  with the seller's ``a`` (the paper fixes one value; Eq. (1)'s income is
+  linear in it, the decisions are not: β scales with ``a`` too);
+* **decision-fraction sweep** — the generalised ``A_{φT}`` over a φ grid,
+  probing the paper's future-work question of arbitrary spots (including
+  the randomized-spot policy);
+* **marketplace-fee sweep** — Eq. (1) books income gross of Amazon's 12%
+  cut; this quantifies what explicit fees change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.core.fastsim import FastPolicyKind, run_fast
+from repro.core.policies import RandomizedSellingPolicy
+from repro.core.simulator import run_policy
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.population import ExperimentUser, build_experiment_population
+
+#: Default sweeps.
+DISCOUNT_GRID = (0.2, 0.4, 0.6, 0.8, 1.0)
+PHI_GRID = (0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875)
+FEE_GRID = (0.0, 0.12, 0.25)
+THRESHOLD_GRID = (0.5, 1.0, 1.5, 2.0)
+
+
+@dataclass(frozen=True)
+class AblationResult:
+    config: ExperimentConfig
+    discount_sweep: dict[float, dict[str, float]]  # a -> policy -> mean norm. cost
+    phi_sweep: dict[float, float]  # phi -> mean normalized cost
+    randomized_mean: float  # randomized-spot policy, mean normalized cost
+    fee_sweep: dict[float, dict[str, float]]  # fee -> policy -> mean norm. cost
+    threshold_sweep: dict[float, float]  # beta scale -> mean norm. cost (A_{3T/4})
+    coupling: dict[str, float]  # decoupled vs coupled mean norm. cost (A_{T/4})
+
+
+def _mean_normalized(
+    users: "list[ExperimentUser]",
+    model,
+    phi: float,
+    kind: FastPolicyKind = FastPolicyKind.ONLINE,
+) -> float:
+    """Mean over users of (policy cost / keep cost)."""
+    ratios = []
+    for user in users:
+        d = user.schedule.demands.values
+        n = user.schedule.reservations
+        keep = run_fast(d, n, model, kind=FastPolicyKind.KEEP_RESERVED).total_cost
+        if keep <= 0:
+            continue
+        cost = run_fast(d, n, model, phi=phi, kind=kind).total_cost
+        ratios.append(cost / keep)
+    return float(np.mean(ratios))
+
+
+def run(config: ExperimentConfig, users: "list[ExperimentUser] | None" = None) -> AblationResult:
+    if users is None:
+        users = build_experiment_population(config)
+
+    discount_sweep = {}
+    for a in DISCOUNT_GRID:
+        model = config.scaled(selling_discount=a).cost_model()
+        discount_sweep[a] = {
+            "A_{3T/4}": _mean_normalized(users, model, 0.75),
+            "A_{T/2}": _mean_normalized(users, model, 0.5),
+            "A_{T/4}": _mean_normalized(users, model, 0.25),
+        }
+
+    model = config.cost_model()
+    phi_sweep = {phi: _mean_normalized(users, model, phi) for phi in PHI_GRID}
+
+    randomized = RandomizedSellingPolicy(seed=config.seed)
+    ratios = []
+    for user in users:
+        d = user.schedule.demands.values
+        n = user.schedule.reservations
+        keep = run_fast(d, n, model, kind=FastPolicyKind.KEEP_RESERVED).total_cost
+        if keep <= 0:
+            continue
+        cost = run_policy(user.schedule.demands, n, model, randomized).total_cost
+        ratios.append(cost / keep)
+    randomized_mean = float(np.mean(ratios))
+
+    fee_sweep = {}
+    for fee in FEE_GRID:
+        fee_model = config.scaled(marketplace_fee=fee).cost_model()
+        fee_sweep[fee] = {
+            "A_{3T/4}": _mean_normalized(users, fee_model, 0.75),
+            "A_{T/2}": _mean_normalized(users, fee_model, 0.5),
+            "A_{T/4}": _mean_normalized(users, fee_model, 0.25),
+        }
+
+    # Sensitivity of Algorithm 1's "sell iff working < beta" threshold.
+    threshold_sweep = {}
+    for scale in THRESHOLD_GRID:
+        ratios = []
+        for user in users:
+            d = user.schedule.demands.values
+            n = user.schedule.reservations
+            keep = run_fast(d, n, model, kind=FastPolicyKind.KEEP_RESERVED).total_cost
+            if keep <= 0:
+                continue
+            cost = run_fast(d, n, model, phi=0.75, threshold_scale=scale).total_cost
+            ratios.append(cost / keep)
+        threshold_sweep[scale] = float(np.mean(ratios))
+
+    # Coupled purchasing (re-buying after sales) vs the paper's decoupled
+    # pipeline, for A_{T/4} where the most gets sold.
+    from repro.core.coupled import run_coupled
+    from repro.core.policies import OnlineSellingPolicy
+    from repro.purchasing.runner import paper_imitators
+    from repro.purchasing.stepper import stepper_for
+
+    imitators = {a.name: a for a in paper_imitators(seed=config.seed)}
+    decoupled_ratios, coupled_ratios = [], []
+    plan = config.plan()
+    for user in users:
+        d = user.schedule.demands.values
+        n = user.schedule.reservations
+        keep = run_fast(d, n, model, kind=FastPolicyKind.KEEP_RESERVED).total_cost
+        if keep <= 0:
+            continue
+        decoupled_ratios.append(run_fast(d, n, model, phi=0.25).total_cost / keep)
+        stepper = stepper_for(imitators[user.imitator_name], plan)
+        coupled = run_coupled(
+            user.schedule.demands, stepper, model, OnlineSellingPolicy.a_t4()
+        )
+        coupled_ratios.append(coupled.total_cost / keep)
+    coupling = {
+        "decoupled": float(np.mean(decoupled_ratios)),
+        "coupled": float(np.mean(coupled_ratios)),
+    }
+
+    return AblationResult(
+        config=config,
+        discount_sweep=discount_sweep,
+        phi_sweep=phi_sweep,
+        randomized_mean=randomized_mean,
+        fee_sweep=fee_sweep,
+        threshold_sweep=threshold_sweep,
+        coupling=coupling,
+    )
+
+
+def render(result: AblationResult) -> str:
+    pieces = ["Ablations — mean cost normalized to Keep-Reserved"]
+
+    headers = ["a", "A_{3T/4}", "A_{T/2}", "A_{T/4}"]
+    rows = [
+        [a, row["A_{3T/4}"], row["A_{T/2}"], row["A_{T/4}"]]
+        for a, row in result.discount_sweep.items()
+    ]
+    pieces.append("")
+    pieces.append(format_table(headers, rows, title="selling-discount sweep"))
+
+    headers = ["phi", "mean normalized cost"]
+    rows = [[f"{phi:g}", value] for phi, value in result.phi_sweep.items()]
+    pieces.append("")
+    pieces.append(
+        format_table(headers, rows, title="decision-fraction sweep (A_{phi*T})")
+    )
+    pieces.append(
+        f"randomized-spot policy (future work): {result.randomized_mean:.4f}"
+    )
+
+    headers = ["fee", "A_{3T/4}", "A_{T/2}", "A_{T/4}"]
+    rows = [
+        [fee, row["A_{3T/4}"], row["A_{T/2}"], row["A_{T/4}"]]
+        for fee, row in result.fee_sweep.items()
+    ]
+    pieces.append("")
+    pieces.append(format_table(headers, rows, title="marketplace-fee sweep"))
+
+    headers = ["beta scale", "mean normalized cost (A_{3T/4})"]
+    rows = [[scale, value] for scale, value in result.threshold_sweep.items()]
+    pieces.append("")
+    pieces.append(
+        format_table(headers, rows, title="break-even threshold sensitivity")
+    )
+
+    pieces.append("")
+    pieces.append(
+        format_table(
+            ["pipeline", "mean normalized cost (A_{T/4})"],
+            [[name, value] for name, value in result.coupling.items()],
+            title="coupled purchasing (re-buy after sales) vs decoupled",
+        )
+    )
+    return "\n".join(pieces)

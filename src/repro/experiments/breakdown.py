@@ -1,0 +1,134 @@
+"""Savings breakdown by purchasing behaviour (diagnostic experiment).
+
+Section VI-A imitates reservation behaviour with four algorithms but the
+paper never reports results *per imitator*. This experiment does: mean
+normalized cost per (imitator × policy) plus the Eq. (1) flow
+decomposition (income / avoided fees / extra on-demand) aggregated per
+imitator — answering which kind of user the marketplace actually helps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.diagnostics import decompose_savings
+from repro.analysis.tables import format_table
+from repro.core.policies import KeepReservedPolicy, OnlineSellingPolicy
+from repro.core.simulator import run_policy
+from repro.errors import ExperimentError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.population import ExperimentUser, build_experiment_population
+from repro.experiments.runner import ONLINE_POLICIES
+
+
+@dataclass(frozen=True)
+class ImitatorRow:
+    """Aggregates for one purchasing behaviour."""
+
+    imitator: str
+    users: int
+    reservations_per_user: float
+    mean_normalized: dict[str, float]  # policy -> mean normalized cost
+    income_share: float  # share of A_{T/4} saving from marketplace income
+    fee_share: float  # share from avoided reserved-hourly fees
+
+
+@dataclass(frozen=True)
+class BreakdownResult:
+    config: ExperimentConfig
+    rows: list[ImitatorRow]
+
+    def row(self, imitator: str) -> ImitatorRow:
+        """Look one imitator's aggregates up by name."""
+        for row in self.rows:
+            if row.imitator == imitator:
+                return row
+        raise ExperimentError(f"no imitator {imitator!r} in the breakdown")
+
+
+def run(
+    config: ExperimentConfig,
+    users: "list[ExperimentUser] | None" = None,
+) -> BreakdownResult:
+    """Aggregate savings per purchasing imitator."""
+    if users is None:
+        users = build_experiment_population(config)
+    model = config.cost_model()
+    by_imitator: dict[str, list[ExperimentUser]] = {}
+    for user in users:
+        by_imitator.setdefault(user.imitator_name, []).append(user)
+
+    rows = []
+    for imitator, members in sorted(by_imitator.items()):
+        normalized: dict[str, list[float]] = {name: [] for name in ONLINE_POLICIES}
+        income_total = 0.0
+        fees_total = 0.0
+        saving_total = 0.0
+        for user in members:
+            demands = user.schedule.demands
+            reservations = user.schedule.reservations
+            keep = run_policy(demands, reservations, model, KeepReservedPolicy())
+            if keep.total_cost <= 0:
+                continue
+            for name, phi in ONLINE_POLICIES.items():
+                result = run_policy(
+                    demands, reservations, model, OnlineSellingPolicy(phi)
+                )
+                normalized[name].append(result.total_cost / keep.total_cost)
+                if name == "A_{T/4}":
+                    waterfall = decompose_savings(keep, result)
+                    income_total += waterfall.sale_income
+                    fees_total += waterfall.avoided_reserved_fees
+                    saving_total += waterfall.saving
+        if not normalized["A_{T/4}"]:
+            continue
+        gross_gain = income_total + fees_total
+        rows.append(
+            ImitatorRow(
+                imitator=imitator,
+                users=len(members),
+                reservations_per_user=float(
+                    np.mean([user.schedule.total_reserved for user in members])
+                ),
+                mean_normalized={
+                    name: float(np.mean(values))
+                    for name, values in normalized.items()
+                },
+                income_share=income_total / gross_gain if gross_gain else 0.0,
+                fee_share=fees_total / gross_gain if gross_gain else 0.0,
+            )
+        )
+    if not rows:
+        raise ExperimentError("no imitator had users with positive keep cost")
+    return BreakdownResult(config=config, rows=rows)
+
+
+def render(result: BreakdownResult) -> str:
+    headers = [
+        "Imitator", "users", "RIs/user",
+        "A_{3T/4}", "A_{T/2}", "A_{T/4}",
+        "income share", "fee share",
+    ]
+    rows = []
+    for row in result.rows:
+        rows.append([
+            row.imitator,
+            row.users,
+            row.reservations_per_user,
+            row.mean_normalized["A_{3T/4}"],
+            row.mean_normalized["A_{T/2}"],
+            row.mean_normalized["A_{T/4}"],
+            f"{row.income_share:.0%}",
+            f"{row.fee_share:.0%}",
+        ])
+    return format_table(
+        headers,
+        rows,
+        float_format="{:.3f}",
+        title=(
+            "Savings by purchasing behaviour (mean normalized cost; "
+            "gross-gain shares for A_{T/4})"
+        ),
+    )

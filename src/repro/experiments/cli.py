@@ -1,0 +1,144 @@
+"""Command-line entry point: regenerate any table or figure.
+
+Usage::
+
+    repro-experiments table1
+    repro-experiments fig3 --scale quick
+    repro-experiments all --scale paper --seed 7
+    python -m repro fig4
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments import (
+    ablations,
+    breakdown,
+    fig1,
+    optgap,
+    fig2,
+    fig3,
+    fig4,
+    stability,
+    table1,
+    table2,
+    table3,
+    theory,
+)
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_sweep
+
+_SCALES = {
+    "quick": ExperimentConfig.quick,
+    "default": ExperimentConfig.default,
+    "paper": ExperimentConfig.paper_scale,
+}
+
+#: Experiments that consume a shared population sweep.
+_SWEEP_EXPERIMENTS = ("fig3", "fig4", "table2", "table3")
+
+_ALL = ("table1", "fig1", "fig2", "fig3", "fig4", "table2", "table3", "theory", "ablations")
+
+#: Extra experiments not part of ``all`` (opt-in: slower or exploratory).
+_EXTRA = ("stability", "optgap", "breakdown")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Regenerate the tables and figures of 'To Sell or Not To Sell' "
+            "(ICDCS 2018)"
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=(*_ALL, *_EXTRA, "all"),
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=sorted(_SCALES),
+        default="default",
+        help="experiment scale preset (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=2018, help="population seed (default: %(default)s)"
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="also write each report to DIR/<experiment>.txt",
+    )
+    return parser
+
+
+def run_experiment(name: str, config: ExperimentConfig, sweep=None) -> str:
+    """Run one experiment by name and return its rendered report."""
+    if name == "table1":
+        return table1.render(table1.run())
+    if name == "fig1":
+        return fig1.render(fig1.run(config))
+    if name == "fig2":
+        return fig2.render(fig2.run(config))
+    if name == "theory":
+        return theory.render(theory.run(config))
+    if name == "ablations":
+        return ablations.render(ablations.run(config))
+    if name == "stability":
+        return stability.render(stability.run(config))
+    if name == "optgap":
+        return optgap.render(optgap.run(config))
+    if name == "breakdown":
+        return breakdown.render(breakdown.run(config))
+    if name in _SWEEP_EXPERIMENTS:
+        if sweep is None:
+            sweep = run_sweep(config)
+        module = {"fig3": fig3, "fig4": fig4, "table2": table2, "table3": table3}[name]
+        return module.render(module.run(config, sweep=sweep))
+    raise ValueError(f"unknown experiment {name!r}")
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    config = _SCALES[args.scale](seed=args.seed)
+    names = _ALL if args.experiment == "all" else (args.experiment,)
+    sweep = None
+    if any(name in _SWEEP_EXPERIMENTS for name in names):
+        started = time.time()
+        print(
+            f"running population sweep ({config.total_users} users, "
+            f"T={config.period_hours}h, horizon={config.horizon}h)...",
+            file=sys.stderr,
+        )
+        sweep = run_sweep(config)
+        print(f"sweep done in {time.time() - started:.1f}s", file=sys.stderr)
+    if args.output is not None:
+        args.output.mkdir(parents=True, exist_ok=True)
+    for name in names:
+        report = run_experiment(name, config, sweep=sweep)
+        print(f"\n{'=' * 72}\n{name}\n{'=' * 72}")
+        print(report)
+        if args.output is not None:
+            (args.output / f"{name}.txt").write_text(report + "\n")
+            documents: dict[str, str] = {}
+            if name in ("fig3", "fig4") and sweep is not None:
+                module = {"fig3": fig3, "fig4": fig4}[name]
+                documents = module.to_svg(module.run(config, sweep=sweep))
+            elif name == "fig2":
+                documents = fig2.to_svg(fig2.run(config))
+            elif name == "fig1":
+                documents = fig1.to_svg(fig1.run(config))
+            for file_name, document in documents.items():
+                (args.output / file_name).write_text(document + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,116 @@
+"""Figure 2: demand-fluctuation statistics (σ/μ) of the three user groups.
+
+The paper's Fig. 2 shows the σ/μ distribution of the 300 selected users,
+grouped into stable (< 1), slightly fluctuating (1–3), and highly
+fluctuating (> 3). We regenerate it from the synthesized population:
+per-group σ/μ summaries plus an ASCII histogram.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.ascii_plots import ascii_histogram
+from repro.analysis.tables import format_table
+from repro.experiments.config import ExperimentConfig
+from repro.workload.groups import (
+    FluctuationGroup,
+    UserWorkload,
+    build_population,
+    population_by_group,
+)
+from repro.workload.stats import summarize_cvs
+
+
+@dataclass(frozen=True)
+class Fig2Result:
+    """σ/μ summaries per group plus the raw values."""
+
+    config: ExperimentConfig
+    per_group: dict[FluctuationGroup, dict[str, float]]
+    cvs: dict[FluctuationGroup, list[float]]
+
+    def all_in_band(self) -> bool:
+        """Whether every user's σ/μ falls inside its group's band —
+        the property Fig. 2 visualises."""
+        return all(
+            group.contains(cv)
+            for group, values in self.cvs.items()
+            for cv in values
+        )
+
+
+def run(
+    config: ExperimentConfig,
+    population: "list[UserWorkload] | None" = None,
+) -> Fig2Result:
+    """Compute the Fig. 2 statistics for the configured population."""
+    if population is None:
+        population = build_population(
+            users_per_group=config.users_per_group,
+            horizon=config.horizon,
+            seed=config.seed,
+            mean_demand=config.mean_demand,
+        )
+    grouped = population_by_group(population)
+    per_group = {}
+    cvs = {}
+    for group, users in grouped.items():
+        values = [user.cv for user in users]
+        cvs[group] = values
+        per_group[group] = summarize_cvs([user.trace for user in users])
+    return Fig2Result(config=config, per_group=per_group, cvs=cvs)
+
+
+def to_svg(result: Fig2Result) -> dict[str, str]:
+    """SVG histograms of the per-group σ/μ distributions."""
+    from repro.analysis.svgplot import SERIES_COLORS, svg_histogram
+
+    documents = {}
+    for index, (group, values) in enumerate(result.cvs.items()):
+        letter = chr(ord("a") + index)
+        documents[f"fig2{letter}.svg"] = svg_histogram(
+            values,
+            title=f"Fig. 2({letter}) — sigma/mu of the {group.value} group",
+            color=SERIES_COLORS[index % len(SERIES_COLORS)],
+        )
+    return documents
+
+
+def render(result: Fig2Result) -> str:
+    """Text rendition of Fig. 2."""
+    headers = ["Group", "band", "users", "min", "median", "mean", "max"]
+    bands = {
+        FluctuationGroup.STABLE: "sigma/mu < 1",
+        FluctuationGroup.MODERATE: "1 < sigma/mu < 3",
+        FluctuationGroup.BURSTY: "sigma/mu > 3",
+    }
+    rows = []
+    for group, stats in result.per_group.items():
+        rows.append(
+            [
+                group.value,
+                bands[group],
+                int(stats["count"]),
+                stats["min"],
+                stats["median"],
+                stats["mean"],
+                stats["max"],
+            ]
+        )
+    pieces = [
+        format_table(
+            headers,
+            rows,
+            float_format="{:.3f}",
+            title="Fig. 2 — demand fluctuation (sigma/mu) per user group",
+        )
+    ]
+    for group, values in result.cvs.items():
+        pieces.append(f"\n{group.value} group sigma/mu histogram:")
+        pieces.append(ascii_histogram(values, bins=10, width=40))
+    pieces.append(
+        "\nall users inside their group band: "
+        + ("yes" if result.all_in_band() else "NO")
+    )
+    return "\n".join(pieces)

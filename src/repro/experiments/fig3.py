@@ -1,0 +1,98 @@
+"""Figure 3: each online algorithm vs All-Selling and Keep-Reserved.
+
+The paper's Fig. 3 has one panel per online algorithm, showing the CDF of
+per-user cost (normalised to Keep-Reserved) for the algorithm and its two
+benchmarks, over all 300 users. The §VI-B headline claims we check for:
+
+* switching from Keep-Reserved to ``A_{3T/4}`` saves money for >60% of
+  users, with ~1% losing slightly;
+* ``A_{T/2}``: >70% save, ~40% save more than 20%, ~3% lose;
+* ``A_{T/4}``: >75% save, >40% save more than 30%, ~5% lose — the
+  largest savings and the largest losing tail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.ascii_plots import ascii_cdf
+from repro.analysis.summary import SavingsSummary
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import (
+    ALL_SELLING_POLICIES,
+    ONLINE_POLICIES,
+    POLICY_ALL_3T4,
+    POLICY_ALL_T2,
+    POLICY_ALL_T4,
+    POLICY_KEEP,
+    SweepResult,
+    run_sweep,
+)
+
+#: Panel layout: online policy -> its All-Selling benchmark.
+PANELS: dict[str, str] = {
+    "A_{3T/4}": POLICY_ALL_3T4,
+    "A_{T/2}": POLICY_ALL_T2,
+    "A_{T/4}": POLICY_ALL_T4,
+}
+
+
+@dataclass(frozen=True)
+class Fig3Result:
+    """Normalised cost samples and summaries per panel."""
+
+    config: ExperimentConfig
+    panels: dict[str, dict[str, "list[float]"]]  # panel -> series -> samples
+    summaries: dict[str, SavingsSummary]  # policy -> headline stats
+
+
+def run(config: ExperimentConfig, sweep: "SweepResult | None" = None) -> Fig3Result:
+    """Run (or reuse) the sweep and assemble the three panels."""
+    if sweep is None:
+        sweep = run_sweep(config)
+    normalized = sweep.normalized()
+    panels = {}
+    summaries = {}
+    for online_name, all_selling_name in PANELS.items():
+        panels[online_name] = {
+            online_name: normalized[online_name].tolist(),
+            all_selling_name: normalized[all_selling_name].tolist(),
+            POLICY_KEEP: normalized[POLICY_KEEP].tolist(),
+        }
+        summaries[online_name] = SavingsSummary.of(normalized[online_name])
+    return Fig3Result(config=config, panels=panels, summaries=summaries)
+
+
+def render(result: Fig3Result) -> str:
+    """Text rendition of the three Fig. 3 panels."""
+    pieces = ["Fig. 3 — cost CDFs normalized to Keep-Reserved (all users)"]
+    for index, (panel_name, series) in enumerate(result.panels.items()):
+        pieces.append(f"\n(panel {chr(ord('a') + index)}) {panel_name}:")
+        pieces.append(ascii_cdf(series, width=64, height=16))
+        pieces.append("  " + result.summaries[panel_name].describe())
+    return "\n".join(pieces)
+
+
+def to_svg(result: Fig3Result) -> dict[str, str]:
+    """SVG documents of the three panels, keyed by file name."""
+    from repro.analysis.svgplot import svg_cdf
+
+    documents = {}
+    for index, (panel_name, series) in enumerate(result.panels.items()):
+        letter = chr(ord("a") + index)
+        documents[f"fig3{letter}.svg"] = svg_cdf(
+            series,
+            title=f"Fig. 3({letter}) — {panel_name} vs benchmarks",
+        )
+    return documents
+
+
+# Re-exported so benches can assert the paper's headline shape directly.
+__all__ = [
+    "Fig3Result",
+    "run",
+    "render",
+    "PANELS",
+    "ONLINE_POLICIES",
+    "ALL_SELLING_POLICIES",
+]

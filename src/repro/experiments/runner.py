@@ -1,0 +1,204 @@
+"""The policy sweep: every user × every policy, via the fast engine.
+
+This is the computation behind Figs. 3/4 and Tables II/III: for each user
+of the population, run the three online selling algorithms, the two
+benchmarks (Keep-Reserved, All-Selling at each decision spot), and
+optionally the offline optimum, then collect per-user total costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+import numpy as np
+
+from repro.analysis.normalize import KEEP_RESERVED, normalize_costs
+from repro.core.breakeven import PHI_3T4, PHI_T2, PHI_T4
+from repro.core.fastsim import FastPolicyKind, run_fast
+from repro.core.offline import run_offline_optimal
+from repro.errors import ExperimentError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.population import ExperimentUser, build_experiment_population
+from repro.workload.groups import FluctuationGroup
+
+#: Canonical policy names used across all experiment outputs.
+POLICY_A_3T4 = "A_{3T/4}"
+POLICY_A_T2 = "A_{T/2}"
+POLICY_A_T4 = "A_{T/4}"
+POLICY_KEEP = KEEP_RESERVED
+POLICY_ALL_3T4 = "All-Selling@3T/4"
+POLICY_ALL_T2 = "All-Selling@T/2"
+POLICY_ALL_T4 = "All-Selling@T/4"
+POLICY_OPT = "OPT"
+
+#: The three online algorithms with their decision fractions.
+ONLINE_POLICIES: dict[str, float] = {
+    POLICY_A_3T4: PHI_3T4,
+    POLICY_A_T2: PHI_T2,
+    POLICY_A_T4: PHI_T4,
+}
+
+#: The All-Selling benchmark at each spot.
+ALL_SELLING_POLICIES: dict[str, float] = {
+    POLICY_ALL_3T4: PHI_3T4,
+    POLICY_ALL_T2: PHI_T2,
+    POLICY_ALL_T4: PHI_T4,
+}
+
+
+@dataclass(frozen=True)
+class UserOutcome:
+    """All policies' results for one user."""
+
+    user_id: str
+    group: FluctuationGroup
+    cv: float
+    imitator: str
+    instances_reserved: int
+    costs: dict[str, float]
+    instances_sold: dict[str, int]
+
+
+@dataclass
+class SweepResult:
+    """The full population × policy cost matrix plus metadata."""
+
+    config: ExperimentConfig
+    outcomes: list[UserOutcome]
+    policy_names: list[str] = field(init=False)
+
+    def __post_init__(self) -> None:
+        if not self.outcomes:
+            raise ExperimentError("a sweep produced no outcomes")
+        self.policy_names = list(self.outcomes[0].costs)
+
+    # ------------------------------------------------------------------
+
+    def costs_matrix(self) -> dict[str, np.ndarray]:
+        """Per-policy vectors of per-user total costs (user order fixed)."""
+        return {
+            name: np.array([outcome.costs[name] for outcome in self.outcomes])
+            for name in self.policy_names
+        }
+
+    def normalized(self) -> dict[str, np.ndarray]:
+        """Costs normalised to Keep-Reserved (the paper's presentation)."""
+        return normalize_costs(self.costs_matrix(), baseline=POLICY_KEEP)
+
+    def group_labels(self) -> np.ndarray:
+        """Each user's fluctuation-group label, in user order."""
+        return np.array([outcome.group.value for outcome in self.outcomes])
+
+    def select(self, group: FluctuationGroup) -> "SweepResult":
+        """Sub-sweep containing one fluctuation group."""
+        subset = [outcome for outcome in self.outcomes if outcome.group is group]
+        if not subset:
+            raise ExperimentError(f"no users in group {group.value!r}")
+        return SweepResult(config=self.config, outcomes=subset)
+
+    def user(self, user_id: str) -> UserOutcome:
+        """Look one user's outcome up by id."""
+        for outcome in self.outcomes:
+            if outcome.user_id == user_id:
+                return outcome
+        raise ExperimentError(f"no user {user_id!r} in the sweep")
+
+    def to_csv(self, path) -> None:
+        """Export the per-user results as CSV (one row per user).
+
+        Columns: user metadata, then each policy's absolute and
+        normalized cost — the raw material of Figs. 3/4 and Tables
+        II/III, for external plotting tools.
+        """
+        import csv
+
+        normalized = self.normalized()
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            header = ["user_id", "group", "sigma_mu", "imitator", "reserved"]
+            for name in self.policy_names:
+                header.extend([f"cost:{name}", f"normalized:{name}"])
+            writer.writerow(header)
+            for index, outcome in enumerate(self.outcomes):
+                row = [
+                    outcome.user_id,
+                    outcome.group.value,
+                    f"{outcome.cv:.4f}",
+                    outcome.imitator,
+                    outcome.instances_reserved,
+                ]
+                for name in self.policy_names:
+                    row.append(f"{outcome.costs[name]:.4f}")
+                    row.append(f"{normalized[name][index]:.6f}")
+                writer.writerow(row)
+
+
+def run_user(
+    user: ExperimentUser,
+    config: ExperimentConfig,
+    include_opt: bool = False,
+    include_all_selling: bool = True,
+) -> UserOutcome:
+    """Run every policy for one user."""
+    model = config.cost_model()
+    demands = user.schedule.demands.values
+    reservations = user.schedule.reservations
+    costs: dict[str, float] = {}
+    sold: dict[str, int] = {}
+
+    keep = run_fast(demands, reservations, model, kind=FastPolicyKind.KEEP_RESERVED)
+    costs[POLICY_KEEP] = keep.total_cost
+    sold[POLICY_KEEP] = 0
+
+    for name, phi in ONLINE_POLICIES.items():
+        result = run_fast(demands, reservations, model, phi=phi)
+        costs[name] = result.total_cost
+        sold[name] = result.instances_sold
+
+    if include_all_selling:
+        for name, phi in ALL_SELLING_POLICIES.items():
+            result = run_fast(
+                demands, reservations, model, phi=phi, kind=FastPolicyKind.ALL_SELLING
+            )
+            costs[name] = result.total_cost
+            sold[name] = result.instances_sold
+
+    if include_opt:
+        result = run_offline_optimal(user.schedule.demands, reservations, model)
+        costs[POLICY_OPT] = result.total_cost
+        sold[POLICY_OPT] = result.instances_sold
+
+    return UserOutcome(
+        user_id=user.user_id,
+        group=user.group,
+        cv=user.cv,
+        imitator=user.imitator_name,
+        instances_reserved=user.schedule.total_reserved,
+        costs=costs,
+        instances_sold=sold,
+    )
+
+
+def run_sweep(
+    config: ExperimentConfig,
+    users: "Iterable[ExperimentUser] | None" = None,
+    include_opt: bool = False,
+    include_all_selling: bool = True,
+    progress: "Callable[[int, int], None] | None" = None,
+) -> SweepResult:
+    """Run the full population sweep (building the population if needed)."""
+    population = list(users) if users is not None else build_experiment_population(config)
+    outcomes = []
+    for index, user in enumerate(population):
+        outcomes.append(
+            run_user(
+                user,
+                config,
+                include_opt=include_opt,
+                include_all_selling=include_all_selling,
+            )
+        )
+        if progress is not None:
+            progress(index + 1, len(population))
+    return SweepResult(config=config, outcomes=outcomes)

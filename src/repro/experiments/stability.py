@@ -1,0 +1,94 @@
+"""Seed-stability study: are the headline results population-flukes?
+
+The paper reports one population; this experiment re-runs the Table III
+computation across several independently-seeded populations and reports
+mean ± std of each algorithm's all-users normalized cost, plus whether
+the two shape criteria (everything < 1; A_{T/4} ≤ A_{T/2} ≤ A_{3T/4})
+held in *every* replication.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+
+from repro.analysis.tables import format_table
+from repro.errors import ExperimentError
+from repro.experiments import table3
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import ONLINE_POLICIES, run_sweep
+
+
+@dataclass(frozen=True)
+class StabilityResult:
+    """Across-seed distribution of the Table III all-users means."""
+
+    config: ExperimentConfig
+    seeds: tuple[int, ...]
+    per_seed: dict[int, dict[str, float]]  # seed -> policy -> all-users mean
+    orderings_held: int  # replications where A_{T/4} <= A_{T/2} <= A_{3T/4}
+    all_below_one: int  # replications where every mean < 1
+
+    def mean(self, policy: str) -> float:
+        return statistics.fmean(row[policy] for row in self.per_seed.values())
+
+    def std(self, policy: str) -> float:
+        values = [row[policy] for row in self.per_seed.values()]
+        return statistics.stdev(values) if len(values) > 1 else 0.0
+
+    def always_consistent(self) -> bool:
+        return (
+            self.orderings_held == len(self.seeds)
+            and self.all_below_one == len(self.seeds)
+        )
+
+
+def run(config: ExperimentConfig, n_seeds: int = 5) -> StabilityResult:
+    """Replicate the Table III computation across ``n_seeds`` seeds."""
+    if n_seeds < 2:
+        raise ExperimentError(f"n_seeds must be >= 2, got {n_seeds!r}")
+    seeds = tuple(config.seed + offset for offset in range(n_seeds))
+    per_seed = {}
+    orderings = 0
+    below_one = 0
+    for seed in seeds:
+        seeded = config.scaled(seed=seed)
+        sweep = run_sweep(seeded)
+        result = table3.run(seeded, sweep=sweep)
+        per_seed[seed] = {
+            policy: result.measured[policy]["All users"]
+            for policy in ONLINE_POLICIES
+        }
+        if result.ordering_holds():
+            orderings += 1
+        if result.all_below_one():
+            below_one += 1
+    return StabilityResult(
+        config=config,
+        seeds=seeds,
+        per_seed=per_seed,
+        orderings_held=orderings,
+        all_below_one=below_one,
+    )
+
+
+def render(result: StabilityResult) -> str:
+    headers = ["Policy", "mean of means", "std", "min", "max"]
+    rows = []
+    for policy in ONLINE_POLICIES:
+        values = [row[policy] for row in result.per_seed.values()]
+        rows.append([policy, result.mean(policy), result.std(policy),
+                     min(values), max(values)])
+    table = format_table(
+        headers,
+        rows,
+        title=(
+            f"Seed stability — all-users normalized cost across "
+            f"{len(result.seeds)} populations"
+        ),
+    )
+    checks = [
+        f"ordering held in {result.orderings_held}/{len(result.seeds)} replications",
+        f"all means < 1 in {result.all_below_one}/{len(result.seeds)} replications",
+    ]
+    return table + "\n" + "\n".join(checks)

@@ -1,0 +1,76 @@
+"""Table I: pricing of the d2.xlarge instance (US East (Ohio), Linux).
+
+Regenerated from the embedded catalog's quotes; the paper's numbers are
+embedded exactly, so this doubles as a data-integrity check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.tables import format_table
+from repro.pricing.options import OptionQuote, PaymentOption, table_i_quotes
+
+#: The paper's Table I "Effective Hourly" column, for verification.
+PAPER_EFFECTIVE_HOURLY = {
+    PaymentOption.NO_UPFRONT: 0.402,
+    PaymentOption.PARTIAL_UPFRONT: 0.344,
+    PaymentOption.ALL_UPFRONT: 0.337,
+    PaymentOption.ON_DEMAND: 0.69,
+}
+
+
+@dataclass(frozen=True)
+class Table1Result:
+    """The regenerated Table I with paper-vs-computed effective rates."""
+
+    quotes: dict[PaymentOption, OptionQuote]
+
+    def rows(self) -> list[list[object]]:
+        rows = []
+        for option, quote in self.quotes.items():
+            rows.append(
+                [
+                    _option_label(option),
+                    f"${quote.upfront:.0f}" if quote.upfront else "$0",
+                    f"${quote.monthly:.2f}" if quote.monthly else "$0",
+                    quote.effective_hourly,
+                    PAPER_EFFECTIVE_HOURLY[option],
+                ]
+            )
+        return rows
+
+    def max_deviation(self) -> float:
+        """Largest |computed − paper| effective hourly rate."""
+        return max(
+            abs(quote.effective_hourly - PAPER_EFFECTIVE_HOURLY[option])
+            for option, quote in self.quotes.items()
+        )
+
+
+def _option_label(option: PaymentOption) -> str:
+    labels = {
+        PaymentOption.NO_UPFRONT: "No Upfront",
+        PaymentOption.PARTIAL_UPFRONT: "Partial Upfront",
+        PaymentOption.ALL_UPFRONT: "All Upfront",
+        PaymentOption.ON_DEMAND: "On-Demand",
+    }
+    return labels[option]
+
+
+def run() -> Table1Result:
+    return Table1Result(quotes=table_i_quotes())
+
+
+def render(result: Table1Result) -> str:
+    table = format_table(
+        ["Payment Option", "Upfront", "Monthly", "Effective Hourly", "Paper"],
+        result.rows(),
+        float_format="{:.3f}",
+        title="Table I — d2.xlarge (US East (Ohio), Linux), Jan 1 2018",
+    )
+    return (
+        table
+        + f"\nmax deviation from the paper's effective rates: "
+        f"{result.max_deviation():.4f} $/h"
+    )

@@ -1,0 +1,133 @@
+"""Table II: the extreme cases — where the late decision spot is safest.
+
+The paper's Table II exhibits one highly fluctuating user for whom the
+usual ordering *reverses*: ``A_{3T/4}`` (9.36e4) beats ``A_{T/2}``
+(9.40e4) beats ``A_{T/4}`` (9.45e4), all below Keep-Reserved (9.58e4) —
+"when it comes to the extreme cases, A_{3T/4} performs best".
+
+We reproduce both readings of that claim:
+
+* the **exhibit**: the user whose costs most favour the late spot
+  (preferring bursty users with a genuine reversal; falling back to the
+  widest-spread bursty user when no reversal exists at the configured
+  scale), and
+* the **robustness ordering**: across the whole population, the *worst*
+  normalised cost of ``A_{3T/4}`` is the smallest of the three — the
+  late decision spot has the best worst case, which is the substance of
+  the paper's extreme-case finding (and of its tighter competitive
+  ratio).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.tables import format_table
+from repro.errors import ExperimentError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import (
+    ONLINE_POLICIES,
+    POLICY_KEEP,
+    SweepResult,
+    UserOutcome,
+    run_sweep,
+)
+from repro.workload.groups import FluctuationGroup
+
+_TABLE_POLICIES = [*ONLINE_POLICIES, POLICY_KEEP]
+
+
+@dataclass(frozen=True)
+class Table2Result:
+    """The exhibited extreme user plus population worst cases."""
+
+    config: ExperimentConfig
+    user: UserOutcome
+    worst_case: dict[str, float]  # policy -> max normalized cost over users
+
+    def costs(self) -> dict[str, float]:
+        return {name: self.user.costs[name] for name in _TABLE_POLICIES}
+
+    def a_3t4_safest(self) -> bool:
+        """Whether the exhibited user shows the paper's full reversal."""
+        online = {name: self.user.costs[name] for name in ONLINE_POLICIES}
+        return min(online, key=online.get) == "A_{3T/4}"
+
+    def worst_case_ordering_holds(self) -> bool:
+        """The robust reading: A_{3T/4} has the best worst case."""
+        return (
+            self.worst_case["A_{3T/4}"]
+            <= self.worst_case["A_{T/2}"] + 1e-12
+            and self.worst_case["A_{3T/4}"] <= self.worst_case["A_{T/4}"] + 1e-12
+        )
+
+
+def pick_extreme_user(sweep: SweepResult) -> UserOutcome:
+    """The user whose costs most favour the late decision spot.
+
+    Prefers bursty users (the paper's Table II is a highly fluctuating
+    one); falls back to the widest-spread bursty user when no reversal
+    exists at this scale.
+    """
+    bursty = [
+        outcome
+        for outcome in sweep.outcomes
+        if outcome.group is FluctuationGroup.BURSTY and outcome.instances_reserved > 0
+    ]
+    if not bursty:
+        raise ExperimentError("the sweep contains no bursty users with reservations")
+
+    def late_advantage(outcome: UserOutcome) -> float:
+        earlier = min(outcome.costs["A_{T/4}"], outcome.costs["A_{T/2}"])
+        return earlier - outcome.costs["A_{3T/4}"]
+
+    candidates = [o for o in sweep.outcomes if o.instances_reserved > 0] or bursty
+    best_any = max(candidates, key=late_advantage)
+    best_bursty = max(bursty, key=late_advantage)
+    if late_advantage(best_bursty) > 0:
+        return best_bursty
+    if late_advantage(best_any) > 0:
+        return best_any
+
+    def spread(outcome: UserOutcome) -> float:
+        online = [outcome.costs[name] for name in ONLINE_POLICIES]
+        return max(online) - min(online)
+
+    return max(bursty, key=spread)
+
+
+def run(config: ExperimentConfig, sweep: "SweepResult | None" = None) -> Table2Result:
+    if sweep is None:
+        sweep = run_sweep(config)
+    normalized = sweep.normalized()
+    worst_case = {
+        name: float(normalized[name].max()) for name in ONLINE_POLICIES
+    }
+    return Table2Result(
+        config=config, user=pick_extreme_user(sweep), worst_case=worst_case
+    )
+
+
+def render(result: Table2Result) -> str:
+    costs = result.costs()
+    exhibit = format_table(
+        ["", *costs.keys()],
+        [["Cost", *(f"{value:.3e}" for value in costs.values())]],
+        title=(
+            "Table II — actual cost for an extreme user "
+            f"({result.user.user_id}, sigma/mu = {result.user.cv:.2f}, "
+            f"imitator {result.user.imitator})"
+        ),
+    )
+    worst = format_table(
+        ["", *result.worst_case.keys()],
+        [["Worst normalized cost", *result.worst_case.values()]],
+        title="population worst cases (normalized to Keep-Reserved)",
+    )
+    checks = [
+        "exhibited user shows the full reversal (A_{3T/4} cheapest): "
+        + ("yes" if result.a_3t4_safest() else "no"),
+        "A_{3T/4} has the best worst case (paper's extreme-case claim): "
+        + ("yes" if result.worst_case_ordering_holds() else "NO"),
+    ]
+    return exhibit + "\n\n" + worst + "\n" + "\n".join(checks)

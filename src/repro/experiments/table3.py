@@ -1,0 +1,122 @@
+"""Table III: average normalised cost per group and overall.
+
+The paper's Table III (all costs normalised to Keep-Reserved):
+
+====================  =======  =======  =======  =========
+policy                Group 1  Group 2  Group 3  All users
+====================  =======  =======  =======  =========
+``A_{3T/4}``           0.9387   0.9154   0.9300     0.9279
+``A_{T/2}``            0.8797   0.8329   0.8966     0.8643
+``A_{T/4}``            0.8199   0.7583   0.8620     0.8032
+====================  =======  =======  =======  =========
+
+The shape criteria we check: every entry < 1 (selling always helps on
+average) and the column-wise ordering A_{T/4} < A_{T/2} < A_{3T/4}.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.bootstrap import ConfidenceInterval, bootstrap_ci, difference_ci
+from repro.analysis.summary import group_means
+from repro.analysis.tables import format_table
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import ONLINE_POLICIES, SweepResult, run_sweep
+from repro.workload.groups import FluctuationGroup
+
+#: The paper's Table III, for side-by-side reporting.
+PAPER_TABLE_III = {
+    "A_{3T/4}": {"stable": 0.9387, "moderate": 0.9154, "bursty": 0.9300, "All users": 0.9279},
+    "A_{T/2}": {"stable": 0.8797, "moderate": 0.8329, "bursty": 0.8966, "All users": 0.8643},
+    "A_{T/4}": {"stable": 0.8199, "moderate": 0.7583, "bursty": 0.8620, "All users": 0.8032},
+}
+
+_GROUP_ORDER = [group.value for group in FluctuationGroup]
+_COLUMNS = [*_GROUP_ORDER, "All users"]
+
+
+@dataclass(frozen=True)
+class Table3Result:
+    """Measured means beside the paper's, with bootstrap uncertainty."""
+
+    config: ExperimentConfig
+    measured: dict[str, dict[str, float]]
+    intervals: dict[str, ConfidenceInterval]  # policy -> CI of all-users mean
+    ordering_decisive: bool  # paired bootstrap: T/4 < T/2 < 3T/4 excl. 0
+
+    def all_below_one(self) -> bool:
+        """Selling helps on average everywhere (paper's conclusion)."""
+        return all(
+            value < 1.0 for row in self.measured.values() for value in row.values()
+        )
+
+    def ordering_holds(self) -> bool:
+        """Column-wise A_{T/4} < A_{T/2} < A_{3T/4} (earlier spot saves
+        more on average — Table III's visible ordering)."""
+        return all(
+            self.measured["A_{T/4}"][column]
+            <= self.measured["A_{T/2}"][column]
+            <= self.measured["A_{3T/4}"][column]
+            for column in _COLUMNS
+        )
+
+
+def run(config: ExperimentConfig, sweep: "SweepResult | None" = None) -> Table3Result:
+    if sweep is None:
+        sweep = run_sweep(config)
+    normalized = sweep.normalized()
+    online_only = {name: normalized[name] for name in ONLINE_POLICIES}
+    measured = group_means(online_only, sweep.group_labels(), _GROUP_ORDER)
+    intervals = {
+        name: bootstrap_ci(values, seed=config.seed)
+        for name, values in online_only.items()
+    }
+    ordering_decisive = (
+        difference_ci(
+            online_only["A_{T/4}"], online_only["A_{T/2}"], seed=config.seed
+        ).high
+        < 0.0
+        and difference_ci(
+            online_only["A_{T/2}"], online_only["A_{3T/4}"], seed=config.seed
+        ).high
+        < 0.0
+    )
+    return Table3Result(
+        config=config,
+        measured=measured,
+        intervals=intervals,
+        ordering_decisive=ordering_decisive,
+    )
+
+
+def render(result: Table3Result) -> str:
+    headers = ["Policy", *_COLUMNS, "paper (all)"]
+    rows = []
+    for policy, row in result.measured.items():
+        rows.append(
+            [policy, *(row[column] for column in _COLUMNS),
+             PAPER_TABLE_III[policy]["All users"]]
+        )
+    table = format_table(
+        headers,
+        rows,
+        title="Table III — mean cost normalized to Keep-Reserved",
+    )
+    checks = [
+        "all entries < 1: " + ("yes" if result.all_below_one() else "NO"),
+        "ordering A_{T/4} <= A_{T/2} <= A_{3T/4}: "
+        + ("yes" if result.ordering_holds() else "NO"),
+        "ordering decisive under paired bootstrap: "
+        + ("yes" if result.ordering_decisive else "no"),
+    ]
+    intervals = "\n".join(
+        f"  {name}: {interval}" for name, interval in result.intervals.items()
+    )
+    return (
+        table
+        + "\nall-users means with 95% bootstrap intervals:\n"
+        + intervals
+        + "\n"
+        + "\n".join(checks)
+    )

@@ -1,0 +1,60 @@
+"""Reserved Instance Marketplace substrate (Section III-B rules)."""
+
+from repro.marketplace.ecosystem import (
+    EcosystemOutcome,
+    SellerOutcome,
+    clear_market,
+    endogenous_buy_requests,
+)
+from repro.marketplace.listing import SERVICE_FEE_RATE, Listing
+from repro.marketplace.market import (
+    BuyerArrivalProcess,
+    BuyRequest,
+    FulfilmentReport,
+    MarketOutcome,
+    Marketplace,
+    Trade,
+    simulate_market,
+)
+from repro.marketplace.repricing import (
+    ManagedListing,
+    RepricingOutcome,
+    simulate_repricing_market,
+)
+from repro.marketplace.valuation import (
+    ListingValuation,
+    optimal_discount,
+    value_listing,
+)
+from repro.marketplace.seller import (
+    AdaptiveDiscountSeller,
+    FixedDiscountSeller,
+    SaleLatencyModel,
+    SellerStrategy,
+)
+
+__all__ = [
+    "Listing",
+    "SERVICE_FEE_RATE",
+    "Marketplace",
+    "BuyRequest",
+    "BuyerArrivalProcess",
+    "FulfilmentReport",
+    "MarketOutcome",
+    "Trade",
+    "simulate_market",
+    "ManagedListing",
+    "RepricingOutcome",
+    "simulate_repricing_market",
+    "SellerStrategy",
+    "FixedDiscountSeller",
+    "AdaptiveDiscountSeller",
+    "SaleLatencyModel",
+    "ListingValuation",
+    "value_listing",
+    "optimal_discount",
+    "EcosystemOutcome",
+    "SellerOutcome",
+    "clear_market",
+    "endogenous_buy_requests",
+]

@@ -1,0 +1,222 @@
+"""Marketplace ecosystem: sellers' listings cleared by real buyer demand.
+
+Eq. (1) books the income of a sale the hour the algorithm decides to
+sell — the implicit assumption that a listing at discount ``a`` clears
+instantly. This module removes the assumption and measures what it was
+worth: the population's selling decisions become *listings*, the
+population's own reservation demand becomes *buy requests* (a user whose
+purchasing algorithm wants ``n_t`` new reservations at hour ``t``
+rationally shops the marketplace first — a used reservation at a
+discount beats a new one from Amazon), and the standard
+lowest-upfront-first book clears them hour by hour.
+
+Outputs, per seller cohort: the income Eq. (1) *assumed* (gross,
+instant), the income the market *realized* (after Amazon's 12% fee;
+unsold listings earn nothing), sell-through, waiting times, and Amazon's
+fee take — quantifying how optimistic the paper's instant-sale
+accounting is at any given market depth. Listings keep their posted
+price while waiting (the fixed-``a`` seller of Eq. (1));
+:mod:`repro.marketplace.repricing` models price-cutting sellers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.account import CostModel
+from repro.core.fastsim import FastPolicyKind, run_fast
+from repro.errors import MarketplaceError
+from repro.marketplace.listing import SERVICE_FEE_RATE, Listing
+from repro.marketplace.market import BuyRequest, Marketplace
+from repro.purchasing.runner import ReservationSchedule
+
+
+@dataclass(frozen=True)
+class SellerOutcome:
+    """One seller's marketplace performance."""
+
+    seller_id: str
+    listings: int
+    sold: int
+    assumed_income: float  # what Eq. (1) booked at the decision hours
+    realized_income: float  # what the market actually paid (fee deducted)
+
+    @property
+    def realization_ratio(self) -> float:
+        """Realized / assumed income (1.0 = the instant-sale assumption
+        was harmless; < 1 = optimistic)."""
+        if self.assumed_income == 0:
+            return 1.0
+        return self.realized_income / self.assumed_income
+
+
+@dataclass(frozen=True)
+class EcosystemOutcome:
+    """Market-level result of one clearing simulation."""
+
+    horizon: int
+    sellers: list[SellerOutcome]
+    total_listings: int
+    total_sold: int
+    total_fees: float
+    mean_wait_hours: float
+
+    @property
+    def sell_through(self) -> float:
+        if self.total_listings == 0:
+            return 0.0
+        return self.total_sold / self.total_listings
+
+    @property
+    def mean_realization_ratio(self) -> float:
+        ratios = [
+            outcome.realization_ratio
+            for outcome in self.sellers
+            if outcome.listings > 0
+        ]
+        return float(np.mean(ratios)) if ratios else 1.0
+
+
+def _decision_listings(
+    schedule: ReservationSchedule,
+    model: CostModel,
+    phi: float,
+    seller_id: str,
+) -> "list[tuple[int, float, Listing]]":
+    """One seller's A_{φT} sales as (decision hour, assumed income, listing)."""
+    result = run_fast(
+        schedule.demands.values,
+        schedule.reservations,
+        model,
+        phi=phi,
+        kind=FastPolicyKind.ONLINE,
+    )
+    plan = model.plan
+    entries = []
+    for sale in result.sales:
+        age = sale.hour - sale.reserved_at
+        assumed = model.sale_income(1.0 - age / plan.period_hours)
+        listing = Listing.from_plan(
+            plan,
+            elapsed_hours=age,
+            selling_discount=model.selling_discount,
+            seller_id=seller_id,
+            listed_at=sale.hour,
+        )
+        entries.append((sale.hour, assumed, listing))
+    return entries
+
+
+def endogenous_buy_requests(
+    schedules: "list[ReservationSchedule]",
+    model: CostModel,
+    participation: float = 1.0,
+    rng: "np.random.Generator | None" = None,
+) -> "list[BuyRequest]":
+    """Buy requests derived from the population's own reservation demand.
+
+    Every new reservation a user's imitated purchasing makes is a
+    potential marketplace purchase instead: the buyer accepts any listing
+    priced at or below its prorated share of the full upfront
+    (``value_per_period = R``). ``participation`` is the fraction of that
+    demand that actually shops the marketplace.
+    """
+    if not 0.0 <= participation <= 1.0:
+        raise MarketplaceError(
+            f"participation must lie in [0, 1], got {participation!r}"
+        )
+    rng = rng or np.random.default_rng(0)
+    requests = []
+    for index, schedule in enumerate(schedules):
+        for hour in np.flatnonzero(schedule.reservations):
+            count = int(schedule.reservations[hour])
+            if participation < 1.0:
+                count = int(rng.binomial(count, participation))
+            if count == 0:
+                continue
+            requests.append(
+                BuyRequest(
+                    buyer_id=f"user-{index}",
+                    instance_type=model.plan.name,
+                    count=count,
+                    max_unit_price=model.plan.upfront,
+                    hour=int(hour),
+                    value_per_period=model.plan.upfront,
+                )
+            )
+    return requests
+
+
+def clear_market(
+    seller_schedules: "list[ReservationSchedule]",
+    buy_requests: "list[BuyRequest]",
+    model: CostModel,
+    phi: float = 0.75,
+    service_fee_rate: float = SERVICE_FEE_RATE,
+) -> EcosystemOutcome:
+    """Run the two-phase ecosystem simulation.
+
+    Phase 1: every seller's ``A_{φT}`` decisions become listings at their
+    decision hours. Phase 2: buy requests arrive in hour order and clear
+    against the book (lowest upfront first; value-aware buyers).
+    """
+    listings_by_hour: dict[int, list[Listing]] = {}
+    assumed: dict[str, float] = {}
+    listing_meta: dict[int, tuple[str, int]] = {}  # id -> (seller, listed hour)
+    counts: dict[str, int] = {}
+    for index, schedule in enumerate(seller_schedules):
+        seller_id = f"seller-{index}"
+        assumed[seller_id] = 0.0
+        counts[seller_id] = 0
+        for hour, assumed_income, listing in _decision_listings(
+            schedule, model, phi, seller_id
+        ):
+            listings_by_hour.setdefault(hour, []).append(listing)
+            assumed[seller_id] += assumed_income
+            listing_meta[listing.listing_id] = (seller_id, hour)
+            counts[seller_id] += 1
+
+    horizon = max(
+        [schedule.horizon for schedule in seller_schedules]
+        + [request.hour + 1 for request in buy_requests]
+        or [1]
+    )
+    market = Marketplace(service_fee_rate=service_fee_rate)
+    requests_by_hour: dict[int, list[BuyRequest]] = {}
+    for request in buy_requests:
+        requests_by_hour.setdefault(request.hour, []).append(request)
+
+    realized: dict[str, float] = {seller_id: 0.0 for seller_id in assumed}
+    sold: dict[str, int] = {seller_id: 0 for seller_id in assumed}
+    waits: list[int] = []
+    for hour in range(horizon):
+        for listing in listings_by_hour.get(hour, ()):  # new supply
+            market.list_reservation(listing)
+        for request in requests_by_hour.get(hour, ()):  # demand
+            report = market.fulfil(request)
+            for trade in report.trades:
+                seller_id, listed_at = listing_meta[trade.listing_id]
+                realized[seller_id] += trade.seller_proceeds
+                sold[seller_id] += 1
+                waits.append(hour - listed_at)
+
+    sellers = [
+        SellerOutcome(
+            seller_id=seller_id,
+            listings=counts[seller_id],
+            sold=sold[seller_id],
+            assumed_income=assumed[seller_id],
+            realized_income=realized[seller_id],
+        )
+        for seller_id in assumed
+    ]
+    return EcosystemOutcome(
+        horizon=horizon,
+        sellers=sellers,
+        total_listings=sum(counts.values()),
+        total_sold=sum(sold.values()),
+        total_fees=market.total_fees_collected(),
+        mean_wait_hours=float(np.mean(waits)) if waits else float("inf"),
+    )

@@ -1,0 +1,145 @@
+"""Marketplace listings and the selling rules of Section III-B.
+
+Amazon's Reserved Instance Marketplace rules, as the paper states them:
+
+* a seller lists the *remaining period* of a reservation for an upfront
+  fee of at most the prorated original upfront (the t2.nano with half a
+  cycle left may ask at most $9 of its $18);
+* sellers typically discount below that cap to sell faster (the paper's
+  ``a``: asking = a × prorated cap);
+* Amazon keeps a 12% service fee of the sale price; the seller receives
+  the remaining 88% ($7.2 × 0.88 = $6.336 in the paper's example);
+* among competing listings, the lowest upfront sells first.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import ListingError
+from repro.pricing.plan import PricingPlan
+
+#: Amazon's marketplace service fee (Section III-B).
+SERVICE_FEE_RATE = 0.12
+
+_listing_ids = itertools.count()
+
+
+@dataclass
+class Listing:
+    """One reservation offered for sale.
+
+    ``asking_upfront`` must not exceed the prorated cap
+    ``original_upfront × remaining_hours / period_hours``.
+    """
+
+    seller_id: str
+    instance_type: str
+    original_upfront: float
+    period_hours: int
+    remaining_hours: int
+    asking_upfront: float
+    listed_at: int = 0
+    listing_id: int = field(default_factory=lambda: next(_listing_ids))
+    sold_at: "int | None" = None
+
+    def __post_init__(self) -> None:
+        if self.original_upfront <= 0:
+            raise ListingError(
+                f"original_upfront must be positive, got {self.original_upfront!r}"
+            )
+        if self.period_hours <= 0:
+            raise ListingError(f"period_hours must be positive, got {self.period_hours!r}")
+        if not 0 < self.remaining_hours <= self.period_hours:
+            raise ListingError(
+                f"remaining_hours must lie in (0, {self.period_hours}], "
+                f"got {self.remaining_hours!r}"
+            )
+        if self.asking_upfront < 0:
+            raise ListingError(
+                f"asking_upfront must be >= 0, got {self.asking_upfront!r}"
+            )
+        if self.asking_upfront > self.prorated_cap * (1.0 + 1e-9):
+            raise ListingError(
+                f"asking_upfront {self.asking_upfront!r} exceeds the prorated "
+                f"cap {self.prorated_cap!r} (marketplace rule: at most the "
+                f"remaining fraction of the original upfront)"
+            )
+        if self.listed_at < 0:
+            raise ListingError(f"listed_at must be >= 0, got {self.listed_at!r}")
+
+    # ------------------------------------------------------------------
+
+    @property
+    def prorated_cap(self) -> float:
+        """Maximum allowed asking price: remaining fraction × original R."""
+        return self.original_upfront * self.remaining_hours / self.period_hours
+
+    @property
+    def effective_discount(self) -> float:
+        """The implied selling discount ``a`` = asking / cap."""
+        return self.asking_upfront / self.prorated_cap
+
+    @property
+    def is_sold(self) -> bool:
+        return self.sold_at is not None
+
+    def service_fee(self, rate: float = SERVICE_FEE_RATE) -> float:
+        """The marketplace's cut of the sale price."""
+        return self.asking_upfront * rate
+
+    def seller_proceeds(self, rate: float = SERVICE_FEE_RATE) -> float:
+        """What the seller receives: asking × (1 − fee rate)."""
+        return self.asking_upfront * (1.0 - rate)
+
+    def mark_sold(self, hour: int) -> None:
+        """Record the sale (once; not before the listing hour)."""
+        if self.is_sold:
+            raise ListingError(f"listing {self.listing_id} already sold")
+        if hour < self.listed_at:
+            raise ListingError(
+                f"sale hour {hour} precedes listing hour {self.listed_at}"
+            )
+        self.sold_at = hour
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_plan(
+        cls,
+        plan: PricingPlan,
+        elapsed_hours: int,
+        selling_discount: float,
+        seller_id: str = "seller",
+        listed_at: int = 0,
+    ) -> "Listing":
+        """Build a rule-conforming listing from a plan and elapsed time.
+
+        ``selling_discount`` is the paper's ``a``: the asking price is
+        ``a`` × prorated cap.
+        """
+        if not 0.0 <= selling_discount <= 1.0:
+            raise ListingError(
+                f"selling_discount must lie in [0, 1], got {selling_discount!r}"
+            )
+        if not 0 <= elapsed_hours < plan.period_hours:
+            raise ListingError(
+                f"elapsed_hours must lie in [0, {plan.period_hours}), "
+                f"got {elapsed_hours!r}"
+            )
+        remaining = plan.period_hours - elapsed_hours
+        cap = plan.upfront * remaining / plan.period_hours
+        asking = selling_discount * cap
+        if not math.isfinite(asking):
+            raise ListingError("non-finite asking price")
+        return cls(
+            seller_id=seller_id,
+            instance_type=plan.name or "unknown",
+            original_upfront=plan.upfront,
+            period_hours=plan.period_hours,
+            remaining_hours=remaining,
+            asking_upfront=asking,
+            listed_at=listed_at,
+        )

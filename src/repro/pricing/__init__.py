@@ -1,0 +1,62 @@
+"""EC2 pricing substrate: plans, payment options, and the embedded catalog.
+
+Public surface::
+
+    from repro.pricing import (
+        PricingPlan, PaymentOption, OptionQuote, Catalog,
+        default_catalog, get_plan, paper_experiment_plan,
+        compute_statistics, HOURS_PER_YEAR,
+    )
+"""
+
+from repro.pricing.catalog import (
+    PAPER_EXPERIMENT_INSTANCE,
+    Catalog,
+    default_catalog,
+    get_plan,
+    paper_experiment_plan,
+)
+from repro.pricing.options import (
+    MONTHS_PER_YEAR,
+    OptionQuote,
+    PaymentOption,
+    table_i_quotes,
+)
+from repro.pricing.plan import HOURS_PER_3_YEARS, HOURS_PER_YEAR, PricingPlan
+from repro.pricing.terms import (
+    THREE_YEAR_RECURRING_RATIO,
+    THREE_YEAR_UPFRONT_RATIO,
+    TermComparison,
+    term_bound_comparison,
+    three_year_catalog,
+)
+from repro.pricing.statistics import (
+    CatalogStatistics,
+    RangeStat,
+    compute_statistics,
+    format_statistics,
+)
+
+__all__ = [
+    "PricingPlan",
+    "PaymentOption",
+    "OptionQuote",
+    "Catalog",
+    "CatalogStatistics",
+    "RangeStat",
+    "default_catalog",
+    "get_plan",
+    "paper_experiment_plan",
+    "table_i_quotes",
+    "compute_statistics",
+    "format_statistics",
+    "HOURS_PER_YEAR",
+    "HOURS_PER_3_YEARS",
+    "three_year_catalog",
+    "term_bound_comparison",
+    "TermComparison",
+    "THREE_YEAR_UPFRONT_RATIO",
+    "THREE_YEAR_RECURRING_RATIO",
+    "MONTHS_PER_YEAR",
+    "PAPER_EXPERIMENT_INSTANCE",
+]

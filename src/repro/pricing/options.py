@@ -1,0 +1,161 @@
+"""Amazon EC2 payment options and their reduction to the paper's model.
+
+Amazon sells 1-year and 3-year reservations under three payment options
+(Table I of the paper):
+
+* **No Upfront** — $0 upfront, a monthly fee;
+* **Partial Upfront** — an upfront fee plus a (smaller) monthly fee;
+* **All Upfront** — a single upfront fee, no recurring charge.
+
+The paper's cost model has a single upfront ``R`` and a discounted hourly
+rate ``alpha * p``. A payment option maps onto that model directly:
+``R = upfront`` and ``alpha = monthly_as_hourly / p``. This module performs
+that reduction and reproduces the "Effective Hourly" column of Table I.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from repro.errors import PricingError
+from repro.pricing.plan import HOURS_PER_YEAR, PricingPlan
+
+#: Amazon bills monthly fees 12 times over a 1-year term.
+MONTHS_PER_YEAR = 12
+
+
+class PaymentOption(enum.Enum):
+    """The three reserved-instance payment options plus pure on-demand."""
+
+    NO_UPFRONT = "no-upfront"
+    PARTIAL_UPFRONT = "partial-upfront"
+    ALL_UPFRONT = "all-upfront"
+    ON_DEMAND = "on-demand"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class OptionQuote:
+    """One row of an Amazon price sheet for a reserved instance.
+
+    Parameters
+    ----------
+    option:
+        Which payment option this quote is for.
+    upfront:
+        Dollars paid at purchase time (0 for No Upfront / On-Demand).
+    monthly:
+        Dollars paid each month (0 for All Upfront / On-Demand).
+    on_demand_hourly:
+        The instance type's on-demand rate, needed to derive ``alpha``.
+    period_hours:
+        Reservation term in hours.
+    instance_type:
+        Optional name for error messages and reports.
+    """
+
+    option: PaymentOption
+    upfront: float
+    monthly: float
+    on_demand_hourly: float
+    period_hours: int = HOURS_PER_YEAR
+    instance_type: str = ""
+
+    def __post_init__(self) -> None:
+        if self.upfront < 0 or not math.isfinite(self.upfront):
+            raise PricingError(f"upfront must be >= 0, got {self.upfront!r}")
+        if self.monthly < 0 or not math.isfinite(self.monthly):
+            raise PricingError(f"monthly must be >= 0, got {self.monthly!r}")
+        if self.on_demand_hourly <= 0:
+            raise PricingError(
+                f"on_demand_hourly must be > 0, got {self.on_demand_hourly!r}"
+            )
+        if self.option is PaymentOption.ALL_UPFRONT and self.monthly != 0:
+            raise PricingError("an All Upfront quote cannot carry a monthly fee")
+        if self.option is PaymentOption.NO_UPFRONT and self.upfront != 0:
+            raise PricingError("a No Upfront quote cannot carry an upfront fee")
+        if self.option is PaymentOption.ON_DEMAND and (self.upfront or self.monthly):
+            raise PricingError("an On-Demand quote has neither upfront nor monthly fees")
+
+    @property
+    def months(self) -> float:
+        """Number of monthly payments over the term."""
+        return MONTHS_PER_YEAR * self.period_hours / HOURS_PER_YEAR
+
+    @property
+    def recurring_hourly(self) -> float:
+        """The monthly fee expressed per hour — the paper's ``alpha * p``."""
+        return self.monthly * self.months / self.period_hours
+
+    @property
+    def alpha(self) -> float:
+        """Reservation discount implied by this quote."""
+        if self.option is PaymentOption.ON_DEMAND:
+            return 1.0
+        return self.recurring_hourly / self.on_demand_hourly
+
+    @property
+    def effective_hourly(self) -> float:
+        """Total cost of the term amortised per hour (Table I column)."""
+        if self.option is PaymentOption.ON_DEMAND:
+            return self.on_demand_hourly
+        return self.upfront / self.period_hours + self.recurring_hourly
+
+    @property
+    def total_cost(self) -> float:
+        """Total dollars paid over the full term."""
+        return self.effective_hourly * self.period_hours
+
+    def to_plan(self, name: str = "") -> PricingPlan:
+        """Reduce this quote to the paper's canonical :class:`PricingPlan`.
+
+        Raises
+        ------
+        PricingError
+            For On-Demand quotes (no reservation to model) and No Upfront
+            quotes (``R = 0`` makes the selling problem vacuous).
+        """
+        if self.option is PaymentOption.ON_DEMAND:
+            raise PricingError("an On-Demand quote has no reservation to reduce")
+        if self.upfront == 0:
+            raise PricingError(
+                "a No Upfront reservation has nothing to recoup by selling; "
+                "the paper's model requires R > 0"
+            )
+        alpha = self.alpha
+        if alpha >= 1.0:
+            raise PricingError(
+                f"quote implies alpha={alpha:.3f} >= 1; the reserved rate "
+                f"must undercut the on-demand rate"
+            )
+        return PricingPlan(
+            on_demand_hourly=self.on_demand_hourly,
+            upfront=self.upfront,
+            alpha=alpha,
+            period_hours=self.period_hours,
+            name=name or self.instance_type,
+        )
+
+
+def table_i_quotes() -> dict[PaymentOption, OptionQuote]:
+    """The exact Table I of the paper: d2.xlarge (US East (Ohio), Linux),
+    as of Jan 1, 2018."""
+    kwargs = {"on_demand_hourly": 0.69, "instance_type": "d2.xlarge"}
+    return {
+        PaymentOption.NO_UPFRONT: OptionQuote(
+            PaymentOption.NO_UPFRONT, upfront=0.0, monthly=293.46, **kwargs
+        ),
+        PaymentOption.PARTIAL_UPFRONT: OptionQuote(
+            PaymentOption.PARTIAL_UPFRONT, upfront=1506.0, monthly=125.56, **kwargs
+        ),
+        PaymentOption.ALL_UPFRONT: OptionQuote(
+            PaymentOption.ALL_UPFRONT, upfront=2952.0, monthly=0.0, **kwargs
+        ),
+        PaymentOption.ON_DEMAND: OptionQuote(
+            PaymentOption.ON_DEMAND, upfront=0.0, monthly=0.0, **kwargs
+        ),
+    }

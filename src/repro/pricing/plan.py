@@ -1,0 +1,180 @@
+"""Canonical pricing plan used throughout the library.
+
+The paper (Section III-A) reduces every Amazon EC2 pricing option to four
+numbers:
+
+* ``p``      — the on-demand hourly rate of the instance type,
+* ``R``      — the upfront fee paid when reserving,
+* ``alpha``  — the reservation discount: a reserved instance is billed
+  ``alpha * p`` per hour while active,
+* ``T``      — the reservation period in hours (1 year = 8760 hours).
+
+:class:`PricingPlan` bundles those numbers, validates them, and exposes the
+derived quantities used by the analysis: ``theta = p * T / R`` (the paper's
+θ, Section IV-C), the break-even utilisation, and total-cost helpers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from repro.errors import PricingError
+
+#: Hours in a 1-year reservation period (Amazon bills hourly; 365 days).
+HOURS_PER_YEAR = 8760
+
+#: Hours in a 3-year reservation period.
+HOURS_PER_3_YEARS = 3 * HOURS_PER_YEAR
+
+
+@dataclass(frozen=True)
+class PricingPlan:
+    """Pricing of one instance type under the paper's cost model.
+
+    Parameters
+    ----------
+    on_demand_hourly:
+        The on-demand hourly rate ``p`` in dollars per hour. Must be > 0.
+    upfront:
+        The reservation upfront fee ``R`` in dollars. Must be > 0 (a zero
+        upfront would make the selling problem vacuous: there is nothing to
+        recoup by selling).
+    alpha:
+        The reservation discount ``alpha`` in [0, 1): the reserved hourly
+        rate is ``alpha * on_demand_hourly``.
+    period_hours:
+        The reservation period ``T`` in hours. Must be a positive integer.
+    name:
+        Optional instance-type name, e.g. ``"d2.xlarge"``.
+    """
+
+    on_demand_hourly: float
+    upfront: float
+    alpha: float
+    period_hours: int = HOURS_PER_YEAR
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.on_demand_hourly) or self.on_demand_hourly <= 0:
+            raise PricingError(
+                f"on_demand_hourly must be a positive finite number, "
+                f"got {self.on_demand_hourly!r}"
+            )
+        if not math.isfinite(self.upfront) or self.upfront <= 0:
+            raise PricingError(
+                f"upfront must be a positive finite number, got {self.upfront!r}"
+            )
+        if not 0.0 <= self.alpha < 1.0:
+            raise PricingError(f"alpha must lie in [0, 1), got {self.alpha!r}")
+        if int(self.period_hours) != self.period_hours or self.period_hours <= 0:
+            raise PricingError(
+                f"period_hours must be a positive integer, got {self.period_hours!r}"
+            )
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+
+    @property
+    def p(self) -> float:
+        """Alias for :attr:`on_demand_hourly`, matching the paper's ``p``."""
+        return self.on_demand_hourly
+
+    @property
+    def big_r(self) -> float:
+        """Alias for :attr:`upfront`, matching the paper's ``R``."""
+        return self.upfront
+
+    @property
+    def reserved_hourly(self) -> float:
+        """Hourly rate of an active reserved instance: ``alpha * p``."""
+        return self.alpha * self.on_demand_hourly
+
+    @property
+    def theta(self) -> float:
+        """The paper's θ = C / R, where C = p·T is the largest on-demand
+        cost incurable over one reservation period (demand present every
+        hour). Section IV-C states θ ∈ (1, 4) for all standard Linux
+        US-East 1-year instances."""
+        return self.on_demand_hourly * self.period_hours / self.upfront
+
+    @property
+    def break_even_hours(self) -> float:
+        """Usage hours at which reserving equals buying on demand.
+
+        Solves ``R + alpha·p·h = p·h`` for ``h``: below this many busy
+        hours within one period, pure on-demand would have been cheaper.
+        """
+        return self.upfront / (self.on_demand_hourly * (1.0 - self.alpha))
+
+    @property
+    def break_even_utilisation(self) -> float:
+        """:attr:`break_even_hours` as a fraction of the period."""
+        return self.break_even_hours / self.period_hours
+
+    # ------------------------------------------------------------------
+    # Cost helpers
+    # ------------------------------------------------------------------
+
+    def on_demand_cost(self, hours: float) -> float:
+        """Cost of serving ``hours`` busy hours purely on demand."""
+        if hours < 0:
+            raise PricingError(f"hours must be non-negative, got {hours!r}")
+        return self.on_demand_hourly * hours
+
+    def reserved_cost(self, active_hours: float) -> float:
+        """Cost of holding a reservation active for ``active_hours``:
+        the upfront plus the discounted hourly fee for every active hour
+        (idle or busy — the paper's Eq. (1) bills active reservations
+        unconditionally)."""
+        if active_hours < 0:
+            raise PricingError(f"active_hours must be non-negative, got {active_hours!r}")
+        if active_hours > self.period_hours:
+            raise PricingError(
+                f"active_hours {active_hours!r} exceeds the reservation "
+                f"period of {self.period_hours} hours"
+            )
+        return self.upfront + self.reserved_hourly * active_hours
+
+    def effective_reserved_hourly(self) -> float:
+        """Amortised hourly cost of a fully-held reservation:
+        ``R/T + alpha·p`` — the 'Effective Hourly' column of Table I."""
+        return self.upfront / self.period_hours + self.reserved_hourly
+
+    def savings_ratio(self) -> float:
+        """Fraction saved by a fully-utilised reservation over on demand:
+        ``1 − (R + alpha·p·T) / (p·T)``."""
+        full_reserved = self.reserved_cost(self.period_hours)
+        full_on_demand = self.on_demand_cost(self.period_hours)
+        return 1.0 - full_reserved / full_on_demand
+
+    def prorated_upfront(self, elapsed_hours: float) -> float:
+        """Maximum marketplace upfront for the remaining period after
+        ``elapsed_hours``: ``(1 − elapsed/T) · R`` (Section III-B: the
+        t2.nano with half its cycle left may list at most $9 of its $18)."""
+        if not 0 <= elapsed_hours <= self.period_hours:
+            raise PricingError(
+                f"elapsed_hours must lie in [0, {self.period_hours}], "
+                f"got {elapsed_hours!r}"
+            )
+        remaining_fraction = 1.0 - elapsed_hours / self.period_hours
+        return remaining_fraction * self.upfront
+
+    def with_period(self, period_hours: int, scale_upfront: bool = True) -> "PricingPlan":
+        """Return a copy of this plan with a different reservation period.
+
+        Used by tests and examples to scale the 1-year period down. With
+        ``scale_upfront=True`` (default) the upfront is scaled by the same
+        factor, preserving θ = p·T/R and the break-even utilisation — all
+        of the paper's quantities are expressed in fractions of ``T``, so
+        this scaling leaves the algorithms' behaviour exactly invariant.
+        With ``scale_upfront=False`` only the period changes (a genuinely
+        different, usually degenerate, economic regime).
+        """
+        if scale_upfront:
+            factor = period_hours / self.period_hours
+            return replace(
+                self, period_hours=period_hours, upfront=self.upfront * factor
+            )
+        return replace(self, period_hours=period_hours)

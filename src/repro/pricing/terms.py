@@ -1,0 +1,83 @@
+"""3-year reservation terms (the catalog's other contract length).
+
+The paper's analysis is parametric in the period ``T`` ("Amazon has
+1-year and 3-year options, meaning T is 1 or 3 years") but its
+statistics and experiments use 1-year terms. This module derives a
+3-year catalog from the embedded 1-year one using Amazon's historical
+term economics: the 3-year upfront is about 2.1× the 1-year upfront and
+the recurring rate is discounted a further ~15%.
+
+The interesting consequence for the theory: θ = p·T/R grows by
+``3/upfront_ratio`` ≈ 1.4×, pushing some types past the paper's θ < 4 —
+so the Case-1 bounds computed with the *actual* θ weaken, quantified by
+:func:`term_bound_comparison` and the term-length bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.pricing.catalog import _CATALOG_ROWS, Catalog
+from repro.pricing.plan import HOURS_PER_3_YEARS
+
+#: Historical 3-year / 1-year economics (approximate, standard Linux).
+THREE_YEAR_UPFRONT_RATIO = 2.1
+THREE_YEAR_RECURRING_RATIO = 0.85
+
+
+def three_year_catalog() -> Catalog:
+    """The embedded catalog re-priced for 3-year terms."""
+    rows = tuple(
+        (
+            name,
+            on_demand,
+            round(upfront * THREE_YEAR_UPFRONT_RATIO),
+            round(monthly * THREE_YEAR_RECURRING_RATIO, 2),
+        )
+        for name, on_demand, upfront, monthly in _CATALOG_ROWS
+    )
+    return Catalog(rows=rows, period_hours=HOURS_PER_3_YEARS)
+
+
+@dataclass(frozen=True)
+class TermComparison:
+    """Proved A_{φT} bounds for one type under both term lengths."""
+
+    instance_type: str
+    phi: float
+    theta_1yr: float
+    theta_3yr: float
+    bound_1yr: float
+    bound_3yr: float
+
+    @property
+    def bound_weakens(self) -> bool:
+        return self.bound_3yr > self.bound_1yr
+
+
+def term_bound_comparison(
+    instance_type: str,
+    a: float = 0.8,
+    phi: float = 0.75,
+    one_year: "Catalog | None" = None,
+) -> TermComparison:
+    """Per-plan-θ Case bounds for 1-year vs 3-year terms."""
+    # Imported here: repro.core depends on repro.pricing, so the theory
+    # helpers must not be imported at pricing's module-import time.
+    from repro.core import ratios
+    from repro.pricing.catalog import default_catalog
+
+    one = (one_year or default_catalog())[instance_type]
+    three = three_year_catalog()[instance_type]
+    return TermComparison(
+        instance_type=instance_type,
+        phi=phi,
+        theta_1yr=one.theta,
+        theta_3yr=three.theta,
+        bound_1yr=ratios.competitive_ratio_for_plan(
+            one, a, phi, use_paper_theta=False
+        ),
+        bound_3yr=ratios.competitive_ratio_for_plan(
+            three, a, phi, use_paper_theta=False
+        ),
+    )

@@ -1,0 +1,38 @@
+"""The *All-Reserved* imitator (Section VI-A, first behaviour).
+
+"A user chooses reserved instances to serve all workloads": whenever
+demand exceeds the active reserved pool, the gap is reserved immediately.
+Imitates users with stable demands — and, on fluctuating demands,
+produces exactly the over-reservation the selling algorithms monetise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.pricing.plan import PricingPlan
+from repro.purchasing.base import (
+    ActiveReservationTracker,
+    PurchasingAlgorithm,
+    demands_array,
+    validated_schedule,
+)
+
+
+class AllReserved(PurchasingAlgorithm):
+    """Reserve the full demand gap every hour."""
+
+    name = "All-Reserved"
+
+    def schedule(self, demands, plan: PricingPlan) -> np.ndarray:
+        trace, values = demands_array(demands, plan)
+        horizon = len(trace)
+        tracker = ActiveReservationTracker(plan.period_hours)
+        n = np.zeros(horizon, dtype=np.int64)
+        for hour in range(horizon):
+            tracker.advance_to(hour)
+            gap = int(values[hour]) - tracker.active
+            if gap > 0:
+                n[hour] = gap
+                tracker.reserve(hour, gap)
+        return validated_schedule(n, horizon)

@@ -1,0 +1,26 @@
+"""A never-reserve baseline (not in the paper's imitator set).
+
+Useful as a sanity anchor: with no reservations there is nothing to
+sell, so every selling policy must produce identical costs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.pricing.plan import PricingPlan
+from repro.purchasing.base import (
+    PurchasingAlgorithm,
+    demands_array,
+    validated_schedule,
+)
+
+
+class OnDemandOnly(PurchasingAlgorithm):
+    """Never reserve; serve everything on demand."""
+
+    name = "OnDemand-Only"
+
+    def schedule(self, demands, plan: PricingPlan) -> np.ndarray:
+        trace, _ = demands_array(demands, plan)
+        return validated_schedule(np.zeros(len(trace), dtype=np.int64), len(trace))

@@ -1,0 +1,58 @@
+"""The *Random-Reservation* imitator (Section VI-A, second behaviour).
+
+"Takes a random number that is not greater than the demands' quantity as
+the targeted number of active reserved instances at each time": each hour
+a target in ``[0, d_t]`` is drawn and the pool is topped up toward it.
+Imitates users who reserve ad hoc, without a policy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.pricing.plan import PricingPlan
+from repro.purchasing.base import (
+    ActiveReservationTracker,
+    PurchasingAlgorithm,
+    demands_array,
+    validated_schedule,
+)
+
+
+class RandomReservation(PurchasingAlgorithm):
+    """Top the reserved pool up to a random target ≤ demand each hour.
+
+    ``reservation_probability`` throttles how often the user even looks
+    at the gap (1.0 = every hour); the draw is deterministic in ``seed``.
+    """
+
+    def __init__(self, seed: int = 0, reservation_probability: float = 1.0) -> None:
+        if not 0.0 < reservation_probability <= 1.0:
+            raise SimulationError(
+                f"reservation_probability must lie in (0, 1], "
+                f"got {reservation_probability!r}"
+            )
+        self.seed = seed
+        self.reservation_probability = reservation_probability
+        self.name = "Random-Reservation"
+
+    def schedule(self, demands, plan: PricingPlan) -> np.ndarray:
+        trace, values = demands_array(demands, plan)
+        horizon = len(trace)
+        rng = np.random.default_rng(self.seed)
+        tracker = ActiveReservationTracker(plan.period_hours)
+        n = np.zeros(horizon, dtype=np.int64)
+        for hour in range(horizon):
+            tracker.advance_to(hour)
+            demand = int(values[hour])
+            if demand == 0:
+                continue
+            if rng.random() >= self.reservation_probability:
+                continue
+            target = int(rng.integers(0, demand + 1))
+            gap = target - tracker.active
+            if gap > 0:
+                n[hour] = gap
+                tracker.reserve(hour, gap)
+        return validated_schedule(n, horizon)

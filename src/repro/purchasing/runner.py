@@ -1,0 +1,83 @@
+"""Running the imitators and packaging their output.
+
+:func:`imitate` applies one purchasing algorithm to one demand trace and
+returns a :class:`ReservationSchedule` — the ``(d_t, n_t)`` pair the
+selling simulators consume, plus provenance. :func:`paper_imitators`
+returns the paper's four behaviours in its presentation order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.pricing.plan import PricingPlan
+from repro.purchasing.all_reserved import AllReserved
+from repro.purchasing.base import PurchasingAlgorithm, validated_schedule
+from repro.purchasing.online_breakeven import (
+    aggressive_online_purchasing,
+    wang_online_purchasing,
+)
+from repro.purchasing.random_reservation import RandomReservation
+from repro.workload.base import DemandTrace, as_trace
+
+
+@dataclass(frozen=True)
+class ReservationSchedule:
+    """A demand trace together with the imitated reservation behaviour."""
+
+    demands: DemandTrace
+    reservations: np.ndarray
+    plan: PricingPlan
+    algorithm_name: str
+
+    @property
+    def horizon(self) -> int:
+        return len(self.demands)
+
+    @property
+    def total_reserved(self) -> int:
+        """Total number of reservations made over the horizon."""
+        return int(self.reservations.sum())
+
+    @property
+    def total_upfront(self) -> float:
+        """Upfront dollars committed by the imitated behaviour."""
+        return self.total_reserved * self.plan.upfront
+
+    def reservation_hours(self) -> np.ndarray:
+        """Active reserved instances per hour (keep-world ``r_t``)."""
+        active = np.zeros(self.horizon, dtype=np.int64)
+        for hour in np.flatnonzero(self.reservations):
+            end = min(int(hour) + self.plan.period_hours, self.horizon)
+            active[hour:end] += self.reservations[hour]
+        return active
+
+
+def imitate(
+    demands,
+    plan: PricingPlan,
+    algorithm: PurchasingAlgorithm,
+) -> ReservationSchedule:
+    """Apply one purchasing imitator to a demand trace."""
+    trace = as_trace(demands)
+    schedule = validated_schedule(
+        np.asarray(algorithm.schedule(trace, plan)), len(trace)
+    )
+    return ReservationSchedule(
+        demands=trace,
+        reservations=schedule,
+        plan=plan,
+        algorithm_name=algorithm.name,
+    )
+
+
+def paper_imitators(seed: int = 0) -> list[PurchasingAlgorithm]:
+    """The paper's four reservation-behaviour imitators (Section VI-A)."""
+    return [
+        AllReserved(),
+        RandomReservation(seed=seed),
+        wang_online_purchasing(),
+        aggressive_online_purchasing(),
+    ]

@@ -1,0 +1,97 @@
+"""Workload substrate: demand traces, synthesizers, and fluctuation groups."""
+
+from repro.workload.base import DemandTrace, WorkloadGenerator, as_trace
+from repro.workload.ec2logs import (
+    PAPER_LOG_COUNT,
+    ApplicationProfile,
+    EC2UsageLogGenerator,
+)
+from repro.workload.google import (
+    ClusterTraceSynthesizer,
+    MachineCapacity,
+    UserArchetype,
+    UserResourceTrace,
+    resources_to_demand,
+    synthesize_google_population,
+)
+from repro.workload.io import (
+    load_demand_csv,
+    load_resource_csv,
+    load_usage_log,
+    save_demand_csv,
+)
+from repro.workload.groups import (
+    PAPER_USERS_PER_GROUP,
+    FluctuationGroup,
+    UserWorkload,
+    build_population,
+    classify,
+    classify_trace,
+    make_group_member,
+    population_by_group,
+)
+from repro.workload.scenarios import (
+    SCENARIOS,
+    DevTestFleet,
+    MLTraining,
+    SeasonalRetail,
+    SteadyService,
+    WebApplication,
+    scenario,
+)
+from repro.workload.stats import (
+    FluctuationStats,
+    autocorrelation,
+    cv_of,
+    summarize_cvs,
+)
+from repro.workload.synthetic import (
+    DiurnalWorkload,
+    OnOffWorkload,
+    SpikyWorkload,
+    StableWorkload,
+    TargetCVWorkload,
+)
+
+__all__ = [
+    "DemandTrace",
+    "WorkloadGenerator",
+    "as_trace",
+    "StableWorkload",
+    "DiurnalWorkload",
+    "OnOffWorkload",
+    "SpikyWorkload",
+    "TargetCVWorkload",
+    "ClusterTraceSynthesizer",
+    "MachineCapacity",
+    "UserArchetype",
+    "UserResourceTrace",
+    "resources_to_demand",
+    "synthesize_google_population",
+    "EC2UsageLogGenerator",
+    "ApplicationProfile",
+    "PAPER_LOG_COUNT",
+    "FluctuationGroup",
+    "UserWorkload",
+    "classify",
+    "classify_trace",
+    "build_population",
+    "make_group_member",
+    "population_by_group",
+    "PAPER_USERS_PER_GROUP",
+    "FluctuationStats",
+    "autocorrelation",
+    "cv_of",
+    "summarize_cvs",
+    "load_demand_csv",
+    "save_demand_csv",
+    "load_usage_log",
+    "load_resource_csv",
+    "SCENARIOS",
+    "scenario",
+    "WebApplication",
+    "DevTestFleet",
+    "SeasonalRetail",
+    "MLTraining",
+    "SteadyService",
+]

@@ -1,0 +1,219 @@
+"""Google cluster-usage style traces and the paper's preprocessing step.
+
+The paper's second dataset is the Google cluster-usage trace (>900 users,
+40 GB of task resource requests). The trace itself is not shipped here;
+instead :class:`ClusterTraceSynthesizer` emits per-user hourly resource
+requests (CPU, memory, disk — normalised to machine capacity, as the
+public Google traces are), and :func:`resources_to_demand` applies the
+paper's preprocessing: *"the number of instances a user needs is
+proportional to the resources required including CPU, memory, disk and so
+on. Thus we used the requested number of resources … to represent the
+number of instances required"* (Section VI-A). The reduction takes, per
+hour, the binding resource dimension and converts it to a machine count.
+
+Users are heterogeneous: sizes are log-normally distributed (a few large
+tenants dominate, as in the real trace) and each user follows one of three
+behavioural archetypes — long-running *service*, recurring *batch*, and
+*bursty* experimentation — which together span the σ/μ spectrum of Fig. 2.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.workload.base import DemandTrace
+
+
+@dataclass(frozen=True)
+class MachineCapacity:
+    """Capacity of one instance in the trace's normalised resource units.
+
+    The public Google trace normalises requests so the largest machine is
+    1.0 in every dimension; an instance type is some fraction of that.
+    """
+
+    cpu: float = 1.0
+    memory: float = 1.0
+    disk: float = 1.0
+
+    def __post_init__(self) -> None:
+        for name in ("cpu", "memory", "disk"):
+            if getattr(self, name) <= 0:
+                raise WorkloadError(f"machine {name} capacity must be positive")
+
+
+class UserArchetype(enum.Enum):
+    """Behavioural archetypes observed in cluster traces."""
+
+    SERVICE = "service"  # long-running, diurnal, stable
+    BATCH = "batch"  # recurring on/off jobs
+    BURSTY = "bursty"  # rare, heavy bursts
+
+
+@dataclass(frozen=True)
+class UserResourceTrace:
+    """Hourly aggregate resource requests of one trace user."""
+
+    user_id: str
+    cpu: np.ndarray
+    memory: np.ndarray
+    disk: np.ndarray
+    archetype: UserArchetype = UserArchetype.SERVICE
+
+    def __post_init__(self) -> None:
+        lengths = {self.cpu.size, self.memory.size, self.disk.size}
+        if len(lengths) != 1:
+            raise WorkloadError(
+                f"resource arrays of user {self.user_id} have mismatched lengths"
+            )
+        for name in ("cpu", "memory", "disk"):
+            array = getattr(self, name)
+            if array.ndim != 1:
+                raise WorkloadError(f"{name} array must be 1-D")
+            if np.any(array < 0):
+                raise WorkloadError(f"{name} requests must be non-negative")
+
+    @property
+    def horizon(self) -> int:
+        return int(self.cpu.size)
+
+
+def resources_to_demand(
+    user: UserResourceTrace, capacity: MachineCapacity = MachineCapacity()
+) -> DemandTrace:
+    """The paper's preprocessing: resource requests → instance counts.
+
+    For each hour, the instance count is the ceiling of the binding
+    dimension: ``max(cpu/cap_cpu, mem/cap_mem, disk/cap_disk)``.
+    """
+    ratios = np.maximum.reduce(
+        [
+            user.cpu / capacity.cpu,
+            user.memory / capacity.memory,
+            user.disk / capacity.disk,
+        ]
+    )
+    return DemandTrace(np.ceil(ratios), name=user.user_id)
+
+
+@dataclass(frozen=True)
+class ClusterTraceSynthesizer:
+    """Synthesizes a population of Google-trace-style users.
+
+    Parameters
+    ----------
+    n_users:
+        Number of users to synthesize (the real trace has >900).
+    size_sigma:
+        σ of the log-normal user-size distribution; larger values make
+        the population more dominated by a few big tenants.
+    archetype_weights:
+        Probability of each archetype, ordered (service, batch, bursty).
+    """
+
+    n_users: int = 100
+    size_sigma: float = 1.0
+    archetype_weights: tuple[float, float, float] = (0.4, 0.35, 0.25)
+
+    def __post_init__(self) -> None:
+        if self.n_users <= 0:
+            raise WorkloadError(f"n_users must be positive, got {self.n_users!r}")
+        if self.size_sigma <= 0:
+            raise WorkloadError(f"size_sigma must be positive, got {self.size_sigma!r}")
+        if len(self.archetype_weights) != 3 or any(
+            w < 0 for w in self.archetype_weights
+        ) or not math.isclose(sum(self.archetype_weights), 1.0, rel_tol=1e-6):
+            raise WorkloadError("archetype_weights must be 3 non-negative weights summing to 1")
+
+    def generate(
+        self, horizon: int, rng: np.random.Generator
+    ) -> list[UserResourceTrace]:
+        """Synthesize all users' hourly resource-request series."""
+        if horizon <= 0:
+            raise WorkloadError(f"horizon must be positive, got {horizon!r}")
+        archetypes = rng.choice(
+            np.array(list(UserArchetype)),
+            size=self.n_users,
+            p=np.array(self.archetype_weights),
+        )
+        sizes = rng.lognormal(mean=0.5, sigma=self.size_sigma, size=self.n_users)
+        users = []
+        for index in range(self.n_users):
+            user_id = f"google-user-{index:04d}"
+            cpu = self._cpu_series(
+                archetypes[index], float(sizes[index]), horizon, rng
+            )
+            # Memory tracks CPU with a user-specific ratio; disk is burstier
+            # and smaller, as in the public trace.
+            memory_ratio = rng.uniform(0.5, 1.5)
+            disk_ratio = rng.uniform(0.05, 0.3)
+            memory = np.clip(
+                cpu * memory_ratio * rng.normal(1.0, 0.1, size=horizon), 0.0, None
+            )
+            disk = np.clip(
+                cpu * disk_ratio * rng.normal(1.0, 0.3, size=horizon), 0.0, None
+            )
+            users.append(
+                UserResourceTrace(
+                    user_id=user_id,
+                    cpu=cpu,
+                    memory=memory,
+                    disk=disk,
+                    archetype=archetypes[index],
+                )
+            )
+        return users
+
+    def _cpu_series(
+        self,
+        archetype: UserArchetype,
+        size: float,
+        horizon: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        hours = np.arange(horizon)
+        if archetype is UserArchetype.SERVICE:
+            phase = 2.0 * np.pi * (hours % 24) / 24.0
+            seasonal = 1.0 + rng.uniform(0.2, 0.5) * np.sin(phase + rng.uniform(0, 2 * np.pi))
+            noise = rng.normal(1.0, 0.1, size=horizon)
+            series = size * seasonal * noise
+        elif archetype is UserArchetype.BATCH:
+            duty = rng.uniform(0.15, 0.5)
+            mean_on = rng.uniform(4.0, 24.0)
+            mean_off = mean_on * (1.0 - duty) / duty
+            state = rng.random() < duty
+            series = np.zeros(horizon)
+            flips = rng.random(horizon)
+            for t in range(horizon):
+                if state:
+                    series[t] = size * rng.uniform(0.8, 1.2)
+                    state = flips[t] >= 1.0 / mean_on
+                else:
+                    state = flips[t] < 1.0 / mean_off
+        else:  # BURSTY
+            probability = rng.uniform(0.01, 0.05)
+            bursts = rng.random(horizon) < probability
+            magnitudes = size * (1.0 + rng.pareto(1.6, size=horizon))
+            series = np.where(bursts, magnitudes, 0.0)
+        return np.clip(series, 0.0, None)
+
+
+def synthesize_google_population(
+    n_users: int,
+    horizon: int,
+    rng: np.random.Generator,
+    capacity: MachineCapacity = MachineCapacity(cpu=0.25, memory=0.25, disk=0.25),
+) -> list[DemandTrace]:
+    """End-to-end: synthesize resource traces and preprocess to demands.
+
+    The default capacity of 0.25 of the largest machine matches a
+    mid-size instance type, so typical users need several instances.
+    """
+    synthesizer = ClusterTraceSynthesizer(n_users=n_users)
+    users = synthesizer.generate(horizon, rng)
+    return [resources_to_demand(user, capacity) for user in users]

@@ -1,0 +1,190 @@
+"""The paper's three fluctuation groups and the 300-user population.
+
+Section VI-A selects 300 users and splits them into three groups of 100 by
+the fluctuation of their demand (σ/μ): stable (< 1), slightly fluctuating
+(1–3), and highly fluctuating (> 3). This module provides the grouping
+logic and a deterministic population builder that mixes the library's
+trace sources (target-CV processes, EC2-log style applications, Google
+cluster-style users) while guaranteeing every user lands in its group's
+σ/μ band.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.workload.base import DemandTrace
+from repro.workload.synthetic import TargetCVWorkload
+
+
+class FluctuationGroup(enum.Enum):
+    """The paper's three demand-fluctuation groups (Fig. 2)."""
+
+    STABLE = "stable"  # sigma/mu < 1
+    MODERATE = "moderate"  # 1 < sigma/mu < 3
+    BURSTY = "bursty"  # sigma/mu > 3
+
+    @property
+    def cv_band(self) -> tuple[float, float]:
+        """The (low, high) σ/μ band of this group."""
+        return _GROUP_BANDS[self]
+
+    def contains(self, cv: float) -> bool:
+        """Whether a σ/μ value falls in this group's band."""
+        low, high = self.cv_band
+        return low <= cv < high
+
+
+_GROUP_BANDS: dict[FluctuationGroup, tuple[float, float]] = {
+    FluctuationGroup.STABLE: (0.0, 1.0),
+    FluctuationGroup.MODERATE: (1.0, 3.0),
+    FluctuationGroup.BURSTY: (3.0, math.inf),
+}
+
+
+def classify(cv: float) -> FluctuationGroup:
+    """Map a σ/μ value to its group (boundaries go to the higher group)."""
+    if cv < 0:
+        raise WorkloadError(f"sigma/mu cannot be negative, got {cv!r}")
+    if cv < 1.0:
+        return FluctuationGroup.STABLE
+    if cv < 3.0:
+        return FluctuationGroup.MODERATE
+    return FluctuationGroup.BURSTY
+
+
+def classify_trace(trace: DemandTrace) -> FluctuationGroup:
+    """Group of a demand trace by its realised σ/μ."""
+    return classify(trace.cv)
+
+
+@dataclass(frozen=True)
+class UserWorkload:
+    """One user of the experimental population."""
+
+    user_id: str
+    trace: DemandTrace
+    group: FluctuationGroup
+
+    @property
+    def cv(self) -> float:
+        return self.trace.cv
+
+
+#: Users per group in the paper's population.
+PAPER_USERS_PER_GROUP = 100
+
+
+def _target_cv_for(group: FluctuationGroup, rng: np.random.Generator) -> float:
+    """Draw a target σ/μ inside the group's band, away from the edges."""
+    if group is FluctuationGroup.STABLE:
+        return float(rng.uniform(0.45, 0.95))
+    if group is FluctuationGroup.MODERATE:
+        return float(rng.uniform(1.15, 2.8))
+    return float(rng.uniform(3.3, 8.0))
+
+
+#: Mean on-episode length per group. Stable demand persists for days;
+#: high σ/μ comes from rare, *short* bursts — the burst length, relative
+#: to the decision window, is what makes keep-vs-sell non-trivial.
+GROUP_MEAN_ON_HOURS: dict[FluctuationGroup, float] = {
+    FluctuationGroup.STABLE: 72.0,
+    FluctuationGroup.MODERATE: 24.0,
+    FluctuationGroup.BURSTY: 8.0,
+}
+
+#: Episode-height dispersion per group. A stable service returns to a
+#: similar level every episode (its per-rank utilisation is bimodal:
+#: base capacity almost always busy, peak capacity almost never); bursty
+#: users' spike sizes are heavy-tailed.
+GROUP_LEVEL_SIGMA: dict[FluctuationGroup, float] = {
+    FluctuationGroup.STABLE: 0.45,
+    FluctuationGroup.MODERATE: 0.8,
+    FluctuationGroup.BURSTY: 1.2,
+}
+
+#: Always-on base load as a fraction of the user's mean demand. Even
+#: fluctuating tenants keep long-running services; only the truly bursty
+#: group has (almost) no floor. The floor is what makes indiscriminate
+#: selling costly: base capacity is near-fully utilised.
+GROUP_BASE_FRACTION: dict[FluctuationGroup, float] = {
+    FluctuationGroup.STABLE: 0.5,
+    FluctuationGroup.MODERATE: 0.3,
+    FluctuationGroup.BURSTY: 0.2,
+}
+
+
+def make_group_member(
+    group: FluctuationGroup,
+    user_id: str,
+    horizon: int,
+    rng: np.random.Generator,
+    mean_demand: float = 5.0,
+    max_attempts: int = 25,
+) -> UserWorkload:
+    """Synthesize one user whose realised σ/μ falls inside ``group``.
+
+    Draws from :class:`TargetCVWorkload` and retries (with fresh targets)
+    until the realised coefficient of variation is inside the band.
+    """
+    if horizon <= 0:
+        raise WorkloadError(f"horizon must be positive, got {horizon!r}")
+    for _ in range(max_attempts):
+        target = _target_cv_for(group, rng)
+        generator = TargetCVWorkload(
+            target_cv=target,
+            mean_demand=mean_demand,
+            mean_on_hours=GROUP_MEAN_ON_HOURS[group],
+            level_sigma=GROUP_LEVEL_SIGMA[group],
+            base_fraction=GROUP_BASE_FRACTION[group],
+            name=user_id,
+        )
+        trace = generator.generate(horizon, rng)
+        if math.isfinite(trace.cv) and group.contains(trace.cv):
+            return UserWorkload(user_id=user_id, trace=trace, group=group)
+    raise WorkloadError(
+        f"could not synthesize a {group.value} user within {max_attempts} attempts "
+        f"(horizon={horizon}, mean_demand={mean_demand}); the horizon may be too "
+        f"short for the requested fluctuation level"
+    )
+
+
+def build_population(
+    users_per_group: int = PAPER_USERS_PER_GROUP,
+    horizon: int = 8760,
+    seed: int = 0,
+    mean_demand: float = 5.0,
+) -> list[UserWorkload]:
+    """Build the paper's experimental population (Section VI-A).
+
+    Returns ``3 * users_per_group`` users, 100 per fluctuation group in
+    the paper's configuration, deterministically from ``seed``.
+    """
+    if users_per_group <= 0:
+        raise WorkloadError(f"users_per_group must be positive, got {users_per_group!r}")
+    rng = np.random.default_rng(seed)
+    population: list[UserWorkload] = []
+    for group in FluctuationGroup:
+        for index in range(users_per_group):
+            user_id = f"{group.value}-{index:03d}"
+            population.append(
+                make_group_member(group, user_id, horizon, rng, mean_demand)
+            )
+    return population
+
+
+def population_by_group(
+    population: list[UserWorkload],
+) -> dict[FluctuationGroup, list[UserWorkload]]:
+    """Index a population by its groups (preserving order)."""
+    groups: dict[FluctuationGroup, list[UserWorkload]] = {
+        group: [] for group in FluctuationGroup
+    }
+    for user in population:
+        groups[user.group].append(user)
+    return groups

@@ -1,0 +1,142 @@
+"""Loading and saving demand traces (bring-your-own-data path).
+
+The paper's raw datasets (the Wisconsin "cloudmeasure" EC2 usage logs
+and the Google cluster trace) are not redistributable, but users who
+have them — or any of their own billing exports — can feed them in here:
+
+* :func:`load_demand_csv` / :func:`save_demand_csv` — one hourly demand
+  value per row (optionally ``hour,demand`` pairs with gaps filled);
+* :func:`load_usage_log` — event-style logs with ``start,end,count``
+  rows (instance acquisitions), rasterised to hourly concurrency, the
+  shape of the cloudmeasure files;
+* :func:`load_resource_csv` — per-hour resource-request rows
+  (``hour,cpu,memory,disk``), producing a
+  :class:`~repro.workload.google.UserResourceTrace` for the paper's
+  resource→instance preprocessing.
+"""
+
+from __future__ import annotations
+
+import csv
+import math
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.workload.base import DemandTrace
+from repro.workload.google import UserResourceTrace
+
+
+def _open_rows(path) -> list[list[str]]:
+    path = Path(path)
+    if not path.exists():
+        raise WorkloadError(f"no such trace file: {path}")
+    with path.open(newline="") as handle:
+        rows = [row for row in csv.reader(handle) if row and not row[0].startswith("#")]
+    if not rows:
+        raise WorkloadError(f"trace file {path} is empty")
+    return rows
+
+
+def _skip_header(rows: list[list[str]]) -> list[list[str]]:
+    try:
+        float(rows[0][0])
+    except ValueError:
+        return rows[1:]
+    return rows
+
+
+def load_demand_csv(path, name: str = "") -> DemandTrace:
+    """Load a demand trace from CSV.
+
+    Accepts either one demand per row, or ``hour,demand`` rows (hours
+    may be sparse and unordered; missing hours are zero). A header row
+    is skipped automatically.
+    """
+    rows = _skip_header(_open_rows(path))
+    if not rows:
+        raise WorkloadError(f"trace file {path} has a header but no data")
+    width = len(rows[0])
+    if width == 1:
+        demands = [float(row[0]) for row in rows]
+        return DemandTrace(demands, name=name or Path(path).stem)
+    if width >= 2:
+        pairs = [(int(float(row[0])), float(row[1])) for row in rows]
+        if any(hour < 0 for hour, _ in pairs):
+            raise WorkloadError("hour indices must be non-negative")
+        horizon = max(hour for hour, _ in pairs) + 1
+        demands = np.zeros(horizon)
+        for hour, demand in pairs:
+            demands[hour] = demand
+        return DemandTrace(demands, name=name or Path(path).stem)
+    raise WorkloadError(f"cannot interpret rows of width {width}")
+
+
+def save_demand_csv(trace: DemandTrace, path) -> None:
+    """Write a trace as ``hour,demand`` rows with a header."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["hour", "demand"])
+        for hour, demand in enumerate(trace):
+            writer.writerow([hour, demand])
+
+
+def load_usage_log(path, horizon: "int | None" = None, name: str = "") -> DemandTrace:
+    """Rasterise an event log of ``start,end[,count]`` rows to hourly
+    concurrency (the cloudmeasure shape: instance launch/stop times).
+
+    ``end`` is exclusive; ``count`` defaults to 1. ``horizon`` defaults
+    to the latest end hour.
+    """
+    rows = _skip_header(_open_rows(path))
+    events = []
+    for row in rows:
+        if len(row) < 2:
+            raise WorkloadError(f"usage-log rows need start,end[,count]: {row!r}")
+        start, end = int(float(row[0])), int(float(row[1]))
+        count = int(float(row[2])) if len(row) > 2 else 1
+        if start < 0 or end < start:
+            raise WorkloadError(f"bad event interval [{start}, {end})")
+        if count < 0:
+            raise WorkloadError(f"negative event count: {count}")
+        events.append((start, end, count))
+    inferred = max((end for _, end, _ in events), default=0)
+    horizon = horizon if horizon is not None else inferred
+    if horizon <= 0:
+        raise WorkloadError("cannot infer a positive horizon from the log")
+    demands = np.zeros(horizon + 1, dtype=np.int64)
+    for start, end, count in events:
+        if start >= horizon:
+            continue
+        demands[start] += count
+        demands[min(end, horizon)] -= count
+    return DemandTrace(np.cumsum(demands[:horizon]), name=name or Path(path).stem)
+
+
+def load_resource_csv(path, user_id: str = "") -> UserResourceTrace:
+    """Load ``hour,cpu,memory,disk`` rows into a resource trace.
+
+    Feed the result to :func:`repro.workload.google.resources_to_demand`
+    for the paper's preprocessing step.
+    """
+    rows = _skip_header(_open_rows(path))
+    parsed = []
+    for row in rows:
+        if len(row) < 4:
+            raise WorkloadError(f"resource rows need hour,cpu,memory,disk: {row!r}")
+        parsed.append((int(float(row[0])), *(float(v) for v in row[1:4])))
+    if any(not math.isfinite(v) for _, *values in parsed for v in values):
+        raise WorkloadError("resource requests must be finite")
+    horizon = max(hour for hour, *_ in parsed) + 1
+    cpu = np.zeros(horizon)
+    memory = np.zeros(horizon)
+    disk = np.zeros(horizon)
+    for hour, c, m, d in parsed:
+        cpu[hour] += c
+        memory[hour] += m
+        disk[hour] += d
+    return UserResourceTrace(
+        user_id=user_id or Path(path).stem, cpu=cpu, memory=memory, disk=disk
+    )

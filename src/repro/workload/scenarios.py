@@ -1,0 +1,181 @@
+"""Named workload scenarios: realistic composite demand shapes.
+
+The primitive generators each produce one statistical shape; real
+tenants are mixtures — a web tier with a nightly batch window, a dev
+fleet that goes home at 18:00, a retail site with seasonal peaks. This
+module composes the primitives into a small library of named scenarios
+used by the examples and useful as ready-made test workloads.
+
+All scenarios implement the :class:`~repro.workload.base.WorkloadGenerator`
+protocol, so anything that accepts a generator accepts a scenario.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.workload.base import DemandTrace
+from repro.workload.synthetic import (
+    DiurnalWorkload,
+    OnOffWorkload,
+    SpikyWorkload,
+    StableWorkload,
+)
+
+
+def _combine(traces: "list[DemandTrace]", name: str) -> DemandTrace:
+    total = np.zeros(len(traces[0]), dtype=np.int64)
+    for trace in traces:
+        total += trace.values
+    return DemandTrace(total, name=name)
+
+
+@dataclass(frozen=True)
+class WebApplication:
+    """Interactive web tier + nightly batch jobs.
+
+    Daytime-peaking interactive demand with a weekend dip, plus a batch
+    component that runs in bursts (reports, backups) — the shape of the
+    application logs in the paper's first dataset.
+    """
+
+    interactive_level: float = 12.0
+    batch_level: float = 4.0
+    name: str = "web-application"
+
+    def generate(self, horizon: int, rng: np.random.Generator) -> DemandTrace:
+        """Synthesize the combined interactive + batch demand."""
+        interactive = DiurnalWorkload(
+            base_level=self.interactive_level,
+            daily_amplitude=0.5,
+            weekend_dip=0.35,
+            relative_noise=0.08,
+        ).generate(horizon, rng)
+        batch = OnOffWorkload(
+            on_level=self.batch_level, mean_on_hours=6.0, mean_off_hours=18.0
+        ).generate(horizon, rng)
+        return _combine([interactive, batch], self.name)
+
+
+@dataclass(frozen=True)
+class DevTestFleet:
+    """Workday-only development machines.
+
+    Demand exists 9:00–18:00 on weekdays and is near zero otherwise —
+    utilisation far below any break-even, the classic over-reservation
+    story the marketplace was built for.
+    """
+
+    team_size: int = 8
+    workday_start: int = 9
+    workday_end: int = 18
+    name: str = "dev-test-fleet"
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.workday_start < self.workday_end <= 24:
+            raise WorkloadError("need 0 <= workday_start < workday_end <= 24")
+        if self.team_size <= 0:
+            raise WorkloadError(f"team_size must be positive, got {self.team_size!r}")
+
+    def generate(self, horizon: int, rng: np.random.Generator) -> DemandTrace:
+        """Synthesize workday-gated demand."""
+        hours = np.arange(horizon)
+        hour_of_day = hours % 24
+        weekday = (hours // 24) % 7 < 5
+        at_work = (
+            weekday
+            & (hour_of_day >= self.workday_start)
+            & (hour_of_day < self.workday_end)
+        )
+        present = rng.binomial(self.team_size, 0.8, size=horizon)
+        return DemandTrace(np.where(at_work, present, 0), name=self.name)
+
+
+@dataclass(frozen=True)
+class SeasonalRetail:
+    """Retail traffic with a high season and promotional spikes."""
+
+    base_level: float = 8.0
+    season_multiplier: float = 2.5
+    season_start_fraction: float = 0.7  # high season in the last ~quarter
+    name: str = "seasonal-retail"
+
+    def __post_init__(self) -> None:
+        if self.season_multiplier < 1.0:
+            raise WorkloadError("season_multiplier must be >= 1")
+        if not 0.0 <= self.season_start_fraction < 1.0:
+            raise WorkloadError("season_start_fraction must lie in [0, 1)")
+
+    def generate(self, horizon: int, rng: np.random.Generator) -> DemandTrace:
+        """Synthesize base traffic, a high season, and promo spikes."""
+        base = DiurnalWorkload(
+            base_level=self.base_level, daily_amplitude=0.4, weekend_dip=0.0,
+            relative_noise=0.1,
+        ).generate(horizon, rng)
+        season_start = int(self.season_start_fraction * horizon)
+        seasonal = base.values.astype(float)
+        seasonal[season_start:] *= self.season_multiplier
+        promos = SpikyWorkload(
+            spike_probability=0.01, spike_scale=self.base_level, pareto_shape=2.0
+        ).generate(horizon, rng)
+        return DemandTrace(
+            np.rint(seasonal).astype(np.int64) + promos.values, name=self.name
+        )
+
+
+@dataclass(frozen=True)
+class MLTraining:
+    """Research training jobs: long GPU bursts separated by idle weeks."""
+
+    gpus_per_job: int = 8
+    mean_job_hours: float = 72.0
+    mean_gap_hours: float = 240.0
+    name: str = "ml-training"
+
+    def generate(self, horizon: int, rng: np.random.Generator) -> DemandTrace:
+        """Synthesize job-burst demand."""
+        burst = OnOffWorkload(
+            on_level=float(self.gpus_per_job),
+            mean_on_hours=self.mean_job_hours,
+            mean_off_hours=self.mean_gap_hours,
+        ).generate(horizon, rng)
+        return DemandTrace(burst.values, name=self.name)
+
+
+@dataclass(frozen=True)
+class SteadyService:
+    """A boring, well-provisioned internal service (the keep case)."""
+
+    level: float = 6.0
+    name: str = "steady-service"
+
+    def generate(self, horizon: int, rng: np.random.Generator) -> DemandTrace:
+        """Synthesize near-constant demand."""
+        trace = StableWorkload(
+            mean_level=self.level, relative_noise=0.08, reversion=0.5
+        ).generate(horizon, rng)
+        return DemandTrace(trace.values, name=self.name)
+
+
+#: The scenario registry, by name.
+SCENARIOS = {
+    "web-application": WebApplication,
+    "dev-test-fleet": DevTestFleet,
+    "seasonal-retail": SeasonalRetail,
+    "ml-training": MLTraining,
+    "steady-service": SteadyService,
+}
+
+
+def scenario(name: str, **parameters):
+    """Instantiate a named scenario (``scenario("web-application")``)."""
+    try:
+        factory = SCENARIOS[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown scenario {name!r}; available: {sorted(SCENARIOS)}"
+        ) from None
+    return factory(**parameters)

@@ -1,0 +1,85 @@
+"""Fluctuation statistics over demand traces (paper Fig. 2).
+
+The paper classifies users by the ratio σ/μ of their demand series and
+reports its distribution per group (Fig. 2). This module computes that
+ratio plus the supporting shape statistics (peak-to-mean, zero fraction,
+lag autocorrelation) used to validate that the synthetic traces span the
+same fluctuation spectrum as the paper's two datasets.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.workload.base import DemandTrace
+
+
+@dataclass(frozen=True)
+class FluctuationStats:
+    """Shape summary of one demand trace."""
+
+    mean: float
+    std: float
+    cv: float
+    peak: int
+    peak_to_mean: float
+    zero_fraction: float
+    autocorr_lag1: float
+    autocorr_lag24: float
+
+    @classmethod
+    def of(cls, trace: DemandTrace) -> "FluctuationStats":
+        values = trace.values.astype(np.float64)
+        mean = float(values.mean())
+        std = float(values.std())
+        cv = std / mean if mean > 0 else math.inf
+        peak = int(values.max())
+        return cls(
+            mean=mean,
+            std=std,
+            cv=cv,
+            peak=peak,
+            peak_to_mean=peak / mean if mean > 0 else math.inf,
+            zero_fraction=float(np.mean(values == 0)),
+            autocorr_lag1=autocorrelation(values, 1),
+            autocorr_lag24=autocorrelation(values, 24),
+        )
+
+
+def autocorrelation(values: np.ndarray, lag: int) -> float:
+    """Sample autocorrelation at ``lag`` (0 when undefined or lag too big)."""
+    values = np.asarray(values, dtype=np.float64)
+    n = values.size
+    if lag <= 0 or lag >= n:
+        return 0.0
+    centered = values - values.mean()
+    denominator = float(np.dot(centered, centered))
+    if denominator == 0.0:
+        return 0.0
+    numerator = float(np.dot(centered[:-lag], centered[lag:]))
+    return numerator / denominator
+
+
+def cv_of(trace: DemandTrace) -> float:
+    """Shorthand for the paper's σ/μ fluctuation measure."""
+    return trace.cv
+
+
+def summarize_cvs(traces: "list[DemandTrace]") -> dict[str, float]:
+    """Population-level σ/μ summary used when rendering Fig. 2."""
+    cvs = np.array([t.cv for t in traces], dtype=np.float64)
+    finite = cvs[np.isfinite(cvs)]
+    if finite.size == 0:
+        raise ValueError("no finite sigma/mu values in population")
+    return {
+        "count": float(cvs.size),
+        "min": float(finite.min()),
+        "max": float(finite.max()),
+        "mean": float(finite.mean()),
+        "median": float(np.median(finite)),
+        "p25": float(np.percentile(finite, 25)),
+        "p75": float(np.percentile(finite, 75)),
+    }

@@ -1,0 +1,294 @@
+"""Synthetic demand generators spanning the paper's fluctuation spectrum.
+
+The paper's evaluation (Section VI-A) splits 300 users into three groups by
+the fluctuation of their demand: stable (σ/μ < 1), slightly fluctuating
+(1 < σ/μ < 3), and highly fluctuating (σ/μ > 3). The generators here
+produce hourly instance-demand traces across that whole spectrum:
+
+* :class:`StableWorkload` — mean-reverting AR(1) demand, σ/μ well below 1;
+* :class:`DiurnalWorkload` — day/night and weekday/weekend seasonality,
+  the shape of interactive web applications;
+* :class:`OnOffWorkload` — a two-state Markov burst process (batch jobs);
+* :class:`SpikyWorkload` — mostly idle with heavy-tailed (Pareto) spikes,
+  σ/μ far above 3;
+* :class:`TargetCVWorkload` — a calibrated Bernoulli-spike process whose
+  σ/μ can be dialled to a target, used to build the three groups.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.workload.base import DemandTrace
+
+
+def _require_positive(value: float, name: str) -> None:
+    if not (value > 0 and math.isfinite(value)):
+        raise WorkloadError(f"{name} must be a positive finite number, got {value!r}")
+
+
+def _require_horizon(horizon: int) -> None:
+    if horizon <= 0:
+        raise WorkloadError(f"horizon must be positive, got {horizon!r}")
+
+
+@dataclass(frozen=True)
+class StableWorkload:
+    """Mean-reverting demand with small relative noise (σ/μ < 1).
+
+    An AR(1) process around ``mean_level``: each hour the demand moves a
+    fraction ``reversion`` back toward the mean plus Gaussian noise of
+    ``relative_noise * mean_level`` standard deviation, clipped at zero.
+    """
+
+    mean_level: float = 10.0
+    relative_noise: float = 0.2
+    reversion: float = 0.3
+    name: str = "stable"
+
+    def __post_init__(self) -> None:
+        _require_positive(self.mean_level, "mean_level")
+        if not 0 <= self.relative_noise:
+            raise WorkloadError(f"relative_noise must be >= 0, got {self.relative_noise!r}")
+        if not 0 < self.reversion <= 1:
+            raise WorkloadError(f"reversion must lie in (0, 1], got {self.reversion!r}")
+
+    def generate(self, horizon: int, rng: np.random.Generator) -> DemandTrace:
+        """Synthesize ``horizon`` hours of mean-reverting demand."""
+        _require_horizon(horizon)
+        noise_std = self.relative_noise * self.mean_level
+        levels = np.empty(horizon, dtype=np.float64)
+        current = self.mean_level
+        shocks = rng.normal(0.0, noise_std, size=horizon)
+        for t in range(horizon):
+            current += self.reversion * (self.mean_level - current) + shocks[t]
+            current = max(current, 0.0)
+            levels[t] = current
+        return DemandTrace(np.rint(levels), name=self.name)
+
+
+@dataclass(frozen=True)
+class DiurnalWorkload:
+    """Seasonal demand: a daily sine wave plus a weekend dip plus noise.
+
+    Models the interactive applications behind the paper's EC2 usage logs:
+    demand peaks during the day, troughs at night, and sags on weekends.
+    """
+
+    base_level: float = 10.0
+    daily_amplitude: float = 0.5
+    weekend_dip: float = 0.3
+    relative_noise: float = 0.1
+    period_hours: int = 24
+    name: str = "diurnal"
+
+    def __post_init__(self) -> None:
+        _require_positive(self.base_level, "base_level")
+        if not 0 <= self.daily_amplitude <= 1:
+            raise WorkloadError(
+                f"daily_amplitude must lie in [0, 1], got {self.daily_amplitude!r}"
+            )
+        if not 0 <= self.weekend_dip <= 1:
+            raise WorkloadError(f"weekend_dip must lie in [0, 1], got {self.weekend_dip!r}")
+        if self.period_hours <= 0:
+            raise WorkloadError(f"period_hours must be positive, got {self.period_hours!r}")
+
+    def generate(self, horizon: int, rng: np.random.Generator) -> DemandTrace:
+        """Synthesize ``horizon`` hours of diurnal/weekly demand."""
+        _require_horizon(horizon)
+        hours = np.arange(horizon)
+        phase = 2.0 * np.pi * (hours % self.period_hours) / self.period_hours
+        seasonal = 1.0 + self.daily_amplitude * np.sin(phase)
+        day_index = hours // self.period_hours
+        is_weekend = (day_index % 7) >= 5
+        weekly = np.where(is_weekend, 1.0 - self.weekend_dip, 1.0)
+        noise = rng.normal(1.0, self.relative_noise, size=horizon)
+        levels = np.clip(self.base_level * seasonal * weekly * noise, 0.0, None)
+        return DemandTrace(np.rint(levels), name=self.name)
+
+
+@dataclass(frozen=True)
+class OnOffWorkload:
+    """A two-state Markov burst process (batch-style demand).
+
+    Demand alternates between an *on* state (Poisson around ``on_level``)
+    and an *off* state (zero). Sojourn times are geometric with the given
+    means, so the duty cycle — and hence σ/μ — is tunable.
+    """
+
+    on_level: float = 10.0
+    mean_on_hours: float = 12.0
+    mean_off_hours: float = 36.0
+    name: str = "on-off"
+
+    def __post_init__(self) -> None:
+        _require_positive(self.on_level, "on_level")
+        _require_positive(self.mean_on_hours, "mean_on_hours")
+        _require_positive(self.mean_off_hours, "mean_off_hours")
+
+    def generate(self, horizon: int, rng: np.random.Generator) -> DemandTrace:
+        """Synthesize ``horizon`` hours of two-state burst demand."""
+        _require_horizon(horizon)
+        leave_on = 1.0 / self.mean_on_hours
+        leave_off = 1.0 / self.mean_off_hours
+        duty_cycle = self.mean_on_hours / (self.mean_on_hours + self.mean_off_hours)
+        demands = np.zeros(horizon, dtype=np.int64)
+        is_on = bool(rng.random() < duty_cycle)
+        transitions = rng.random(horizon)
+        for t in range(horizon):
+            if is_on:
+                demands[t] = rng.poisson(self.on_level)
+                if transitions[t] < leave_on:
+                    is_on = False
+            elif transitions[t] < leave_off:
+                is_on = True
+        return DemandTrace(demands, name=self.name)
+
+
+@dataclass(frozen=True)
+class SpikyWorkload:
+    """Mostly idle demand with heavy-tailed spikes (σ/μ > 3).
+
+    Each hour, a spike arrives with probability ``spike_probability``; its
+    size is Pareto-distributed with shape ``pareto_shape`` and scale
+    ``spike_scale``. The small shape parameter produces the extreme
+    peak-to-mean ratios of the paper's "highly fluctuating" group.
+    """
+
+    spike_probability: float = 0.02
+    spike_scale: float = 8.0
+    pareto_shape: float = 1.5
+    name: str = "spiky"
+
+    def __post_init__(self) -> None:
+        if not 0 < self.spike_probability <= 1:
+            raise WorkloadError(
+                f"spike_probability must lie in (0, 1], got {self.spike_probability!r}"
+            )
+        _require_positive(self.spike_scale, "spike_scale")
+        _require_positive(self.pareto_shape, "pareto_shape")
+
+    def generate(self, horizon: int, rng: np.random.Generator) -> DemandTrace:
+        """Synthesize ``horizon`` hours of heavy-tailed spike demand."""
+        _require_horizon(horizon)
+        spikes = rng.random(horizon) < self.spike_probability
+        sizes = self.spike_scale * (1.0 + rng.pareto(self.pareto_shape, size=horizon))
+        demands = np.where(spikes, np.rint(sizes), 0.0)
+        return DemandTrace(demands, name=self.name)
+
+
+@dataclass(frozen=True)
+class TargetCVWorkload:
+    """An episodic on/off process calibrated to hit a target σ/μ.
+
+    Demand alternates between *off* episodes (zero) and *on* episodes
+    during which the level is drawn once (Poisson around
+    ``mean_demand / q``) and held — cloud workloads are strongly
+    autocorrelated, and the persistence is what makes keep-vs-sell
+    decisions non-trivial (an instance busy before the decision spot
+    tends to stay needed after it). For duty cycle ``q`` the process σ/μ
+    is close to sqrt((1 − q)/q), so ``q = 1 / (1 + cv²)`` targets the
+    requested coefficient of variation; :meth:`generate` additionally
+    runs a few multiplicative correction rounds on the realised trace.
+
+    ``mean_on_hours`` sets the persistence: mean length of an on-episode
+    (off-episodes get ``mean_on_hours × (1 − q)/q`` so the duty cycle is
+    preserved).
+    """
+
+    target_cv: float = 1.0
+    mean_demand: float = 5.0
+    mean_on_hours: float = 48.0
+    level_sigma: float = 1.0
+    base_fraction: float = 0.0
+    calibration_rounds: int = 8
+    name: str = "target-cv"
+
+    def __post_init__(self) -> None:
+        _require_positive(self.target_cv, "target_cv")
+        _require_positive(self.mean_demand, "mean_demand")
+        _require_positive(self.mean_on_hours, "mean_on_hours")
+        if self.level_sigma < 0:
+            raise WorkloadError(f"level_sigma must be >= 0, got {self.level_sigma!r}")
+        if not 0.0 <= self.base_fraction < 1.0:
+            raise WorkloadError(
+                f"base_fraction must lie in [0, 1), got {self.base_fraction!r}"
+            )
+        if self.calibration_rounds < 0:
+            raise WorkloadError(
+                f"calibration_rounds must be >= 0, got {self.calibration_rounds!r}"
+            )
+
+    @property
+    def _effective_level_sigma(self) -> float:
+        """Level dispersion capped for low targets: the log-normal height
+        mix alone contributes roughly sqrt(e^{σ²} − 1) to σ/μ, which must
+        not exceed what the target allows."""
+        return min(self.level_sigma, 0.6 * self.target_cv)
+
+    def _draw(self, horizon: int, q: float, rng: np.random.Generator) -> DemandTrace:
+        q = min(max(q, 1e-4), 1.0 - 1e-9)
+        base = int(round(self.base_fraction * self.mean_demand))
+        episodic_mean = max(self.mean_demand - base, 0.25)
+        level = max(episodic_mean / q, 1.0)
+        mean_off_hours = self.mean_on_hours * (1.0 - q) / q
+        # Episode heights are heavy-tailed (log-normal with unit mean
+        # multiplier): most episodes are modest, a few are large — the
+        # size mix of real burst processes, as opposed to a Poisson draw
+        # whose episodes would all share one typical height.
+        sigma = self._effective_level_sigma
+        log_mu = -0.5 * sigma**2
+        demands = np.zeros(horizon, dtype=np.int64)
+        hour = 0
+        is_on = bool(rng.random() < q)
+        while hour < horizon:
+            if is_on:
+                episode = 1 + int(rng.geometric(1.0 / self.mean_on_hours))
+                multiplier = float(rng.lognormal(log_mu, sigma))
+                magnitude = max(int(round(level * multiplier)), 1)
+                # Small per-hour jitter on top of the episode level keeps
+                # the trace from being perfectly flat within an episode.
+                end = min(hour + episode, horizon)
+                jitter = rng.poisson(max(magnitude * 0.05, 0.01), size=end - hour)
+                demands[hour:end] = magnitude + jitter
+                hour = end
+            else:
+                # Exponential gaps may round to zero, so a duty cycle near
+                # one degenerates gracefully to always-on.
+                hour += int(round(rng.exponential(mean_off_hours)))
+            is_on = not is_on
+        if base:
+            demands += base  # always-on floor (long-running services)
+        return DemandTrace(demands, name=self.name)
+
+    def generate(self, horizon: int, rng: np.random.Generator) -> DemandTrace:
+        """Synthesize ``horizon`` hours calibrated to the target σ/μ."""
+        _require_horizon(horizon)
+        q = 1.0 / (1.0 + self.target_cv**2)
+        best_trace: "DemandTrace | None" = None
+        best_error = math.inf
+        for _ in range(self.calibration_rounds + 1):
+            trace = self._draw(horizon, q, rng)
+            realised = trace.cv
+            if not math.isfinite(realised) or realised <= 0:
+                # The horizon missed every episode — make them denser.
+                q = min(q * 4.0, 1.0 - 1e-9)
+                continue
+            error = abs(realised - self.target_cv) / self.target_cv
+            if error < best_error:
+                best_trace, best_error = trace, error
+            if error < 0.05:
+                break
+            # Move q toward the target: smaller q -> rarer, larger
+            # episodes -> higher cv. Damped (linear, clamped) so the
+            # correction cannot oscillate across the target.
+            adjust = min(max(realised / self.target_cv, 0.5), 2.0)
+            q = min(max(q * adjust, 1e-4), 1.0 - 1e-9)
+        if best_trace is None:
+            # Every draw was empty: fall back to the densest possible one.
+            best_trace = self._draw(horizon, 1.0 - 1e-9, rng)
+        return best_trace

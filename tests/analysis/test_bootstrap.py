@@ -1,0 +1,71 @@
+"""Unit tests for repro.analysis.bootstrap."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.bootstrap import ConfidenceInterval, bootstrap_ci, difference_ci
+from repro.errors import ReproError
+
+
+class TestBootstrapCI:
+    def test_interval_brackets_the_estimate(self, rng):
+        samples = rng.normal(0.85, 0.1, size=200)
+        ci = bootstrap_ci(samples)
+        assert ci.low <= ci.estimate <= ci.high
+        assert ci.contains(ci.estimate)
+
+    def test_interval_narrows_with_more_data(self, rng):
+        small = bootstrap_ci(rng.normal(0.85, 0.1, size=30), seed=1)
+        large = bootstrap_ci(rng.normal(0.85, 0.1, size=3000), seed=1)
+        assert large.width < small.width
+
+    def test_covers_the_true_mean_typically(self, rng):
+        hits = 0
+        for trial in range(40):
+            samples = rng.normal(0.5, 0.2, size=100)
+            if bootstrap_ci(samples, seed=trial).contains(0.5):
+                hits += 1
+        assert hits >= 32  # ~95% nominal; generous slack
+
+    def test_custom_statistic(self, rng):
+        samples = rng.normal(0.0, 1.0, size=500)
+        ci = bootstrap_ci(samples, statistic=np.median)
+        assert ci.contains(float(np.median(samples)))
+
+    def test_deterministic_in_seed(self, rng):
+        samples = rng.normal(0.0, 1.0, size=50)
+        assert bootstrap_ci(samples, seed=3) == bootstrap_ci(samples, seed=3)
+
+    def test_str(self):
+        ci = ConfidenceInterval(0.8, 0.7, 0.9, 0.95, 100)
+        assert "[0.7000, 0.9000]" in str(ci)
+
+    @pytest.mark.parametrize("bad", [[1.0], [[1.0, 2.0]]])
+    def test_sample_validation(self, bad):
+        with pytest.raises(ReproError):
+            bootstrap_ci(bad)
+
+    def test_parameter_validation(self, rng):
+        samples = rng.normal(size=10)
+        with pytest.raises(ReproError):
+            bootstrap_ci(samples, confidence=1.0)
+        with pytest.raises(ReproError):
+            bootstrap_ci(samples, resamples=5)
+
+
+class TestDifferenceCI:
+    def test_detects_a_real_ordering(self, rng):
+        base = rng.normal(0.9, 0.05, size=300)
+        better = base - rng.normal(0.1, 0.02, size=300)
+        ci = difference_ci(better, base)
+        assert ci.high < 0.0  # better is smaller, decisively
+
+    def test_no_effect_spans_zero(self, rng):
+        a = rng.normal(0.9, 0.1, size=300)
+        b = a + rng.normal(0.0, 0.001, size=300)
+        ci = difference_ci(a, b)
+        assert ci.contains(0.0)
+
+    def test_shape_mismatch_rejected(self, rng):
+        with pytest.raises(ReproError):
+            difference_ci(rng.normal(size=10), rng.normal(size=5))

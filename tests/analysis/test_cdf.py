@@ -1,0 +1,59 @@
+"""Unit tests for repro.analysis.cdf."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.cdf import EmpiricalCDF
+from repro.errors import ReproError
+
+
+class TestEmpiricalCDF:
+    def test_step_values(self):
+        cdf = EmpiricalCDF([1.0, 2.0, 3.0, 4.0])
+        assert cdf(0.5) == 0.0
+        assert cdf(1.0) == 0.25
+        assert cdf(2.5) == 0.5
+        assert cdf(4.0) == 1.0
+
+    def test_evaluate_vectorised(self):
+        cdf = EmpiricalCDF([1.0, 2.0])
+        np.testing.assert_allclose(cdf.evaluate([0.0, 1.0, 2.0]), [0.0, 0.5, 1.0])
+
+    def test_quantiles(self):
+        cdf = EmpiricalCDF(np.arange(101, dtype=float))
+        assert cdf.quantile(0.5) == pytest.approx(50.0)
+        with pytest.raises(ReproError):
+            cdf.quantile(1.5)
+
+    def test_fraction_below_strict_vs_inclusive(self):
+        cdf = EmpiricalCDF([1.0, 1.0, 2.0, 3.0])
+        assert cdf.fraction_below(1.0) == 0.5
+        assert cdf.fraction_below(1.0, strict=True) == 0.0
+        assert cdf.fraction_above(1.0) == 0.5
+        assert cdf.fraction_above(1.0, strict=False) == 1.0
+
+    def test_support_and_curve(self):
+        cdf = EmpiricalCDF([3.0, 1.0, 2.0])
+        assert cdf.support() == (1.0, 3.0)
+        xs, ys = cdf.curve(points=10)
+        assert xs.shape == ys.shape == (10,)
+        assert ys[0] > 0.0 and ys[-1] == 1.0
+        assert np.all(np.diff(ys) >= 0)
+
+    def test_constant_sample_curve(self):
+        xs, ys = EmpiricalCDF([2.0, 2.0]).curve()
+        assert ys[-1] == 1.0
+
+    def test_samples_read_only(self):
+        cdf = EmpiricalCDF([1.0, 2.0])
+        with pytest.raises(ValueError):
+            cdf.samples[0] = 9.0
+
+    @pytest.mark.parametrize("bad", [[], [float("nan")], [[1.0, 2.0]]])
+    def test_validation(self, bad):
+        with pytest.raises(ReproError):
+            EmpiricalCDF(bad)
+
+    def test_curve_points_validated(self):
+        with pytest.raises(ReproError):
+            EmpiricalCDF([1.0]).curve(points=1)

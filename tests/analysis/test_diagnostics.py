@@ -1,0 +1,68 @@
+"""Unit tests for repro.analysis.diagnostics (savings waterfall)."""
+
+import pytest
+
+from repro.analysis.diagnostics import decompose_savings, explain
+from repro.core.coupled import run_coupled
+from repro.core.policies import KeepReservedPolicy, OnlineSellingPolicy
+from repro.core.simulator import run_policy
+from repro.errors import ReproError
+from repro.purchasing.stepper import AllReservedStepper
+
+S1_DEMANDS = [1, 1, 0, 0, 1, 1, 1, 1] + [0] * 8
+S1_RESERVATIONS = [1] + [0] * 15
+
+
+@pytest.fixture
+def results(toy_model):
+    keep = run_policy(S1_DEMANDS, S1_RESERVATIONS, toy_model, KeepReservedPolicy())
+    sell = run_policy(
+        S1_DEMANDS, S1_RESERVATIONS, toy_model, OnlineSellingPolicy.a_t2()
+    )
+    return keep, sell
+
+
+class TestWaterfall:
+    def test_reconstructs_scenario_s1(self, results):
+        keep, sell = results
+        waterfall = decompose_savings(keep, sell)
+        # Keep = 10, A_{T/2} = 11 (the hand-computed scenario): income 2,
+        # avoided fees 1 (4 fewer active hours at 0.25), extra on-demand 4.
+        assert waterfall.saving == pytest.approx(-1.0)
+        assert waterfall.sale_income == pytest.approx(2.0)
+        assert waterfall.avoided_reserved_fees == pytest.approx(1.0)
+        assert waterfall.extra_on_demand == pytest.approx(4.0)
+        assert waterfall.extra_upfronts == 0.0
+        assert waterfall.check()
+
+    def test_saving_fraction(self, results):
+        keep, sell = results
+        waterfall = decompose_savings(keep, sell)
+        assert waterfall.saving_fraction == pytest.approx(-0.1)
+
+    def test_coupled_run_shows_rebuy_upfronts(self, toy_model):
+        demands = [1, 1, 0, 0, 0, 0, 1, 1] + [0] * 8
+        keep = run_coupled(
+            demands, AllReservedStepper(), toy_model, KeepReservedPolicy()
+        )
+        sell = run_coupled(
+            demands, AllReservedStepper(), toy_model, OnlineSellingPolicy.a_t2()
+        )
+        waterfall = decompose_savings(keep, sell)
+        assert waterfall.extra_upfronts > 0  # the replacement purchase
+        assert waterfall.check()
+
+    def test_mismatched_inputs_rejected(self, toy_model, results):
+        keep, _ = results
+        other = run_policy(
+            [2] * 16, S1_RESERVATIONS, toy_model, KeepReservedPolicy()
+        )
+        with pytest.raises(ReproError):
+            decompose_savings(keep, other)
+
+    def test_explain_renders_flows(self, results):
+        keep, sell = results
+        text = explain(decompose_savings(keep, sell), label="A_{T/2}")
+        assert "A_{T/2}" in text
+        assert "marketplace income" in text
+        assert "extra on-demand" in text

@@ -1,0 +1,78 @@
+"""Unit tests for repro.analysis.normalize and repro.analysis.summary."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.normalize import KEEP_RESERVED, normalize_costs, savings
+from repro.analysis.summary import SavingsSummary, group_means
+from repro.errors import ReproError
+
+
+class TestNormalize:
+    def test_divides_by_baseline(self):
+        costs = {KEEP_RESERVED: [10.0, 20.0], "A": [9.0, 22.0]}
+        normalized = normalize_costs(costs)
+        np.testing.assert_allclose(normalized["A"], [0.9, 1.1])
+        np.testing.assert_allclose(normalized[KEEP_RESERVED], [1.0, 1.0])
+
+    def test_zero_baseline_users_become_one(self):
+        costs = {KEEP_RESERVED: [0.0, 10.0], "A": [0.0, 5.0]}
+        normalized = normalize_costs(costs)
+        np.testing.assert_allclose(normalized["A"], [1.0, 0.5])
+
+    def test_missing_baseline_raises(self):
+        with pytest.raises(ReproError):
+            normalize_costs({"A": [1.0]})
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ReproError):
+            normalize_costs({KEEP_RESERVED: [1.0, 2.0], "A": [1.0]})
+
+    def test_custom_baseline(self):
+        normalized = normalize_costs({"base": [2.0], "A": [1.0]}, baseline="base")
+        assert normalized["A"][0] == 0.5
+
+    def test_savings(self):
+        np.testing.assert_allclose(savings(np.array([0.8, 1.1])), [0.2, -0.1])
+
+
+class TestSavingsSummary:
+    def test_headline_statistics(self):
+        summary = SavingsSummary.of([0.5, 0.75, 0.9, 1.0, 1.2])
+        assert summary.users == 5
+        assert summary.fraction_saving == pytest.approx(0.6)
+        assert summary.fraction_saving_20pct == pytest.approx(0.4)
+        assert summary.fraction_saving_30pct == pytest.approx(0.2)
+        assert summary.fraction_losing == pytest.approx(0.2)
+        assert summary.worst_increase == pytest.approx(0.2)
+
+    def test_no_losers(self):
+        summary = SavingsSummary.of([0.5, 0.9])
+        assert summary.fraction_losing == 0.0
+        assert summary.worst_increase == 0.0
+
+    def test_describe_mentions_key_numbers(self):
+        text = SavingsSummary.of([0.5, 0.9, 1.1]).describe()
+        assert "%" in text and "mean normalized cost" in text
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            SavingsSummary.of([])
+
+
+class TestGroupMeans:
+    def test_table_iii_shape(self):
+        normalized = {"A": np.array([0.8, 0.9, 0.6, 0.7])}
+        labels = ["g1", "g1", "g2", "g2"]
+        table = group_means(normalized, labels, ["g1", "g2"])
+        assert table["A"]["g1"] == pytest.approx(0.85)
+        assert table["A"]["g2"] == pytest.approx(0.65)
+        assert table["A"]["All users"] == pytest.approx(0.75)
+
+    def test_empty_group_raises(self):
+        with pytest.raises(ReproError):
+            group_means({"A": np.array([1.0])}, ["g1"], ["g1", "g2"])
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ReproError):
+            group_means({"A": np.array([1.0, 2.0])}, ["g1"], ["g1"])

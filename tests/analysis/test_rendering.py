@@ -1,0 +1,71 @@
+"""Unit tests for repro.analysis.tables and repro.analysis.ascii_plots."""
+
+import pytest
+
+from repro.analysis.ascii_plots import SERIES_GLYPHS, ascii_cdf, ascii_histogram
+from repro.analysis.tables import format_cell, format_table
+from repro.errors import ReproError
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        text = format_table(
+            ["Policy", "Cost"], [["A", 0.93], ["B", 0.86]], title="demo"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "Policy" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert "0.9300" in text
+
+    def test_row_width_checked(self):
+        with pytest.raises(ReproError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_cell_formatting(self):
+        assert format_cell(True) == "yes"
+        assert format_cell(False) == "no"
+        assert format_cell(0.5, "{:.1f}") == "0.5"
+        assert format_cell("text") == "text"
+
+    def test_numeric_columns_right_aligned(self):
+        text = format_table(["name", "value"], [["x", 1.0], ["longer", 20.0]])
+        rows = text.splitlines()[2:]
+        assert rows[0].endswith("1.0000")
+
+
+class TestAsciiCdf:
+    def test_renders_all_series_and_legend(self):
+        text = ascii_cdf({"one": [1.0, 2.0], "two": [1.5, 2.5]})
+        assert SERIES_GLYPHS[0] in text and SERIES_GLYPHS[1] in text
+        assert "one" in text and "two" in text
+
+    def test_respects_x_range(self):
+        text = ascii_cdf({"s": [0.5, 1.5]}, x_range=(0.0, 2.0))
+        assert "0.000" in text and "2.000" in text
+
+    def test_constant_sample_handled(self):
+        assert "s" in ascii_cdf({"s": [1.0, 1.0]})
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            ascii_cdf({})
+        with pytest.raises(ReproError):
+            ascii_cdf({"s": [1.0]}, width=5)
+        with pytest.raises(ReproError):
+            ascii_cdf({"s": [1.0]}, x_range=(2.0, 1.0))
+
+
+class TestAsciiHistogram:
+    def test_counts_add_up(self):
+        text = ascii_histogram([1.0, 1.1, 2.0, 3.0], bins=3)
+        lines = text.splitlines()
+        assert len(lines) == 3
+        total = sum(int(line.rsplit(" ", 1)[1]) for line in lines)
+        assert total == 4
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            ascii_histogram([])
+        with pytest.raises(ReproError):
+            ascii_histogram([1.0], bins=0)

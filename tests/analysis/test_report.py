@@ -1,0 +1,71 @@
+"""Unit tests for repro.analysis.report (the one-call user review)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import user_report
+from repro.core.account import CostModel
+from repro.marketplace.seller import SaleLatencyModel
+from repro.purchasing import AllReserved, imitate
+from repro.workload import TargetCVWorkload
+
+
+@pytest.fixture(scope="module")
+def inputs():
+    from repro.pricing.catalog import paper_experiment_plan
+
+    plan = paper_experiment_plan().with_period(96)
+    rng = np.random.default_rng(8)
+    trace = TargetCVWorkload(target_cv=1.5, mean_demand=4.0).generate(192, rng)
+    schedule = imitate(trace, plan, AllReserved())
+    model = CostModel(plan, selling_discount=0.8)
+    return trace, schedule.reservations, model
+
+
+class TestUserReport:
+    @pytest.fixture(scope="class")
+    def report(self, inputs):
+        trace, reservations, model = inputs
+        return user_report(trace, reservations, model,
+                           latency=SaleLatencyModel(base_hazard=0.01))
+
+    def test_all_policies_compared(self, report):
+        assert set(report.policy_results) == {
+            "Keep-Reserved", "A_{3T/4}", "A_{T/2}", "A_{T/4}",
+        }
+
+    def test_recommended_is_the_cheapest_online_policy(self, report):
+        online = {
+            name: result.total_cost
+            for name, result in report.policy_results.items()
+            if name != "Keep-Reserved"
+        }
+        assert report.recommended == min(online, key=online.get)
+
+    def test_opt_lower_bounds_recommendation(self, report):
+        assert (
+            report.opt_result.total_cost
+            <= report.policy_results[report.recommended].total_cost + 1e-9
+        )
+
+    def test_waterfall_reconciles(self, report):
+        assert report.waterfall.check()
+
+    def test_markdown_sections(self, report):
+        text = report.to_markdown()
+        for heading in ("# Reserved-instance selling review",
+                        "## Policy comparison",
+                        "## Where the saving comes from",
+                        "## Current holdings"):
+            assert heading in text
+        assert "Recommended policy" in text
+
+    def test_marketplace_outlook_present_with_latency_model(self, report):
+        if report.advice.to_sell():
+            assert report.listing_value is not None
+            assert "Marketplace outlook" in report.to_markdown()
+
+    def test_without_latency_model(self, inputs):
+        trace, reservations, model = inputs
+        report = user_report(trace, reservations, model)
+        assert report.listing_value is None

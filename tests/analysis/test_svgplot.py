@@ -1,0 +1,101 @@
+"""Unit tests for repro.analysis.svgplot."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.analysis.svgplot import SERIES_COLORS, svg_cdf, write_svg
+from repro.errors import ReproError
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+def parse(document):
+    return ET.fromstring(document)
+
+
+class TestSvgCdf:
+    def test_is_well_formed_xml(self):
+        root = parse(svg_cdf({"a": [0.8, 0.9, 1.0]}, title="demo"))
+        assert root.tag == f"{SVG_NS}svg"
+
+    def test_one_polyline_per_series(self):
+        document = svg_cdf({"a": [0.8, 0.9], "b": [0.7, 1.1]})
+        root = parse(document)
+        polylines = root.findall(f"{SVG_NS}polyline")
+        assert len(polylines) == 2
+        colors = {p.get("stroke") for p in polylines}
+        assert colors == set(SERIES_COLORS[:2])
+
+    def test_legend_and_labels_present(self):
+        document = svg_cdf(
+            {"A_{T/4}": [0.8, 0.9]}, title="Fig 3", x_label="normalized cost"
+        )
+        texts = [t.text for t in parse(document).iter(f"{SVG_NS}text")]
+        assert "A_{T/4}" in texts
+        assert "Fig 3" in texts
+        assert "normalized cost" in texts
+
+    def test_points_stay_inside_the_viewbox(self):
+        document = svg_cdf({"a": [0.5, 2.5, 9.0]}, width=640, height=400)
+        root = parse(document)
+        for polyline in root.findall(f"{SVG_NS}polyline"):
+            for pair in polyline.get("points").split():
+                x, y = map(float, pair.split(","))
+                assert 0 <= x <= 640
+                assert 0 <= y <= 400
+
+    def test_respects_x_range(self):
+        document = svg_cdf({"a": [0.5, 1.5]}, x_range=(0.0, 2.0))
+        texts = [t.text for t in parse(document).iter(f"{SVG_NS}text")]
+        assert "0.00" in texts and "2.00" in texts
+
+    def test_constant_sample_handled(self):
+        parse(svg_cdf({"a": [1.0, 1.0]}))
+
+    @pytest.mark.parametrize("bad", [
+        {},
+        {"a": []},
+        {"a": [float("nan")]},
+    ])
+    def test_series_validation(self, bad):
+        with pytest.raises(ReproError):
+            svg_cdf(bad)
+
+    def test_size_and_range_validation(self):
+        with pytest.raises(ReproError):
+            svg_cdf({"a": [1.0]}, width=100)
+        with pytest.raises(ReproError):
+            svg_cdf({"a": [1.0]}, x_range=(2.0, 1.0))
+
+    def test_write_svg(self, tmp_path):
+        path = tmp_path / "figure.svg"
+        write_svg(svg_cdf({"a": [0.9, 1.0]}), path)
+        assert path.read_text().startswith("<svg")
+
+
+class TestSvgHistogram:
+    def test_is_well_formed_with_bars(self):
+        from repro.analysis.svgplot import svg_histogram
+
+        document = svg_histogram([0.5, 0.6, 0.6, 2.0], bins=4, title="h")
+        root = parse(document)
+        rects = root.findall(f"{SVG_NS}rect")
+        assert len(rects) >= 3  # background + at least two bars
+
+    def test_empty_bins_draw_no_bar(self):
+        from repro.analysis.svgplot import svg_histogram
+
+        sparse = svg_histogram([0.0, 10.0], bins=10)
+        dense = svg_histogram(list(range(11)), bins=10)
+        assert sparse.count("<rect") < dense.count("<rect")
+
+    def test_validation(self):
+        from repro.analysis.svgplot import svg_histogram
+
+        with pytest.raises(ReproError):
+            svg_histogram([])
+        with pytest.raises(ReproError):
+            svg_histogram([1.0], bins=0)
+        with pytest.raises(ReproError):
+            svg_histogram([1.0], width=50)

@@ -1,0 +1,61 @@
+"""Shared fixtures for the test suite.
+
+The simulation tests use a deliberately tiny, hand-checkable pricing plan
+(``toy_plan``): T = 8 hours, p = $1/h, R = $8, α = 0.25. Its derived
+quantities are round numbers — break-even hours R/(p(1−α)) = 32/3, θ = 1 —
+so expected costs in the tests are computed by hand in the comments.
+
+``scaled_plan`` is the paper's d2.xlarge scaled to a 96-hour period with
+θ preserved, for tests that need the paper's economic regime without the
+8760-hour horizon.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.account import CostModel
+from repro.pricing.catalog import paper_experiment_plan
+from repro.pricing.plan import PricingPlan
+from repro.workload.base import DemandTrace
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def toy_plan() -> PricingPlan:
+    return PricingPlan(
+        on_demand_hourly=1.0, upfront=8.0, alpha=0.25, period_hours=8, name="toy"
+    )
+
+
+@pytest.fixture
+def toy_model(toy_plan) -> CostModel:
+    # beta(phi) = phi * a * R / (p (1 - alpha)) = phi * 0.5 * 8 / 0.75
+    #           = 16 * phi / 3  (phi=1/2 -> 8/3 ~ 2.67)
+    return CostModel(plan=toy_plan, selling_discount=0.5)
+
+
+@pytest.fixture
+def scaled_plan() -> PricingPlan:
+    return paper_experiment_plan().with_period(96)
+
+
+@pytest.fixture
+def scaled_model(scaled_plan) -> CostModel:
+    return CostModel(plan=scaled_plan, selling_discount=0.8)
+
+
+@pytest.fixture
+def flat_trace() -> DemandTrace:
+    return DemandTrace.constant(2, 16, name="flat")
+
+
+@pytest.fixture
+def onoff_trace() -> DemandTrace:
+    # Demand for the first half of a 16-hour horizon only.
+    return DemandTrace([2] * 8 + [0] * 8, name="onoff")

@@ -1,0 +1,100 @@
+"""Unit tests for repro.core.advisor."""
+
+import numpy as np
+import pytest
+
+from repro.core.advisor import Action, SellingAdvisor
+from repro.core.policies import OnlineSellingPolicy
+from repro.core.simulator import run_policy
+from repro.errors import SimulationError
+
+S1_DEMANDS = [1, 1, 0, 0, 1, 1, 1, 1] + [0] * 8
+S1_RESERVATIONS = [1] + [0] * 15
+
+
+class TestRecommendations:
+    def test_wait_before_the_spot(self, toy_model):
+        advisor = SellingAdvisor(toy_model, phi=0.5)  # decision age 4
+        report = advisor.review(S1_DEMANDS[:3], S1_RESERVATIONS[:3])
+        (rec,) = report.recommendations
+        assert rec.action is Action.WAIT
+        assert rec.working_hours == 2  # busy at hours 0, 1
+        assert "decision in" in rec.rationale()
+
+    def test_sell_at_the_spot(self, toy_model):
+        advisor = SellingAdvisor(toy_model, phi=0.5)
+        report = advisor.review(S1_DEMANDS[:4], S1_RESERVATIONS[:4])
+        (rec,) = report.recommendations
+        assert rec.action is Action.SELL
+        # Income at the spot: rp = 0.5, a = 0.5, R = 8.
+        assert rec.expected_income == pytest.approx(2.0)
+        assert report.expected_income() == pytest.approx(2.0)
+
+    def test_keep_when_busy(self, toy_model):
+        demands = [1] * 6
+        advisor = SellingAdvisor(toy_model, phi=0.5)
+        report = advisor.review(demands, [1] + [0] * 5)
+        (rec,) = report.recommendations
+        assert rec.action is Action.KEEP
+        assert rec.expected_income == 0.0
+
+    def test_income_decays_past_the_spot(self, toy_model):
+        # Reviewing later than the spot sells at the *current* remaining
+        # fraction, not the spot's.
+        advisor = SellingAdvisor(toy_model, phi=0.5)
+        at_spot = advisor.review(S1_DEMANDS[:4], S1_RESERVATIONS[:4])
+        later = advisor.review([1, 1, 0, 0, 0, 0], S1_RESERVATIONS[:6])
+        assert later.to_sell()[0].expected_income < at_spot.to_sell()[0].expected_income
+
+    def test_sold_instances_are_excluded(self, toy_model):
+        advisor = SellingAdvisor(toy_model, phi=0.5)
+        report = advisor.review(
+            S1_DEMANDS[:6], S1_RESERVATIONS[:6], sold_hours={0: 4}
+        )
+        assert report.recommendations == []
+
+    def test_expired_instances_are_excluded(self, toy_model):
+        advisor = SellingAdvisor(toy_model, phi=0.5)
+        demands = [0] * 10
+        reservations = [1] + [0] * 9  # expires at hour 8
+        report = advisor.review(demands, reservations)
+        assert report.recommendations == []
+
+    def test_render(self, toy_model):
+        advisor = SellingAdvisor(toy_model, phi=0.5)
+        text = advisor.review(S1_DEMANDS[:4], S1_RESERVATIONS[:4]).render()
+        assert "SELL" in text and "expected income" in text
+
+    def test_validation(self, toy_model):
+        advisor = SellingAdvisor(toy_model, phi=0.5)
+        with pytest.raises(SimulationError):
+            advisor.review([1, 2, 3], [0, 0])
+
+
+class TestAdvisorMatchesSimulator:
+    """Following the advisor hour by hour == running the simulator."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("phi", [0.25, 0.5, 0.75])
+    def test_step_by_step_agreement(self, toy_model, seed, phi):
+        rng = np.random.default_rng(seed)
+        horizon = 32
+        demands = rng.integers(0, 4, size=horizon)
+        reservations = np.where(
+            rng.random(horizon) < 0.2, rng.integers(1, 3, size=horizon), 0
+        ).astype(np.int64)
+
+        simulated = run_policy(
+            demands, reservations, toy_model, OnlineSellingPolicy(phi)
+        )
+        simulated_sales = {s.instance_id: s.hour for s in simulated.sales}
+
+        advisor = SellingAdvisor(toy_model, phi=phi)
+        sold: dict[int, int] = {}
+        for now in range(1, horizon + 1):
+            report = advisor.review(demands[:now], reservations[:now], sold_hours=sold)
+            for rec in report.recommendations:
+                # Act exactly when the decision spot is reached.
+                if rec.action is Action.SELL and rec.decision_hour == now:
+                    sold[rec.instance_id] = now
+        assert sold == simulated_sales

@@ -1,0 +1,72 @@
+"""Unit tests for repro.core.breakeven (Eqs. (8)-(9) and Section V)."""
+
+import pytest
+
+from repro.core.breakeven import (
+    PAPER_DECISION_FRACTIONS,
+    PHI_3T4,
+    PHI_T2,
+    PHI_T4,
+    break_even_working_hours,
+    decision_age_hours,
+    remaining_fraction_at_decision,
+    validate_phi,
+)
+from repro.errors import PolicyError
+from repro.pricing.catalog import paper_experiment_plan
+
+
+class TestBreakEven:
+    def test_toy_plan_values(self, toy_plan):
+        # beta = phi * a * R / (p (1 - alpha)) = phi * 0.5 * 8 / 0.75.
+        assert break_even_working_hours(toy_plan, 0.5, 0.5) == pytest.approx(8 / 3)
+        assert break_even_working_hours(toy_plan, 0.5, 0.75) == pytest.approx(4.0)
+        assert break_even_working_hours(toy_plan, 0.5, 0.25) == pytest.approx(4 / 3)
+
+    def test_paper_instance_beta(self):
+        # A_{3T/4} on d2.xlarge with a=0.8:
+        # beta = 3 * 0.8 * 1506 / (4 * 0.69 * 0.75) per Eq. (9).
+        plan = paper_experiment_plan()
+        expected = 3 * 0.8 * 1506 / (4 * 0.69 * 0.75)
+        assert break_even_working_hours(plan, 0.8, 0.75) == pytest.approx(expected)
+
+    def test_beta_scales_linearly_with_phi(self, toy_plan):
+        half = break_even_working_hours(toy_plan, 0.5, 0.5)
+        quarter = break_even_working_hours(toy_plan, 0.5, 0.25)
+        assert half == pytest.approx(2 * quarter)
+
+    def test_beta_zero_when_a_zero(self, toy_plan):
+        assert break_even_working_hours(toy_plan, 0.0, 0.5) == 0.0
+
+    def test_beta_invariant_under_period_scaling_as_fraction(self):
+        plan = paper_experiment_plan()
+        scaled = plan.with_period(96)
+        full = break_even_working_hours(plan, 0.8, 0.5) / plan.period_hours
+        small = break_even_working_hours(scaled, 0.8, 0.5) / scaled.period_hours
+        assert full == pytest.approx(small)
+
+    def test_rejects_bad_discount(self, toy_plan):
+        with pytest.raises(PolicyError):
+            break_even_working_hours(toy_plan, 1.5, 0.5)
+
+
+class TestDecisionSpots:
+    def test_paper_fractions(self):
+        assert PAPER_DECISION_FRACTIONS == (PHI_3T4, PHI_T2, PHI_T4)
+        assert PHI_3T4 == 0.75 and PHI_T2 == 0.5 and PHI_T4 == 0.25
+
+    def test_decision_age(self, toy_plan):
+        assert decision_age_hours(toy_plan, 0.5) == 4
+        assert decision_age_hours(toy_plan, 0.75) == 6
+
+    def test_remaining_fraction(self):
+        assert remaining_fraction_at_decision(0.75) == pytest.approx(0.25)
+        assert remaining_fraction_at_decision(0.25) == pytest.approx(0.75)
+
+    @pytest.mark.parametrize("phi", [0.0, 1.0, -0.5, 2.0])
+    def test_validate_phi_rejects(self, phi):
+        with pytest.raises(PolicyError):
+            validate_phi(phi)
+
+    def test_validate_phi_returns_value(self):
+        assert validate_phi(0.5) == 0.5

@@ -1,0 +1,134 @@
+"""Edge-case tests across the simulation core."""
+
+import numpy as np
+import pytest
+
+from repro.core.account import CostModel, HourlyFeeMode
+from repro.core.fastsim import FastPolicyKind, run_fast
+from repro.core.policies import KeepReservedPolicy, OnlineSellingPolicy
+from repro.core.simulator import run_policy
+from repro.pricing.plan import PricingPlan
+
+
+@pytest.fixture
+def usage_model(toy_plan):
+    return CostModel(plan=toy_plan, selling_discount=0.5,
+                     fee_mode=HourlyFeeMode.USAGE)
+
+
+class TestUsageModeWithSales:
+    def test_hand_computed_sale(self, usage_model):
+        # S1 scenario under usage billing: the instance works hours 0,1
+        # (billed 2 * 0.25), sells at hour 4 (income 2), and hours 4..7
+        # go on-demand (4 * 1).
+        demands = [1, 1, 0, 0, 1, 1, 1, 1] + [0] * 8
+        reservations = [1] + [0] * 15
+        result = run_policy(
+            demands, reservations, usage_model, OnlineSellingPolicy.a_t2()
+        )
+        assert result.breakdown.reserved_hourly == pytest.approx(0.5)
+        assert result.total_cost == pytest.approx(8 + 0.5 - 2 + 4)
+
+    def test_usage_never_bills_idle_hours(self, usage_model):
+        result = run_policy(
+            [0] * 16, [2] + [0] * 15, usage_model, KeepReservedPolicy()
+        )
+        assert result.breakdown.reserved_hourly == 0.0
+
+
+class TestHorizonBoundaries:
+    def test_decision_exactly_at_last_hour_executes(self, toy_model):
+        # Instance reserved at hour 11 with T=8, phi=1/2: decision at
+        # hour 15 — the final simulated hour.
+        demands = [0] * 16
+        reservations = [0] * 11 + [1] + [0] * 4
+        result = run_policy(
+            demands, reservations, toy_model, OnlineSellingPolicy.a_t2()
+        )
+        assert result.instances_sold == 1
+        assert result.sales[0].hour == 15
+
+    def test_decision_one_past_horizon_never_executes(self, toy_model):
+        demands = [0] * 16
+        reservations = [0] * 12 + [1] + [0] * 3  # decision at 16 == horizon
+        result = run_policy(
+            demands, reservations, toy_model, OnlineSellingPolicy.a_t2()
+        )
+        assert result.instances_sold == 0
+
+    def test_expired_instance_frees_capacity(self, toy_model):
+        # One instance at hour 0 (T=8): from hour 8 demand goes on-demand.
+        demands = [1] * 16
+        reservations = [1] + [0] * 15
+        result = run_policy(demands, reservations, toy_model, KeepReservedPolicy())
+        assert result.on_demand[:8].sum() == 0
+        assert result.on_demand[8:].sum() == 8
+
+    def test_horizon_shorter_than_period(self, toy_model):
+        # A 4-hour observation of an 8-hour reservation: no decision can
+        # fire, fees accrue only for observed hours.
+        result = run_policy([1] * 4, [1, 0, 0, 0], toy_model,
+                            OnlineSellingPolicy.a_t2())
+        assert result.instances_sold == 0
+        assert result.breakdown.reserved_hourly == pytest.approx(4 * 0.25)
+
+
+class TestThresholdExtremes:
+    def test_zero_threshold_scale_never_sells(self, toy_model):
+        demands = [0] * 16
+        reservations = [1] + [0] * 15
+        result = run_fast(
+            np.array(demands), np.array(reservations), toy_model,
+            phi=0.5, threshold_scale=0.0,
+        )
+        assert result.instances_sold == 0
+
+    def test_huge_threshold_scale_equals_all_selling(self, toy_model, rng):
+        demands = rng.integers(0, 4, size=32)
+        reservations = np.where(rng.random(32) < 0.2, 1, 0)
+        loose = run_fast(demands, reservations, toy_model, phi=0.5,
+                         threshold_scale=1e9)
+        all_selling = run_fast(demands, reservations, toy_model, phi=0.5,
+                               kind=FastPolicyKind.ALL_SELLING)
+        assert loose.breakdown.approx_equal(all_selling.breakdown)
+
+
+class TestDegeneratePlans:
+    def test_alpha_zero_plan_simulates(self):
+        # All-Upfront reservations: no hourly fee at all.
+        plan = PricingPlan(on_demand_hourly=1.0, upfront=8.0, alpha=0.0,
+                           period_hours=8, name="all-upfront")
+        model = CostModel(plan=plan, selling_discount=0.5)
+        result = run_policy([1] * 16, [1] + [0] * 15, model, KeepReservedPolicy())
+        assert result.breakdown.reserved_hourly == 0.0
+
+    def test_selling_discount_zero_still_sells_nothing_worth_zero(self, toy_plan):
+        # a = 0: beta = 0, so working < beta never holds — nothing sells.
+        model = CostModel(plan=toy_plan, selling_discount=0.0)
+        result = run_policy([0] * 16, [1] + [0] * 15, model,
+                            OnlineSellingPolicy.a_t2())
+        assert result.instances_sold == 0
+
+    def test_tiny_period_skips_degenerate_decisions(self):
+        # T = 2 with phi = 1/4 rounds the decision age to zero: the
+        # policy silently never evaluates rather than selling at birth.
+        plan = PricingPlan(on_demand_hourly=1.0, upfront=2.0, alpha=0.25,
+                           period_hours=2, name="tiny")
+        model = CostModel(plan=plan, selling_discount=1.0)
+        result = run_policy([0] * 8, [1] + [0] * 7, model,
+                            OnlineSellingPolicy.a_t4())
+        assert result.instances_sold == 0
+
+
+class TestCliErrors:
+    def test_unknown_scale_rejected_by_argparse(self):
+        from repro.experiments.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["table1", "--scale", "galactic"])
+
+    def test_unknown_experiment_rejected(self):
+        from repro.experiments.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["fig9"])

@@ -1,0 +1,91 @@
+"""Unit tests for repro.core.instance."""
+
+import pytest
+
+from repro.core.instance import ReservedInstance
+from repro.errors import SimulationError
+
+
+def make(reserved_at=0, period=8, batch_offset=0, **kw):
+    return ReservedInstance(
+        instance_id=0, reserved_at=reserved_at, period=period,
+        batch_offset=batch_offset, **kw,
+    )
+
+
+class TestValidation:
+    def test_negative_reserved_at(self):
+        with pytest.raises(SimulationError):
+            make(reserved_at=-1)
+
+    def test_nonpositive_period(self):
+        with pytest.raises(SimulationError):
+            make(period=0)
+
+    def test_negative_batch_offset(self):
+        with pytest.raises(SimulationError):
+            make(batch_offset=-1)
+
+    def test_constructing_already_sold_validates_hour(self):
+        with pytest.raises(SimulationError):
+            make(sold_at=0)  # sale must be strictly after reservation
+
+
+class TestTiming:
+    def test_expiry(self):
+        assert make(reserved_at=3, period=8).expires_at == 11
+
+    def test_activity_range_half_open(self):
+        instance = make(reserved_at=2, period=4)
+        assert not instance.is_active(1)
+        assert instance.is_active(2)
+        assert instance.is_active(5)
+        assert not instance.is_active(6)
+
+    def test_age_and_fractions(self):
+        instance = make(period=8)
+        assert instance.age(6) == 6
+        assert instance.elapsed_fraction(6) == pytest.approx(0.75)
+        assert instance.remaining_fraction(6) == pytest.approx(0.25)
+
+    def test_decision_hours_for_paper_spots(self):
+        instance = make(reserved_at=4, period=8)
+        assert instance.decision_hour(0.75) == 10
+        assert instance.decision_hour(0.5) == 8
+        assert instance.decision_hour(0.25) == 6
+
+    def test_decision_hour_rejects_bad_phi(self):
+        with pytest.raises(SimulationError):
+            make().decision_hour(0.0)
+        with pytest.raises(SimulationError):
+            make().decision_hour(1.0)
+
+
+class TestSale:
+    def test_sell_returns_remaining_fraction(self):
+        instance = make(period=8)
+        assert instance.sell(6) == pytest.approx(0.25)
+        assert instance.sold_at == 6
+        assert instance.is_sold
+
+    def test_sale_truncates_activity(self):
+        instance = make(period=8)
+        instance.sell(4)
+        assert instance.is_active(3)
+        assert not instance.is_active(4)
+        assert instance.active_hours() == 4
+        assert instance.end_of_activity == 4
+
+    def test_double_sale_rejected(self):
+        instance = make()
+        instance.sell(4)
+        with pytest.raises(SimulationError):
+            instance.sell(5)
+
+    @pytest.mark.parametrize("hour", [0, 8, 9])
+    def test_sale_hour_must_be_strictly_inside(self, hour):
+        with pytest.raises(SimulationError):
+            make().sell(hour)
+
+    def test_unsold_active_hours_is_period(self):
+        assert make(period=8).active_hours() == 8

@@ -1,0 +1,170 @@
+"""Unit tests for repro.core.ledger — Algorithm 1's bookkeeping.
+
+The working-time expectations are computed by hand from the paper's rule:
+instance ``i`` of a batch is free at hour ``j`` iff ``r_j − d_j − i + 1 >
+l_j`` with ``l_j`` the number of instances reserved after it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.ledger import ReservationLedger
+from repro.errors import SimulationError
+
+
+def ledger_with(demands, horizon=None, period=8):
+    demands = np.asarray(demands)
+    return ReservationLedger(
+        horizon or demands.size, period, demands
+    )
+
+
+class TestValidation:
+    def test_rejects_short_demands(self):
+        with pytest.raises(SimulationError):
+            ReservationLedger(10, 8, np.zeros(5))
+
+    def test_rejects_bad_horizon_and_period(self):
+        with pytest.raises(SimulationError):
+            ReservationLedger(0, 8, np.zeros(1))
+        with pytest.raises(SimulationError):
+            ReservationLedger(5, 0, np.zeros(5))
+
+    def test_reserve_out_of_range(self):
+        ledger = ledger_with([0] * 8)
+        with pytest.raises(SimulationError):
+            ledger.reserve(8, 1)
+        with pytest.raises(SimulationError):
+            ledger.reserve(0, 0)
+
+    def test_sell_foreign_instance_rejected(self):
+        first = ledger_with([0] * 8)
+        second = ledger_with([0] * 8)
+        (instance,) = first.reserve(0, 1)
+        second.reserve(0, 1)
+        with pytest.raises(SimulationError):
+            second.sell(instance, 4)
+
+
+class TestReservationArrays:
+    def test_reserve_updates_all_timelines(self):
+        ledger = ledger_with([0] * 12, period=8)
+        ledger.reserve(2, 2)
+        assert ledger.r_physical[1] == 0
+        assert ledger.r_physical[2] == 2
+        assert ledger.r_physical[9] == 2
+        assert ledger.r_physical[10] == 0  # expiry at 2 + 8
+        assert np.array_equal(ledger.r_physical, ledger.r_effective)
+        assert ledger.n_effective[2] == 2
+
+    def test_batch_offsets_continue(self):
+        ledger = ledger_with([0] * 8)
+        first = ledger.reserve(0, 2)
+        second = ledger.reserve(0, 1)
+        assert [i.batch_offset for i in first + second] == [0, 1, 2]
+
+    def test_active_counts_and_demand_split(self):
+        ledger = ledger_with([3] * 8)
+        ledger.reserve(0, 2)
+        assert ledger.active_count(0) == 2
+        assert ledger.busy_count(0) == 2
+        assert ledger.on_demand_needed(0) == 1
+
+
+class TestWorkingTime:
+    def test_single_instance_follows_demand(self):
+        # d = 1,1,0,0: busy exactly when demand is present.
+        ledger = ledger_with([1, 1, 0, 0, 1, 1, 1, 1])
+        (instance,) = ledger.reserve(0, 1)
+        assert ledger.working_hours(instance, 4) == 2
+        assert ledger.working_hours(instance, 8) == 6
+
+    def test_batch_tie_break_gives_work_to_later_entry(self):
+        # Two instances, demand 1: Algorithm 1's test marks i=1 free
+        # (r - d - 1 + 1 = 1 > l = 0) and i=2 busy.
+        ledger = ledger_with([1] * 8)
+        first, second = ledger.reserve(0, 2)
+        assert ledger.working_hours(first, 4) == 0
+        assert ledger.working_hours(second, 4) == 4
+
+    def test_older_instance_has_priority_over_newer(self):
+        # A at t=0, B at t=2, demand always 1: A stays busy, B is idle.
+        ledger = ledger_with([1] * 8)
+        (a,) = ledger.reserve(0, 1)
+        (b,) = ledger.reserve(2, 1)
+        assert ledger.working_hours(a, 4) == 4
+        assert ledger.working_hours(b, 6) == 0
+
+    def test_sale_rewrites_history_for_later_instances(self):
+        # Selling the older A makes B inherit its demand share over the
+        # overlapping window (Algorithm 1 lines 20-21).
+        ledger = ledger_with([1] * 8)
+        (a,) = ledger.reserve(0, 1)
+        (b,) = ledger.reserve(2, 1)
+        ledger.sell(a, 4)
+        assert ledger.working_hours(b, 6) == 4
+
+    def test_window_bounds_validated(self):
+        ledger = ledger_with([1] * 8)
+        (instance,) = ledger.reserve(2, 1)
+        with pytest.raises(SimulationError):
+            ledger.working_hours(instance, 2)  # empty window
+        with pytest.raises(SimulationError):
+            ledger.working_hours(instance, 9)  # beyond horizon
+
+
+class TestBusyProfile:
+    def test_profile_matches_working_hours(self):
+        ledger = ledger_with([1, 1, 0, 0, 1, 1, 1, 1])
+        (instance,) = ledger.reserve(0, 1)
+        profile = ledger.busy_profile(instance)
+        assert profile.tolist() == [True, True, False, False, True, True, True, True]
+        assert int(profile[:4].sum()) == ledger.working_hours(instance, 4)
+
+    def test_profile_clipped_to_horizon(self):
+        ledger = ledger_with([1] * 6, period=8)
+        (instance,) = ledger.reserve(2, 1)
+        assert ledger.busy_profile(instance).shape == (4,)
+
+
+class TestSale:
+    def test_sale_updates_physical_and_effective_differently(self):
+        ledger = ledger_with([0] * 8)
+        (instance,) = ledger.reserve(0, 1)
+        ledger.sell(instance, 4)
+        # Physical: active before the sale hour, gone after.
+        assert ledger.r_physical[3] == 1 and ledger.r_physical[4] == 0
+        # Effective: erased over the whole span.
+        assert ledger.r_effective[0] == 0 and ledger.r_effective[5] == 0
+        assert ledger.n_effective[0] == 0
+
+    def test_sale_returns_remaining_fraction(self):
+        ledger = ledger_with([0] * 8)
+        (instance,) = ledger.reserve(0, 1)
+        assert ledger.sell(instance, 6) == pytest.approx(0.25)
+
+    def test_unsold_instances_listing(self):
+        ledger = ledger_with([0] * 8)
+        a, b = ledger.reserve(0, 2)
+        ledger.sell(a, 4)
+        assert ledger.unsold_instances() == [b]
+
+
+class TestPhysicalBusyHours:
+    def test_matches_algorithm_tie_break(self):
+        # Same scenario as the working-time tie-break test: the later
+        # batch entry does the work under both views.
+        ledger = ledger_with([1] * 8)
+        first, second = ledger.reserve(0, 2)
+        busy = ledger.physical_busy_hours()
+        assert busy[first.instance_id] == 0
+        assert busy[second.instance_id] == 8
+
+    def test_sold_instance_stops_serving(self):
+        ledger = ledger_with([1] * 8)
+        (a,) = ledger.reserve(0, 1)
+        (b,) = ledger.reserve(2, 1)
+        ledger.sell(a, 4)
+        busy = ledger.physical_busy_hours()
+        assert busy[a.instance_id] == 4  # hours 0-3 only
+        assert busy[b.instance_id] == 4  # takes over from hour 4

@@ -1,0 +1,139 @@
+"""Unit tests for repro.core.policies."""
+
+import pytest
+
+from repro.core.breakeven import break_even_working_hours
+from repro.core.instance import ReservedInstance
+from repro.core.policies import (
+    AllSellingPolicy,
+    DecisionContext,
+    KeepReservedPolicy,
+    OnlineSellingPolicy,
+    RandomizedSellingPolicy,
+    ScriptedSellingPolicy,
+)
+from repro.errors import PolicyError
+
+
+def make_instance(instance_id=0, reserved_at=0, period=8, batch_offset=0):
+    return ReservedInstance(
+        instance_id=instance_id, reserved_at=reserved_at, period=period,
+        batch_offset=batch_offset,
+    )
+
+
+def make_context(toy_plan, phi=0.5, hour=4):
+    return DecisionContext(
+        plan=toy_plan,
+        selling_discount=0.5,
+        phi=phi,
+        beta=break_even_working_hours(toy_plan, 0.5, phi),
+        decision_hour=hour,
+        instance=make_instance(),
+    )
+
+
+class TestOnlinePolicy:
+    def test_paper_names(self):
+        assert OnlineSellingPolicy.a_3t4().name == "A_{3T/4}"
+        assert OnlineSellingPolicy.a_t2().name == "A_{T/2}"
+        assert OnlineSellingPolicy.a_t4().name == "A_{T/4}"
+
+    def test_generic_phi_name(self):
+        assert OnlineSellingPolicy(0.625).name == "A_{0.625T}"
+
+    def test_paper_policies_order(self):
+        phis = [policy.phi for policy in OnlineSellingPolicy.paper_policies()]
+        assert phis == [0.75, 0.5, 0.25]
+
+    def test_sells_strictly_below_beta(self, toy_plan):
+        policy = OnlineSellingPolicy.a_t2()
+        context = make_context(toy_plan)  # beta = 8/3
+        assert policy.should_sell(2, context)
+        assert not policy.should_sell(3, context)
+        # Algorithm 1 line 15 is strict: w < beta.
+        assert not policy.should_sell(context.beta, context)
+
+    def test_threshold_scale(self, toy_plan):
+        policy = OnlineSellingPolicy(0.5, threshold_scale=2.0)
+        context = make_context(toy_plan)
+        assert policy.should_sell(4, context)  # 4 < 2 * 8/3
+
+    def test_decision_hour_from_phi(self):
+        policy = OnlineSellingPolicy.a_t2()
+        assert policy.decision_hour(make_instance(reserved_at=4)) == 8
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(PolicyError):
+            OnlineSellingPolicy(1.0)
+        with pytest.raises(PolicyError):
+            OnlineSellingPolicy(0.5, threshold_scale=-1.0)
+
+
+class TestBenchmarkPolicies:
+    def test_keep_reserved_never_evaluates(self, toy_plan):
+        policy = KeepReservedPolicy()
+        assert policy.decision_fraction(make_instance()) is None
+        assert policy.decision_hour(make_instance()) is None
+        assert not policy.should_sell(0, make_context(toy_plan))
+
+    def test_all_selling_always_sells(self, toy_plan):
+        policy = AllSellingPolicy(0.5)
+        assert policy.should_sell(10**6, make_context(toy_plan))
+        assert policy.decision_fraction(make_instance()) == 0.5
+
+    def test_all_selling_name_mentions_spot(self):
+        assert "3T/4" in AllSellingPolicy(0.75).name
+
+    def test_all_selling_validates_phi(self):
+        with pytest.raises(PolicyError):
+            AllSellingPolicy(0.0)
+
+
+class TestRandomizedPolicy:
+    def test_spot_is_deterministic_per_instance(self):
+        policy = RandomizedSellingPolicy(seed=4)
+        instance = make_instance(instance_id=17)
+        assert policy.decision_fraction(instance) == policy.decision_fraction(instance)
+
+    def test_spots_vary_across_instances(self):
+        policy = RandomizedSellingPolicy(seed=4)
+        fractions = {
+            policy.decision_fraction(make_instance(instance_id=i)) for i in range(40)
+        }
+        assert len(fractions) == 3
+
+    def test_spots_come_from_the_menu(self):
+        policy = RandomizedSellingPolicy(spots=(0.25, 0.75), seed=0)
+        for i in range(20):
+            assert policy.decision_fraction(make_instance(instance_id=i)) in (0.25, 0.75)
+
+    def test_weights_must_match(self):
+        with pytest.raises(PolicyError):
+            RandomizedSellingPolicy(spots=(0.25, 0.5), weights=(1.0,))
+        with pytest.raises(PolicyError):
+            RandomizedSellingPolicy(spots=())
+
+    def test_uses_break_even_rule(self, toy_plan):
+        policy = RandomizedSellingPolicy()
+        context = make_context(toy_plan)
+        assert policy.should_sell(0, context)
+        assert not policy.should_sell(10**6, context)
+
+
+class TestScriptedPolicy:
+    def test_replays_schedule(self):
+        policy = ScriptedSellingPolicy({3: 6}, name="OPT")
+        scheduled = make_instance(instance_id=3)
+        unscheduled = make_instance(instance_id=4)
+        assert policy.decision_hour(scheduled) == 6
+        assert policy.decision_hour(unscheduled) is None
+        assert policy.name == "OPT"
+
+    def test_decision_fraction_derived_from_hour(self):
+        policy = ScriptedSellingPolicy({0: 6})
+        assert policy.decision_fraction(make_instance(period=8)) == pytest.approx(0.75)
+
+    def test_always_sells_scheduled(self, toy_plan):
+        policy = ScriptedSellingPolicy({0: 4})
+        assert policy.should_sell(10**6, make_context(toy_plan))

@@ -1,0 +1,86 @@
+"""Unit tests for repro.core.portfolio."""
+
+import numpy as np
+import pytest
+
+from repro.core.policies import KeepReservedPolicy, OnlineSellingPolicy
+from repro.core.portfolio import Portfolio, Position
+from repro.core.simulator import run_policy
+from repro.errors import SimulationError
+from repro.pricing.catalog import default_catalog
+from repro.purchasing.all_reserved import AllReserved
+from repro.workload.base import DemandTrace
+
+
+@pytest.fixture
+def portfolio():
+    catalog = default_catalog()
+    folio = Portfolio(selling_discount=0.8)
+    rng = np.random.default_rng(0)
+    for name in ("d2.xlarge", "m4.large"):
+        plan = catalog[name].with_period(96)
+        demands = DemandTrace(
+            np.where(rng.random(192) < 0.4, rng.integers(1, 5, 192), 0)
+        )
+        folio.add_imitated(plan, demands, AllReserved())
+    return folio
+
+
+class TestPortfolio:
+    def test_positions_registered(self, portfolio):
+        assert len(portfolio) == 2
+        assert "d2.xlarge" in portfolio
+        assert set(portfolio.instance_types) == {"d2.xlarge", "m4.large"}
+
+    def test_duplicate_position_rejected(self, portfolio):
+        plan = default_catalog()["d2.xlarge"].with_period(96)
+        with pytest.raises(SimulationError):
+            portfolio.add(
+                Position(plan=plan, demands=DemandTrace([1] * 192),
+                         reservations=np.zeros(192, dtype=int))
+            )
+
+    def test_unnamed_plan_rejected(self):
+        from repro.pricing.plan import PricingPlan
+
+        folio = Portfolio()
+        plan = PricingPlan(on_demand_hourly=1.0, upfront=8.0, alpha=0.25,
+                           period_hours=8)
+        with pytest.raises(SimulationError):
+            folio.add(Position(plan=plan, demands=DemandTrace([1] * 8),
+                               reservations=np.zeros(8, dtype=int)))
+
+    def test_empty_portfolio_rejected(self):
+        with pytest.raises(SimulationError):
+            Portfolio().run(KeepReservedPolicy())
+
+    def test_aggregate_is_sum_of_per_type_runs(self, portfolio):
+        policy = OnlineSellingPolicy.a_t2()
+        result = portfolio.run(policy)
+        manual_total = 0.0
+        for name in portfolio.instance_types:
+            position_result = result.per_type[name]
+            # Each per-type result equals a standalone simulation.
+            standalone = run_policy(
+                position_result.demands,
+                position_result.reservations,
+                portfolio.model_for(name),
+                policy,
+            )
+            assert standalone.breakdown.approx_equal(position_result.breakdown)
+            manual_total += standalone.total_cost
+        assert result.total_cost == pytest.approx(manual_total)
+        assert result.instances_sold == sum(
+            r.instances_sold for r in result.per_type.values()
+        )
+
+    def test_compare_runs_all_policies(self, portfolio):
+        results = portfolio.compare(
+            [KeepReservedPolicy(), OnlineSellingPolicy.a_t4()]
+        )
+        assert set(results) == {"Keep-Reserved", "A_{T/4}"}
+        assert results["A_{T/4}"].total_cost <= results["Keep-Reserved"].total_cost
+
+    def test_cost_of_single_type(self, portfolio):
+        result = portfolio.run(KeepReservedPolicy())
+        assert result.cost_of("d2.xlarge") == result.per_type["d2.xlarge"].total_cost

@@ -1,0 +1,107 @@
+"""Unit tests for repro.core.randomized (the future-work algorithm)."""
+
+import numpy as np
+import pytest
+
+from repro.core.randomized import (
+    RandomizedDesign,
+    SpotDistribution,
+    adversary_profiles,
+    expected_online_cost,
+    optimize_distribution,
+    worst_case_expected_ratio,
+)
+from repro.core.single import online_single_cost
+from repro.errors import PolicyError
+
+
+class TestSpotDistribution:
+    def test_uniform(self):
+        dist = SpotDistribution.uniform()
+        assert dist.spots == (0.75, 0.5, 0.25)
+        assert sum(dist.probabilities) == pytest.approx(1.0)
+
+    def test_deterministic(self):
+        dist = SpotDistribution.deterministic(0.5)
+        assert dist.spots == (0.5,) and dist.probabilities == (1.0,)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"spots": (), "probabilities": ()},
+        {"spots": (0.5,), "probabilities": (0.5,)},
+        {"spots": (0.5, 0.25), "probabilities": (1.0,)},
+        {"spots": (0.5,), "probabilities": (-1.0,)},
+        {"spots": (1.5,), "probabilities": (1.0,)},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(PolicyError):
+            SpotDistribution(**kwargs)
+
+
+class TestExpectedCost:
+    def test_matches_mixture_of_deterministic_costs(self, toy_plan):
+        busy = np.array([1, 1, 0, 0, 0, 0, 1, 1], dtype=bool)
+        dist = SpotDistribution((0.25, 0.75), (0.3, 0.7))
+        expected = expected_online_cost(busy, toy_plan, 0.5, dist)
+        c25, _ = online_single_cost(busy, toy_plan, 0.5, 0.25)
+        c75, _ = online_single_cost(busy, toy_plan, 0.5, 0.75)
+        assert expected == pytest.approx(0.3 * c25 + 0.7 * c75)
+
+    def test_degenerate_distribution_is_deterministic(self, toy_plan):
+        busy = np.zeros(8, dtype=bool)
+        dist = SpotDistribution.deterministic(0.5)
+        cost, _ = online_single_cost(busy, toy_plan, 0.5, 0.5)
+        assert expected_online_cost(busy, toy_plan, 0.5, dist) == pytest.approx(cost)
+
+
+class TestAdversaryProfiles:
+    def test_contains_extremes(self):
+        profiles = adversary_profiles(32, grid_step=8)
+        as_tuples = {tuple(profile.tolist()) for profile in profiles}
+        assert tuple([True] * 32) in as_tuples  # always busy
+        assert tuple([False] * 32) in as_tuples  # always idle
+
+    def test_two_block_structure(self):
+        for profile in adversary_profiles(32, grid_step=8):
+            # busy prefix + busy suffix: at most two busy runs, with any
+            # idle hours forming one middle block.
+            diffs = np.flatnonzero(np.diff(profile.astype(int)))
+            assert diffs.size <= 2
+
+    def test_validation(self):
+        with pytest.raises(PolicyError):
+            adversary_profiles(0)
+
+
+class TestMinimaxDesign:
+    @pytest.fixture(scope="class")
+    def design(self, ):
+        from repro.pricing.catalog import paper_experiment_plan
+
+        plan = paper_experiment_plan().with_period(96)
+        return plan, optimize_distribution(plan, 0.8)
+
+    def test_randomization_beats_every_deterministic_spot(self, design):
+        plan, result = design
+        assert isinstance(result, RandomizedDesign)
+        assert result.ratio <= result.best_deterministic + 1e-9
+        assert result.improvement >= 0.0
+
+    def test_reported_ratio_is_achieved(self, design):
+        plan, result = design
+        achieved = worst_case_expected_ratio(plan, 0.8, result.distribution)
+        assert achieved == pytest.approx(result.ratio, rel=1e-6)
+
+    def test_deterministic_ratios_match_direct_evaluation(self, design):
+        plan, result = design
+        for phi, ratio in result.deterministic_ratios.items():
+            direct = worst_case_expected_ratio(
+                plan, 0.8, SpotDistribution.deterministic(phi)
+            )
+            assert direct == pytest.approx(ratio)
+
+    def test_richer_menu_never_hurts(self, design):
+        plan, result = design
+        richer = optimize_distribution(
+            plan, 0.8, spots=(0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875)
+        )
+        assert richer.ratio <= result.ratio + 1e-9

@@ -1,0 +1,193 @@
+"""Unit tests for repro.core.simulator against hand-computed scenarios.
+
+Scenario S1 (toy plan: p=1, R=8, alpha=0.25, T=8; a=0.5; horizon 16):
+
+    d = [1,1,0,0, 1,1,1,1, 0,...,0],  n = [1, 0, ..., 0]
+
+* ``A_{T/2}`` (decision at hour 4, beta = 8/3): working time 2 < beta,
+  so the instance sells. Costs: upfront 8 + hourly 4·0.25 = 1 +
+  on-demand 4·1 = 4 − income 0.5·0.5·8 = 2  ⇒  total 11.
+* ``A_{3T/4}`` (hour 6, beta = 4): working time 4, kept ⇒ total = keep.
+* Keep-Reserved: 8 + 8·0.25 = 10.
+* Usage-mode Keep: 8 + 6 busy hours · 0.25 = 9.5.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.account import CostModel, HourlyFeeMode
+from repro.core.policies import (
+    AllSellingPolicy,
+    KeepReservedPolicy,
+    OnlineSellingPolicy,
+    ScriptedSellingPolicy,
+)
+from repro.core.simulator import SellingSimulator, run_policy
+from repro.errors import SimulationError
+from repro.workload.base import DemandTrace
+
+S1_DEMANDS = [1, 1, 0, 0, 1, 1, 1, 1] + [0] * 8
+S1_RESERVATIONS = [1] + [0] * 15
+
+
+@pytest.fixture
+def s1(toy_model):
+    def run(policy, model=None):
+        return run_policy(S1_DEMANDS, S1_RESERVATIONS, model or toy_model, policy)
+
+    return run
+
+
+class TestScenarioS1:
+    def test_keep_reserved_cost(self, s1):
+        result = s1(KeepReservedPolicy())
+        assert result.total_cost == pytest.approx(10.0)
+        assert result.instances_sold == 0
+
+    def test_a_t2_sells_and_costs_11(self, s1):
+        result = s1(OnlineSellingPolicy.a_t2())
+        assert result.instances_sold == 1
+        assert result.total_cost == pytest.approx(11.0)
+        sale = result.sales[0]
+        assert sale.hour == 4
+        assert sale.working_hours == 2
+        assert sale.beta == pytest.approx(8 / 3)
+        assert sale.remaining_fraction == pytest.approx(0.5)
+        assert sale.income == pytest.approx(2.0)
+
+    def test_a_3t4_keeps(self, s1):
+        result = s1(OnlineSellingPolicy.a_3t4())
+        assert result.instances_sold == 0
+        assert result.total_cost == pytest.approx(10.0)
+
+    def test_a_t4_keeps(self, s1):
+        # working time 2 in [0, 2) is >= beta = 4/3.
+        result = s1(OnlineSellingPolicy.a_t4())
+        assert result.instances_sold == 0
+
+    def test_all_selling_matches_online_when_online_sells(self, s1):
+        online = s1(OnlineSellingPolicy.a_t2())
+        all_selling = s1(AllSellingPolicy(0.5))
+        assert all_selling.total_cost == pytest.approx(online.total_cost)
+
+    def test_cost_breakdown_components(self, s1):
+        result = s1(OnlineSellingPolicy.a_t2())
+        assert result.breakdown.upfront == pytest.approx(8.0)
+        assert result.breakdown.reserved_hourly == pytest.approx(1.0)
+        assert result.breakdown.on_demand == pytest.approx(4.0)
+        assert result.breakdown.sale_income == pytest.approx(2.0)
+
+    def test_on_demand_series(self, s1):
+        result = s1(OnlineSellingPolicy.a_t2())
+        assert result.on_demand[:4].sum() == 0
+        assert result.on_demand[4:8].tolist() == [1, 1, 1, 1]
+
+    def test_r_physical_after_sale(self, s1):
+        result = s1(OnlineSellingPolicy.a_t2())
+        assert result.r_physical[3] == 1
+        assert result.r_physical[4] == 0
+
+    def test_usage_mode_keep(self, toy_plan):
+        model = CostModel(
+            plan=toy_plan, selling_discount=0.5, fee_mode=HourlyFeeMode.USAGE
+        )
+        result = run_policy(S1_DEMANDS, S1_RESERVATIONS, model, KeepReservedPolicy())
+        assert result.total_cost == pytest.approx(9.5)
+
+    def test_marketplace_fee_reduces_income(self, toy_plan):
+        model = CostModel(plan=toy_plan, selling_discount=0.5, marketplace_fee=0.12)
+        result = run_policy(
+            S1_DEMANDS, S1_RESERVATIONS, model, OnlineSellingPolicy.a_t2()
+        )
+        assert result.breakdown.sale_income == pytest.approx(2.0 * 0.88)
+
+    def test_per_hour_series_sums_to_total(self, s1):
+        result = s1(OnlineSellingPolicy.a_t2())
+        assert result.costs.per_hour_total().sum() == pytest.approx(result.total_cost)
+
+    def test_utilisation(self, s1):
+        # Sold at hour 4: active hours = 4, busy hours = 2.
+        result = s1(OnlineSellingPolicy.a_t2())
+        assert result.utilisation() == pytest.approx(0.5)
+
+
+class TestScriptedReplay:
+    def test_scripted_sale_at_exact_hour(self, toy_model):
+        policy = ScriptedSellingPolicy({0: 2}, name="OPT")
+        result = run_policy(S1_DEMANDS, S1_RESERVATIONS, toy_model, policy)
+        assert result.instances_sold == 1
+        assert result.sales[0].hour == 2
+        # 8 (upfront) + 0.5 (2 active hours) + 4 (on-demand 4..7) - 3
+        # (income at rp = 0.75) = 9.5.
+        assert result.total_cost == pytest.approx(9.5)
+
+
+class TestInputValidation:
+    def test_mismatched_lengths(self, toy_model):
+        with pytest.raises(SimulationError):
+            run_policy([1, 2, 3], [0, 0], toy_model, KeepReservedPolicy())
+
+    def test_negative_reservations(self, toy_model):
+        with pytest.raises(SimulationError):
+            run_policy([1, 1], [-1, 0], toy_model, KeepReservedPolicy())
+
+    def test_fractional_reservations(self, toy_model):
+        with pytest.raises(SimulationError):
+            run_policy([1, 1], [0.5, 0], toy_model, KeepReservedPolicy())
+
+    def test_2d_reservations(self, toy_model):
+        with pytest.raises(SimulationError):
+            run_policy([1, 1], np.zeros((2, 1)), toy_model, KeepReservedPolicy())
+
+
+class TestSchedulingEdges:
+    def test_decision_beyond_horizon_never_fires(self, toy_model):
+        # Instance reserved at hour 14 with T=8: its T/2 spot (hour 18)
+        # lies beyond the 16-hour horizon.
+        demands = [0] * 16
+        reservations = [0] * 14 + [1, 0]
+        result = run_policy(
+            demands, reservations, toy_model, OnlineSellingPolicy.a_t2()
+        )
+        assert result.instances_sold == 0
+
+    def test_multiple_batches_and_sales(self, toy_model):
+        demands = [0] * 16
+        reservations = [2] + [0] * 7 + [1] + [0] * 7
+        result = run_policy(
+            demands, reservations, toy_model, OnlineSellingPolicy.a_t2()
+        )
+        # Paper-faithful batch artifact (Algorithm 1 lines 15-23): after
+        # selling batch member i=1 the history decrement of r makes
+        # member i=2 of the same idle batch count as busy (the loop index
+        # is not adjusted), so one of the two hour-0 instances is
+        # retained. The hour-8 singleton is idle and sells at hour 12.
+        assert result.instances_sold == 2
+        assert sorted(sale.hour for sale in result.sales) == [4, 12]
+        assert {sale.instance_id for sale in result.sales} == {0, 2}
+
+    def test_simulator_reusable(self, toy_model):
+        simulator = SellingSimulator(toy_model, OnlineSellingPolicy.a_t2())
+        first = simulator.run(S1_DEMANDS, S1_RESERVATIONS)
+        second = simulator.run(S1_DEMANDS, S1_RESERVATIONS)
+        assert first.total_cost == pytest.approx(second.total_cost)
+
+    def test_demand_trace_input(self, toy_model):
+        trace = DemandTrace(S1_DEMANDS)
+        result = run_policy(trace, S1_RESERVATIONS, toy_model, KeepReservedPolicy())
+        assert result.demands is trace
+
+
+class TestSerialization:
+    def test_to_dict_is_json_serialisable(self, toy_model):
+        import json
+
+        result = run_policy(
+            S1_DEMANDS, S1_RESERVATIONS, toy_model, OnlineSellingPolicy.a_t2()
+        )
+        payload = json.loads(json.dumps(result.to_dict()))
+        assert payload["policy"] == "A_{T/2}"
+        assert payload["total_cost"] == pytest.approx(11.0)
+        assert payload["breakdown"]["sale_income"] == pytest.approx(2.0)
+        (sale,) = payload["sales"]
+        assert sale["hour"] == 4 and sale["working_hours"] == 2

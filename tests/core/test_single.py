@@ -1,0 +1,85 @@
+"""Unit tests for repro.core.single (the proofs' single-instance model)."""
+
+import numpy as np
+import pytest
+
+from repro.core.single import (
+    compare_single_instance,
+    offline_single_cost,
+    online_single_cost,
+)
+from repro.errors import SimulationError
+
+
+class TestOnlineCost:
+    def test_sell_branch_matches_eq_15(self, toy_plan):
+        # x0 = 2 < beta = 8/3: cost = R + alpha p x0 - (1-phi) a R + p x_rest
+        busy = np.array([1, 1, 0, 0, 1, 1, 1, 1], dtype=bool)
+        cost, sold = online_single_cost(busy, toy_plan, 0.5, 0.5)
+        assert sold
+        assert cost == pytest.approx(8 + 0.25 * 2 - 0.5 * 0.5 * 8 + 4)
+
+    def test_keep_branch_matches_eq_25(self, toy_plan):
+        busy = np.ones(8, dtype=bool)
+        cost, sold = online_single_cost(busy, toy_plan, 0.5, 0.5)
+        assert not sold
+        assert cost == pytest.approx(8 + 0.25 * 8)
+
+    def test_profile_length_checked(self, toy_plan):
+        with pytest.raises(SimulationError):
+            online_single_cost(np.ones(5, bool), toy_plan, 0.5, 0.5)
+
+
+class TestOfflineCost:
+    def test_idle_instance_sells_at_min_age(self, toy_plan):
+        cost, hour = offline_single_cost(np.zeros(8, bool), toy_plan, 0.5)
+        assert hour == 1
+        assert cost == pytest.approx(8 - (1 - 1 / 8) * 0.5 * 8)
+
+    def test_busy_instance_keeps(self, toy_plan):
+        cost, hour = offline_single_cost(np.ones(8, bool), toy_plan, 0.5)
+        assert hour is None
+        assert cost == pytest.approx(10.0)
+
+    def test_min_age_equal_period_means_keep_only(self, toy_plan):
+        cost, hour = offline_single_cost(
+            np.zeros(8, bool), toy_plan, 0.5, min_age=8
+        )
+        assert hour is None
+
+    def test_min_age_validated(self, toy_plan):
+        with pytest.raises(SimulationError):
+            offline_single_cost(np.zeros(8, bool), toy_plan, 0.5, min_age=0)
+
+
+class TestComparison:
+    def test_ratio_at_least_one_when_opt_restricted(self, scaled_plan, rng):
+        # With OPT restricted to the online spot or later, OPT can do
+        # everything the online algorithm can, so the ratio is >= 1.
+        for _ in range(50):
+            busy = rng.random(scaled_plan.period_hours) < rng.uniform(0, 1)
+            outcome = compare_single_instance(busy, scaled_plan, 0.8, 0.5)
+            assert outcome.ratio >= 1.0 - 1e-12
+
+    def test_unrestricted_opt_is_cheaper_or_equal(self, scaled_plan, rng):
+        busy = rng.random(scaled_plan.period_hours) < 0.3
+        restricted = compare_single_instance(
+            busy, scaled_plan, 0.8, 0.5, restrict_offline=True
+        )
+        unrestricted = compare_single_instance(
+            busy, scaled_plan, 0.8, 0.5, restrict_offline=False
+        )
+        assert unrestricted.offline_cost <= restricted.offline_cost + 1e-12
+
+    def test_x0_reported(self, toy_plan):
+        busy = np.array([1, 0, 1, 0, 1, 1, 1, 1], dtype=bool)
+        outcome = compare_single_instance(busy, toy_plan, 0.5, 0.5)
+        assert outcome.x0 == 2
+
+    def test_offline_cost_is_positive(self, scaled_plan, rng):
+        # R > 0 and income < R guarantee a positive OPT cost, keeping the
+        # ratio finite.
+        for _ in range(20):
+            busy = rng.random(scaled_plan.period_hours) < 0.05
+            outcome = compare_single_instance(busy, scaled_plan, 1.0, 0.25)
+            assert outcome.offline_cost > 0

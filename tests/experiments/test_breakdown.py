@@ -1,0 +1,48 @@
+"""Unit tests for repro.experiments.breakdown."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import breakdown
+from repro.experiments.config import ExperimentConfig
+
+CONFIG = ExperimentConfig(users_per_group=4, period_hours=96, seed=11, label="test")
+
+
+@pytest.fixture(scope="module")
+def result():
+    return breakdown.run(CONFIG)
+
+
+class TestBreakdown:
+    def test_covers_the_population_imitators(self, result):
+        names = {row.imitator for row in result.rows}
+        # The group-aware mix uses all four behaviours at this size.
+        assert "All-Reserved" in names
+        assert "Random-Reservation" in names
+
+    def test_user_counts_sum_to_population(self, result):
+        assert sum(row.users for row in result.rows) == CONFIG.total_users
+
+    def test_shares_are_fractions_summing_to_one(self, result):
+        for row in result.rows:
+            if row.income_share or row.fee_share:
+                assert row.income_share + row.fee_share == pytest.approx(1.0)
+            assert 0.0 <= row.income_share <= 1.0
+
+    def test_over_reservers_save_more_than_breakeven_buyers(self, result):
+        # Break-even purchasers hold few, well-utilised RIs: near-nothing
+        # to sell. Over-reservers are where the marketplace pays off.
+        over = result.row("All-Reserved").mean_normalized["A_{T/4}"]
+        lean = result.row("Online-BreakEven").mean_normalized["A_{T/4}"]
+        assert over < lean + 1e-9
+
+    def test_row_lookup(self, result):
+        assert result.row(result.rows[0].imitator) is result.rows[0]
+        with pytest.raises(ExperimentError):
+            result.row("nobody")
+
+    def test_render(self, result):
+        text = breakdown.render(result)
+        assert "Savings by purchasing behaviour" in text
+        assert "income share" in text

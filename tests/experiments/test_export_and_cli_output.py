@@ -1,0 +1,70 @@
+"""Tests for sweep CSV export and the CLI's --output mode."""
+
+import csv
+
+import pytest
+
+from repro.experiments.cli import main
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_sweep
+
+CONFIG = ExperimentConfig(users_per_group=3, period_hours=96, seed=5, label="test")
+
+
+class TestSweepCsvExport:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return run_sweep(CONFIG)
+
+    def test_one_row_per_user_plus_header(self, sweep, tmp_path):
+        path = tmp_path / "sweep.csv"
+        sweep.to_csv(path)
+        with path.open(newline="") as handle:
+            rows = list(csv.reader(handle))
+        assert len(rows) == 1 + len(sweep.outcomes)
+
+    def test_columns_cover_all_policies(self, sweep, tmp_path):
+        path = tmp_path / "sweep.csv"
+        sweep.to_csv(path)
+        with path.open(newline="") as handle:
+            header = next(csv.reader(handle))
+        for name in sweep.policy_names:
+            assert f"cost:{name}" in header
+            assert f"normalized:{name}" in header
+
+    def test_values_roundtrip(self, sweep, tmp_path):
+        path = tmp_path / "sweep.csv"
+        sweep.to_csv(path)
+        with path.open(newline="") as handle:
+            rows = list(csv.DictReader(handle))
+        first = rows[0]
+        outcome = sweep.outcomes[0]
+        assert first["user_id"] == outcome.user_id
+        assert float(first["cost:Keep-Reserved"]) == pytest.approx(
+            outcome.costs["Keep-Reserved"], abs=1e-3
+        )
+        assert float(first["normalized:Keep-Reserved"]) == pytest.approx(1.0)
+
+
+class TestCliOutput:
+    def test_reports_written_to_directory(self, tmp_path, capsys):
+        out_dir = tmp_path / "reports"
+        assert main(["table1", "--output", str(out_dir)]) == 0
+        capsys.readouterr()
+        written = out_dir / "table1.txt"
+        assert written.exists()
+        assert "Table I" in written.read_text()
+
+
+class TestFigureSvgExport:
+    def test_fig3_and_fig4_emit_svg_panels(self):
+        from repro.experiments import fig3, fig4
+
+        sweep = run_sweep(CONFIG)
+        documents3 = fig3.to_svg(fig3.run(CONFIG, sweep=sweep))
+        documents4 = fig4.to_svg(fig4.run(CONFIG, sweep=sweep))
+        assert set(documents3) == {"fig3a.svg", "fig3b.svg", "fig3c.svg"}
+        assert set(documents4) == {"fig4a.svg", "fig4b.svg", "fig4c.svg"}
+        for document in (*documents3.values(), *documents4.values()):
+            assert document.startswith("<svg")
+            assert "polyline" in document

@@ -1,0 +1,64 @@
+"""Unit tests for repro.experiments.fig1 (the Algorithm-1 illustration)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig1
+from repro.experiments.config import ExperimentConfig
+
+
+@pytest.fixture(scope="module")
+def result():
+    return fig1.run(period=32)
+
+
+class TestScenario:
+    def test_scenario_shape(self):
+        plan, demands, reservations = fig1.build_scenario(period=32)
+        assert plan.theta == pytest.approx(4.0)
+        assert reservations[0] == 2  # inst1, inst2
+        assert reservations[8] == 1 and reservations[16] == 1  # inst3, inst4
+        assert demands.size == 64
+
+    def test_period_validated(self):
+        with pytest.raises(ValueError):
+            fig1.build_scenario(period=10)
+
+
+class TestFig1:
+    def test_one_batch_member_sells_at_the_spot(self, result):
+        # The paper's story: one of inst1/inst2 sells at 3T/4 = hour 24;
+        # the other survives Algorithm 1's batch rule.
+        spot_sales = [s for s in result.online.sales if s.hour == 24]
+        assert len(spot_sales) == 1
+        assert spot_sales[0].instance_id in (0, 1)
+        survivors = {0, 1} - {s.instance_id for s in result.online.sales}
+        assert len(survivors) == 1
+
+    def test_dotted_line_gap(self, result):
+        # After the sale the online r curve sits strictly below keep's.
+        first_sale = min(result.sale_hours)
+        keep = result.keep.r_physical
+        online = result.online.r_physical
+        assert np.array_equal(keep[:first_sale], online[:first_sale])
+        assert online[first_sale] < keep[first_sale]
+
+    def test_config_discount_changes_the_decision(self):
+        # a = 0.4 halves beta below the batch's 4 worked hours, so the
+        # spot sale at hour 24 no longer happens — the selling discount
+        # genuinely drives Algorithm 1's decision, not just the income.
+        custom = fig1.run(ExperimentConfig.quick().scaled(selling_discount=0.4))
+        assert not any(sale.hour == 24 for sale in custom.online.sales)
+        default = fig1.run()
+        assert any(sale.hour == 24 for sale in default.online.sales)
+
+    def test_render(self, result):
+        text = fig1.render(result)
+        assert "Fig. 1" in text
+        assert "dotted line" in text
+        assert "r (keep)" in text
+
+    def test_to_svg(self, result):
+        documents = fig1.to_svg(result)
+        assert set(documents) == {"fig1.svg"}
+        assert documents["fig1.svg"].startswith("<svg")

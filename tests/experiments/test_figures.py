@@ -1,0 +1,89 @@
+"""Integration tests for the figure experiments (Figs. 2-4)."""
+
+import pytest
+
+from repro.experiments import fig2, fig3, fig4
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_sweep
+from repro.workload.groups import FluctuationGroup
+
+CONFIG = ExperimentConfig(users_per_group=6, period_hours=96, seed=11, label="test")
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return run_sweep(CONFIG)
+
+
+class TestFig2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig2.run(CONFIG)
+
+    def test_all_groups_summarised(self, result):
+        assert set(result.per_group) == set(FluctuationGroup)
+
+    def test_population_respects_bands(self, result):
+        assert result.all_in_band()
+
+    def test_group_medians_ordered(self, result):
+        medians = [
+            result.per_group[group]["median"]
+            for group in (FluctuationGroup.STABLE, FluctuationGroup.MODERATE,
+                          FluctuationGroup.BURSTY)
+        ]
+        assert medians[0] < medians[1] < medians[2]
+
+    def test_render(self, result):
+        text = fig2.render(result)
+        assert "Fig. 2" in text
+        assert "stable" in text and "bursty" in text
+
+    def test_to_svg(self, result):
+        documents = fig2.to_svg(result)
+        assert set(documents) == {"fig2a.svg", "fig2b.svg", "fig2c.svg"}
+        assert all(doc.startswith("<svg") for doc in documents.values())
+
+
+class TestFig3:
+    @pytest.fixture(scope="class")
+    def result(self, sweep):
+        return fig3.run(CONFIG, sweep=sweep)
+
+    def test_three_panels(self, result):
+        assert set(result.panels) == {"A_{3T/4}", "A_{T/2}", "A_{T/4}"}
+
+    def test_each_panel_has_three_series(self, result):
+        for panel, series in result.panels.items():
+            assert panel in series
+            assert "Keep-Reserved" in series
+            assert any(name.startswith("All-Selling") for name in series)
+
+    def test_online_policies_save_on_average(self, result):
+        # The central claim of Fig. 3: selling beats Keep-Reserved.
+        for summary in result.summaries.values():
+            assert summary.mean < 1.0
+
+    def test_render(self, result):
+        text = fig3.render(result)
+        assert "panel a" in text and "panel c" in text
+        assert "normalized cost" in text
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def result(self, sweep):
+        return fig4.run(CONFIG, sweep=sweep)
+
+    def test_panel_per_group(self, result):
+        assert set(result.panels) == set(FluctuationGroup)
+
+    def test_mean_ordering_in_every_group(self, result):
+        # Section V / Table III: earlier decisions save more on average.
+        for group in FluctuationGroup:
+            assert result.mean_ordering_holds(group)
+
+    def test_render(self, result):
+        text = fig4.render(result)
+        assert "Fig. 4" in text
+        assert text.count("panel") == 3

@@ -1,0 +1,49 @@
+"""Unit tests for repro.experiments.optgap."""
+
+import pytest
+
+from repro.experiments import optgap
+from repro.experiments.config import ExperimentConfig
+
+CONFIG = ExperimentConfig(users_per_group=4, period_hours=96, seed=11, label="test")
+
+
+@pytest.fixture(scope="module")
+def result():
+    return optgap.run(CONFIG)
+
+
+class TestOptGap:
+    def test_one_row_per_online_policy(self, result):
+        assert [row.policy for row in result.rows] == ["A_{3T/4}", "A_{T/2}", "A_{T/4}"]
+
+    def test_ratios_are_at_least_one(self, result):
+        # Both OPT variants lower-bound the online policies structurally:
+        # the descent is seeded with each policy's own (min_age-filtered)
+        # schedule and never worsens a seed.
+        for row in result.rows:
+            assert row.mean_ratio_unrestricted >= 1.0 - 1e-9
+            assert row.mean_ratio_restricted >= 1.0 - 1e-9
+            assert row.max_ratio_unrestricted >= row.mean_ratio_unrestricted
+            assert row.max_ratio_restricted >= row.mean_ratio_restricted
+
+    def test_restricted_opt_is_weaker_than_unrestricted(self, result):
+        # Restricting OPT to the policy's spot can only raise its cost,
+        # so the ratio against it is smaller.
+        for row in result.rows:
+            assert row.mean_ratio_restricted <= row.mean_ratio_unrestricted + 1e-9
+
+    def test_opt_beats_keep_substantially(self, result):
+        assert result.mean_opt_normalized < 1.0
+
+    def test_earlier_spots_track_opt_more_closely(self, result):
+        assert result.ordering_holds()
+
+    def test_proved_bounds_reported(self, result):
+        bounds = {row.policy: row.proved_bound for row in result.rows}
+        assert bounds["A_{3T/4}"] == pytest.approx(2 - 0.25 - 0.2)
+
+    def test_render(self, result):
+        text = optgap.render(result)
+        assert "Optimality gap" in text
+        assert "spot-OPT" in text

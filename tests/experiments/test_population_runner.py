@@ -1,0 +1,112 @@
+"""Unit tests for repro.experiments.population and .runner."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.population import (
+    GROUP_IMITATOR_CYCLE,
+    build_experiment_population,
+)
+from repro.experiments.runner import (
+    ALL_SELLING_POLICIES,
+    ONLINE_POLICIES,
+    POLICY_KEEP,
+    POLICY_OPT,
+    SweepResult,
+    run_sweep,
+    run_user,
+)
+from repro.workload.groups import FluctuationGroup
+
+TINY = ExperimentConfig(users_per_group=4, period_hours=96, seed=7, label="tiny")
+
+
+@pytest.fixture(scope="module")
+def population():
+    return build_experiment_population(TINY)
+
+
+@pytest.fixture(scope="module")
+def sweep(population):
+    return run_sweep(TINY, users=population)
+
+
+class TestPopulation:
+    def test_size_and_groups(self, population):
+        assert len(population) == 12
+        groups = {user.group for user in population}
+        assert groups == set(FluctuationGroup)
+
+    def test_imitators_follow_group_cycle(self, population):
+        from repro.purchasing.runner import paper_imitators
+
+        names = [algorithm.name for algorithm in paper_imitators()]
+        by_group = {}
+        for user in population:
+            by_group.setdefault(user.group, []).append(user.imitator_name)
+        for group, cycle in GROUP_IMITATOR_CYCLE.items():
+            expected = [names[cycle[i % len(cycle)]] for i in range(4)]
+            assert by_group[group] == expected
+
+    def test_schedules_cover_horizon(self, population):
+        assert all(
+            user.schedule.reservations.shape == (TINY.horizon,)
+            for user in population
+        )
+
+    def test_deterministic(self, population):
+        again = build_experiment_population(TINY)
+        for a, b in zip(population, again):
+            assert a.user_id == b.user_id
+            assert np.array_equal(a.schedule.reservations, b.schedule.reservations)
+
+
+class TestRunUser:
+    def test_all_policies_present(self, population):
+        outcome = run_user(population[0], TINY)
+        expected = {POLICY_KEEP, *ONLINE_POLICIES, *ALL_SELLING_POLICIES}
+        assert set(outcome.costs) == expected
+
+    def test_opt_included_on_request(self, population):
+        outcome = run_user(population[0], TINY, include_opt=True)
+        assert POLICY_OPT in outcome.costs
+        assert outcome.costs[POLICY_OPT] <= outcome.costs[POLICY_KEEP] + 1e-9
+
+    def test_opt_lower_bounds_every_policy(self, population):
+        # OPT (sequential offline) must beat the online policies too.
+        for user in population[:4]:
+            outcome = run_user(user, TINY, include_opt=True)
+            for name in ONLINE_POLICIES:
+                assert outcome.costs[POLICY_OPT] <= outcome.costs[name] + 1e-9
+
+
+class TestSweep:
+    def test_sweep_covers_population(self, sweep, population):
+        assert len(sweep.outcomes) == len(population)
+
+    def test_costs_matrix_shapes(self, sweep):
+        matrix = sweep.costs_matrix()
+        assert all(values.shape == (12,) for values in matrix.values())
+
+    def test_normalized_baseline_is_one(self, sweep):
+        normalized = sweep.normalized()
+        np.testing.assert_allclose(normalized[POLICY_KEEP], 1.0)
+
+    def test_group_selection(self, sweep):
+        subset = sweep.select(FluctuationGroup.STABLE)
+        assert len(subset.outcomes) == 4
+        with pytest.raises(ExperimentError):
+            SweepResult(config=TINY, outcomes=[])
+
+    def test_user_lookup(self, sweep):
+        outcome = sweep.outcomes[0]
+        assert sweep.user(outcome.user_id) is outcome
+        with pytest.raises(ExperimentError):
+            sweep.user("nobody")
+
+    def test_progress_callback(self, population):
+        calls = []
+        run_sweep(TINY, users=population[:2], progress=lambda i, n: calls.append((i, n)))
+        assert calls == [(1, 2), (2, 2)]

@@ -1,0 +1,45 @@
+"""Unit tests for repro.experiments.stability."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import stability
+from repro.experiments.config import ExperimentConfig
+
+CONFIG = ExperimentConfig(users_per_group=4, period_hours=96, seed=3, label="test")
+
+
+@pytest.fixture(scope="module")
+def result():
+    return stability.run(CONFIG, n_seeds=3)
+
+
+class TestStability:
+    def test_one_row_per_seed(self, result):
+        assert len(result.per_seed) == 3
+        assert result.seeds == (3, 4, 5)
+
+    def test_summary_statistics(self, result):
+        for policy in ("A_{3T/4}", "A_{T/2}", "A_{T/4}"):
+            values = [row[policy] for row in result.per_seed.values()]
+            assert min(values) <= result.mean(policy) <= max(values)
+            assert result.std(policy) >= 0.0
+
+    def test_counters_bounded(self, result):
+        assert 0 <= result.orderings_held <= 3
+        assert 0 <= result.all_below_one <= 3
+
+    def test_selling_usually_helps_on_average(self, result):
+        # At this deliberately tiny scale (4 users/group) a noisy group
+        # cell can cross 1; most replications must still be clean (the
+        # default-scale bench asserts all of them).
+        assert result.all_below_one >= 2
+
+    def test_render(self, result):
+        text = stability.render(result)
+        assert "Seed stability" in text
+        assert "replications" in text
+
+    def test_needs_at_least_two_seeds(self):
+        with pytest.raises(ExperimentError):
+            stability.run(CONFIG, n_seeds=1)

@@ -1,0 +1,80 @@
+"""Integration tests for the table experiments (Tables I-III)."""
+
+import pytest
+
+from repro.experiments import table1, table2, table3
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_sweep
+from repro.workload.groups import FluctuationGroup
+
+CONFIG = ExperimentConfig(users_per_group=6, period_hours=96, seed=11, label="test")
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return run_sweep(CONFIG)
+
+
+class TestTable1:
+    def test_reproduces_paper_numbers(self):
+        result = table1.run()
+        assert result.max_deviation() < 5e-4
+
+    def test_render_contains_rows(self):
+        text = table1.render(table1.run())
+        assert "Partial Upfront" in text and "$1506" in text
+        assert "On-Demand" in text
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def result(self, sweep):
+        return table2.run(CONFIG, sweep=sweep)
+
+    def test_user_has_reservations(self, result):
+        # The exhibit prefers bursty users, but falls back to any user
+        # showing a genuine late-spot advantage.
+        assert result.user.instances_reserved > 0
+
+    def test_worst_case_per_policy_reported(self, result):
+        assert set(result.worst_case) == {"A_{3T/4}", "A_{T/2}", "A_{T/4}"}
+        assert all(value > 0 for value in result.worst_case.values())
+
+    def test_costs_for_all_four_policies(self, result):
+        costs = result.costs()
+        assert set(costs) == {"A_{3T/4}", "A_{T/2}", "A_{T/4}", "Keep-Reserved"}
+        assert all(value > 0 for value in costs.values())
+
+    def test_render(self, result):
+        text = table2.render(result)
+        assert "Table II" in text
+        assert "worst case" in text
+
+
+class TestTable3:
+    @pytest.fixture(scope="class")
+    def result(self, sweep):
+        return table3.run(CONFIG, sweep=sweep)
+
+    def test_every_cell_below_one(self, result):
+        # Shape criterion: selling always helps on average.
+        assert result.all_below_one()
+
+    def test_spot_ordering(self, result):
+        # Shape criterion: A_{T/4} <= A_{T/2} <= A_{3T/4} column-wise.
+        assert result.ordering_holds()
+
+    def test_columns_match_paper_layout(self, result):
+        for row in result.measured.values():
+            assert set(row) == {"stable", "moderate", "bursty", "All users"}
+
+    def test_render_includes_paper_reference(self, result):
+        text = table3.render(result)
+        assert "Table III" in text and "paper (all)" in text
+
+    def test_bootstrap_intervals_bracket_the_means(self, result):
+        for policy, interval in result.intervals.items():
+            assert interval.contains(result.measured[policy]["All users"])
+
+    def test_ordering_decisiveness_reported(self, result):
+        assert isinstance(result.ordering_decisive, bool)

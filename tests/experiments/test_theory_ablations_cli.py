@@ -1,0 +1,96 @@
+"""Integration tests for the theory/ablation experiments and the CLI."""
+
+import pytest
+
+from repro.experiments import ablations, theory
+from repro.experiments.cli import build_parser, main, run_experiment
+from repro.experiments.config import ExperimentConfig
+
+CONFIG = ExperimentConfig(users_per_group=3, period_hours=96, seed=11, label="test")
+
+
+class TestTheoryExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return theory.run(CONFIG, trials=60)
+
+    def test_every_bound_holds_empirically(self, result):
+        assert result.all_bounds_hold()
+
+    def test_catalog_claims_regenerated(self, result):
+        assert result.catalog_stats.theta_in_paper_range
+        assert result.catalog_stats.alpha_below_paper_bound
+
+    def test_three_decision_spots(self, result):
+        assert [row.phi for row in result.rows] == [0.75, 0.5, 0.25]
+
+    def test_bounds_increase_for_earlier_spots(self, result):
+        bounds = {row.phi: row.bound for row in result.rows}
+        assert bounds[0.75] < bounds[0.5] < bounds[0.25]
+
+    def test_render(self, result):
+        text = theory.render(result)
+        assert "Propositions" in text and "holds" in text
+
+
+class TestAblations:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ablations.run(CONFIG)
+
+    def test_discount_sweep_grid(self, result):
+        assert set(result.discount_sweep) == set(ablations.DISCOUNT_GRID)
+
+    def test_larger_discount_never_hurts_on_average(self, result):
+        # Income is increasing in `a` while the sold set shifts, so the
+        # endpoint comparison must favour a = 1 over a = 0.2 on average.
+        low = result.discount_sweep[0.2]["A_{T/4}"]
+        high = result.discount_sweep[1.0]["A_{T/4}"]
+        assert high <= low + 1e-9
+
+    def test_phi_sweep_covers_grid(self, result):
+        assert set(result.phi_sweep) == set(ablations.PHI_GRID)
+
+    def test_fee_reduces_savings(self, result):
+        free = result.fee_sweep[0.0]["A_{T/4}"]
+        amazon = result.fee_sweep[0.12]["A_{T/4}"]
+        assert free <= amazon + 1e-9
+
+    def test_randomized_policy_sits_between_extremes(self, result):
+        values = [result.phi_sweep[phi] for phi in (0.25, 0.75)]
+        assert min(values) - 0.1 <= result.randomized_mean <= max(values) + 0.1
+
+    def test_threshold_sweep_covers_grid(self, result):
+        assert set(result.threshold_sweep) == set(ablations.THRESHOLD_GRID)
+        assert all(value > 0 for value in result.threshold_sweep.values())
+
+    def test_coupling_comparison_present(self, result):
+        assert set(result.coupling) == {"decoupled", "coupled"}
+        # The decoupled pipeline (the paper's) still saves on average.
+        assert result.coupling["decoupled"] < 1.0
+
+    def test_render(self, result):
+        text = ablations.render(result)
+        assert "selling-discount sweep" in text
+        assert "marketplace-fee sweep" in text
+        assert "break-even threshold" in text
+        assert "coupled purchasing" in text
+
+
+class TestCli:
+    def test_parser_choices(self):
+        parser = build_parser()
+        args = parser.parse_args(["table1", "--scale", "quick"])
+        assert args.experiment == "table1"
+
+    def test_run_experiment_table1(self):
+        text = run_experiment("table1", CONFIG)
+        assert "Table I" in text
+
+    def test_run_experiment_unknown(self):
+        with pytest.raises(ValueError):
+            run_experiment("nope", CONFIG)
+
+    def test_main_table1(self, capsys):
+        assert main(["table1"]) == 0
+        assert "Table I" in capsys.readouterr().out

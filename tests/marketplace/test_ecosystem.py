@@ -1,0 +1,123 @@
+"""Unit tests for repro.marketplace.ecosystem."""
+
+import numpy as np
+import pytest
+
+from repro.core.account import CostModel
+from repro.errors import MarketplaceError
+from repro.marketplace.ecosystem import (
+    EcosystemOutcome,
+    clear_market,
+    endogenous_buy_requests,
+)
+from repro.marketplace.market import BuyRequest
+from repro.pricing.catalog import paper_experiment_plan
+from repro.purchasing import AllReserved, RandomReservation, imitate
+from repro.workload import TargetCVWorkload
+
+
+@pytest.fixture(scope="module")
+def setting():
+    plan = paper_experiment_plan().with_period(192)
+    model = CostModel(plan, selling_discount=0.8)
+    rng = np.random.default_rng(4)
+    schedules = []
+    for index in range(12):
+        trace = TargetCVWorkload(target_cv=2.0, mean_demand=4.0).generate(384, rng)
+        imitator = AllReserved() if index % 2 == 0 else RandomReservation(seed=index)
+        schedules.append(imitate(trace, plan, imitator))
+    return plan, model, schedules
+
+
+class TestEndogenousDemand:
+    def test_requests_mirror_reservation_demand(self, setting):
+        plan, model, schedules = setting
+        requests = endogenous_buy_requests(schedules, model)
+        total_requested = sum(request.count for request in requests)
+        total_reserved = sum(schedule.total_reserved for schedule in schedules)
+        assert total_requested == total_reserved
+
+    def test_buyers_are_value_aware(self, setting):
+        plan, model, schedules = setting
+        requests = endogenous_buy_requests(schedules, model)
+        assert all(request.value_per_period == plan.upfront for request in requests)
+
+    def test_participation_thins_demand(self, setting):
+        plan, model, schedules = setting
+        rng = np.random.default_rng(0)
+        partial = endogenous_buy_requests(
+            schedules, model, participation=0.3, rng=rng
+        )
+        full = endogenous_buy_requests(schedules, model)
+        assert sum(r.count for r in partial) < sum(r.count for r in full)
+
+    def test_participation_validated(self, setting):
+        plan, model, schedules = setting
+        with pytest.raises(MarketplaceError):
+            endogenous_buy_requests(schedules, model, participation=1.5)
+
+
+class TestClearing:
+    @pytest.fixture(scope="class")
+    def outcome(self, setting):
+        plan, model, schedules = setting
+        requests = endogenous_buy_requests(schedules, model)
+        return clear_market(schedules, requests, model, phi=0.25)
+
+    def test_outcome_shape(self, outcome, setting):
+        plan, model, schedules = setting
+        assert isinstance(outcome, EcosystemOutcome)
+        assert len(outcome.sellers) == len(schedules)
+        assert 0 <= outcome.total_sold <= outcome.total_listings
+
+    def test_realized_income_never_exceeds_assumed(self, outcome):
+        # The 12% fee plus non-clearing make Eq. (1)'s booking an upper
+        # bound: realized <= 0.88 * assumed per seller.
+        for seller in outcome.sellers:
+            assert seller.realized_income <= 0.88 * seller.assumed_income + 1e-9
+            assert 0.0 <= seller.realization_ratio <= 0.88 + 1e-9
+
+    def test_fees_are_consistent_with_sales(self, outcome):
+        realized_total = sum(s.realized_income for s in outcome.sellers)
+        # fee = 12/88 of the sellers' net take.
+        assert outcome.total_fees == pytest.approx(
+            realized_total * 0.12 / 0.88, rel=1e-6
+        )
+
+    def test_no_buyers_means_nothing_realized(self, setting):
+        plan, model, schedules = setting
+        outcome = clear_market(schedules, [], model, phi=0.25)
+        assert outcome.total_sold == 0
+        assert outcome.mean_realization_ratio == 0.0 or all(
+            s.listings == 0 for s in outcome.sellers
+        )
+
+    def test_deep_demand_clears_more_than_thin_demand(self, setting):
+        plan, model, schedules = setting
+        thin = clear_market(
+            schedules,
+            endogenous_buy_requests(
+                schedules, model, participation=0.1,
+                rng=np.random.default_rng(1),
+            ),
+            model,
+            phi=0.25,
+        )
+        deep = clear_market(
+            schedules,
+            endogenous_buy_requests(schedules, model),
+            model,
+            phi=0.25,
+        )
+        assert deep.total_sold >= thin.total_sold
+
+    def test_exogenous_requests_also_accepted(self, setting):
+        plan, model, schedules = setting
+        requests = [
+            BuyRequest(buyer_id="ext", instance_type=plan.name, count=5,
+                       max_unit_price=plan.upfront, hour=hour,
+                       value_per_period=plan.upfront)
+            for hour in range(0, 384, 12)
+        ]
+        outcome = clear_market(schedules, requests, model, phi=0.25)
+        assert outcome.total_sold >= 0

@@ -1,0 +1,98 @@
+"""Unit tests for repro.marketplace.listing (Section III-B rules)."""
+
+import pytest
+
+from repro.errors import ListingError
+from repro.marketplace.listing import SERVICE_FEE_RATE, Listing
+from repro.pricing.plan import PricingPlan
+
+
+def t2_nano_plan():
+    return PricingPlan(
+        on_demand_hourly=0.0059, upfront=18.0, alpha=0.34,
+        period_hours=8760, name="t2.nano",
+    )
+
+
+def make_listing(**overrides):
+    defaults = dict(
+        seller_id="s",
+        instance_type="t2.nano",
+        original_upfront=18.0,
+        period_hours=8760,
+        remaining_hours=4380,
+        asking_upfront=7.2,
+        listed_at=0,
+    )
+    defaults.update(overrides)
+    return Listing(**defaults)
+
+
+class TestProration:
+    def test_paper_t2_nano_example(self):
+        # Half the cycle left: cap $9; 20% off -> $7.2; seller receives
+        # $7.2 * 0.88 = $6.336 (Section III-B, verbatim example).
+        listing = make_listing()
+        assert listing.prorated_cap == pytest.approx(9.0)
+        assert listing.effective_discount == pytest.approx(0.8)
+        assert listing.service_fee() == pytest.approx(0.864)
+        assert listing.seller_proceeds() == pytest.approx(6.336)
+
+    def test_asking_above_cap_rejected(self):
+        with pytest.raises(ListingError):
+            make_listing(asking_upfront=9.5)
+
+    def test_asking_at_cap_allowed(self):
+        assert make_listing(asking_upfront=9.0).effective_discount == 1.0
+
+    def test_from_plan_builds_conforming_listing(self):
+        listing = Listing.from_plan(
+            t2_nano_plan(), elapsed_hours=4380, selling_discount=0.8
+        )
+        assert listing.asking_upfront == pytest.approx(7.2)
+        assert listing.remaining_hours == 4380
+        assert listing.instance_type == "t2.nano"
+
+    def test_from_plan_validates_inputs(self):
+        with pytest.raises(ListingError):
+            Listing.from_plan(t2_nano_plan(), elapsed_hours=8760, selling_discount=0.8)
+        with pytest.raises(ListingError):
+            Listing.from_plan(t2_nano_plan(), elapsed_hours=0, selling_discount=1.2)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"original_upfront": 0.0},
+        {"period_hours": 0},
+        {"remaining_hours": 0},
+        {"remaining_hours": 9000},
+        {"asking_upfront": -1.0},
+        {"listed_at": -1},
+    ])
+    def test_bad_fields(self, kwargs):
+        with pytest.raises(ListingError):
+            make_listing(**kwargs)
+
+    def test_service_fee_rate_constant_matches_amazon(self):
+        assert SERVICE_FEE_RATE == 0.12
+
+
+class TestSaleMarking:
+    def test_mark_sold(self):
+        listing = make_listing(listed_at=5)
+        listing.mark_sold(9)
+        assert listing.is_sold and listing.sold_at == 9
+
+    def test_double_sale_rejected(self):
+        listing = make_listing()
+        listing.mark_sold(3)
+        with pytest.raises(ListingError):
+            listing.mark_sold(4)
+
+    def test_sale_before_listing_rejected(self):
+        listing = make_listing(listed_at=10)
+        with pytest.raises(ListingError):
+            listing.mark_sold(9)
+
+    def test_listing_ids_unique(self):
+        assert make_listing().listing_id != make_listing().listing_id

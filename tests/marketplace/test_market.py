@@ -1,0 +1,227 @@
+"""Unit tests for repro.marketplace.market (matching and buyers)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MarketplaceError
+from repro.marketplace.listing import Listing
+from repro.marketplace.market import (
+    BuyerArrivalProcess,
+    BuyRequest,
+    Marketplace,
+    simulate_market,
+)
+
+
+def listing(asking, listed_at=0, seller="s", kind="d2.xlarge"):
+    return Listing(
+        seller_id=seller,
+        instance_type=kind,
+        original_upfront=1506.0,
+        period_hours=8760,
+        remaining_hours=4380,
+        asking_upfront=asking,
+        listed_at=listed_at,
+    )
+
+
+class TestOrderBook:
+    def test_priority_is_lowest_asking_first(self):
+        market = Marketplace()
+        cheap, dear = listing(400.0), listing(700.0)
+        market.list_reservation(dear)
+        market.list_reservation(cheap)
+        assert market.open_listings("d2.xlarge")[0] is cheap
+
+    def test_tie_broken_by_listing_time(self):
+        market = Marketplace()
+        late, early = listing(500.0, listed_at=9), listing(500.0, listed_at=1)
+        market.list_reservation(late)
+        market.list_reservation(early)
+        assert market.open_listings("d2.xlarge")[0] is early
+
+    def test_duplicate_listing_rejected(self):
+        market = Marketplace()
+        item = listing(500.0)
+        market.list_reservation(item)
+        with pytest.raises(MarketplaceError):
+            market.list_reservation(item)
+
+    def test_cancel_removes(self):
+        market = Marketplace()
+        item = listing(500.0)
+        market.list_reservation(item)
+        market.cancel(item.listing_id)
+        assert market.depth("d2.xlarge") == 0
+        with pytest.raises(MarketplaceError):
+            market.cancel(item.listing_id)
+
+    def test_depth_per_type(self):
+        market = Marketplace()
+        market.list_reservation(listing(500.0))
+        market.list_reservation(listing(20.0, kind="t2.nano"))
+        assert market.depth("d2.xlarge") == 1
+        assert market.depth("t2.nano") == 1
+        assert market.depth("m4.large") == 0
+
+
+class TestMatching:
+    def test_fulfil_takes_cheapest_first(self):
+        market = Marketplace()
+        cheap, dear = listing(400.0), listing(700.0)
+        market.list_reservation(dear)
+        market.list_reservation(cheap)
+        report = market.fulfil(
+            BuyRequest(buyer_id="b", instance_type="d2.xlarge", count=1,
+                       max_unit_price=800.0)
+        )
+        assert report.fully_filled
+        assert report.trades[0].listing_id == cheap.listing_id
+        assert market.depth("d2.xlarge") == 1
+
+    def test_partial_fill_when_book_too_expensive(self):
+        market = Marketplace()
+        market.list_reservation(listing(400.0))
+        market.list_reservation(listing(700.0))
+        report = market.fulfil(
+            BuyRequest(buyer_id="b", instance_type="d2.xlarge", count=2,
+                       max_unit_price=500.0)
+        )
+        assert report.filled == 1
+        assert not report.fully_filled
+
+    def test_fee_split_matches_section_iii_b(self):
+        market = Marketplace()
+        market.list_reservation(listing(500.0))
+        report = market.fulfil(
+            BuyRequest(buyer_id="b", instance_type="d2.xlarge", count=1,
+                       max_unit_price=500.0)
+        )
+        trade = report.trades[0]
+        assert trade.service_fee == pytest.approx(60.0)
+        assert trade.seller_proceeds == pytest.approx(440.0)
+        assert trade.service_fee + trade.seller_proceeds == pytest.approx(trade.price)
+
+    def test_sold_listing_is_marked(self):
+        market = Marketplace()
+        item = listing(400.0)
+        market.list_reservation(item)
+        market.fulfil(
+            BuyRequest(buyer_id="b", instance_type="d2.xlarge", count=1,
+                       max_unit_price=500.0, hour=7)
+        )
+        assert item.is_sold and item.sold_at == 7
+
+    def test_aggregates(self):
+        market = Marketplace()
+        market.list_reservation(listing(400.0, seller="alice"))
+        market.list_reservation(listing(500.0, seller="bob"))
+        market.fulfil(
+            BuyRequest(buyer_id="b", instance_type="d2.xlarge", count=2,
+                       max_unit_price=600.0)
+        )
+        assert market.total_fees_collected() == pytest.approx(0.12 * 900.0)
+        assert market.seller_revenue("alice") == pytest.approx(0.88 * 400.0)
+
+    def test_request_validation(self):
+        with pytest.raises(MarketplaceError):
+            BuyRequest(buyer_id="b", instance_type="x", count=0, max_unit_price=1.0)
+        with pytest.raises(MarketplaceError):
+            BuyRequest(buyer_id="b", instance_type="x", count=1, max_unit_price=-1.0)
+        with pytest.raises(MarketplaceError):
+            BuyRequest(buyer_id="b", instance_type="x", count=1,
+                       max_unit_price=1.0, value_per_period=-1.0)
+
+    def test_value_aware_buyer_skips_burned_down_listings(self):
+        # Two listings at the same price: one with half its period left,
+        # one with an eighth. A buyer valuing a full period at $800 only
+        # accepts the half-period one (cap 0.5*800 = 400 >= price 350;
+        # the eighth-period listing is worth only 100 to them).
+        market = Marketplace()
+        half = Listing(
+            seller_id="h", instance_type="d2.xlarge", original_upfront=1506.0,
+            period_hours=8760, remaining_hours=4380, asking_upfront=350.0,
+            listed_at=1,
+        )
+        eighth = Listing(
+            seller_id="e", instance_type="d2.xlarge", original_upfront=1506.0,
+            period_hours=8760, remaining_hours=1095, asking_upfront=130.0,
+            listed_at=0,
+        )
+        market.list_reservation(half)
+        market.list_reservation(eighth)
+        report = market.fulfil(
+            BuyRequest(buyer_id="b", instance_type="d2.xlarge", count=1,
+                       max_unit_price=400.0, value_per_period=800.0, hour=2)
+        )
+        # The cheaper listing (eighth) is first in the book but fails the
+        # value test (130 > 800 * 1/8 = 100); the half-period one clears.
+        assert report.filled == 1
+        assert report.trades[0].seller_id == "h"
+
+    def test_value_aware_buyer_accepts_fairly_priced_leftovers(self):
+        market = Marketplace()
+        eighth = Listing(
+            seller_id="e", instance_type="d2.xlarge", original_upfront=1506.0,
+            period_hours=8760, remaining_hours=1095, asking_upfront=90.0,
+            listed_at=0,
+        )
+        market.list_reservation(eighth)
+        report = market.fulfil(
+            BuyRequest(buyer_id="b", instance_type="d2.xlarge", count=1,
+                       max_unit_price=400.0, value_per_period=800.0)
+        )
+        assert report.fully_filled  # 90 <= 800/8 = 100
+
+    def test_market_fee_validation(self):
+        with pytest.raises(MarketplaceError):
+            Marketplace(service_fee_rate=1.0)
+
+
+class TestBuyersAndSimulation:
+    def test_arrival_process_draws_requests(self):
+        buyers = BuyerArrivalProcess(
+            instance_type="d2.xlarge", rate_per_hour=5.0, reference_price=753.0
+        )
+        requests = buyers.requests_at(0, np.random.default_rng(0))
+        assert requests  # rate 5/h: virtually certain
+        assert all(r.instance_type == "d2.xlarge" for r in requests)
+        assert all(r.max_unit_price <= 753.0 for r in requests)
+
+    def test_arrival_validation(self):
+        with pytest.raises(MarketplaceError):
+            BuyerArrivalProcess(instance_type="x", rate_per_hour=0.0)
+        with pytest.raises(MarketplaceError):
+            BuyerArrivalProcess(instance_type="x", min_price_fraction=0.9,
+                                max_price_fraction=0.5)
+
+    def test_cheaper_listings_sell_faster(self):
+        rng = np.random.default_rng(3)
+        cheap = [listing(0.5 * 753.0, listed_at=0) for _ in range(25)]
+        dear = [listing(753.0, listed_at=0) for _ in range(25)]
+        buyers = BuyerArrivalProcess(
+            instance_type="d2.xlarge", rate_per_hour=0.4, reference_price=753.0
+        )
+        outcome = simulate_market(cheap + dear, buyers, hours=200, rng=rng)
+        cheap_ids = {item.listing_id for item in cheap}
+        sold_cheap = sum(1 for t in outcome.trades if t.listing_id in cheap_ids)
+        sold_dear = outcome.sold - sold_cheap
+        assert sold_cheap > sold_dear
+
+    def test_outcome_bookkeeping(self):
+        rng = np.random.default_rng(3)
+        cohort = [listing(300.0, listed_at=0) for _ in range(5)]
+        buyers = BuyerArrivalProcess(
+            instance_type="d2.xlarge", rate_per_hour=2.0, reference_price=753.0
+        )
+        outcome = simulate_market(cohort, buyers, hours=50, rng=rng)
+        assert outcome.listings == 5
+        assert 0 <= outcome.sold <= 5
+        assert outcome.sell_through == outcome.sold / 5
+        for listing_id, wait in outcome.time_to_sale.items():
+            assert wait >= 0
+
+    def test_simulate_market_validates_hours(self):
+        with pytest.raises(MarketplaceError):
+            simulate_market([], BuyerArrivalProcess(instance_type="x"),
+                            hours=0, rng=np.random.default_rng(0))

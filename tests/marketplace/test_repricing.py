@@ -1,0 +1,97 @@
+"""Unit tests for repro.marketplace.repricing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MarketplaceError
+from repro.marketplace.market import BuyerArrivalProcess
+from repro.marketplace.repricing import (
+    ManagedListing,
+    RepricingOutcome,
+    simulate_repricing_market,
+)
+from repro.marketplace.seller import AdaptiveDiscountSeller, FixedDiscountSeller
+
+
+def managed(strategy, listed_at=0, remaining=4380, seller="s"):
+    return ManagedListing(
+        original_upfront=1506.0,
+        period_hours=8760,
+        listed_at=listed_at,
+        remaining_at_listing=remaining,
+        strategy=strategy,
+        seller_id=seller,
+    )
+
+
+class TestManagedListing:
+    def test_cap_burns_down(self):
+        item = managed(FixedDiscountSeller(1.0))
+        assert item.cap(0) == pytest.approx(1506.0 * 4380 / 8760)
+        assert item.cap(100) < item.cap(0)
+
+    def test_price_respects_live_cap(self):
+        item = managed(FixedDiscountSeller(1.0))
+        for hour in (0, 50, 500):
+            assert item.price(hour) <= item.cap(hour) + 1e-9
+
+    def test_adaptive_price_decays(self):
+        item = managed(
+            AdaptiveDiscountSeller(start_discount=1.0, floor_discount=0.3,
+                                   decay_per_day=0.2)
+        )
+        assert item.price(24 * 10) < item.price(0)
+
+
+class TestRepricingSimulation:
+    @pytest.fixture
+    def buyers(self):
+        return BuyerArrivalProcess(
+            instance_type="d2.xlarge", rate_per_hour=0.5,
+            reference_price=1506.0 * 4380 / 8760,
+        )
+
+    def test_adaptive_sellers_eventually_sell(self, buyers):
+        rng = np.random.default_rng(2)
+        cohort = [
+            managed(AdaptiveDiscountSeller(start_discount=1.0, floor_discount=0.4,
+                                           decay_per_day=0.1), seller=f"s{i}")
+            for i in range(20)
+        ]
+        outcome = simulate_repricing_market(cohort, buyers, hours=24 * 60, rng=rng)
+        assert isinstance(outcome, RepricingOutcome)
+        assert outcome.sold > 10
+        assert outcome.total_proceeds > 0
+
+    def test_patient_sellers_earn_more_per_sale_than_firesellers(self, buyers):
+        rng = np.random.default_rng(4)
+        patient = [
+            managed(AdaptiveDiscountSeller(start_discount=1.0, floor_discount=0.6,
+                                           decay_per_day=0.05), seller=f"p{i}")
+            for i in range(15)
+        ]
+        fire = [managed(FixedDiscountSeller(0.5), seller=f"f{i}") for i in range(15)]
+        patient_outcome = simulate_repricing_market(
+            patient, buyers, hours=24 * 60, rng=rng
+        )
+        fire_outcome = simulate_repricing_market(fire, buyers, hours=24 * 60, rng=rng)
+        if patient_outcome.sold and fire_outcome.sold:
+            assert (
+                patient_outcome.total_proceeds / patient_outcome.sold
+                > fire_outcome.total_proceeds / fire_outcome.sold
+            )
+        # ... at the price of waiting longer.
+        assert patient_outcome.mean_time_to_sale >= fire_outcome.mean_time_to_sale
+
+    def test_expired_listings_leave_the_market(self, buyers):
+        rng = np.random.default_rng(5)
+        short = [managed(FixedDiscountSeller(0.1), remaining=10)]
+        outcome = simulate_repricing_market(short, buyers, hours=500, rng=rng)
+        # After 10 hours the reservation has no remaining value to sell.
+        if outcome.sold:
+            assert outcome.mean_time_to_sale < 10
+
+    def test_hours_validated(self, buyers):
+        with pytest.raises(MarketplaceError):
+            simulate_repricing_market([], buyers, hours=0,
+                                      rng=np.random.default_rng(0))

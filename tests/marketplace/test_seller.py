@@ -1,0 +1,76 @@
+"""Unit tests for repro.marketplace.seller."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MarketplaceError
+from repro.marketplace.seller import (
+    AdaptiveDiscountSeller,
+    FixedDiscountSeller,
+    SaleLatencyModel,
+)
+
+
+class TestFixedDiscountSeller:
+    def test_constant_fraction_of_cap(self):
+        seller = FixedDiscountSeller(discount=0.8)
+        assert seller.asking_price(100.0, 0) == pytest.approx(80.0)
+        assert seller.asking_price(100.0, 500) == pytest.approx(80.0)
+
+    def test_validation(self):
+        with pytest.raises(MarketplaceError):
+            FixedDiscountSeller(discount=1.2)
+        with pytest.raises(MarketplaceError):
+            FixedDiscountSeller(discount=0.5).asking_price(-1.0, 0)
+
+
+class TestAdaptiveDiscountSeller:
+    def test_price_decays_over_time(self):
+        seller = AdaptiveDiscountSeller(
+            start_discount=1.0, floor_discount=0.5, decay_per_day=0.1
+        )
+        day0 = seller.asking_price(100.0, 0)
+        day5 = seller.asking_price(100.0, 24 * 5)
+        assert day0 == pytest.approx(100.0)
+        assert day5 < day0
+
+    def test_price_never_below_floor(self):
+        seller = AdaptiveDiscountSeller(
+            start_discount=1.0, floor_discount=0.5, decay_per_day=0.2
+        )
+        assert seller.asking_price(100.0, 24 * 365) == pytest.approx(50.0)
+
+    def test_validation(self):
+        with pytest.raises(MarketplaceError):
+            AdaptiveDiscountSeller(start_discount=0.4, floor_discount=0.5)
+        with pytest.raises(MarketplaceError):
+            AdaptiveDiscountSeller(decay_per_day=1.0)
+        with pytest.raises(MarketplaceError):
+            AdaptiveDiscountSeller().asking_price(100.0, -1)
+
+
+class TestSaleLatencyModel:
+    def test_deeper_discount_sells_faster(self):
+        model = SaleLatencyModel()
+        assert model.expected_hours_to_sale(0.5) < model.expected_hours_to_sale(1.0)
+
+    def test_hazard_capped_at_one(self):
+        model = SaleLatencyModel(base_hazard=0.9, sensitivity=10.0)
+        assert model.hazard(0.0) == 1.0
+
+    def test_sample_is_positive(self):
+        model = SaleLatencyModel()
+        rng = np.random.default_rng(0)
+        samples = [model.sample_hours_to_sale(0.8, rng) for _ in range(100)]
+        assert all(s >= 1 for s in samples)
+        assert np.mean(samples) == pytest.approx(
+            model.expected_hours_to_sale(0.8), rel=0.5
+        )
+
+    def test_validation(self):
+        with pytest.raises(MarketplaceError):
+            SaleLatencyModel(base_hazard=0.0)
+        with pytest.raises(MarketplaceError):
+            SaleLatencyModel(sensitivity=-1.0)
+        with pytest.raises(MarketplaceError):
+            SaleLatencyModel().hazard(1.5)

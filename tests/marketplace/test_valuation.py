@@ -1,0 +1,90 @@
+"""Unit tests for repro.marketplace.valuation."""
+
+import pytest
+
+from repro.errors import MarketplaceError
+from repro.marketplace.seller import SaleLatencyModel
+from repro.marketplace.valuation import optimal_discount, value_listing
+from repro.pricing.catalog import paper_experiment_plan
+
+
+@pytest.fixture(scope="module")
+def plan():
+    return paper_experiment_plan()
+
+
+@pytest.fixture(scope="module")
+def latency():
+    # A slow market: the discount/speed trade-off genuinely bites.
+    return SaleLatencyModel(base_hazard=0.0005, sensitivity=5.0)
+
+
+class TestValueListing:
+    def test_instant_sale_limit(self, plan):
+        # Hazard ~ 1: the listing sells in the first hour at full value.
+        instant = SaleLatencyModel(base_hazard=1.0, sensitivity=0.0)
+        valuation = value_listing(plan, plan.period_hours // 2, 0.8, instant)
+        expected = 0.88 * 0.8 * 0.5 * plan.upfront
+        assert valuation.expected_proceeds == pytest.approx(expected, rel=1e-6)
+        assert valuation.expected_wait_hours == pytest.approx(0.0)
+        assert valuation.sale_probability == pytest.approx(1.0)
+
+    def test_waiting_erodes_value(self, plan, latency):
+        slow = value_listing(plan, 0, 1.0, latency)
+        # Even when it eventually sells, the burned-down cap pays less
+        # than an instant sale at the same discount would.
+        assert slow.expected_proceeds_if_sold < 0.88 * 1.0 * plan.upfront
+
+    def test_sale_probability_below_one_when_slow(self, plan):
+        glacial = SaleLatencyModel(base_hazard=1e-5, sensitivity=0.0)
+        valuation = value_listing(plan, plan.period_hours - 100, 0.9, glacial)
+        assert valuation.sale_probability < 0.01
+        assert valuation.expected_proceeds < 1.0
+
+    def test_deeper_discount_sells_faster_but_cheaper_per_sale(self, plan, latency):
+        cheap = value_listing(plan, 0, 0.3, latency)
+        dear = value_listing(plan, 0, 1.0, latency)
+        assert cheap.expected_wait_hours < dear.expected_wait_hours
+        assert cheap.sale_probability > dear.sale_probability
+
+    def test_validation(self, plan, latency):
+        with pytest.raises(MarketplaceError):
+            value_listing(plan, plan.period_hours, 0.8, latency)
+        with pytest.raises(MarketplaceError):
+            value_listing(plan, 0, 1.5, latency)
+        with pytest.raises(MarketplaceError):
+            value_listing(plan, 0, 0.8, latency, marketplace_fee=1.0)
+
+
+class TestOptimalDiscount:
+    def test_optimum_is_interior(self, plan, latency):
+        best = optimal_discount(plan, 3 * plan.period_hours // 4, latency)
+        # Neither fire-sale nor full price: the trade-off bites.
+        assert 0.05 < best.discount < 1.0
+
+    def test_optimum_beats_neighbours(self, plan, latency):
+        elapsed = 3 * plan.period_hours // 4
+        best = optimal_discount(plan, elapsed, latency)
+        for other in (best.discount - 0.05, best.discount + 0.05):
+            if not 0.0 <= other <= 1.0:
+                continue
+            neighbour = value_listing(plan, elapsed, round(other, 2), latency)
+            assert best.expected_proceeds >= neighbour.expected_proceeds - 1e-9
+
+    def test_less_time_left_means_deeper_optimal_discount(self, plan, latency):
+        # With the expiry looming, waiting gets costlier, so the optimal
+        # listing discount drops — sell cheaper, sell sooner.
+        halfway = optimal_discount(plan, plan.period_hours // 2, latency)
+        late = optimal_discount(plan, 9 * plan.period_hours // 10, latency)
+        assert late.discount < halfway.discount
+
+    def test_fast_market_prefers_high_discounts(self, plan):
+        # When everything sells almost immediately, waiting costs nothing
+        # and the best discount is the full prorated price.
+        instant = SaleLatencyModel(base_hazard=0.9, sensitivity=0.1)
+        best = optimal_discount(plan, 0, instant)
+        assert best.discount == pytest.approx(1.0)
+
+    def test_empty_grid_rejected(self, plan, latency):
+        with pytest.raises(MarketplaceError):
+            optimal_discount(plan, 0, latency, grid=())

@@ -1,0 +1,102 @@
+"""Unit tests for repro.pricing.catalog."""
+
+import pytest
+
+from repro.errors import UnknownInstanceTypeError
+from repro.pricing.catalog import (
+    PAPER_EXPERIMENT_INSTANCE,
+    Catalog,
+    default_catalog,
+    get_plan,
+    paper_experiment_plan,
+)
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return default_catalog()
+
+
+class TestMappingBehaviour:
+    def test_len_counts_all_standard_types(self, catalog):
+        assert len(catalog) >= 60
+
+    def test_iteration_yields_names(self, catalog):
+        names = list(catalog)
+        assert "d2.xlarge" in names
+        assert len(names) == len(catalog)
+
+    def test_getitem_returns_plan(self, catalog):
+        plan = catalog["t2.nano"]
+        assert plan.name == "t2.nano"
+
+    def test_unknown_type_raises_typed_error(self, catalog):
+        with pytest.raises(UnknownInstanceTypeError) as excinfo:
+            catalog["z9.mega"]
+        assert excinfo.value.instance_type == "z9.mega"
+
+    def test_contains(self, catalog):
+        assert "m4.large" in catalog
+        assert "m4.mega" not in catalog
+
+    def test_default_catalog_is_memoised(self):
+        assert default_catalog() is default_catalog()
+
+
+class TestPaperAnchors:
+    def test_d2_xlarge_matches_table_i(self, catalog):
+        plan = catalog["d2.xlarge"]
+        assert plan.upfront == 1506.0
+        assert plan.on_demand_hourly == 0.69
+
+    def test_t2_nano_matches_section_iii_example(self, catalog):
+        plan = catalog["t2.nano"]
+        assert plan.upfront == 18.0
+        assert plan.on_demand_hourly == 0.0059
+        # "the discount because of reservation is alpha = 0.34"
+        assert plan.alpha == pytest.approx(0.34, abs=0.005)
+
+    def test_get_plan_shorthand(self):
+        assert get_plan("d2.xlarge").upfront == 1506.0
+
+    def test_paper_experiment_plan_uses_alpha_quarter(self):
+        plan = paper_experiment_plan()
+        assert plan.alpha == 0.25
+        assert plan.name == PAPER_EXPERIMENT_INSTANCE
+
+    def test_d2_family_scales_linearly(self, catalog):
+        base = catalog["d2.xlarge"]
+        for size, multiple in [("d2.2xlarge", 2), ("d2.4xlarge", 4), ("d2.8xlarge", 8)]:
+            plan = catalog[size]
+            assert plan.upfront == pytest.approx(base.upfront * multiple)
+            assert plan.on_demand_hourly == pytest.approx(
+                base.on_demand_hourly * multiple, rel=1e-6
+            )
+
+
+class TestFamilies:
+    def test_family_filter(self, catalog):
+        d2 = catalog.family("d2")
+        assert set(d2) == {"d2.xlarge", "d2.2xlarge", "d2.4xlarge", "d2.8xlarge"}
+
+    def test_family_prefix_does_not_overmatch(self, catalog):
+        # "x1" must not swallow "x1e" entries.
+        assert all(not name.startswith("x1e.") for name in catalog.family("x1"))
+
+    def test_families_list(self, catalog):
+        families = catalog.families()
+        assert "t2" in families and "x1e" in families
+        assert families == sorted(families)
+
+    def test_quote_access(self, catalog):
+        quote = catalog.quote("d2.xlarge")
+        assert quote.monthly == 125.56
+
+    def test_quote_unknown_raises(self, catalog):
+        with pytest.raises(UnknownInstanceTypeError):
+            catalog.quote("nope.large")
+
+    def test_custom_rows(self):
+        small = Catalog(rows=(("a1.large", 0.1, 300, 20.0),), period_hours=8760)
+        assert len(small) == 1
+        assert small["a1.large"].upfront == 300.0

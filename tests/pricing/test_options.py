@@ -1,0 +1,127 @@
+"""Unit tests for repro.pricing.options (payment options, Table I)."""
+
+import pytest
+
+from repro.errors import PricingError
+from repro.pricing.options import OptionQuote, PaymentOption, table_i_quotes
+
+
+def partial(upfront=1506.0, monthly=125.56, od=0.69, **kw):
+    return OptionQuote(
+        option=PaymentOption.PARTIAL_UPFRONT,
+        upfront=upfront,
+        monthly=monthly,
+        on_demand_hourly=od,
+        **kw,
+    )
+
+
+class TestValidation:
+    def test_negative_upfront_rejected(self):
+        with pytest.raises(PricingError):
+            partial(upfront=-1.0)
+
+    def test_negative_monthly_rejected(self):
+        with pytest.raises(PricingError):
+            partial(monthly=-1.0)
+
+    def test_zero_on_demand_rejected(self):
+        with pytest.raises(PricingError):
+            partial(od=0.0)
+
+    def test_all_upfront_cannot_have_monthly(self):
+        with pytest.raises(PricingError):
+            OptionQuote(
+                PaymentOption.ALL_UPFRONT,
+                upfront=2952.0,
+                monthly=1.0,
+                on_demand_hourly=0.69,
+            )
+
+    def test_no_upfront_cannot_have_upfront(self):
+        with pytest.raises(PricingError):
+            OptionQuote(
+                PaymentOption.NO_UPFRONT,
+                upfront=10.0,
+                monthly=293.46,
+                on_demand_hourly=0.69,
+            )
+
+    def test_on_demand_has_no_fees(self):
+        with pytest.raises(PricingError):
+            OptionQuote(
+                PaymentOption.ON_DEMAND, upfront=0.0, monthly=5.0, on_demand_hourly=0.69
+            )
+
+
+class TestDerivation:
+    def test_recurring_hourly(self):
+        quote = partial()
+        assert quote.recurring_hourly == pytest.approx(125.56 * 12 / 8760)
+
+    def test_alpha_of_paper_experiment_is_quarter(self):
+        # Section VI-A: "The discount alpha of this instance is 0.25."
+        assert partial().alpha == pytest.approx(0.25, abs=0.002)
+
+    def test_on_demand_alpha_is_one(self):
+        quote = OptionQuote(
+            PaymentOption.ON_DEMAND, upfront=0.0, monthly=0.0, on_demand_hourly=0.69
+        )
+        assert quote.alpha == 1.0
+        assert quote.effective_hourly == 0.69
+
+    def test_total_cost_equals_upfront_plus_monthlies(self):
+        quote = partial()
+        assert quote.total_cost == pytest.approx(1506.0 + 12 * 125.56)
+
+    def test_to_plan_roundtrip(self):
+        plan = partial(instance_type="d2.xlarge").to_plan()
+        assert plan.upfront == 1506.0
+        assert plan.name == "d2.xlarge"
+        assert plan.alpha == pytest.approx(0.2493, abs=1e-3)
+
+    def test_to_plan_rejects_on_demand(self):
+        quote = OptionQuote(
+            PaymentOption.ON_DEMAND, upfront=0.0, monthly=0.0, on_demand_hourly=0.69
+        )
+        with pytest.raises(PricingError):
+            quote.to_plan()
+
+    def test_to_plan_rejects_no_upfront(self):
+        quote = OptionQuote(
+            PaymentOption.NO_UPFRONT, upfront=0.0, monthly=293.46, on_demand_hourly=0.69
+        )
+        with pytest.raises(PricingError):
+            quote.to_plan()
+
+    def test_to_plan_rejects_uneconomic_quote(self):
+        # Monthly fees exceeding the on-demand rate imply alpha >= 1.
+        with pytest.raises(PricingError):
+            partial(monthly=600.0).to_plan()
+
+
+class TestTableI:
+    """The quotes must reproduce the paper's Table I exactly."""
+
+    @pytest.fixture
+    def quotes(self):
+        return table_i_quotes()
+
+    def test_has_all_four_rows(self, quotes):
+        assert set(quotes) == set(PaymentOption)
+
+    @pytest.mark.parametrize(
+        "option, expected",
+        [
+            (PaymentOption.NO_UPFRONT, 0.402),
+            (PaymentOption.PARTIAL_UPFRONT, 0.344),
+            (PaymentOption.ALL_UPFRONT, 0.337),
+            (PaymentOption.ON_DEMAND, 0.69),
+        ],
+    )
+    def test_effective_hourly_matches_paper(self, quotes, option, expected):
+        assert quotes[option].effective_hourly == pytest.approx(expected, abs=5e-4)
+
+    def test_upfronts_match_paper(self, quotes):
+        assert quotes[PaymentOption.PARTIAL_UPFRONT].upfront == 1506.0
+        assert quotes[PaymentOption.ALL_UPFRONT].upfront == 2952.0

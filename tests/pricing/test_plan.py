@@ -1,0 +1,148 @@
+"""Unit tests for repro.pricing.plan."""
+
+import math
+
+import pytest
+
+from repro.errors import PricingError
+from repro.pricing.plan import HOURS_PER_YEAR, PricingPlan
+
+
+def make_plan(**overrides):
+    defaults = dict(on_demand_hourly=0.69, upfront=1506.0, alpha=0.25)
+    defaults.update(overrides)
+    return PricingPlan(**defaults)
+
+
+class TestValidation:
+    def test_accepts_paper_d2_xlarge(self):
+        plan = make_plan()
+        assert plan.period_hours == HOURS_PER_YEAR
+
+    @pytest.mark.parametrize("price", [0.0, -0.1, math.inf, math.nan])
+    def test_rejects_bad_on_demand_price(self, price):
+        with pytest.raises(PricingError):
+            make_plan(on_demand_hourly=price)
+
+    @pytest.mark.parametrize("upfront", [0.0, -5.0, math.inf])
+    def test_rejects_bad_upfront(self, upfront):
+        with pytest.raises(PricingError):
+            make_plan(upfront=upfront)
+
+    @pytest.mark.parametrize("alpha", [-0.01, 1.0, 1.5])
+    def test_rejects_bad_alpha(self, alpha):
+        with pytest.raises(PricingError):
+            make_plan(alpha=alpha)
+
+    def test_alpha_zero_is_allowed(self):
+        # All-Upfront reservations have no recurring fee.
+        assert make_plan(alpha=0.0).reserved_hourly == 0.0
+
+    @pytest.mark.parametrize("period", [0, -24, 10.5])
+    def test_rejects_bad_period(self, period):
+        with pytest.raises(PricingError):
+            make_plan(period_hours=period)
+
+    def test_is_frozen(self):
+        with pytest.raises(AttributeError):
+            make_plan().alpha = 0.5
+
+
+class TestDerivedQuantities:
+    def test_paper_symbol_aliases(self):
+        plan = make_plan()
+        assert plan.p == plan.on_demand_hourly
+        assert plan.big_r == plan.upfront
+
+    def test_reserved_hourly_is_alpha_p(self):
+        plan = make_plan()
+        assert plan.reserved_hourly == pytest.approx(0.25 * 0.69)
+
+    def test_theta_of_d2_xlarge_matches_paper_boundary(self):
+        # Table I's own numbers put d2.xlarge right at theta ~ 4.
+        plan = make_plan()
+        assert plan.theta == pytest.approx(0.69 * 8760 / 1506)
+        assert 4.0 < plan.theta < 4.02
+
+    def test_theta_of_t2_nano_is_in_paper_range(self):
+        plan = make_plan(on_demand_hourly=0.0059, upfront=18.0, alpha=0.34)
+        assert 1.0 < plan.theta < 4.0
+
+    def test_break_even_hours_solves_equality(self):
+        plan = make_plan()
+        hours = plan.break_even_hours
+        reserved = plan.upfront + plan.reserved_hourly * hours
+        on_demand = plan.on_demand_hourly * hours
+        assert reserved == pytest.approx(on_demand)
+
+    def test_break_even_utilisation_is_fractional(self):
+        plan = make_plan()
+        assert 0.0 < plan.break_even_utilisation < 1.0
+        assert plan.break_even_utilisation == pytest.approx(
+            plan.break_even_hours / plan.period_hours
+        )
+
+
+class TestCostHelpers:
+    def test_on_demand_cost(self):
+        assert make_plan().on_demand_cost(1000) == pytest.approx(690.0)
+
+    def test_on_demand_cost_rejects_negative(self):
+        with pytest.raises(PricingError):
+            make_plan().on_demand_cost(-1)
+
+    def test_reserved_cost_full_period(self):
+        plan = make_plan()
+        expected = 1506.0 + 0.25 * 0.69 * 8760
+        assert plan.reserved_cost(8760) == pytest.approx(expected)
+
+    def test_reserved_cost_rejects_overlong(self):
+        with pytest.raises(PricingError):
+            make_plan().reserved_cost(8761)
+
+    def test_effective_reserved_hourly_matches_table_i(self):
+        # Table I: partial-upfront d2.xlarge effective hourly ~ $0.344.
+        plan = make_plan(alpha=125.56 * 12 / 8760 / 0.69)
+        assert plan.effective_reserved_hourly() == pytest.approx(0.344, abs=1e-3)
+
+    def test_savings_ratio_positive_for_real_plans(self):
+        assert make_plan().savings_ratio() > 0.0
+
+    def test_prorated_upfront_half_period(self):
+        # Section III-B example: half the cycle left caps at half of R.
+        plan = make_plan(on_demand_hourly=0.0059, upfront=18.0, alpha=0.34)
+        assert plan.prorated_upfront(8760 // 2) == pytest.approx(9.0)
+
+    def test_prorated_upfront_bounds(self):
+        plan = make_plan()
+        assert plan.prorated_upfront(0) == pytest.approx(plan.upfront)
+        with pytest.raises(PricingError):
+            plan.prorated_upfront(-1)
+        with pytest.raises(PricingError):
+            plan.prorated_upfront(plan.period_hours + 1)
+
+
+class TestPeriodScaling:
+    def test_with_period_preserves_theta(self):
+        plan = make_plan()
+        scaled = plan.with_period(96)
+        assert scaled.period_hours == 96
+        assert scaled.theta == pytest.approx(plan.theta)
+
+    def test_with_period_preserves_break_even_utilisation(self):
+        plan = make_plan()
+        scaled = plan.with_period(672)
+        assert scaled.break_even_utilisation == pytest.approx(
+            plan.break_even_utilisation
+        )
+
+    def test_with_period_without_scaling_keeps_upfront(self):
+        plan = make_plan()
+        scaled = plan.with_period(96, scale_upfront=False)
+        assert scaled.upfront == plan.upfront
+        assert scaled.theta != pytest.approx(plan.theta)
+
+    def test_with_period_keeps_other_fields(self):
+        scaled = make_plan().with_period(96)
+        assert scaled.alpha == 0.25
+        assert scaled.on_demand_hourly == 0.69

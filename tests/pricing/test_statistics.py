@@ -1,0 +1,70 @@
+"""Unit tests for repro.pricing.statistics (the Section IV-C claims)."""
+
+import pytest
+
+from repro.pricing.catalog import Catalog
+from repro.pricing.statistics import (
+    CatalogStatistics,
+    compute_statistics,
+    format_statistics,
+)
+
+
+@pytest.fixture(scope="module")
+def stats():
+    return compute_statistics()
+
+
+class TestPaperClaims:
+    def test_theta_in_paper_range(self, stats):
+        # Section IV-C: theta in (1, 4) for all standard 1-yr instances
+        # (d2.xlarge sits at ~4.013 by Table I's own numbers, hence the
+        # small tolerance baked into the check).
+        assert stats.theta_in_paper_range
+        assert stats.theta.minimum > 1.0
+        assert stats.theta.maximum < 4.02
+
+    def test_alpha_below_paper_bound(self, stats):
+        # Section IV-C: "alpha < 0.36".
+        assert stats.alpha_below_paper_bound
+        assert stats.alpha.maximum < CatalogStatistics.PAPER_ALPHA_BOUND
+
+    def test_case2_predicate_holds_catalog_wide(self, stats):
+        # alpha < 0.36 and theta < ~4 make alpha + a/4 + 4/(4-a) < 2 for
+        # all a in [0, 1] (the paper's Case-2 argument).
+        alpha = stats.alpha.maximum
+        for a in (0.0, 0.25, 0.5, 0.75, 1.0):
+            assert alpha + a / 4 + 4 / (4 - a) < 2.0
+
+
+class TestStatisticsMechanics:
+    def test_size_matches_catalog(self, stats):
+        assert stats.size >= 60
+
+    def test_range_stat_ordering(self, stats):
+        for stat in (stats.theta, stats.alpha, stats.break_even_utilisation):
+            assert stat.minimum <= stat.median <= stat.maximum
+            assert stat.minimum <= stat.mean <= stat.maximum
+
+    def test_argmax_entries_name_real_types(self, stats):
+        from repro.pricing.catalog import default_catalog
+
+        catalog = default_catalog()
+        assert stats.argmax_theta in catalog
+        assert stats.argmax_alpha in catalog
+
+    def test_zero_tolerance_flags_d2(self):
+        # With no tolerance, d2.xlarge's theta ~ 4.013 breaks the claim.
+        strict = compute_statistics(theta_tolerance=0.0)
+        assert not strict.theta_in_paper_range
+
+    def test_custom_catalog(self):
+        tiny = Catalog(rows=(("a1.large", 0.1, 300, 20.0),))
+        stats = compute_statistics(tiny)
+        assert stats.size == 1
+        assert stats.theta.minimum == stats.theta.maximum
+
+    def test_format_mentions_claims(self, stats):
+        text = format_statistics(stats)
+        assert "theta" in text and "alpha" in text
+        assert "holds" in text

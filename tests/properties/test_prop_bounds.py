@@ -1,0 +1,57 @@
+"""Property-based test of the paper's central theorem.
+
+For *any* single-instance demand profile, the online algorithm's cost in
+the proof model never exceeds the proved competitive ratio times the
+(proof-restricted) offline optimum — Propositions 1, 2a/2b, 3a/3b, with
+the per-plan θ version of the Case-1 bound (Eq. (21) uses the plan's own
+θ before the catalog-wide supremum is substituted).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.breakeven import PHI_3T4, PHI_T2, PHI_T4
+from repro.core.ratios import competitive_ratio_for_plan
+from repro.core.single import compare_single_instance
+from repro.pricing.catalog import default_catalog, paper_experiment_plan
+
+PERIOD = 64
+#: A spread of catalog economics (different alpha and theta), scaled down.
+PLANS = [paper_experiment_plan().with_period(PERIOD)] + [
+    default_catalog()[name].with_period(PERIOD)
+    for name in ("t2.nano", "x1e.xlarge", "c4.large", "i3.large")
+]
+
+
+def busy_profiles():
+    """Arbitrary busy profiles plus structured prefix/suffix shapes."""
+    arbitrary = st.lists(
+        st.booleans(), min_size=PERIOD, max_size=PERIOD
+    ).map(lambda bits: np.array(bits, dtype=bool))
+    cut = st.integers(min_value=0, max_value=PERIOD)
+    prefix = cut.map(lambda k: np.arange(PERIOD) < k)
+    suffix = cut.map(lambda k: np.arange(PERIOD) >= k)
+    return st.one_of(arbitrary, prefix, suffix)
+
+
+@pytest.mark.parametrize("phi", [PHI_3T4, PHI_T2, PHI_T4])
+@pytest.mark.parametrize("plan", PLANS, ids=lambda p: p.name)
+@given(busy=busy_profiles(), a=st.sampled_from([0.0, 0.3, 0.8, 1.0]))
+@settings(max_examples=60, deadline=None)
+def test_online_cost_within_proved_ratio(plan, phi, busy, a):
+    bound = competitive_ratio_for_plan(plan, a, phi, use_paper_theta=False)
+    outcome = compare_single_instance(busy, plan, a, phi, restrict_offline=True)
+    assert outcome.online_cost <= bound * outcome.offline_cost + 1e-9
+
+
+@pytest.mark.parametrize("phi", [PHI_3T4, PHI_T2, PHI_T4])
+@given(busy=busy_profiles())
+@settings(max_examples=60, deadline=None)
+def test_restricted_opt_never_beats_online_by_construction(phi, busy):
+    """Sanity of the benchmark: the restricted OPT can replicate the
+    online algorithm's behaviour, so the ratio is at least one."""
+    plan = PLANS[0]
+    outcome = compare_single_instance(busy, plan, 0.8, phi, restrict_offline=True)
+    assert outcome.ratio >= 1.0 - 1e-12

@@ -1,0 +1,68 @@
+"""Property-based invariants of the coupled purchasing+selling loop."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.account import CostModel
+from repro.core.coupled import run_coupled
+from repro.core.policies import KeepReservedPolicy, OnlineSellingPolicy
+from repro.core.simulator import run_policy
+from repro.pricing.plan import PricingPlan
+from repro.purchasing.all_reserved import AllReserved
+from repro.purchasing.runner import imitate
+from repro.purchasing.stepper import AllReservedStepper, RandomReservationStepper
+
+HORIZON = 48
+PERIOD = 16
+PLAN = PricingPlan(
+    on_demand_hourly=1.0, upfront=8.0, alpha=0.25, period_hours=PERIOD, name="prop"
+)
+MODEL = CostModel(plan=PLAN, selling_discount=0.5)
+
+demand_arrays = st.lists(
+    st.integers(min_value=0, max_value=5), min_size=HORIZON, max_size=HORIZON
+).map(np.array)
+
+
+@given(demands=demand_arrays, phi=st.sampled_from([0.25, 0.5, 0.75]))
+@settings(max_examples=50, deadline=None)
+def test_all_reserved_coupling_always_serves_demand(demands, phi):
+    result = run_coupled(
+        demands, AllReservedStepper(), MODEL, OnlineSellingPolicy(phi)
+    )
+    # All-Reserved re-buys whatever selling removed, so the reserved
+    # pool alone covers demand except possibly never (o_t == 0 always:
+    # gaps are filled the same hour they appear).
+    assert np.all(result.on_demand == 0)
+    assert np.all(result.r_physical >= 0)
+    np.testing.assert_allclose(
+        result.costs.per_hour_total().sum(), result.total_cost
+    )
+
+
+@given(demands=demand_arrays)
+@settings(max_examples=50, deadline=None)
+def test_keep_reserved_coupling_equals_decoupled_pipeline(demands):
+    schedule = imitate(demands, PLAN, AllReserved())
+    decoupled = run_policy(
+        demands, schedule.reservations, MODEL, KeepReservedPolicy()
+    )
+    coupled = run_coupled(
+        demands, AllReservedStepper(), MODEL, KeepReservedPolicy()
+    )
+    assert coupled.breakdown.approx_equal(decoupled.breakdown)
+
+
+@given(demands=demand_arrays, seed=st.integers(min_value=0, max_value=10))
+@settings(max_examples=40, deadline=None)
+def test_random_stepper_coupling_invariants(demands, seed):
+    result = run_coupled(
+        demands,
+        RandomReservationStepper(seed=seed),
+        MODEL,
+        OnlineSellingPolicy.a_t2(),
+    )
+    assert np.all(result.on_demand + result.r_physical >= demands)
+    assert result.breakdown.sale_income == sum(s.income for s in result.sales)
+    assert result.breakdown.upfront == result.reservations.sum() * PLAN.upfront

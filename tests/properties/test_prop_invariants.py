@@ -1,0 +1,113 @@
+"""Property-based invariants of the simulation core."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.account import CostModel
+from repro.core.ledger import ReservationLedger
+from repro.core.offline import run_offline_optimal
+from repro.core.policies import (
+    KeepReservedPolicy,
+    OnlineSellingPolicy,
+)
+from repro.core.simulator import run_policy
+from repro.pricing.plan import PricingPlan
+
+HORIZON = 48
+PERIOD = 16
+PLAN = PricingPlan(
+    on_demand_hourly=1.0, upfront=8.0, alpha=0.25, period_hours=PERIOD, name="prop"
+)
+MODEL = CostModel(plan=PLAN, selling_discount=0.5)
+
+
+def cases():
+    demands = st.lists(
+        st.integers(min_value=0, max_value=5), min_size=HORIZON, max_size=HORIZON
+    )
+    reservations = st.lists(
+        st.integers(min_value=0, max_value=2), min_size=HORIZON, max_size=HORIZON
+    )
+    return st.tuples(demands.map(np.array), reservations.map(np.array))
+
+
+@given(case=cases(), phi=st.sampled_from([0.25, 0.5, 0.75]))
+@settings(max_examples=60, deadline=None)
+def test_demand_is_always_served(case, phi):
+    """Eq. (1)'s constraint o_t + r_t >= d_t: on-demand tops up whatever
+    the (post-sale) reserved pool cannot cover."""
+    demands, reservations = case
+    result = run_policy(demands, reservations, MODEL, OnlineSellingPolicy(phi))
+    assert np.all(result.on_demand + result.r_physical >= demands)
+    assert np.all(result.r_physical >= 0)
+
+
+@given(case=cases(), phi=st.sampled_from([0.25, 0.5, 0.75]))
+@settings(max_examples=60, deadline=None)
+def test_cost_identity(case, phi):
+    """The hourly series must sum to the breakdown total, and income must
+    equal the recorded sales' incomes."""
+    demands, reservations = case
+    result = run_policy(demands, reservations, MODEL, OnlineSellingPolicy(phi))
+    np.testing.assert_allclose(
+        result.costs.per_hour_total().sum(), result.total_cost
+    )
+    np.testing.assert_allclose(
+        result.breakdown.sale_income, sum(s.income for s in result.sales)
+    )
+    np.testing.assert_allclose(
+        result.breakdown.upfront, reservations.sum() * PLAN.upfront
+    )
+
+
+@given(case=cases(), phi=st.sampled_from([0.25, 0.5, 0.75]))
+@settings(max_examples=40, deadline=None)
+def test_working_time_bounded_by_window(case, phi):
+    demands, reservations = case
+    result = run_policy(demands, reservations, MODEL, OnlineSellingPolicy(phi))
+    window = round(phi * PERIOD)
+    for sale in result.sales:
+        assert 0 <= sale.working_hours <= window
+        assert sale.working_hours < sale.beta  # the selling rule
+
+
+@given(case=cases())
+@settings(max_examples=40, deadline=None)
+def test_offline_optimum_lower_bounds_all_policies(case):
+    demands, reservations = case
+    opt = run_offline_optimal(demands, reservations, MODEL)
+    keep = run_policy(demands, reservations, MODEL, KeepReservedPolicy())
+    assert opt.total_cost <= keep.total_cost + 1e-9
+    for phi in (0.25, 0.5, 0.75):
+        online = run_policy(demands, reservations, MODEL, OnlineSellingPolicy(phi))
+        assert opt.total_cost <= online.total_cost + 1e-9
+
+
+@given(
+    demands=st.lists(
+        st.integers(min_value=0, max_value=4), min_size=32, max_size=32
+    ).map(np.array),
+    batches=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=15),
+            st.integers(min_value=1, max_value=3),
+        ),
+        min_size=1,
+        max_size=5,
+    ),
+)
+@settings(max_examples=60, deadline=None)
+def test_ledger_working_time_equals_busy_profile_sum(demands, batches):
+    """Two independent renderings of Algorithm 1's freeness rule must
+    agree: the scalar working time and the boolean busy profile."""
+    ledger = ReservationLedger(32, PERIOD, demands)
+    instances = []
+    for hour, count in sorted(batches):
+        instances.extend(ledger.reserve(hour, count))
+    for instance in instances:
+        end = min(instance.expires_at, 32)
+        if end <= instance.reserved_at:
+            continue
+        profile = ledger.busy_profile(instance, end)
+        assert int(profile.sum()) == ledger.working_hours(instance, end)

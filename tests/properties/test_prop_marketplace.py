@@ -1,0 +1,93 @@
+"""Property-based tests of the marketplace substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.marketplace.listing import Listing
+from repro.marketplace.market import BuyRequest, Marketplace
+
+PERIOD = 8760
+
+
+def listings():
+    return st.lists(
+        st.tuples(
+            st.floats(min_value=0.01, max_value=1.0),  # discount a
+            st.integers(min_value=1, max_value=PERIOD),  # remaining hours
+            st.integers(min_value=0, max_value=100),  # listed_at
+        ),
+        min_size=1,
+        max_size=12,
+    )
+
+
+def build(specs):
+    built = []
+    for discount, remaining, listed_at in specs:
+        cap = 1506.0 * remaining / PERIOD
+        built.append(
+            Listing(
+                seller_id="s",
+                instance_type="d2.xlarge",
+                original_upfront=1506.0,
+                period_hours=PERIOD,
+                remaining_hours=remaining,
+                asking_upfront=discount * cap,
+                listed_at=listed_at,
+            )
+        )
+    return built
+
+
+@given(specs=listings())
+@settings(max_examples=60, deadline=None)
+def test_listings_never_exceed_prorated_cap(specs):
+    for listing in build(specs):
+        assert listing.asking_upfront <= listing.prorated_cap * (1 + 1e-9)
+        assert 0.0 <= listing.effective_discount <= 1.0 + 1e-9
+
+
+@given(specs=listings(), budget=st.floats(min_value=0.0, max_value=2000.0),
+       count=st.integers(min_value=1, max_value=12))
+@settings(max_examples=60, deadline=None)
+def test_matching_is_price_priority_and_budget_respecting(specs, budget, count):
+    market = Marketplace()
+    cohort = build(specs)
+    for listing in cohort:
+        market.list_reservation(listing)
+    report = market.fulfil(
+        BuyRequest(buyer_id="b", instance_type="d2.xlarge", count=count,
+                   max_unit_price=budget, hour=200)
+    )
+    # Nothing above the buyer's reservation price trades.
+    assert all(trade.price <= budget + 1e-9 for trade in report.trades)
+    # Every unsold listing at or below budget means the request was full.
+    open_cheap = [
+        item for item in market.open_listings("d2.xlarge")
+        if item.asking_upfront <= budget
+    ]
+    if open_cheap:
+        assert report.filled == count
+    # Trades are the cheapest prefix of the book.
+    if report.trades:
+        max_traded = max(trade.price for trade in report.trades)
+        assert all(item.asking_upfront >= max_traded - 1e-9 for item in open_cheap)
+
+
+@given(specs=listings())
+@settings(max_examples=40, deadline=None)
+def test_fee_conservation(specs):
+    market = Marketplace()
+    for listing in build(specs):
+        market.list_reservation(listing)
+    market.fulfil(
+        BuyRequest(buyer_id="b", instance_type="d2.xlarge", count=len(specs),
+                   max_unit_price=10_000.0, hour=500)
+    )
+    for trade in market.trades:
+        assert trade.service_fee + trade.seller_proceeds == trade.price or abs(
+            trade.service_fee + trade.seller_proceeds - trade.price
+        ) < 1e-9
+        assert trade.service_fee == trade.price * 0.12 or abs(
+            trade.service_fee - trade.price * 0.12
+        ) < 1e-9

@@ -1,0 +1,68 @@
+"""Property-based tests of the workload substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workload.base import DemandTrace
+from repro.workload.groups import FluctuationGroup, classify
+from repro.workload.stats import FluctuationStats, autocorrelation
+
+demand_lists = st.lists(
+    st.integers(min_value=0, max_value=50), min_size=1, max_size=200
+)
+
+
+@given(values=demand_lists)
+def test_trace_roundtrip_and_stats(values):
+    trace = DemandTrace(values)
+    assert list(trace) == values
+    assert trace.total_demand_hours == sum(values)
+    assert trace.peak == max(values)
+    assert 0.0 <= trace.busy_fraction() <= 1.0
+
+
+@given(values=demand_lists)
+def test_trace_equality_is_value_based(values):
+    assert DemandTrace(values) == DemandTrace(list(values))
+    assert hash(DemandTrace(values)) == hash(DemandTrace(list(values)))
+
+
+@given(values=demand_lists, factor=st.sampled_from([1.0, 2.0, 3.0]))
+def test_integer_scaling_scales_statistics(values, factor):
+    trace = DemandTrace(values)
+    scaled = trace.scaled(factor)
+    assert scaled.total_demand_hours == int(factor) * trace.total_demand_hours
+    if trace.mean > 0:
+        # sigma/mu is scale-invariant for exact integer scaling.
+        assert scaled.cv == trace.cv or abs(scaled.cv - trace.cv) < 1e-9
+
+
+@given(values=demand_lists, hours=st.integers(min_value=0, max_value=400))
+def test_shift_preserves_multiset(values, hours):
+    trace = DemandTrace(values)
+    shifted = trace.shifted(hours)
+    assert sorted(shifted) == sorted(trace)
+
+
+@given(cv=st.floats(min_value=0.0, max_value=100.0, allow_nan=False))
+def test_classification_is_total_and_consistent(cv):
+    group = classify(cv)
+    assert isinstance(group, FluctuationGroup)
+    assert group.contains(cv)
+
+
+@given(values=st.lists(st.floats(min_value=0, max_value=100), min_size=2, max_size=100))
+def test_autocorrelation_bounded(values):
+    result = autocorrelation(np.array(values), 1)
+    assert -1.0 - 1e-9 <= result <= 1.0 + 1e-9
+
+
+@given(values=demand_lists)
+def test_fluctuation_stats_consistent_with_trace(values):
+    trace = DemandTrace(values)
+    stats = FluctuationStats.of(trace)
+    assert stats.mean == trace.mean
+    assert stats.peak == trace.peak
+    if trace.mean > 0:
+        assert stats.cv == trace.cv

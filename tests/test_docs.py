@@ -1,0 +1,54 @@
+"""The documentation's code must actually run.
+
+Executes the fenced Python blocks of README.md and the package
+docstring's quickstart, so the first thing a new user tries can never
+silently rot.
+"""
+
+import re
+import textwrap
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def python_blocks(markdown: str) -> "list[str]":
+    """Fenced ```python blocks of a markdown document."""
+    return re.findall(r"```python\n(.*?)```", markdown, flags=re.DOTALL)
+
+
+class TestReadme:
+    def test_has_a_python_quickstart(self):
+        blocks = python_blocks((ROOT / "README.md").read_text())
+        assert blocks, "README must keep a runnable quickstart"
+
+    def test_quickstart_blocks_execute(self, capsys):
+        for block in python_blocks((ROOT / "README.md").read_text()):
+            exec(compile(block, "<README>", "exec"), {"__name__": "__readme__"})
+        out = capsys.readouterr().out
+        # The README block prints two normalized costs; both beat/equal keep.
+        values = [float(line) for line in out.split() if _is_float(line)]
+        assert values and all(value <= 1.0 + 1e-9 for value in values)
+
+
+class TestPackageDocstring:
+    def test_quickstart_section_executes(self, capsys):
+        import repro
+
+        docstring = repro.__doc__ or ""
+        match = re.search(r"Quickstart::\n\n(.*)\Z", docstring, flags=re.DOTALL)
+        assert match, "the package docstring must keep its quickstart"
+        code = textwrap.dedent(match.group(1))
+        exec(compile(code, "<repro.__doc__>", "exec"), {"__name__": "__doc__"})
+        out = capsys.readouterr().out
+        assert out.strip(), "the quickstart prints its result"
+
+
+def _is_float(token: str) -> bool:
+    try:
+        float(token)
+    except ValueError:
+        return False
+    return True

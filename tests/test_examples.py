@@ -1,0 +1,63 @@
+"""Smoke tests: every shipped example must run and produce its story."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, argv=()):
+    saved_argv = sys.argv
+    sys.argv = [name, *argv]
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = saved_argv
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        run_example("quickstart.py")
+        out = capsys.readouterr().out
+        assert "Keep-Reserved" in out
+        assert "OPT (offline)" in out
+
+    def test_sell_or_keep_advisor(self, capsys):
+        run_example("sell_or_keep_advisor.py", ["--discount", "0.8"])
+        out = capsys.readouterr().out
+        assert "break-even beta" in out
+        assert "SELL" in out or "KEEP" in out
+
+    def test_sell_or_keep_advisor_other_spot(self, capsys):
+        run_example("sell_or_keep_advisor.py", ["--phi", "0.25"])
+        out = capsys.readouterr().out
+        assert "A_{T/4}" in out
+
+    def test_marketplace_trading(self, capsys):
+        run_example("marketplace_trading.py")
+        out = capsys.readouterr().out
+        assert "$9.00" in out  # the paper's t2.nano cap
+        assert "$6.336" in out  # and its seller proceeds
+
+    def test_fleet_cost_optimization(self, capsys):
+        run_example("fleet_cost_optimization.py")
+        out = capsys.readouterr().out
+        assert "fleet summary" in out
+        assert "A_{T/4}" in out
+
+    def test_portfolio_review(self, capsys):
+        run_example("portfolio_review.py")
+        out = capsys.readouterr().out
+        assert "portfolio review" in out
+        assert "marketplace income" in out
+        assert "TOTAL" in out
+
+    def test_randomized_spot_design(self, capsys):
+        run_example("randomized_spot_design.py")
+        out = capsys.readouterr().out
+        assert "optimal mixture" in out
+        assert "randomized worst case" in out
+        assert "better than the best single spot" in out

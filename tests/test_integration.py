@@ -1,0 +1,133 @@
+"""End-to-end integration tests across subsystem boundaries."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CostModel,
+    KeepReservedPolicy,
+    OnlineSellingPolicy,
+    paper_experiment_plan,
+    run_offline_optimal,
+    run_policy,
+)
+from repro.core.ratios import competitive_ratio_for_plan
+from repro.core.single import compare_single_instance
+from repro.experiments.cli import main
+from repro.marketplace import Listing, Marketplace, BuyRequest
+from repro.purchasing import imitate, paper_imitators
+from repro.workload import (
+    EC2UsageLogGenerator,
+    MachineCapacity,
+    synthesize_google_population,
+)
+
+
+class TestTracePipelines:
+    """Both of the paper's trace families, end to end through Eq. (1)."""
+
+    @pytest.mark.parametrize("source", ["ec2logs", "google"])
+    def test_traces_to_costs(self, source):
+        plan = paper_experiment_plan().with_period(336)
+        model = CostModel(plan, selling_discount=0.8)
+        rng = np.random.default_rng(17)
+        if source == "ec2logs":
+            traces = EC2UsageLogGenerator(n_logs=6).generate(672, rng)
+        else:
+            traces = synthesize_google_population(
+                6, 672, rng, MachineCapacity(cpu=0.25, memory=0.25, disk=0.25)
+            )
+        imitators = paper_imitators(seed=17)
+        savings = []
+        for index, trace in enumerate(traces):
+            schedule = imitate(trace, plan, imitators[index % len(imitators)])
+            keep = run_policy(
+                trace, schedule.reservations, model, KeepReservedPolicy()
+            )
+            sell = run_policy(
+                trace, schedule.reservations, model, OnlineSellingPolicy.a_t4()
+            )
+            opt = run_offline_optimal(trace, schedule.reservations, model)
+            assert opt.total_cost <= sell.total_cost + 1e-9
+            if keep.total_cost > 0:
+                savings.append(1 - sell.total_cost / keep.total_cost)
+        # Some user in each family benefits from selling.
+        assert max(savings) > 0.0
+
+
+class TestSimulationToMarketplace:
+    """A simulator sale expressed as a rule-conforming marketplace trade."""
+
+    def test_sale_record_becomes_listing_and_trade(self):
+        plan = paper_experiment_plan().with_period(336)
+        model = CostModel(plan, selling_discount=0.8)
+        # A short burst (below the ~22h break-even at this scale) so the
+        # T/4 evaluation sells.
+        demands = [2] * 10 + [0] * 662
+        schedule = imitate(demands, plan, paper_imitators()[0])
+        result = run_policy(
+            demands, schedule.reservations, model, OnlineSellingPolicy.a_t4()
+        )
+        assert result.sales, "the idle pool must trigger sales"
+        sale = result.sales[0]
+        instance = result.instances[sale.instance_id]
+
+        listing = Listing.from_plan(
+            plan,
+            elapsed_hours=instance.age(sale.hour),
+            selling_discount=model.selling_discount,
+            seller_id="user",
+        )
+        # The simulator's income is exactly the listing's price (Eq. (1)
+        # books it gross of the 12% fee).
+        assert listing.asking_upfront == pytest.approx(sale.income)
+
+        market = Marketplace()
+        market.list_reservation(listing)
+        report = market.fulfil(
+            BuyRequest(
+                buyer_id="buyer",
+                instance_type=plan.name,
+                count=1,
+                max_unit_price=listing.asking_upfront,
+            )
+        )
+        assert report.fully_filled
+        assert report.trades[0].seller_proceeds == pytest.approx(0.88 * sale.income)
+
+
+class TestTheoryMeetsSimulation:
+    """The proved ratio holds for profiles extracted from a simulation."""
+
+    def test_ledger_profiles_respect_bound(self):
+        plan = paper_experiment_plan().with_period(96)
+        rng = np.random.default_rng(5)
+        for _ in range(20):
+            busy = rng.random(plan.period_hours) < rng.uniform(0, 1)
+            for phi in (0.25, 0.5, 0.75):
+                bound = competitive_ratio_for_plan(
+                    plan, 0.8, phi, use_paper_theta=False
+                )
+                outcome = compare_single_instance(busy, plan, 0.8, phi)
+                assert outcome.online_cost <= bound * outcome.offline_cost + 1e-9
+
+
+class TestCliEndToEnd:
+    def test_all_experiments_quick(self, capsys, monkeypatch):
+        monkeypatch.setattr(
+            "repro.experiments.cli._SCALES",
+            {
+                "quick": lambda seed: __import__(
+                    "repro.experiments.config", fromlist=["ExperimentConfig"]
+                ).ExperimentConfig(
+                    users_per_group=3, period_hours=96, seed=seed, label="ci"
+                ),
+                "default": None,
+                "paper": None,
+            },
+        )
+        assert main(["all", "--scale", "quick"]) == 0
+        out = capsys.readouterr().out
+        for marker in ("Table I", "Fig. 2", "Fig. 3", "Fig. 4", "Table II",
+                       "Table III", "Propositions", "Ablations"):
+            assert marker in out, marker

@@ -1,0 +1,102 @@
+"""Guard rails on the public API surface and package metadata."""
+
+import importlib
+import inspect
+
+import pytest
+
+import repro
+
+SUBPACKAGES = [
+    "repro.pricing",
+    "repro.workload",
+    "repro.purchasing",
+    "repro.core",
+    "repro.marketplace",
+    "repro.analysis",
+    "repro.experiments",
+]
+
+
+class TestExports:
+    def test_top_level_all_resolves(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    @pytest.mark.parametrize("module_name", SUBPACKAGES)
+    def test_subpackage_all_resolves(self, module_name):
+        module = importlib.import_module(module_name)
+        assert module.__all__, f"{module_name} must declare __all__"
+        for name in module.__all__:
+            assert hasattr(module, name), f"{module_name}.{name}"
+
+    def test_version_is_consistent(self):
+        from repro._version import __version__
+
+        assert repro.__version__ == __version__
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3 and all(part.isdigit() for part in parts)
+
+
+class TestDocumentation:
+    """Every public item carries a docstring (deliverable e)."""
+
+    @pytest.mark.parametrize("module_name", SUBPACKAGES)
+    def test_public_items_are_documented(self, module_name):
+        module = importlib.import_module(module_name)
+        undocumented = []
+        for name in module.__all__:
+            item = getattr(module, name)
+            if inspect.ismodule(item):
+                continue
+            if inspect.isclass(item) or inspect.isfunction(item):
+                if not (item.__doc__ or "").strip():
+                    undocumented.append(name)
+        assert not undocumented, f"{module_name}: {undocumented}"
+
+    @staticmethod
+    def _documented_somewhere(cls, method_name) -> bool:
+        """A method counts as documented if it, or the same method on any
+        base class (an implemented interface), carries a docstring."""
+        for base in cls.__mro__:
+            candidate = vars(base).get(method_name)
+            if candidate is not None and (getattr(candidate, "__doc__", "") or "").strip():
+                return True
+        return False
+
+    @pytest.mark.parametrize("module_name", SUBPACKAGES)
+    def test_public_classes_document_their_methods(self, module_name):
+        module = importlib.import_module(module_name)
+        undocumented = []
+        for name in module.__all__:
+            item = getattr(module, name)
+            if not inspect.isclass(item):
+                continue
+            for method_name, method in vars(item).items():
+                if method_name.startswith("_"):
+                    continue
+                if inspect.isfunction(method) and not self._documented_somewhere(
+                    item, method_name
+                ):
+                    # properties/dataclass fields are exempt; plain public
+                    # methods are not.
+                    undocumented.append(f"{name}.{method_name}")
+        assert not undocumented, f"{module_name}: {undocumented}"
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        from repro import errors
+
+        for name in dir(errors):
+            item = getattr(errors, name)
+            if inspect.isclass(item) and issubclass(item, Exception):
+                if item is not errors.ReproError:
+                    assert issubclass(item, errors.ReproError), name
+
+    def test_unknown_instance_type_carries_payload(self):
+        from repro.errors import UnknownInstanceTypeError
+
+        error = UnknownInstanceTypeError("z1.mega")
+        assert error.instance_type == "z1.mega"
+        assert "z1.mega" in str(error)

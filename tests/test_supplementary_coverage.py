@@ -1,0 +1,118 @@
+"""Supplementary coverage: distinct behaviours not pinned elsewhere."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.ascii_plots import SERIES_GLYPHS, ascii_cdf
+from repro.analysis.summary import SavingsSummary
+from repro.core.account import CostModel, HourlyFeeMode
+from repro.core.fastsim import FastPolicyKind, run_fast
+from repro.workload.google import ClusterTraceSynthesizer, UserArchetype
+
+
+class TestCliExtraExperiments:
+    """The CLI must route every extra experiment name."""
+
+    @pytest.mark.parametrize("name", ["stability", "optgap", "breakdown"])
+    def test_run_experiment_routes(self, name, monkeypatch):
+        from repro.experiments import breakdown, cli, optgap, stability
+
+        modules = {"stability": stability, "optgap": optgap, "breakdown": breakdown}
+        calls = []
+        monkeypatch.setattr(
+            modules[name], "run", lambda config, **kw: calls.append(name) or name
+        )
+        monkeypatch.setattr(
+            modules[name], "render", lambda result: f"rendered {result}"
+        )
+        from repro.experiments.config import ExperimentConfig
+
+        text = cli.run_experiment(name, ExperimentConfig.quick())
+        assert text == f"rendered {name}"
+        assert calls == [name]
+
+    def test_seed_flag_reaches_the_config(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["table1", "--seed", "7"]) == 0  # just must not crash
+        capsys.readouterr()
+
+
+class TestFastSimDetails:
+    def test_sale_records_carry_batch_index(self, toy_model):
+        demands = np.zeros(16, dtype=np.int64)
+        reservations = np.zeros(16, dtype=np.int64)
+        reservations[0] = 3
+        result = run_fast(
+            demands, reservations, toy_model, phi=0.5,
+            kind=FastPolicyKind.ALL_SELLING,
+        )
+        assert [sale.batch_index for sale in result.sales] == [1, 2, 3]
+        assert all(sale.reserved_at == 0 and sale.hour == 4 for sale in result.sales)
+
+    def test_usage_mode_all_selling(self, toy_plan):
+        model = CostModel(plan=toy_plan, selling_discount=0.5,
+                          fee_mode=HourlyFeeMode.USAGE)
+        demands = np.array([1] * 16)
+        reservations = np.array([1] + [0] * 15)
+        result = run_fast(
+            demands, reservations, model, phi=0.5, kind=FastPolicyKind.ALL_SELLING
+        )
+        # Busy 4 hours at 0.25, sold at hour 4 (income 2), then 12 hours
+        # on-demand (4 while the instance would have lived + 8 after
+        # natural expiry).
+        assert result.breakdown.reserved_hourly == pytest.approx(1.0)
+        assert result.breakdown.on_demand == pytest.approx(12.0)
+        assert result.total_cost == pytest.approx(8 + 1 + 12 - 2)
+
+
+class TestAsciiPlotGlyphCycle:
+    def test_more_series_than_glyphs_wraps(self):
+        series = {f"s{i}": [float(i), float(i) + 1.0] for i in range(10)}
+        text = ascii_cdf(series)
+        assert f"{SERIES_GLYPHS[0]} s0" in text
+        assert f"{SERIES_GLYPHS[0]} s8" in text  # glyph reused, legend intact
+
+
+class TestGoogleArchetypeShapes:
+    @pytest.fixture(scope="class")
+    def users(self):
+        synthesizer = ClusterTraceSynthesizer(
+            n_users=60, archetype_weights=(1 / 3, 1 / 3, 1 / 3)
+        )
+        return synthesizer.generate(24 * 30, np.random.default_rng(9))
+
+    def _of(self, users, archetype):
+        return [user for user in users if user.archetype is archetype]
+
+    def test_service_users_are_rarely_idle(self, users):
+        for user in self._of(users, UserArchetype.SERVICE)[:5]:
+            assert np.mean(user.cpu > 0) > 0.9
+
+    def test_bursty_users_are_mostly_idle(self, users):
+        for user in self._of(users, UserArchetype.BURSTY)[:5]:
+            assert np.mean(user.cpu > 0) < 0.2
+
+    def test_batch_users_sit_in_between(self, users):
+        fractions = [
+            np.mean(user.cpu > 0)
+            for user in self._of(users, UserArchetype.BATCH)[:8]
+        ]
+        assert 0.02 < float(np.mean(fractions)) < 0.9
+
+
+@given(
+    values=st.lists(
+        st.floats(min_value=0.0, max_value=3.0, allow_nan=False),
+        min_size=1, max_size=200,
+    )
+)
+@settings(max_examples=80, deadline=None)
+def test_savings_summary_fractions_partition(values):
+    summary = SavingsSummary.of(values)
+    at_one = sum(1 for value in values if value == 1.0) / len(values)
+    assert summary.fraction_saving + summary.fraction_losing + at_one == pytest.approx(1.0)
+    assert summary.fraction_saving_30pct <= summary.fraction_saving_20pct
+    assert summary.fraction_saving_20pct <= summary.fraction_saving

@@ -1,0 +1,73 @@
+"""Unit tests for repro.workload.ec2logs."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.ec2logs import (
+    PAPER_LOG_COUNT,
+    ApplicationProfile,
+    EC2UsageLogGenerator,
+)
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    return EC2UsageLogGenerator().generate(24 * 28, np.random.default_rng(11))
+
+
+class TestBundle:
+    def test_default_matches_paper_count(self, bundle):
+        assert len(bundle) == PAPER_LOG_COUNT == 36
+
+    def test_logs_are_named_and_distinct(self, bundle):
+        names = {trace.name for trace in bundle}
+        assert len(names) == 36
+
+    def test_logs_cover_horizon(self, bundle):
+        assert all(len(trace) == 24 * 28 for trace in bundle)
+
+    def test_spans_a_range_of_fluctuations(self, bundle):
+        cvs = sorted(trace.cv for trace in bundle if trace.mean > 0)
+        assert cvs[0] < 1.0  # some stable applications
+        assert cvs[-1] > cvs[0] * 2  # and a real spread
+
+    def test_custom_log_count(self):
+        bundle = EC2UsageLogGenerator(n_logs=5).generate(
+            48, np.random.default_rng(0)
+        )
+        assert len(bundle) == 5
+
+    def test_rejects_bad_log_count(self):
+        with pytest.raises(WorkloadError):
+            EC2UsageLogGenerator(n_logs=0)
+
+
+class TestProfiles:
+    def test_profile_validation(self):
+        with pytest.raises(WorkloadError):
+            ApplicationProfile(
+                name="x", base_level=0.0, daily_amplitude=0.2, weekend_dip=0.1,
+                trend_per_year=0.0, step_probability=0.0, noise=0.1,
+            )
+        with pytest.raises(WorkloadError):
+            ApplicationProfile(
+                name="x", base_level=1.0, daily_amplitude=2.0, weekend_dip=0.1,
+                trend_per_year=0.0, step_probability=0.0, noise=0.1,
+            )
+
+    def test_growth_trend_raises_level(self):
+        generator = EC2UsageLogGenerator()
+        profile = ApplicationProfile(
+            name="grow", base_level=20.0, daily_amplitude=0.0, weekend_dip=0.0,
+            trend_per_year=2.0, step_probability=0.0, noise=0.01,
+        )
+        trace = generator.generate_log(profile, 8760, np.random.default_rng(0))
+        first, last = trace.values[:720].mean(), trace.values[-720:].mean()
+        assert last > 2 * first
+
+    def test_rejects_bad_horizon(self):
+        generator = EC2UsageLogGenerator()
+        profile = generator.draw_profile(0, np.random.default_rng(0))
+        with pytest.raises(WorkloadError):
+            generator.generate_log(profile, 0, np.random.default_rng(0))

@@ -1,0 +1,107 @@
+"""Unit tests for repro.workload.google (cluster traces + preprocessing)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.google import (
+    ClusterTraceSynthesizer,
+    MachineCapacity,
+    UserArchetype,
+    UserResourceTrace,
+    resources_to_demand,
+    synthesize_google_population,
+)
+
+
+@pytest.fixture(scope="module")
+def users():
+    synthesizer = ClusterTraceSynthesizer(n_users=30)
+    return synthesizer.generate(24 * 21, np.random.default_rng(5))
+
+
+class TestSynthesizer:
+    def test_user_count(self, users):
+        assert len(users) == 30
+
+    def test_unique_user_ids(self, users):
+        assert len({user.user_id for user in users}) == 30
+
+    def test_resource_arrays_cover_horizon(self, users):
+        assert all(user.horizon == 24 * 21 for user in users)
+
+    def test_resources_nonnegative(self, users):
+        for user in users:
+            assert user.cpu.min() >= 0
+            assert user.memory.min() >= 0
+            assert user.disk.min() >= 0
+
+    def test_all_archetypes_present(self, users):
+        archetypes = {user.archetype for user in users}
+        assert archetypes == set(UserArchetype)
+
+    def test_heavy_tailed_sizes(self, users):
+        means = sorted(float(user.cpu.mean()) for user in users)
+        # Log-normal sizes: the largest tenant dwarfs the median one.
+        assert means[-1] > 3 * np.median(means)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"n_users": 0},
+        {"size_sigma": 0.0},
+        {"archetype_weights": (0.5, 0.5, 0.5)},
+        {"archetype_weights": (1.0, 0.0)},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(WorkloadError):
+            ClusterTraceSynthesizer(**kwargs)
+
+    def test_rejects_bad_horizon(self):
+        with pytest.raises(WorkloadError):
+            ClusterTraceSynthesizer(n_users=2).generate(0, np.random.default_rng(0))
+
+
+class TestPreprocessing:
+    def test_binding_dimension_drives_count(self):
+        user = UserResourceTrace(
+            user_id="u",
+            cpu=np.array([0.3, 0.0]),
+            memory=np.array([0.1, 0.9]),
+            disk=np.array([0.0, 0.0]),
+        )
+        demand = resources_to_demand(user, MachineCapacity(cpu=0.25, memory=0.25, disk=0.25))
+        # hour 0: cpu binds (0.3/0.25 = 1.2 -> 2); hour 1: memory binds
+        # (0.9/0.25 = 3.6 -> 4).
+        assert list(demand) == [2, 4]
+
+    def test_zero_resources_need_zero_instances(self):
+        user = UserResourceTrace(
+            user_id="u", cpu=np.zeros(3), memory=np.zeros(3), disk=np.zeros(3)
+        )
+        assert list(resources_to_demand(user)) == [0, 0, 0]
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(WorkloadError):
+            UserResourceTrace(
+                user_id="u", cpu=np.zeros(2), memory=np.zeros(3), disk=np.zeros(2)
+            )
+
+    def test_negative_requests_rejected(self):
+        with pytest.raises(WorkloadError):
+            UserResourceTrace(
+                user_id="u", cpu=np.array([-0.1]), memory=np.zeros(1), disk=np.zeros(1)
+            )
+
+    def test_capacity_validation(self):
+        with pytest.raises(WorkloadError):
+            MachineCapacity(cpu=0.0)
+
+
+class TestEndToEnd:
+    def test_population_pipeline(self):
+        traces = synthesize_google_population(
+            n_users=10, horizon=24 * 7, rng=np.random.default_rng(1)
+        )
+        assert len(traces) == 10
+        assert all(len(trace) == 24 * 7 for trace in traces)
+        # Preprocessing yields instance counts, so some demand must exist.
+        assert any(trace.total_demand_hours > 0 for trace in traces)

@@ -1,0 +1,100 @@
+"""Unit tests for repro.workload.groups (Fig. 2 population)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.groups import (
+    FluctuationGroup,
+    build_population,
+    classify,
+    classify_trace,
+    make_group_member,
+    population_by_group,
+)
+from repro.workload.base import DemandTrace
+
+
+class TestClassification:
+    @pytest.mark.parametrize(
+        "cv, expected",
+        [
+            (0.0, FluctuationGroup.STABLE),
+            (0.99, FluctuationGroup.STABLE),
+            (1.0, FluctuationGroup.MODERATE),
+            (2.9, FluctuationGroup.MODERATE),
+            (3.0, FluctuationGroup.BURSTY),
+            (50.0, FluctuationGroup.BURSTY),
+        ],
+    )
+    def test_classify_bands(self, cv, expected):
+        assert classify(cv) is expected
+
+    def test_classify_rejects_negative(self):
+        with pytest.raises(WorkloadError):
+            classify(-0.1)
+
+    def test_classify_trace(self):
+        assert classify_trace(DemandTrace([5, 5, 5])) is FluctuationGroup.STABLE
+
+    def test_bands_partition_the_line(self):
+        for cv in (0.0, 0.5, 1.0, 2.0, 3.0, 10.0):
+            memberships = [g for g in FluctuationGroup if g.contains(cv)]
+            assert len(memberships) == 1
+            assert memberships[0] is classify(cv)
+
+    def test_bursty_band_is_unbounded(self):
+        low, high = FluctuationGroup.BURSTY.cv_band
+        assert low == 3.0 and math.isinf(high)
+
+
+class TestMemberGeneration:
+    def test_member_lands_in_band(self):
+        rng = np.random.default_rng(3)
+        for group in FluctuationGroup:
+            member = make_group_member(group, "u", 24 * 60, rng)
+            assert member.group is group
+            assert group.contains(member.cv)
+
+    def test_member_has_id_and_trace(self):
+        rng = np.random.default_rng(3)
+        member = make_group_member(FluctuationGroup.STABLE, "user-7", 24 * 30, rng)
+        assert member.user_id == "user-7"
+        assert len(member.trace) == 24 * 30
+
+    def test_rejects_bad_horizon(self):
+        with pytest.raises(WorkloadError):
+            make_group_member(
+                FluctuationGroup.STABLE, "u", 0, np.random.default_rng(0)
+            )
+
+
+class TestPopulation:
+    @pytest.fixture(scope="class")
+    def population(self):
+        return build_population(users_per_group=5, horizon=24 * 40, seed=9)
+
+    def test_size(self, population):
+        assert len(population) == 15
+
+    def test_three_equal_groups(self, population):
+        grouped = population_by_group(population)
+        assert all(len(users) == 5 for users in grouped.values())
+
+    def test_every_member_in_its_band(self, population):
+        assert all(user.group.contains(user.cv) for user in population)
+
+    def test_deterministic_under_seed(self, population):
+        again = build_population(users_per_group=5, horizon=24 * 40, seed=9)
+        assert [u.user_id for u in again] == [u.user_id for u in population]
+        assert all(a.trace == b.trace for a, b in zip(again, population))
+
+    def test_different_seed_differs(self, population):
+        other = build_population(users_per_group=5, horizon=24 * 40, seed=10)
+        assert any(a.trace != b.trace for a, b in zip(other, population))
+
+    def test_rejects_bad_group_size(self):
+        with pytest.raises(WorkloadError):
+            build_population(users_per_group=0, horizon=100)

@@ -1,0 +1,113 @@
+"""Unit tests for repro.workload.io (bring-your-own-trace loaders)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.base import DemandTrace
+from repro.workload.google import MachineCapacity, resources_to_demand
+from repro.workload.io import (
+    load_demand_csv,
+    load_resource_csv,
+    load_usage_log,
+    save_demand_csv,
+)
+
+
+class TestDemandCsv:
+    def test_single_column(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text("3\n0\n5\n")
+        assert list(load_demand_csv(path)) == [3, 0, 5]
+
+    def test_pairs_with_header_and_gaps(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text("hour,demand\n0,2\n3,4\n")
+        assert list(load_demand_csv(path)) == [2, 0, 0, 4]
+
+    def test_comments_skipped(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text("# exported billing data\n1\n2\n")
+        assert list(load_demand_csv(path)) == [1, 2]
+
+    def test_roundtrip(self, tmp_path):
+        original = DemandTrace([1, 0, 7], name="x")
+        path = tmp_path / "out.csv"
+        save_demand_csv(original, path)
+        assert load_demand_csv(path) == original
+
+    def test_name_defaults_to_stem(self, tmp_path):
+        path = tmp_path / "webapp.csv"
+        path.write_text("1\n")
+        assert load_demand_csv(path).name == "webapp"
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(WorkloadError):
+            load_demand_csv(tmp_path / "nope.csv")
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(WorkloadError):
+            load_demand_csv(path)
+
+    def test_negative_hours_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("-1,3\n")
+        with pytest.raises(WorkloadError):
+            load_demand_csv(path)
+
+
+class TestUsageLog:
+    def test_rasterisation(self, tmp_path):
+        path = tmp_path / "log.csv"
+        # two instances for [0,3), one more joins for [1,2)
+        path.write_text("start,end,count\n0,3,2\n1,2,1\n")
+        assert list(load_usage_log(path)) == [2, 3, 2]
+
+    def test_default_count_is_one(self, tmp_path):
+        path = tmp_path / "log.csv"
+        path.write_text("0,2\n")
+        assert list(load_usage_log(path)) == [1, 1]
+
+    def test_explicit_horizon_pads_and_clips(self, tmp_path):
+        path = tmp_path / "log.csv"
+        path.write_text("0,2,1\n")
+        assert list(load_usage_log(path, horizon=4)) == [1, 1, 0, 0]
+        assert list(load_usage_log(path, horizon=1)) == [1]
+
+    def test_bad_interval_rejected(self, tmp_path):
+        path = tmp_path / "log.csv"
+        path.write_text("5,2,1\n")
+        with pytest.raises(WorkloadError):
+            load_usage_log(path)
+
+    def test_narrow_rows_rejected(self, tmp_path):
+        path = tmp_path / "log.csv"
+        path.write_text("5\n")
+        with pytest.raises(WorkloadError):
+            load_usage_log(path)
+
+
+class TestResourceCsv:
+    def test_loads_and_preprocesses(self, tmp_path):
+        path = tmp_path / "resources.csv"
+        path.write_text("hour,cpu,memory,disk\n0,0.5,0.2,0.0\n1,0.1,0.9,0.1\n")
+        user = load_resource_csv(path, user_id="tenant-1")
+        assert user.user_id == "tenant-1"
+        demand = resources_to_demand(
+            user, MachineCapacity(cpu=0.25, memory=0.25, disk=0.25)
+        )
+        assert list(demand) == [2, 4]
+
+    def test_rows_accumulate_per_hour(self, tmp_path):
+        path = tmp_path / "resources.csv"
+        path.write_text("0,0.2,0.1,0.0\n0,0.3,0.1,0.0\n")
+        user = load_resource_csv(path)
+        assert user.cpu[0] == pytest.approx(0.5)
+
+    def test_narrow_rows_rejected(self, tmp_path):
+        path = tmp_path / "resources.csv"
+        path.write_text("0,0.2\n")
+        with pytest.raises(WorkloadError):
+            load_resource_csv(path)

@@ -1,0 +1,97 @@
+"""Unit tests for repro.workload.scenarios."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.base import WorkloadGenerator
+from repro.workload.scenarios import (
+    SCENARIOS,
+    DevTestFleet,
+    MLTraining,
+    SeasonalRetail,
+    SteadyService,
+    WebApplication,
+    scenario,
+)
+
+HORIZON = 24 * 28
+
+
+def gen(generator, seed=5, horizon=HORIZON):
+    return generator.generate(horizon, np.random.default_rng(seed))
+
+
+class TestRegistry:
+    def test_all_scenarios_listed(self):
+        assert set(SCENARIOS) == {
+            "web-application", "dev-test-fleet", "seasonal-retail",
+            "ml-training", "steady-service",
+        }
+
+    def test_scenario_factory(self):
+        assert isinstance(scenario("web-application"), WebApplication)
+        assert scenario("dev-test-fleet", team_size=3).team_size == 3
+
+    def test_unknown_scenario(self):
+        with pytest.raises(WorkloadError):
+            scenario("mainframe")
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_every_scenario_implements_the_protocol(self, name):
+        instance = scenario(name)
+        assert isinstance(instance, WorkloadGenerator)
+        trace = gen(instance)
+        assert len(trace) == HORIZON
+        assert trace.values.min() >= 0
+        assert trace.total_demand_hours > 0
+
+
+class TestShapes:
+    def test_web_application_has_day_night_swing(self):
+        trace = gen(WebApplication())
+        profile = trace.values.astype(float).reshape(-1, 24).mean(axis=0)
+        assert profile.max() > 1.3 * profile.min()
+
+    def test_dev_fleet_is_zero_outside_work_hours(self):
+        trace = gen(DevTestFleet(workday_start=9, workday_end=18))
+        hours = np.arange(HORIZON)
+        nights = trace.values[(hours % 24 < 9) | (hours % 24 >= 18)]
+        assert nights.sum() == 0
+
+    def test_dev_fleet_is_zero_on_weekends(self):
+        trace = gen(DevTestFleet())
+        hours = np.arange(HORIZON)
+        weekend = trace.values[(hours // 24) % 7 >= 5]
+        assert weekend.sum() == 0
+
+    def test_dev_fleet_utilisation_is_low(self):
+        # 9h x 5d of 168h/week ~ 27% — at or below typical break-evens.
+        assert gen(DevTestFleet()).busy_fraction() < 0.3
+
+    def test_dev_fleet_validation(self):
+        with pytest.raises(WorkloadError):
+            DevTestFleet(workday_start=18, workday_end=9)
+        with pytest.raises(WorkloadError):
+            DevTestFleet(team_size=0)
+
+    def test_seasonal_retail_high_season_is_busier(self):
+        retail = SeasonalRetail(season_start_fraction=0.5)
+        trace = gen(retail, horizon=24 * 40)
+        half = len(trace) // 2
+        assert trace.values[half:].mean() > 1.5 * trace.values[:half].mean()
+
+    def test_seasonal_retail_validation(self):
+        with pytest.raises(WorkloadError):
+            SeasonalRetail(season_multiplier=0.5)
+        with pytest.raises(WorkloadError):
+            SeasonalRetail(season_start_fraction=1.0)
+
+    def test_ml_training_is_bursty_at_job_scale(self):
+        trace = gen(MLTraining(), horizon=24 * 120)
+        assert trace.cv > 1.0
+        busy = trace.values[trace.values > 0]
+        assert busy.size and abs(busy.mean() - 8.0) < 2.0
+
+    def test_steady_service_is_stable(self):
+        assert gen(SteadyService()).cv < 0.3

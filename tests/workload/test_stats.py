@@ -1,0 +1,71 @@
+"""Unit tests for repro.workload.stats."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.workload.base import DemandTrace
+from repro.workload.stats import (
+    FluctuationStats,
+    autocorrelation,
+    cv_of,
+    summarize_cvs,
+)
+
+
+class TestAutocorrelation:
+    def test_constant_series_is_zero(self):
+        assert autocorrelation(np.ones(50), 1) == 0.0
+
+    def test_persistent_series_is_high(self):
+        values = np.repeat([0.0, 10.0], 50)
+        assert autocorrelation(values, 1) > 0.9
+
+    def test_alternating_series_is_negative(self):
+        values = np.tile([0.0, 10.0], 50)
+        assert autocorrelation(values, 1) < -0.9
+
+    def test_out_of_range_lags(self):
+        values = np.arange(10.0)
+        assert autocorrelation(values, 0) == 0.0
+        assert autocorrelation(values, 10) == 0.0
+        assert autocorrelation(values, -1) == 0.0
+
+
+class TestFluctuationStats:
+    def test_of_simple_trace(self):
+        stats = FluctuationStats.of(DemandTrace([0, 0, 4, 4]))
+        assert stats.mean == 2.0
+        assert stats.std == 2.0
+        assert stats.cv == 1.0
+        assert stats.peak == 4
+        assert stats.peak_to_mean == 2.0
+        assert stats.zero_fraction == 0.5
+
+    def test_of_zero_trace(self):
+        stats = FluctuationStats.of(DemandTrace([0, 0]))
+        assert math.isinf(stats.cv)
+        assert math.isinf(stats.peak_to_mean)
+
+    def test_cv_of_matches_trace(self):
+        trace = DemandTrace([1, 2, 3])
+        assert cv_of(trace) == trace.cv
+
+
+class TestSummaries:
+    def test_summarize_cvs(self):
+        traces = [DemandTrace([0, 4]), DemandTrace([2, 2])]
+        summary = summarize_cvs(traces)
+        assert summary["count"] == 2
+        assert summary["min"] == 0.0
+        assert summary["max"] == 1.0
+
+    def test_summarize_ignores_infinite(self):
+        traces = [DemandTrace([0, 0]), DemandTrace([0, 4])]
+        summary = summarize_cvs(traces)
+        assert summary["max"] == 1.0
+
+    def test_summarize_all_infinite_raises(self):
+        with pytest.raises(ValueError):
+            summarize_cvs([DemandTrace([0, 0])])

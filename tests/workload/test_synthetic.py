@@ -1,0 +1,174 @@
+"""Unit tests for repro.workload.synthetic (trace generators)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.synthetic import (
+    DiurnalWorkload,
+    OnOffWorkload,
+    SpikyWorkload,
+    StableWorkload,
+    TargetCVWorkload,
+)
+
+HORIZON = 24 * 28  # four weeks
+
+
+def gen(generator, horizon=HORIZON, seed=7):
+    return generator.generate(horizon, np.random.default_rng(seed))
+
+
+class TestCommonBehaviour:
+    @pytest.mark.parametrize(
+        "generator",
+        [
+            StableWorkload(),
+            DiurnalWorkload(),
+            OnOffWorkload(),
+            SpikyWorkload(),
+            TargetCVWorkload(),
+        ],
+        ids=lambda g: type(g).__name__,
+    )
+    def test_horizon_and_nonnegativity(self, generator):
+        trace = gen(generator)
+        assert len(trace) == HORIZON
+        assert trace.values.min() >= 0
+
+    @pytest.mark.parametrize(
+        "generator",
+        [StableWorkload(), DiurnalWorkload(), OnOffWorkload(), SpikyWorkload()],
+        ids=lambda g: type(g).__name__,
+    )
+    def test_deterministic_under_seed(self, generator):
+        assert gen(generator, seed=3) == gen(generator, seed=3)
+
+    def test_rejects_nonpositive_horizon(self):
+        with pytest.raises(WorkloadError):
+            gen(StableWorkload(), horizon=0)
+
+
+class TestStableWorkload:
+    def test_is_actually_stable(self):
+        trace = gen(StableWorkload(mean_level=20.0, relative_noise=0.15))
+        assert trace.cv < 1.0
+
+    def test_mean_near_target(self):
+        trace = gen(StableWorkload(mean_level=20.0))
+        assert trace.mean == pytest.approx(20.0, rel=0.2)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"mean_level": 0.0},
+        {"relative_noise": -0.1},
+        {"reversion": 0.0},
+        {"reversion": 1.5},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(WorkloadError):
+            StableWorkload(**kwargs)
+
+
+class TestDiurnalWorkload:
+    def test_daily_cycle_visible(self):
+        trace = gen(DiurnalWorkload(base_level=50.0, daily_amplitude=0.6,
+                                    relative_noise=0.02, weekend_dip=0.0))
+        values = trace.values.astype(float).reshape(-1, 24)
+        hourly_profile = values.mean(axis=0)
+        assert hourly_profile.max() > 1.5 * hourly_profile.min()
+
+    def test_weekend_dip(self):
+        trace = gen(DiurnalWorkload(base_level=50.0, weekend_dip=0.5,
+                                    daily_amplitude=0.0, relative_noise=0.02))
+        days = trace.values.astype(float).reshape(-1, 24).mean(axis=1)
+        weekdays = days[np.arange(days.size) % 7 < 5].mean()
+        weekends = days[np.arange(days.size) % 7 >= 5].mean()
+        assert weekends < 0.7 * weekdays
+
+    @pytest.mark.parametrize("kwargs", [
+        {"base_level": -1.0},
+        {"daily_amplitude": 1.5},
+        {"weekend_dip": -0.2},
+        {"period_hours": 0},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(WorkloadError):
+            DiurnalWorkload(**kwargs)
+
+
+class TestOnOffWorkload:
+    def test_has_on_and_off_phases(self):
+        trace = gen(OnOffWorkload(on_level=10.0, mean_on_hours=10, mean_off_hours=30))
+        assert 0.05 < trace.busy_fraction() < 0.6
+
+    def test_duty_cycle_roughly_respected(self):
+        trace = gen(
+            OnOffWorkload(on_level=10.0, mean_on_hours=20, mean_off_hours=20),
+            horizon=24 * 120,
+        )
+        assert trace.busy_fraction() == pytest.approx(0.5, abs=0.2)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"on_level": 0.0}, {"mean_on_hours": 0.0}, {"mean_off_hours": -1.0},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(WorkloadError):
+            OnOffWorkload(**kwargs)
+
+
+class TestSpikyWorkload:
+    def test_high_cv(self):
+        trace = gen(SpikyWorkload(), horizon=24 * 60)
+        assert trace.cv > 3.0
+
+    def test_mostly_idle(self):
+        trace = gen(SpikyWorkload(spike_probability=0.02))
+        assert trace.busy_fraction() < 0.1
+
+    @pytest.mark.parametrize("kwargs", [
+        {"spike_probability": 0.0},
+        {"spike_probability": 1.5},
+        {"spike_scale": 0.0},
+        {"pareto_shape": 0.0},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(WorkloadError):
+            SpikyWorkload(**kwargs)
+
+
+class TestTargetCVWorkload:
+    @pytest.mark.parametrize("target", [0.5, 1.5, 4.0])
+    def test_hits_target_band(self, target):
+        trace = gen(TargetCVWorkload(target_cv=target, mean_demand=5.0),
+                    horizon=24 * 90)
+        assert trace.cv == pytest.approx(target, rel=0.45)
+
+    def test_mean_roughly_preserved(self):
+        trace = gen(TargetCVWorkload(target_cv=1.0, mean_demand=8.0), horizon=24 * 90)
+        assert trace.mean == pytest.approx(8.0, rel=0.6)
+
+    def test_base_fraction_gives_floor(self):
+        trace = gen(
+            TargetCVWorkload(target_cv=0.6, mean_demand=10.0, base_fraction=0.5),
+            horizon=24 * 30,
+        )
+        assert trace.values.min() >= 5
+
+    def test_episodes_are_persistent(self):
+        from repro.workload.stats import autocorrelation
+
+        trace = gen(TargetCVWorkload(target_cv=1.5, mean_on_hours=48.0),
+                    horizon=24 * 90)
+        assert autocorrelation(trace.values, 1) > 0.5
+
+    @pytest.mark.parametrize("kwargs", [
+        {"target_cv": 0.0},
+        {"mean_demand": -1.0},
+        {"mean_on_hours": 0.0},
+        {"level_sigma": -0.5},
+        {"base_fraction": 1.0},
+        {"calibration_rounds": -1},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(WorkloadError):
+            TargetCVWorkload(**kwargs)
