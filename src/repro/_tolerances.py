@@ -1,0 +1,62 @@
+"""Shared numeric tolerances for money arithmetic.
+
+Every dollar amount in the library — upfront fees, hourly bills,
+prorated marketplace caps, sale incomes — is a float, and the paper's
+invariants (break-even points, Eq. (1) cost totals, the Section III-B
+prorating rule) are checked by *comparing* such floats.  Comparing money
+with ``==`` is a latent bug: two arithmetically-equal totals computed
+along different paths (e.g. ``R·(1 − t/T)`` vs ``R − R·t/T``) differ in
+the last ulp and silently flip a sell/keep decision.
+
+This module is the single place that fixes the tolerance used for those
+comparisons.  The custom linter's rule ``REP001`` (see
+:mod:`repro.lint`) forbids ``==``/``!=`` between money-valued
+expressions and points offenders here.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Relative tolerance for comparing two dollar amounts.  Money values in
+#: the reproduction span roughly $1e-3 (hourly nano rates) to $1e5
+#: (3-year upfronts times fleet sizes); 1e-9 relative keeps ~6 decimal
+#: digits of slack at the top of that range while staying far above
+#: accumulated float error.
+MONEY_RTOL: float = 1e-9
+
+#: Absolute tolerance floor, for comparisons against (near-)zero dollars.
+MONEY_ATOL: float = 1e-9
+
+__all__ = [
+    "MONEY_ATOL",
+    "MONEY_RTOL",
+    "money_eq",
+    "money_is_zero",
+    "money_le",
+    "money_lt",
+]
+
+
+def money_eq(a: float, b: float) -> bool:
+    """True when two dollar amounts are equal up to the money tolerance."""
+    return math.isclose(a, b, rel_tol=MONEY_RTOL, abs_tol=MONEY_ATOL)
+
+
+def money_is_zero(amount: float) -> bool:
+    """True when a dollar amount is zero up to the money tolerance."""
+    return abs(amount) <= MONEY_ATOL
+
+
+def money_le(a: float, b: float) -> bool:
+    """Tolerant ``a <= b`` on dollars: strictly below, or equal within
+    tolerance.  Use for cap checks (e.g. marketplace prorated-upfront
+    ceilings) where an ulp above the cap must not reject a listing."""
+    return a <= b or money_eq(a, b)
+
+
+def money_lt(a: float, b: float) -> bool:
+    """Tolerant ``a < b`` on dollars: strictly below and *not* equal
+    within tolerance.  The complement of :func:`money_le` with the
+    arguments swapped."""
+    return a < b and not money_eq(a, b)

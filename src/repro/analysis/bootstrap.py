@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np
+from numpy.typing import ArrayLike
 
 from repro.errors import ReproError
 
@@ -42,7 +43,7 @@ class ConfidenceInterval:
 
 
 def bootstrap_ci(
-    samples,
+    samples: ArrayLike,
     statistic: "Callable[[np.ndarray], float]" = np.mean,
     confidence: float = 0.95,
     resamples: int = 2000,
@@ -70,8 +71,8 @@ def bootstrap_ci(
 
 
 def difference_ci(
-    first,
-    second,
+    first: ArrayLike,
+    second: ArrayLike,
     confidence: float = 0.95,
     resamples: int = 2000,
     seed: int = 0,

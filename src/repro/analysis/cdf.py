@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import numpy as np
+from numpy.typing import ArrayLike
 
 from repro.errors import ReproError
 
@@ -10,7 +11,7 @@ from repro.errors import ReproError
 class EmpiricalCDF:
     """The empirical distribution of a sample of per-user costs."""
 
-    def __init__(self, samples) -> None:
+    def __init__(self, samples: ArrayLike) -> None:
         data = np.asarray(samples, dtype=np.float64)
         if data.ndim != 1 or data.size == 0:
             raise ReproError("an empirical CDF needs a non-empty 1-D sample")
@@ -33,7 +34,7 @@ class EmpiricalCDF:
         """F(x) = fraction of samples ≤ x."""
         return float(np.searchsorted(self._sorted, x, side="right")) / self.n
 
-    def evaluate(self, xs) -> np.ndarray:
+    def evaluate(self, xs: ArrayLike) -> np.ndarray:
         """Vectorised F over many points."""
         xs = np.asarray(xs, dtype=np.float64)
         return np.searchsorted(self._sorted, xs, side="right") / self.n

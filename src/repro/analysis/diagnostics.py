@@ -19,6 +19,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from repro._tolerances import money_is_zero
+
 from repro.core.simulator import SimulationResult
 from repro.errors import ReproError
 
@@ -40,7 +42,7 @@ class SavingsWaterfall:
 
     @property
     def saving_fraction(self) -> float:
-        if self.baseline_cost == 0:
+        if money_is_zero(self.baseline_cost):
             return 0.0
         return self.saving / self.baseline_cost
 

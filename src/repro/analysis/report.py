@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from numpy.typing import ArrayLike
+
 from repro.analysis.diagnostics import SavingsWaterfall, decompose_savings
 from repro.core.account import CostModel
 from repro.core.advisor import AdvisorReport, SellingAdvisor
@@ -26,7 +28,7 @@ from repro.core.simulator import SimulationResult, run_policy
 from repro.errors import ReproError
 from repro.marketplace.seller import SaleLatencyModel
 from repro.marketplace.valuation import ListingValuation, value_listing
-from repro.workload.base import as_trace
+from repro.workload.base import TraceLike, as_trace
 
 
 @dataclass(frozen=True)
@@ -86,8 +88,8 @@ class UserReport:
 
 
 def user_report(
-    demands,
-    reservations,
+    demands: TraceLike,
+    reservations: "ArrayLike",
     model: CostModel,
     latency: "SaleLatencyModel | None" = None,
 ) -> UserReport:

@@ -9,8 +9,10 @@ computes exactly those quantities from a normalised cost vector.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
+from numpy.typing import ArrayLike
 
 from repro.errors import ReproError
 
@@ -29,7 +31,7 @@ class SavingsSummary:
     worst_increase: float  # max(normalized) − 1, floored at 0
 
     @classmethod
-    def of(cls, normalized) -> "SavingsSummary":
+    def of(cls, normalized: ArrayLike) -> "SavingsSummary":
         values = np.asarray(normalized, dtype=np.float64)
         if values.ndim != 1 or values.size == 0:
             raise ReproError("need a non-empty 1-D normalized-cost vector")
@@ -58,8 +60,8 @@ class SavingsSummary:
 
 def group_means(
     normalized_by_policy: "dict[str, np.ndarray]",
-    group_labels,
-    group_order,
+    group_labels: "Sequence[str]",
+    group_order: "Sequence[str]",
 ) -> dict[str, dict[str, float]]:
     """Mean normalised cost per (policy, group) — the body of Table III.
 

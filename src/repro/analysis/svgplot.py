@@ -11,6 +11,7 @@ plots with axes, ticks, a legend, and a small colour cycle.
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Mapping, Sequence
 from xml.sax.saxutils import escape
 
@@ -342,7 +343,7 @@ def svg_series(
     return "\n".join(parts)
 
 
-def write_svg(document: str, path) -> None:
+def write_svg(document: str, path: "str | Path") -> None:
     """Write an SVG document to ``path``."""
     with open(path, "w") as handle:
         handle.write(document)

@@ -7,7 +7,7 @@ from typing import Iterable, Sequence
 from repro.errors import ReproError
 
 
-def format_cell(value, float_format: str = "{:.4f}") -> str:
+def format_cell(value: object, float_format: str = "{:.4f}") -> str:
     """Render one cell: floats via ``float_format``, the rest via str()."""
     if isinstance(value, bool):
         return "yes" if value else "no"

@@ -24,12 +24,13 @@ import enum
 from dataclasses import dataclass
 
 import numpy as np
+from numpy.typing import ArrayLike
 
 from repro.core.account import CostModel
 from repro.core.breakeven import break_even_working_hours, decision_age_hours
 from repro.core.ledger import ReservationLedger
 from repro.errors import SimulationError
-from repro.workload.base import as_trace
+from repro.workload.base import TraceLike, as_trace
 
 
 class Action(enum.Enum):
@@ -134,7 +135,12 @@ class SellingAdvisor:
                 "longer period or a later phi"
             )
 
-    def review(self, demands_so_far, reservations_so_far, sold_hours: "dict[int, int] | None" = None) -> AdvisorReport:
+    def review(
+        self,
+        demands_so_far: TraceLike,
+        reservations_so_far: "ArrayLike",
+        sold_hours: "dict[int, int] | None" = None,
+    ) -> AdvisorReport:
         """Evaluate every reservation given history up to now.
 
         ``demands_so_far`` and ``reservations_so_far`` cover hours

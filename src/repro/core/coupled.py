@@ -38,11 +38,11 @@ from repro.core.simulator import (
     schedule_decision,
 )
 from repro.purchasing.stepper import PurchasingStepper
-from repro.workload.base import as_trace
+from repro.workload.base import TraceLike, as_trace
 
 
 def run_coupled(
-    demands,
+    demands: TraceLike,
     stepper: PurchasingStepper,
     model: CostModel,
     policy: SellingPolicy,

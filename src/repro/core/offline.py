@@ -31,13 +31,14 @@ import math
 from dataclasses import dataclass
 
 import numpy as np
+from numpy.typing import ArrayLike
 
 from repro.core.account import CostModel, HourlyFeeMode
 from repro.core.instance import ReservedInstance
 from repro.core.policies import ScriptedSellingPolicy
 from repro.core.simulator import SimulationResult, run_policy
 from repro.errors import SimulationError
-from repro.workload.base import as_trace
+from repro.workload.base import TraceLike, as_trace
 
 
 @dataclass(frozen=True)
@@ -256,8 +257,8 @@ def _policy_start_schedules(
 
 
 def offline_optimal_schedule(
-    demands,
-    reservations,
+    demands: TraceLike,
+    reservations: ArrayLike,
     model: CostModel,
     min_age: int = 1,
     max_passes: int = 8,
@@ -334,8 +335,8 @@ def offline_optimal_schedule(
 
 
 def run_offline_optimal(
-    demands,
-    reservations,
+    demands: TraceLike,
+    reservations: ArrayLike,
     model: CostModel,
     min_age: int = 1,
     max_passes: int = 8,
@@ -350,8 +351,8 @@ def run_offline_optimal(
 
 
 def exhaustive_optimal_schedule(
-    demands,
-    reservations,
+    demands: TraceLike,
+    reservations: ArrayLike,
     model: CostModel,
     min_age: int = 1,
     max_instances: int = 6,
@@ -427,8 +428,8 @@ def exhaustive_optimal_schedule(
 
 
 def offline_decisions(
-    demands,
-    reservations,
+    demands: TraceLike,
+    reservations: ArrayLike,
     model: CostModel,
     min_age: int = 1,
 ) -> list[OfflineDecision]:

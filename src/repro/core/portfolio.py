@@ -18,7 +18,7 @@ from repro.errors import SimulationError
 from repro.pricing.plan import PricingPlan
 from repro.purchasing.base import PurchasingAlgorithm
 from repro.purchasing.runner import imitate
-from repro.workload.base import DemandTrace, as_trace
+from repro.workload.base import DemandTrace, TraceLike, as_trace
 
 
 @dataclass(frozen=True)
@@ -31,7 +31,7 @@ class Position:
 
     @classmethod
     def imitated(
-        cls, plan: PricingPlan, demands, algorithm: PurchasingAlgorithm
+        cls, plan: PricingPlan, demands: TraceLike, algorithm: PurchasingAlgorithm
     ) -> "Position":
         """Build a position by imitating the user's purchasing."""
         schedule = imitate(demands, plan, algorithm)
@@ -100,7 +100,7 @@ class Portfolio:
         self._positions[name] = position
 
     def add_imitated(
-        self, plan: PricingPlan, demands, algorithm: PurchasingAlgorithm
+        self, plan: PricingPlan, demands: TraceLike, algorithm: PurchasingAlgorithm
     ) -> None:
         """Convenience: imitate purchasing and add the position."""
         self.add(Position.imitated(plan, as_trace(demands), algorithm))

@@ -27,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+from numpy.typing import ArrayLike
 
 from repro.core.breakeven import PAPER_DECISION_FRACTIONS, validate_phi
 from repro.core.single import offline_single_cost, online_single_cost
@@ -65,7 +66,7 @@ class SpotDistribution:
 
 
 def expected_online_cost(
-    busy, plan: PricingPlan, selling_discount: float, distribution: SpotDistribution
+    busy: ArrayLike, plan: PricingPlan, selling_discount: float, distribution: SpotDistribution
 ) -> float:
     """Expected single-instance cost when φ is drawn from ``distribution``."""
     total = 0.0

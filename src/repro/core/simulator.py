@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 import numpy as np
+from numpy.typing import ArrayLike
 
 from repro.core.account import CostBreakdown, CostModel, HourlyCosts, HourlyFeeMode
 from repro.core.breakeven import break_even_working_hours
@@ -28,7 +29,7 @@ from repro.core.instance import ReservedInstance
 from repro.core.ledger import ReservationLedger
 from repro.core.policies import DecisionContext, SellingPolicy
 from repro.errors import SimulationError
-from repro.workload.base import DemandTrace, as_trace
+from repro.workload.base import DemandTrace, TraceLike, as_trace
 
 
 @dataclass(frozen=True)
@@ -211,7 +212,7 @@ class SellingSimulator:
         self.model = model
         self.policy = policy
 
-    def run(self, demands, reservations) -> SimulationResult:
+    def run(self, demands: TraceLike, reservations: ArrayLike) -> SimulationResult:
         """Simulate the full horizon; see the module docstring for the
         per-hour sequence of events."""
         trace = as_trace(demands)
@@ -262,8 +263,8 @@ class SellingSimulator:
 
 
 def run_policy(
-    demands,
-    reservations,
+    demands: TraceLike,
+    reservations: ArrayLike,
     model: CostModel,
     policy: SellingPolicy,
 ) -> SimulationResult:

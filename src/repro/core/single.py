@@ -22,6 +22,7 @@ import math
 from dataclasses import dataclass
 
 import numpy as np
+from numpy.typing import ArrayLike
 
 from repro.core.breakeven import break_even_working_hours, validate_phi
 from repro.errors import SimulationError
@@ -46,7 +47,7 @@ class SingleInstanceOutcome:
         return self.online_cost / self.offline_cost
 
 
-def _validate_busy(busy, period: int) -> np.ndarray:
+def _validate_busy(busy: ArrayLike, period: int) -> np.ndarray:
     profile = np.asarray(busy).astype(bool)
     if profile.ndim != 1 or profile.size != period:
         raise SimulationError(
@@ -56,7 +57,7 @@ def _validate_busy(busy, period: int) -> np.ndarray:
 
 
 def online_single_cost(
-    busy, plan: PricingPlan, selling_discount: float, phi: float
+    busy: ArrayLike, plan: PricingPlan, selling_discount: float, phi: float
 ) -> "tuple[float, bool]":
     """Cost of ``A_{φT}`` on one instance, in the proof model.
 
@@ -83,7 +84,7 @@ def online_single_cost(
 
 
 def offline_single_cost(
-    busy,
+    busy: ArrayLike,
     plan: PricingPlan,
     selling_discount: float,
     min_age: "int | None" = None,
@@ -123,7 +124,7 @@ def offline_single_cost(
 
 
 def compare_single_instance(
-    busy,
+    busy: ArrayLike,
     plan: PricingPlan,
     selling_discount: float,
     phi: float,

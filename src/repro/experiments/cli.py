@@ -30,7 +30,7 @@ from repro.experiments import (
     theory,
 )
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.runner import run_sweep
+from repro.experiments.runner import SweepResult, run_sweep
 
 _SCALES = {
     "quick": ExperimentConfig.quick,
@@ -79,7 +79,9 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def run_experiment(name: str, config: ExperimentConfig, sweep=None) -> str:
+def run_experiment(
+    name: str, config: ExperimentConfig, sweep: "SweepResult | None" = None
+) -> str:
     """Run one experiment by name and return its rendered report."""
     if name == "table1":
         return table1.render(table1.run())
@@ -111,14 +113,14 @@ def main(argv: "list[str] | None" = None) -> int:
     names = _ALL if args.experiment == "all" else (args.experiment,)
     sweep = None
     if any(name in _SWEEP_EXPERIMENTS for name in names):
-        started = time.time()
+        started = time.perf_counter()
         print(
             f"running population sweep ({config.total_users} users, "
             f"T={config.period_hours}h, horizon={config.horizon}h)...",
             file=sys.stderr,
         )
         sweep = run_sweep(config)
-        print(f"sweep done in {time.time() - started:.1f}s", file=sys.stderr)
+        print(f"sweep done in {time.perf_counter() - started:.1f}s", file=sys.stderr)
     if args.output is not None:
         args.output.mkdir(parents=True, exist_ok=True)
     for name in names:

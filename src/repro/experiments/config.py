@@ -92,7 +92,7 @@ class ExperimentConfig:
             fee_mode=self.fee_mode,
         )
 
-    def scaled(self, **overrides) -> "ExperimentConfig":
+    def scaled(self, **overrides: object) -> "ExperimentConfig":
         """A copy with some fields replaced."""
         return replace(self, **overrides)
 

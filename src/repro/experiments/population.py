@@ -28,7 +28,7 @@ class ExperimentUser:
         return self.workload.user_id
 
     @property
-    def group(self):
+    def group(self) -> FluctuationGroup:
         return self.workload.group
 
     @property

@@ -9,6 +9,7 @@ optionally the offline optimum, then collect per-user total costs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Iterable
 
 import numpy as np
@@ -104,7 +105,7 @@ class SweepResult:
                 return outcome
         raise ExperimentError(f"no user {user_id!r} in the sweep")
 
-    def to_csv(self, path) -> None:
+    def to_csv(self, path: "str | Path") -> None:
         """Export the per-user results as CSV (one row per user).
 
         Columns: user metadata, then each policy's absolute and

@@ -1,0 +1,43 @@
+"""`repro.lint` — AST-based domain-invariant linter for this codebase.
+
+The reproduction's correctness rests on numeric invariants that tests
+only probe pointwise: break-even arithmetic on float money, seeded
+randomness in the Monte-Carlo experiments, hour-denominated time.  This
+package enforces those invariants *structurally*, as named rules over
+the AST of every module:
+
+========  ==========================================================
+REP001    no ``==``/``!=`` between float money expressions
+REP002    no unseeded/global RNG in simulation code
+REP003    no wall-clock reads in simulation hot paths
+REP004    no mutable default arguments
+REP005    no arithmetic mixing ``_hours`` with ``_months``/``_years``
+REP006    complete annotations on public core/pricing functions
+REP007    no bare ``except:`` / silently swallowed exceptions
+REP008    no ``assert`` as runtime validation in library code
+========  ==========================================================
+
+Run ``python -m repro.lint [paths]``; suppress a finding inline with
+``# repro-lint: disable=REP001`` (line) or
+``# repro-lint: disable-file=REP006`` (file).  See
+``docs/static_analysis.md`` for the full rule catalogue and rationale.
+"""
+
+from repro.lint.diagnostics import Diagnostic, format_json, format_text
+from repro.lint.engine import LintConfigError, LintReport, lint_paths, lint_source
+from repro.lint.registry import ModuleContext, Rule, all_rules, known_codes, register
+
+__all__ = [
+    "Diagnostic",
+    "LintConfigError",
+    "LintReport",
+    "ModuleContext",
+    "Rule",
+    "all_rules",
+    "format_json",
+    "format_text",
+    "known_codes",
+    "lint_paths",
+    "lint_source",
+    "register",
+]

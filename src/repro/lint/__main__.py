@@ -1,0 +1,14 @@
+"""Entry point for ``python -m repro.lint``."""
+
+import sys
+
+from repro.lint.cli import main
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Output was piped to a consumer that closed early (e.g. head);
+        # mirror the convention of exiting quietly without a traceback.
+        sys.stderr.close()
+        sys.exit(1)

@@ -1,0 +1,42 @@
+"""Small AST helpers shared by the stock rules."""
+
+from __future__ import annotations
+
+import ast
+from typing import FrozenSet, Iterator, Optional
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def terminal_identifier(node: ast.AST) -> Optional[str]:
+    """The last identifier of an expression: ``x`` for ``x``, ``attr``
+    for ``obj.attr``, the callee's terminal for ``f(...)``."""
+    if isinstance(node, ast.Call):
+        return terminal_identifier(node.func)
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def identifier_tokens(identifier: str) -> FrozenSet[str]:
+    """Lower-cased underscore-separated tokens of an identifier."""
+    return frozenset(t for t in identifier.lower().split("_") if t)
+
+
+def walk_functions(tree: ast.Module) -> "Iterator[ast.FunctionDef | ast.AsyncFunctionDef]":
+    """Every function definition in a module, at any nesting level."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node

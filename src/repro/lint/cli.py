@@ -1,0 +1,96 @@
+"""Command-line interface: ``python -m repro.lint``.
+
+Exit codes: 0 clean, 1 findings reported, 2 bad invocation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.lint.diagnostics import format_json, format_text
+from repro.lint.engine import LintConfigError, lint_paths
+from repro.lint.registry import all_rules
+
+
+def _parse_codes(raw: "Optional[str]") -> "Optional[List[str]]":
+    if raw is None:
+        return None
+    codes = [code.strip().upper() for code in raw.split(",") if code.strip()]
+    if not codes:
+        raise LintConfigError("--select/--ignore given but no rule codes parsed")
+    return codes
+
+
+def _default_paths() -> "List[str]":
+    candidate = Path("src/repro")
+    if candidate.is_dir():
+        return [str(candidate)]
+    raise LintConfigError("no paths given and ./src/repro does not exist")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=(
+            "AST-based domain-invariant linter for the repro codebase: "
+            "enforces the paper's numeric and determinism invariants as "
+            "named REPxxx rules."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*",
+        help="files or directories to lint (default: ./src/repro)",
+    )
+    parser.add_argument(
+        "--select", metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore", metavar="CODES",
+        help="comma-separated rule codes to skip",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print every registered rule with its rationale and exit",
+    )
+    return parser
+
+
+def _render_rule_list() -> str:
+    lines = []
+    for rule in all_rules():
+        scope = ", ".join(rule.subpackages) if rule.subpackages else "all subpackages"
+        lines.append(f"{rule.code} {rule.name} [{scope}]")
+        lines.append(f"    {rule.summary}")
+        lines.append(f"    rationale: {rule.rationale}")
+    return "\n".join(lines)
+
+
+def main(argv: "Optional[Sequence[str]]" = None) -> int:
+    parser = build_parser()
+    options = parser.parse_args(argv)
+    if options.list_rules:
+        print(_render_rule_list())
+        return 0
+    try:
+        paths = list(options.paths) or _default_paths()
+        report = lint_paths(
+            paths,
+            select=_parse_codes(options.select),
+            ignore=_parse_codes(options.ignore),
+        )
+    except LintConfigError as error:
+        print(f"repro.lint: error: {error}", file=sys.stderr)
+        return 2
+    if options.format == "json":
+        print(format_json(report.diagnostics, report.files_checked))
+    else:
+        print(format_text(report.diagnostics, report.files_checked))
+    return 0 if report.clean else 1

@@ -1,0 +1,62 @@
+"""Diagnostic records and output formatting for :mod:`repro.lint`."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import asdict, dataclass
+from typing import Iterable, Sequence
+
+#: Pseudo-code attached to files the engine could not parse.  It is not
+#: a registered rule: it cannot be suppressed or ``--ignore``-d away,
+#: because an unparsable module can satisfy no invariant at all.
+PARSE_ERROR_CODE = "REP000"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: a rule violated at a location.
+
+    ``code`` is the rule identifier (``REP001``...), ``path`` the file as
+    given to the engine, and ``line``/``column`` are 1-based/0-based as
+    in :mod:`ast`.
+    """
+
+    code: str
+    message: str
+    path: str
+    line: int
+    column: int = 0
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.column + 1}: {self.code} {self.message}"
+
+
+def sort_key(diagnostic: Diagnostic) -> "tuple[str, int, int, str]":
+    return (diagnostic.path, diagnostic.line, diagnostic.column, diagnostic.code)
+
+
+def format_text(diagnostics: Sequence[Diagnostic], files_checked: int) -> str:
+    """Human-readable report, one line per finding plus a summary line."""
+    lines = [d.render() for d in diagnostics]
+    count = len(diagnostics)
+    noun = "finding" if count == 1 else "findings"
+    lines.append(f"repro.lint: {count} {noun} in {files_checked} files")
+    return "\n".join(lines)
+
+
+def format_json(diagnostics: Sequence[Diagnostic], files_checked: int) -> str:
+    """Machine-readable report: findings plus per-code counts."""
+    payload = {
+        "diagnostics": [asdict(d) for d in diagnostics],
+        "summary": {
+            "files_checked": files_checked,
+            "count": len(diagnostics),
+            "by_code": dict(sorted(count_by_code(diagnostics).items())),
+        },
+    }
+    return json.dumps(payload, indent=2)
+
+
+def count_by_code(diagnostics: Iterable[Diagnostic]) -> "Counter[str]":
+    return Counter(d.code for d in diagnostics)

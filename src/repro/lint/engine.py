@@ -1,0 +1,134 @@
+"""The lint engine: file discovery, rule execution, filtering.
+
+The engine parses each module once, hands the shared
+:class:`~repro.lint.registry.ModuleContext` to every applicable rule,
+drops findings hit by an inline suppression comment, applies
+``--select``/``--ignore`` filtering, and returns a :class:`LintReport`.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import ReproError
+from repro.lint.diagnostics import PARSE_ERROR_CODE, Diagnostic, sort_key
+from repro.lint.registry import ModuleContext, Rule, all_rules, known_codes
+from repro.lint.suppressions import collect_suppressions
+
+
+class LintConfigError(ReproError):
+    """Invalid linter invocation (unknown rule code, missing path)."""
+
+
+@dataclass
+class LintReport:
+    """All diagnostics of one run plus basic bookkeeping."""
+
+    diagnostics: "List[Diagnostic]" = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.diagnostics
+
+
+def _relative_parts(path: Path) -> "Tuple[str, ...]":
+    """Path parts below the ``repro`` package root, so rules can scope
+    themselves to subpackages. For out-of-tree files (test fixtures,
+    scratch dirs) the parent directory name stands in for the
+    subpackage, so ``<tmp>/core/x.py`` scopes like ``repro/core/x.py``."""
+    parts = path.parts
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] == "repro":
+            return parts[index + 1 :]
+    return parts[-2:] if len(parts) >= 2 else parts
+
+
+def _resolve_rules(
+    select: "Optional[Iterable[str]]", ignore: "Optional[Iterable[str]]"
+) -> "List[Rule]":
+    known = set(known_codes())
+    selected: "Set[str]" = set(select) if select is not None else set(known)
+    ignored: "Set[str]" = set(ignore) if ignore is not None else set()
+    unknown = (selected | ignored) - known
+    if unknown:
+        raise LintConfigError(
+            f"unknown rule codes: {', '.join(sorted(unknown))} "
+            f"(known: {', '.join(sorted(known))})"
+        )
+    wanted = selected - ignored
+    return [rule for rule in all_rules() if rule.code in wanted]
+
+
+def lint_source(
+    source: str,
+    filename: str = "<string>",
+    select: "Optional[Iterable[str]]" = None,
+    ignore: "Optional[Iterable[str]]" = None,
+) -> "List[Diagnostic]":
+    """Lint one module given as a string. ``filename`` drives both the
+    diagnostics' path field and subpackage scoping (``"core/x.py"``
+    makes core-scoped rules apply)."""
+    rules = _resolve_rules(select, ignore)
+    try:
+        tree = ast.parse(source, filename=filename)
+    except SyntaxError as error:
+        return [
+            Diagnostic(
+                code=PARSE_ERROR_CODE,
+                message=f"could not parse module: {error.msg}",
+                path=filename,
+                line=error.lineno or 1,
+                column=(error.offset or 1) - 1,
+            )
+        ]
+    context = ModuleContext(
+        path=filename,
+        relative_parts=_relative_parts(Path(filename)),
+        source=source,
+        tree=tree,
+        suppressions=collect_suppressions(source),
+    )
+    findings: "List[Diagnostic]" = []
+    for rule in rules:
+        if not rule.applies_to(context):
+            continue
+        for diagnostic in rule.check(context):
+            if not context.suppressions.is_suppressed(diagnostic.code, diagnostic.line):
+                findings.append(diagnostic)
+    findings.sort(key=sort_key)
+    return findings
+
+
+def iter_python_files(paths: "Sequence[str | Path]") -> "List[Path]":
+    """Expand files/directories into a sorted, de-duplicated file list."""
+    files: "Set[Path]" = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.update(path.rglob("*.py"))
+        elif path.is_file():
+            files.add(path)
+        else:
+            raise LintConfigError(f"no such file or directory: {path}")
+    return sorted(files)
+
+
+def lint_paths(
+    paths: "Sequence[str | Path]",
+    select: "Optional[Iterable[str]]" = None,
+    ignore: "Optional[Iterable[str]]" = None,
+) -> LintReport:
+    """Lint every ``.py`` file under ``paths`` and aggregate a report."""
+    report = LintReport()
+    for path in iter_python_files(paths):
+        source = path.read_text(encoding="utf-8")
+        report.diagnostics.extend(
+            lint_source(source, filename=str(path), select=select, ignore=ignore)
+        )
+        report.files_checked += 1
+    report.diagnostics.sort(key=sort_key)
+    return report

@@ -1,0 +1,104 @@
+"""Rule base class and registry for :mod:`repro.lint`.
+
+A rule is a small class: a ``REPxxx`` code, a one-line summary, a
+paper-level rationale, an optional subpackage scope, and a ``check``
+generator over a parsed module.  Registering is one decorator; a typical
+rule is ~30 lines (see :mod:`repro.lint.rules` for the stock set).
+"""
+
+from __future__ import annotations
+
+import abc
+import ast
+import re
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple, Type
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.suppressions import SuppressionIndex
+
+_CODE_PATTERN = re.compile(r"^REP\d{3}$")
+
+
+@dataclass(frozen=True)
+class ModuleContext:
+    """One parsed module, as handed to every rule."""
+
+    path: str  # path as reported in diagnostics
+    relative_parts: Tuple[str, ...]  # parts below the ``repro`` package root
+    source: str
+    tree: ast.Module
+    suppressions: SuppressionIndex
+
+    @property
+    def subpackage(self) -> str:
+        """First-level subpackage (``core``, ``pricing``...), or ``""``
+        for top-level modules such as ``errors.py``."""
+        if len(self.relative_parts) > 1:
+            return self.relative_parts[0]
+        return ""
+
+    def in_subpackage(self, *names: str) -> bool:
+        return self.subpackage in names
+
+
+class Rule(abc.ABC):
+    """Base class for all lint rules."""
+
+    #: Unique identifier, ``REP`` + three digits.
+    code: str = ""
+    #: Short kebab-case name, shown by ``--list-rules``.
+    name: str = ""
+    #: One-line description of what the rule forbids.
+    summary: str = ""
+    #: Why the invariant matters for the reproduction (paper-level).
+    rationale: str = ""
+    #: Subpackages of ``repro`` the rule applies to; ``None`` = all.
+    subpackages: "Optional[Tuple[str, ...]]" = None
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        if self.subpackages is None:
+            return True
+        return ctx.in_subpackage(*self.subpackages)
+
+    @abc.abstractmethod
+    def check(self, ctx: ModuleContext) -> Iterator[Diagnostic]:
+        """Yield one :class:`Diagnostic` per violation in ``ctx``."""
+
+    def diagnostic(
+        self, ctx: ModuleContext, node: ast.AST, message: str
+    ) -> Diagnostic:
+        return Diagnostic(
+            code=self.code,
+            message=message,
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            column=getattr(node, "col_offset", 0),
+        )
+
+
+_REGISTRY: "Dict[str, Type[Rule]]" = {}
+
+
+def register(rule_class: "Type[Rule]") -> "Type[Rule]":
+    """Class decorator adding a rule to the global registry."""
+    code = rule_class.code
+    if not _CODE_PATTERN.match(code):
+        raise ValueError(f"rule code must match REPxxx, got {code!r}")
+    if code in _REGISTRY and _REGISTRY[code] is not rule_class:
+        raise ValueError(f"duplicate rule code {code!r}")
+    _REGISTRY[code] = rule_class
+    return rule_class
+
+
+def all_rules() -> "List[Rule]":
+    """Fresh instances of every registered rule, ordered by code."""
+    import repro.lint.rules  # noqa: F401  (importing populates the registry)
+
+    return [_REGISTRY[code]() for code in sorted(_REGISTRY)]
+
+
+def known_codes() -> "List[str]":
+    import repro.lint.rules  # noqa: F401
+
+    return sorted(_REGISTRY)

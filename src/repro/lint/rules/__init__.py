@@ -1,0 +1,17 @@
+"""Stock rule set of :mod:`repro.lint`.
+
+Importing this package registers every rule module below (the
+``register`` decorator adds each rule class to the global registry).
+Adding a rule = adding one ~30-line module here and importing it.
+"""
+
+from repro.lint.rules import (  # noqa: F401
+    rep001_money_equality,
+    rep002_unseeded_rng,
+    rep003_wall_clock,
+    rep004_mutable_defaults,
+    rep005_unit_mixing,
+    rep006_public_annotations,
+    rep007_exception_hygiene,
+    rep008_assert_invariants,
+)

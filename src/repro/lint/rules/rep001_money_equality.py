@@ -1,0 +1,66 @@
+"""REP001 — no ``==``/``!=`` between float money expressions."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.astutils import identifier_tokens, terminal_identifier
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.registry import ModuleContext, Rule, register
+
+#: Identifier tokens that mark an expression as dollar-valued.
+MONEY_TOKENS = frozenset(
+    {
+        "cost", "costs", "price", "prices", "upfront", "fee", "fees",
+        "revenue", "income", "saving", "savings", "budget", "payment",
+        "payments", "bill", "billed", "spend", "dollars", "money",
+        "monthly", "hourly",
+    }
+)
+
+
+def is_money_expression(node: ast.AST) -> bool:
+    identifier = terminal_identifier(node)
+    if identifier is None:
+        return False
+    return bool(identifier_tokens(identifier) & MONEY_TOKENS)
+
+
+@register
+class MoneyEqualityRule(Rule):
+    code = "REP001"
+    name = "float-money-equality"
+    summary = (
+        "== / != between money-valued expressions; use math.isclose or "
+        "repro._tolerances (money_eq, money_is_zero)"
+    )
+    rationale = (
+        "Break-even points beta(phi) = phi*a*R/(p*(1-alpha)) and prorated "
+        "upfronts are floats computed along different arithmetic paths; an "
+        "exact comparison differs in the last ulp and silently flips a "
+        "sell/keep decision, invalidating the competitive-ratio tables."
+    )
+    subpackages = None  # money flows through every layer
+
+    def check(self, ctx: ModuleContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+                continue
+            operands = [node.left, *node.comparators]
+            # A comparison against a string or None is identity/bookkeeping,
+            # not float arithmetic.
+            if any(
+                isinstance(o, ast.Constant) and isinstance(o.value, (str, bytes, type(None)))
+                for o in operands
+            ):
+                continue
+            if any(is_money_expression(o) for o in operands):
+                yield self.diagnostic(
+                    ctx,
+                    node,
+                    "equality comparison between money-valued floats; use "
+                    "math.isclose or repro._tolerances.money_eq/money_is_zero",
+                )

@@ -1,0 +1,81 @@
+"""REP002 — no RNG construction or use without an explicit seed."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.astutils import dotted_name
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.registry import ModuleContext, Rule, register
+
+#: Functions on numpy's *legacy global* RandomState — stateful across the
+#: whole process, so never reproducible regardless of np.random.seed.
+_NUMPY_GLOBAL_FNS = frozenset(
+    {
+        "seed", "rand", "randn", "randint", "random", "random_sample",
+        "normal", "uniform", "choice", "shuffle", "permutation",
+        "poisson", "exponential", "binomial", "geometric",
+    }
+)
+
+#: Module-level functions of stdlib :mod:`random` (shared global state).
+_STDLIB_GLOBAL_FNS = frozenset(
+    {
+        "seed", "random", "randint", "randrange", "choice", "choices",
+        "shuffle", "sample", "uniform", "gauss", "expovariate",
+        "betavariate", "normalvariate",
+    }
+)
+
+
+@register
+class UnseededRngRule(Rule):
+    code = "REP002"
+    name = "unseeded-rng"
+    summary = (
+        "RNG constructed without an explicit seed, or use of process-global "
+        "RNG state, in simulation code"
+    )
+    rationale = (
+        "Tables 1-3 and Figs 1-4 are Monte-Carlo estimates; an unseeded "
+        "generator makes every competitive-ratio experiment unrepeatable. "
+        "Pass a seeded np.random.Generator (or the seed itself) explicitly."
+    )
+    subpackages = ("core", "workload", "purchasing", "marketplace")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = dotted_name(node.func)
+            if dotted is None:
+                continue
+            parts = dotted.split(".")
+            if parts[-1] == "default_rng" and not node.args and not node.keywords:
+                yield self.diagnostic(
+                    ctx, node, "default_rng() without a seed; pass an explicit seed"
+                )
+            elif dotted == "random.Random" and not node.args:
+                yield self.diagnostic(
+                    ctx, node, "random.Random() without a seed; pass an explicit seed"
+                )
+            elif (
+                len(parts) >= 2
+                and parts[-2] == "random"
+                and parts[-1] in _NUMPY_GLOBAL_FNS
+                and parts[0] in ("np", "numpy")
+            ):
+                yield self.diagnostic(
+                    ctx,
+                    node,
+                    f"legacy global numpy RNG call np.random.{parts[-1]}(); "
+                    "use a seeded np.random.Generator instead",
+                )
+            elif len(parts) == 2 and parts[0] == "random" and parts[1] in _STDLIB_GLOBAL_FNS:
+                yield self.diagnostic(
+                    ctx,
+                    node,
+                    f"stdlib global RNG call random.{parts[1]}(); "
+                    "use a seeded random.Random or np.random.Generator",
+                )

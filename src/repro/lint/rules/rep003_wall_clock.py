@@ -1,0 +1,56 @@
+"""REP003 — no wall-clock reads in simulation code."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.astutils import dotted_name
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.registry import ModuleContext, Rule, register
+
+#: (penultimate, last) dotted-name suffixes that read the wall clock.
+_CLOCK_SUFFIXES = frozenset(
+    {
+        ("time", "time"),
+        ("time", "time_ns"),
+        ("time", "monotonic"),
+        ("time", "localtime"),
+        ("time", "gmtime"),
+        ("datetime", "now"),
+        ("datetime", "utcnow"),
+        ("datetime", "today"),
+        ("date", "today"),
+    }
+)
+
+
+@register
+class WallClockRule(Rule):
+    code = "REP003"
+    name = "wall-clock-in-simulation"
+    summary = "datetime.now()/time.time() in simulation hot paths"
+    rationale = (
+        "Simulated time is the hour index t of the demand trace; reading "
+        "the host clock couples results to the machine and the moment of "
+        "the run. Drivers under experiments/ may time themselves; the "
+        "model under core/, pricing/, marketplace/, workload/ and "
+        "purchasing/ must not."
+    )
+    subpackages = ("core", "pricing", "marketplace", "workload", "purchasing")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = dotted_name(node.func)
+            if dotted is None:
+                continue
+            parts = dotted.split(".")
+            if len(parts) >= 2 and (parts[-2], parts[-1]) in _CLOCK_SUFFIXES:
+                yield self.diagnostic(
+                    ctx,
+                    node,
+                    f"wall-clock read {dotted}() in simulation code; "
+                    "simulated time is the trace hour index",
+                )

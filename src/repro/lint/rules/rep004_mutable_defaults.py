@@ -1,0 +1,49 @@
+"""REP004 — no mutable default arguments."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.astutils import walk_functions
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.registry import ModuleContext, Rule, register
+
+_MUTABLE_CONSTRUCTORS = frozenset({"list", "dict", "set", "bytearray"})
+
+
+def _is_mutable_default(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in _MUTABLE_CONSTRUCTORS
+    )
+
+
+@register
+class MutableDefaultsRule(Rule):
+    code = "REP004"
+    name = "mutable-default-argument"
+    summary = "mutable default argument ([], {}, set(), ...) on a function"
+    rationale = (
+        "A mutable default is shared across calls: a schedule or listing "
+        "accumulator that leaks state between simulated users corrupts "
+        "every aggregate in the population experiments. Default to None "
+        "and construct inside the function."
+    )
+    subpackages = None
+
+    def check(self, ctx: ModuleContext) -> Iterator[Diagnostic]:
+        for function in walk_functions(ctx.tree):
+            defaults = list(function.args.defaults)
+            defaults.extend(d for d in function.args.kw_defaults if d is not None)
+            for default in defaults:
+                if _is_mutable_default(default):
+                    yield self.diagnostic(
+                        ctx,
+                        default,
+                        f"mutable default argument in {function.name}(); "
+                        "use None and construct inside the body",
+                    )

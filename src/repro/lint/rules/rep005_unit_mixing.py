@@ -1,0 +1,66 @@
+"""REP005 — hour-unit hygiene: no mixing of time units in arithmetic."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.lint.astutils import identifier_tokens, terminal_identifier
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.registry import ModuleContext, Rule, register
+
+#: Identifier suffix token -> canonical unit.
+_UNIT_SUFFIXES = {
+    "hour": "hours", "hours": "hours", "hrs": "hours",
+    "day": "days", "days": "days",
+    "week": "weeks", "weeks": "weeks",
+    "month": "months", "months": "months",
+    "year": "years", "years": "years", "yrs": "years",
+}
+
+
+def unit_of(node: ast.AST) -> Optional[str]:
+    """The time unit an expression carries, judged from its identifier
+    suffix; ``None`` when unknown or when the name is a conversion
+    factor (contains a ``per`` token, e.g. ``HOURS_PER_YEAR``)."""
+    identifier = terminal_identifier(node)
+    if identifier is None:
+        return None
+    tokens = identifier.lower().split("_")
+    if "per" in identifier_tokens(identifier):
+        return None
+    return _UNIT_SUFFIXES.get(tokens[-1])
+
+
+@register
+class UnitMixingRule(Rule):
+    code = "REP005"
+    name = "time-unit-mixing"
+    summary = (
+        "additive arithmetic or comparison between differently-suffixed "
+        "time variables (_hours vs _months/_years) without conversion"
+    )
+    rationale = (
+        "The paper bills hourly (T = 8760 hours/year) while catalog data "
+        "quotes monthly rates; adding elapsed_hours to period_months is "
+        "off by ~720x and shifts every break-even point. Convert "
+        "explicitly (multiply by a *_PER_* constant) before combining."
+    )
+    subpackages = None
+
+    def check(self, ctx: ModuleContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add, ast.Sub)):
+                operands = [node.left, node.right]
+            elif isinstance(node, ast.Compare):
+                operands = [node.left, *node.comparators]
+            else:
+                continue
+            units = {u for u in (unit_of(o) for o in operands) if u is not None}
+            if len(units) > 1:
+                yield self.diagnostic(
+                    ctx,
+                    node,
+                    f"arithmetic mixes time units {sorted(units)}; convert "
+                    "explicitly via a *_PER_* constant first",
+                )

@@ -1,0 +1,62 @@
+"""REP006 — complete type annotations on public functions in core/pricing."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.registry import ModuleContext, Rule, register
+
+
+def _missing_annotations(function: "ast.FunctionDef | ast.AsyncFunctionDef") -> "List[str]":
+    args = function.args
+    missing = [
+        a.arg
+        for a in (*args.posonlyargs, *args.args, *args.kwonlyargs)
+        if a.annotation is None and a.arg not in ("self", "cls")
+    ]
+    if args.vararg is not None and args.vararg.annotation is None:
+        missing.append("*" + args.vararg.arg)
+    if args.kwarg is not None and args.kwarg.annotation is None:
+        missing.append("**" + args.kwarg.arg)
+    if function.returns is None:
+        missing.append("return")
+    return missing
+
+
+@register
+class PublicAnnotationsRule(Rule):
+    code = "REP006"
+    name = "untyped-public-function"
+    summary = (
+        "public function in core/ or pricing/ with missing parameter or "
+        "return annotations"
+    )
+    rationale = (
+        "The cost model's units (dollars, hours, fractions of T) live in "
+        "the types; an untyped public entry point lets an hours value flow "
+        "where a fraction is expected with no tool able to object. Matches "
+        "the mypy-strict gate on these two packages."
+    )
+    subpackages = ("core", "pricing")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Diagnostic]:
+        # Public API: module-level functions and methods of module-level
+        # classes. Anything nested inside a function is a local helper.
+        scopes: "List[ast.AST]" = [ctx.tree]
+        scopes.extend(n for n in ctx.tree.body if isinstance(n, ast.ClassDef))
+        for scope in scopes:
+            for node in ast.iter_child_nodes(scope):
+                if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if node.name.startswith("_") and node.name != "__init__":
+                    continue
+                missing = _missing_annotations(node)
+                if missing:
+                    yield self.diagnostic(
+                        ctx,
+                        node,
+                        f"public function {node.name}() missing annotations "
+                        f"for: {', '.join(missing)}",
+                    )

@@ -1,0 +1,49 @@
+"""REP007 — no bare ``except:`` and no silently-swallowed exceptions."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.registry import ModuleContext, Rule, register
+
+
+def _swallows(handler: ast.ExceptHandler) -> bool:
+    """True when the handler body does nothing at all."""
+    for statement in handler.body:
+        if isinstance(statement, ast.Pass):
+            continue
+        if isinstance(statement, ast.Expr) and isinstance(statement.value, ast.Constant):
+            continue  # docstring or ``...``
+        return False
+    return True
+
+
+@register
+class ExceptionHygieneRule(Rule):
+    code = "REP007"
+    name = "swallowed-exception"
+    summary = "bare except:, or an except block whose body is only pass"
+    rationale = (
+        "Experiment drivers that swallow errors turn a crashed run into a "
+        "silently-truncated table; the paper's comparisons are only valid "
+        "over complete sweeps. Catch concrete ReproError subclasses and "
+        "at least record the failure."
+    )
+    subpackages = None
+
+    def check(self, ctx: ModuleContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.diagnostic(
+                    ctx, node, "bare except: catches SystemExit/KeyboardInterrupt too; "
+                    "name the exception class"
+                )
+            elif _swallows(node):
+                yield self.diagnostic(
+                    ctx, node, "exception caught and silently discarded; handle it "
+                    "or record the failure"
+                )

@@ -1,0 +1,33 @@
+"""REP008 — no ``assert`` for runtime validation in library code."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.registry import ModuleContext, Rule, register
+
+
+@register
+class AssertInvariantsRule(Rule):
+    code = "REP008"
+    name = "assert-as-validation"
+    summary = "assert statement in library code (stripped under python -O)"
+    rationale = (
+        "Domain invariants (alpha in [0,1), non-negative money, prorated "
+        "caps) must hold in every deployment; assert disappears under "
+        "python -O, so raise a ReproError subclass from repro.errors "
+        "instead. Tests are free to assert."
+    )
+    subpackages = None  # the engine only ever lints library sources
+
+    def check(self, ctx: ModuleContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Assert):
+                yield self.diagnostic(
+                    ctx,
+                    node,
+                    "assert used for validation in library code; raise a "
+                    "ReproError subclass (repro.errors) instead",
+                )

@@ -1,0 +1,67 @@
+"""Inline suppression comments for :mod:`repro.lint`.
+
+Two forms, mirroring the classic linter convention:
+
+* ``# repro-lint: disable=REP001`` (or ``disable=REP001,REP004`` or
+  ``disable=all``) on a line suppresses those codes **on that line**;
+* ``# repro-lint: disable-file=REP006`` anywhere in a module (by
+  convention near the top) suppresses the codes for the whole file.
+
+Comments are found with :mod:`tokenize`, so a suppression spelled inside
+a string literal is inert, exactly as it should be.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Set
+
+#: Sentinel meaning "every code" (``disable=all``).
+ALL_CODES = "all"
+
+_DIRECTIVE = re.compile(
+    r"#\s*repro-lint:\s*(?P<scope>disable(?:-file)?)\s*=\s*(?P<codes>[A-Za-z0-9_,\s]+)"
+)
+
+
+@dataclass
+class SuppressionIndex:
+    """Suppressed codes per line, plus file-wide suppressions."""
+
+    by_line: Dict[int, Set[str]] = field(default_factory=dict)
+    file_wide: Set[str] = field(default_factory=set)
+
+    def is_suppressed(self, code: str, line: int) -> bool:
+        for pool in (self.file_wide, self.by_line.get(line, ())):
+            if code in pool or ALL_CODES in pool:
+                return True
+        return False
+
+
+def _parse_codes(raw: str) -> FrozenSet[str]:
+    codes = {c.strip() for c in raw.split(",") if c.strip()}
+    return frozenset(c.lower() if c.lower() == ALL_CODES else c.upper() for c in codes)
+
+
+def collect_suppressions(source: str) -> SuppressionIndex:
+    """Scan ``source`` for suppression comments."""
+    index = SuppressionIndex()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return index
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _DIRECTIVE.search(token.string)
+        if match is None:
+            continue
+        codes = _parse_codes(match.group("codes"))
+        if match.group("scope") == "disable-file":
+            index.file_wide.update(codes)
+        else:
+            index.by_line.setdefault(token.start[0], set()).update(codes)
+    return index

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro._tolerances import money_is_zero
 from repro.core.account import CostModel
 from repro.core.fastsim import FastPolicyKind, run_fast
 from repro.errors import MarketplaceError
@@ -47,7 +48,7 @@ class SellerOutcome:
     def realization_ratio(self) -> float:
         """Realized / assumed income (1.0 = the instant-sale assumption
         was harmless; < 1 = optimistic)."""
-        if self.assumed_income == 0:
+        if money_is_zero(self.assumed_income):
             return 1.0
         return self.realized_income / self.assumed_income
 

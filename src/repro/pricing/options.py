@@ -19,6 +19,7 @@ import enum
 import math
 from dataclasses import dataclass
 
+from repro._tolerances import money_is_zero
 from repro.errors import PricingError
 from repro.pricing.plan import HOURS_PER_YEAR, PricingPlan
 
@@ -74,9 +75,9 @@ class OptionQuote:
             raise PricingError(
                 f"on_demand_hourly must be > 0, got {self.on_demand_hourly!r}"
             )
-        if self.option is PaymentOption.ALL_UPFRONT and self.monthly != 0:
+        if self.option is PaymentOption.ALL_UPFRONT and not money_is_zero(self.monthly):
             raise PricingError("an All Upfront quote cannot carry a monthly fee")
-        if self.option is PaymentOption.NO_UPFRONT and self.upfront != 0:
+        if self.option is PaymentOption.NO_UPFRONT and not money_is_zero(self.upfront):
             raise PricingError("a No Upfront quote cannot carry an upfront fee")
         if self.option is PaymentOption.ON_DEMAND and (self.upfront or self.monthly):
             raise PricingError("an On-Demand quote has neither upfront nor monthly fees")
@@ -121,7 +122,7 @@ class OptionQuote:
         """
         if self.option is PaymentOption.ON_DEMAND:
             raise PricingError("an On-Demand quote has no reservation to reduce")
-        if self.upfront == 0:
+        if money_is_zero(self.upfront):
             raise PricingError(
                 "a No Upfront reservation has nothing to recoup by selling; "
                 "the paper's model requires R > 0"

@@ -21,7 +21,7 @@ import numpy as np
 
 from repro.errors import SimulationError
 from repro.pricing.plan import PricingPlan
-from repro.workload.base import DemandTrace, as_trace
+from repro.workload.base import DemandTrace, TraceLike, as_trace
 
 
 class ActiveReservationTracker:
@@ -83,7 +83,7 @@ def validated_schedule(n: np.ndarray, horizon: int) -> np.ndarray:
     return n.astype(np.int64)
 
 
-def demands_array(demands, plan: PricingPlan) -> "tuple[DemandTrace, np.ndarray]":
+def demands_array(demands: TraceLike, plan: PricingPlan) -> "tuple[DemandTrace, np.ndarray]":
     """Coerce input demands and return (trace, int array)."""
     trace = as_trace(demands)
     if plan.period_hours <= 1:

@@ -20,7 +20,7 @@ from repro.purchasing.online_breakeven import (
     wang_online_purchasing,
 )
 from repro.purchasing.random_reservation import RandomReservation
-from repro.workload.base import DemandTrace, as_trace
+from repro.workload.base import DemandTrace, TraceLike, as_trace
 
 
 @dataclass(frozen=True)
@@ -56,7 +56,7 @@ class ReservationSchedule:
 
 
 def imitate(
-    demands,
+    demands: TraceLike,
     plan: PricingPlan,
     algorithm: PurchasingAlgorithm,
 ) -> ReservationSchedule:

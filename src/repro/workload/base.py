@@ -9,7 +9,7 @@ numpy array) with validation, statistics, and slicing utilities, and
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Protocol, Sequence, runtime_checkable
+from typing import Iterable, Iterator, Protocol, Sequence, Union, runtime_checkable
 
 import numpy as np
 
@@ -173,7 +173,12 @@ class WorkloadGenerator(Protocol):
         ...
 
 
-def as_trace(demands: "Sequence[int] | DemandTrace", name: str = "") -> DemandTrace:
+#: Anything accepted where a demand trace is expected: a ready-made
+#: :class:`DemandTrace` or any integer sequence (list, tuple, ndarray).
+TraceLike = Union[Sequence[int], "DemandTrace"]
+
+
+def as_trace(demands: TraceLike, name: str = "") -> DemandTrace:
     """Coerce a plain sequence to a :class:`DemandTrace` (no-op for traces)."""
     if isinstance(demands, DemandTrace):
         return demands

@@ -47,7 +47,7 @@ def _skip_header(rows: list[list[str]]) -> list[list[str]]:
     return rows
 
 
-def load_demand_csv(path, name: str = "") -> DemandTrace:
+def load_demand_csv(path: "str | Path", name: str = "") -> DemandTrace:
     """Load a demand trace from CSV.
 
     Accepts either one demand per row, or ``hour,demand`` rows (hours
@@ -73,7 +73,7 @@ def load_demand_csv(path, name: str = "") -> DemandTrace:
     raise WorkloadError(f"cannot interpret rows of width {width}")
 
 
-def save_demand_csv(trace: DemandTrace, path) -> None:
+def save_demand_csv(trace: DemandTrace, path: "str | Path") -> None:
     """Write a trace as ``hour,demand`` rows with a header."""
     path = Path(path)
     with path.open("w", newline="") as handle:
@@ -83,7 +83,7 @@ def save_demand_csv(trace: DemandTrace, path) -> None:
             writer.writerow([hour, demand])
 
 
-def load_usage_log(path, horizon: "int | None" = None, name: str = "") -> DemandTrace:
+def load_usage_log(path: "str | Path", horizon: "int | None" = None, name: str = "") -> DemandTrace:
     """Rasterise an event log of ``start,end[,count]`` rows to hourly
     concurrency (the cloudmeasure shape: instance launch/stop times).
 
@@ -115,7 +115,7 @@ def load_usage_log(path, horizon: "int | None" = None, name: str = "") -> Demand
     return DemandTrace(np.cumsum(demands[:horizon]), name=name or Path(path).stem)
 
 
-def load_resource_csv(path, user_id: str = "") -> UserResourceTrace:
+def load_resource_csv(path: "str | Path", user_id: str = "") -> UserResourceTrace:
     """Load ``hour,cpu,memory,disk`` rows into a resource trace.
 
     Feed the result to :func:`repro.workload.google.resources_to_demand`

@@ -17,7 +17,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import WorkloadError
-from repro.workload.base import DemandTrace
+from repro.workload.base import DemandTrace, WorkloadGenerator
 from repro.workload.synthetic import (
     DiurnalWorkload,
     OnOffWorkload,
@@ -170,7 +170,7 @@ SCENARIOS = {
 }
 
 
-def scenario(name: str, **parameters):
+def scenario(name: str, **parameters: object) -> WorkloadGenerator:
     """Instantiate a named scenario (``scenario("web-application")``)."""
     try:
         factory = SCENARIOS[name]

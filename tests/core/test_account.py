@@ -1,6 +1,5 @@
 """Unit tests for repro.core.account (the Eq. (1) cost model)."""
 
-import numpy as np
 import pytest
 
 from repro.core.account import CostBreakdown, CostModel, HourlyCosts, HourlyFeeMode

@@ -1,0 +1,51 @@
+"""Regression: identical seeds produce identical sell/keep decisions.
+
+The competitive-ratio experiments are only meaningful if a run is
+repeatable bit-for-bit (rule REP002 of ``repro.lint`` enforces the
+static side of this: no unseeded RNG in simulation code). These tests
+pin the dynamic side: same seed -> same traces, same sales; different
+seed -> (on this workload) a different draw somewhere.
+"""
+
+import numpy as np
+
+from repro.core.account import CostModel
+from repro.core.policies import RandomizedSellingPolicy
+from repro.core.simulator import run_policy
+from repro.workload.synthetic import DiurnalWorkload
+
+
+def _generate_trace(seed: int):
+    rng = np.random.default_rng(seed)
+    return DiurnalWorkload(base_level=4).generate(96, rng)
+
+
+def _run(seed: int, scaled_model: CostModel):
+    trace = _generate_trace(seed)
+    reservations = np.zeros(len(trace), dtype=np.int64)
+    reservations[0] = 3
+    policy = RandomizedSellingPolicy(seed=seed)
+    return run_policy(trace, reservations, scaled_model, policy)
+
+
+def test_same_seed_same_traces():
+    first = _generate_trace(7)
+    second = _generate_trace(7)
+    np.testing.assert_array_equal(first.values, second.values)
+
+
+def test_same_seed_identical_sell_keep_decisions(scaled_model):
+    first = _run(seed=21, scaled_model=scaled_model)
+    second = _run(seed=21, scaled_model=scaled_model)
+    assert [
+        (s.instance_id, s.hour, s.income) for s in first.sales
+    ] == [(s.instance_id, s.hour, s.income) for s in second.sales]
+    assert first.costs.total == second.costs.total  # bit-identical runs
+    np.testing.assert_array_equal(first.on_demand, second.on_demand)
+
+
+def test_different_seed_changes_the_draw(scaled_model):
+    # The randomized policy draws a decision spot per instance; across
+    # seeds the workload itself must differ (the policy draw may or may
+    # not), which is enough to show the seed is actually plumbed through.
+    assert not np.array_equal(_generate_trace(1).values, _generate_trace(2).values)

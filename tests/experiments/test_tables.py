@@ -5,7 +5,6 @@ import pytest
 from repro.experiments import table1, table2, table3
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import run_sweep
-from repro.workload.groups import FluctuationGroup
 
 CONFIG = ExperimentConfig(users_per_group=6, period_hours=96, seed=11, label="test")
 

@@ -1,0 +1,76 @@
+"""CLI contract of ``python -m repro.lint``: paths, filtering, formats,
+exit codes."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def run_lint(*args, cwd=None):
+    return subprocess.run(
+        [sys.executable, "-m", "repro.lint", *args],
+        capture_output=True,
+        text=True,
+        cwd=cwd,
+        env={"PYTHONPATH": SRC, "PATH": ""},
+    )
+
+
+def test_clean_file_exits_zero(tmp_path):
+    clean = tmp_path / "clean.py"
+    clean.write_text("X = 1\n")
+    result = run_lint(str(clean))
+    assert result.returncode == 0, result.stderr
+    assert "0 findings" in result.stdout
+
+
+def test_violations_exit_one(tmp_path):
+    bad = tmp_path / "core" / "bad.py"
+    bad.parent.mkdir()
+    bad.write_text("def f(xs=[]):\n    return xs\n")
+    result = run_lint(str(bad))
+    assert result.returncode == 1
+    assert "REP004" in result.stdout
+
+
+def test_select_and_ignore(tmp_path):
+    bad = tmp_path / "core" / "bad.py"
+    bad.parent.mkdir()
+    bad.write_text("import time\n\ndef f(xs=[]):\n    return time.time()\n")
+    selected = run_lint(str(bad), "--select", "REP003")
+    assert "REP003" in selected.stdout and "REP004" not in selected.stdout
+    ignored = run_lint(str(bad), "--ignore", "REP003,REP004,REP006")
+    assert ignored.returncode == 0
+
+
+def test_json_format(tmp_path):
+    bad = tmp_path / "misc" / "bad.py"
+    bad.parent.mkdir()
+    bad.write_text("def f(xs=[]):\n    return xs\n")
+    result = run_lint(str(bad), "--format", "json")
+    payload = json.loads(result.stdout)
+    assert payload["summary"]["by_code"] == {"REP004": 1}
+
+
+def test_unknown_code_exits_two(tmp_path):
+    clean = tmp_path / "clean.py"
+    clean.write_text("X = 1\n")
+    result = run_lint(str(clean), "--select", "NOPE01")
+    assert result.returncode == 2
+    assert "unknown rule codes" in result.stderr
+
+
+def test_missing_path_exits_two():
+    result = run_lint("does/not/exist")
+    assert result.returncode == 2
+
+
+def test_list_rules_shows_catalogue():
+    result = run_lint("--list-rules")
+    assert result.returncode == 0
+    for code in ("REP001", "REP004", "REP008"):
+        assert code in result.stdout
+    assert "rationale:" in result.stdout

@@ -1,0 +1,109 @@
+"""Engine behaviour: filtering, suppression parsing, file discovery,
+parse errors, and the rule registry contract."""
+
+import json
+
+import pytest
+
+from repro.lint import (
+    Diagnostic,
+    LintConfigError,
+    all_rules,
+    format_json,
+    format_text,
+    known_codes,
+    lint_paths,
+    lint_source,
+)
+from repro.lint.suppressions import collect_suppressions
+
+VIOLATING = "import time\n\ndef f(xs=[]):\n    return time.time()\n"
+
+
+def test_select_restricts_to_named_rules():
+    diagnostics = lint_source(VIOLATING, filename="core/x.py", select=["REP004"])
+    assert {d.code for d in diagnostics} == {"REP004"}
+
+
+def test_ignore_drops_named_rules():
+    diagnostics = lint_source(VIOLATING, filename="core/x.py", ignore=["REP003"])
+    codes = {d.code for d in diagnostics}
+    assert "REP003" not in codes and "REP004" in codes
+
+
+def test_unknown_code_raises_config_error():
+    with pytest.raises(LintConfigError):
+        lint_source("x = 1\n", select=["REP999"])
+
+
+def test_syntax_error_becomes_parse_diagnostic():
+    diagnostics = lint_source("def broken(:\n", filename="core/x.py")
+    assert len(diagnostics) == 1
+    assert diagnostics[0].code == "REP000"
+
+
+def test_at_least_seven_rules_registered():
+    codes = known_codes()
+    assert len(codes) >= 7
+    assert codes == sorted(codes)
+    for rule in all_rules():
+        assert rule.summary and rule.rationale
+
+
+def test_suppression_comment_in_string_is_inert():
+    source = 's = "# repro-lint: disable=REP004"\n\ndef f(xs=[]):\n    return xs\n'
+    assert any(d.code == "REP004" for d in lint_source(source))
+
+
+def test_collect_suppressions_parses_multiple_codes():
+    index = collect_suppressions("x = 1  # repro-lint: disable=REP001, REP005\n")
+    assert index.is_suppressed("REP001", 1)
+    assert index.is_suppressed("REP005", 1)
+    assert not index.is_suppressed("REP001", 2)
+    assert not index.is_suppressed("REP004", 1)
+
+
+def test_disable_all_suppresses_everything():
+    index = collect_suppressions("x = 1  # repro-lint: disable=all\n")
+    assert index.is_suppressed("REP001", 1) and index.is_suppressed("REP008", 1)
+
+
+def test_lint_paths_walks_directories(tmp_path):
+    package = tmp_path / "misc"
+    package.mkdir()
+    (package / "bad.py").write_text("def f(xs=[]):\n    return xs\n")
+    (package / "good.py").write_text("X = 1\n")
+    report = lint_paths([tmp_path])
+    assert report.files_checked == 2
+    assert [d.code for d in report.diagnostics] == ["REP004"]
+    assert not report.clean
+
+
+def test_lint_paths_missing_path_raises():
+    with pytest.raises(LintConfigError):
+        lint_paths(["does/not/exist"])
+
+
+def test_text_format_has_location_and_summary():
+    diagnostics = lint_source(VIOLATING, filename="core/x.py", select=["REP004"])
+    rendered = format_text(diagnostics, files_checked=1)
+    assert "core/x.py:3:" in rendered
+    assert "REP004" in rendered
+    assert rendered.endswith("1 finding in 1 files")
+
+
+def test_json_format_round_trips():
+    diagnostics = lint_source(VIOLATING, filename="core/x.py")
+    payload = json.loads(format_json(diagnostics, files_checked=1))
+    assert payload["summary"]["count"] == len(diagnostics)
+    assert payload["summary"]["by_code"]
+    assert all(d["path"] == "core/x.py" for d in payload["diagnostics"])
+
+
+def test_subpackage_scoping_from_repro_tree():
+    # A path through a repro/ tree resolves the subpackage correctly.
+    diagnostics = lint_source(
+        "import numpy as np\n\nrng = np.random.default_rng()\n",
+        filename="src/repro/workload/gen.py",
+    )
+    assert any(d.code == "REP002" for d in diagnostics)

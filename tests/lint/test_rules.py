@@ -1,0 +1,133 @@
+"""Per-rule fixtures: each rule fires on a violating snippet, stays
+quiet on a clean one, and respects an inline suppression comment."""
+
+import pytest
+
+from repro.lint import lint_source
+
+# (code, filename, violating snippet, clean snippet)
+CASES = [
+    (
+        "REP001",
+        "pricing/quote.py",
+        "def f(total_cost, expected):\n    return total_cost == expected\n",
+        "import math\n\ndef f(total_cost, expected):\n"
+        "    return math.isclose(total_cost, expected)\n",
+    ),
+    (
+        "REP002",
+        "core/sim.py",
+        "import numpy as np\n\nrng = np.random.default_rng()\n",
+        "import numpy as np\n\nrng = np.random.default_rng(42)\n",
+    ),
+    (
+        "REP003",
+        "core/sim.py",
+        "import time\n\ndef stamp():\n    return time.time()\n",
+        "def stamp(hour):\n    return hour\n",
+    ),
+    (
+        "REP004",
+        "experiments/driver.py",
+        "def collect(results=[]):\n    return results\n",
+        "def collect(results=None):\n    return results or []\n",
+    ),
+    (
+        "REP005",
+        "pricing/terms.py",
+        "def f(elapsed_hours, term_months):\n"
+        "    return elapsed_hours + term_months\n",
+        "HOURS_PER_MONTH = 730\n\ndef f(elapsed_hours, term_months):\n"
+        "    return elapsed_hours + term_months * HOURS_PER_MONTH\n",
+    ),
+    (
+        "REP006",
+        "core/model.py",
+        "def cost(hours):\n    return hours\n",
+        "def cost(hours: float) -> float:\n    return hours\n",
+    ),
+    (
+        "REP007",
+        "experiments/runner.py",
+        "def run():\n    try:\n        pass\n    except Exception:\n        pass\n",
+        "def run():\n    try:\n        pass\n    except ValueError as error:\n"
+        "        raise RuntimeError('run failed') from error\n",
+    ),
+    (
+        "REP008",
+        "core/model.py",
+        "def f(alpha):\n    assert 0 <= alpha < 1\n",
+        "def f(alpha):\n    if not 0 <= alpha < 1:\n        raise ValueError(alpha)\n",
+    ),
+]
+
+
+def codes_of(diagnostics):
+    return {d.code for d in diagnostics}
+
+
+@pytest.mark.parametrize("code,filename,bad,good", CASES, ids=[c[0] for c in CASES])
+def test_rule_fires_on_violation(code, filename, bad, good):
+    assert code in codes_of(lint_source(bad, filename=filename))
+
+
+@pytest.mark.parametrize("code,filename,bad,good", CASES, ids=[c[0] for c in CASES])
+def test_rule_quiet_on_clean_code(code, filename, bad, good):
+    assert code not in codes_of(lint_source(good, filename=filename))
+
+
+@pytest.mark.parametrize("code,filename,bad,good", CASES, ids=[c[0] for c in CASES])
+def test_line_suppression_silences_rule(code, filename, bad, good):
+    diagnostics = lint_source(bad, filename=filename)
+    lines = {d.line for d in diagnostics if d.code == code}
+    source_lines = bad.splitlines()
+    for line in lines:
+        source_lines[line - 1] += f"  # repro-lint: disable={code}"
+    suppressed = lint_source("\n".join(source_lines) + "\n", filename=filename)
+    assert code not in codes_of(suppressed)
+
+
+@pytest.mark.parametrize("code,filename,bad,good", CASES, ids=[c[0] for c in CASES])
+def test_file_suppression_silences_rule(code, filename, bad, good):
+    source = f"# repro-lint: disable-file={code}\n" + bad
+    assert code not in codes_of(lint_source(source, filename=filename))
+
+
+def test_rep001_ignores_string_comparisons():
+    source = "def f(plan):\n    return plan.price_class == 'standard'\n"
+    assert "REP001" not in codes_of(lint_source(source))
+
+
+def test_rep002_out_of_scope_subpackage_is_quiet():
+    source = "import numpy as np\n\nrng = np.random.default_rng()\n"
+    assert "REP002" not in codes_of(lint_source(source, filename="analysis/plot.py"))
+
+
+def test_rep002_flags_global_numpy_and_stdlib_calls():
+    source = (
+        "import random\nimport numpy as np\n\n"
+        "def f():\n    np.random.seed(1)\n    return random.random()\n"
+    )
+    found = [d for d in lint_source(source, filename="workload/gen.py") if d.code == "REP002"]
+    assert len(found) == 2
+
+
+def test_rep005_allows_per_conversion_constants():
+    source = "def f(busy_hours):\n    return busy_hours / HOURS_PER_YEAR\n"
+    assert "REP005" not in codes_of(lint_source(source, filename="pricing/terms.py"))
+
+
+def test_rep006_ignores_private_and_nested_functions():
+    source = (
+        "def _helper(x):\n    return x\n\n"
+        "def public() -> int:\n"
+        "    def local(y):\n        return y\n"
+        "    return local(1)\n"
+    )
+    assert "REP006" not in codes_of(lint_source(source, filename="core/model.py"))
+
+
+def test_rep007_flags_bare_except():
+    source = "try:\n    pass\nexcept:\n    raise ValueError('x')\n"
+    found = [d for d in lint_source(source) if d.code == "REP007"]
+    assert len(found) == 1 and "bare except" in found[0].message

@@ -1,0 +1,54 @@
+"""The repo gates itself: ``python -m repro.lint src/repro`` must exit 0.
+
+Also runs ruff and mypy when they are installed (both are configured in
+pyproject.toml); on machines without them the checks skip rather than
+fail, so the custom linter remains the portable floor.
+"""
+
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parents[2]
+SRC = ROOT / "src"
+
+
+def test_repo_is_lint_clean():
+    from repro.lint import lint_paths
+
+    report = lint_paths([SRC / "repro"])
+    messages = "\n".join(d.render() for d in report.diagnostics)
+    assert report.clean, f"repro.lint found violations:\n{messages}"
+    assert report.files_checked > 50  # the whole package was actually walked
+
+
+def test_lint_cli_exits_zero_on_repo():
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.lint", str(SRC / "repro")],
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": str(SRC), "PATH": ""},
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+
+
+@pytest.mark.skipif(shutil.which("ruff") is None, reason="ruff not installed")
+def test_ruff_clean():
+    result = subprocess.run(
+        ["ruff", "check", "."], capture_output=True, text=True, cwd=ROOT
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+
+
+@pytest.mark.skipif(shutil.which("mypy") is None, reason="mypy not installed")
+def test_mypy_strict_on_core_and_pricing():
+    result = subprocess.run(
+        ["mypy", "src/repro/core", "src/repro/pricing"],
+        capture_output=True,
+        text=True,
+        cwd=ROOT,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr

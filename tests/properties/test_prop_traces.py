@@ -1,7 +1,7 @@
 """Property-based tests of the workload substrate."""
 
 import numpy as np
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.workload.base import DemandTrace

@@ -1,6 +1,5 @@
 """Unit tests for repro.workload.io (bring-your-own-trace loaders)."""
 
-import numpy as np
 import pytest
 
 from repro.errors import WorkloadError
