@@ -345,5 +345,5 @@ def svg_series(
 
 def write_svg(document: str, path: "str | Path") -> None:
     """Write an SVG document to ``path``."""
-    with open(path, "w") as handle:
+    with open(path, "w", encoding="utf-8") as handle:
         handle.write(document)

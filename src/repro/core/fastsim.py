@@ -29,6 +29,12 @@ from repro.core.account import CostBreakdown, CostModel, HourlyFeeMode
 from repro.core.breakeven import break_even_working_hours, validate_phi
 from repro.errors import SimulationError
 
+#: Version of the fast engine's numerical behaviour. Part of the sweep
+#: cache key (see :mod:`repro.parallel.cache`): bump it whenever a change
+#: here could alter any :class:`FastResult`, so stale cached outcomes are
+#: invalidated. v2 = the incremental running-sum ``l`` computation.
+ENGINE_VERSION = 2
+
 
 class FastPolicyKind(enum.Enum):
     """The decision rules the fast engine supports."""
@@ -99,10 +105,9 @@ def run_fast(
     beta = break_even_working_hours(model.plan, model.selling_discount, phi)
 
     # Active-reservation timelines: physical for costs, effective (with the
-    # pseudocode's history rewrites) for decisions; n_eff for the `l` sums.
+    # pseudocode's history rewrites) for decisions.
     r_physical = np.zeros(horizon, dtype=np.int64)
     r_effective = np.zeros(horizon, dtype=np.int64)
-    n_effective = n.copy()
     for start in np.flatnonzero(n):
         end = min(int(start) + period, horizon)
         r_physical[start:end] += n[start]
@@ -117,14 +122,23 @@ def run_fast(
     if evaluate:
         remaining_fraction = 1.0 - decision_age / period
         per_sale_income = model.sale_income(remaining_fraction)
+        # The pseudocode recomputes the ``l`` running sum over the
+        # effective schedule ``n_k`` with a fresh cumsum at every decision
+        # hour. But its ``n_k`` decrements only ever touch index ``t0``,
+        # at hour ``t0 + decision_age`` — strictly after every window
+        # ``(t0', t')`` with ``t0' < t0`` has closed and strictly before
+        # any window with ``t0' > t0`` opens reads below ``t0' + 1`` — so
+        # inside any window the effective schedule equals the original
+        # ``n`` and the whole family of per-hour cumulative sums collapses
+        # into one prefix sum computed once per run.
+        n_prefix = np.concatenate(([0], np.cumsum(n)))
         for t in range(decision_age, horizon):
             t0 = t - decision_age
             batch = int(n[t0])
             if batch == 0:
                 continue  # "no need to make decisions at this moment"
             window = slice(t0, t)
-            later = n_effective[t0 + 1:t]
-            l_values = np.concatenate(([0], np.cumsum(later)))
+            l_values = n_prefix[t0 + 1:t + 1] - n_prefix[t0 + 1]
             for i in range(1, batch + 1):  # the pseudocode's instance loop
                 free = (
                     r_effective[window] - d[window] - i + 1 > l_values
@@ -139,7 +153,6 @@ def run_fast(
                 end = min(t0 + period, horizon)
                 r_physical[t:end] -= 1  # future: the instance stops serving
                 r_effective[t0:end] -= 1  # history rewrite (lines 17-21)
-                n_effective[t0] -= 1
                 income += per_sale_income
                 sales.append(
                     FastSale(

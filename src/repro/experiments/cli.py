@@ -31,6 +31,7 @@ from repro.experiments import (
 )
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import SweepResult, run_sweep
+from repro.parallel.cache import DEFAULT_CACHE_ROOT
 
 _SCALES = {
     "quick": ExperimentConfig.quick,
@@ -76,6 +77,28 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="also write each report to DIR/<experiment>.txt",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "process-pool size for the population sweep "
+            "(1 = serial, 0 = one per core; default: %(default)s)"
+        ),
+    )
+    parser.add_argument(
+        "--cache",
+        action="store_true",
+        help="reuse per-user sweep results cached on disk (see --cache-dir)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=Path(DEFAULT_CACHE_ROOT),
+        metavar="DIR",
+        help="root of the on-disk result cache (default: %(default)s)",
+    )
     return parser
 
 
@@ -116,11 +139,19 @@ def main(argv: "list[str] | None" = None) -> int:
         started = time.perf_counter()
         print(
             f"running population sweep ({config.total_users} users, "
-            f"T={config.period_hours}h, horizon={config.horizon}h)...",
+            f"T={config.period_hours}h, horizon={config.horizon}h, "
+            f"workers={args.workers or 'auto'}"
+            f"{', cached' if args.cache else ''})...",
             file=sys.stderr,
         )
-        sweep = run_sweep(config)
+        sweep = run_sweep(
+            config,
+            workers=args.workers,
+            cache=args.cache_dir if args.cache else None,
+        )
         print(f"sweep done in {time.perf_counter() - started:.1f}s", file=sys.stderr)
+        if sweep.timing is not None:
+            print(sweep.timing.render(), file=sys.stderr)
     if args.output is not None:
         args.output.mkdir(parents=True, exist_ok=True)
     for name in names:
@@ -128,7 +159,7 @@ def main(argv: "list[str] | None" = None) -> int:
         print(f"\n{'=' * 72}\n{name}\n{'=' * 72}")
         print(report)
         if args.output is not None:
-            (args.output / f"{name}.txt").write_text(report + "\n")
+            (args.output / f"{name}.txt").write_text(report + "\n", encoding="utf-8")
             documents: dict[str, str] = {}
             if name in ("fig3", "fig4") and sweep is not None:
                 module = {"fig3": fig3, "fig4": fig4}[name]
@@ -138,7 +169,7 @@ def main(argv: "list[str] | None" = None) -> int:
             elif name == "fig1":
                 documents = fig1.to_svg(fig1.run(config))
             for file_name, document in documents.items():
-                (args.output / file_name).write_text(document + "\n")
+                (args.output / file_name).write_text(document + "\n", encoding="utf-8")
     return 0
 
 

@@ -96,6 +96,32 @@ class ExperimentConfig:
         """A copy with some fields replaced."""
         return replace(self, **overrides)
 
+    def content_hash(self) -> str:
+        """Stable digest of every field that can influence a result.
+
+        Deterministic across processes and sessions (unlike ``hash``),
+        this is the configuration component of the sweep cache key — any
+        field change, including the ``label``-excluded ones below, must
+        produce a different digest or the cache would serve stale
+        outcomes. ``label`` is presentation-only and deliberately left
+        out so renaming a preset does not cold-start the cache.
+        """
+        from repro.parallel.hashing import stable_hash
+
+        return stable_hash(
+            {
+                "users_per_group": self.users_per_group,
+                "period_hours": self.period_hours,
+                "horizon_periods": self.horizon_periods,
+                "seed": self.seed,
+                "selling_discount": self.selling_discount,
+                "alpha": self.alpha,
+                "mean_demand": self.mean_demand,
+                "marketplace_fee": self.marketplace_fee,
+                "fee_mode": self.fee_mode,
+            }
+        )
+
     # Presets --------------------------------------------------------------
 
     @classmethod

@@ -4,6 +4,13 @@ This is the computation behind Figs. 3/4 and Tables II/III: for each user
 of the population, run the three online selling algorithms, the two
 benchmarks (Keep-Reserved, All-Selling at each decision spot), and
 optionally the offline optimum, then collect per-user total costs.
+
+The sweep executes through :mod:`repro.parallel`: work units fan out over
+a process pool (``workers=1`` keeps the plain in-process loop, so serial
+results are bit-identical to the historical path), and an optional
+on-disk cache under ``.repro_cache/`` skips users whose outcome is
+already known for this exact ``(config, trace, reservations, policy set,
+engine version)``. See ``docs/parallel_execution.md``.
 """
 
 from __future__ import annotations
@@ -15,12 +22,17 @@ from typing import Callable, Iterable
 import numpy as np
 
 from repro.analysis.normalize import KEEP_RESERVED, normalize_costs
+from repro.core.account import CostModel
 from repro.core.breakeven import PHI_3T4, PHI_T2, PHI_T4
-from repro.core.fastsim import FastPolicyKind, run_fast
+from repro.core.fastsim import ENGINE_VERSION, FastPolicyKind, run_fast
 from repro.core.offline import run_offline_optimal
 from repro.errors import ExperimentError
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.population import ExperimentUser, build_experiment_population
+from repro.parallel.cache import ResultCache, as_cache
+from repro.parallel.hashing import stable_hash
+from repro.parallel.pool import parallel_map, resolve_workers
+from repro.parallel.timing import StageTimer, SweepTiming
 from repro.workload.groups import FluctuationGroup
 
 #: Canonical policy names used across all experiment outputs.
@@ -47,6 +59,9 @@ ALL_SELLING_POLICIES: dict[str, float] = {
     POLICY_ALL_T4: PHI_T4,
 }
 
+#: Schema version of the cached per-user payload (bump on shape changes).
+_CACHE_FORMAT = 1
+
 
 @dataclass(frozen=True)
 class UserOutcome:
@@ -67,12 +82,22 @@ class SweepResult:
 
     config: ExperimentConfig
     outcomes: list[UserOutcome]
+    timing: "SweepTiming | None" = field(default=None, compare=False)
     policy_names: list[str] = field(init=False)
 
     def __post_init__(self) -> None:
         if not self.outcomes:
             raise ExperimentError("a sweep produced no outcomes")
         self.policy_names = list(self.outcomes[0].costs)
+        expected = set(self.policy_names)
+        for outcome in self.outcomes[1:]:
+            if set(outcome.costs) != expected:
+                raise ExperimentError(
+                    f"user {outcome.user_id!r} was evaluated under policies "
+                    f"{sorted(outcome.costs)} but user "
+                    f"{self.outcomes[0].user_id!r} under {sorted(expected)}; "
+                    "every outcome of one sweep must cover the same policy set"
+                )
 
     # ------------------------------------------------------------------
 
@@ -115,7 +140,7 @@ class SweepResult:
         import csv
 
         normalized = self.normalized()
-        with open(path, "w", newline="") as handle:
+        with open(path, "w", newline="", encoding="utf-8") as handle:
             writer = csv.writer(handle)
             header = ["user_id", "group", "sigma_mu", "imitator", "reserved"]
             for name in self.policy_names:
@@ -135,14 +160,13 @@ class SweepResult:
                 writer.writerow(row)
 
 
-def run_user(
+def _simulate_user(
     user: ExperimentUser,
-    config: ExperimentConfig,
-    include_opt: bool = False,
-    include_all_selling: bool = True,
+    model: CostModel,
+    include_opt: bool,
+    include_all_selling: bool,
 ) -> UserOutcome:
-    """Run every policy for one user."""
-    model = config.cost_model()
+    """Run every policy for one user against a prebuilt cost model."""
     demands = user.schedule.demands.values
     reservations = user.schedule.reservations
     costs: dict[str, float] = {}
@@ -181,25 +205,201 @@ def run_user(
     )
 
 
+def run_user(
+    user: ExperimentUser,
+    config: ExperimentConfig,
+    include_opt: bool = False,
+    include_all_selling: bool = True,
+    model: "CostModel | None" = None,
+) -> UserOutcome:
+    """Run every policy for one user.
+
+    ``model`` lets sweep-scale callers build the cost model once and
+    reuse it across the population instead of re-deriving it per user.
+    """
+    if model is None:
+        model = config.cost_model()
+    return _simulate_user(user, model, include_opt, include_all_selling)
+
+
+# ----------------------------------------------------------------------
+# Parallel work units and result caching
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _SweepTask:
+    """One picklable unit of sweep work (one user, every policy)."""
+
+    user: ExperimentUser
+    model: CostModel
+    include_opt: bool
+    include_all_selling: bool
+
+
+def _run_sweep_task(task: _SweepTask) -> UserOutcome:
+    """Module-level worker body, picklable for the process pool."""
+    return _simulate_user(
+        task.user, task.model, task.include_opt, task.include_all_selling
+    )
+
+
+def user_cache_key(
+    config: ExperimentConfig,
+    user: ExperimentUser,
+    include_opt: bool,
+    include_all_selling: bool,
+) -> str:
+    """Content hash identifying one user's sweep outcome.
+
+    Everything that can change the outcome is part of the key: the
+    experiment configuration, the user's demand trace and imitated
+    reservations (by value, not by id), the policy set toggles, and the
+    fast engine's version. Anything else changing — process, session,
+    host — must *not* change the key, or the cache would never hit.
+    """
+    return stable_hash(
+        {
+            "engine": ENGINE_VERSION,
+            "config": config.content_hash(),
+            "user_id": user.user_id,
+            "group": user.group,
+            "cv": user.cv,
+            "imitator": user.imitator_name,
+            "demands": user.schedule.demands.values,
+            "reservations": user.schedule.reservations,
+            "include_opt": include_opt,
+            "include_all_selling": include_all_selling,
+        }
+    )
+
+
+def _outcome_payload(outcome: UserOutcome) -> dict:
+    """JSON-ready form of one outcome, for the on-disk cache."""
+    return {
+        "format": _CACHE_FORMAT,
+        "user_id": outcome.user_id,
+        "group": outcome.group.value,
+        "cv": outcome.cv,
+        "imitator": outcome.imitator,
+        "instances_reserved": outcome.instances_reserved,
+        "costs": outcome.costs,
+        "instances_sold": outcome.instances_sold,
+    }
+
+
+def _outcome_from_payload(payload: dict) -> "UserOutcome | None":
+    """Rebuild an outcome from a cached payload; ``None`` if the payload
+    is from an incompatible cache format (treated as a miss)."""
+    if payload.get("format") != _CACHE_FORMAT:
+        return None
+    try:
+        return UserOutcome(
+            user_id=payload["user_id"],
+            group=FluctuationGroup(payload["group"]),
+            cv=float(payload["cv"]),
+            imitator=payload["imitator"],
+            instances_reserved=int(payload["instances_reserved"]),
+            costs={name: float(v) for name, v in payload["costs"].items()},
+            instances_sold={
+                name: int(v) for name, v in payload["instances_sold"].items()
+            },
+        )
+    except (KeyError, TypeError, ValueError):
+        return None
+
+
 def run_sweep(
     config: ExperimentConfig,
     users: "Iterable[ExperimentUser] | None" = None,
     include_opt: bool = False,
     include_all_selling: bool = True,
     progress: "Callable[[int, int], None] | None" = None,
+    workers: int = 1,
+    cache: "ResultCache | str | Path | None" = None,
 ) -> SweepResult:
-    """Run the full population sweep (building the population if needed)."""
-    population = list(users) if users is not None else build_experiment_population(config)
-    outcomes = []
-    for index, user in enumerate(population):
-        outcomes.append(
-            run_user(
-                user,
-                config,
-                include_opt=include_opt,
-                include_all_selling=include_all_selling,
-            )
+    """Run the full population sweep (building the population if needed).
+
+    ``workers`` fans users out over a process pool (``1`` = the serial
+    in-process path, ``0``/``None`` = one worker per core); results are
+    identical regardless of the worker count. ``cache`` — a
+    :class:`~repro.parallel.cache.ResultCache` or a directory path —
+    skips users whose outcome is already stored for this exact
+    configuration. Stage timings land on ``SweepResult.timing``.
+    """
+    timer = StageTimer()
+    store = as_cache(cache)
+    with timer.stage("population"):
+        population = (
+            list(users) if users is not None else build_experiment_population(config)
         )
-        if progress is not None:
-            progress(index + 1, len(population))
-    return SweepResult(config=config, outcomes=outcomes)
+        model = config.cost_model()  # built once per sweep, shared by all users
+    total = len(population)
+
+    outcomes: "list[UserOutcome | None]" = [None] * total
+    keys: "list[str | None]" = [None] * total
+    pending: "list[int]" = []
+    if store is not None:
+        with timer.stage("cache-lookup"):
+            for index, user in enumerate(population):
+                key = user_cache_key(config, user, include_opt, include_all_selling)
+                keys[index] = key
+                payload = store.get(key)
+                restored = _outcome_from_payload(payload) if payload is not None else None
+                if payload is not None and restored is None:
+                    # Readable but incompatible entry: recount as a miss.
+                    store.hits -= 1
+                    store.misses += 1
+                if restored is not None:
+                    outcomes[index] = restored
+                else:
+                    pending.append(index)
+    else:
+        pending = list(range(total))
+
+    done_offset = total - len(pending)
+    if progress is not None and done_offset:
+        progress(done_offset, total)
+
+    with timer.stage("simulate"):
+        tasks = [
+            _SweepTask(population[index], model, include_opt, include_all_selling)
+            for index in pending
+        ]
+        if progress is None:
+            on_progress = None
+        else:
+            reporter = progress
+
+            def on_progress(done: int) -> None:
+                reporter(done_offset + done, total)
+
+        computed = parallel_map(
+            _run_sweep_task, tasks, workers=workers, progress=on_progress
+        )
+
+    if store is not None and pending:
+        with timer.stage("cache-store"):
+            for position, index in enumerate(pending):
+                key = keys[index]
+                if key is not None:
+                    store.put(key, _outcome_payload(computed[position]))
+    for position, index in enumerate(pending):
+        outcomes[index] = computed[position]
+    if any(outcome is None for outcome in outcomes):
+        raise ExperimentError("sweep execution lost outcomes; this is a bug")
+
+    timing = SweepTiming(
+        workers=resolve_workers(workers),
+        total_users=total,
+        simulated_users=len(pending),
+        cache_hits=store.hits if store is not None else 0,
+        cache_misses=store.misses if store is not None else 0,
+        stage_seconds=timer.stages,
+        total_seconds=timer.total_seconds,
+    )
+    return SweepResult(
+        config=config,
+        outcomes=[outcome for outcome in outcomes if outcome is not None],
+        timing=timing,
+    )

@@ -14,4 +14,5 @@ from repro.lint.rules import (  # noqa: F401
     rep006_public_annotations,
     rep007_exception_hygiene,
     rep008_assert_invariants,
+    rep009_text_encoding,
 )

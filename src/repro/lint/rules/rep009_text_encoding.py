@@ -1,0 +1,87 @@
+"""REP009 — no text-mode file I/O without an explicit ``encoding=``."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.lint.astutils import dotted_name
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.registry import ModuleContext, Rule, register
+
+#: Path convenience methods whose encoding hides one positional further in.
+_TEXT_HELPERS = {"write_text": 1, "read_text": 0}
+
+
+def _mode_literal(node: ast.Call, position: int) -> "Optional[str]":
+    """The call's ``mode`` as a string literal, ``""`` if defaulted, or
+    ``None`` when it is a dynamic expression we cannot judge."""
+    mode: "Optional[ast.expr]" = None
+    if len(node.args) > position:
+        mode = node.args[position]
+    for keyword in node.keywords:
+        if keyword.arg == "mode":
+            mode = keyword.value
+    if mode is None:
+        return ""  # defaulted: text mode
+    if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+        return mode.value
+    return None
+
+
+def _has_encoding(node: ast.Call) -> bool:
+    return any(keyword.arg == "encoding" for keyword in node.keywords)
+
+
+def _has_double_star(node: ast.Call) -> bool:
+    return any(keyword.arg is None for keyword in node.keywords)
+
+
+@register
+class TextEncodingRule(Rule):
+    code = "REP009"
+    name = "text-io-encoding"
+    summary = (
+        "text-mode open()/Path.open()/write_text()/read_text() without an "
+        "explicit encoding="
+    )
+    rationale = (
+        "Without encoding= the platform locale decides how exported CSVs, "
+        "reports, and figures are encoded, so the same sweep writes "
+        "different bytes on different hosts — reproduction artefacts must "
+        "be byte-stable. Pass encoding='utf-8'."
+    )
+    subpackages = None  # files are written from every layer
+
+    def check(self, ctx: ModuleContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call) or _has_double_star(node):
+                continue
+            if _has_encoding(node):
+                continue
+            dotted = dotted_name(node.func)
+            is_builtin_open = dotted == "open"
+            is_method_open = (
+                isinstance(node.func, ast.Attribute) and node.func.attr == "open"
+            )
+            if is_builtin_open or is_method_open:
+                # builtin open(file, mode=...) vs path.open(mode=...)
+                mode = _mode_literal(node, 1 if is_builtin_open else 0)
+                if mode is None or "b" in mode:
+                    continue
+                label = "open()" if is_builtin_open else ".open()"
+                yield self.diagnostic(
+                    ctx,
+                    node,
+                    f"{label} in text mode without encoding=; the platform "
+                    "locale then picks the codec — pass encoding='utf-8'",
+                )
+            elif isinstance(node.func, ast.Attribute) and node.func.attr in _TEXT_HELPERS:
+                if len(node.args) > _TEXT_HELPERS[node.func.attr]:
+                    continue  # encoding passed positionally
+                yield self.diagnostic(
+                    ctx,
+                    node,
+                    f".{node.func.attr}() without encoding=; the platform "
+                    "locale then picks the codec — pass encoding='utf-8'",
+                )

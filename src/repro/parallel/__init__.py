@@ -1,0 +1,49 @@
+"""Parallel, cached execution layer for population-scale experiments.
+
+The ROADMAP's north star — sweeps "as fast as the hardware allows" over
+arbitrarily large populations — needs three ingredients that this
+package provides and :func:`repro.experiments.runner.run_sweep` wires
+together:
+
+* :mod:`repro.parallel.pool` — a deterministic process-pool fan-out
+  (chunked work units, results reassembled in input order, ``workers=1``
+  falling back to the plain in-process loop);
+* :mod:`repro.parallel.cache` + :mod:`repro.parallel.hashing` — an
+  on-disk, content-addressed result cache under ``.repro_cache/`` so a
+  repeated figure/table run never re-simulates an unchanged user;
+* :mod:`repro.parallel.timing` — per-stage wall-time and throughput
+  instrumentation surfaced by the CLI and ``BENCH_sweep.json``.
+
+See ``docs/parallel_execution.md`` for the worker model and the cache
+key/invalidation contract.
+"""
+
+from repro.parallel.cache import DEFAULT_CACHE_ROOT, CacheError, ResultCache, as_cache
+from repro.parallel.hashing import (
+    UnhashableContentError,
+    combine_digests,
+    stable_hash,
+)
+from repro.parallel.pool import (
+    ParallelExecutionError,
+    default_chunk_size,
+    parallel_map,
+    resolve_workers,
+)
+from repro.parallel.timing import StageTimer, SweepTiming
+
+__all__ = [
+    "DEFAULT_CACHE_ROOT",
+    "CacheError",
+    "ParallelExecutionError",
+    "ResultCache",
+    "StageTimer",
+    "SweepTiming",
+    "UnhashableContentError",
+    "as_cache",
+    "combine_digests",
+    "default_chunk_size",
+    "parallel_map",
+    "resolve_workers",
+    "stable_hash",
+]

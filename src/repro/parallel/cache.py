@@ -1,0 +1,159 @@
+"""On-disk result cache for repeated experiment runs.
+
+Population sweeps are pure functions of ``(ExperimentConfig, user trace,
+user reservations, policy set, engine version)`` — so once a user has
+been simulated, regenerating a figure or table should never pay for that
+user again. :class:`ResultCache` stores one small JSON payload per cache
+key under ``.repro_cache/<namespace>/``, sharded by digest prefix to
+keep directories small.
+
+Invalidation is purely key-based: anything that can change a result must
+be part of the key (see :func:`repro.experiments.runner.user_cache_key`),
+so a config tweak, a different trace, or an engine bump simply misses.
+Stale entries are never consulted; ``clear()`` deletes a namespace when
+disk space matters more than warm starts.
+
+Writes go through a temp file + :func:`os.replace` so concurrent readers
+(or a crashed run) never observe a half-written entry.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from repro.errors import ReproError
+
+#: Default cache root, relative to the current working directory.
+DEFAULT_CACHE_ROOT = ".repro_cache"
+
+_DIGEST_SHARD_CHARS = 2
+
+
+class CacheError(ReproError):
+    """The on-disk cache was asked to do something it cannot."""
+
+
+class ResultCache:
+    """A content-addressed JSON store under ``root/namespace/``.
+
+    Parameters
+    ----------
+    root:
+        Cache directory (created lazily). Defaults to ``.repro_cache``
+        in the working directory.
+    namespace:
+        Subdirectory separating unrelated result families (the sweep
+        uses ``"sweep"``).
+    """
+
+    def __init__(
+        self,
+        root: "str | Path | None" = None,
+        namespace: str = "sweep",
+    ) -> None:
+        if not namespace or any(sep in namespace for sep in ("/", "\\", "..")):
+            raise CacheError(f"invalid cache namespace: {namespace!r}")
+        self.root = Path(root) if root is not None else Path(DEFAULT_CACHE_ROOT)
+        self.namespace = namespace
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def directory(self) -> Path:
+        return self.root / self.namespace
+
+    def _path(self, key: str) -> Path:
+        if len(key) <= _DIGEST_SHARD_CHARS or not all(
+            c in "0123456789abcdef" for c in key
+        ):
+            raise CacheError(f"cache keys must be hex digests, got {key!r}")
+        return self.directory / key[:_DIGEST_SHARD_CHARS] / f"{key}.json"
+
+    # ------------------------------------------------------------------
+
+    def get(self, key: str) -> "dict | None":
+        """The payload stored under ``key``, or ``None`` (counted as a
+        miss). Unreadable/corrupt entries behave like misses."""
+        path = self._path(key)
+        try:
+            with path.open(encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, json.JSONDecodeError):
+            # A torn or corrupted entry must never poison a run.
+            self.misses += 1
+            return None
+        if not isinstance(payload, dict):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def put(self, key: str, payload: "dict") -> None:
+        """Store ``payload`` under ``key`` atomically."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # Insertion order is significant (e.g. the sweep's policy order),
+        # so the payload is stored as given, not key-sorted.
+        encoded = json.dumps(payload)
+        fd, temp_name = tempfile.mkstemp(
+            prefix=f".{key[:8]}-", suffix=".tmp", dir=path.parent
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(encoded)
+            os.replace(temp_name, path)
+        except OSError:
+            # Best-effort cleanup of the temp file; the original error is
+            # what the caller needs to see.
+            with contextlib.suppress(OSError):
+                os.unlink(temp_name)
+            raise
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    # ------------------------------------------------------------------
+
+    def entry_count(self) -> int:
+        """Number of entries currently stored in this namespace."""
+        if not self.directory.exists():
+            return 0
+        return sum(1 for _ in self.directory.glob("*/*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry in this namespace; returns the count."""
+        removed = 0
+        if not self.directory.exists():
+            return removed
+        for entry in self.directory.glob("*/*.json"):
+            entry.unlink()
+            removed += 1
+        for shard in self.directory.iterdir():
+            if shard.is_dir() and not any(shard.iterdir()):
+                shard.rmdir()
+        return removed
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from disk this session."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+def as_cache(
+    cache: "ResultCache | str | Path | None", namespace: str = "sweep"
+) -> "ResultCache | None":
+    """Coerce a user-facing cache argument: ``None`` stays ``None``, a
+    path becomes a :class:`ResultCache` rooted there."""
+    if cache is None or isinstance(cache, ResultCache):
+        return cache
+    return ResultCache(root=cache, namespace=namespace)

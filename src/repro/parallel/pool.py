@@ -1,0 +1,111 @@
+"""Deterministic process-pool fan-out.
+
+:func:`parallel_map` is the execution backbone of the population sweep:
+it applies a picklable, module-level function to every item of a work
+list, fanning chunks of items out to a ``ProcessPoolExecutor`` and
+reassembling results **in input order** regardless of which worker
+finished first. With ``workers=1`` it degrades to a plain in-process
+loop — no pool, no pickling — so the serial path stays byte-identical
+to the pre-parallel code and keeps working on hosts where multiprocess
+start-up is unavailable (sandboxes without ``/dev/shm``, for instance).
+
+Chunking amortises pickling overhead: items are grouped into
+``~4 × workers`` chunks (bounded below by 1 item) so that per-task
+dispatch cost is paid per chunk, not per user, while still leaving the
+pool enough tasks to balance uneven per-user run times.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Callable, List, Sequence, TypeVar
+
+from repro.errors import ReproError
+
+ItemT = TypeVar("ItemT")
+ResultT = TypeVar("ResultT")
+
+#: Target number of chunks per worker; >1 smooths uneven item costs.
+CHUNKS_PER_WORKER = 4
+
+
+class ParallelExecutionError(ReproError):
+    """The process-pool fan-out could not be configured or executed."""
+
+
+def resolve_workers(workers: "int | None") -> int:
+    """Normalise a ``workers`` argument: ``None``/``0`` means "use every
+    core", negative values are rejected."""
+    if workers is None or workers == 0:
+        return max(1, os.cpu_count() or 1)
+    if workers < 0:
+        raise ParallelExecutionError(f"workers must be >= 1, got {workers!r}")
+    return workers
+
+
+def default_chunk_size(item_count: int, workers: int) -> int:
+    """Chunk size giving each worker ~``CHUNKS_PER_WORKER`` tasks."""
+    if item_count <= 0:
+        return 1
+    return max(1, math.ceil(item_count / (workers * CHUNKS_PER_WORKER)))
+
+
+def _apply_chunk(
+    fn: "Callable[[ItemT], ResultT]", chunk: "Sequence[ItemT]"
+) -> "List[ResultT]":
+    """Worker-side body: apply ``fn`` to one chunk of items."""
+    return [fn(item) for item in chunk]
+
+
+def parallel_map(
+    fn: "Callable[[ItemT], ResultT]",
+    items: "Sequence[ItemT]",
+    workers: "int | None" = 1,
+    chunk_size: "int | None" = None,
+    progress: "Callable[[int], None] | None" = None,
+) -> "List[ResultT]":
+    """``[fn(item) for item in items]``, fanned out over processes.
+
+    ``fn`` and every item must be picklable when ``workers > 1`` (``fn``
+    must be a module-level callable). ``progress`` receives the running
+    count of completed items: once per item in the serial path, once per
+    finished chunk in the parallel path. Results always come back in
+    input order; a worker exception propagates to the caller unchanged.
+    """
+    workers = resolve_workers(workers)
+    items = list(items)
+    if workers == 1 or len(items) <= 1:
+        results: "List[ResultT]" = []
+        for index, item in enumerate(items):
+            results.append(fn(item))
+            if progress is not None:
+                progress(index + 1)
+        return results
+
+    size = chunk_size if chunk_size is not None else default_chunk_size(len(items), workers)
+    if size < 1:
+        raise ParallelExecutionError(f"chunk_size must be >= 1, got {size!r}")
+    chunks = [items[start:start + size] for start in range(0, len(items), size)]
+    chunk_results: "List[List[ResultT] | None]" = [None] * len(chunks)
+    completed_items = 0
+    with ProcessPoolExecutor(max_workers=min(workers, len(chunks))) as pool:
+        pending = {
+            pool.submit(_apply_chunk, fn, chunk): index
+            for index, chunk in enumerate(chunks)
+        }
+        while pending:
+            done, _ = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                index = pending.pop(future)
+                chunk_results[index] = future.result()  # re-raises worker errors
+                completed_items += len(chunks[index])
+                if progress is not None:
+                    progress(completed_items)
+    ordered: "List[ResultT]" = []
+    for index, result in enumerate(chunk_results):
+        if result is None:
+            raise ParallelExecutionError(f"chunk {index} never completed")
+        ordered.extend(result)
+    return ordered

@@ -1,0 +1,121 @@
+"""Wall-time and throughput instrumentation for the sweep path.
+
+A sweep run decomposes into stages — building the population, cache
+lookups, the simulation fan-out, cache write-back — and the experiments
+CLI (and ``BENCH_sweep.json``) report each stage's wall time plus the
+headline throughput numbers (users/sec, cache hit rate). The primitives
+here are deliberately tiny: a :class:`StageTimer` that accumulates named
+``perf_counter`` spans, and a :class:`SweepTiming` record attached to
+every :class:`~repro.experiments.runner.SweepResult`.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+
+
+class StageTimer:
+    """Accumulate wall time per named stage.
+
+    Usage::
+
+        timer = StageTimer()
+        with timer.stage("simulate"):
+            ...
+        timer.seconds("simulate")  # -> float
+    """
+
+    def __init__(self) -> None:
+        self._started = time.perf_counter()
+        self._stages: "Dict[str, float]" = {}
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        begin = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - begin
+            self._stages[name] = self._stages.get(name, 0.0) + elapsed
+
+    def seconds(self, name: str) -> float:
+        """Accumulated wall time of one stage (0.0 if it never ran)."""
+        return self._stages.get(name, 0.0)
+
+    @property
+    def stages(self) -> "Dict[str, float]":
+        return dict(self._stages)
+
+    @property
+    def total_seconds(self) -> float:
+        """Wall time since the timer was constructed."""
+        return time.perf_counter() - self._started
+
+
+@dataclass(frozen=True)
+class SweepTiming:
+    """Throughput record of one sweep run."""
+
+    workers: int
+    total_users: int
+    simulated_users: int  # users actually run (total - cache hits)
+    cache_hits: int
+    cache_misses: int
+    stage_seconds: "Dict[str, float]" = field(default_factory=dict)
+    total_seconds: float = 0.0
+
+    @property
+    def users_per_second(self) -> float:
+        """End-to-end population throughput (cache hits included)."""
+        if self.total_seconds <= 0.0:
+            return 0.0
+        return self.total_users / self.total_seconds
+
+    @property
+    def simulated_users_per_second(self) -> float:
+        """Throughput of the simulate stage alone (cache hits excluded)."""
+        simulate = self.stage_seconds.get("simulate", 0.0)
+        if simulate <= 0.0:
+            return 0.0
+        return self.simulated_users / simulate
+
+    @property
+    def cache_hit_rate(self) -> float:
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+    def to_json(self) -> "dict":
+        """JSON-ready form, embedded in ``BENCH_sweep.json`` records."""
+        return {
+            "workers": self.workers,
+            "total_users": self.total_users,
+            "simulated_users": self.simulated_users,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": round(self.cache_hit_rate, 4),
+            "stage_seconds": {
+                name: round(seconds, 6)
+                for name, seconds in sorted(self.stage_seconds.items())
+            },
+            "total_seconds": round(self.total_seconds, 6),
+            "users_per_second": round(self.users_per_second, 3),
+            "simulated_users_per_second": round(self.simulated_users_per_second, 3),
+        }
+
+    def render(self) -> str:
+        """One human-readable line per stage, for the CLI's stderr."""
+        lines = [
+            f"sweep timing: {self.total_users} users, {self.workers} worker(s), "
+            f"{self.total_seconds:.2f}s total ({self.users_per_second:.1f} users/s)"
+        ]
+        for name, seconds in sorted(self.stage_seconds.items()):
+            lines.append(f"  stage {name:<12} {seconds:8.2f}s")
+        if self.cache_hits or self.cache_misses:
+            lines.append(
+                f"  cache: {self.cache_hits} hit(s), {self.cache_misses} miss(es) "
+                f"({self.cache_hit_rate:.0%} hit rate)"
+            )
+        return "\n".join(lines)

@@ -32,7 +32,7 @@ def _open_rows(path) -> list[list[str]]:
     path = Path(path)
     if not path.exists():
         raise WorkloadError(f"no such trace file: {path}")
-    with path.open(newline="") as handle:
+    with path.open(newline="", encoding="utf-8") as handle:
         rows = [row for row in csv.reader(handle) if row and not row[0].startswith("#")]
     if not rows:
         raise WorkloadError(f"trace file {path} is empty")
@@ -76,7 +76,7 @@ def load_demand_csv(path: "str | Path", name: str = "") -> DemandTrace:
 def save_demand_csv(trace: DemandTrace, path: "str | Path") -> None:
     """Write a trace as ``hour,demand`` rows with a header."""
     path = Path(path)
-    with path.open("w", newline="") as handle:
+    with path.open("w", newline="", encoding="utf-8") as handle:
         writer = csv.writer(handle)
         writer.writerow(["hour", "demand"])
         for hour, demand in enumerate(trace):

@@ -56,6 +56,32 @@ class TestCliOutput:
         assert "Table I" in written.read_text()
 
 
+class TestCliParallelFlags:
+    def test_workers_and_cache_flags(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        cache_dir = tmp_path / "cachedir"
+        argv = [
+            "fig3",
+            "--scale",
+            "quick",
+            "--workers",
+            "2",
+            "--cache",
+            "--cache-dir",
+            str(cache_dir),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr()
+        assert "workers=2" in first.err
+        assert "miss(es)" in first.err
+        assert cache_dir.is_dir()
+        # Second run must be served from the cache.
+        assert main(argv) == 0
+        second = capsys.readouterr()
+        assert "100% hit rate" in second.err
+        assert first.out == second.out
+
+
 class TestFigureSvgExport:
     def test_fig3_and_fig4_emit_svg_panels(self):
         from repro.experiments import fig3, fig4

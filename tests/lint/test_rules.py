@@ -59,6 +59,15 @@ CASES = [
         "def f(alpha):\n    assert 0 <= alpha < 1\n",
         "def f(alpha):\n    if not 0 <= alpha < 1:\n        raise ValueError(alpha)\n",
     ),
+    (
+        "REP009",
+        "experiments/export.py",
+        "def f(path, rows):\n    with open(path, 'w') as handle:\n"
+        "        handle.write(rows)\n",
+        "def f(path, rows):\n"
+        "    with open(path, 'w', encoding='utf-8') as handle:\n"
+        "        handle.write(rows)\n",
+    ),
 ]
 
 
@@ -125,6 +134,30 @@ def test_rep006_ignores_private_and_nested_functions():
         "    return local(1)\n"
     )
     assert "REP006" not in codes_of(lint_source(source, filename="core/model.py"))
+
+
+def test_rep009_flags_path_open_and_write_text():
+    source = (
+        "def f(path, report):\n"
+        "    path.write_text(report)\n"
+        "    with path.open('w', newline='') as handle:\n"
+        "        handle.write(report)\n"
+    )
+    found = [d for d in lint_source(source) if d.code == "REP009"]
+    assert len(found) == 2
+
+
+def test_rep009_allows_binary_dynamic_and_positional_encoding():
+    source = (
+        "def f(path, mode, report):\n"
+        "    path.write_text(report, 'utf-8')\n"
+        "    with open(path, 'wb') as handle:\n"
+        "        handle.write(report)\n"
+        "    with open(path, mode) as handle:\n"
+        "        handle.write(report)\n"
+        "    return path.read_text(encoding='utf-8')\n"
+    )
+    assert "REP009" not in codes_of(lint_source(source))
 
 
 def test_rep007_flags_bare_except():

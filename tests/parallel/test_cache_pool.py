@@ -1,0 +1,147 @@
+"""Unit tests for repro.parallel.cache, .pool, and .timing."""
+
+import pytest
+
+from repro.parallel.cache import CacheError, ResultCache, as_cache
+from repro.parallel.pool import (
+    ParallelExecutionError,
+    default_chunk_size,
+    parallel_map,
+    resolve_workers,
+)
+from repro.parallel.timing import StageTimer, SweepTiming
+
+
+class TestResultCache:
+    @pytest.fixture
+    def cache(self, tmp_path):
+        return ResultCache(root=tmp_path / "cache", namespace="unit")
+
+    def test_miss_then_hit(self, cache):
+        key = "ab" + "0" * 62
+        assert cache.get(key) is None
+        cache.put(key, {"value": 1})
+        assert cache.get(key) == {"value": 1}
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_preserves_insertion_order(self, cache):
+        key = "cd" + "1" * 62
+        payload = {"z": 1, "a": 2, "m": 3}
+        cache.put(key, payload)
+        assert list(cache.get(key)) == ["z", "a", "m"]
+
+    def test_corrupt_entry_is_a_miss(self, cache):
+        key = "ef" + "2" * 62
+        cache.put(key, {"value": 1})
+        cache._path(key).write_text("{not json", encoding="utf-8")
+        assert cache.get(key) is None
+
+    def test_rejects_non_digest_keys(self, cache):
+        with pytest.raises(CacheError):
+            cache.put("../escape", {})
+
+    def test_entry_count_and_clear(self, cache):
+        for index in range(3):
+            cache.put(f"{index:02d}" + "a" * 62, {"index": index})
+        assert cache.entry_count() == 3
+        assert cache.clear() == 3
+        assert cache.entry_count() == 0
+
+    def test_as_cache_coercion(self, tmp_path):
+        assert as_cache(None) is None
+        direct = ResultCache(root=tmp_path)
+        assert as_cache(direct) is direct
+        built = as_cache(tmp_path / "root", namespace="n")
+        assert isinstance(built, ResultCache)
+        assert built.namespace == "n"
+
+    def test_invalid_namespace(self, tmp_path):
+        with pytest.raises(CacheError):
+            ResultCache(root=tmp_path, namespace="a/b")
+
+
+def _square(x):
+    return x * x
+
+
+def _boom(x):
+    raise ValueError(f"boom on {x}")
+
+
+class TestParallelMap:
+    def test_serial_path(self):
+        seen = []
+        result = parallel_map(_square, [1, 2, 3], workers=1, progress=seen.append)
+        assert result == [1, 4, 9]
+        assert seen == [1, 2, 3]
+
+    def test_parallel_preserves_order(self):
+        items = list(range(23))
+        assert parallel_map(_square, items, workers=2) == [x * x for x in items]
+
+    def test_parallel_progress_is_monotone_and_complete(self):
+        seen = []
+        parallel_map(_square, list(range(10)), workers=2, progress=seen.append)
+        assert seen == sorted(seen)
+        assert seen[-1] == 10
+
+    def test_worker_exception_propagates(self):
+        with pytest.raises(ValueError, match="boom"):
+            parallel_map(_boom, [1], workers=2, chunk_size=1)
+
+    def test_empty_items(self):
+        assert parallel_map(_square, [], workers=4) == []
+
+    def test_resolve_workers(self):
+        assert resolve_workers(3) == 3
+        assert resolve_workers(None) >= 1
+        assert resolve_workers(0) >= 1
+        with pytest.raises(ParallelExecutionError):
+            resolve_workers(-1)
+
+    def test_default_chunk_size(self):
+        assert default_chunk_size(0, 4) == 1
+        assert default_chunk_size(100, 4) == 7  # ceil(100 / 16)
+        assert default_chunk_size(3, 8) == 1
+
+
+class TestTiming:
+    def test_stage_timer_accumulates(self):
+        timer = StageTimer()
+        with timer.stage("a"):
+            pass
+        with timer.stage("a"):
+            pass
+        with timer.stage("b"):
+            pass
+        assert set(timer.stages) == {"a", "b"}
+        assert timer.seconds("a") >= 0.0
+        assert timer.seconds("missing") == 0.0
+        assert timer.total_seconds >= timer.seconds("a")
+
+    def test_sweep_timing_rates(self):
+        timing = SweepTiming(
+            workers=2,
+            total_users=10,
+            simulated_users=4,
+            cache_hits=6,
+            cache_misses=4,
+            stage_seconds={"simulate": 2.0},
+            total_seconds=5.0,
+        )
+        assert timing.users_per_second == pytest.approx(2.0)
+        assert timing.simulated_users_per_second == pytest.approx(2.0)
+        assert timing.cache_hit_rate == pytest.approx(0.6)
+        record = timing.to_json()
+        assert record["workers"] == 2
+        assert record["cache_hit_rate"] == 0.6
+        assert "simulate" in record["stage_seconds"]
+        assert "cache: 6 hit(s)" in timing.render()
+
+    def test_zero_division_guards(self):
+        timing = SweepTiming(
+            workers=1, total_users=0, simulated_users=0, cache_hits=0, cache_misses=0
+        )
+        assert timing.users_per_second == 0.0
+        assert timing.simulated_users_per_second == 0.0
+        assert timing.cache_hit_rate == 0.0
