@@ -1,6 +1,61 @@
-"""``python -m repro`` — alias of the ``repro-experiments`` CLI."""
+"""``python -m repro`` — top-level dispatcher for the repro toolchain.
 
-from repro.experiments.cli import main
+Subcommands
+-----------
+* ``repro experiments …`` — regenerate the paper's tables and figures
+  (:mod:`repro.experiments.cli`);
+* ``repro lint …`` — the domain-invariant linter (:mod:`repro.lint.cli`);
+* ``repro serve …`` — the online advisory HTTP service
+  (:mod:`repro.serve.server`).
+
+For backwards compatibility, a first argument that is not a known
+subcommand is forwarded to the experiments CLI, so the documented
+``python -m repro theory`` invocations keep working.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Optional, Sequence
+
+_USAGE = """\
+usage: python -m repro <command> [args...]
+
+commands:
+  experiments  regenerate the paper's tables and figures
+  lint         run the domain-invariant linter over src/
+  serve        start the online sell/keep advisory HTTP service
+
+Any other first argument is treated as an experiment name and forwarded
+to `repro experiments` (e.g. `python -m repro theory`).
+"""
+
+_COMMANDS = ("experiments", "lint", "serve")
+
+
+def main(argv: "Optional[Sequence[str]]" = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    if args and args[0] in ("-h", "--help") or not args:
+        print(_USAGE, end="")
+        return 0 if args else 2
+    command, rest = args[0], args[1:]
+    if command == "experiments":
+        from repro.experiments.cli import main as experiments_main
+
+        return experiments_main(rest)
+    if command == "lint":
+        from repro.lint.cli import main as lint_main
+
+        return lint_main(rest)
+    if command == "serve":
+        from repro.serve.server import main as serve_main
+
+        return serve_main(rest)
+    # Back-compat: bare experiment names dispatch to the experiments CLI.
+    from repro.experiments.cli import main as experiments_main
+
+    return experiments_main(args)
+
 
 if __name__ == "__main__":
     raise SystemExit(main())

@@ -15,4 +15,5 @@ from repro.lint.rules import (  # noqa: F401
     rep007_exception_hygiene,
     rep008_assert_invariants,
     rep009_text_encoding,
+    rep010_thread_discipline,
 )

@@ -35,9 +35,18 @@ class WallClockRule(Rule):
         "the host clock couples results to the machine and the moment of "
         "the run. Drivers under experiments/ may time themselves; the "
         "model under core/, pricing/, marketplace/, workload/ and "
-        "purchasing/ must not."
+        "purchasing/ must not, and infrastructure under parallel/ and "
+        "serve/ times itself with perf_counter, never the wall clock."
     )
-    subpackages = ("core", "pricing", "marketplace", "workload", "purchasing")
+    subpackages = (
+        "core",
+        "pricing",
+        "marketplace",
+        "workload",
+        "purchasing",
+        "parallel",
+        "serve",
+    )
 
     def check(self, ctx: ModuleContext) -> Iterator[Diagnostic]:
         for node in ast.walk(ctx.tree):

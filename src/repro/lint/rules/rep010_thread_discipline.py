@@ -1,0 +1,69 @@
+"""REP010 — thread and server construction discipline."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.astutils import dotted_name
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.registry import ModuleContext, Rule, register
+
+#: Constructors that open sockets or bind servers; the serving layer is
+#: the one place allowed to own them.
+_NETWORK_CONSTRUCTORS = frozenset(
+    {
+        "socket.socket",
+        "socket.create_connection",
+        "socket.create_server",
+        "HTTPServer",
+        "ThreadingHTTPServer",
+        "http.server.HTTPServer",
+        "http.server.ThreadingHTTPServer",
+        "socketserver.TCPServer",
+        "socketserver.UDPServer",
+        "socketserver.ThreadingTCPServer",
+        "socketserver.ThreadingUDPServer",
+    }
+)
+
+_THREAD_CONSTRUCTORS = frozenset({"threading.Thread", "Thread"})
+
+
+@register
+class ThreadDisciplineRule(Rule):
+    code = "REP010"
+    name = "thread-discipline"
+    summary = "Thread() without daemon=, or sockets outside repro/serve"
+    rationale = (
+        "A Thread() whose daemon flag is left to the default keeps the "
+        "interpreter alive on exit paths the author never tested; every "
+        "spawn must state its lifetime explicitly. Sockets and HTTP "
+        "servers are the serving layer's job — simulation and analysis "
+        "code binding network resources is a layering bug."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Diagnostic]:
+        in_serve = ctx.in_subpackage("serve")
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = dotted_name(node.func)
+            if dotted is None:
+                continue
+            if dotted in _THREAD_CONSTRUCTORS:
+                keywords = {kw.arg for kw in node.keywords}
+                if "daemon" not in keywords and None not in keywords:
+                    yield self.diagnostic(
+                        ctx,
+                        node,
+                        f"{dotted}(...) without an explicit daemon= flag; "
+                        "state the thread's lifetime",
+                    )
+            elif dotted in _NETWORK_CONSTRUCTORS and not in_serve:
+                yield self.diagnostic(
+                    ctx,
+                    node,
+                    f"{dotted}(...) outside repro/serve; only the serving "
+                    "layer may bind sockets or servers",
+                )

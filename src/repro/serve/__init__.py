@@ -1,0 +1,76 @@
+"""Online sell/keep advisory service (the serving layer).
+
+The batch engines under :mod:`repro.core` answer "should this instance
+have been sold?" by replaying a whole trace. This package answers the
+*online* form of the question — the one the paper's algorithms actually
+pose — from a live feed of usage events:
+
+* :mod:`repro.serve.state` — incremental decision state. A
+  :class:`~repro.serve.state.StreamTracker` ingests one usage event per
+  hour and reproduces the batch :func:`~repro.core.fastsim.run_fast`
+  engine's sell decisions and costs exactly (the differential guarantee,
+  property-tested in ``tests/serve/``); a
+  :class:`~repro.serve.state.FleetState` applies batched events across
+  many independently-tracked instances with vectorised numpy updates.
+* :mod:`repro.serve.checkpoint` — format-versioned, atomic snapshot and
+  restore of fleet state, so a restarted service never replays history.
+* :mod:`repro.serve.metrics` — a tiny counter/gauge/histogram registry
+  rendered in Prometheus text exposition format.
+* :mod:`repro.serve.server` — the stdlib HTTP JSON API
+  (``POST /v1/events``, ``GET /v1/decisions``, ``GET /healthz``,
+  ``GET /metrics``) with bounded-admission backpressure, started by
+  ``python -m repro.serve``.
+
+See ``docs/serving.md`` for the API schema and the state model.
+"""
+
+from repro.serve.checkpoint import (
+    CHECKPOINT_FORMAT,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.serve.errors import (
+    ApiError,
+    CheckpointError,
+    PayloadTooLargeError,
+    RequestValidationError,
+    ServeError,
+    ServeStateError,
+    ServerBusyError,
+    UnknownResourceError,
+)
+from repro.serve.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.serve.state import (
+    STATE_VERSION,
+    FleetDecision,
+    FleetState,
+    StreamDecision,
+    StreamTracker,
+    Verdict,
+    run_stream,
+)
+
+__all__ = [
+    "ApiError",
+    "CHECKPOINT_FORMAT",
+    "CheckpointError",
+    "Counter",
+    "FleetDecision",
+    "FleetState",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "PayloadTooLargeError",
+    "RequestValidationError",
+    "STATE_VERSION",
+    "ServeError",
+    "ServeStateError",
+    "ServerBusyError",
+    "StreamDecision",
+    "StreamTracker",
+    "UnknownResourceError",
+    "Verdict",
+    "load_checkpoint",
+    "run_stream",
+    "save_checkpoint",
+]

@@ -1,0 +1,6 @@
+"""``python -m repro.serve`` — start the advisory HTTP service."""
+
+from repro.serve.server import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,143 @@
+"""Format-versioned, atomic checkpointing of fleet state.
+
+A checkpoint is one JSON document holding everything needed to resume
+the advisory service without replaying history: the pricing model, the
+decision fractions, and every instance's (age, working hours, per-φ
+verdict) row. Two version fields gate a restore:
+
+* ``format`` — the payload's shape (this module's concern);
+* ``state_version`` — the decision semantics of
+  :mod:`repro.serve.state`; a checkpoint written by an older state
+  machine is refused rather than silently reinterpreted.
+
+Writes follow the same atomic pattern as
+:class:`repro.parallel.cache.ResultCache`: serialise to a temp file in
+the target directory, then ``os.replace`` — a crash mid-write leaves the
+previous checkpoint intact, and concurrent readers never observe a torn
+file. Unlike the result cache, a bad checkpoint is *not* a soft miss:
+restoring from a corrupt or incompatible file raises a
+:class:`~repro.serve.errors.CheckpointError` so the operator decides,
+instead of the service silently starting empty.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Tuple
+
+from repro.core.account import CostModel, HourlyFeeMode
+from repro.pricing.plan import PricingPlan
+from repro.serve.errors import CheckpointError, ServeStateError
+from repro.serve.state import STATE_VERSION, FleetState
+
+#: Version of the checkpoint payload shape; bump on structural changes.
+CHECKPOINT_FORMAT = 1
+
+
+def fleet_to_payload(fleet: FleetState, events_ingested: int = 0) -> dict:
+    """JSON-ready checkpoint payload of one fleet."""
+    plan = fleet.model.plan
+    return {
+        "format": CHECKPOINT_FORMAT,
+        "state_version": STATE_VERSION,
+        "model": {
+            "plan": {
+                "on_demand_hourly": plan.on_demand_hourly,
+                "upfront": plan.upfront,
+                "alpha": plan.alpha,
+                "period_hours": plan.period_hours,
+                "name": plan.name,
+            },
+            "selling_discount": fleet.model.selling_discount,
+            "marketplace_fee": fleet.model.marketplace_fee,
+            "fee_mode": fleet.model.fee_mode.value,
+        },
+        "threshold_scale": fleet.threshold_scale,
+        "phis": list(fleet.phis),
+        "events_ingested": int(events_ingested),
+        "instances": fleet.snapshot_instances(),
+    }
+
+
+def fleet_from_payload(payload: dict) -> "Tuple[FleetState, int]":
+    """Rebuild ``(fleet, events_ingested)`` from a checkpoint payload."""
+    if not isinstance(payload, dict):
+        raise CheckpointError("checkpoint payload is not a JSON object")
+    fmt = payload.get("format")
+    if fmt != CHECKPOINT_FORMAT:
+        raise CheckpointError(
+            f"checkpoint format {fmt!r} is not supported "
+            f"(this build reads format {CHECKPOINT_FORMAT})"
+        )
+    state_version = payload.get("state_version")
+    if state_version != STATE_VERSION:
+        raise CheckpointError(
+            f"checkpoint was written by state machine v{state_version!r}; "
+            f"this build is v{STATE_VERSION} — decisions could differ, "
+            "refusing to restore"
+        )
+    try:
+        model_spec = payload["model"]
+        plan = PricingPlan(**model_spec["plan"])
+        model = CostModel(
+            plan=plan,
+            selling_discount=float(model_spec["selling_discount"]),
+            marketplace_fee=float(model_spec["marketplace_fee"]),
+            fee_mode=HourlyFeeMode(model_spec["fee_mode"]),
+        )
+        fleet = FleetState(
+            model,
+            phis=tuple(float(phi) for phi in payload["phis"]),
+            threshold_scale=float(payload["threshold_scale"]),
+        )
+        fleet.restore_instances(payload["instances"])
+        events_ingested = int(payload.get("events_ingested", 0))
+    except CheckpointError:
+        raise
+    except (KeyError, TypeError, ValueError, ServeStateError) as error:
+        raise CheckpointError(f"malformed checkpoint payload: {error}") from error
+    return fleet, events_ingested
+
+
+def save_checkpoint(
+    path: "str | Path", fleet: FleetState, events_ingested: int = 0
+) -> Path:
+    """Atomically write ``fleet`` to ``path``; returns the path."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    encoded = json.dumps(fleet_to_payload(fleet, events_ingested))
+    fd, temp_name = tempfile.mkstemp(
+        prefix=f".{target.name}-", suffix=".tmp", dir=target.parent
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(encoded)
+        os.replace(temp_name, target)
+    except OSError:
+        with contextlib.suppress(OSError):
+            os.unlink(temp_name)
+        raise
+    return target
+
+
+def load_checkpoint(path: "str | Path") -> "Tuple[FleetState, int]":
+    """Restore ``(fleet, events_ingested)`` from ``path``.
+
+    Raises :class:`~repro.serve.errors.CheckpointError` when the file is
+    missing, unparseable, or written by an incompatible version.
+    """
+    target = Path(path)
+    try:
+        with target.open(encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except FileNotFoundError as error:
+        raise CheckpointError(f"no checkpoint at {target}") from error
+    except (OSError, json.JSONDecodeError) as error:
+        raise CheckpointError(
+            f"checkpoint {target} is unreadable or corrupt: {error}"
+        ) from error
+    return fleet_from_payload(payload)

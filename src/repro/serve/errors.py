@@ -1,0 +1,54 @@
+"""Exception hierarchy of the serving layer.
+
+Everything derives from :class:`ServeError` (itself a
+:class:`~repro.errors.ReproError`). The HTTP server maps
+:class:`ApiError` subclasses to status codes mechanically — raising the
+right type anywhere inside request handling produces the right response,
+so validation code never touches the transport.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+
+
+class ServeError(ReproError):
+    """Base class for all serving-layer errors."""
+
+
+class ServeStateError(ServeError):
+    """Invalid tracker input or configuration (negative demand, bad phi)."""
+
+
+class CheckpointError(ServeError):
+    """A checkpoint file is missing, unreadable, or version-incompatible."""
+
+
+class ApiError(ServeError):
+    """A request error with an HTTP status; subclasses pick the code."""
+
+    status: int = 400
+
+
+class RequestValidationError(ApiError):
+    """The request body or query string failed validation."""
+
+    status = 400
+
+
+class UnknownResourceError(ApiError):
+    """The requested path or instance does not exist."""
+
+    status = 404
+
+
+class PayloadTooLargeError(ApiError):
+    """The event batch exceeds the configured per-request limit."""
+
+    status = 413
+
+
+class ServerBusyError(ApiError):
+    """Admission control rejected the request; retry later (backpressure)."""
+
+    status = 429

@@ -1,0 +1,329 @@
+"""Counter/gauge/histogram registry in Prometheus text format.
+
+Stdlib-only: the serving layer must not grow third-party dependencies,
+so this is the minimal subset of the Prometheus exposition format
+(version 0.0.4) the service needs — ``# HELP``/``# TYPE`` headers,
+optional labels, and cumulative histogram buckets with ``_sum`` and
+``_count`` series. One :class:`MetricsRegistry` lock serialises updates;
+the HTTP server's handler threads all write through it.
+
+Durations are measured with ``time.perf_counter`` (monotonic): metrics
+must never couple to the wall clock (REP003's rationale applies to the
+serving layer too).
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.serve.errors import ServeStateError
+
+_NAME_PATTERN = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_PATTERN = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Default latency buckets, in seconds (request handling is sub-second).
+DEFAULT_BUCKETS = (
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+)
+
+_LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _format_value(value: float) -> str:
+    """Prometheus sample value: integral floats render as integers."""
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(text: str) -> str:
+    return (
+        text.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _render_labels(key: _LabelKey) -> str:
+    if not key:
+        return ""
+    inner = ",".join(
+        f'{name}="{_escape_label_value(value)}"' for name, value in key
+    )
+    return "{" + inner + "}"
+
+
+class _Metric:
+    """Shared bookkeeping: name/help validation and label handling."""
+
+    type_name = "untyped"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        labelnames: Sequence[str],
+        lock: threading.Lock,
+    ) -> None:
+        if not _NAME_PATTERN.match(name):
+            raise ServeStateError(f"invalid metric name {name!r}")
+        for label in labelnames:
+            if not _LABEL_PATTERN.match(label):
+                raise ServeStateError(f"invalid label name {label!r}")
+        self.name = name
+        self.help_text = help_text
+        self.labelnames = tuple(labelnames)
+        self._lock = lock
+
+    def _label_key(self, labels: "Optional[Mapping[str, str]]") -> _LabelKey:
+        given = dict(labels) if labels else {}
+        if set(given) != set(self.labelnames):
+            raise ServeStateError(
+                f"metric {self.name!r} takes labels {self.labelnames!r}, "
+                f"got {sorted(given)!r}"
+            )
+        return tuple((name, str(given[name])) for name in self.labelnames)
+
+    def render(self) -> "List[str]":
+        raise NotImplementedError
+
+
+class Counter(_Metric):
+    """A monotonically-increasing sum (events, requests, decisions)."""
+
+    type_name = "counter"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        labelnames: Sequence[str],
+        lock: threading.Lock,
+    ) -> None:
+        super().__init__(name, help_text, labelnames, lock)
+        self._values: "Dict[_LabelKey, float]" = {}
+
+    def inc(
+        self, amount: float = 1.0, labels: "Optional[Mapping[str, str]]" = None
+    ) -> None:
+        if amount < 0:
+            raise ServeStateError(
+                f"counter {self.name!r} cannot decrease (inc {amount!r})"
+            )
+        key = self._label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, labels: "Optional[Mapping[str, str]]" = None) -> float:
+        key = self._label_key(labels)
+        with self._lock:
+            return self._values.get(key, 0.0)
+
+    def render(self) -> "List[str]":
+        with self._lock:
+            items = sorted(self._values.items())
+        if not items and not self.labelnames:
+            items = [((), 0.0)]
+        return [
+            f"{self.name}{_render_labels(key)} {_format_value(value)}"
+            for key, value in items
+        ]
+
+
+class Gauge(_Metric):
+    """A value that goes up and down (queue depth, tracked instances)."""
+
+    type_name = "gauge"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        labelnames: Sequence[str],
+        lock: threading.Lock,
+    ) -> None:
+        super().__init__(name, help_text, labelnames, lock)
+        self._values: "Dict[_LabelKey, float]" = {}
+
+    def set(
+        self, value: float, labels: "Optional[Mapping[str, str]]" = None
+    ) -> None:
+        key = self._label_key(labels)
+        with self._lock:
+            self._values[key] = float(value)
+
+    def inc(
+        self, amount: float = 1.0, labels: "Optional[Mapping[str, str]]" = None
+    ) -> None:
+        key = self._label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(
+        self, amount: float = 1.0, labels: "Optional[Mapping[str, str]]" = None
+    ) -> None:
+        self.inc(-amount, labels)
+
+    def value(self, labels: "Optional[Mapping[str, str]]" = None) -> float:
+        key = self._label_key(labels)
+        with self._lock:
+            return self._values.get(key, 0.0)
+
+    def render(self) -> "List[str]":
+        with self._lock:
+            items = sorted(self._values.items())
+        if not items and not self.labelnames:
+            items = [((), 0.0)]
+        return [
+            f"{self.name}{_render_labels(key)} {_format_value(value)}"
+            for key, value in items
+        ]
+
+
+class Histogram(_Metric):
+    """Cumulative-bucket distribution (ingest latency)."""
+
+    type_name = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        labelnames: Sequence[str],
+        lock: threading.Lock,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(name, help_text, labelnames, lock)
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ServeStateError("a histogram needs at least one bucket")
+        if len(set(bounds)) != len(bounds):
+            raise ServeStateError(f"duplicate histogram buckets in {buckets!r}")
+        self.buckets = bounds
+        # per label set: [per-bucket counts..., +Inf count], sum
+        self._counts: "Dict[_LabelKey, List[int]]" = {}
+        self._sums: "Dict[_LabelKey, float]" = {}
+
+    def observe(
+        self, value: float, labels: "Optional[Mapping[str, str]]" = None
+    ) -> None:
+        key = self._label_key(labels)
+        with self._lock:
+            counts = self._counts.setdefault(key, [0] * (len(self.buckets) + 1))
+            for position, bound in enumerate(self.buckets):
+                if value <= bound:
+                    counts[position] += 1
+                    break
+            else:
+                counts[-1] += 1
+            self._sums[key] = self._sums.get(key, 0.0) + float(value)
+
+    @contextmanager
+    def time(self, labels: "Optional[Mapping[str, str]]" = None) -> Iterator[None]:
+        """Observe the duration of the ``with`` body (perf_counter)."""
+        began = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(time.perf_counter() - began, labels)
+
+    def count(self, labels: "Optional[Mapping[str, str]]" = None) -> int:
+        key = self._label_key(labels)
+        with self._lock:
+            return sum(self._counts.get(key, []))
+
+    def render(self) -> "List[str]":
+        with self._lock:
+            items = sorted(self._counts.items())
+            sums = dict(self._sums)
+        if not items and not self.labelnames:
+            items = [((), [0] * (len(self.buckets) + 1))]
+        lines: "List[str]" = []
+        for key, counts in items:
+            cumulative = 0
+            for bound, count in zip(self.buckets, counts):
+                cumulative += count
+                bucket_key = key + (("le", repr(float(bound))),)
+                lines.append(
+                    f"{self.name}_bucket{_render_labels(bucket_key)} {cumulative}"
+                )
+            cumulative += counts[-1]
+            inf_key = key + (("le", "+Inf"),)
+            lines.append(
+                f"{self.name}_bucket{_render_labels(inf_key)} {cumulative}"
+            )
+            lines.append(
+                f"{self.name}_sum{_render_labels(key)} "
+                f"{_format_value(sums.get(key, 0.0))}"
+            )
+            lines.append(f"{self.name}_count{_render_labels(key)} {cumulative}")
+        return lines
+
+
+class MetricsRegistry:
+    """Creates metrics and renders them all as one exposition document."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: "Dict[str, _Metric]" = {}
+
+    def _add(self, metric: _Metric) -> None:
+        with self._lock:
+            if metric.name in self._metrics:
+                raise ServeStateError(
+                    f"metric {metric.name!r} is already registered"
+                )
+            self._metrics[metric.name] = metric
+
+    def counter(
+        self, name: str, help_text: str, labelnames: Sequence[str] = ()
+    ) -> Counter:
+        metric = Counter(name, help_text, labelnames, self._lock)
+        self._add(metric)
+        return metric
+
+    def gauge(
+        self, name: str, help_text: str, labelnames: Sequence[str] = ()
+    ) -> Gauge:
+        metric = Gauge(name, help_text, labelnames, self._lock)
+        self._add(metric)
+        return metric
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str,
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        metric = Histogram(name, help_text, labelnames, self._lock, buckets)
+        self._add(metric)
+        return metric
+
+    def render(self) -> str:
+        """The full ``/metrics`` document (text format 0.0.4)."""
+        with self._lock:
+            metrics = [self._metrics[name] for name in sorted(self._metrics)]
+        blocks: "List[str]" = []
+        for metric in metrics:
+            blocks.append(f"# HELP {metric.name} {_escape_help(metric.help_text)}")
+            blocks.append(f"# TYPE {metric.name} {metric.type_name}")
+            blocks.extend(metric.render())
+        return "\n".join(blocks) + "\n"

@@ -1,0 +1,540 @@
+"""The advisory HTTP service: stdlib JSON API over a fleet.
+
+Endpoints
+---------
+* ``POST /v1/events`` — batch ingest. Body:
+  ``{"events": [{"instance": "i-1", "busy": true}, ...]}``; an event may
+  alternatively carry ``"demand": <int>=0>`` (busy iff demand ≥ 1). Each
+  event advances its instance by one hour. Responds with the count
+  accepted and any verdicts that settled.
+* ``GET /v1/decisions[?instance=ID]`` — current advisory state.
+* ``GET /healthz`` — liveness plus basic gauges.
+* ``GET /metrics`` — Prometheus text exposition.
+
+Request validation raises the typed errors of
+:mod:`repro.serve.errors`; the handler maps them to status codes.
+Backpressure is bounded admission: at most ``max_inflight`` ingest
+requests execute concurrently, the rest are rejected with 429 instead of
+queueing unboundedly (clients retry; memory stays flat). One lock
+serialises fleet mutation, so decisions are ordered even under the
+threading server.
+
+``python -m repro.serve`` starts the server (see :func:`main`); with
+``--checkpoint`` it restores state on boot and snapshots every
+``--checkpoint-interval`` ingested events plus once on shutdown.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro._version import __version__
+from repro.core.account import CostModel
+from repro.core.breakeven import PAPER_DECISION_FRACTIONS
+from repro.pricing.catalog import paper_experiment_plan
+from repro.serve.checkpoint import load_checkpoint, save_checkpoint
+from repro.serve.errors import (
+    ApiError,
+    CheckpointError,
+    PayloadTooLargeError,
+    RequestValidationError,
+    ServeError,
+    ServerBusyError,
+    UnknownResourceError,
+)
+from repro.serve.metrics import MetricsRegistry
+from repro.serve.state import FleetDecision, FleetState, ServeStateError
+
+#: Default cap on events per ingest request (oversize batches get 413).
+DEFAULT_MAX_BATCH = 10_000
+
+#: Default cap on concurrently-executing ingest requests (excess: 429).
+DEFAULT_MAX_INFLIGHT = 8
+
+
+def _decision_to_json(decision: FleetDecision) -> "Dict[str, object]":
+    return {
+        "instance": decision.instance,
+        "phi": decision.phi,
+        "verdict": decision.verdict.value,
+        "working_hours": decision.working_hours,
+        "age_hours": decision.age,
+    }
+
+
+class AdvisoryApp:
+    """Transport-free application object behind the HTTP handler.
+
+    Owns the fleet, the metrics registry, admission control, and
+    checkpointing policy. Tests drive it directly; the handler only
+    parses HTTP and calls these methods.
+    """
+
+    def __init__(
+        self,
+        fleet: FleetState,
+        registry: "Optional[MetricsRegistry]" = None,
+        checkpoint_path: "Optional[str | Path]" = None,
+        checkpoint_interval: int = 0,
+        max_batch: int = DEFAULT_MAX_BATCH,
+        max_inflight: int = DEFAULT_MAX_INFLIGHT,
+        events_ingested: int = 0,
+    ) -> None:
+        if max_batch <= 0:
+            raise ServeStateError(f"max_batch must be positive, got {max_batch!r}")
+        if max_inflight < 0:
+            raise ServeStateError(
+                f"max_inflight must be >= 0, got {max_inflight!r}"
+            )
+        self.fleet = fleet
+        self.max_batch = max_batch
+        self.max_inflight = max_inflight
+        self.checkpoint_path = Path(checkpoint_path) if checkpoint_path else None
+        self.checkpoint_interval = checkpoint_interval
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._fleet_lock = threading.Lock()
+        self._inflight_lock = threading.Lock()
+        self._inflight = 0
+        self._started = time.perf_counter()
+        self._events_ingested = int(events_ingested)
+        self._events_since_checkpoint = 0
+
+        self.events_total = self.registry.counter(
+            "repro_serve_events_total", "Usage events ingested since start."
+        )
+        self.decisions_total = self.registry.counter(
+            "repro_serve_decisions_total",
+            "Advisory verdicts settled, by verdict and decision fraction.",
+            labelnames=("verdict", "phi"),
+        )
+        self.ingest_seconds = self.registry.histogram(
+            "repro_serve_ingest_seconds",
+            "Wall time spent applying one ingest batch.",
+        )
+        self.queue_depth = self.registry.gauge(
+            "repro_serve_queue_depth",
+            "Ingest requests currently admitted (bounded by max_inflight).",
+        )
+        self.instances_gauge = self.registry.gauge(
+            "repro_serve_instances", "Instances currently tracked."
+        )
+        self.responses_total = self.registry.counter(
+            "repro_serve_http_responses_total",
+            "HTTP responses sent, by status code.",
+            labelnames=("code",),
+        )
+        self.checkpoints_total = self.registry.counter(
+            "repro_serve_checkpoints_total", "Checkpoints written."
+        )
+
+    # ------------------------------------------------------------------
+    # Admission control (backpressure)
+    # ------------------------------------------------------------------
+
+    def admit(self) -> None:
+        """Claim one ingest slot or raise :class:`ServerBusyError`."""
+        with self._inflight_lock:
+            if self._inflight >= self.max_inflight:
+                raise ServerBusyError(
+                    f"ingest queue full ({self._inflight} in flight, "
+                    f"limit {self.max_inflight}); retry later"
+                )
+            self._inflight += 1
+            self.queue_depth.set(self._inflight)
+
+    def release(self) -> None:
+        with self._inflight_lock:
+            self._inflight -= 1
+            self.queue_depth.set(self._inflight)
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _validate_events(payload: object) -> "Tuple[List[str], List[bool]]":
+        if not isinstance(payload, dict):
+            raise RequestValidationError("request body must be a JSON object")
+        events = payload.get("events")
+        if not isinstance(events, list) or not events:
+            raise RequestValidationError(
+                'body must carry a non-empty "events" array'
+            )
+        instances: "List[str]" = []
+        busy: "List[bool]" = []
+        for position, event in enumerate(events):
+            if not isinstance(event, dict):
+                raise RequestValidationError(
+                    f"events[{position}] must be an object"
+                )
+            instance = event.get("instance")
+            if not isinstance(instance, str) or not instance:
+                raise RequestValidationError(
+                    f'events[{position}].instance must be a non-empty string'
+                )
+            if "busy" in event:
+                flag = event["busy"]
+                if not isinstance(flag, bool):
+                    raise RequestValidationError(
+                        f"events[{position}].busy must be a boolean"
+                    )
+                is_busy = flag
+            elif "demand" in event:
+                demand = event["demand"]
+                if not isinstance(demand, int) or isinstance(demand, bool) or demand < 0:
+                    raise RequestValidationError(
+                        f"events[{position}].demand must be a non-negative integer"
+                    )
+                is_busy = demand >= 1
+            else:
+                raise RequestValidationError(
+                    f'events[{position}] needs a "busy" or "demand" field'
+                )
+            instances.append(instance)
+            busy.append(is_busy)
+        return instances, busy
+
+    def ingest(self, payload: object) -> "Dict[str, object]":
+        """Validate and apply one event batch; returns the response body."""
+        instances, busy = self._validate_events(payload)
+        if len(instances) > self.max_batch:
+            raise PayloadTooLargeError(
+                f"{len(instances)} events exceed the per-request limit of "
+                f"{self.max_batch}"
+            )
+        with self.ingest_seconds.time():
+            with self._fleet_lock:
+                settled = self.fleet.apply_events(instances, busy)
+                self._events_ingested += len(instances)
+                self._events_since_checkpoint += len(instances)
+                should_checkpoint = (
+                    self.checkpoint_path is not None
+                    and self.checkpoint_interval > 0
+                    and self._events_since_checkpoint >= self.checkpoint_interval
+                )
+                if should_checkpoint:
+                    self._checkpoint_locked()
+        self.events_total.inc(len(instances))
+        for decision in settled:
+            self.decisions_total.inc(
+                labels={
+                    "verdict": decision.verdict.value,
+                    "phi": repr(decision.phi),
+                }
+            )
+        return {
+            "accepted": len(instances),
+            "decisions": [_decision_to_json(d) for d in settled],
+            "events_ingested": self._events_ingested,
+        }
+
+    def decisions(
+        self, instance: "Optional[str]" = None
+    ) -> "Dict[str, object]":
+        with self._fleet_lock:
+            if instance is not None:
+                try:
+                    rows = [self.fleet.instance_state(instance)]
+                except ServeStateError as error:
+                    raise UnknownResourceError(str(error)) from error
+            else:
+                rows = self.fleet.rows()
+            counts = self.fleet.verdict_counts()
+        return {"instances": rows, "verdicts_by_phi": counts}
+
+    def health(self) -> "Dict[str, object]":
+        with self._fleet_lock:
+            tracked = self.fleet.size
+        return {
+            "status": "ok",
+            "version": __version__,
+            "instances": tracked,
+            "events_ingested": self._events_ingested,
+            "uptime_seconds": round(time.perf_counter() - self._started, 3),
+        }
+
+    def render_metrics(self) -> str:
+        with self._fleet_lock:
+            self.instances_gauge.set(self.fleet.size)
+        return self.registry.render()
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    def _checkpoint_locked(self) -> None:
+        """Write a checkpoint; caller holds the fleet lock."""
+        if self.checkpoint_path is None:
+            return
+        save_checkpoint(self.checkpoint_path, self.fleet, self._events_ingested)
+        self._events_since_checkpoint = 0
+        self.checkpoints_total.inc()
+
+    def checkpoint_now(self) -> "Optional[Path]":
+        """Snapshot unconditionally (shutdown hook); returns the path."""
+        if self.checkpoint_path is None:
+            return None
+        with self._fleet_lock:
+            self._checkpoint_locked()
+        return self.checkpoint_path
+
+    @property
+    def events_ingested(self) -> int:
+        return self._events_ingested
+
+
+class AdvisoryRequestHandler(BaseHTTPRequestHandler):
+    """Maps HTTP requests onto :class:`AdvisoryApp` calls."""
+
+    server_version = f"repro-serve/{__version__}"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def app(self) -> AdvisoryApp:
+        return self.server.app  # type: ignore[attr-defined]
+
+    # Silence the default stderr-per-request log; metrics cover it.
+    def log_message(self, format: str, *args: object) -> None:  # noqa: A002
+        pass
+
+    # ------------------------------------------------------------------
+
+    def _send_payload(
+        self, status: int, body: bytes, content_type: str
+    ) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+        self.app.responses_total.inc(labels={"code": str(status)})
+
+    def _send_json(self, status: int, payload: "Dict[str, object]") -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self._send_payload(status, body, "application/json; charset=utf-8")
+
+    def _send_error_json(self, status: int, kind: str, message: str) -> None:
+        self._send_json(status, {"error": kind, "message": message})
+
+    def _read_json_body(self) -> object:
+        length_header = self.headers.get("Content-Length")
+        try:
+            length = int(length_header) if length_header else 0
+        except ValueError as error:
+            raise RequestValidationError(
+                f"invalid Content-Length {length_header!r}"
+            ) from error
+        if length <= 0:
+            raise RequestValidationError("a JSON request body is required")
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise RequestValidationError(
+                f"request body is not valid JSON: {error}"
+            ) from error
+
+    def _dispatch(self, method: str) -> None:
+        parsed = urlparse(self.path)
+        route = (method, parsed.path.rstrip("/") or "/")
+        try:
+            if route == ("GET", "/healthz"):
+                self._send_json(200, self.app.health())
+            elif route == ("GET", "/metrics"):
+                body = self.app.render_metrics().encode("utf-8")
+                self._send_payload(
+                    200, body, "text/plain; version=0.0.4; charset=utf-8"
+                )
+            elif route == ("GET", "/v1/decisions"):
+                query = parse_qs(parsed.query)
+                instance = query.get("instance", [None])[0]
+                self._send_json(200, self.app.decisions(instance))
+            elif route == ("POST", "/v1/events"):
+                self.app.admit()
+                try:
+                    payload = self._read_json_body()
+                    self._send_json(200, self.app.ingest(payload))
+                finally:
+                    self.app.release()
+            else:
+                raise UnknownResourceError(
+                    f"no route {method} {parsed.path!r}"
+                )
+        except ApiError as error:
+            self._send_error_json(
+                error.status, type(error).__name__, str(error)
+            )
+        except ServeError as error:
+            # State-level validation surfacing through the fleet.
+            self._send_error_json(400, type(error).__name__, str(error))
+        except Exception as error:  # noqa: BLE001 - last-resort 500
+            self._send_error_json(500, "InternalError", str(error))
+
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._dispatch("POST")
+
+
+class AdvisoryServer(ThreadingHTTPServer):
+    """A :class:`ThreadingHTTPServer` bound to one :class:`AdvisoryApp`."""
+
+    daemon_threads = True
+
+    def __init__(
+        self, address: "Tuple[str, int]", app: AdvisoryApp
+    ) -> None:
+        super().__init__(address, AdvisoryRequestHandler)
+        self.app = app
+
+
+def build_app(
+    model: CostModel,
+    phis: Sequence[float] = PAPER_DECISION_FRACTIONS,
+    checkpoint_path: "Optional[str | Path]" = None,
+    checkpoint_interval: int = 0,
+    max_batch: int = DEFAULT_MAX_BATCH,
+    max_inflight: int = DEFAULT_MAX_INFLIGHT,
+) -> AdvisoryApp:
+    """Assemble an app, restoring fleet state from ``checkpoint_path``
+    when a checkpoint exists there (a fresh fleet otherwise)."""
+    events_ingested = 0
+    if checkpoint_path is not None and Path(checkpoint_path).exists():
+        fleet, events_ingested = load_checkpoint(checkpoint_path)
+    else:
+        fleet = FleetState(model, phis=phis)
+    return AdvisoryApp(
+        fleet,
+        checkpoint_path=checkpoint_path,
+        checkpoint_interval=checkpoint_interval,
+        max_batch=max_batch,
+        max_inflight=max_inflight,
+        events_ingested=events_ingested,
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description=(
+            "Online sell/keep advisory service for reserved instances "
+            "(the paper's A_phi algorithms, served from live usage events)"
+        ),
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: %(default)s)"
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=8080,
+        help="TCP port; 0 picks an ephemeral one (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--period-hours",
+        type=int,
+        default=8760,
+        metavar="T",
+        help=(
+            "reservation period; the paper's d2.xlarge plan is scaled to "
+            "it theta-preservingly (default: %(default)s)"
+        ),
+    )
+    parser.add_argument(
+        "--discount",
+        type=float,
+        default=0.8,
+        metavar="A",
+        help="selling discount a in [0, 1] (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--phi",
+        type=float,
+        nargs="+",
+        default=list(PAPER_DECISION_FRACTIONS),
+        metavar="PHI",
+        help="decision fractions to advise at (default: 0.75 0.5 0.25)",
+    )
+    parser.add_argument(
+        "--checkpoint",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="restore fleet state from FILE on boot; snapshot back to it",
+    )
+    parser.add_argument(
+        "--checkpoint-interval",
+        type=int,
+        default=1000,
+        metavar="N",
+        help="snapshot every N ingested events (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--max-batch",
+        type=int,
+        default=DEFAULT_MAX_BATCH,
+        metavar="N",
+        help="events per request limit, 413 beyond (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--max-inflight",
+        type=int,
+        default=DEFAULT_MAX_INFLIGHT,
+        metavar="N",
+        help="concurrent ingests admitted, 429 beyond (default: %(default)s)",
+    )
+    return parser
+
+
+def main(argv: "Optional[Sequence[str]]" = None) -> int:
+    args = build_parser().parse_args(argv)
+    plan = paper_experiment_plan()
+    if args.period_hours != plan.period_hours:
+        plan = plan.with_period(args.period_hours)
+    model = CostModel(plan=plan, selling_discount=args.discount)
+    try:
+        app = build_app(
+            model,
+            phis=tuple(args.phi),
+            checkpoint_path=args.checkpoint,
+            checkpoint_interval=args.checkpoint_interval,
+            max_batch=args.max_batch,
+            max_inflight=args.max_inflight,
+        )
+    except (ServeError, CheckpointError) as error:
+        print(f"repro.serve: error: {error}", file=sys.stderr)
+        return 2
+    server = AdvisoryServer((args.host, args.port), app)
+    host, port = server.server_address[:2]
+    restored = app.fleet.size
+    print(
+        f"repro.serve listening on http://{host}:{port} "
+        f"(plan {plan.name or 'paper'} T={plan.period_hours}h, a={args.discount}, "
+        f"phis={sorted(app.fleet.phis, reverse=True)}, "
+        f"{restored} instance(s) restored)",
+        file=sys.stderr,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("repro.serve: shutting down", file=sys.stderr)
+    finally:
+        server.server_close()
+        saved = app.checkpoint_now()
+        if saved is not None:
+            print(f"repro.serve: final checkpoint at {saved}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,637 @@
+"""Incremental sell/keep decision state — the serving layer's core.
+
+Two trackers, two fidelity/throughput points:
+
+* :class:`StreamTracker` — the *exact* online form of the batch engine.
+  It ingests one ``(demand, new_reservations)`` event per hour and
+  reproduces :func:`repro.core.fastsim.run_fast` bit for bit: the same
+  sales (reservation batch, instance index, hour, working time) and the
+  same :class:`~repro.core.account.CostBreakdown`, without ever holding
+  the trace. The equivalence is property-tested in
+  ``tests/serve/test_stream_differential.py``.
+* :class:`FleetState` — a vectorised numpy engine over many
+  *independent single-reservation* instances (the service's fleet
+  model): ages, cumulative working hours, and per-φ verdicts live in
+  flat arrays, and one batched event application touches every affected
+  instance with a handful of numpy ops.
+
+How the stream reproduces the batch engine
+------------------------------------------
+``run_fast`` decides batch ``t0`` at hour ``t = t0 + round(φT)`` by
+counting, over the window ``[t0, t)``, hours where
+``r_effective(h) − d(h) − i + 1 > l(h)`` — and a sale rewrites history
+(``r_effective[t0:end] -= 1``), which later windows and later instances
+of the same batch observe. Streaming cannot revisit past hours, so each
+open window keeps a *histogram* of shifted slack values
+``v(h) = r_live(h) − d(h) − l(h) + G(h)``, where ``r_live`` is the
+current active-and-unsold reservation count and ``G(h)`` the global
+number of sales performed so far. The shift makes retroactive rewrites
+cancel: every sale after ``h`` (up to the window's decision) covers
+``h`` — the seller's batch is always older than any still-open window,
+its instance is still active at ``h``, and its rewrite spans
+``[t0', expiry)`` ⊇ ``{h}`` — so the *final* effective slack is
+``v(h) − G_decision``, and instance ``i`` is free at ``h`` iff
+``v(h) ≥ i + G_decision``, a suffix count over the histogram (``G``
+also absorbs same-batch sales, whose rewrites the pseudocode's inner
+loop observes). Current and future hours need no correction at all: a
+sold instance's rewrite and its reservation span end at the same expiry
+hour, so "active and unsold right now" is the correct live value of
+both ``r_physical`` and ``r_effective``. Each event is O(open windows)
+≈ O(1) per tracked reservation batch; memory is one histogram entry per
+distinct slack value per open window.
+"""
+
+from __future__ import annotations
+
+import enum
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from itertools import accumulate
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.account import CostBreakdown, CostModel, HourlyFeeMode
+from repro.core.breakeven import (
+    PAPER_DECISION_FRACTIONS,
+    break_even_working_hours,
+    validate_phi,
+)
+from repro.core.fastsim import FastPolicyKind, FastSale
+from repro.serve.errors import ServeStateError
+
+#: Version of the serving state machine's behaviour. Part of every
+#: checkpoint payload (see :mod:`repro.serve.checkpoint`): bump it
+#: whenever a change here could alter a decision or a cost, so stale
+#: checkpoints are refused instead of silently replayed.
+STATE_VERSION = 1
+
+
+class Verdict(enum.Enum):
+    """The advisory's answer for one instance at one decision spot."""
+
+    SELL = "sell"
+    KEEP = "keep"
+    PENDING = "pending"  # the decision hour has not been reached yet
+
+
+@dataclass(frozen=True)
+class StreamDecision:
+    """One decided instance of a reservation batch (SELL or KEEP)."""
+
+    reserved_at: int
+    batch_index: int  # the pseudocode's i (1-based)
+    hour: int
+    working_hours: int
+    verdict: Verdict
+
+
+@dataclass
+class _OpenWindow:
+    """Decision window of one reservation batch, mid-stream."""
+
+    t0: int
+    size: int
+    expiry: int
+    l_base: int  # total reservations seen up to and including t0
+    hist: Dict[int, int] = field(default_factory=dict)
+
+
+class StreamTracker:
+    """Event-by-event equivalent of :func:`repro.core.fastsim.run_fast`.
+
+    Feed one hour at a time via :meth:`observe`; read decisions as they
+    are emitted and :attr:`breakdown` at any point. After ``H`` calls the
+    sales and costs equal ``run_fast(d[:H], n[:H], ...)`` exactly.
+
+    Parameters mirror ``run_fast``: the cost model, the decision
+    fraction ``phi``, the policy ``kind``, and ``threshold_scale``
+    (scales the break-even β; 1.0 is the paper's rule).
+    """
+
+    def __init__(
+        self,
+        model: CostModel,
+        phi: float = 0.75,
+        kind: FastPolicyKind = FastPolicyKind.ONLINE,
+        threshold_scale: float = 1.0,
+    ) -> None:
+        period = model.period
+        if kind is not FastPolicyKind.KEEP_RESERVED:
+            validate_phi(phi)
+        if threshold_scale < 0:
+            raise ServeStateError(
+                f"threshold_scale must be >= 0, got {threshold_scale!r}"
+            )
+        self.model = model
+        self.phi = phi
+        self.kind = kind
+        self.threshold_scale = threshold_scale
+        self._period = period
+        self._decision_age = round(phi * period)
+        self._beta = break_even_working_hours(model.plan, model.selling_discount, phi)
+        self._evaluate = (
+            kind is not FastPolicyKind.KEEP_RESERVED
+            and 0 < self._decision_age < period
+        )
+        if self._evaluate:
+            remaining_fraction = 1.0 - self._decision_age / period
+            self._per_sale_income = model.sale_income(remaining_fraction)
+        else:
+            self._per_sale_income = 0.0
+
+        self.hour = 0
+        self._active = 0  # live value of both r_physical and r_effective
+        self._pending_expiry: Dict[int, int] = {}
+        self._total_reserved = 0
+        self._od_hours = 0
+        self._billed_hours = 0
+        self._income = 0.0
+        self._sales_total = 0  # the global shift G (see module docstring)
+        self._open: List[_OpenWindow] = []
+        self._decisions: List[StreamDecision] = []
+
+    # ------------------------------------------------------------------
+
+    @property
+    def decision_age(self) -> int:
+        """Hours after reservation at which this tracker decides."""
+        return self._decision_age
+
+    @property
+    def beta(self) -> float:
+        """The break-even working time β for this tracker's φ."""
+        return self._beta
+
+    def observe(self, demand: int, reservations: int = 0) -> Tuple[StreamDecision, ...]:
+        """Ingest one hour: ``demand`` busy units, ``reservations`` new
+        reservations made this hour. Returns the decisions (if any)
+        emitted at this hour — the batch reserved ``round(φT)`` hours
+        ago reaching its decision spot."""
+        if demand < 0 or reservations < 0:
+            raise ServeStateError(
+                f"demand and reservations must be non-negative, got "
+                f"({demand!r}, {reservations!r})"
+            )
+        d = int(demand)
+        n_new = int(reservations)
+        t = self.hour
+
+        # 1. Expired reservations stop serving (and stop billing).
+        self._active -= self._pending_expiry.pop(t, 0)
+
+        # 2. New reservations arrive and open a decision window.
+        if n_new:
+            self._active += n_new
+            self._total_reserved += n_new
+            expiry = t + self._period
+            self._pending_expiry[expiry] = (
+                self._pending_expiry.get(expiry, 0) + n_new
+            )
+            if self._evaluate:
+                self._open.append(
+                    _OpenWindow(
+                        t0=t, size=n_new, expiry=expiry, l_base=self._total_reserved
+                    )
+                )
+
+        # 3. The batch reserved decision_age hours ago decides now.
+        emitted: Tuple[StreamDecision, ...] = ()
+        if (
+            self._evaluate
+            and self._open
+            and self._open[0].t0 == t - self._decision_age
+        ):
+            window = self._open.pop(0)
+            emitted = self._decide(window, t)
+            self._decisions.extend(emitted)
+
+        # 4. Record this hour's shifted slack in every open window
+        #    (post-sale values: a sale at hour t is visible to windows
+        #    covering t; the G shift squares past hours with future
+        #    retroactive rewrites — see the module docstring).
+        for window in self._open:
+            l_count = self._total_reserved - window.l_base
+            slack = self._active - d - l_count + self._sales_total
+            window.hist[slack] = window.hist.get(slack, 0) + 1
+
+        # 5. Book this hour's costs against the live reservation count.
+        if d > self._active:
+            self._od_hours += d - self._active
+        if self.model.fee_mode is HourlyFeeMode.ACTIVE:
+            self._billed_hours += self._active
+        else:
+            self._billed_hours += d if d < self._active else self._active
+
+        self.hour = t + 1
+        return emitted
+
+    def observe_trace(
+        self, demands: Iterable[int], reservations: Iterable[int]
+    ) -> "List[StreamDecision]":
+        """Feed a whole ``(d, n)`` trace event by event; returns every
+        decision emitted along the way."""
+        collected: List[StreamDecision] = []
+        for d, n in zip(demands, reservations):
+            collected.extend(self.observe(int(d), int(n)))
+        return collected
+
+    # ------------------------------------------------------------------
+
+    def _decide(self, window: _OpenWindow, t: int) -> Tuple[StreamDecision, ...]:
+        """Decide every instance of one batch at its decision hour."""
+        values = sorted(window.hist)
+        counts_below = [0, *accumulate(window.hist[v] for v in values)]
+        total = counts_below[-1]
+
+        emitted: List[StreamDecision] = []
+        online = self.kind is FastPolicyKind.ONLINE
+        for i in range(1, window.size + 1):
+            # Free hours: v(h) >= i + G (see the module docstring).
+            position = bisect_left(values, i + self._sales_total)
+            free = total - counts_below[position]
+            working = self._decision_age - free
+            sell = (
+                working < self.threshold_scale * self._beta if online else True
+            )
+            if sell:
+                self._active -= 1
+                self._pending_expiry[window.expiry] -= 1
+                self._income += self._per_sale_income
+                self._sales_total += 1
+                verdict = Verdict.SELL
+            else:
+                verdict = Verdict.KEEP
+            emitted.append(
+                StreamDecision(
+                    reserved_at=window.t0,
+                    batch_index=i,
+                    hour=t,
+                    working_hours=working,
+                    verdict=verdict,
+                )
+            )
+        return tuple(emitted)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def decisions(self) -> Tuple[StreamDecision, ...]:
+        """Every decision emitted so far, in emission order."""
+        return tuple(self._decisions)
+
+    @property
+    def sales(self) -> Tuple[FastSale, ...]:
+        """The SELL decisions in :class:`~repro.core.fastsim.FastSale`
+        form, directly comparable to ``run_fast(...).sales``."""
+        return tuple(
+            FastSale(
+                reserved_at=decision.reserved_at,
+                batch_index=decision.batch_index,
+                hour=decision.hour,
+                working_hours=decision.working_hours,
+            )
+            for decision in self._decisions
+            if decision.verdict is Verdict.SELL
+        )
+
+    @property
+    def instances_sold(self) -> int:
+        return sum(
+            1 for decision in self._decisions if decision.verdict is Verdict.SELL
+        )
+
+    @property
+    def pending_batches(self) -> int:
+        """Reservation batches whose decision hour has not arrived."""
+        return len(self._open)
+
+    @property
+    def breakdown(self) -> CostBreakdown:
+        """Eq. (1) cost components accumulated over the observed hours;
+        equals the batch engine's breakdown for the same trace prefix."""
+        return CostBreakdown(
+            on_demand=float(self._od_hours) * self.model.p,
+            upfront=float(self._total_reserved) * self.model.big_r,
+            reserved_hourly=self._billed_hours * self.model.alpha * self.model.p,
+            sale_income=self._income,
+        )
+
+
+def run_stream(
+    demands: "np.ndarray | Sequence[int]",
+    reservations: "np.ndarray | Sequence[int]",
+    model: CostModel,
+    phi: float = 0.75,
+    kind: FastPolicyKind = FastPolicyKind.ONLINE,
+    threshold_scale: float = 1.0,
+) -> StreamTracker:
+    """Feed a whole trace through a fresh :class:`StreamTracker` —
+    the streaming counterpart of :func:`repro.core.fastsim.run_fast`,
+    returning the tracker for inspection."""
+    tracker = StreamTracker(
+        model, phi=phi, kind=kind, threshold_scale=threshold_scale
+    )
+    tracker.observe_trace(demands, reservations)
+    return tracker
+
+
+# ----------------------------------------------------------------------
+# Vectorised fleet engine
+# ----------------------------------------------------------------------
+
+_PENDING = 0
+_SELL = 1
+_KEEP = 2
+
+_VERDICT_CODES = {
+    _PENDING: Verdict.PENDING,
+    _SELL: Verdict.SELL,
+    _KEEP: Verdict.KEEP,
+}
+_CODES_BY_VERDICT = {verdict: code for code, verdict in _VERDICT_CODES.items()}
+
+
+@dataclass(frozen=True)
+class PhiThreshold:
+    """One decision spot's precomputed parameters."""
+
+    phi: float
+    decision_age: int
+    beta: float
+
+
+@dataclass(frozen=True)
+class FleetDecision:
+    """A newly-settled verdict for one fleet instance at one φ."""
+
+    instance: str
+    phi: float
+    verdict: Verdict
+    working_hours: int
+    age: int
+
+
+class FleetState:
+    """Vectorised per-instance trackers (single-reservation model).
+
+    Each registered instance is one reserved instance observed from its
+    reservation hour (age 0): every applied event is one elapsed hour,
+    busy or idle. At each decision fraction φ the instance's verdict
+    settles the moment its age reaches ``round(φT)`` — SELL iff its
+    working time so far is below that φ's break-even β — exactly the
+    :class:`StreamTracker` rule for a lone reservation (equivalence is
+    pinned in ``tests/serve/test_fleet.py``).
+
+    State lives in flat numpy arrays (age, cumulative working hours, one
+    verdict/working-at pair per φ), so applying a batch of events costs
+    a few array ops regardless of fleet size.
+    """
+
+    def __init__(
+        self,
+        model: CostModel,
+        phis: Sequence[float] = PAPER_DECISION_FRACTIONS,
+        threshold_scale: float = 1.0,
+        capacity: int = 64,
+    ) -> None:
+        if threshold_scale < 0:
+            raise ServeStateError(
+                f"threshold_scale must be >= 0, got {threshold_scale!r}"
+            )
+        if not phis:
+            raise ServeStateError("at least one decision fraction is required")
+        if len(set(phis)) != len(phis):
+            raise ServeStateError(f"duplicate decision fractions in {phis!r}")
+        period = model.period
+        thresholds = []
+        for phi in phis:
+            validate_phi(phi)
+            age = round(phi * period)
+            if not 0 < age < period:
+                raise ServeStateError(
+                    f"phi={phi!r} with period {period}h yields a degenerate "
+                    f"decision age of {age}h"
+                )
+            thresholds.append(
+                PhiThreshold(
+                    phi=phi,
+                    decision_age=age,
+                    beta=break_even_working_hours(
+                        model.plan, model.selling_discount, phi
+                    ),
+                )
+            )
+        self.model = model
+        self.threshold_scale = threshold_scale
+        self.thresholds: Tuple[PhiThreshold, ...] = tuple(thresholds)
+        capacity = max(int(capacity), 1)
+        self._age = np.zeros(capacity, dtype=np.int64)
+        self._working = np.zeros(capacity, dtype=np.int64)
+        self._verdicts = [np.zeros(capacity, dtype=np.int8) for _ in thresholds]
+        self._working_at = [
+            np.full(capacity, -1, dtype=np.int64) for _ in thresholds
+        ]
+        self._ids: List[str] = []
+        self._index: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+
+    @property
+    def phis(self) -> Tuple[float, ...]:
+        return tuple(threshold.phi for threshold in self.thresholds)
+
+    @property
+    def size(self) -> int:
+        """Number of tracked instances."""
+        return len(self._ids)
+
+    @property
+    def instance_ids(self) -> Tuple[str, ...]:
+        return tuple(self._ids)
+
+    def __contains__(self, instance_id: str) -> bool:
+        return instance_id in self._index
+
+    def _grow(self, minimum: int) -> None:
+        capacity = len(self._age)
+        while capacity < minimum:
+            capacity *= 2
+        if capacity == len(self._age):
+            return
+        extra = capacity - len(self._age)
+        self._age = np.concatenate([self._age, np.zeros(extra, dtype=np.int64)])
+        self._working = np.concatenate(
+            [self._working, np.zeros(extra, dtype=np.int64)]
+        )
+        self._verdicts = [
+            np.concatenate([v, np.zeros(extra, dtype=np.int8)])
+            for v in self._verdicts
+        ]
+        self._working_at = [
+            np.concatenate([w, np.full(extra, -1, dtype=np.int64)])
+            for w in self._working_at
+        ]
+
+    def register(self, instance_id: str) -> int:
+        """Start tracking ``instance_id`` at age 0 (idempotent)."""
+        if not instance_id or not isinstance(instance_id, str):
+            raise ServeStateError(
+                f"instance ids must be non-empty strings, got {instance_id!r}"
+            )
+        existing = self._index.get(instance_id)
+        if existing is not None:
+            return existing
+        index = len(self._ids)
+        self._grow(index + 1)
+        self._ids.append(instance_id)
+        self._index[instance_id] = index
+        return index
+
+    # ------------------------------------------------------------------
+
+    def apply_events(
+        self, instances: Sequence[str], busy: Sequence[bool]
+    ) -> List[FleetDecision]:
+        """Apply one batch of hourly events; returns verdicts that
+        settled during this batch.
+
+        ``instances[k]`` advances by one hour, busy if ``busy[k]``.
+        Unknown instances are registered at age 0 on first sight. A
+        batch may mention an instance several times; occurrences apply
+        in order (the batch is partitioned into rounds, each touching
+        any instance at most once, so the vectorised path is exact).
+        """
+        if len(instances) != len(busy):
+            raise ServeStateError(
+                f"instances and busy flags differ in length: "
+                f"{len(instances)} vs {len(busy)}"
+            )
+        rounds: List[Tuple[List[int], List[int]]] = []
+        occurrence: Dict[str, int] = {}
+        for instance_id, flag in zip(instances, busy):
+            index = self.register(instance_id)
+            round_number = occurrence.get(instance_id, 0)
+            occurrence[instance_id] = round_number + 1
+            if round_number == len(rounds):
+                rounds.append(([], []))
+            round_indices, round_busy = rounds[round_number]
+            round_indices.append(index)
+            round_busy.append(1 if flag else 0)
+
+        settled: List[FleetDecision] = []
+        for round_indices, round_busy in rounds:
+            idx = np.asarray(round_indices, dtype=np.int64)
+            flags = np.asarray(round_busy, dtype=np.int64)
+            self._working[idx] += flags
+            self._age[idx] += 1
+            ages = self._age[idx]
+            for k, threshold in enumerate(self.thresholds):
+                hit = ages == threshold.decision_age
+                if not hit.any():
+                    continue
+                hit_idx = idx[hit]
+                working = self._working[hit_idx]
+                self._working_at[k][hit_idx] = working
+                sell = working < self.threshold_scale * threshold.beta
+                self._verdicts[k][hit_idx] = np.where(sell, _SELL, _KEEP)
+                for position, instance_index in enumerate(hit_idx):
+                    settled.append(
+                        FleetDecision(
+                            instance=self._ids[int(instance_index)],
+                            phi=threshold.phi,
+                            verdict=Verdict.SELL if sell[position] else Verdict.KEEP,
+                            working_hours=int(working[position]),
+                            age=threshold.decision_age,
+                        )
+                    )
+        return settled
+
+    # ------------------------------------------------------------------
+
+    def instance_state(self, instance_id: str) -> "Dict[str, object]":
+        """One instance's full advisory state as a JSON-ready dict."""
+        index = self._index.get(instance_id)
+        if index is None:
+            raise ServeStateError(f"unknown instance {instance_id!r}")
+        return self._row(index)
+
+    def _row(self, index: int) -> "Dict[str, object]":
+        spots: "Dict[str, object]" = {}
+        for k, threshold in enumerate(self.thresholds):
+            code = int(self._verdicts[k][index])
+            working_at = int(self._working_at[k][index])
+            spots[repr(threshold.phi)] = {
+                "verdict": _VERDICT_CODES[code].value,
+                "working_at_decision": working_at if working_at >= 0 else None,
+            }
+        return {
+            "instance": self._ids[index],
+            "age_hours": int(self._age[index]),
+            "working_hours": int(self._working[index]),
+            "decisions": spots,
+        }
+
+    def rows(self) -> "List[Dict[str, object]]":
+        """Every instance's advisory state, in registration order."""
+        return [self._row(index) for index in range(len(self._ids))]
+
+    def verdict_counts(self) -> "Dict[str, Dict[str, int]]":
+        """Per-φ tally of verdicts across the fleet (for metrics)."""
+        tally: "Dict[str, Dict[str, int]]" = {}
+        size = len(self._ids)
+        for k, threshold in enumerate(self.thresholds):
+            codes = self._verdicts[k][:size]
+            tally[repr(threshold.phi)] = {
+                verdict.value: int(np.count_nonzero(codes == code))
+                for code, verdict in _VERDICT_CODES.items()
+            }
+        return tally
+
+    # ------------------------------------------------------------------
+    # Checkpoint support (payload shape owned here, IO in checkpoint.py)
+    # ------------------------------------------------------------------
+
+    def snapshot_instances(self) -> "List[Dict[str, object]]":
+        """Per-instance state rows for a checkpoint payload."""
+        snapshot: "List[Dict[str, object]]" = []
+        for index, instance_id in enumerate(self._ids):
+            spots: "Dict[str, object]" = {}
+            for k, threshold in enumerate(self.thresholds):
+                spots[repr(threshold.phi)] = {
+                    "verdict": int(self._verdicts[k][index]),
+                    "working_at": int(self._working_at[k][index]),
+                }
+            snapshot.append(
+                {
+                    "id": instance_id,
+                    "age": int(self._age[index]),
+                    "working": int(self._working[index]),
+                    "spots": spots,
+                }
+            )
+        return snapshot
+
+    def restore_instances(self, rows: "Iterable[Dict[str, object]]") -> None:
+        """Load instance rows produced by :meth:`snapshot_instances`."""
+        for row in rows:
+            try:
+                index = self.register(str(row["id"]))
+                self._age[index] = int(row["age"])  # type: ignore[call-overload]
+                self._working[index] = int(row["working"])  # type: ignore[call-overload]
+                spots = row["spots"]
+                for k, threshold in enumerate(self.thresholds):
+                    spot = spots[repr(threshold.phi)]  # type: ignore[index]
+                    code = int(spot["verdict"])
+                    if code not in _VERDICT_CODES:
+                        raise ServeStateError(
+                            f"unknown verdict code {code!r} in checkpoint row"
+                        )
+                    self._verdicts[k][index] = code
+                    self._working_at[k][index] = int(spot["working_at"])
+            except (KeyError, TypeError, ValueError) as error:
+                raise ServeStateError(
+                    f"malformed fleet state row: {row!r}"
+                ) from error
+
+

@@ -68,7 +68,20 @@ CASES = [
         "    with open(path, 'w', encoding='utf-8') as handle:\n"
         "        handle.write(rows)\n",
     ),
+    (
+        "REP010",
+        "experiments/driver.py",
+        "import threading\n\nworker = threading.Thread(target=print)\n",
+        "import threading\n\n"
+        "worker = threading.Thread(target=print, daemon=True)\n",
+    ),
 ]
+
+#: REP010's socket arm: server construction is a serve/-only privilege.
+REP010_SOCKET_BAD = (
+    "from http.server import ThreadingHTTPServer\n\n"
+    "server = ThreadingHTTPServer(('', 0), None)\n"
+)
 
 
 def codes_of(diagnostics):
@@ -164,3 +177,35 @@ def test_rep007_flags_bare_except():
     source = "try:\n    pass\nexcept:\n    raise ValueError('x')\n"
     found = [d for d in lint_source(source) if d.code == "REP007"]
     assert len(found) == 1 and "bare except" in found[0].message
+
+
+def test_rep010_flags_server_construction_outside_serve():
+    found = codes_of(lint_source(REP010_SOCKET_BAD, filename="experiments/driver.py"))
+    assert "REP010" in found
+
+
+def test_rep010_allows_server_construction_inside_serve():
+    found = codes_of(lint_source(REP010_SOCKET_BAD, filename="serve/server.py"))
+    assert "REP010" not in found
+
+
+def test_rep010_thread_daemon_required_even_inside_serve():
+    source = "import threading\n\nworker = threading.Thread(target=print)\n"
+    assert "REP010" in codes_of(lint_source(source, filename="serve/server.py"))
+
+
+def test_rep010_allows_daemon_false_and_kwargs_splat():
+    source = (
+        "import threading\n\n"
+        "a = threading.Thread(target=print, daemon=False)\n"
+        "b = threading.Thread(**options)\n"
+    )
+    assert "REP010" not in codes_of(lint_source(source))
+
+
+def test_rep003_scopes_cover_parallel_and_serve():
+    source = "import time\n\ndef stamp():\n    return time.monotonic()\n"
+    assert "REP003" in codes_of(lint_source(source, filename="parallel/pool.py"))
+    assert "REP003" in codes_of(lint_source(source, filename="serve/server.py"))
+    ok = "import time\n\ndef span():\n    return time.perf_counter()\n"
+    assert "REP003" not in codes_of(lint_source(ok, filename="serve/server.py"))

@@ -1,0 +1,115 @@
+"""Fleet engine semantics: vectorised verdicts agree with the streaming
+tracker, duplicate ids inside one batch apply in order, and snapshots
+round-trip."""
+
+import numpy as np
+import pytest
+
+from repro.core.account import CostModel
+from repro.core.breakeven import PAPER_DECISION_FRACTIONS
+from repro.core.fastsim import FastPolicyKind
+from repro.pricing.plan import PricingPlan
+from repro.serve.state import FleetState, StreamTracker, Verdict
+from repro.serve.errors import ServeStateError
+
+
+def small_model(period: int = 16) -> CostModel:
+    plan = PricingPlan(
+        on_demand_hourly=1.0, upfront=6.0, alpha=0.25, period_hours=period
+    )
+    return CostModel(plan=plan, selling_discount=0.8)
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_fleet_verdicts_match_single_instance_tracker(seed):
+    model = small_model()
+    rng = np.random.default_rng(seed)
+    busy = rng.random(model.plan.period_hours) < rng.uniform(0.1, 0.9)
+
+    fleet = FleetState(model)
+    for flag in busy:
+        fleet.apply_events(["i-0"], [bool(flag)])
+
+    for phi in PAPER_DECISION_FRACTIONS:
+        tracker = StreamTracker(model, phi=phi, kind=FastPolicyKind.ONLINE)
+        reservations = [1] + [0] * (len(busy) - 1)
+        for flag, arriving in zip(busy, reservations):
+            tracker.observe(int(flag), arriving)
+        (decision,) = tracker.decisions
+        state = fleet.instance_state("i-0")
+        spot = state["decisions"][repr(phi)]
+        assert spot["verdict"] == decision.verdict.value, (seed, phi)
+        assert spot["working_at_decision"] == decision.working_hours, (seed, phi)
+
+
+def test_duplicate_ids_in_one_batch_apply_in_order():
+    model = small_model(period=8)
+    batched = FleetState(model)
+    sequential = FleetState(model)
+    events = ["i-a", "i-a", "i-b", "i-a", "i-b"]
+    busy = [True, False, True, True, False]
+    batched.apply_events(events, busy)
+    for instance, flag in zip(events, busy):
+        sequential.apply_events([instance], [flag])
+    assert batched.rows() == sequential.rows()
+
+
+def test_decisions_settle_once_per_phi():
+    model = small_model(period=8)
+    fleet = FleetState(model)
+    settled = []
+    for hour in range(10):
+        settled.extend(fleet.apply_events(["i-0"], [hour % 2 == 0]))
+    by_phi = {}
+    for decision in settled:
+        by_phi.setdefault(decision.phi, []).append(decision)
+    assert set(by_phi) == set(PAPER_DECISION_FRACTIONS)
+    assert all(len(group) == 1 for group in by_phi.values())
+    assert all(d.verdict is not Verdict.PENDING for d in settled)
+
+
+def test_verdict_counts_totals_match_size():
+    model = small_model(period=8)
+    fleet = FleetState(model)
+    for hour in range(20):
+        fleet.apply_events(["i-0", "i-1", "i-2"], [True, False, hour % 3 == 0])
+    counts = fleet.verdict_counts()
+    for phi_key, tally in counts.items():
+        assert sum(tally.values()) == fleet.size, phi_key
+
+
+def test_snapshot_restore_round_trip():
+    model = small_model()
+    fleet = FleetState(model)
+    rng = np.random.default_rng(5)
+    for _ in range(12):
+        fleet.apply_events(
+            ["i-0", "i-1", "i-2", "i-3"], list(rng.random(4) < 0.5)
+        )
+    clone = FleetState(model)
+    clone.restore_instances(fleet.snapshot_instances())
+    assert clone.rows() == fleet.rows()
+    # and the clone keeps advancing identically
+    fleet.apply_events(["i-0"], [True])
+    clone.apply_events(["i-0"], [True])
+    assert clone.rows() == fleet.rows()
+
+
+def test_restore_rejects_malformed_rows():
+    fleet = FleetState(small_model())
+    with pytest.raises(ServeStateError):
+        fleet.restore_instances([{"instance": "i-0"}])
+
+
+def test_unknown_instance_raises():
+    fleet = FleetState(small_model())
+    with pytest.raises(ServeStateError):
+        fleet.instance_state("i-missing")
+
+
+def test_register_is_idempotent_and_growable():
+    fleet = FleetState(small_model(), capacity=2)
+    indices = [fleet.register(f"i-{k}") for k in range(10)]
+    assert indices == list(range(10))
+    assert fleet.register("i-3") == 3
+    assert fleet.size == 10

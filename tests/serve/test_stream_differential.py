@@ -1,0 +1,89 @@
+"""The serving layer's correctness anchor: the event-by-event
+:class:`~repro.serve.state.StreamTracker` must reproduce the batch
+engine's sell decisions and costs *exactly* — same sales tuples, same
+:class:`~repro.core.account.CostBreakdown` under ``==`` (which is exact
+float equality), across random traces, every paper decision fraction,
+and every policy kind."""
+
+import numpy as np
+import pytest
+
+from repro.core.account import CostModel, HourlyFeeMode
+from repro.core.breakeven import PAPER_DECISION_FRACTIONS
+from repro.core.fastsim import FastPolicyKind, run_fast
+from repro.pricing.plan import PricingPlan
+from repro.serve.state import StreamTracker, run_stream
+
+SEEDS = range(60)
+
+
+def random_case(seed: int):
+    """One random (demands, reservations, model, scale) scenario."""
+    rng = np.random.default_rng(seed)
+    period = int(rng.choice([8, 16, 24, 48]))
+    horizon = period * int(rng.integers(2, 5))
+    demands = rng.integers(0, 6, size=horizon)
+    reservations = (rng.random(horizon) < 0.25).astype(np.int64) * rng.integers(
+        1, 4, size=horizon
+    )
+    reservations[0] = max(1, int(reservations[0]))
+    plan = PricingPlan(
+        on_demand_hourly=float(rng.uniform(0.1, 2.0)),
+        upfront=float(rng.uniform(1.0, 50.0)),
+        alpha=float(rng.uniform(0.05, 0.6)),
+        period_hours=period,
+    )
+    model = CostModel(
+        plan=plan,
+        selling_discount=float(rng.uniform(0.3, 1.0)),
+        fee_mode=HourlyFeeMode.ACTIVE if seed % 2 else HourlyFeeMode.USAGE,
+    )
+    scale = float(rng.choice([1.0, 0.5, 2.0]))
+    return demands, reservations, model, scale
+
+
+@pytest.mark.parametrize("phi", PAPER_DECISION_FRACTIONS)
+@pytest.mark.parametrize("seed", SEEDS)
+def test_stream_matches_fast_engine_exactly(seed, phi):
+    demands, reservations, model, scale = random_case(seed)
+    for kind in FastPolicyKind:
+        fast = run_fast(
+            demands, reservations, model, phi=phi, kind=kind, threshold_scale=scale
+        )
+        stream = run_stream(
+            demands, reservations, model, phi=phi, kind=kind, threshold_scale=scale
+        )
+        assert stream.sales == fast.sales, (seed, phi, kind)
+        # CostBreakdown equality is exact — bit-identical floats.
+        assert stream.breakdown == fast.breakdown, (seed, phi, kind)
+
+
+@pytest.mark.parametrize("phi", PAPER_DECISION_FRACTIONS)
+def test_incremental_observe_equals_whole_trace(phi):
+    demands, reservations, model, scale = random_case(7)
+    whole = run_stream(demands, reservations, model, phi=phi, threshold_scale=scale)
+    tracker = StreamTracker(model, phi=phi, threshold_scale=scale)
+    for demand, arriving in zip(demands, reservations):
+        tracker.observe(int(demand), int(arriving))
+    assert tracker.sales == whole.sales
+    assert tracker.breakdown == whole.breakdown
+
+
+def test_decisions_carry_verdicts_and_sales_subset():
+    demands, reservations, model, _ = random_case(11)
+    stream = run_stream(demands, reservations, model, phi=0.5)
+    decided = {
+        (d.reserved_at, d.batch_index) for d in stream.decisions
+    }
+    sold = {(s.reserved_at, s.batch_index) for s in stream.sales}
+    assert sold <= decided
+    assert stream.instances_sold == len(stream.sales)
+
+
+def test_keep_reserved_never_sells():
+    demands, reservations, model, _ = random_case(3)
+    stream = run_stream(
+        demands, reservations, model, kind=FastPolicyKind.KEEP_RESERVED
+    )
+    assert stream.sales == ()
+    assert stream.breakdown.sale_income == 0.0
