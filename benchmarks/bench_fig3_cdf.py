@@ -7,7 +7,7 @@ online rule's losing tail is far smaller than All-Selling's.
 """
 
 from repro.experiments import fig3
-from repro.experiments.runner import POLICY_KEEP
+from repro.core.policies import POLICY_KEEP
 
 
 def test_fig3_cdfs(benchmark, config, sweep):

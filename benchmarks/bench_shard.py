@@ -1,0 +1,193 @@
+"""Bench: sharded-router throughput, recorded to BENCH_shard.json.
+
+Not a paper artefact — this guards the sharding layer: end-to-end
+ingest through the front router (consistent hashing, per-shard fan-out,
+seq stamping, envelope parsing) at shard counts N=1, 2, 4, plus p50/p99
+per-batch ingest latency. The record format is documented in
+docs/serving.md.
+
+Run standalone (writes ``BENCH_shard.json`` at the repo root)::
+
+    PYTHONPATH=src python benchmarks/bench_shard.py
+    PYTHONPATH=src python benchmarks/bench_shard.py \
+        --instances 400 --hours 24 --output BENCH_shard.json
+
+or via pytest (a scaled-down smoke pass)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_shard.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import tempfile
+import threading
+import time
+import urllib.request
+from pathlib import Path
+
+import numpy as np
+
+from repro._version import __version__
+from repro.core.account import CostModel
+from repro.pricing.catalog import paper_experiment_plan
+from repro.serve.shard import RouterServer, start_cluster
+from repro.serve.state import STATE_VERSION
+
+
+def build_model(period_hours: int) -> CostModel:
+    plan = paper_experiment_plan()
+    if period_hours != plan.period_hours:
+        plan = plan.with_period(period_hours)
+    return CostModel(plan=plan, selling_discount=0.8)
+
+
+def _event_matrix(instances: int, hours: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.random((hours, instances)) < 0.6
+
+
+def _percentile(samples: "list[float]", q: float) -> float:
+    return float(statistics.quantiles(samples, n=100)[int(q) - 1])
+
+
+def _measure_cluster(
+    model: CostModel, busy: np.ndarray, n_shards: int, checkpoint_dir: Path
+) -> dict:
+    """Drive one cluster over the full event matrix via HTTP."""
+    ids = [f"i-{k}" for k in range(busy.shape[1])]
+    router = start_cluster(model, n_shards, checkpoint_dir)
+    server = RouterServer(("127.0.0.1", 0), router)
+    url = f"http://127.0.0.1:{server.server_address[1]}/v1/events"
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    latencies = []
+    try:
+        began = time.perf_counter()
+        for hour in range(busy.shape[0]):
+            row = busy[hour]
+            body = json.dumps(
+                {"events": [
+                    {"instance": ids[k], "busy": bool(row[k])}
+                    for k in range(len(ids))
+                ]}
+            ).encode("utf-8")
+            request = urllib.request.Request(
+                url,
+                data=body,
+                headers={"Content-Type": "application/json"},
+                method="POST",
+            )
+            sent = time.perf_counter()
+            with urllib.request.urlopen(request, timeout=60) as response:
+                response.read()
+            latencies.append(time.perf_counter() - sent)
+        elapsed = time.perf_counter() - began
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+        router.close()
+    events = busy.shape[0] * busy.shape[1]
+    return {
+        "shards": n_shards,
+        "seconds": round(elapsed, 4),
+        "events_per_second": round(events / elapsed, 1),
+        "ingest_p50_ms": round(_percentile(latencies, 50) * 1000, 3),
+        "ingest_p99_ms": round(_percentile(latencies, 99) * 1000, 3),
+    }
+
+
+def run_bench(
+    instances: int = 400,
+    hours: int = 24,
+    period_hours: int = 64,
+    seed: int = 2018,
+    shard_counts: "tuple[int, ...]" = (1, 2, 4),
+) -> dict:
+    """Measure router ingest throughput/latency per shard count."""
+    model = build_model(period_hours)
+    busy = _event_matrix(instances, hours, seed)
+    clusters = []
+    for n_shards in shard_counts:
+        with tempfile.TemporaryDirectory(prefix="repro-bench-shard-") as directory:
+            clusters.append(
+                _measure_cluster(model, busy, n_shards, Path(directory))
+            )
+    return {
+        "benchmark": "shard_ingest",
+        "version": __version__,
+        "state_version": STATE_VERSION,
+        "created_unix": round(time.time(), 3),
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "config": {
+            "instances": instances,
+            "hours": hours,
+            "events": instances * hours,
+            "period_hours": period_hours,
+            "seed": seed,
+        },
+        "clusters": clusters,
+    }
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--instances", type=int, default=400, metavar="N")
+    parser.add_argument("--hours", type=int, default=24, metavar="H")
+    parser.add_argument("--period-hours", type=int, default=64, metavar="T")
+    parser.add_argument("--seed", type=int, default=2018)
+    parser.add_argument(
+        "--shards",
+        type=int,
+        nargs="+",
+        default=[1, 2, 4],
+        metavar="N",
+        help="shard counts to measure, one cluster each",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=Path("BENCH_shard.json"), metavar="FILE"
+    )
+    args = parser.parse_args(argv)
+    record = run_bench(
+        instances=args.instances,
+        hours=args.hours,
+        period_hours=args.period_hours,
+        seed=args.seed,
+        shard_counts=tuple(args.shards),
+    )
+    args.output.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {args.output}")
+    for cluster in record["clusters"]:
+        print(
+            f"  N={cluster['shards']}: {cluster['events_per_second']} events/s "
+            f"({cluster['seconds']}s, p50 {cluster['ingest_p50_ms']}ms, "
+            f"p99 {cluster['ingest_p99_ms']}ms)"
+        )
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# pytest smoke pass (scaled down: correctness of the record, not the numbers)
+# ---------------------------------------------------------------------------
+
+
+def test_bench_record_shape():
+    record = run_bench(instances=16, hours=6, period_hours=8, shard_counts=(1, 2))
+    assert record["benchmark"] == "shard_ingest"
+    assert record["state_version"] == STATE_VERSION
+    assert record["config"]["events"] == 16 * 6
+    assert [c["shards"] for c in record["clusters"]] == [1, 2]
+    for cluster in record["clusters"]:
+        assert cluster["events_per_second"] > 0
+        assert cluster["ingest_p50_ms"] <= cluster["ingest_p99_ms"]
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

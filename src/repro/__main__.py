@@ -25,6 +25,7 @@ commands:
   experiments  regenerate the paper's tables and figures
   lint         run the domain-invariant linter over src/
   serve        start the online sell/keep advisory HTTP service
+               (``--shards N`` runs a sharded cluster behind a router)
 
 Any other first argument is treated as an experiment name and forwarded
 to `repro experiments` (e.g. `python -m repro theory`).

@@ -1,0 +1,56 @@
+"""Deprecation-migration helpers shared across the public surface.
+
+The keyword-only migration of :func:`repro.api.run_user`,
+:func:`repro.api.run_sweep`, and :func:`repro.api.build_app` keeps
+positional calls working for one release behind a
+:class:`DeprecationWarning`. The machinery lives here so every migrated
+function resolves the deprecated tail identically.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+
+class Unset:
+    """Sentinel distinguishing 'not passed' from an explicit default."""
+
+    def __repr__(self) -> str:
+        return "<unset>"
+
+
+UNSET = Unset()
+
+
+def absorb_positional_tail(
+    func_name: str,
+    args: "tuple[object, ...]",
+    names: "tuple[str, ...]",
+    given: "dict[str, object]",
+) -> None:
+    """Map a deprecated positional tail onto keyword parameters.
+
+    ``names`` lists the keyword-only parameters in their historical
+    positional order; ``given`` maps each name to the value the caller
+    passed by keyword (or the sentinel :data:`UNSET`). Mutates ``given``.
+    """
+    if not args:
+        return
+    if len(args) > len(names):
+        raise TypeError(
+            f"{func_name}() takes at most {len(names)} positional "
+            f"configuration arguments ({len(args)} given)"
+        )
+    warnings.warn(
+        f"passing {', '.join(names[: len(args)])} to {func_name}() "
+        "positionally is deprecated; pass them as keywords (positional "
+        "support will be removed in the next release)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    for name, value in zip(names, args):
+        if given[name] is not UNSET:
+            raise TypeError(
+                f"{func_name}() got multiple values for argument {name!r}"
+            )
+        given[name] = value

@@ -6,10 +6,12 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
+from repro.core.policies import POLICY_KEEP
 from repro.errors import ReproError
 
-#: The baseline policy name used throughout the paper's figures.
-KEEP_RESERVED = "Keep-Reserved"
+#: The baseline policy name used throughout the paper's figures
+#: (re-exported alias of :data:`repro.core.policies.POLICY_KEEP`).
+KEEP_RESERVED = POLICY_KEEP
 
 
 def normalize_costs(

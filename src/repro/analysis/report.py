@@ -23,7 +23,14 @@ from repro.analysis.diagnostics import SavingsWaterfall, decompose_savings
 from repro.core.account import CostModel
 from repro.core.advisor import AdvisorReport, SellingAdvisor
 from repro.core.offline import run_offline_optimal
-from repro.core.policies import KeepReservedPolicy, OnlineSellingPolicy
+from repro.core.policies import (
+    POLICY_A_3T4,
+    POLICY_A_T2,
+    POLICY_A_T4,
+    POLICY_KEEP,
+    KeepReservedPolicy,
+    OnlineSellingPolicy,
+)
 from repro.core.simulator import SimulationResult, run_policy
 from repro.errors import ReproError
 from repro.marketplace.seller import SaleLatencyModel
@@ -44,7 +51,7 @@ class UserReport:
 
     def to_markdown(self) -> str:
         """Render the report as markdown."""
-        keep_cost = self.policy_results["Keep-Reserved"].total_cost
+        keep_cost = self.policy_results[POLICY_KEEP].total_cost
         lines = ["# Reserved-instance selling review", "", "## Policy comparison", ""]
         lines.append("| policy | total cost | vs Keep-Reserved | sold |")
         lines.append("|---|---|---|---|")
@@ -101,21 +108,21 @@ def user_report(
     """
     trace = as_trace(demands)
     policies = {
-        "Keep-Reserved": KeepReservedPolicy(),
-        "A_{3T/4}": OnlineSellingPolicy.a_3t4(),
-        "A_{T/2}": OnlineSellingPolicy.a_t2(),
-        "A_{T/4}": OnlineSellingPolicy.a_t4(),
+        POLICY_KEEP: KeepReservedPolicy(),
+        POLICY_A_3T4: OnlineSellingPolicy.a_3t4(),
+        POLICY_A_T2: OnlineSellingPolicy.a_t2(),
+        POLICY_A_T4: OnlineSellingPolicy.a_t4(),
     }
     results = {
         name: run_policy(trace, reservations, model, policy)
         for name, policy in policies.items()
     }
     opt = run_offline_optimal(trace, reservations, model)
-    online_names = [name for name in results if name != "Keep-Reserved"]
+    online_names = [name for name in results if name != POLICY_KEEP]
     recommended = min(online_names, key=lambda name: results[name].total_cost)
     if not online_names:
         raise ReproError("no online policy evaluated")
-    waterfall = decompose_savings(results["Keep-Reserved"], results[recommended])
+    waterfall = decompose_savings(results[POLICY_KEEP], results[recommended])
 
     advisor = SellingAdvisor(model, phi=0.75)
     advice = advisor.review(trace, reservations)

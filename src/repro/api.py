@@ -1,0 +1,111 @@
+"""The supported public surface of :mod:`repro`, in one flat module.
+
+Everything importable here is stable: additions are backwards
+compatible, removals go through one release of
+:class:`DeprecationWarning`. Code that reaches past this facade into
+submodules depends on internals that may move without notice (the
+policy-name constants' move from ``repro.experiments.runner`` to
+:mod:`repro.core.policies` is the canonical example — importing them
+from here would have been seamless).
+
+The surface groups into:
+
+* **Engines** — :func:`run_policy` (reference simulator),
+  :func:`run_fast` (vectorised batch engine), :func:`run_stream`
+  (exact event-by-event engine), :func:`run_offline_optimal` (OPT).
+* **Experiments** — :func:`run_user` / :func:`run_sweep` over the
+  paper's synthetic population, with :class:`ExperimentConfig`,
+  :class:`SweepResult`, and :class:`UserOutcome`.
+* **Serving** — :func:`build_app` (the advisory HTTP application) and
+  :func:`start_cluster` (the sharded deployment of it).
+* **Model & names** — :class:`CostModel`, :class:`PricingPlan`,
+  :class:`CostBreakdown`, and the canonical policy-name constants.
+"""
+
+from __future__ import annotations
+
+from repro._version import __version__
+from repro.core.account import CostBreakdown, CostModel, HourlyFeeMode
+from repro.core.fastsim import FastPolicyKind, FastResult, FastSale, run_fast
+from repro.core.offline import run_offline_optimal
+from repro.core.policies import (
+    ALL_SELLING_POLICIES,
+    ONLINE_POLICIES,
+    POLICY_A_3T4,
+    POLICY_A_T2,
+    POLICY_A_T4,
+    POLICY_ALL_3T4,
+    POLICY_ALL_T2,
+    POLICY_ALL_T4,
+    POLICY_KEEP,
+    POLICY_OPT,
+    AllSellingPolicy,
+    KeepReservedPolicy,
+    OnlineSellingPolicy,
+)
+from repro.core.simulator import run_policy
+from repro.errors import ReproError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.population import (
+    ExperimentUser,
+    build_experiment_population,
+)
+from repro.experiments.runner import (
+    SweepResult,
+    UserOutcome,
+    run_sweep,
+    run_user,
+)
+from repro.pricing.catalog import paper_experiment_plan
+from repro.pricing.plan import PricingPlan
+from repro.serve.server import AdvisoryApp, build_app
+from repro.serve.shard import ShardRouter, start_cluster
+from repro.serve.state import StreamTracker, run_stream
+
+__all__ = [
+    "__version__",
+    # errors
+    "ReproError",
+    # cost model and pricing
+    "CostBreakdown",
+    "CostModel",
+    "HourlyFeeMode",
+    "PricingPlan",
+    "paper_experiment_plan",
+    # policies and canonical names
+    "AllSellingPolicy",
+    "KeepReservedPolicy",
+    "OnlineSellingPolicy",
+    "run_policy",
+    "ALL_SELLING_POLICIES",
+    "ONLINE_POLICIES",
+    "POLICY_A_3T4",
+    "POLICY_A_T2",
+    "POLICY_A_T4",
+    "POLICY_ALL_3T4",
+    "POLICY_ALL_T2",
+    "POLICY_ALL_T4",
+    "POLICY_KEEP",
+    "POLICY_OPT",
+    # engines
+    "FastPolicyKind",
+    "FastResult",
+    "FastSale",
+    "run_fast",
+    "run_offline_optimal",
+    "StreamTracker",
+    "run_stream",
+    # experiments
+    "ExperimentConfig",
+    "ExperimentUser",
+    "SweepResult",
+    "UserOutcome",
+    "build_experiment_population",
+    "run_sweep",
+    "run_user",
+    # serving
+    "AdvisoryApp",
+    "ShardRouter",
+    "build_app",
+    "start_cluster",
+]

@@ -35,7 +35,7 @@ from numpy.typing import ArrayLike
 
 from repro.core.account import CostModel, HourlyFeeMode
 from repro.core.instance import ReservedInstance
-from repro.core.policies import ScriptedSellingPolicy
+from repro.core.policies import POLICY_OPT, ScriptedSellingPolicy
 from repro.core.simulator import SimulationResult, run_policy
 from repro.errors import SimulationError
 from repro.workload.base import TraceLike, as_trace
@@ -340,7 +340,7 @@ def run_offline_optimal(
     model: CostModel,
     min_age: int = 1,
     max_passes: int = 8,
-    name: str = "OPT",
+    name: str = POLICY_OPT,
 ) -> SimulationResult:
     """Full offline-optimal run, cost-accounted by the reference simulator."""
     sales = offline_optimal_schedule(

@@ -33,6 +33,40 @@ from repro.core.instance import ReservedInstance
 from repro.errors import PolicyError
 from repro.pricing.plan import PricingPlan
 
+# ----------------------------------------------------------------------
+# Canonical policy names
+# ----------------------------------------------------------------------
+# Every experiment output, CSV column, advisory response and report keys
+# policies by these exact strings. They live here — next to the policy
+# classes that own the naming scheme — and everything else imports them
+# (lint rule REP011 flags hard-coded copies elsewhere).
+
+#: The paper's three online algorithms.
+POLICY_A_3T4 = "A_{3T/4}"
+POLICY_A_T2 = "A_{T/2}"
+POLICY_A_T4 = "A_{T/4}"
+#: The two benchmarks of Section VI-B.
+POLICY_KEEP = "Keep-Reserved"
+POLICY_ALL_3T4 = "All-Selling@3T/4"
+POLICY_ALL_T2 = "All-Selling@T/2"
+POLICY_ALL_T4 = "All-Selling@T/4"
+#: The offline optimum.
+POLICY_OPT = "OPT"
+
+#: The three online algorithms with their decision fractions.
+ONLINE_POLICIES: "dict[str, float]" = {
+    POLICY_A_3T4: PHI_3T4,
+    POLICY_A_T2: PHI_T2,
+    POLICY_A_T4: PHI_T4,
+}
+
+#: The All-Selling benchmark at each spot.
+ALL_SELLING_POLICIES: "dict[str, float]" = {
+    POLICY_ALL_3T4: PHI_3T4,
+    POLICY_ALL_T2: PHI_T2,
+    POLICY_ALL_T4: PHI_T4,
+}
+
 
 @dataclass(frozen=True)
 class DecisionContext:
@@ -131,7 +165,7 @@ class OnlineSellingPolicy(SellingPolicy):
 class KeepReservedPolicy(SellingPolicy):
     """Benchmark: never sell (the normalisation baseline of Fig. 3/4)."""
 
-    name = "Keep-Reserved"
+    name = POLICY_KEEP
 
     def decision_fraction(self, instance: ReservedInstance) -> None:
         return None

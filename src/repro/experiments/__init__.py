@@ -19,8 +19,7 @@ from repro.experiments.config import (
     PAPER_SELLING_DISCOUNT,
     ExperimentConfig,
 )
-from repro.experiments.population import ExperimentUser, build_experiment_population
-from repro.experiments.runner import (
+from repro.core.policies import (
     ALL_SELLING_POLICIES,
     ONLINE_POLICIES,
     POLICY_A_3T4,
@@ -28,6 +27,9 @@ from repro.experiments.runner import (
     POLICY_A_T4,
     POLICY_KEEP,
     POLICY_OPT,
+)
+from repro.experiments.population import ExperimentUser, build_experiment_population
+from repro.experiments.runner import (
     SweepResult,
     UserOutcome,
     run_sweep,

@@ -21,7 +21,12 @@ import numpy as np
 
 from repro.analysis.tables import format_table
 from repro.core.fastsim import FastPolicyKind, run_fast
-from repro.core.policies import RandomizedSellingPolicy
+from repro.core.policies import (
+    POLICY_A_3T4,
+    POLICY_A_T2,
+    POLICY_A_T4,
+    RandomizedSellingPolicy,
+)
 from repro.core.simulator import run_policy
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.population import ExperimentUser, build_experiment_population
@@ -71,9 +76,9 @@ def run(config: ExperimentConfig, users: "list[ExperimentUser] | None" = None) -
     for a in DISCOUNT_GRID:
         model = config.scaled(selling_discount=a).cost_model()
         discount_sweep[a] = {
-            "A_{3T/4}": _mean_normalized(users, model, 0.75),
-            "A_{T/2}": _mean_normalized(users, model, 0.5),
-            "A_{T/4}": _mean_normalized(users, model, 0.25),
+            POLICY_A_3T4: _mean_normalized(users, model, 0.75),
+            POLICY_A_T2: _mean_normalized(users, model, 0.5),
+            POLICY_A_T4: _mean_normalized(users, model, 0.25),
         }
 
     model = config.cost_model()
@@ -95,9 +100,9 @@ def run(config: ExperimentConfig, users: "list[ExperimentUser] | None" = None) -
     for fee in FEE_GRID:
         fee_model = config.scaled(marketplace_fee=fee).cost_model()
         fee_sweep[fee] = {
-            "A_{3T/4}": _mean_normalized(users, fee_model, 0.75),
-            "A_{T/2}": _mean_normalized(users, fee_model, 0.5),
-            "A_{T/4}": _mean_normalized(users, fee_model, 0.25),
+            POLICY_A_3T4: _mean_normalized(users, fee_model, 0.75),
+            POLICY_A_T2: _mean_normalized(users, fee_model, 0.5),
+            POLICY_A_T4: _mean_normalized(users, fee_model, 0.25),
         }
 
     # Sensitivity of Algorithm 1's "sell iff working < beta" threshold.
@@ -155,9 +160,9 @@ def run(config: ExperimentConfig, users: "list[ExperimentUser] | None" = None) -
 def render(result: AblationResult) -> str:
     pieces = ["Ablations — mean cost normalized to Keep-Reserved"]
 
-    headers = ["a", "A_{3T/4}", "A_{T/2}", "A_{T/4}"]
+    headers = ["a", POLICY_A_3T4, POLICY_A_T2, POLICY_A_T4]
     rows = [
-        [a, row["A_{3T/4}"], row["A_{T/2}"], row["A_{T/4}"]]
+        [a, row[POLICY_A_3T4], row[POLICY_A_T2], row[POLICY_A_T4]]
         for a, row in result.discount_sweep.items()
     ]
     pieces.append("")
@@ -173,9 +178,9 @@ def render(result: AblationResult) -> str:
         f"randomized-spot policy (future work): {result.randomized_mean:.4f}"
     )
 
-    headers = ["fee", "A_{3T/4}", "A_{T/2}", "A_{T/4}"]
+    headers = ["fee", POLICY_A_3T4, POLICY_A_T2, POLICY_A_T4]
     rows = [
-        [fee, row["A_{3T/4}"], row["A_{T/2}"], row["A_{T/4}"]]
+        [fee, row[POLICY_A_3T4], row[POLICY_A_T2], row[POLICY_A_T4]]
         for fee, row in result.fee_sweep.items()
     ]
     pieces.append("")

@@ -15,12 +15,18 @@ import numpy as np
 
 from repro.analysis.diagnostics import decompose_savings
 from repro.analysis.tables import format_table
-from repro.core.policies import KeepReservedPolicy, OnlineSellingPolicy
 from repro.core.simulator import run_policy
 from repro.errors import ExperimentError
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.population import ExperimentUser, build_experiment_population
-from repro.experiments.runner import ONLINE_POLICIES
+from repro.core.policies import (
+    ONLINE_POLICIES,
+    POLICY_A_3T4,
+    POLICY_A_T2,
+    POLICY_A_T4,
+    KeepReservedPolicy,
+    OnlineSellingPolicy,
+)
 
 
 @dataclass(frozen=True)
@@ -77,12 +83,12 @@ def run(
                     demands, reservations, model, OnlineSellingPolicy(phi)
                 )
                 normalized[name].append(result.total_cost / keep.total_cost)
-                if name == "A_{T/4}":
+                if name == POLICY_A_T4:
                     waterfall = decompose_savings(keep, result)
                     income_total += waterfall.sale_income
                     fees_total += waterfall.avoided_reserved_fees
                     saving_total += waterfall.saving
-        if not normalized["A_{T/4}"]:
+        if not normalized[POLICY_A_T4]:
             continue
         gross_gain = income_total + fees_total
         rows.append(
@@ -108,7 +114,7 @@ def run(
 def render(result: BreakdownResult) -> str:
     headers = [
         "Imitator", "users", "RIs/user",
-        "A_{3T/4}", "A_{T/2}", "A_{T/4}",
+        POLICY_A_3T4, POLICY_A_T2, POLICY_A_T4,
         "income share", "fee share",
     ]
     rows = []
@@ -117,9 +123,9 @@ def render(result: BreakdownResult) -> str:
             row.imitator,
             row.users,
             row.reservations_per_user,
-            row.mean_normalized["A_{3T/4}"],
-            row.mean_normalized["A_{T/2}"],
-            row.mean_normalized["A_{T/4}"],
+            row.mean_normalized[POLICY_A_3T4],
+            row.mean_normalized[POLICY_A_T2],
+            row.mean_normalized[POLICY_A_T4],
             f"{row.income_share:.0%}",
             f"{row.fee_share:.0%}",
         ])

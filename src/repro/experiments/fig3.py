@@ -18,22 +18,24 @@ from dataclasses import dataclass
 from repro.analysis.ascii_plots import ascii_cdf
 from repro.analysis.summary import SavingsSummary
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.runner import (
+from repro.core.policies import (
     ALL_SELLING_POLICIES,
     ONLINE_POLICIES,
+    POLICY_A_3T4,
+    POLICY_A_T2,
+    POLICY_A_T4,
     POLICY_ALL_3T4,
     POLICY_ALL_T2,
     POLICY_ALL_T4,
     POLICY_KEEP,
-    SweepResult,
-    run_sweep,
 )
+from repro.experiments.runner import SweepResult, run_sweep
 
 #: Panel layout: online policy -> its All-Selling benchmark.
 PANELS: dict[str, str] = {
-    "A_{3T/4}": POLICY_ALL_3T4,
-    "A_{T/2}": POLICY_ALL_T2,
-    "A_{T/4}": POLICY_ALL_T4,
+    POLICY_A_3T4: POLICY_ALL_3T4,
+    POLICY_A_T2: POLICY_ALL_T2,
+    POLICY_A_T4: POLICY_ALL_T4,
 }
 
 

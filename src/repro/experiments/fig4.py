@@ -15,7 +15,13 @@ from dataclasses import dataclass
 from repro.analysis.ascii_plots import ascii_cdf
 from repro.analysis.summary import SavingsSummary
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.runner import ONLINE_POLICIES, SweepResult, run_sweep
+from repro.core.policies import (
+    ONLINE_POLICIES,
+    POLICY_A_3T4,
+    POLICY_A_T2,
+    POLICY_A_T4,
+)
+from repro.experiments.runner import SweepResult, run_sweep
 from repro.workload.groups import FluctuationGroup
 
 
@@ -33,7 +39,7 @@ class Fig4Result:
         means = {
             name: summary.mean for name, summary in self.summaries[group].items()
         }
-        return means["A_{T/4}"] <= means["A_{T/2}"] <= means["A_{3T/4}"]
+        return means[POLICY_A_T4] <= means[POLICY_A_T2] <= means[POLICY_A_3T4]
 
 
 def run(config: ExperimentConfig, sweep: "SweepResult | None" = None) -> Fig4Result:

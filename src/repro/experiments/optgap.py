@@ -28,7 +28,8 @@ from repro.core.ratios import competitive_ratio
 from repro.errors import ExperimentError
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.population import ExperimentUser, build_experiment_population
-from repro.experiments.runner import ONLINE_POLICIES, run_user
+from repro.core.policies import ONLINE_POLICIES, POLICY_KEEP, POLICY_OPT
+from repro.experiments.runner import run_user
 
 
 @dataclass(frozen=True)
@@ -76,10 +77,10 @@ def run(
 
     for user in users:
         outcome = run_user(user, config, include_opt=True, include_all_selling=False)
-        if outcome.costs["Keep-Reserved"] <= 0:
+        if outcome.costs[POLICY_KEEP] <= 0:
             continue
-        keep_costs.append(outcome.costs["Keep-Reserved"])
-        opt_costs.append(outcome.costs["OPT"])
+        keep_costs.append(outcome.costs[POLICY_KEEP])
+        opt_costs.append(outcome.costs[POLICY_OPT])
         for name in ONLINE_POLICIES:
             policy_costs[name].append(outcome.costs[name])
         for name, phi in ONLINE_POLICIES.items():

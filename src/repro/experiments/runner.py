@@ -15,17 +15,19 @@ engine version)``. See ``docs/parallel_execution.md``.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Iterable
 
 import numpy as np
 
-from repro.analysis.normalize import KEEP_RESERVED, normalize_costs
+from repro._compat import UNSET, Unset, absorb_positional_tail
+from repro.analysis.normalize import normalize_costs
 from repro.core.account import CostModel
-from repro.core.breakeven import PHI_3T4, PHI_T2, PHI_T4
 from repro.core.fastsim import ENGINE_VERSION, FastPolicyKind, run_fast
 from repro.core.offline import run_offline_optimal
+from repro.core import policies as _policies
 from repro.errors import ExperimentError
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.population import ExperimentUser, build_experiment_population
@@ -35,29 +37,36 @@ from repro.parallel.pool import parallel_map, resolve_workers
 from repro.parallel.timing import StageTimer, SweepTiming
 from repro.workload.groups import FluctuationGroup
 
-#: Canonical policy names used across all experiment outputs.
-POLICY_A_3T4 = "A_{3T/4}"
-POLICY_A_T2 = "A_{T/2}"
-POLICY_A_T4 = "A_{T/4}"
-POLICY_KEEP = KEEP_RESERVED
-POLICY_ALL_3T4 = "All-Selling@3T/4"
-POLICY_ALL_T2 = "All-Selling@T/2"
-POLICY_ALL_T4 = "All-Selling@T/4"
-POLICY_OPT = "OPT"
+#: Names historically defined here; they now live in
+#: :mod:`repro.core.policies` and importing them from this module warns.
+_MOVED_TO_POLICIES = (
+    "POLICY_A_3T4",
+    "POLICY_A_T2",
+    "POLICY_A_T4",
+    "POLICY_KEEP",
+    "POLICY_ALL_3T4",
+    "POLICY_ALL_T2",
+    "POLICY_ALL_T4",
+    "POLICY_OPT",
+    "ONLINE_POLICIES",
+    "ALL_SELLING_POLICIES",
+)
 
-#: The three online algorithms with their decision fractions.
-ONLINE_POLICIES: dict[str, float] = {
-    POLICY_A_3T4: PHI_3T4,
-    POLICY_A_T2: PHI_T2,
-    POLICY_A_T4: PHI_T4,
-}
 
-#: The All-Selling benchmark at each spot.
-ALL_SELLING_POLICIES: dict[str, float] = {
-    POLICY_ALL_3T4: PHI_3T4,
-    POLICY_ALL_T2: PHI_T2,
-    POLICY_ALL_T4: PHI_T4,
-}
+def __getattr__(name: str) -> object:
+    """Deprecation shim: the policy-name constants moved to
+    :mod:`repro.core.policies`; old imports keep working for one release."""
+    if name in _MOVED_TO_POLICIES:
+        warnings.warn(
+            f"repro.experiments.runner.{name} moved to repro.core.policies "
+            "(import it from repro.core.policies or repro.api); the "
+            "runner alias will be removed in the next release",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return getattr(_policies, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 #: Schema version of the cached per-user payload (bump on shape changes).
 _CACHE_FORMAT = 1
@@ -110,7 +119,7 @@ class SweepResult:
 
     def normalized(self) -> dict[str, np.ndarray]:
         """Costs normalised to Keep-Reserved (the paper's presentation)."""
-        return normalize_costs(self.costs_matrix(), baseline=POLICY_KEEP)
+        return normalize_costs(self.costs_matrix(), baseline=_policies.POLICY_KEEP)
 
     def group_labels(self) -> np.ndarray:
         """Each user's fluctuation-group label, in user order."""
@@ -173,16 +182,16 @@ def _simulate_user(
     sold: dict[str, int] = {}
 
     keep = run_fast(demands, reservations, model, kind=FastPolicyKind.KEEP_RESERVED)
-    costs[POLICY_KEEP] = keep.total_cost
-    sold[POLICY_KEEP] = 0
+    costs[_policies.POLICY_KEEP] = keep.total_cost
+    sold[_policies.POLICY_KEEP] = 0
 
-    for name, phi in ONLINE_POLICIES.items():
+    for name, phi in _policies.ONLINE_POLICIES.items():
         result = run_fast(demands, reservations, model, phi=phi)
         costs[name] = result.total_cost
         sold[name] = result.instances_sold
 
     if include_all_selling:
-        for name, phi in ALL_SELLING_POLICIES.items():
+        for name, phi in _policies.ALL_SELLING_POLICIES.items():
             result = run_fast(
                 demands, reservations, model, phi=phi, kind=FastPolicyKind.ALL_SELLING
             )
@@ -191,8 +200,8 @@ def _simulate_user(
 
     if include_opt:
         result = run_offline_optimal(user.schedule.demands, reservations, model)
-        costs[POLICY_OPT] = result.total_cost
-        sold[POLICY_OPT] = result.instances_sold
+        costs[_policies.POLICY_OPT] = result.total_cost
+        sold[_policies.POLICY_OPT] = result.instances_sold
 
     return UserOutcome(
         user_id=user.user_id,
@@ -205,21 +214,46 @@ def _simulate_user(
     )
 
 
+_absorb_positional_tail = absorb_positional_tail
+_Unset = Unset
+_UNSET = UNSET
+
+
 def run_user(
     user: ExperimentUser,
     config: ExperimentConfig,
-    include_opt: bool = False,
-    include_all_selling: bool = True,
-    model: "CostModel | None" = None,
+    *args: object,
+    include_opt: "bool | _Unset" = _UNSET,
+    include_all_selling: "bool | _Unset" = _UNSET,
+    model: "CostModel | _Unset | None" = _UNSET,
 ) -> UserOutcome:
     """Run every policy for one user.
 
+    The configuration tail is keyword-only (a positional tail still
+    works for one release behind a :class:`DeprecationWarning`).
     ``model`` lets sweep-scale callers build the cost model once and
     reuse it across the population instead of re-deriving it per user.
     """
-    if model is None:
-        model = config.cost_model()
-    return _simulate_user(user, model, include_opt, include_all_selling)
+    given: "dict[str, object]" = {
+        "include_opt": include_opt,
+        "include_all_selling": include_all_selling,
+        "model": model,
+    }
+    _absorb_positional_tail(
+        "run_user", args, ("include_opt", "include_all_selling", "model"), given
+    )
+    opt = bool(given["include_opt"]) if given["include_opt"] is not _UNSET else False
+    all_selling = (
+        bool(given["include_all_selling"])
+        if given["include_all_selling"] is not _UNSET
+        else True
+    )
+    cost_model = given["model"] if given["model"] is not _UNSET else None
+    if cost_model is None:
+        cost_model = config.cost_model()
+    if not isinstance(cost_model, CostModel):
+        raise TypeError(f"model must be a CostModel, got {cost_model!r}")
+    return _simulate_user(user, cost_model, opt, all_selling)
 
 
 # ----------------------------------------------------------------------
@@ -311,15 +345,18 @@ def _outcome_from_payload(payload: dict) -> "UserOutcome | None":
 
 def run_sweep(
     config: ExperimentConfig,
-    users: "Iterable[ExperimentUser] | None" = None,
-    include_opt: bool = False,
-    include_all_selling: bool = True,
-    progress: "Callable[[int, int], None] | None" = None,
-    workers: int = 1,
-    cache: "ResultCache | str | Path | None" = None,
+    *args: object,
+    users: "Iterable[ExperimentUser] | None | _Unset" = _UNSET,
+    include_opt: "bool | _Unset" = _UNSET,
+    include_all_selling: "bool | _Unset" = _UNSET,
+    progress: "Callable[[int, int], None] | None | _Unset" = _UNSET,
+    workers: "int | _Unset" = _UNSET,
+    cache: "ResultCache | str | Path | None | _Unset" = _UNSET,
 ) -> SweepResult:
     """Run the full population sweep (building the population if needed).
 
+    Everything after ``config`` is keyword-only (a positional tail still
+    works for one release behind a :class:`DeprecationWarning`).
     ``workers`` fans users out over a process pool (``1`` = the serial
     in-process path, ``0``/``None`` = one worker per core); results are
     identical regardless of the worker count. ``cache`` — a
@@ -327,6 +364,39 @@ def run_sweep(
     skips users whose outcome is already stored for this exact
     configuration. Stage timings land on ``SweepResult.timing``.
     """
+    given: "dict[str, object]" = {
+        "users": users,
+        "include_opt": include_opt,
+        "include_all_selling": include_all_selling,
+        "progress": progress,
+        "workers": workers,
+        "cache": cache,
+    }
+    _absorb_positional_tail(
+        "run_sweep",
+        args,
+        (
+            "users",
+            "include_opt",
+            "include_all_selling",
+            "progress",
+            "workers",
+            "cache",
+        ),
+        given,
+    )
+    users = given["users"] if given["users"] is not _UNSET else None  # type: ignore[assignment]
+    include_opt = (
+        bool(given["include_opt"]) if given["include_opt"] is not _UNSET else False
+    )
+    include_all_selling = (
+        bool(given["include_all_selling"])
+        if given["include_all_selling"] is not _UNSET
+        else True
+    )
+    progress = given["progress"] if given["progress"] is not _UNSET else None  # type: ignore[assignment]
+    workers = int(given["workers"]) if given["workers"] is not _UNSET else 1  # type: ignore[call-overload]
+    cache = given["cache"] if given["cache"] is not _UNSET else None  # type: ignore[assignment]
     timer = StageTimer()
     store = as_cache(cache)
     with timer.stage("population"):

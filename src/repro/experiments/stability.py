@@ -16,7 +16,8 @@ from repro.analysis.tables import format_table
 from repro.errors import ExperimentError
 from repro.experiments import table3
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.runner import ONLINE_POLICIES, run_sweep
+from repro.core.policies import ONLINE_POLICIES
+from repro.experiments.runner import run_sweep
 
 
 @dataclass(frozen=True)

@@ -25,13 +25,14 @@ from dataclasses import dataclass
 from repro.analysis.tables import format_table
 from repro.errors import ExperimentError
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.runner import (
+from repro.core.policies import (
     ONLINE_POLICIES,
+    POLICY_A_3T4,
+    POLICY_A_T2,
+    POLICY_A_T4,
     POLICY_KEEP,
-    SweepResult,
-    UserOutcome,
-    run_sweep,
 )
+from repro.experiments.runner import SweepResult, UserOutcome, run_sweep
 from repro.workload.groups import FluctuationGroup
 
 _TABLE_POLICIES = [*ONLINE_POLICIES, POLICY_KEEP]
@@ -51,14 +52,14 @@ class Table2Result:
     def a_3t4_safest(self) -> bool:
         """Whether the exhibited user shows the paper's full reversal."""
         online = {name: self.user.costs[name] for name in ONLINE_POLICIES}
-        return min(online, key=online.get) == "A_{3T/4}"
+        return min(online, key=online.get) == POLICY_A_3T4
 
     def worst_case_ordering_holds(self) -> bool:
         """The robust reading: A_{3T/4} has the best worst case."""
         return (
-            self.worst_case["A_{3T/4}"]
-            <= self.worst_case["A_{T/2}"] + 1e-12
-            and self.worst_case["A_{3T/4}"] <= self.worst_case["A_{T/4}"] + 1e-12
+            self.worst_case[POLICY_A_3T4]
+            <= self.worst_case[POLICY_A_T2] + 1e-12
+            and self.worst_case[POLICY_A_3T4] <= self.worst_case[POLICY_A_T4] + 1e-12
         )
 
 
@@ -78,8 +79,8 @@ def pick_extreme_user(sweep: SweepResult) -> UserOutcome:
         raise ExperimentError("the sweep contains no bursty users with reservations")
 
     def late_advantage(outcome: UserOutcome) -> float:
-        earlier = min(outcome.costs["A_{T/4}"], outcome.costs["A_{T/2}"])
-        return earlier - outcome.costs["A_{3T/4}"]
+        earlier = min(outcome.costs[POLICY_A_T4], outcome.costs[POLICY_A_T2])
+        return earlier - outcome.costs[POLICY_A_3T4]
 
     candidates = [o for o in sweep.outcomes if o.instances_reserved > 0] or bursty
     best_any = max(candidates, key=late_advantage)

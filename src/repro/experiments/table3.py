@@ -22,14 +22,20 @@ from repro.analysis.bootstrap import ConfidenceInterval, bootstrap_ci, differenc
 from repro.analysis.summary import group_means
 from repro.analysis.tables import format_table
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.runner import ONLINE_POLICIES, SweepResult, run_sweep
+from repro.core.policies import (
+    ONLINE_POLICIES,
+    POLICY_A_3T4,
+    POLICY_A_T2,
+    POLICY_A_T4,
+)
+from repro.experiments.runner import SweepResult, run_sweep
 from repro.workload.groups import FluctuationGroup
 
 #: The paper's Table III, for side-by-side reporting.
 PAPER_TABLE_III = {
-    "A_{3T/4}": {"stable": 0.9387, "moderate": 0.9154, "bursty": 0.9300, "All users": 0.9279},
-    "A_{T/2}": {"stable": 0.8797, "moderate": 0.8329, "bursty": 0.8966, "All users": 0.8643},
-    "A_{T/4}": {"stable": 0.8199, "moderate": 0.7583, "bursty": 0.8620, "All users": 0.8032},
+    POLICY_A_3T4: {"stable": 0.9387, "moderate": 0.9154, "bursty": 0.9300, "All users": 0.9279},
+    POLICY_A_T2: {"stable": 0.8797, "moderate": 0.8329, "bursty": 0.8966, "All users": 0.8643},
+    POLICY_A_T4: {"stable": 0.8199, "moderate": 0.7583, "bursty": 0.8620, "All users": 0.8032},
 }
 
 _GROUP_ORDER = [group.value for group in FluctuationGroup]
@@ -55,9 +61,9 @@ class Table3Result:
         """Column-wise A_{T/4} < A_{T/2} < A_{3T/4} (earlier spot saves
         more on average — Table III's visible ordering)."""
         return all(
-            self.measured["A_{T/4}"][column]
-            <= self.measured["A_{T/2}"][column]
-            <= self.measured["A_{3T/4}"][column]
+            self.measured[POLICY_A_T4][column]
+            <= self.measured[POLICY_A_T2][column]
+            <= self.measured[POLICY_A_3T4][column]
             for column in _COLUMNS
         )
 
@@ -74,11 +80,11 @@ def run(config: ExperimentConfig, sweep: "SweepResult | None" = None) -> Table3R
     }
     ordering_decisive = (
         difference_ci(
-            online_only["A_{T/4}"], online_only["A_{T/2}"], seed=config.seed
+            online_only[POLICY_A_T4], online_only[POLICY_A_T2], seed=config.seed
         ).high
         < 0.0
         and difference_ci(
-            online_only["A_{T/2}"], online_only["A_{3T/4}"], seed=config.seed
+            online_only[POLICY_A_T2], online_only[POLICY_A_3T4], seed=config.seed
         ).high
         < 0.0
     )

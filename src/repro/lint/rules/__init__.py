@@ -16,4 +16,5 @@ from repro.lint.rules import (  # noqa: F401
     rep008_assert_invariants,
     rep009_text_encoding,
     rep010_thread_discipline,
+    rep011_policy_literals,
 )

@@ -1,0 +1,79 @@
+"""REP011 — no hard-coded policy-name string literals."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from repro.core import policies as _policies
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.registry import ModuleContext, Rule, register
+
+#: The canonical policy names; the single source is
+#: :mod:`repro.core.policies`, so the rule can never drift from it.
+_POLICY_NAMES = frozenset(
+    {
+        _policies.POLICY_KEEP,
+        _policies.POLICY_OPT,
+        *_policies.ONLINE_POLICIES,
+        *_policies.ALL_SELLING_POLICIES,
+    }
+)
+
+#: Modules allowed to spell the names out: the defining module and the
+#: public facade re-exporting it.
+_EXEMPT = frozenset({("api.py",), ("core", "policies.py")})
+
+
+def _docstring_values(tree: ast.Module) -> "Set[int]":
+    """ids of the Constant nodes that are module/class/def docstrings."""
+    docstrings: "Set[int]" = set()
+    for node in ast.walk(tree):
+        if not isinstance(
+            node, (ast.Module, ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)
+        ):
+            continue
+        body = node.body
+        if (
+            body
+            and isinstance(body[0], ast.Expr)
+            and isinstance(body[0].value, ast.Constant)
+            and isinstance(body[0].value.value, str)
+        ):
+            docstrings.add(id(body[0].value))
+    return docstrings
+
+
+@register
+class PolicyLiteralRule(Rule):
+    code = "REP011"
+    name = "hard-coded-policy-name"
+    summary = (
+        'policy-name string literal (e.g. "A_{T/2}") outside '
+        "repro/core/policies.py; use the POLICY_* constants"
+    )
+    rationale = (
+        "The paper's policy names key every cost table, figure legend, "
+        "and cache entry; a typo in one spelled-out literal silently "
+        "drops a policy from a comparison instead of failing. One "
+        "defining module (repro.core.policies) keeps the keys "
+        "consistent across engines, experiments, and the API facade."
+    )
+    subpackages = None
+
+    def check(self, ctx: ModuleContext) -> Iterator[Diagnostic]:
+        if ctx.relative_parts in _EXEMPT:
+            return
+        docstrings = _docstring_values(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Constant):
+                continue
+            if not isinstance(node.value, str) or id(node) in docstrings:
+                continue
+            if node.value in _POLICY_NAMES:
+                yield self.diagnostic(
+                    ctx,
+                    node,
+                    f"hard-coded policy name {node.value!r}; import the "
+                    "constant from repro.core.policies instead",
+                )

@@ -16,27 +16,42 @@ pose — from a live feed of usage events:
   restore of fleet state, so a restarted service never replays history.
 * :mod:`repro.serve.metrics` — a tiny counter/gauge/histogram registry
   rendered in Prometheus text exposition format.
+* :mod:`repro.serve.envelope` — the versioned JSON envelope
+  (``{"schema": 1, ...}``) every serve endpoint speaks, with the single
+  error shape ``{"schema": 1, "error": {"kind", "message"}}``.
 * :mod:`repro.serve.server` — the stdlib HTTP JSON API
-  (``POST /v1/events``, ``GET /v1/decisions``, ``GET /healthz``,
-  ``GET /metrics``) with bounded-admission backpressure, started by
-  ``python -m repro.serve``.
+  (``POST /v1/events``, ``GET /v1/decisions``, ``GET /v1/costs``,
+  ``GET /healthz``, ``GET /metrics``) with bounded-admission
+  backpressure, started by ``python -m repro.serve``.
+* :mod:`repro.serve.shard` — the sharded cluster: a router
+  consistent-hashing instance ids onto N supervised ``repro.serve``
+  worker subprocesses, with exactly-once fan-out, per-shard
+  checkpoint-backed restart, and merged reads that are bit-identical
+  to a single process (``python -m repro.serve --shards N``).
 
 See ``docs/serving.md`` for the API schema and the state model.
 """
 
 from repro.serve.checkpoint import (
     CHECKPOINT_FORMAT,
+    Checkpoint,
     load_checkpoint,
+    restore_checkpoint,
     save_checkpoint,
 )
+from repro.serve.envelope import SCHEMA_VERSION, envelope, error_envelope
 from repro.serve.errors import (
     ApiError,
     CheckpointError,
     PayloadTooLargeError,
     RequestValidationError,
+    SchemaSkewError,
     ServeError,
     ServeStateError,
     ServerBusyError,
+    ShardError,
+    ShardProtocolError,
+    ShardUnavailableError,
     UnknownResourceError,
 )
 from repro.serve.metrics import Counter, Gauge, Histogram, MetricsRegistry
@@ -47,12 +62,14 @@ from repro.serve.state import (
     StreamDecision,
     StreamTracker,
     Verdict,
+    breakdown_from_counts,
     run_stream,
 )
 
 __all__ = [
     "ApiError",
     "CHECKPOINT_FORMAT",
+    "Checkpoint",
     "CheckpointError",
     "Counter",
     "FleetDecision",
@@ -62,15 +79,24 @@ __all__ = [
     "MetricsRegistry",
     "PayloadTooLargeError",
     "RequestValidationError",
+    "SCHEMA_VERSION",
     "STATE_VERSION",
+    "SchemaSkewError",
     "ServeError",
     "ServeStateError",
     "ServerBusyError",
+    "ShardError",
+    "ShardProtocolError",
+    "ShardUnavailableError",
     "StreamDecision",
     "StreamTracker",
     "UnknownResourceError",
     "Verdict",
+    "breakdown_from_counts",
+    "envelope",
+    "error_envelope",
     "load_checkpoint",
+    "restore_checkpoint",
     "run_stream",
     "save_checkpoint",
 ]

@@ -26,8 +26,9 @@ import contextlib
 import json
 import os
 import tempfile
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.core.account import CostModel, HourlyFeeMode
 from repro.pricing.plan import PricingPlan
@@ -35,10 +36,29 @@ from repro.serve.errors import CheckpointError, ServeStateError
 from repro.serve.state import STATE_VERSION, FleetState
 
 #: Version of the checkpoint payload shape; bump on structural changes.
-CHECKPOINT_FORMAT = 1
+#: Format 2 adds per-instance ``working_in_term`` (exact cost
+#: accounting) and an opaque ``extra`` dict (shard ingest bookkeeping).
+CHECKPOINT_FORMAT = 2
 
 
-def fleet_to_payload(fleet: FleetState, events_ingested: int = 0) -> dict:
+@dataclass
+class Checkpoint:
+    """Everything a restored checkpoint holds."""
+
+    fleet: FleetState
+    events_ingested: int = 0
+    #: Opaque JSON-ready bookkeeping persisted alongside the fleet —
+    #: the shard worker keeps its ingest dedupe state (last applied
+    #: ``seq`` and the response it produced) here so a retried batch
+    #: replays the identical answer after a crash.
+    extra: "Dict[str, object]" = field(default_factory=dict)
+
+
+def fleet_to_payload(
+    fleet: FleetState,
+    events_ingested: int = 0,
+    extra: "Optional[Dict[str, object]]" = None,
+) -> dict:
     """JSON-ready checkpoint payload of one fleet."""
     plan = fleet.model.plan
     return {
@@ -59,12 +79,13 @@ def fleet_to_payload(fleet: FleetState, events_ingested: int = 0) -> dict:
         "threshold_scale": fleet.threshold_scale,
         "phis": list(fleet.phis),
         "events_ingested": int(events_ingested),
+        "extra": dict(extra) if extra else {},
         "instances": fleet.snapshot_instances(),
     }
 
 
-def fleet_from_payload(payload: dict) -> "Tuple[FleetState, int]":
-    """Rebuild ``(fleet, events_ingested)`` from a checkpoint payload."""
+def checkpoint_from_payload(payload: dict) -> Checkpoint:
+    """Rebuild a :class:`Checkpoint` from a checkpoint payload."""
     if not isinstance(payload, dict):
         raise CheckpointError("checkpoint payload is not a JSON object")
     fmt = payload.get("format")
@@ -96,20 +117,38 @@ def fleet_from_payload(payload: dict) -> "Tuple[FleetState, int]":
         )
         fleet.restore_instances(payload["instances"])
         events_ingested = int(payload.get("events_ingested", 0))
+        extra = payload.get("extra", {})
+        if not isinstance(extra, dict):
+            raise CheckpointError(
+                f"checkpoint 'extra' must be an object, got {type(extra).__name__}"
+            )
     except CheckpointError:
         raise
     except (KeyError, TypeError, ValueError, ServeStateError) as error:
         raise CheckpointError(f"malformed checkpoint payload: {error}") from error
-    return fleet, events_ingested
+    return Checkpoint(fleet=fleet, events_ingested=events_ingested, extra=extra)
+
+
+def fleet_from_payload(payload: dict) -> "Tuple[FleetState, int]":
+    """Rebuild ``(fleet, events_ingested)`` from a checkpoint payload.
+
+    Compatibility wrapper over :func:`checkpoint_from_payload` for
+    callers that predate :class:`Checkpoint` (drops ``extra``).
+    """
+    checkpoint = checkpoint_from_payload(payload)
+    return checkpoint.fleet, checkpoint.events_ingested
 
 
 def save_checkpoint(
-    path: "str | Path", fleet: FleetState, events_ingested: int = 0
+    path: "str | Path",
+    fleet: FleetState,
+    events_ingested: int = 0,
+    extra: "Optional[Dict[str, object]]" = None,
 ) -> Path:
     """Atomically write ``fleet`` to ``path``; returns the path."""
     target = Path(path)
     target.parent.mkdir(parents=True, exist_ok=True)
-    encoded = json.dumps(fleet_to_payload(fleet, events_ingested))
+    encoded = json.dumps(fleet_to_payload(fleet, events_ingested, extra))
     fd, temp_name = tempfile.mkstemp(
         prefix=f".{target.name}-", suffix=".tmp", dir=target.parent
     )
@@ -124,8 +163,8 @@ def save_checkpoint(
     return target
 
 
-def load_checkpoint(path: "str | Path") -> "Tuple[FleetState, int]":
-    """Restore ``(fleet, events_ingested)`` from ``path``.
+def restore_checkpoint(path: "str | Path") -> Checkpoint:
+    """Restore a full :class:`Checkpoint` from ``path``.
 
     Raises :class:`~repro.serve.errors.CheckpointError` when the file is
     missing, unparseable, or written by an incompatible version.
@@ -140,4 +179,14 @@ def load_checkpoint(path: "str | Path") -> "Tuple[FleetState, int]":
         raise CheckpointError(
             f"checkpoint {target} is unreadable or corrupt: {error}"
         ) from error
-    return fleet_from_payload(payload)
+    return checkpoint_from_payload(payload)
+
+
+def load_checkpoint(path: "str | Path") -> "Tuple[FleetState, int]":
+    """Restore ``(fleet, events_ingested)`` from ``path``.
+
+    Compatibility wrapper over :func:`restore_checkpoint` (drops the
+    ``extra`` bookkeeping).
+    """
+    checkpoint = restore_checkpoint(path)
+    return checkpoint.fleet, checkpoint.events_ingested

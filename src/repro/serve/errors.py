@@ -52,3 +52,35 @@ class ServerBusyError(ApiError):
     """Admission control rejected the request; retry later (backpressure)."""
 
     status = 429
+
+
+class SchemaSkewError(ApiError):
+    """Request or response carries a different envelope schema version.
+
+    Version skew between router and shards is a deployment error: the
+    cluster refuses to mix wire formats rather than mis-merge decisions.
+    """
+
+    status = 400
+
+
+class ShardError(ApiError):
+    """Base class for shard-cluster (router/supervisor) failures.
+
+    These are :class:`ApiError` subclasses so the router's HTTP handler
+    maps them to gateway-style status codes mechanically.
+    """
+
+    status = 502
+
+
+class ShardUnavailableError(ShardError):
+    """A shard could not be reached within the retry budget."""
+
+    status = 503
+
+
+class ShardProtocolError(ShardError):
+    """A shard answered outside the envelope contract (bad schema/shape)."""
+
+    status = 502

@@ -8,8 +8,17 @@ Endpoints
   event advances its instance by one hour. Responds with the count
   accepted and any verdicts that settled.
 * ``GET /v1/decisions[?instance=ID]`` — current advisory state.
+* ``GET /v1/costs`` — per-φ Eq. (1) cost counts and priced breakdowns.
 * ``GET /healthz`` — liveness plus basic gauges.
 * ``GET /metrics`` — Prometheus text exposition.
+
+Every JSON response is wrapped in the versioned envelope of
+:mod:`repro.serve.envelope` (``{"schema": 1, ...}``; errors are
+``{"schema": 1, "error": {"kind", "message"}}``). An ingest body may
+carry ``"schema"`` (rejected on version skew) and a monotonic ``"seq"``
+(the shard router's exactly-once handle: replaying the last applied
+``seq`` returns the stored response verbatim instead of re-applying the
+batch).
 
 Request validation raises the typed errors of
 :mod:`repro.serve.errors`; the handler maps them to status codes.
@@ -37,22 +46,32 @@ from urllib.parse import parse_qs, urlparse
 
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
+from repro._compat import UNSET as _UNSET
+from repro._compat import Unset as _Unset
+from repro._compat import absorb_positional_tail as _absorb_positional_tail
 from repro._version import __version__
 from repro.core.account import CostModel
 from repro.core.breakeven import PAPER_DECISION_FRACTIONS
 from repro.pricing.catalog import paper_experiment_plan
-from repro.serve.checkpoint import load_checkpoint, save_checkpoint
+from repro.serve.checkpoint import restore_checkpoint, save_checkpoint
+from repro.serve.envelope import SCHEMA_VERSION, envelope, error_envelope
 from repro.serve.errors import (
     ApiError,
     CheckpointError,
     PayloadTooLargeError,
     RequestValidationError,
+    SchemaSkewError,
     ServeError,
     ServerBusyError,
     UnknownResourceError,
 )
 from repro.serve.metrics import MetricsRegistry
-from repro.serve.state import FleetDecision, FleetState, ServeStateError
+from repro.serve.state import (
+    FleetDecision,
+    FleetState,
+    ServeStateError,
+    breakdown_from_counts,
+)
 
 #: Default cap on events per ingest request (oversize batches get 413).
 DEFAULT_MAX_BATCH = 10_000
@@ -88,6 +107,8 @@ class AdvisoryApp:
         max_batch: int = DEFAULT_MAX_BATCH,
         max_inflight: int = DEFAULT_MAX_INFLIGHT,
         events_ingested: int = 0,
+        last_seq: "Optional[int]" = None,
+        last_response: "Optional[Dict[str, object]]" = None,
     ) -> None:
         if max_batch <= 0:
             raise ServeStateError(f"max_batch must be positive, got {max_batch!r}")
@@ -107,6 +128,11 @@ class AdvisoryApp:
         self._started = time.perf_counter()
         self._events_ingested = int(events_ingested)
         self._events_since_checkpoint = 0
+        # Exactly-once ingest: the last applied batch seq and the
+        # response it produced, persisted in the checkpoint's `extra`
+        # so a retried batch replays the identical answer post-crash.
+        self._last_seq = int(last_seq) if last_seq is not None else None
+        self._last_response = dict(last_response) if last_response else None
 
         self.events_total = self.registry.counter(
             "repro_serve_events_total", "Usage events ingested since start."
@@ -203,8 +229,34 @@ class AdvisoryApp:
             busy.append(is_busy)
         return instances, busy
 
+    @staticmethod
+    def _validate_seq(payload: object) -> "Optional[int]":
+        """Extract and validate the optional ``schema``/``seq`` fields."""
+        if not isinstance(payload, dict):
+            return None  # _validate_events rejects non-dict bodies
+        if "schema" in payload and payload["schema"] != SCHEMA_VERSION:
+            raise SchemaSkewError(
+                f"ingest body carries envelope schema {payload['schema']!r}; "
+                f"this server speaks {SCHEMA_VERSION}"
+            )
+        if "seq" not in payload:
+            return None
+        seq = payload["seq"]
+        if not isinstance(seq, int) or isinstance(seq, bool) or seq < 0:
+            raise RequestValidationError(
+                f'"seq" must be a non-negative integer, got {seq!r}'
+            )
+        return seq
+
     def ingest(self, payload: object) -> "Dict[str, object]":
-        """Validate and apply one event batch; returns the response body."""
+        """Validate and apply one event batch; returns the response body.
+
+        When the batch carries a ``seq`` equal to the last applied one,
+        the stored response is returned verbatim and nothing is applied
+        — the retry path of an at-least-once sender becomes
+        exactly-once.
+        """
+        seq = self._validate_seq(payload)
         instances, busy = self._validate_events(payload)
         if len(instances) > self.max_batch:
             raise PayloadTooLargeError(
@@ -213,9 +265,26 @@ class AdvisoryApp:
             )
         with self.ingest_seconds.time():
             with self._fleet_lock:
+                if seq is not None and self._last_seq is not None:
+                    if seq == self._last_seq and self._last_response is not None:
+                        return dict(self._last_response)
+                    if seq < self._last_seq:
+                        raise RequestValidationError(
+                            f"stale batch seq {seq} (already applied up to "
+                            f"{self._last_seq}); only the last batch may be "
+                            "retried"
+                        )
                 settled = self.fleet.apply_events(instances, busy)
                 self._events_ingested += len(instances)
                 self._events_since_checkpoint += len(instances)
+                response: "Dict[str, object]" = {
+                    "accepted": len(instances),
+                    "decisions": [_decision_to_json(d) for d in settled],
+                    "events_ingested": self._events_ingested,
+                }
+                if seq is not None:
+                    self._last_seq = seq
+                    self._last_response = dict(response)
                 should_checkpoint = (
                     self.checkpoint_path is not None
                     and self.checkpoint_interval > 0
@@ -231,11 +300,7 @@ class AdvisoryApp:
                     "phi": repr(decision.phi),
                 }
             )
-        return {
-            "accepted": len(instances),
-            "decisions": [_decision_to_json(d) for d in settled],
-            "events_ingested": self._events_ingested,
-        }
+        return response
 
     def decisions(
         self, instance: "Optional[str]" = None
@@ -251,14 +316,38 @@ class AdvisoryApp:
             counts = self.fleet.verdict_counts()
         return {"instances": rows, "verdicts_by_phi": counts}
 
+    def costs(self) -> "Dict[str, object]":
+        """Per-φ cost counts plus the priced breakdowns (Eq. (1))."""
+        with self._fleet_lock:
+            counts = self.fleet.cost_counts()
+        phis: "Dict[str, object]" = {}
+        for threshold in self.fleet.thresholds:
+            key = repr(threshold.phi)
+            breakdown = breakdown_from_counts(
+                self.fleet.model, threshold.phi, counts[key]
+            )
+            phis[key] = {
+                "counts": counts[key],
+                "breakdown": {
+                    "on_demand": breakdown.on_demand,
+                    "upfront": breakdown.upfront,
+                    "reserved_hourly": breakdown.reserved_hourly,
+                    "sale_income": breakdown.sale_income,
+                    "total": breakdown.total,
+                },
+            }
+        return {"phis": phis}
+
     def health(self) -> "Dict[str, object]":
         with self._fleet_lock:
             tracked = self.fleet.size
+            last_seq = self._last_seq
         return {
             "status": "ok",
             "version": __version__,
             "instances": tracked,
             "events_ingested": self._events_ingested,
+            "ingest_seq": last_seq,
             "uptime_seconds": round(time.perf_counter() - self._started, 3),
         }
 
@@ -275,7 +364,13 @@ class AdvisoryApp:
         """Write a checkpoint; caller holds the fleet lock."""
         if self.checkpoint_path is None:
             return
-        save_checkpoint(self.checkpoint_path, self.fleet, self._events_ingested)
+        extra: "Dict[str, object]" = {}
+        if self._last_seq is not None:
+            extra["ingest_last_seq"] = self._last_seq
+            extra["ingest_last_response"] = self._last_response
+        save_checkpoint(
+            self.checkpoint_path, self.fleet, self._events_ingested, extra=extra
+        )
         self._events_since_checkpoint = 0
         self.checkpoints_total.inc()
 
@@ -322,8 +417,11 @@ class AdvisoryRequestHandler(BaseHTTPRequestHandler):
         body = json.dumps(payload).encode("utf-8")
         self._send_payload(status, body, "application/json; charset=utf-8")
 
+    def _send_ok(self, payload: "Dict[str, object]") -> None:
+        self._send_json(200, envelope(payload))
+
     def _send_error_json(self, status: int, kind: str, message: str) -> None:
-        self._send_json(status, {"error": kind, "message": message})
+        self._send_json(status, error_envelope(kind, message))
 
     def _read_json_body(self) -> object:
         length_header = self.headers.get("Content-Length")
@@ -343,12 +441,22 @@ class AdvisoryRequestHandler(BaseHTTPRequestHandler):
                 f"request body is not valid JSON: {error}"
             ) from error
 
+    def _handle_ingest(self) -> None:
+        """The ``POST /v1/events`` route (the router handler overrides
+        this to send multi-status responses)."""
+        self.app.admit()
+        try:
+            payload = self._read_json_body()
+            self._send_ok(self.app.ingest(payload))
+        finally:
+            self.app.release()
+
     def _dispatch(self, method: str) -> None:
         parsed = urlparse(self.path)
         route = (method, parsed.path.rstrip("/") or "/")
         try:
             if route == ("GET", "/healthz"):
-                self._send_json(200, self.app.health())
+                self._send_ok(self.app.health())
             elif route == ("GET", "/metrics"):
                 body = self.app.render_metrics().encode("utf-8")
                 self._send_payload(
@@ -357,14 +465,11 @@ class AdvisoryRequestHandler(BaseHTTPRequestHandler):
             elif route == ("GET", "/v1/decisions"):
                 query = parse_qs(parsed.query)
                 instance = query.get("instance", [None])[0]
-                self._send_json(200, self.app.decisions(instance))
+                self._send_ok(self.app.decisions(instance))
+            elif route == ("GET", "/v1/costs"):
+                self._send_ok(self.app.costs())
             elif route == ("POST", "/v1/events"):
-                self.app.admit()
-                try:
-                    payload = self._read_json_body()
-                    self._send_json(200, self.app.ingest(payload))
-                finally:
-                    self.app.release()
+                self._handle_ingest()
             else:
                 raise UnknownResourceError(
                     f"no route {method} {parsed.path!r}"
@@ -400,26 +505,79 @@ class AdvisoryServer(ThreadingHTTPServer):
 
 def build_app(
     model: CostModel,
-    phis: Sequence[float] = PAPER_DECISION_FRACTIONS,
-    checkpoint_path: "Optional[str | Path]" = None,
-    checkpoint_interval: int = 0,
-    max_batch: int = DEFAULT_MAX_BATCH,
-    max_inflight: int = DEFAULT_MAX_INFLIGHT,
+    *args: object,
+    phis: "Sequence[float] | _Unset" = _UNSET,
+    checkpoint_path: "str | Path | None | _Unset" = _UNSET,
+    checkpoint_interval: "int | _Unset" = _UNSET,
+    max_batch: "int | _Unset" = _UNSET,
+    max_inflight: "int | _Unset" = _UNSET,
 ) -> AdvisoryApp:
     """Assemble an app, restoring fleet state from ``checkpoint_path``
-    when a checkpoint exists there (a fresh fleet otherwise)."""
+    when a checkpoint exists there (a fresh fleet otherwise).
+
+    The configuration tail is keyword-only; passing it positionally is
+    deprecated and supported for one release behind a
+    :class:`DeprecationWarning`.
+    """
+    given: "dict[str, object]" = {
+        "phis": phis,
+        "checkpoint_path": checkpoint_path,
+        "checkpoint_interval": checkpoint_interval,
+        "max_batch": max_batch,
+        "max_inflight": max_inflight,
+    }
+    _absorb_positional_tail(
+        "build_app",
+        args,
+        ("phis", "checkpoint_path", "checkpoint_interval", "max_batch", "max_inflight"),
+        given,
+    )
+    resolved_phis = (
+        given["phis"] if given["phis"] is not _UNSET else PAPER_DECISION_FRACTIONS
+    )
+    resolved_path = (
+        given["checkpoint_path"] if given["checkpoint_path"] is not _UNSET else None
+    )
+    interval = (
+        int(given["checkpoint_interval"])  # type: ignore[call-overload]
+        if given["checkpoint_interval"] is not _UNSET
+        else 0
+    )
+    batch_cap = (
+        int(given["max_batch"])  # type: ignore[call-overload]
+        if given["max_batch"] is not _UNSET
+        else DEFAULT_MAX_BATCH
+    )
+    inflight_cap = (
+        int(given["max_inflight"])  # type: ignore[call-overload]
+        if given["max_inflight"] is not _UNSET
+        else DEFAULT_MAX_INFLIGHT
+    )
+
     events_ingested = 0
-    if checkpoint_path is not None and Path(checkpoint_path).exists():
-        fleet, events_ingested = load_checkpoint(checkpoint_path)
+    last_seq: "Optional[int]" = None
+    last_response: "Optional[Dict[str, object]]" = None
+    if resolved_path is not None and Path(resolved_path).exists():  # type: ignore[arg-type]
+        checkpoint = restore_checkpoint(resolved_path)  # type: ignore[arg-type]
+        fleet = checkpoint.fleet
+        events_ingested = checkpoint.events_ingested
+        stored_seq = checkpoint.extra.get("ingest_last_seq")
+        if stored_seq is not None:
+            last_seq = int(stored_seq)  # type: ignore[call-overload]
+            stored_response = checkpoint.extra.get("ingest_last_response")
+            if isinstance(stored_response, dict):
+                last_response = stored_response
     else:
-        fleet = FleetState(model, phis=phis)
+        fleet = FleetState(model, phis=resolved_phis)  # type: ignore[arg-type]
     return AdvisoryApp(
         fleet,
-        checkpoint_path=checkpoint_path,
-        checkpoint_interval=checkpoint_interval,
-        max_batch=max_batch,
-        max_inflight=max_inflight,
+        checkpoint_path=resolved_path,  # type: ignore[arg-type]
+        checkpoint_interval=interval,
+        max_batch=batch_cap,
+        max_inflight=inflight_cap,
         events_ingested=events_ingested,
+        last_seq=last_seq,
+        last_response=last_response,
     )
 
 
@@ -493,11 +651,33 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="concurrent ingests admitted, 429 beyond (default: %(default)s)",
     )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "run an N-shard cluster: one router consistent-hashing "
+            "instances onto N supervised worker processes; --checkpoint "
+            "then names a directory of per-shard checkpoints "
+            "(default: %(default)s = single process)"
+        ),
+    )
     return parser
 
 
 def main(argv: "Optional[Sequence[str]]" = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.shards < 1:
+        print(
+            f"repro.serve: error: --shards must be >= 1, got {args.shards}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.shards > 1:
+        from repro.serve.shard import run_cluster
+
+        return run_cluster(args)
     plan = paper_experiment_plan()
     if args.period_hours != plan.period_hours:
         plan = plan.with_period(args.period_hours)

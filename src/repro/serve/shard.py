@@ -1,0 +1,952 @@
+"""Sharded advisory cluster: one router, N supervised worker processes.
+
+Topology
+--------
+::
+
+                          POST /v1/events
+                                │
+                        ┌───────▼────────┐
+                        │  ShardRouter   │  consistent-hash ring over
+                        │ (this process) │  instance ids (blake2b,
+                        └───┬───┬───┬────┘  virtual nodes)
+                 seq-stamped│   │   │ per-shard sub-batches,
+                   envelopes│   │   │ concurrent dispatch + retry
+                        ┌───▼┐ ┌▼──┐ ┌▼──┐
+                        │ S0 │ │S1 │ │S2 │   unmodified AdvisoryApp
+                        └─┬──┘ └┬──┘ └┬──┘   subprocesses (`-m repro.serve`)
+                          │     │     │
+                        ckpt0 ckpt1 ckpt2    per-shard atomic checkpoints
+
+Each worker is a stock ``python -m repro.serve`` process owning the
+:class:`~repro.serve.server.AdvisoryApp` + FleetState for its id
+subset, checkpointing after **every** ingested batch. The router:
+
+* partitions an ingest batch by :class:`HashRing` (event order within a
+  shard is preserved), fans the sub-batches out concurrently, and
+  merges the replies;
+* stamps every forwarded batch with a per-shard monotonic ``seq`` —
+  a worker that already applied that seq replays its stored response
+  verbatim, so router-level retries are exactly-once even across a
+  worker ``kill -9`` + restart;
+* retries each shard independently with capped exponential backoff,
+  restarting a dead worker from its checkpoint first
+  (:class:`ShardSupervisor`);
+* answers ``207`` with a per-shard status map when only some shards
+  succeed (``200`` all ok, ``503`` none ok);
+* reports ``"degraded"`` health while any shard is down and merges
+  ``/metrics`` expositions under a ``shard="N"`` label;
+* sums the shards' integer cost counts and prices them once
+  (:func:`~repro.serve.state.breakdown_from_counts`), so ``/v1/costs``
+  is bit-identical to a single-process server over the same events.
+
+Everything on the wire is the versioned envelope of
+:mod:`repro.serve.envelope`; a version-skewed reply aborts the call
+with :class:`~repro.serve.errors.ShardProtocolError` instead of being
+merged.
+
+``python -m repro.serve --shards N --checkpoint DIR`` starts a cluster
+(see :func:`run_cluster`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import hashlib
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+import urllib.error
+import urllib.parse
+import urllib.request
+from bisect import bisect_right
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro._version import __version__
+from repro.core.account import CostModel
+from repro.core.breakeven import PAPER_DECISION_FRACTIONS
+from repro.pricing.catalog import paper_experiment_plan
+from repro.serve.checkpoint import save_checkpoint
+from repro.serve.envelope import SCHEMA_VERSION, envelope, error_kind, require_schema
+from repro.serve.errors import (
+    CheckpointError,
+    PayloadTooLargeError,
+    SchemaSkewError,
+    ServeError,
+    ServerBusyError,
+    ShardError,
+    ShardProtocolError,
+    ShardUnavailableError,
+    UnknownResourceError,
+)
+from repro.serve.metrics import MetricsRegistry
+from repro.serve.server import (
+    DEFAULT_MAX_BATCH,
+    DEFAULT_MAX_INFLIGHT,
+    AdvisoryApp,
+    AdvisoryRequestHandler,
+    AdvisoryServer,
+)
+from repro.serve.state import FleetState, ServeStateError, breakdown_from_counts
+
+#: Virtual nodes per shard on the hash ring; more points smooth the
+#: id distribution at negligible memory cost.
+DEFAULT_VNODES = 64
+
+#: Attempts per shard call (first try + retries).
+DEFAULT_ATTEMPTS = 4
+
+#: Exponential backoff between attempts: base * 2^k, capped.
+DEFAULT_BACKOFF_BASE = 0.05
+DEFAULT_BACKOFF_CAP = 1.0
+
+#: Per-request socket timeout toward a shard, seconds.
+DEFAULT_REQUEST_TIMEOUT = 30.0
+
+_LISTEN_RE = re.compile(r"listening on http://([0-9.]+):(\d+)")
+
+
+def _hash64(key: str) -> int:
+    """Stable 64-bit hash (blake2b) — identical across processes/runs."""
+    digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class HashRing:
+    """Consistent-hash ring mapping instance ids onto shard indices.
+
+    Each shard owns ``vnodes`` points on a 64-bit ring; an id belongs to
+    the shard owning the first point at or after its hash (wrapping).
+    The mapping depends only on ``(n_shards, vnodes)``, never on process
+    state, so every router incarnation routes identically.
+    """
+
+    def __init__(self, n_shards: int, vnodes: int = DEFAULT_VNODES) -> None:
+        if n_shards < 1:
+            raise ServeStateError(f"n_shards must be >= 1, got {n_shards!r}")
+        if vnodes < 1:
+            raise ServeStateError(f"vnodes must be >= 1, got {vnodes!r}")
+        self.n_shards = n_shards
+        self.vnodes = vnodes
+        points: "List[Tuple[int, int]]" = []
+        for shard in range(n_shards):
+            for vnode in range(vnodes):
+                points.append((_hash64(f"shard:{shard}:vnode:{vnode}"), shard))
+        points.sort()
+        self._points = [point for point, _ in points]
+        self._owners = [shard for _, shard in points]
+
+    def shard_for(self, instance_id: str) -> int:
+        """The shard index owning ``instance_id``."""
+        position = bisect_right(self._points, _hash64(instance_id))
+        if position == len(self._points):
+            position = 0
+        return self._owners[position]
+
+
+class ShardSupervisor:
+    """Owns one worker subprocess: spawn, port discovery, restart, stop.
+
+    The worker is a stock ``python -m repro.serve`` bound to an
+    ephemeral port with ``--checkpoint-interval 1``: every applied batch
+    is durable (state *and* the batch's response) before the router sees
+    the reply, so a ``kill -9`` at any point is recoverable by
+    restarting from the checkpoint and retrying the in-flight seq.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        checkpoint_path: "str | Path",
+        host: str = "127.0.0.1",
+        max_batch: int = DEFAULT_MAX_BATCH,
+        boot_timeout: float = 30.0,
+    ) -> None:
+        self.index = index
+        self.checkpoint_path = Path(checkpoint_path)
+        self.host = host
+        self.max_batch = max_batch
+        self.boot_timeout = boot_timeout
+        self.base_url: "Optional[str]" = None
+        self.process: "Optional[subprocess.Popen[str]]" = None
+        self.restarts = 0
+
+    def start(self) -> None:
+        """Spawn the worker and block until it announces its port."""
+        if self.alive():
+            return
+        command = [
+            sys.executable,
+            "-m",
+            "repro.serve",
+            "--host",
+            self.host,
+            "--port",
+            "0",
+            "--checkpoint",
+            str(self.checkpoint_path),
+            "--checkpoint-interval",
+            "1",
+            "--max-batch",
+            str(self.max_batch),
+        ]
+        env = dict(os.environ)
+        package_root = str(Path(__file__).resolve().parents[2])
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (
+            package_root if not existing else package_root + os.pathsep + existing
+        )
+        self.process = subprocess.Popen(  # noqa: S603 - fixed argv, own interpreter
+            command,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=env,
+        )
+        deadline = time.perf_counter() + self.boot_timeout
+        stderr = self.process.stderr
+        if stderr is None:  # pragma: no cover - Popen(stderr=PIPE) guarantee
+            raise ShardUnavailableError(
+                f"shard {self.index} spawned without a stderr pipe"
+            )
+        while True:
+            line = stderr.readline()
+            if line == "":
+                raise ShardUnavailableError(
+                    f"shard {self.index} exited during boot "
+                    f"(code {self.process.poll()})"
+                )
+            match = _LISTEN_RE.search(line)
+            if match:
+                self.base_url = f"http://{match.group(1)}:{match.group(2)}"
+                break
+            if time.perf_counter() > deadline:
+                self.stop()
+                raise ShardUnavailableError(
+                    f"shard {self.index} did not announce a port within "
+                    f"{self.boot_timeout}s"
+                )
+        drain = threading.Thread(
+            target=self._drain_stderr,
+            args=(stderr,),
+            daemon=True,
+            name=f"repro-shard-{self.index}-stderr",
+        )
+        drain.start()
+
+    @staticmethod
+    def _drain_stderr(stream: object) -> None:
+        """Keep the worker's stderr pipe from filling up."""
+        # A closed pipe just means the worker (or stop()) went first.
+        with contextlib.suppress(ValueError, OSError):
+            for _ in stream:  # type: ignore[attr-defined]
+                pass
+
+    def alive(self) -> bool:
+        return self.process is not None and self.process.poll() is None
+
+    def restart(self) -> None:
+        """Start a replacement worker after a crash (checkpoint restore)."""
+        if self.alive():
+            return
+        self.restarts += 1
+        self.start()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        process = self.process
+        if process is None:
+            return
+        if process.poll() is None:
+            process.terminate()
+            try:
+                process.wait(timeout)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.wait()
+        if process.stderr is not None:
+            with contextlib.suppress(OSError):
+                process.stderr.close()
+
+
+class ShardRouter:
+    """Transport-free router behind :class:`RouterRequestHandler`.
+
+    Duck-types the :class:`~repro.serve.server.AdvisoryApp` surface the
+    HTTP handler expects (``decisions``/``costs``/``health``/
+    ``render_metrics``/``admit``/``release``/``responses_total``) and
+    adds :meth:`ingest_with_status` for multi-status ingest replies.
+    """
+
+    def __init__(
+        self,
+        model: CostModel,
+        supervisors: "Sequence[ShardSupervisor]",
+        ring: "Optional[HashRing]" = None,
+        registry: "Optional[MetricsRegistry]" = None,
+        max_batch: int = DEFAULT_MAX_BATCH,
+        max_inflight: int = DEFAULT_MAX_INFLIGHT,
+        request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
+        attempts: int = DEFAULT_ATTEMPTS,
+        backoff_base: float = DEFAULT_BACKOFF_BASE,
+        backoff_cap: float = DEFAULT_BACKOFF_CAP,
+    ) -> None:
+        if not supervisors:
+            raise ServeStateError("a shard cluster needs at least one shard")
+        if attempts < 1:
+            raise ServeStateError(f"attempts must be >= 1, got {attempts!r}")
+        self.model = model
+        self.supervisors = list(supervisors)
+        self.ring = ring if ring is not None else HashRing(len(self.supervisors))
+        if self.ring.n_shards != len(self.supervisors):
+            raise ServeStateError(
+                f"ring spans {self.ring.n_shards} shards but "
+                f"{len(self.supervisors)} supervisors were given"
+            )
+        self.max_batch = max_batch
+        self.max_inflight = max_inflight
+        self.request_timeout = request_timeout
+        self.attempts = attempts
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._started = time.perf_counter()
+        self._inflight_lock = threading.Lock()
+        self._inflight = 0
+        self._shard_locks = [threading.Lock() for _ in self.supervisors]
+        # Next seq per shard; None = unknown, resynced from the shard's
+        # /healthz (its last applied seq survives in the checkpoint).
+        self._seqs: "List[Optional[int]]" = [None] * len(self.supervisors)
+        self._pool = ThreadPoolExecutor(
+            max_workers=len(self.supervisors),
+            thread_name_prefix="repro-shard-dispatch",
+        )
+
+        self.responses_total = self.registry.counter(
+            "repro_router_http_responses_total",
+            "Router HTTP responses sent, by status code.",
+            labelnames=("code",),
+        )
+        self.events_total = self.registry.counter(
+            "repro_router_events_total",
+            "Usage events accepted by shards via this router.",
+        )
+        self.ingest_seconds = self.registry.histogram(
+            "repro_router_ingest_seconds",
+            "Wall time spent fanning one ingest batch out to shards.",
+        )
+        self.queue_depth = self.registry.gauge(
+            "repro_router_queue_depth",
+            "Ingest requests currently admitted (bounded by max_inflight).",
+        )
+        self.shard_retries_total = self.registry.counter(
+            "repro_router_shard_retries_total",
+            "Shard calls retried after a transport failure.",
+            labelnames=("shard",),
+        )
+        self.shard_restarts_total = self.registry.counter(
+            "repro_router_shard_restarts_total",
+            "Dead shard workers restarted from checkpoint.",
+            labelnames=("shard",),
+        )
+        self.shard_failures_total = self.registry.counter(
+            "repro_router_shard_failures_total",
+            "Shard sub-batches that exhausted the retry budget.",
+            labelnames=("shard",),
+        )
+
+    # ------------------------------------------------------------------
+    # Admission control (same contract as AdvisoryApp)
+    # ------------------------------------------------------------------
+
+    def admit(self) -> None:
+        with self._inflight_lock:
+            if self._inflight >= self.max_inflight:
+                raise ServerBusyError(
+                    f"ingest queue full ({self._inflight} in flight, "
+                    f"limit {self.max_inflight}); retry later"
+                )
+            self._inflight += 1
+            self.queue_depth.set(self._inflight)
+
+    def release(self) -> None:
+        with self._inflight_lock:
+            self._inflight -= 1
+            self.queue_depth.set(self._inflight)
+
+    # ------------------------------------------------------------------
+    # Shard RPC
+    # ------------------------------------------------------------------
+
+    def _request(
+        self,
+        shard_index: int,
+        method: str,
+        path: str,
+        body: "Optional[Dict[str, object]]" = None,
+        timeout: "Optional[float]" = None,
+    ) -> "Tuple[int, Dict[str, object]]":
+        """One HTTP round-trip to a shard; enforces the envelope."""
+        base_url = self.supervisors[shard_index].base_url
+        if base_url is None:
+            raise ShardUnavailableError(f"shard {shard_index} was never started")
+        data = json.dumps(body).encode("utf-8") if body is not None else None
+        request = urllib.request.Request(
+            base_url + path,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"} if data else {},
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=timeout if timeout is not None else self.request_timeout
+            ) as response:
+                raw = response.read()
+                status = response.status
+        except urllib.error.HTTPError as error:
+            raw = error.read()
+            status = error.code
+        except (urllib.error.URLError, ConnectionError, TimeoutError, OSError) as error:
+            raise ShardUnavailableError(
+                f"shard {shard_index} unreachable: {error}"
+            ) from error
+        try:
+            parsed = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ShardProtocolError(
+                f"shard {shard_index} answered non-JSON: {error}"
+            ) from error
+        try:
+            return status, require_schema(parsed, source=f"shard {shard_index}")
+        except SchemaSkewError as error:
+            raise ShardProtocolError(str(error)) from error
+
+    def _request_text(
+        self, shard_index: int, path: str, timeout: "Optional[float]" = None
+    ) -> str:
+        """One HTTP GET returning raw text (the /metrics exposition)."""
+        base_url = self.supervisors[shard_index].base_url
+        if base_url is None:
+            raise ShardUnavailableError(f"shard {shard_index} was never started")
+        try:
+            with urllib.request.urlopen(
+                base_url + path,
+                timeout=timeout if timeout is not None else self.request_timeout,
+            ) as response:
+                return response.read().decode("utf-8")
+        except (urllib.error.URLError, ConnectionError, TimeoutError, OSError) as error:
+            raise ShardUnavailableError(
+                f"shard {shard_index} unreachable: {error}"
+            ) from error
+
+    def _call_shard(
+        self,
+        shard_index: int,
+        method: str,
+        path: str,
+        body: "Optional[Dict[str, object]]" = None,
+    ) -> "Tuple[int, Dict[str, object]]":
+        """RPC with supervised restart and capped exponential backoff."""
+        delay = self.backoff_base
+        last_error: "Optional[ShardError]" = None
+        label = {"shard": str(shard_index)}
+        for attempt in range(self.attempts):
+            if attempt:
+                self.shard_retries_total.inc(labels=label)
+                time.sleep(delay)
+                delay = min(delay * 2.0, self.backoff_cap)
+            supervisor = self.supervisors[shard_index]
+            if not supervisor.alive():
+                try:
+                    supervisor.restart()
+                    self.shard_restarts_total.inc(labels=label)
+                except ShardUnavailableError as error:
+                    last_error = error
+                    continue
+            try:
+                return self._request(shard_index, method, path, body)
+            except ShardUnavailableError as error:
+                last_error = error
+        self.shard_failures_total.inc(labels=label)
+        raise last_error if last_error is not None else ShardUnavailableError(
+            f"shard {shard_index} failed with no recorded error"
+        )
+
+    # ------------------------------------------------------------------
+    # Ingest fan-out
+    # ------------------------------------------------------------------
+
+    def _ingest_shard(
+        self, shard_index: int, events: "List[Dict[str, object]]"
+    ) -> "Dict[str, object]":
+        """Forward one shard's sub-batch under its dispatch lock.
+
+        The lock serialises batches per shard, so seqs arrive in order;
+        a transport retry re-sends the *same* seq and the worker's
+        dedupe makes the apply exactly-once.
+        """
+        with self._shard_locks[shard_index]:
+            seq = self._seqs[shard_index]
+            if seq is None:
+                _, health = self._call_shard(shard_index, "GET", "/healthz")
+                applied = health.get("ingest_seq")
+                seq = int(applied) + 1 if isinstance(applied, int) else 1
+            body: "Dict[str, object]" = {
+                "schema": SCHEMA_VERSION,
+                "seq": seq,
+                "events": events,
+            }
+            try:
+                status, parsed = self._call_shard(
+                    shard_index, "POST", "/v1/events", body
+                )
+            except ShardError:
+                # Whether the shard applied this seq is unknown; resync
+                # from its checkpointed /healthz before the next batch.
+                self._seqs[shard_index] = None
+                raise
+            if status != 200:
+                self._seqs[shard_index] = None
+                kind = error_kind(parsed) or "UnknownError"
+                error_body = parsed.get("error")
+                message = (
+                    error_body.get("message", "")
+                    if isinstance(error_body, dict)
+                    else ""
+                )
+                raise ShardProtocolError(
+                    f"shard {shard_index} rejected ingest ({kind}): {message}"
+                )
+            self._seqs[shard_index] = seq + 1
+            return parsed
+
+    def ingest_with_status(
+        self, payload: object
+    ) -> "Tuple[int, Dict[str, object]]":
+        """Partition, fan out, and merge one ingest batch.
+
+        Returns ``(http_status, body)``: 200 when every shard applied
+        its sub-batch, 207 when only some did (per-shard status map
+        tells which), 503 when none did.
+        """
+        if isinstance(payload, dict) and "schema" in payload:
+            if payload["schema"] != SCHEMA_VERSION:
+                raise SchemaSkewError(
+                    f"ingest body carries envelope schema "
+                    f"{payload['schema']!r}; this router speaks {SCHEMA_VERSION}"
+                )
+        instances, _busy = AdvisoryApp._validate_events(payload)
+        if len(instances) > self.max_batch:
+            raise PayloadTooLargeError(
+                f"{len(instances)} events exceed the per-request limit of "
+                f"{self.max_batch}"
+            )
+        events = payload["events"]  # type: ignore[index]
+        groups: "Dict[int, List[Dict[str, object]]]" = {}
+        for event, instance in zip(events, instances):
+            groups.setdefault(self.ring.shard_for(instance), []).append(event)
+
+        with self.ingest_seconds.time():
+            futures = {
+                shard_index: self._pool.submit(
+                    self._ingest_shard, shard_index, shard_events
+                )
+                for shard_index, shard_events in sorted(groups.items())
+            }
+            shards: "Dict[str, Dict[str, object]]" = {}
+            decisions: "List[object]" = []
+            accepted = 0
+            events_ingested = 0
+            failures = 0
+            for shard_index, future in futures.items():
+                try:
+                    parsed = future.result()
+                except ShardError as error:
+                    failures += 1
+                    shards[str(shard_index)] = {
+                        "status": "error",
+                        "kind": type(error).__name__,
+                        "message": str(error),
+                    }
+                    continue
+                shard_accepted = int(parsed.get("accepted", 0))  # type: ignore[call-overload]
+                accepted += shard_accepted
+                events_ingested += int(parsed.get("events_ingested", 0))  # type: ignore[call-overload]
+                shard_decisions = parsed.get("decisions")
+                if isinstance(shard_decisions, list):
+                    decisions.extend(shard_decisions)
+                shards[str(shard_index)] = {
+                    "status": "ok",
+                    "accepted": shard_accepted,
+                }
+        self.events_total.inc(accepted)
+        if failures == 0:
+            status = 200
+        elif failures < len(futures):
+            status = 207
+        else:
+            status = 503
+        return status, {
+            "accepted": accepted,
+            "decisions": decisions,
+            "events_ingested": events_ingested,
+            "shards": shards,
+        }
+
+    def ingest(self, payload: object) -> "Dict[str, object]":
+        """AdvisoryApp-compatible ingest; raises when any shard failed."""
+        status, body = self.ingest_with_status(payload)
+        if status != 200:
+            raise ShardUnavailableError(
+                f"{sum(1 for s in body['shards'].values() if s['status'] != 'ok')}"  # type: ignore[union-attr]
+                f" shard(s) failed to apply the batch"
+            )
+        return body
+
+    # ------------------------------------------------------------------
+    # Read fan-out
+    # ------------------------------------------------------------------
+
+    def decisions(self, instance: "Optional[str]" = None) -> "Dict[str, object]":
+        if instance is not None:
+            shard_index = self.ring.shard_for(instance)
+            status, parsed = self._call_shard(
+                shard_index,
+                "GET",
+                "/v1/decisions?instance=" + urllib.parse.quote(instance),
+            )
+            if status == 404:
+                error_body = parsed.get("error")
+                message = (
+                    error_body.get("message", f"unknown instance {instance!r}")
+                    if isinstance(error_body, dict)
+                    else f"unknown instance {instance!r}"
+                )
+                raise UnknownResourceError(str(message))
+            if status != 200:
+                raise ShardProtocolError(
+                    f"shard {shard_index} answered {status} to a decisions read"
+                )
+            return {
+                "instances": parsed.get("instances", []),
+                "verdicts_by_phi": parsed.get("verdicts_by_phi", {}),
+            }
+        replies = self._fan_out_get("/v1/decisions")
+        rows: "List[object]" = []
+        verdicts: "Dict[str, Dict[str, int]]" = {}
+        for _, parsed in replies:
+            shard_rows = parsed.get("instances")
+            if isinstance(shard_rows, list):
+                rows.extend(shard_rows)
+            shard_verdicts = parsed.get("verdicts_by_phi")
+            if isinstance(shard_verdicts, dict):
+                for phi_key, tally in shard_verdicts.items():
+                    merged = verdicts.setdefault(str(phi_key), {})
+                    for verdict, count in tally.items():
+                        merged[str(verdict)] = merged.get(str(verdict), 0) + int(
+                            count
+                        )
+        return {"instances": rows, "verdicts_by_phi": verdicts}
+
+    def costs(self) -> "Dict[str, object]":
+        """Cluster-wide Eq. (1) costs: sum integer counts, price once.
+
+        Because every float multiplication happens exactly once on the
+        summed counts — the same expressions a single-process server
+        uses — the result is bit-identical to serving the whole fleet
+        from one process.
+        """
+        replies = self._fan_out_get("/v1/costs")
+        totals: "Dict[str, Dict[str, int]]" = {}
+        for shard_index, parsed in replies:
+            phis = parsed.get("phis")
+            if not isinstance(phis, dict):
+                raise ShardProtocolError(
+                    f"shard {shard_index} answered a costs body without 'phis'"
+                )
+            for phi_key, entry in phis.items():
+                counts = entry.get("counts") if isinstance(entry, dict) else None
+                if not isinstance(counts, dict):
+                    raise ShardProtocolError(
+                        f"shard {shard_index} answered malformed cost counts "
+                        f"for phi {phi_key!r}"
+                    )
+                merged = totals.setdefault(
+                    str(phi_key), {"instances": 0, "sold": 0, "billed_hours": 0, "od_hours": 0}
+                )
+                for field in merged:
+                    merged[field] += int(counts.get(field, 0))  # type: ignore[call-overload]
+        response: "Dict[str, object]" = {}
+        for phi_key, counts in sorted(
+            totals.items(), key=lambda item: -float(item[0])
+        ):
+            breakdown = breakdown_from_counts(self.model, float(phi_key), counts)
+            response[phi_key] = {
+                "counts": counts,
+                "breakdown": {
+                    "on_demand": breakdown.on_demand,
+                    "upfront": breakdown.upfront,
+                    "reserved_hourly": breakdown.reserved_hourly,
+                    "sale_income": breakdown.sale_income,
+                    "total": breakdown.total,
+                },
+            }
+        return {"phis": response}
+
+    def _fan_out_get(self, path: str) -> "List[Tuple[int, Dict[str, object]]]":
+        """GET ``path`` on every shard concurrently; raises on any failure."""
+        futures = [
+            (shard_index, self._pool.submit(self._call_shard, shard_index, "GET", path))
+            for shard_index in range(len(self.supervisors))
+        ]
+        replies: "List[Tuple[int, Dict[str, object]]]" = []
+        first_error: "Optional[ShardError]" = None
+        for shard_index, future in futures:
+            try:
+                status, parsed = future.result()
+            except ShardError as error:
+                if first_error is None:
+                    first_error = error
+                continue
+            if status != 200:
+                if first_error is None:
+                    first_error = ShardProtocolError(
+                        f"shard {shard_index} answered {status} to GET {path}"
+                    )
+                continue
+            replies.append((shard_index, parsed))
+        if first_error is not None:
+            raise first_error
+        return replies
+
+    # ------------------------------------------------------------------
+    # Health and metrics
+    # ------------------------------------------------------------------
+
+    def health(self) -> "Dict[str, object]":
+        """Cluster health; ``"degraded"`` while any shard is down."""
+        shards: "Dict[str, Dict[str, object]]" = {}
+        status = "ok"
+        instances = 0
+        events_ingested = 0
+        for shard_index, supervisor in enumerate(self.supervisors):
+            key = str(shard_index)
+            if not supervisor.alive():
+                shards[key] = {"status": "down", "restarts": supervisor.restarts}
+                status = "degraded"
+                continue
+            try:
+                _, parsed = self._request(shard_index, "GET", "/healthz")
+            except ShardError as error:
+                shards[key] = {
+                    "status": "unreachable",
+                    "restarts": supervisor.restarts,
+                    "message": str(error),
+                }
+                status = "degraded"
+                continue
+            shard_instances = int(parsed.get("instances", 0))  # type: ignore[call-overload]
+            shard_events = int(parsed.get("events_ingested", 0))  # type: ignore[call-overload]
+            instances += shard_instances
+            events_ingested += shard_events
+            shards[key] = {
+                "status": str(parsed.get("status", "ok")),
+                "instances": shard_instances,
+                "events_ingested": shard_events,
+                "restarts": supervisor.restarts,
+            }
+        return {
+            "status": status,
+            "version": __version__,
+            "shards": shards,
+            "instances": instances,
+            "events_ingested": events_ingested,
+            "uptime_seconds": round(time.perf_counter() - self._started, 3),
+        }
+
+    def render_metrics(self) -> str:
+        """The router's own metrics plus every reachable shard's,
+        re-labelled with ``shard="N"``."""
+        parts = [self.registry.render()]
+        seen_headers: "Set[str]" = set()
+        for line in parts[0].splitlines():
+            if line.startswith("#"):
+                seen_headers.add(line)
+        for shard_index in range(len(self.supervisors)):
+            if not self.supervisors[shard_index].alive():
+                continue
+            try:
+                exposition = self._request_text(shard_index, "/metrics")
+            except ShardError:
+                continue
+            parts.append(
+                _relabel_exposition(exposition, shard_index, seen_headers)
+            )
+        return "\n".join(part for part in parts if part)
+
+    def close(self) -> None:
+        """Stop dispatch and every worker (final checkpoints included)."""
+        self._pool.shutdown(wait=True)
+        for supervisor in self.supervisors:
+            supervisor.stop()
+
+
+def _relabel_exposition(
+    exposition: str, shard_index: int, seen_headers: "Set[str]"
+) -> str:
+    """Inject ``shard="N"`` into every sample of one shard's exposition.
+
+    ``# HELP``/``# TYPE`` headers are emitted once across the merged
+    output (duplicates are invalid exposition text).
+    """
+    label = f'shard="{shard_index}"'
+    lines: "List[str]" = []
+    for line in exposition.splitlines():
+        if not line:
+            continue
+        if line.startswith("#"):
+            if line not in seen_headers:
+                seen_headers.add(line)
+                lines.append(line)
+            continue
+        name_part, _, value_part = line.partition(" ")
+        if "{" in name_part:
+            name_part = name_part.replace("{", "{" + label + ",", 1)
+        else:
+            name_part = name_part + "{" + label + "}"
+        lines.append(f"{name_part} {value_part}")
+    return "\n".join(lines)
+
+
+class RouterRequestHandler(AdvisoryRequestHandler):
+    """The advisory handler with multi-status ingest replies."""
+
+    server_version = f"repro-serve-router/{__version__}"
+
+    def _handle_ingest(self) -> None:
+        self.app.admit()
+        try:
+            payload = self._read_json_body()
+            status, body = self.app.ingest_with_status(payload)  # type: ignore[attr-defined]
+            self._send_json(status, envelope(body))
+        finally:
+            self.app.release()
+
+
+class RouterServer(AdvisoryServer):
+    """A :class:`ThreadingHTTPServer` bound to one :class:`ShardRouter`."""
+
+    def __init__(self, address: "Tuple[str, int]", router: ShardRouter) -> None:
+        # Bypass AdvisoryServer.__init__ to install the router handler.
+        super(AdvisoryServer, self).__init__(address, RouterRequestHandler)
+        self.app = router  # type: ignore[assignment]
+
+
+def start_cluster(
+    model: CostModel,
+    n_shards: int,
+    checkpoint_dir: "str | Path",
+    phis: "Sequence[float]" = PAPER_DECISION_FRACTIONS,
+    threshold_scale: float = 1.0,
+    host: str = "127.0.0.1",
+    max_batch: int = DEFAULT_MAX_BATCH,
+    max_inflight: int = DEFAULT_MAX_INFLIGHT,
+    request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
+    attempts: int = DEFAULT_ATTEMPTS,
+    backoff_base: float = DEFAULT_BACKOFF_BASE,
+    backoff_cap: float = DEFAULT_BACKOFF_CAP,
+) -> ShardRouter:
+    """Boot N supervised shard workers and return the router over them.
+
+    Each shard's checkpoint lives at ``checkpoint_dir/shard-<i>.json``;
+    when absent, an empty fleet with ``model``/``phis`` is checkpointed
+    first so the worker bootstraps its configuration from the file (an
+    existing checkpoint wins — restarts resume where the shard left
+    off).
+    """
+    if n_shards < 1:
+        raise ServeStateError(f"n_shards must be >= 1, got {n_shards!r}")
+    directory = Path(checkpoint_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    supervisors: "List[ShardSupervisor]" = []
+    try:
+        for shard_index in range(n_shards):
+            path = directory / f"shard-{shard_index}.json"
+            if not path.exists():
+                fleet = FleetState(
+                    model, phis=phis, threshold_scale=threshold_scale
+                )
+                save_checkpoint(path, fleet)
+            supervisor = ShardSupervisor(
+                shard_index, path, host=host, max_batch=max_batch
+            )
+            supervisor.start()
+            supervisors.append(supervisor)
+    except ServeError:
+        for supervisor in supervisors:
+            supervisor.stop()
+        raise
+    return ShardRouter(
+        model,
+        supervisors,
+        max_batch=max_batch,
+        max_inflight=max_inflight,
+        request_timeout=request_timeout,
+        attempts=attempts,
+        backoff_base=backoff_base,
+        backoff_cap=backoff_cap,
+    )
+
+
+def run_cluster(args: argparse.Namespace) -> int:
+    """CLI entry for ``python -m repro.serve --shards N`` (N > 1)."""
+    plan = paper_experiment_plan()
+    if args.period_hours != plan.period_hours:
+        plan = plan.with_period(args.period_hours)
+    model = CostModel(plan=plan, selling_discount=args.discount)
+    if args.checkpoint is not None:
+        checkpoint_dir = Path(args.checkpoint)
+    else:
+        checkpoint_dir = Path(tempfile.mkdtemp(prefix="repro-serve-shards-"))
+        print(
+            f"repro.serve: --checkpoint not given; per-shard checkpoints in "
+            f"{checkpoint_dir}",
+            file=sys.stderr,
+        )
+    try:
+        router = start_cluster(
+            model,
+            args.shards,
+            checkpoint_dir,
+            phis=tuple(args.phi),
+            host=args.host,
+            max_batch=args.max_batch,
+            max_inflight=args.max_inflight,
+        )
+    except (ServeError, CheckpointError) as error:
+        print(f"repro.serve: error: {error}", file=sys.stderr)
+        return 2
+    server = RouterServer((args.host, args.port), router)
+    host, port = server.server_address[:2]
+    print(
+        f"repro.serve router listening on http://{host}:{port} "
+        f"({args.shards} shards, plan {plan.name or 'paper'} "
+        f"T={plan.period_hours}h, a={args.discount}, "
+        f"checkpoints in {checkpoint_dir})",
+        file=sys.stderr,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("repro.serve: shutting down cluster", file=sys.stderr)
+    finally:
+        server.server_close()
+        router.close()
+    return 0

@@ -425,9 +425,11 @@ class FleetState:
         self.model = model
         self.threshold_scale = threshold_scale
         self.thresholds: Tuple[PhiThreshold, ...] = tuple(thresholds)
+        self._period = period
         capacity = max(int(capacity), 1)
         self._age = np.zeros(capacity, dtype=np.int64)
         self._working = np.zeros(capacity, dtype=np.int64)
+        self._working_in_term = np.zeros(capacity, dtype=np.int64)
         self._verdicts = [np.zeros(capacity, dtype=np.int8) for _ in thresholds]
         self._working_at = [
             np.full(capacity, -1, dtype=np.int64) for _ in thresholds
@@ -463,6 +465,9 @@ class FleetState:
         self._age = np.concatenate([self._age, np.zeros(extra, dtype=np.int64)])
         self._working = np.concatenate(
             [self._working, np.zeros(extra, dtype=np.int64)]
+        )
+        self._working_in_term = np.concatenate(
+            [self._working_in_term, np.zeros(extra, dtype=np.int64)]
         )
         self._verdicts = [
             np.concatenate([v, np.zeros(extra, dtype=np.int8)])
@@ -526,6 +531,9 @@ class FleetState:
             self._working[idx] += flags
             self._age[idx] += 1
             ages = self._age[idx]
+            # A busy hour is covered by the reservation while the
+            # (post-advance) age is within the reservation period.
+            self._working_in_term[idx] += flags * (ages <= self._period)
             for k, threshold in enumerate(self.thresholds):
                 hit = ages == threshold.decision_age
                 if not hit.any():
@@ -589,6 +597,68 @@ class FleetState:
         return tally
 
     # ------------------------------------------------------------------
+    # Cost accounting (integer counts so shard sums merge exactly)
+    # ------------------------------------------------------------------
+
+    def cost_counts(self) -> "Dict[str, Dict[str, int]]":
+        """Per-φ integer cost counts accrued so far, keyed by ``repr(phi)``.
+
+        Every count is an exact integer — instances, sales, billed
+        hours, on-demand hours — so a sharded deployment can sum the
+        counts across shards and multiply by the model's prices *once*
+        (:func:`breakdown_from_counts`), reproducing the single-process
+        :meth:`cost_breakdowns` bit for bit.
+
+        Accounting follows the paper's single-reservation model at each
+        decision fraction independently: a SELL verdict ends the
+        reservation at the decision age (later busy hours are on-demand,
+        income is one marketplace sale); KEEP and PENDING instances bill
+        through the reservation period and pay on-demand only after it
+        expires.
+        """
+        size = len(self._ids)
+        period = self._period
+        active_fee = self.model.fee_mode is HourlyFeeMode.ACTIVE
+        ages = self._age[:size]
+        working = self._working[:size]
+        in_term = self._working_in_term[:size]
+        counts: "Dict[str, Dict[str, int]]" = {}
+        for k, threshold in enumerate(self.thresholds):
+            sold = self._verdicts[k][:size] == _SELL
+            unsold = ~sold
+            n_sold = int(np.count_nonzero(sold))
+            working_at = self._working_at[k][:size]
+            if active_fee:
+                billed_sold = n_sold * threshold.decision_age
+            else:
+                billed_sold = int(working_at[sold].sum())
+            billed_unsold_active = int(np.minimum(ages[unsold], period).sum())
+            billed_unsold = (
+                billed_unsold_active if active_fee else int(in_term[unsold].sum())
+            )
+            od_sold = int((working[sold] - working_at[sold]).sum())
+            od_unsold = int((working[unsold] - in_term[unsold]).sum())
+            counts[repr(threshold.phi)] = {
+                "instances": size,
+                "sold": n_sold,
+                "billed_hours": billed_sold + billed_unsold,
+                "od_hours": od_sold + od_unsold,
+            }
+        return counts
+
+    def cost_breakdowns(self) -> "Dict[str, CostBreakdown]":
+        """Per-φ :class:`~repro.core.account.CostBreakdown`, keyed by
+        ``repr(phi)`` — the priced form of :meth:`cost_counts`."""
+        return {
+            repr(threshold.phi): breakdown_from_counts(
+                self.model, threshold.phi, counts
+            )
+            for threshold, counts in zip(
+                self.thresholds, self.cost_counts().values()
+            )
+        }
+
+    # ------------------------------------------------------------------
     # Checkpoint support (payload shape owned here, IO in checkpoint.py)
     # ------------------------------------------------------------------
 
@@ -607,6 +677,7 @@ class FleetState:
                     "id": instance_id,
                     "age": int(self._age[index]),
                     "working": int(self._working[index]),
+                    "working_in_term": int(self._working_in_term[index]),
                     "spots": spots,
                 }
             )
@@ -619,6 +690,9 @@ class FleetState:
                 index = self.register(str(row["id"]))
                 self._age[index] = int(row["age"])  # type: ignore[call-overload]
                 self._working[index] = int(row["working"])  # type: ignore[call-overload]
+                self._working_in_term[index] = int(  # type: ignore[call-overload]
+                    row["working_in_term"]
+                )
                 spots = row["spots"]
                 for k, threshold in enumerate(self.thresholds):
                     spot = spots[repr(threshold.phi)]  # type: ignore[index]
@@ -633,5 +707,34 @@ class FleetState:
                 raise ServeStateError(
                     f"malformed fleet state row: {row!r}"
                 ) from error
+
+
+def breakdown_from_counts(
+    model: CostModel, phi: float, counts: "Dict[str, int]"
+) -> CostBreakdown:
+    """Price one φ's integer cost counts into a
+    :class:`~repro.core.account.CostBreakdown`.
+
+    This is the *only* place counts meet floats: every multiplication
+    happens exactly once, in a fixed expression order, so summing
+    per-shard counts first and pricing the totals here is bit-identical
+    to pricing a single process's counts.
+    """
+    try:
+        instances = int(counts["instances"])
+        sold = int(counts["sold"])
+        billed_hours = int(counts["billed_hours"])
+        od_hours = int(counts["od_hours"])
+    except (KeyError, TypeError, ValueError) as error:
+        raise ServeStateError(f"malformed cost counts: {counts!r}") from error
+    decision_age = round(phi * model.period)
+    remaining_fraction = 1.0 - decision_age / model.period
+    per_sale = model.sale_income(remaining_fraction)
+    return CostBreakdown(
+        on_demand=float(od_hours) * model.p,
+        upfront=float(instances) * model.big_r,
+        reserved_hourly=billed_hours * model.alpha * model.p,
+        sale_income=float(sold) * per_sale,
+    )
 
 

@@ -9,15 +9,13 @@ from repro.experiments.population import (
     GROUP_IMITATOR_CYCLE,
     build_experiment_population,
 )
-from repro.experiments.runner import (
+from repro.core.policies import (
     ALL_SELLING_POLICIES,
     ONLINE_POLICIES,
     POLICY_KEEP,
     POLICY_OPT,
-    SweepResult,
-    run_sweep,
-    run_user,
 )
+from repro.experiments.runner import SweepResult, run_sweep, run_user
 from repro.workload.groups import FluctuationGroup
 
 TINY = ExperimentConfig(users_per_group=4, period_hours=96, seed=7, label="tiny")

@@ -75,6 +75,12 @@ CASES = [
         "import threading\n\n"
         "worker = threading.Thread(target=print, daemon=True)\n",
     ),
+    (
+        "REP011",
+        "experiments/table9.py",
+        'BASELINE = "Keep-Reserved"\n',
+        "from repro.core.policies import POLICY_KEEP\n\nBASELINE = POLICY_KEEP\n",
+    ),
 ]
 
 #: REP010's socket arm: server construction is a serve/-only privilege.

@@ -66,6 +66,7 @@ def test_healthz_reports_ok(served):
     _, base = served
     status, body = request("GET", f"{base}/healthz")
     assert status == 200
+    assert body["schema"] == 1
     assert body["status"] == "ok"
     assert body["instances"] == 0
 
@@ -111,14 +112,15 @@ def test_validation_errors_are_400(served):
     ):
         status, body = request("POST", f"{base}/v1/events", payload)
         assert status == 400, payload
-        assert body["error"] == "RequestValidationError", payload
+        assert body["schema"] == 1, payload
+        assert body["error"]["kind"] == "RequestValidationError", payload
 
 
 def test_unknown_routes_and_instances_are_404(served):
     _, base = served
     assert request("GET", f"{base}/nope")[0] == 404
     status, body = request("GET", f"{base}/v1/decisions?instance=ghost")
-    assert status == 404 and body["error"] == "UnknownResourceError"
+    assert status == 404 and body["error"]["kind"] == "UnknownResourceError"
 
 
 def test_oversize_batch_is_413(served):
@@ -126,7 +128,7 @@ def test_oversize_batch_is_413(served):
     app.max_batch = 2
     events = [{"instance": f"i-{k}", "busy": True} for k in range(3)]
     status, body = request("POST", f"{base}/v1/events", {"events": events})
-    assert status == 413 and body["error"] == "PayloadTooLargeError"
+    assert status == 413 and body["error"]["kind"] == "PayloadTooLargeError"
 
 
 def test_backpressure_is_429(served):
@@ -135,7 +137,7 @@ def test_backpressure_is_429(served):
     status, body = request(
         "POST", f"{base}/v1/events", {"events": [{"instance": "i-1", "busy": True}]}
     )
-    assert status == 429 and body["error"] == "ServerBusyError"
+    assert status == 429 and body["error"]["kind"] == "ServerBusyError"
     app.max_inflight = 8
     status, _ = request(
         "POST", f"{base}/v1/events", {"events": [{"instance": "i-1", "busy": True}]}
