@@ -1,0 +1,105 @@
+"""Bench: lint-engine node traversal, recorded to BENCH_lint.json.
+
+Not a paper artefact — this guards the engine optimisation that came
+with the whole-program layer: every rule used to run its own
+``ast.walk`` over each module (11 full traversals per file); now
+:meth:`ModuleContext.nodes` serves all rules from one per-file index
+built in a single walk. The bench lints the real ``src/repro`` tree
+both ways — ``indexed`` is the shipped engine, ``walked`` monkeypatches
+``nodes()`` back to a fresh ``ast.walk`` per rule — and records the
+speedup.
+
+Run standalone (writes ``BENCH_lint.json`` at the repo root)::
+
+    PYTHONPATH=src python benchmarks/bench_lint.py
+    PYTHONPATH=src python benchmarks/bench_lint.py --repeats 5
+
+or via pytest (a single-repeat smoke pass)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_lint.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Iterator
+
+from repro._version import __version__
+from repro.lint.engine import lint_paths
+from repro.lint.registry import ModuleContext
+
+ROOT = Path(__file__).resolve().parents[1]
+TARGET = ROOT / "src" / "repro"
+
+
+def _walked_nodes(self: ModuleContext, *node_types: type) -> "Iterator[ast.AST]":
+    """The pre-index behaviour: one full tree walk per nodes() call."""
+    return (node for node in ast.walk(self.tree) if type(node) in node_types)
+
+
+def _time_lint(repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        began = time.perf_counter()
+        report = lint_paths([TARGET])
+        elapsed = time.perf_counter() - began
+        if not report.clean:  # the tree must stay lint-clean to compare
+            raise RuntimeError("src/repro is not lint-clean; fix before benching")
+        best = min(best, elapsed)
+    return best
+
+
+def run_bench(repeats: int = 3) -> dict:
+    """Measure indexed vs per-rule-walk linting of src/repro."""
+    indexed_seconds = _time_lint(repeats)
+    original = ModuleContext.nodes
+    ModuleContext.nodes = _walked_nodes  # type: ignore[method-assign]
+    try:
+        walked_seconds = _time_lint(repeats)
+    finally:
+        ModuleContext.nodes = original  # type: ignore[method-assign]
+    files = len(list(TARGET.rglob("*.py")))
+    return {
+        "benchmark": "lint_node_index",
+        "version": __version__,
+        "created_unix": round(time.time(), 3),
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "config": {"files": files, "repeats": repeats},
+        "walked": {"seconds": round(walked_seconds, 4)},
+        "indexed": {"seconds": round(indexed_seconds, 4)},
+        "indexed_speedup": round(walked_seconds / indexed_seconds, 2),
+    }
+
+
+def test_indexed_traversal_not_slower(tmp_path):
+    """Smoke pass: the shared index must not lose to per-rule walks."""
+    record = run_bench(repeats=1)
+    assert record["indexed"]["seconds"] > 0
+    # Generous bound: sharing one walk can never cost 2x the old way.
+    assert record["indexed"]["seconds"] < record["walked"]["seconds"] * 2
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--output", type=Path, default=ROOT / "BENCH_lint.json"
+    )
+    arguments = parser.parse_args()
+    record = run_bench(repeats=arguments.repeats)
+    arguments.output.write_text(
+        json.dumps(record, indent=2) + "\n", encoding="utf-8"
+    )
+    print(json.dumps(record, indent=2))
+
+
+if __name__ == "__main__":
+    main()

@@ -15,29 +15,67 @@ REP005    no arithmetic mixing ``_hours`` with ``_months``/``_years``
 REP006    complete annotations on public core/pricing functions
 REP007    no bare ``except:`` / silently swallowed exceptions
 REP008    no ``assert`` as runtime validation in library code
+REP009    no text-mode file I/O without an explicit ``encoding=``
+REP010    explicit ``daemon=`` on threads; sockets only under serve/
+REP011    no hard-coded policy-name string literals
 ========  ==========================================================
 
-Run ``python -m repro.lint [paths]``; suppress a finding inline with
+``--project`` adds the whole-program ``REP1xx`` analyses
+(:mod:`repro.lint.project`): every module is parsed once into a
+:class:`~repro.lint.project.model.ProjectModel` (module graph, symbol
+tables, conservative call graph) and project-scoped rules run on top:
+
+========  ==========================================================
+REP101    determinism taint — nondeterministic sources must not reach
+          decision code through any cross-module call chain
+REP102    concurrency discipline in serve/ — locked shared writes,
+          no thread-before-spawn, no leaked non-daemon threads
+REP103    API-contract drift — routes/statuses/envelope keys must
+          match ``docs/serving.md`` and the versioned envelope
+========  ==========================================================
+
+Run ``python -m repro.lint [paths]`` (add ``--project`` for the REP1xx
+analyses, ``--baseline lint_baseline.json`` to report only new
+findings); suppress a finding inline with
 ``# repro-lint: disable=REP001`` (line) or
 ``# repro-lint: disable-file=REP006`` (file).  See
 ``docs/static_analysis.md`` for the full rule catalogue and rationale.
 """
 
+from repro.lint.baseline import (
+    BaselineError,
+    apply_baseline,
+    fingerprint,
+    load_baseline,
+    write_baseline,
+)
 from repro.lint.diagnostics import Diagnostic, format_json, format_text
-from repro.lint.engine import LintConfigError, LintReport, lint_paths, lint_source
+from repro.lint.engine import (
+    LintConfigError,
+    LintReport,
+    lint_paths,
+    lint_project,
+    lint_source,
+)
 from repro.lint.registry import ModuleContext, Rule, all_rules, known_codes, register
 
 __all__ = [
+    "BaselineError",
     "Diagnostic",
     "LintConfigError",
     "LintReport",
     "ModuleContext",
     "Rule",
     "all_rules",
+    "apply_baseline",
+    "fingerprint",
     "format_json",
     "format_text",
     "known_codes",
     "lint_paths",
+    "lint_project",
     "lint_source",
+    "load_baseline",
     "register",
+    "write_baseline",
 ]

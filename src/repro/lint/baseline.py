@@ -1,0 +1,114 @@
+"""Committed-baseline support for incremental lint adoption.
+
+A baseline is a JSON file listing findings that are *known and accepted*
+for now; ``--baseline FILE`` subtracts them from a run so only **new**
+findings fail CI, and ``--baseline-update`` rewrites the file to the
+current findings.  Entries are matched on a line-insensitive
+fingerprint — ``(code, normalized path, message)`` — so reformatting a
+file or adding imports above a baselined finding does not resurrect it,
+while moving the finding to another file or changing what it says does.
+
+The shipped tree's baseline (``lint_baseline.json``) is empty: the
+project analyses were introduced together with fixes for everything
+they found, and the file exists so the workflow (and CI wiring) is
+exercised from day one.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.lint.diagnostics import Diagnostic
+
+BASELINE_FORMAT = 1
+
+Fingerprint = Tuple[str, str, str]
+
+
+class BaselineError(ReproError):
+    """Unreadable or malformed baseline file."""
+
+
+def normalize_path(path: str) -> str:
+    """Path as stored in baselines: parts from the last ``repro``
+    component on (so absolute and relative invocations agree), with
+    forward slashes."""
+    parts = Path(path).parts
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] == "repro":
+            return "/".join(parts[index:])
+    return "/".join(parts[-2:] if len(parts) >= 2 else parts)
+
+
+def fingerprint(diagnostic: Diagnostic) -> Fingerprint:
+    return (diagnostic.code, normalize_path(diagnostic.path), diagnostic.message)
+
+
+def load_baseline(path: "Path | str") -> "Counter[Fingerprint]":
+    """Load a baseline file into a fingerprint multiset."""
+    file_path = Path(path)
+    if not file_path.is_file():
+        raise BaselineError(f"baseline file not found: {file_path}")
+    try:
+        payload = json.loads(file_path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as error:
+        raise BaselineError(f"could not read baseline {file_path}: {error}") from error
+    if not isinstance(payload, dict) or payload.get("format") != BASELINE_FORMAT:
+        raise BaselineError(
+            f"baseline {file_path} has unsupported format "
+            f"{payload.get('format') if isinstance(payload, dict) else payload!r}"
+        )
+    entries = payload.get("entries")
+    if not isinstance(entries, list):
+        raise BaselineError(f"baseline {file_path} has no entries list")
+    counts: "Counter[Fingerprint]" = Counter()
+    for entry in entries:
+        if not isinstance(entry, dict):
+            raise BaselineError(f"baseline {file_path} has a non-object entry")
+        try:
+            key = (str(entry["code"]), str(entry["path"]), str(entry["message"]))
+        except KeyError as error:
+            raise BaselineError(
+                f"baseline {file_path} entry missing key {error}"
+            ) from error
+        counts[key] += 1
+    return counts
+
+
+def write_baseline(path: "Path | str", diagnostics: "Sequence[Diagnostic]") -> None:
+    """Write the current findings as the new accepted baseline."""
+    entries: "List[Dict[str, str]]" = [
+        {"code": code, "path": norm, "message": message}
+        for code, norm, message in sorted(fingerprint(d) for d in diagnostics)
+    ]
+    payload = {"format": BASELINE_FORMAT, "entries": entries}
+    Path(path).write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+
+
+def apply_baseline(
+    diagnostics: "Sequence[Diagnostic]", baseline: "Counter[Fingerprint]"
+) -> "Tuple[List[Diagnostic], int, int]":
+    """Split findings against a baseline.
+
+    Returns ``(new, matched, stale)``: the findings *not* covered by the
+    baseline, how many were covered, and how many baseline entries
+    matched nothing (fixed findings the file still carries — prune them
+    with ``--baseline-update``)."""
+    remaining = Counter(baseline)
+    new: "List[Diagnostic]" = []
+    matched = 0
+    for diagnostic in diagnostics:
+        key = fingerprint(diagnostic)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            matched += 1
+        else:
+            new.append(diagnostic)
+    stale = sum(remaining.values())
+    return new, matched, stale

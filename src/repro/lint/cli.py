@@ -1,6 +1,12 @@
 """Command-line interface: ``python -m repro.lint``.
 
 Exit codes: 0 clean, 1 findings reported, 2 bad invocation.
+
+``--project`` adds the whole-program ``REP1xx`` analyses (determinism
+taint, concurrency discipline, API-contract drift) on top of the file
+rules, still in one process and one parse per module.  ``--baseline
+FILE`` subtracts accepted findings so only new ones fail;
+``--baseline-update`` rewrites the file to the current findings.
 """
 
 from __future__ import annotations
@@ -10,8 +16,14 @@ import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
 
+from repro.lint.baseline import (
+    BaselineError,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
 from repro.lint.diagnostics import format_json, format_text
-from repro.lint.engine import LintConfigError, lint_paths
+from repro.lint.engine import LintConfigError, lint_paths, lint_project
 from repro.lint.registry import all_rules
 
 
@@ -57,6 +69,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="output format (default: text)",
     )
     parser.add_argument(
+        "--project", action="store_true",
+        help=(
+            "run the whole-program REP1xx analyses (determinism taint, "
+            "concurrency discipline, API-contract drift) in addition to "
+            "the file rules"
+        ),
+    )
+    parser.add_argument(
+        "--baseline", metavar="FILE",
+        help=(
+            "subtract the accepted findings in FILE; only findings not "
+            "in the baseline are reported (and set the exit code)"
+        ),
+    )
+    parser.add_argument(
+        "--baseline-update", action="store_true",
+        help="rewrite --baseline FILE to the current findings and exit 0",
+    )
+    parser.add_argument(
         "--list-rules", action="store_true",
         help="print every registered rule with its rationale and exit",
     )
@@ -64,12 +95,20 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _render_rule_list() -> str:
+    from repro.lint.project.registry import all_project_rules
+
     lines = []
     for rule in all_rules():
         scope = ", ".join(rule.subpackages) if rule.subpackages else "all subpackages"
         lines.append(f"{rule.code} {rule.name} [{scope}]")
         lines.append(f"    {rule.summary}")
         lines.append(f"    rationale: {rule.rationale}")
+    for project_rule in all_project_rules():
+        lines.append(
+            f"{project_rule.code} {project_rule.name} [project-wide, --project]"
+        )
+        lines.append(f"    {project_rule.summary}")
+        lines.append(f"    rationale: {project_rule.rationale}")
     return "\n".join(lines)
 
 
@@ -80,17 +119,38 @@ def main(argv: "Optional[Sequence[str]]" = None) -> int:
         print(_render_rule_list())
         return 0
     try:
+        if options.baseline_update and not options.baseline:
+            raise LintConfigError("--baseline-update requires --baseline FILE")
         paths = list(options.paths) or _default_paths()
-        report = lint_paths(
+        runner = lint_project if options.project else lint_paths
+        report = runner(
             paths,
             select=_parse_codes(options.select),
             ignore=_parse_codes(options.ignore),
         )
-    except LintConfigError as error:
+        if options.baseline_update:
+            write_baseline(options.baseline, report.diagnostics)
+            print(
+                f"repro.lint: baseline {options.baseline} updated with "
+                f"{len(report.diagnostics)} findings"
+            )
+            return 0
+        baseline_note = ""
+        if options.baseline:
+            accepted = load_baseline(options.baseline)
+            new, matched, stale = apply_baseline(report.diagnostics, accepted)
+            report.diagnostics = new
+            baseline_note = (
+                f"baseline: {matched} accepted, {stale} stale, "
+                f"{len(new)} new"
+            )
+    except (LintConfigError, BaselineError) as error:
         print(f"repro.lint: error: {error}", file=sys.stderr)
         return 2
     if options.format == "json":
         print(format_json(report.diagnostics, report.files_checked))
     else:
         print(format_text(report.diagnostics, report.files_checked))
+        if baseline_note:
+            print(f"repro.lint: {baseline_note}")
     return 0 if report.clean else 1

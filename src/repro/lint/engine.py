@@ -4,6 +4,12 @@ The engine parses each module once, hands the shared
 :class:`~repro.lint.registry.ModuleContext` to every applicable rule,
 drops findings hit by an inline suppression comment, applies
 ``--select``/``--ignore`` filtering, and returns a :class:`LintReport`.
+
+:func:`lint_project` is the whole-program entry point: the same single
+parse per module, the per-file rules, **plus** the ``REP1xx`` project
+analyses (:mod:`repro.lint.project`) run over a
+:class:`~repro.lint.project.model.ProjectModel` built from the already
+parsed contexts — one process, one pass over the tree.
 """
 
 from __future__ import annotations
@@ -11,7 +17,7 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.errors import ReproError
 from repro.lint.diagnostics import PARSE_ERROR_CODE, Diagnostic, sort_key
@@ -48,9 +54,18 @@ def _relative_parts(path: Path) -> "Tuple[str, ...]":
 
 
 def _resolve_rules(
-    select: "Optional[Iterable[str]]", ignore: "Optional[Iterable[str]]"
-) -> "List[Rule]":
+    select: "Optional[Iterable[str]]",
+    ignore: "Optional[Iterable[str]]",
+    project: bool = False,
+) -> "Tuple[List[Rule], List[object]]":
+    """Instantiate the wanted file rules (and project rules when
+    ``project``); unknown codes are an invocation error."""
     known = set(known_codes())
+    project_rules: "List[object]" = []
+    if project:
+        from repro.lint.project.registry import known_project_codes
+
+        known |= set(known_project_codes())
     selected: "Set[str]" = set(select) if select is not None else set(known)
     ignored: "Set[str]" = set(ignore) if ignore is not None else set()
     unknown = (selected | ignored) - known
@@ -60,7 +75,52 @@ def _resolve_rules(
             f"(known: {', '.join(sorted(known))})"
         )
     wanted = selected - ignored
-    return [rule for rule in all_rules() if rule.code in wanted]
+    file_rules = [rule for rule in all_rules() if rule.code in wanted]
+    if project:
+        from repro.lint.project.registry import all_project_rules
+
+        project_rules = [
+            rule for rule in all_project_rules() if rule.code in wanted
+        ]
+    return file_rules, project_rules
+
+
+def _build_context(
+    source: str, filename: str
+) -> "Union[ModuleContext, Diagnostic]":
+    """Parse one module; a :class:`Diagnostic` stands in on syntax errors."""
+    try:
+        tree = ast.parse(source, filename=filename)
+    except SyntaxError as error:
+        return Diagnostic(
+            code=PARSE_ERROR_CODE,
+            message=f"could not parse module: {error.msg}",
+            path=filename,
+            line=error.lineno or 1,
+            column=(error.offset or 1) - 1,
+        )
+    return ModuleContext(
+        path=filename,
+        relative_parts=_relative_parts(Path(filename)),
+        source=source,
+        tree=tree,
+        suppressions=collect_suppressions(source),
+    )
+
+
+def _run_file_rules(
+    context: ModuleContext, rules: "Sequence[Rule]"
+) -> "List[Diagnostic]":
+    findings: "List[Diagnostic]" = []
+    for rule in rules:
+        if not rule.applies_to(context):
+            continue
+        for diagnostic in rule.check(context):
+            if not context.suppressions.is_suppressed(
+                diagnostic.code, diagnostic.line
+            ):
+                findings.append(diagnostic)
+    return findings
 
 
 def lint_source(
@@ -72,33 +132,11 @@ def lint_source(
     """Lint one module given as a string. ``filename`` drives both the
     diagnostics' path field and subpackage scoping (``"core/x.py"``
     makes core-scoped rules apply)."""
-    rules = _resolve_rules(select, ignore)
-    try:
-        tree = ast.parse(source, filename=filename)
-    except SyntaxError as error:
-        return [
-            Diagnostic(
-                code=PARSE_ERROR_CODE,
-                message=f"could not parse module: {error.msg}",
-                path=filename,
-                line=error.lineno or 1,
-                column=(error.offset or 1) - 1,
-            )
-        ]
-    context = ModuleContext(
-        path=filename,
-        relative_parts=_relative_parts(Path(filename)),
-        source=source,
-        tree=tree,
-        suppressions=collect_suppressions(source),
-    )
-    findings: "List[Diagnostic]" = []
-    for rule in rules:
-        if not rule.applies_to(context):
-            continue
-        for diagnostic in rule.check(context):
-            if not context.suppressions.is_suppressed(diagnostic.code, diagnostic.line):
-                findings.append(diagnostic)
+    rules, _ = _resolve_rules(select, ignore)
+    context = _build_context(source, filename)
+    if isinstance(context, Diagnostic):
+        return [context]
+    findings = _run_file_rules(context, rules)
     findings.sort(key=sort_key)
     return findings
 
@@ -123,12 +161,63 @@ def lint_paths(
     ignore: "Optional[Iterable[str]]" = None,
 ) -> LintReport:
     """Lint every ``.py`` file under ``paths`` and aggregate a report."""
+    rules, _ = _resolve_rules(select, ignore)
     report = LintReport()
     for path in iter_python_files(paths):
         source = path.read_text(encoding="utf-8")
-        report.diagnostics.extend(
-            lint_source(source, filename=str(path), select=select, ignore=ignore)
-        )
+        context = _build_context(source, str(path))
+        if isinstance(context, Diagnostic):
+            report.diagnostics.append(context)
+        else:
+            report.diagnostics.extend(_run_file_rules(context, rules))
         report.files_checked += 1
+    report.diagnostics.sort(key=sort_key)
+    return report
+
+
+def _project_root(paths: "Sequence[str | Path]") -> Path:
+    """The package root the :class:`ProjectModel` is built against: the
+    first directory argument, or the first file's parent."""
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            return path
+    return Path(paths[0]).parent
+
+
+def lint_project(
+    paths: "Sequence[str | Path]",
+    select: "Optional[Iterable[str]]" = None,
+    ignore: "Optional[Iterable[str]]" = None,
+) -> LintReport:
+    """Whole-program lint: per-file rules plus the ``REP1xx`` project
+    analyses, every module parsed exactly once."""
+    from repro.lint.project.model import ProjectModel
+
+    file_rules, project_rules = _resolve_rules(select, ignore, project=True)
+    if not paths:
+        raise LintConfigError("project lint needs at least one path")
+    report = LintReport()
+    contexts: "List[ModuleContext]" = []
+    by_path: "Dict[str, ModuleContext]" = {}
+    for path in iter_python_files(paths):
+        source = path.read_text(encoding="utf-8")
+        context = _build_context(source, str(path))
+        if isinstance(context, Diagnostic):
+            report.diagnostics.append(context)
+        else:
+            contexts.append(context)
+            by_path[context.path] = context
+            report.diagnostics.extend(_run_file_rules(context, file_rules))
+        report.files_checked += 1
+    model = ProjectModel.build(contexts, _project_root(paths))
+    for rule in project_rules:
+        for diagnostic in rule.check(model):
+            context = by_path.get(diagnostic.path)
+            if context is not None and context.suppressions.is_suppressed(
+                diagnostic.code, diagnostic.line
+            ):
+                continue
+            report.diagnostics.append(diagnostic)
     report.diagnostics.sort(key=sort_key)
     return report

@@ -1,0 +1,57 @@
+"""Whole-program analysis layer of :mod:`repro.lint`.
+
+The per-file rules (REP001–REP011) judge one module at a time; the
+invariants behind the reproduction's *exactness* guarantees — serve's
+60-seed differential, the shard cluster's kill ``-9`` bit-identical
+differential, the sweep cache keyed on ``ENGINE_VERSION`` — are
+project-wide properties: nondeterminism can *flow* into decision code
+through calls, lock discipline spans classes, and the HTTP contract
+spans code and docs. This package parses the package once into a
+:class:`~repro.lint.project.model.ProjectModel` (module graph, per-module
+symbol tables, a conservative call graph) and runs project-scoped
+``REP1xx`` analyses on top of it:
+
+========  ==========================================================
+REP101    determinism taint: nondeterministic sources must not reach
+          decision code (``core/``, ``analysis/``, ``serve/state.py``)
+          through any call chain
+REP102    concurrency discipline in ``serve/``: shared state written
+          from handler/worker-reachable code only under a lock;
+          threads never started before a process spawn; no non-daemon
+          thread leaks
+REP103    API-contract drift: routes, status codes, and envelope keys
+          in ``serve/`` must match ``docs/serving.md`` and responses
+          must go through the versioned envelope
+========  ==========================================================
+
+Run them with ``python -m repro.lint --project`` (reported through the
+same :class:`~repro.lint.diagnostics.Diagnostic` / suppression /
+``--format json`` machinery as the file rules, plus an optional
+committed baseline for incremental adoption).
+"""
+
+from repro.lint.project.model import (
+    CallSite,
+    ClassInfo,
+    FunctionInfo,
+    ModuleInfo,
+    ProjectModel,
+)
+from repro.lint.project.registry import (
+    ProjectRule,
+    all_project_rules,
+    known_project_codes,
+    register_project_rule,
+)
+
+__all__ = [
+    "CallSite",
+    "ClassInfo",
+    "FunctionInfo",
+    "ModuleInfo",
+    "ProjectModel",
+    "ProjectRule",
+    "all_project_rules",
+    "known_project_codes",
+    "register_project_rule",
+]

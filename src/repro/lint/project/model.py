@@ -1,0 +1,526 @@
+"""The project model: one parse of the package, shared by all analyses.
+
+A :class:`ProjectModel` is built from the same :class:`ModuleContext`
+objects the per-file rules consume (so ``--project`` still parses each
+module exactly once) and adds the cross-module structure the ``REP1xx``
+analyses need:
+
+* a **module graph** — every module keyed by dotted name and by path;
+* a **per-module symbol table** — functions (with qualified names,
+  including methods), classes (with base names and lock attributes),
+  and an import map from local name to fully-qualified target;
+* a **conservative call graph** — each call site resolved through the
+  import map, same-module definitions, ``self.`` method lookup, and
+  package re-exports; attribute calls that cannot be resolved keep
+  their bare method name so analyses may fall back to
+  name-matching (over-approximate, never under-approximate).
+
+The model is deliberately syntactic: no imports are executed, so it is
+safe on any tree the linter can parse.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.lint.registry import ModuleContext
+
+#: Callee names too generic for bare-name fallback edges in precise
+#: analyses (REP101): ``.get()`` on a dict must not alias ``Cache.get``.
+GENERIC_METHOD_NAMES = frozenset(
+    {
+        "get", "items", "keys", "values", "append", "add", "extend",
+        "pop", "update", "join", "split", "strip", "format", "encode",
+        "decode", "read", "write", "close", "copy", "sort", "index",
+        "count", "setdefault", "result", "render",
+    }
+)
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One call expression inside a function body."""
+
+    dotted: "Optional[str]"  # the callee as written (``a.b.c``), if nameable
+    bare: "Optional[str]"  # terminal identifier (method-name fallback key)
+    node: ast.Call
+    resolved: "Tuple[str, ...]"  # candidate fully-qualified callee qualnames
+    under_lock: bool  # lexically inside ``with <lock>:``
+    is_attribute: bool  # spelled ``obj.m(...)`` rather than ``m(...)``
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition."""
+
+    qualname: str  # ``repro.serve.server.AdvisoryApp.ingest``
+    module: str  # dotted module name
+    name: str  # bare name
+    class_name: "Optional[str]"  # owning class, if a method
+    node: "ast.FunctionDef | ast.AsyncFunctionDef"
+    calls: "List[CallSite]" = field(default_factory=list)
+
+
+@dataclass
+class ClassInfo:
+    """One module-level class definition."""
+
+    qualname: str
+    module: str
+    name: str
+    node: ast.ClassDef
+    base_names: "Tuple[str, ...]"  # base expressions as written (dotted)
+    lock_attrs: "Tuple[str, ...]"  # self attrs assigned a *Lock() value
+    methods: "Tuple[str, ...]"  # method qualnames
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module plus its symbol table."""
+
+    name: str  # dotted module name (``repro.serve.shard``)
+    context: ModuleContext
+    imports: "Dict[str, str]" = field(default_factory=dict)
+    functions: "Dict[str, FunctionInfo]" = field(default_factory=dict)
+    classes: "Dict[str, ClassInfo]" = field(default_factory=dict)
+
+    @property
+    def path(self) -> str:
+        return self.context.path
+
+    @property
+    def subpackage(self) -> str:
+        return self.context.subpackage
+
+    @property
+    def relative_parts(self) -> "Tuple[str, ...]":
+        return self.context.relative_parts
+
+
+def _module_name(root: Path, path: Path) -> str:
+    """Dotted module name of ``path`` below package root ``root``."""
+    relative = path.relative_to(root)
+    parts = [root.name, *relative.parts[:-1]]
+    stem = relative.parts[-1][: -len(".py")] if relative.parts else ""
+    if stem and stem != "__init__":
+        parts.append(stem)
+    return ".".join(parts)
+
+
+def _dotted(node: ast.AST) -> "Optional[str]":
+    parts: "List[str]" = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _expr_mentions_lock(node: ast.AST) -> bool:
+    """Heuristic: does an expression name something lock-like?
+
+    Covers ``self._fleet_lock``, ``self._shard_locks[i]``, a bare
+    ``lock`` variable, and ``threading.Lock()`` — any identifier in the
+    expression containing the token ``lock``."""
+    for child in ast.walk(node):
+        identifier: "Optional[str]" = None
+        if isinstance(child, ast.Name):
+            identifier = child.id
+        elif isinstance(child, ast.Attribute):
+            identifier = child.attr
+        if identifier is not None and "lock" in identifier.lower():
+            return True
+    return False
+
+
+def _is_lock_constructor(node: ast.AST) -> bool:
+    """True when the expression constructs (or contains) a ``*Lock()``."""
+    for child in ast.walk(node):
+        if isinstance(child, ast.Call):
+            dotted = _dotted(child.func)
+            if dotted is not None and dotted.split(".")[-1].endswith("Lock"):
+                return True
+    return False
+
+
+class _FunctionCollector(ast.NodeVisitor):
+    """Collects call sites within one function body, tracking whether
+    each site sits lexically inside a ``with <lock>:`` block. Nested
+    function/class definitions are not descended into (they are
+    collected as functions of their own)."""
+
+    def __init__(self) -> None:
+        self.calls: "List[CallSite]" = []
+        self._lock_depth = 0
+        self._top = True
+
+    def _visit_body(self, statements: "Sequence[ast.stmt]") -> None:
+        for statement in statements:
+            self.visit(statement)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:  # noqa: N802
+        if self._top:
+            self._top = False
+            self._visit_body(node.body)
+        # nested defs: skip (their bodies belong to their own FunctionInfo)
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # noqa: N815
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:  # noqa: N802
+        pass  # nested classes collected separately
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:  # noqa: N802
+        self.generic_visit(node)
+
+    def visit_With(self, node: ast.With) -> None:  # noqa: N802
+        holds = any(_expr_mentions_lock(item.context_expr) for item in node.items)
+        for item in node.items:
+            self.visit(item.context_expr)
+        if holds:
+            self._lock_depth += 1
+        self._visit_body(node.body)
+        if holds:
+            self._lock_depth -= 1
+
+    visit_AsyncWith = visit_With  # noqa: N815
+
+    def visit_Call(self, node: ast.Call) -> None:  # noqa: N802
+        dotted = _dotted(node.func)
+        bare: "Optional[str]" = None
+        if isinstance(node.func, ast.Attribute):
+            bare = node.func.attr
+        elif isinstance(node.func, ast.Name):
+            bare = node.func.id
+        self.calls.append(
+            CallSite(
+                dotted=dotted,
+                bare=bare,
+                node=node,
+                resolved=(),  # filled in by the linker pass
+                under_lock=self._lock_depth > 0,
+                is_attribute=isinstance(node.func, ast.Attribute),
+            )
+        )
+        self.generic_visit(node)
+
+
+def _collect_imports(tree: ast.Module, module_name: str) -> "Dict[str, str]":
+    """Map of local name -> fully-qualified target for a module."""
+    package_parts = module_name.split(".")[:-1] or [module_name]
+    imports: "Dict[str, str]" = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                target = alias.name if alias.asname else alias.name.split(".")[0]
+                imports[local] = target
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                base_parts = module_name.split(".")
+                # ``from . import x`` in a module drops the module's own
+                # name plus (level - 1) further packages.
+                base = base_parts[: len(base_parts) - node.level]
+                prefix = ".".join(base)
+            else:
+                prefix = node.module or ""
+            if node.level and node.module:
+                prefix = f"{prefix}.{node.module}" if prefix else node.module
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                imports[local] = f"{prefix}.{alias.name}" if prefix else alias.name
+    del package_parts
+    return imports
+
+
+class ProjectModel:
+    """The whole package, parsed once, with symbols and a call graph."""
+
+    def __init__(self, root: Path, modules: "Dict[str, ModuleInfo]") -> None:
+        self.root = root
+        self.modules = modules
+        self.modules_by_path: "Dict[str, ModuleInfo]" = {
+            info.path: info for info in modules.values()
+        }
+        self.functions: "Dict[str, FunctionInfo]" = {}
+        self.classes: "Dict[str, ClassInfo]" = {}
+        for info in modules.values():
+            self.functions.update(info.functions)
+            self.classes.update(info.classes)
+        self.by_bare_name: "Dict[str, List[FunctionInfo]]" = {}
+        for function in self.functions.values():
+            self.by_bare_name.setdefault(function.name, []).append(function)
+        self._link_calls()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls, contexts: "Sequence[ModuleContext]", root: "Path | str"
+    ) -> "ProjectModel":
+        """Build the model from already-parsed module contexts."""
+        root_path = Path(root)
+        modules: "Dict[str, ModuleInfo]" = {}
+        for context in contexts:
+            path = Path(context.path)
+            try:
+                name = _module_name(root_path, path)
+            except ValueError:
+                # Out-of-tree file (explicit file arguments): fall back
+                # to the scoping parts the per-file rules already use.
+                name = ".".join(
+                    (root_path.name, *context.relative_parts)
+                ).removesuffix(".py")
+            info = ModuleInfo(name=name, context=context)
+            info.imports = _collect_imports(context.tree, name)
+            cls._collect_symbols(info)
+            modules[name] = info
+        return cls(root_path, modules)
+
+    @staticmethod
+    def _collect_symbols(info: ModuleInfo) -> None:
+        """Fill ``info.functions`` / ``info.classes`` from the tree."""
+        module = info.name
+
+        def add_function(
+            node: "ast.FunctionDef | ast.AsyncFunctionDef",
+            class_name: "Optional[str]",
+        ) -> str:
+            qualname = (
+                f"{module}.{class_name}.{node.name}"
+                if class_name
+                else f"{module}.{node.name}"
+            )
+            collector = _FunctionCollector()
+            collector.visit(node)
+            info.functions[qualname] = FunctionInfo(
+                qualname=qualname,
+                module=module,
+                name=node.name,
+                class_name=class_name,
+                node=node,
+                calls=collector.calls,
+            )
+            return qualname
+
+        for node in info.context.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                add_function(node, None)
+            elif isinstance(node, ast.ClassDef):
+                methods: "List[str]" = []
+                lock_attrs: "List[str]" = []
+                for child in node.body:
+                    if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        methods.append(add_function(child, node.name))
+                for child in ast.walk(node):
+                    if isinstance(child, ast.Assign) and _is_lock_constructor(
+                        child.value
+                    ):
+                        for target in child.targets:
+                            if (
+                                isinstance(target, ast.Attribute)
+                                and isinstance(target.value, ast.Name)
+                                and target.value.id == "self"
+                            ):
+                                lock_attrs.append(target.attr)
+                base_names = tuple(
+                    name
+                    for name in (_dotted(base) for base in node.bases)
+                    if name is not None
+                )
+                info.classes[f"{module}.{node.name}"] = ClassInfo(
+                    qualname=f"{module}.{node.name}",
+                    module=module,
+                    name=node.name,
+                    node=node,
+                    base_names=base_names,
+                    lock_attrs=tuple(lock_attrs),
+                    methods=tuple(methods),
+                )
+        # Module-level statements form a pseudo-function so taint in
+        # top-level code (constants built from RNG calls) is visible.
+        top_level = [
+            statement
+            for statement in info.context.tree.body
+            if not isinstance(
+                statement, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            )
+        ]
+        if top_level:
+            collector = _FunctionCollector()
+            collector._top = False
+            collector._visit_body(top_level)
+            qualname = f"{module}.<module>"
+            info.functions[qualname] = FunctionInfo(
+                qualname=qualname,
+                module=module,
+                name="<module>",
+                class_name=None,
+                node=ast.FunctionDef(
+                    name="<module>",
+                    args=ast.arguments(
+                        posonlyargs=[], args=[], kwonlyargs=[],
+                        kw_defaults=[], defaults=[],
+                    ),
+                    body=top_level,
+                    decorator_list=[],
+                    lineno=1,
+                    col_offset=0,
+                ),
+                calls=collector.calls,
+            )
+
+    # ------------------------------------------------------------------
+    # Call resolution
+    # ------------------------------------------------------------------
+
+    def _chase_reexport(
+        self, target: str, depth: int = 0
+    ) -> "Optional[str]":
+        """Resolve ``target`` through package ``__init__`` re-exports."""
+        if depth > 4:
+            return None
+        if target in self.functions:
+            return target
+        module_part, _, symbol = target.rpartition(".")
+        owner = self.modules.get(module_part)
+        if owner is None:
+            return None
+        onward = owner.imports.get(symbol)
+        if onward is None:
+            return None
+        return self._chase_reexport(onward, depth + 1)
+
+    def _resolve_call(
+        self, info: ModuleInfo, function: FunctionInfo, site: CallSite
+    ) -> "Tuple[str, ...]":
+        dotted = site.dotted
+        if dotted is None:
+            return ()
+        parts = dotted.split(".")
+        head, tail = parts[0], parts[1:]
+        candidates: "List[str]" = []
+
+        if head == "self" and function.class_name is not None and tail:
+            method = f"{info.name}.{function.class_name}.{tail[0]}"
+            if method in self.functions:
+                candidates.append(method)
+        elif head in info.imports:
+            target = ".".join([info.imports[head], *tail])
+            resolved = self._chase_reexport(target)
+            if resolved is not None:
+                candidates.append(resolved)
+            elif not tail and info.imports[head] in self.functions:
+                candidates.append(info.imports[head])
+        else:
+            local = f"{info.name}.{dotted}"
+            if local in self.functions:
+                candidates.append(local)
+            elif not tail:
+                # calling a class constructor defined here: map to __init__
+                init = f"{info.name}.{head}.__init__"
+                if init in self.functions:
+                    candidates.append(init)
+        return tuple(candidates)
+
+    def _link_calls(self) -> None:
+        for info in self.modules.values():
+            for function in info.functions.values():
+                linked: "List[CallSite]" = []
+                for site in function.calls:
+                    resolved = self._resolve_call(info, function, site)
+                    linked.append(
+                        CallSite(
+                            dotted=site.dotted,
+                            bare=site.bare,
+                            node=site.node,
+                            resolved=resolved,
+                            under_lock=site.under_lock,
+                            is_attribute=site.is_attribute,
+                        )
+                    )
+                function.calls = linked
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def callees(
+        self,
+        function: FunctionInfo,
+        bare_fallback: bool = False,
+        fallback_modules: "Optional[frozenset[str]]" = None,
+    ) -> "Iterator[Tuple[CallSite, FunctionInfo]]":
+        """Resolved call edges out of ``function``.
+
+        With ``bare_fallback`` an *attribute* call that did not resolve
+        precisely conservatively edges to every same-named function
+        (optionally restricted to subpackages in ``fallback_modules``);
+        generic container-method names never produce fallback edges."""
+        for site in function.calls:
+            if site.resolved:
+                for qualname in site.resolved:
+                    yield site, self.functions[qualname]
+                continue
+            if not bare_fallback or not site.is_attribute:
+                continue
+            if site.bare is None or site.bare in GENERIC_METHOD_NAMES:
+                continue
+            for candidate in self.by_bare_name.get(site.bare, ()):  # conservative
+                if (
+                    fallback_modules is not None
+                    and self.modules[candidate.module].subpackage
+                    not in fallback_modules
+                ):
+                    continue
+                yield site, candidate
+
+    def class_of(self, function: FunctionInfo) -> "Optional[ClassInfo]":
+        if function.class_name is None:
+            return None
+        return self.classes.get(f"{function.module}.{function.class_name}")
+
+    def base_chain_matches(self, cls: ClassInfo, token: str) -> bool:
+        """True when any (transitive) base class name contains ``token``."""
+        seen: "set[str]" = set()
+        stack = [cls]
+        while stack:
+            current = stack.pop()
+            if current.qualname in seen:
+                continue
+            seen.add(current.qualname)
+            for base in current.base_names:
+                terminal = base.split(".")[-1]
+                if token in terminal:
+                    return True
+                # chase project-local bases (resolve through imports)
+                owner = self.modules[current.module]
+                head = base.split(".")[0]
+                target: "Optional[str]" = None
+                if head in owner.imports:
+                    target = ".".join(
+                        [owner.imports[head], *base.split(".")[1:]]
+                    )
+                elif f"{current.module}.{base}" in self.classes:
+                    target = f"{current.module}.{base}"
+                if target is not None and target in self.classes:
+                    stack.append(self.classes[target])
+        return False
+
+    def docs_file(self, name: str) -> "Optional[Path]":
+        """Locate ``docs/<name>`` for the tree being linted (the docs
+        directory sits next to the package root or one level further
+        up, as in ``src/repro`` -> ``docs/``)."""
+        for base in (self.root.parent, self.root.parent.parent):
+            candidate = base / "docs" / name
+            if candidate.is_file():
+                return candidate
+        return None

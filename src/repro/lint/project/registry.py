@@ -1,0 +1,84 @@
+"""Project-rule base class and registry.
+
+Mirrors :mod:`repro.lint.registry`, but a project rule's ``check``
+receives the whole :class:`~repro.lint.project.model.ProjectModel`
+instead of one module — its findings may depend on any number of files
+at once (a taint path is only a finding because of both its endpoints).
+Project codes live in the ``REP1xx`` range so ``--select``/``--ignore``
+and suppression comments treat them uniformly with the file rules.
+"""
+
+from __future__ import annotations
+
+import abc
+import ast
+import re
+from typing import Dict, Iterator, List, Optional, Type
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.project.model import ModuleInfo, ProjectModel
+
+_CODE_PATTERN = re.compile(r"^REP1\d{2}$")
+
+
+class ProjectRule(abc.ABC):
+    """Base class for whole-program analyses."""
+
+    #: Unique identifier, ``REP1`` + two digits.
+    code: str = ""
+    #: Short kebab-case name, shown by ``--list-rules``.
+    name: str = ""
+    #: One-line description of what the analysis forbids.
+    summary: str = ""
+    #: Why the invariant matters for the reproduction (paper-level).
+    rationale: str = ""
+
+    @abc.abstractmethod
+    def check(self, model: ProjectModel) -> Iterator[Diagnostic]:
+        """Yield one :class:`Diagnostic` per violation in the project."""
+
+    def diagnostic(
+        self, module: ModuleInfo, node: "Optional[ast.AST]", message: str
+    ) -> Diagnostic:
+        return Diagnostic(
+            code=self.code,
+            message=message,
+            path=module.path,
+            line=getattr(node, "lineno", 1) if node is not None else 1,
+            column=getattr(node, "col_offset", 0) if node is not None else 0,
+        )
+
+
+_PROJECT_REGISTRY: "Dict[str, Type[ProjectRule]]" = {}
+
+
+def register_project_rule(rule_class: "Type[ProjectRule]") -> "Type[ProjectRule]":
+    """Class decorator adding a project rule to the registry."""
+    code = rule_class.code
+    if not _CODE_PATTERN.match(code):
+        raise ValueError(f"project rule code must match REP1xx, got {code!r}")
+    if code in _PROJECT_REGISTRY and _PROJECT_REGISTRY[code] is not rule_class:
+        raise ValueError(f"duplicate project rule code {code!r}")
+    _PROJECT_REGISTRY[code] = rule_class
+    return rule_class
+
+
+def _load_stock_rules() -> None:
+    # Importing registers; kept lazy so ``repro.lint`` stays cheap to
+    # import for the file-rule path.
+    from repro.lint.project import (  # noqa: F401
+        rep101_determinism,
+        rep102_concurrency,
+        rep103_contract,
+    )
+
+
+def all_project_rules() -> "List[ProjectRule]":
+    """Fresh instances of every registered project rule, by code."""
+    _load_stock_rules()
+    return [_PROJECT_REGISTRY[code]() for code in sorted(_PROJECT_REGISTRY)]
+
+
+def known_project_codes() -> "List[str]":
+    _load_stock_rules()
+    return sorted(_PROJECT_REGISTRY)

@@ -1,0 +1,209 @@
+"""REP101 — determinism taint: nondeterminism must not reach decision code.
+
+The reproduction's exactness guarantees (bit-identical differentials,
+the ``ENGINE_VERSION``-keyed sweep cache) hold only if *decision code* —
+the simulation core, the analysis layer, and the serving fleet state —
+computes from its inputs alone.  REP002/REP003 police direct calls one
+file at a time; this analysis traces nondeterministic **sources**
+through the call graph so a helper in ``workload/`` calling
+``time.time()`` is flagged the moment anything in ``core/`` starts
+calling it, across any number of modules.
+
+Sources
+    * process-global RNG state: ``random.random()`` and friends,
+      ``np.random.rand()`` and the rest of the legacy global API;
+    * RNG construction without a caller-supplied seed:
+      ``np.random.default_rng()`` / ``random.Random()`` with no
+      arguments;
+    * wall-clock reads: ``time.time``, ``datetime.now`` et al.
+      (``perf_counter``/``monotonic`` are timing instrumentation, not
+      decision inputs, and are exempt);
+    * entropy: ``os.urandom``, ``uuid.uuid4``, ``secrets.*``;
+    * iteration order of an unordered set (``for x in {…}`` or
+      ``for x in set(…)`` without a ``sorted`` wrapper).
+
+Sinks
+    Functions defined in ``core/`` (including ``core/fastsim.py``),
+    ``analysis/``, or ``serve/state.py``.
+
+A finding is a sink function from which some call chain reaches a
+source; the message spells out one witness chain end to end.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.project.model import FunctionInfo, ProjectModel
+from repro.lint.project.registry import ProjectRule, register_project_rule
+from repro.lint.rules.rep002_unseeded_rng import (
+    _NUMPY_GLOBAL_FNS,
+    _STDLIB_GLOBAL_FNS,
+)
+
+#: ``(penultimate, last)`` dotted-name suffixes that read the wall clock.
+_CLOCK_SUFFIXES = frozenset(
+    {
+        ("time", "time"),
+        ("time", "time_ns"),
+        ("datetime", "now"),
+        ("datetime", "utcnow"),
+        ("datetime", "today"),
+        ("date", "today"),
+    }
+)
+
+#: Other entropy sources, matched on full dotted name.
+_ENTROPY_CALLS = frozenset(
+    {
+        "os.urandom",
+        "uuid.uuid4",
+        "uuid.uuid1",
+        "secrets.token_bytes",
+        "secrets.token_hex",
+        "secrets.token_urlsafe",
+        "secrets.randbelow",
+        "secrets.choice",
+    }
+)
+
+
+def _call_source(node: ast.Call, dotted: "Optional[str]") -> "Optional[str]":
+    """Describe the nondeterministic source a call is, if it is one."""
+    if dotted is None:
+        return None
+    parts = dotted.split(".")
+    if parts[-1] == "default_rng" and not node.args and not node.keywords:
+        return "np.random.default_rng() without a seed"
+    if dotted == "random.Random" and not node.args:
+        return "random.Random() without a seed"
+    if (
+        len(parts) >= 2
+        and parts[-2] == "random"
+        and parts[0] in ("np", "numpy")
+        and parts[-1] in _NUMPY_GLOBAL_FNS
+    ):
+        return f"process-global np.random.{parts[-1]}()"
+    if len(parts) == 2 and parts[0] == "random" and parts[1] in _STDLIB_GLOBAL_FNS:
+        return f"process-global random.{parts[1]}()"
+    if len(parts) >= 2 and (parts[-2], parts[-1]) in _CLOCK_SUFFIXES:
+        return f"wall-clock read {dotted}()"
+    if dotted in _ENTROPY_CALLS:
+        return f"entropy source {dotted}()"
+    return None
+
+
+def _set_iteration_sources(
+    function: FunctionInfo,
+) -> "Iterator[Tuple[ast.AST, str]]":
+    """``for``/comprehension iteration directly over an unordered set."""
+    iters: "List[ast.expr]" = []
+    for node in ast.walk(function.node):
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            iters.append(node.iter)
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+            iters.extend(generator.iter for generator in node.generators)
+    for expression in iters:
+        if isinstance(expression, ast.Set):
+            yield expression, "iteration over a set literal (unordered)"
+        elif (
+            isinstance(expression, ast.Call)
+            and isinstance(expression.func, ast.Name)
+            and expression.func.id in ("set", "frozenset")
+        ):
+            yield expression, f"iteration over {expression.func.id}() (unordered)"
+
+
+def _is_sink_module(subpackage: str, relative_parts: "Tuple[str, ...]") -> bool:
+    if subpackage in ("core", "analysis"):
+        return True
+    return relative_parts == ("serve", "state.py")
+
+
+@register_project_rule
+class DeterminismTaintRule(ProjectRule):
+    code = "REP101"
+    name = "determinism-taint"
+    summary = (
+        "call chain by which a nondeterministic source (global RNG, "
+        "unseeded generator, wall clock, entropy, set-order iteration) "
+        "reaches decision code in core/, analysis/, or serve/state.py"
+    )
+    rationale = (
+        "The 60-seed serve differential and the shard cluster's kill -9 "
+        "bit-identical check assume decision code is a pure function of "
+        "its inputs; one helper three calls away reading time.time() "
+        "breaks both without failing any per-file rule. Tracing taint "
+        "over the call graph keeps the exactness guarantee structural "
+        "rather than hoped-for."
+    )
+
+    def check(self, model: ProjectModel) -> Iterator[Diagnostic]:
+        # 1. Direct sources per function.
+        direct: "Dict[str, Tuple[str, ast.AST]]" = {}
+        for function in model.functions.values():
+            for site in function.calls:
+                description = _call_source(site.node, site.dotted)
+                if description is not None:
+                    direct.setdefault(function.qualname, (description, site.node))
+            for node, description in _set_iteration_sources(function):
+                direct.setdefault(function.qualname, (description, node))
+
+        # 2. Reverse call edges (callee -> callers), conservative
+        #    bare-name fallback for unresolved attribute calls.
+        callers: "Dict[str, List[Tuple[str, ast.AST]]]" = {}
+        for function in model.functions.values():
+            for site, callee in model.callees(function, bare_fallback=True):
+                callers.setdefault(callee.qualname, []).append(
+                    (function.qualname, site.node)
+                )
+
+        # 3. Fixpoint: propagate taint from source functions to callers,
+        #    recording one witness step per function for chain replay.
+        #    ``witness[f] = (next function toward the source, call node)``.
+        witness: "Dict[str, Tuple[Optional[str], ast.AST]]" = {
+            qualname: (None, node) for qualname, (_, node) in direct.items()
+        }
+        queue = deque(direct)
+        while queue:
+            tainted = queue.popleft()
+            for caller, call_node in callers.get(tainted, ()):  # BFS: shortest chains
+                if caller in witness:
+                    continue
+                witness[caller] = (tainted, call_node)
+                queue.append(caller)
+
+        # 4. Flag tainted functions defined in decision modules.
+        for function in sorted(model.functions.values(), key=lambda f: f.qualname):
+            if function.qualname not in witness:
+                continue
+            info = model.modules[function.module]
+            if not _is_sink_module(info.subpackage, info.relative_parts):
+                continue
+            chain: "List[str]" = [function.qualname]
+            step: "Optional[str]" = function.qualname
+            anchor = witness[function.qualname][1]
+            while step is not None:
+                step = witness[step][0]
+                if step is not None:
+                    chain.append(step)
+            root = chain[-1]
+            description = direct[root][0]
+
+            def _short(qualname: str) -> str:
+                owner = model.functions[qualname]
+                prefix = owner.module.split(".")[-1]
+                if owner.class_name is not None:
+                    return f"{prefix}.{owner.class_name}.{owner.name}"
+                return f"{prefix}.{owner.name}"
+
+            rendered = " -> ".join(_short(part) for part in chain)
+            yield self.diagnostic(
+                info,
+                anchor,
+                f"{description} reaches decision code via {rendered}; "
+                "thread an explicit seed/clock through the call chain",
+            )

@@ -1,0 +1,433 @@
+"""REP102 — concurrency discipline in the serving layer.
+
+The shard differential proves *dynamically* that the threaded router and
+the worker fleet stay consistent under kill ``-9``; this analysis makes
+the underlying discipline *static*:
+
+1. **Locked shared writes** — any instance or module-level attribute
+   written by code reachable from a request handler or worker thread
+   must be written while a lock is held.  Reachability is a BFS over
+   ``(function, lock_held)`` states rooted at the methods of
+   ``*RequestHandler`` subclasses and at thread/executor targets; a
+   call made inside ``with <lock>:`` enters the callee with the lock
+   held.  Conventions honoured: ``*_locked``-suffixed functions assert
+   "caller holds the lock" and are exempt; handler classes themselves
+   are per-request instances, so their own attributes are private;
+   ``__init__``/``__post_init__`` run before the object is shared.
+2. **Thread-before-spawn ordering** — starting a thread and *then*
+   spawning a subprocess (``subprocess.Popen``, ``os.fork``,
+   ``multiprocessing.Process``) inherits lock and buffer state into the
+   child mid-flight; the spawn is flagged, including when the thread
+   start or the spawn is reached through a callee.
+3. **Non-daemon thread leaks** — a ``Thread(daemon=False)`` that is
+   never ``join``-ed in its creating function outlives the server's
+   shutdown path.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.project.model import (
+    FunctionInfo,
+    ModuleInfo,
+    ProjectModel,
+    _expr_mentions_lock,
+)
+from repro.lint.project.registry import ProjectRule, register_project_rule
+
+_SPAWN_CALLS = frozenset(
+    {
+        "subprocess.Popen",
+        "subprocess.run",
+        "subprocess.check_output",
+        "subprocess.check_call",
+        "subprocess.call",
+        "os.fork",
+        "multiprocessing.Process",
+        "os.posix_spawn",
+    }
+)
+
+_THREAD_CONSTRUCTORS = frozenset({"threading.Thread", "Thread"})
+
+
+def _attr_written(target: ast.expr) -> "Optional[str]":
+    """Name of the ``self`` attribute a target writes, unwrapping
+    subscripts (``self._seqs[i] = …`` writes ``_seqs``)."""
+    while isinstance(target, ast.Subscript):
+        target = target.value
+    if (
+        isinstance(target, ast.Attribute)
+        and isinstance(target.value, ast.Name)
+        and target.value.id == "self"
+    ):
+        return target.attr
+    return None
+
+
+class _WriteCollector(ast.NodeVisitor):
+    """Collects ``self.attr`` writes and ``global`` writes in one
+    function body with their lexical with-lock context."""
+
+    def __init__(self) -> None:
+        self.writes: "List[Tuple[ast.AST, str, bool, bool]]" = []
+        #: (node, name, under_lock, is_global)
+        self._globals: "Set[str]" = set()
+        self._lock_depth = 0
+        self._top = True
+
+    def _visit_body(self, statements: "List[ast.stmt]") -> None:
+        for statement in statements:
+            self.visit(statement)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:  # noqa: N802
+        if self._top:
+            self._top = False
+            self._visit_body(node.body)
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # noqa: N815
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:  # noqa: N802
+        pass
+
+    def visit_Global(self, node: ast.Global) -> None:  # noqa: N802
+        self._globals.update(node.names)
+
+    def visit_With(self, node: ast.With) -> None:  # noqa: N802
+        holds = any(_expr_mentions_lock(item.context_expr) for item in node.items)
+        if holds:
+            self._lock_depth += 1
+        self._visit_body(node.body)
+        if holds:
+            self._lock_depth -= 1
+
+    visit_AsyncWith = visit_With  # noqa: N815
+
+    def _record(self, node: ast.AST, targets: "List[ast.expr]") -> None:
+        under = self._lock_depth > 0
+        for target in targets:
+            attr = _attr_written(target)
+            if attr is not None:
+                self.writes.append((node, attr, under, False))
+            elif isinstance(target, ast.Name) and target.id in self._globals:
+                self.writes.append((node, target.id, under, True))
+
+    def visit_Assign(self, node: ast.Assign) -> None:  # noqa: N802
+        self._record(node, node.targets)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:  # noqa: N802
+        self._record(node, [node.target])
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:  # noqa: N802
+        if node.value is not None:
+            self._record(node, [node.target])
+        self.generic_visit(node)
+
+
+def _unlocked_writes(
+    function: FunctionInfo,
+) -> "List[Tuple[ast.AST, str, bool]]":
+    collector = _WriteCollector()
+    collector.visit(function.node)
+    return [
+        (node, name, is_global)
+        for node, name, under, is_global in collector.writes
+        if not under
+    ]
+
+
+def _thread_target_names(site_node: ast.Call) -> "List[str]":
+    """Bare names passed as ``target=`` to a Thread/executor call."""
+    names: "List[str]" = []
+    for keyword in site_node.keywords:
+        if keyword.arg == "target":
+            value = keyword.value
+            if isinstance(value, ast.Attribute):
+                names.append(value.attr)
+            elif isinstance(value, ast.Name):
+                names.append(value.id)
+    return names
+
+
+def _submitted_names(site_node: ast.Call) -> "List[str]":
+    """First argument of ``pool.submit(fn, …)`` as a bare name."""
+    if not site_node.args:
+        return []
+    head = site_node.args[0]
+    if isinstance(head, ast.Attribute):
+        return [head.attr]
+    if isinstance(head, ast.Name):
+        return [head.id]
+    return []
+
+
+def _in_serve(info: ModuleInfo) -> bool:
+    return info.subpackage == "serve"
+
+
+@register_project_rule
+class ConcurrencyDisciplineRule(ProjectRule):
+    code = "REP102"
+    name = "concurrency-discipline"
+    summary = (
+        "in serve/: shared attribute written from handler/worker-"
+        "reachable code without a lock, thread started before a process "
+        "spawn, or a non-daemon thread never joined"
+    )
+    rationale = (
+        "Every request to the advisory service runs on its own thread "
+        "(ThreadingHTTPServer), and the shard router restarts worker "
+        "processes from request threads; a single unlocked write is a "
+        "lost-update race the kill -9 differential can only catch if "
+        "the interleaving happens to occur in CI. Lock discipline must "
+        "hold by construction."
+    )
+
+    def check(self, model: ProjectModel) -> Iterator[Diagnostic]:
+        serve_modules = [info for info in model.modules.values() if _in_serve(info)]
+        if not serve_modules:
+            return
+        yield from self._check_locked_writes(model, serve_modules)
+        yield from self._check_spawn_ordering(model, serve_modules)
+        yield from self._check_thread_leaks(serve_modules)
+
+    # ------------------------------------------------------------------
+    # 1. Locked shared writes
+    # ------------------------------------------------------------------
+
+    def _handler_roots(self, model: ProjectModel) -> "List[FunctionInfo]":
+        roots: "List[FunctionInfo]" = []
+        handler_classes: "Set[str]" = set()
+        for cls in model.classes.values():
+            if _in_serve(model.modules[cls.module]) and model.base_chain_matches(
+                cls, "RequestHandler"
+            ):
+                handler_classes.add(cls.qualname)
+                for method in cls.methods:
+                    roots.append(model.functions[method])
+        # thread / executor targets anywhere in serve are worker roots
+        for info in (m for m in model.modules.values() if _in_serve(m)):
+            for function in info.functions.values():
+                for site in function.calls:
+                    names = _thread_target_names(site.node)
+                    if site.bare == "submit" and site.is_attribute:
+                        names.extend(_submitted_names(site.node))
+                    for name in names:
+                        for candidate in model.by_bare_name.get(name, ()):
+                            if _in_serve(model.modules[candidate.module]):
+                                roots.append(candidate)
+        self._handler_class_names = handler_classes
+        return roots
+
+    def _check_locked_writes(
+        self, model: ProjectModel, serve_modules: "List[ModuleInfo]"
+    ) -> Iterator[Diagnostic]:
+        serve_names = frozenset({"serve"})
+        roots = self._handler_roots(model)
+        # BFS over (function, lock_held) states.
+        seen: "Set[Tuple[str, bool]]" = set()
+        queue: "deque[Tuple[FunctionInfo, bool]]" = deque(
+            (root, False) for root in roots
+        )
+        reached_unlocked: "Set[str]" = set()
+        while queue:
+            function, held = queue.popleft()
+            state = (function.qualname, held)
+            if state in seen:
+                continue
+            seen.add(state)
+            if not held:
+                reached_unlocked.add(function.qualname)
+            for site, callee in model.callees(
+                function, bare_fallback=True, fallback_modules=serve_names
+            ):
+                if not _in_serve(model.modules[callee.module]):
+                    continue
+                queue.append((callee, held or site.under_lock))
+
+        flagged: "Set[Tuple[str, int]]" = set()
+        for info in serve_modules:
+            for function in info.functions.values():
+                if function.qualname not in reached_unlocked:
+                    continue
+                if function.name in ("__init__", "__post_init__", "<module>"):
+                    continue
+                if function.name.endswith("_locked"):
+                    continue  # convention: caller holds the lock
+                cls = model.class_of(function)
+                if cls is not None and cls.qualname in getattr(
+                    self, "_handler_class_names", set()
+                ):
+                    continue  # handler instances are per-request
+                for node, name, is_global in _unlocked_writes(function):
+                    key = (info.path, getattr(node, "lineno", 1))
+                    if key in flagged:
+                        continue
+                    flagged.add(key)
+                    kind = "module-level name" if is_global else "shared attribute"
+                    yield self.diagnostic(
+                        info,
+                        node,
+                        f"{kind} {name!r} written in {function.name}() "
+                        "without holding a lock, but the function is "
+                        "reachable from request-handler/worker threads; "
+                        "wrap the write in a lock (or rename the helper "
+                        "*_locked and lock at the caller)",
+                    )
+
+    # ------------------------------------------------------------------
+    # 2. Thread started before a process spawn
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _direct_thread_start_lines(function: FunctionInfo) -> "List[int]":
+        """Lines where this body starts a thread it constructed:
+        ``Thread(...).start()`` chained, or ``t = Thread(...); t.start()``."""
+        thread_vars: "Set[str]" = set()
+        lines: "List[int]" = []
+        for node in ast.walk(function.node):
+            if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+                if _dotted_of(node.value.func) in _THREAD_CONSTRUCTORS:
+                    thread_vars.update(
+                        target.id
+                        for target in node.targets
+                        if isinstance(target, ast.Name)
+                    )
+        for node in ast.walk(function.node):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "start"
+            ):
+                continue
+            receiver = node.func.value
+            if isinstance(receiver, ast.Name) and receiver.id in thread_vars:
+                lines.append(node.lineno)
+            elif (
+                isinstance(receiver, ast.Call)
+                and _dotted_of(receiver.func) in _THREAD_CONSTRUCTORS
+            ):
+                lines.append(node.lineno)
+        return lines
+
+    def _effects(self, model: ProjectModel) -> "Tuple[Set[str], Set[str]]":
+        """Functions that (transitively) start threads / spawn processes."""
+        starts: "Set[str]" = set()
+        spawns: "Set[str]" = set()
+        for function in model.functions.values():
+            if self._direct_thread_start_lines(function):
+                starts.add(function.qualname)
+            if any(site.dotted in _SPAWN_CALLS for site in function.calls):
+                spawns.add(function.qualname)
+        for effect in (starts, spawns):  # propagate to callers, fixpoint
+            changed = True
+            while changed:
+                changed = False
+                for function in model.functions.values():
+                    if function.qualname in effect:
+                        continue
+                    if any(
+                        callee.qualname in effect
+                        for _, callee in model.callees(function)
+                    ):
+                        effect.add(function.qualname)
+                        changed = True
+        return starts, spawns
+
+    def _check_spawn_ordering(
+        self, model: ProjectModel, serve_modules: "List[ModuleInfo]"
+    ) -> Iterator[Diagnostic]:
+        starts, spawns = self._effects(model)
+        for info in serve_modules:
+            for function in info.functions.values():
+                start_line: "Optional[int]" = None
+                for line in self._direct_thread_start_lines(function):
+                    start_line = _min_line(start_line, line)
+                site_callees: "Dict[int, List[str]]" = {}
+                for site, callee in model.callees(function):
+                    site_callees.setdefault(id(site.node), []).append(
+                        callee.qualname
+                    )
+                    if callee.qualname in starts:
+                        start_line = _min_line(start_line, site.node.lineno)
+                if start_line is None:
+                    continue
+                for site in function.calls:
+                    if site.node.lineno <= start_line:
+                        continue
+                    via_callee = any(
+                        qualname in spawns
+                        for qualname in site_callees.get(id(site.node), ())
+                    )
+                    if site.dotted in _SPAWN_CALLS or via_callee:
+                        yield self.diagnostic(
+                            info,
+                            site.node,
+                            "process spawned after a thread was started in "
+                            f"{function.name}(); the child inherits locks "
+                            "and buffers mid-flight — spawn all workers "
+                            "before starting threads",
+                        )
+
+    # ------------------------------------------------------------------
+    # 3. Non-daemon thread leaks
+    # ------------------------------------------------------------------
+
+    def _check_thread_leaks(
+        self, serve_modules: "List[ModuleInfo]"
+    ) -> Iterator[Diagnostic]:
+        for info in serve_modules:
+            for function in info.functions.values():
+                joined: "Set[str]" = set()
+                non_daemon: "Dict[str, ast.Call]" = {}
+                for node in ast.walk(function.node):
+                    if isinstance(node, ast.Assign) and isinstance(
+                        node.value, ast.Call
+                    ):
+                        call = node.value
+                        if _dotted_of(call.func) in _THREAD_CONSTRUCTORS and any(
+                            keyword.arg == "daemon"
+                            and isinstance(keyword.value, ast.Constant)
+                            and keyword.value.value is False
+                            for keyword in call.keywords
+                        ):
+                            for target in node.targets:
+                                if isinstance(target, ast.Name):
+                                    non_daemon[target.id] = call
+                    if (
+                        isinstance(node, ast.Call)
+                        and isinstance(node.func, ast.Attribute)
+                        and node.func.attr == "join"
+                        and isinstance(node.func.value, ast.Name)
+                    ):
+                        joined.add(node.func.value.id)
+                for name, call in non_daemon.items():
+                    if name not in joined:
+                        yield self.diagnostic(
+                            info,
+                            call,
+                            f"non-daemon thread {name!r} is never joined in "
+                            f"{function.name}(); it outlives shutdown — "
+                            "join it or make it a daemon",
+                        )
+
+
+def _min_line(current: "Optional[int]", line: int) -> int:
+    return line if current is None else min(current, line)
+
+
+def _dotted_of(node: ast.AST) -> "Optional[str]":
+    parts: "List[str]" = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None

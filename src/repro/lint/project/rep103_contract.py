@@ -1,0 +1,265 @@
+"""REP103 — API-contract drift between serve code and ``docs/serving.md``.
+
+The serving layer's wire contract lives in three places: the dispatch
+tables in ``serve/server.py``/``serve/shard.py``, the envelope shapes in
+``serve/envelope.py``, and the prose contract in ``docs/serving.md``
+that clients are told to code against.  Nothing ties them together at
+runtime — a handler can grow a route, a status code, or an envelope key
+and the docs silently lie.  This analysis extracts the contract from the
+AST and cross-checks it both ways:
+
+* every ``(METHOD, "/path")`` route tuple in serve code must appear in
+  the route table of ``docs/serving.md`` — and every documented route
+  must exist in code;
+* every status code a handler can send (``_send_json(4xx, …)`` literals,
+  ``status = 4xx`` assignments, ``status`` class attributes on the typed
+  errors) must be documented;
+* every envelope key (``schema``, ``error``, ``kind``, ``message`` — the
+  dict keys of :func:`envelope`/:func:`error_envelope`) must be
+  documented, and the documented ``{"schema": N}`` version must equal
+  ``SCHEMA_VERSION``;
+* every response must go through the versioned envelope:
+  ``_send_json(status, body)`` where ``body`` is not an
+  ``envelope(…)``/``error_envelope(…)`` call is a bypass.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.project.model import ModuleInfo, ProjectModel
+from repro.lint.project.registry import ProjectRule, register_project_rule
+
+_HTTP_METHODS = frozenset({"GET", "POST", "PUT", "DELETE", "PATCH", "HEAD"})
+
+#: ``| `/v1/events` | POST | …`` rows of the docs' route table.
+_DOC_ROUTE = re.compile(r"^\|\s*`([^`]+)`\s*\|\s*(GET|POST|PUT|DELETE|PATCH)\s*\|", re.M)
+
+#: Any HTTP-status-shaped number in the docs counts as documented.
+_DOC_STATUS = re.compile(r"\b([1-5]\d{2})\b")
+
+_DOC_SCHEMA = re.compile(r"\{\"schema\":\s*(\d+)")
+
+
+def _route_tuple(node: ast.Tuple) -> "Optional[Tuple[str, str]]":
+    if len(node.elts) != 2:
+        return None
+    first, second = node.elts
+    if (
+        isinstance(first, ast.Constant)
+        and isinstance(first.value, str)
+        and first.value in _HTTP_METHODS
+        and isinstance(second, ast.Constant)
+        and isinstance(second.value, str)
+        and second.value.startswith("/")
+    ):
+        return first.value, second.value
+    return None
+
+
+def _is_envelope_call(node: ast.expr) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    name = func.attr if isinstance(func, ast.Attribute) else (
+        func.id if isinstance(func, ast.Name) else ""
+    )
+    return "envelope" in name
+
+
+@register_project_rule
+class ContractDriftRule(ProjectRule):
+    code = "REP103"
+    name = "api-contract-drift"
+    summary = (
+        "serve route/status/envelope-key not documented in "
+        "docs/serving.md (or documented but unimplemented), schema "
+        "version skew, or a response bypassing the versioned envelope"
+    )
+    rationale = (
+        "Clients code against docs/serving.md and branch on the "
+        "envelope's schema/error.kind fields; a route or status the "
+        "docs don't know about is a breaking change that no test "
+        "notices until a client does. Extracting the contract from the "
+        "AST pins code and docs to each other in both directions."
+    )
+
+    def check(self, model: ProjectModel) -> Iterator[Diagnostic]:
+        serve_modules = [
+            info for info in model.modules.values() if info.subpackage == "serve"
+        ]
+        if not serve_modules:
+            return
+        docs_path = model.docs_file("serving.md")
+        anchor = min(serve_modules, key=lambda info: info.path)
+        if docs_path is None:
+            yield self.diagnostic(
+                anchor,
+                None,
+                "serve/ defines an HTTP API but docs/serving.md was not "
+                "found; the wire contract must be documented",
+            )
+            return
+        docs = docs_path.read_text(encoding="utf-8")
+        doc_routes = {
+            (method, path) for path, method in _DOC_ROUTE.findall(docs)
+        }
+        doc_statuses = {int(status) for status in _DOC_STATUS.findall(docs)}
+        doc_schema = _DOC_SCHEMA.search(docs)
+
+        code_routes: "Dict[Tuple[str, str], Tuple[ModuleInfo, ast.AST]]" = {}
+        for info in serve_modules:
+            for node in info.context.nodes(ast.Tuple):
+                route = _route_tuple(node)
+                if route is not None:
+                    code_routes.setdefault(route, (info, node))
+
+        # --- routes, both directions -----------------------------------
+        for route, (info, node) in sorted(code_routes.items()):
+            if route not in doc_routes:
+                yield self.diagnostic(
+                    info,
+                    node,
+                    f"route {route[0]} {route[1]} is handled here but "
+                    "missing from the route table in docs/serving.md",
+                )
+        for route in sorted(doc_routes - set(code_routes)):
+            yield self.diagnostic(
+                anchor,
+                None,
+                f"docs/serving.md documents {route[0]} {route[1]} but no "
+                "serve handler implements it",
+            )
+
+        # --- status codes ----------------------------------------------
+        for info, node, status in self._code_statuses(serve_modules):
+            if status not in doc_statuses:
+                yield self.diagnostic(
+                    info,
+                    node,
+                    f"status code {status} can be sent by serve/ but is "
+                    "not documented in docs/serving.md",
+                )
+
+        # --- envelope keys and schema version --------------------------
+        envelope_info = next(
+            (
+                info
+                for info in serve_modules
+                if info.relative_parts[-1:] == ("envelope.py",)
+            ),
+            None,
+        )
+        if envelope_info is not None:
+            for key, node in sorted(self._envelope_keys(envelope_info).items()):
+                if f'"{key}"' not in docs and f"`{key}`" not in docs:
+                    yield self.diagnostic(
+                        envelope_info,
+                        node,
+                        f"envelope key {key!r} is not documented in "
+                        "docs/serving.md",
+                    )
+            version = self._schema_version(envelope_info)
+            if version is not None and (
+                doc_schema is None or int(doc_schema.group(1)) != version
+            ):
+                documented = doc_schema.group(1) if doc_schema else "nothing"
+                yield self.diagnostic(
+                    envelope_info,
+                    None,
+                    f"SCHEMA_VERSION is {version} but docs/serving.md "
+                    f'shows {{"schema": {documented}}}; the documented '
+                    "envelope must match the wire format",
+                )
+
+        # --- envelope bypass -------------------------------------------
+        for info in serve_modules:
+            for node in info.context.nodes(ast.Call):
+                func = node.func
+                if not (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in ("_send_json", "send_json")
+                ):
+                    continue
+                if len(node.args) < 2:
+                    continue
+                body = node.args[1]
+                if not _is_envelope_call(body):
+                    yield self.diagnostic(
+                        info,
+                        node,
+                        "response body sent without the versioned envelope; "
+                        "wrap payloads in envelope()/error_envelope()",
+                    )
+
+    @staticmethod
+    def _code_statuses(
+        serve_modules: "List[ModuleInfo]",
+    ) -> "Iterator[Tuple[ModuleInfo, ast.AST, int]]":
+        seen: "Set[Tuple[str, int]]" = set()
+
+        def emit(
+            info: ModuleInfo, node: ast.AST, value: object
+        ) -> "Iterator[Tuple[ModuleInfo, ast.AST, int]]":
+            if isinstance(value, int) and not isinstance(value, bool) and 100 <= value < 600:
+                key = (info.path, int(value))
+                if key not in seen:
+                    seen.add(key)
+                    yield info, node, int(value)
+
+        for info in serve_modules:
+            for node in info.context.nodes(ast.Call):
+                func = node.func
+                name = (
+                    func.attr
+                    if isinstance(func, ast.Attribute)
+                    else func.id if isinstance(func, ast.Name) else ""
+                )
+                if "send" in name and "json" in name and node.args:
+                    first = node.args[0]
+                    if isinstance(first, ast.Constant):
+                        yield from emit(info, node, first.value)
+            for node in info.context.nodes(ast.Assign, ast.AnnAssign):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                value = node.value
+                if value is None or not isinstance(value, ast.Constant):
+                    continue
+                for target in targets:
+                    if isinstance(target, ast.Name) and target.id == "status":
+                        yield from emit(info, node, value.value)
+
+    @staticmethod
+    def _envelope_keys(info: ModuleInfo) -> "Dict[str, ast.AST]":
+        keys: "Dict[str, ast.AST]" = {}
+        for function in info.functions.values():
+            if "envelope" not in function.name:
+                continue
+            for node in ast.walk(function.node):
+                if isinstance(node, ast.Dict):
+                    for key in node.keys:
+                        if isinstance(key, ast.Constant) and isinstance(
+                            key.value, str
+                        ):
+                            keys.setdefault(key.value, key)
+        return keys
+
+    @staticmethod
+    def _schema_version(info: ModuleInfo) -> "Optional[int]":
+        for node in info.context.tree.body:
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if (
+                        isinstance(target, ast.Name)
+                        and target.id == "SCHEMA_VERSION"
+                        and isinstance(node.value, ast.Constant)
+                        and isinstance(node.value.value, int)
+                    ):
+                        return node.value.value
+        return None

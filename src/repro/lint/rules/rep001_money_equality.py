@@ -44,9 +44,7 @@ class MoneyEqualityRule(Rule):
     subpackages = None  # money flows through every layer
 
     def check(self, ctx: ModuleContext) -> Iterator[Diagnostic]:
-        for node in ast.walk(ctx.tree):
-            if not isinstance(node, ast.Compare):
-                continue
+        for node in ctx.nodes(ast.Compare):
             if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
                 continue
             operands = [node.left, *node.comparators]

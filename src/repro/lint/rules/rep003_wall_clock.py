@@ -49,9 +49,7 @@ class WallClockRule(Rule):
     )
 
     def check(self, ctx: ModuleContext) -> Iterator[Diagnostic]:
-        for node in ast.walk(ctx.tree):
-            if not isinstance(node, ast.Call):
-                continue
+        for node in ctx.nodes(ast.Call):
             dotted = dotted_name(node.func)
             if dotted is None:
                 continue

@@ -5,7 +5,6 @@ from __future__ import annotations
 import ast
 from typing import Iterator
 
-from repro.lint.astutils import walk_functions
 from repro.lint.diagnostics import Diagnostic
 from repro.lint.registry import ModuleContext, Rule, register
 
@@ -36,7 +35,7 @@ class MutableDefaultsRule(Rule):
     subpackages = None
 
     def check(self, ctx: ModuleContext) -> Iterator[Diagnostic]:
-        for function in walk_functions(ctx.tree):
+        for function in ctx.nodes(ast.FunctionDef, ast.AsyncFunctionDef):
             defaults = list(function.args.defaults)
             defaults.extend(d for d in function.args.kw_defaults if d is not None)
             for default in defaults:

@@ -49,13 +49,13 @@ class UnitMixingRule(Rule):
     subpackages = None
 
     def check(self, ctx: ModuleContext) -> Iterator[Diagnostic]:
-        for node in ast.walk(ctx.tree):
-            if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add, ast.Sub)):
+        for node in ctx.nodes(ast.BinOp, ast.Compare):
+            if isinstance(node, ast.BinOp):
+                if not isinstance(node.op, (ast.Add, ast.Sub)):
+                    continue
                 operands = [node.left, node.right]
-            elif isinstance(node, ast.Compare):
-                operands = [node.left, *node.comparators]
             else:
-                continue
+                operands = [node.left, *node.comparators]
             units = {u for u in (unit_of(o) for o in operands) if u is not None}
             if len(units) > 1:
                 yield self.diagnostic(

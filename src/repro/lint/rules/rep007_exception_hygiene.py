@@ -34,9 +34,7 @@ class ExceptionHygieneRule(Rule):
     subpackages = None
 
     def check(self, ctx: ModuleContext) -> Iterator[Diagnostic]:
-        for node in ast.walk(ctx.tree):
-            if not isinstance(node, ast.ExceptHandler):
-                continue
+        for node in ctx.nodes(ast.ExceptHandler):
             if node.type is None:
                 yield self.diagnostic(
                     ctx, node, "bare except: catches SystemExit/KeyboardInterrupt too; "

@@ -23,11 +23,10 @@ class AssertInvariantsRule(Rule):
     subpackages = None  # the engine only ever lints library sources
 
     def check(self, ctx: ModuleContext) -> Iterator[Diagnostic]:
-        for node in ast.walk(ctx.tree):
-            if isinstance(node, ast.Assert):
-                yield self.diagnostic(
-                    ctx,
-                    node,
-                    "assert used for validation in library code; raise a "
-                    "ReproError subclass (repro.errors) instead",
-                )
+        for node in ctx.nodes(ast.Assert):
+            yield self.diagnostic(
+                ctx,
+                node,
+                "assert used for validation in library code; raise a "
+                "ReproError subclass (repro.errors) instead",
+            )

@@ -54,8 +54,8 @@ class TextEncodingRule(Rule):
     subpackages = None  # files are written from every layer
 
     def check(self, ctx: ModuleContext) -> Iterator[Diagnostic]:
-        for node in ast.walk(ctx.tree):
-            if not isinstance(node, ast.Call) or _has_double_star(node):
+        for node in ctx.nodes(ast.Call):
+            if _has_double_star(node):
                 continue
             if _has_encoding(node):
                 continue

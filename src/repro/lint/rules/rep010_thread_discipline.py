@@ -45,9 +45,7 @@ class ThreadDisciplineRule(Rule):
 
     def check(self, ctx: ModuleContext) -> Iterator[Diagnostic]:
         in_serve = ctx.in_subpackage("serve")
-        for node in ast.walk(ctx.tree):
-            if not isinstance(node, ast.Call):
-                continue
+        for node in ctx.nodes(ast.Call):
             dotted = dotted_name(node.func)
             if dotted is None:
                 continue

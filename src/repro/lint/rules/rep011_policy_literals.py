@@ -25,14 +25,12 @@ _POLICY_NAMES = frozenset(
 _EXEMPT = frozenset({("api.py",), ("core", "policies.py")})
 
 
-def _docstring_values(tree: ast.Module) -> "Set[int]":
+def _docstring_values(ctx: ModuleContext) -> "Set[int]":
     """ids of the Constant nodes that are module/class/def docstrings."""
     docstrings: "Set[int]" = set()
-    for node in ast.walk(tree):
-        if not isinstance(
-            node, (ast.Module, ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)
-        ):
-            continue
+    for node in ctx.nodes(
+        ast.Module, ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef
+    ):
         body = node.body
         if (
             body
@@ -64,10 +62,8 @@ class PolicyLiteralRule(Rule):
     def check(self, ctx: ModuleContext) -> Iterator[Diagnostic]:
         if ctx.relative_parts in _EXEMPT:
             return
-        docstrings = _docstring_values(ctx.tree)
-        for node in ast.walk(ctx.tree):
-            if not isinstance(node, ast.Constant):
-                continue
+        docstrings = _docstring_values(ctx)
+        for node in ctx.nodes(ast.Constant):
             if not isinstance(node.value, str) or id(node) in docstrings:
                 continue
             if node.value in _POLICY_NAMES:

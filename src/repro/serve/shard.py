@@ -178,9 +178,18 @@ class ShardSupervisor:
         self.base_url: "Optional[str]" = None
         self.process: "Optional[subprocess.Popen[str]]" = None
         self.restarts = 0
+        # Lifecycle writes (process/base_url/restarts) are serialized:
+        # restart() runs on router request threads, and two threads that
+        # both see a dead worker must not both spawn a replacement.
+        self._lifecycle_lock = threading.Lock()
 
     def start(self) -> None:
         """Spawn the worker and block until it announces its port."""
+        with self._lifecycle_lock:
+            self._start_locked()
+
+    def _start_locked(self) -> None:
+        """Spawn logic; caller holds ``_lifecycle_lock``."""
         if self.alive():
             return
         command = [
@@ -229,7 +238,7 @@ class ShardSupervisor:
                 self.base_url = f"http://{match.group(1)}:{match.group(2)}"
                 break
             if time.perf_counter() > deadline:
-                self.stop()
+                self._stop_locked()
                 raise ShardUnavailableError(
                     f"shard {self.index} did not announce a port within "
                     f"{self.boot_timeout}s"
@@ -255,12 +264,17 @@ class ShardSupervisor:
 
     def restart(self) -> None:
         """Start a replacement worker after a crash (checkpoint restore)."""
-        if self.alive():
-            return
-        self.restarts += 1
-        self.start()
+        with self._lifecycle_lock:
+            if self.alive():
+                return
+            self.restarts += 1
+            self._start_locked()
 
     def stop(self, timeout: float = 5.0) -> None:
+        with self._lifecycle_lock:
+            self._stop_locked(timeout)
+
+    def _stop_locked(self, timeout: float = 5.0) -> None:
         process = self.process
         if process is None:
             return

@@ -1,0 +1,66 @@
+"""Shared fixture builder for the whole-program (REP1xx) lint tests.
+
+Builds a tiny package tree on disk — ``<tmp>/pkg/<subdir>/<module>.py``
+plus an optional ``<tmp>/docs/`` — and runs :func:`repro.lint.engine.
+lint_project` over it, exactly the way the CLI does for ``src/repro``.
+Directory names double as subpackage scopes (``serve/``, ``core/``), so
+the fixtures exercise the same scoping rules as the real tree.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.lint.engine import LintReport, lint_project
+
+#: A docs/serving.md that matches the serve fixtures used across the
+#: REP102/REP103 tests: one route, the stock statuses, all four
+#: envelope keys, and the schema line.
+MATCHING_DOCS = """\
+# serving
+
+| route         | method | purpose |
+|---------------|--------|---------|
+| `/v1/events`  | POST   | ingest  |
+
+Statuses: 200 on success, 400 on bad input, 500 on internal errors.
+
+The envelope: `{"schema": 1, ...}`; errors carry `"error"` with
+`"kind"` and `"message"`.
+"""
+
+
+def build_package(
+    tmp_path: Path,
+    files: "Dict[str, str]",
+    docs: "Optional[Dict[str, str]]" = None,
+) -> Path:
+    """Write ``files`` (relative to ``<tmp>/pkg``) and ``docs``
+    (relative to ``<tmp>/docs``); returns the package root."""
+    package_root = tmp_path / "pkg"
+    for relative, source in files.items():
+        path = package_root / relative
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source, encoding="utf-8")
+    if docs:
+        for relative, source in docs.items():
+            path = tmp_path / "docs" / relative
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(source, encoding="utf-8")
+    return package_root
+
+
+def run_project(
+    tmp_path: Path,
+    files: "Dict[str, str]",
+    docs: "Optional[Dict[str, str]]" = None,
+    select: "Optional[list]" = None,
+) -> LintReport:
+    """Build the fixture package and project-lint it."""
+    package_root = build_package(tmp_path, files, docs)
+    return lint_project([package_root], select=select)
+
+
+def codes(report: LintReport) -> "list[str]":
+    return sorted({diagnostic.code for diagnostic in report.diagnostics})

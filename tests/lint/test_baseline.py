@@ -1,0 +1,171 @@
+"""Baseline workflow: accepted findings are subtracted, new ones fail,
+stale entries are reported, and the CLI flags drive the whole cycle."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.lint.baseline import (
+    BaselineError,
+    apply_baseline,
+    fingerprint,
+    load_baseline,
+    normalize_path,
+    write_baseline,
+)
+from repro.lint.diagnostics import Diagnostic
+
+ROOT = Path(__file__).resolve().parents[2]
+SRC = ROOT / "src"
+
+
+def run_cli(*args, cwd):
+    return subprocess.run(
+        [sys.executable, "-m", "repro.lint", *args],
+        capture_output=True,
+        text=True,
+        cwd=cwd,
+        env={"PYTHONPATH": str(SRC), "PATH": ""},
+    )
+
+
+def diag(code="REP001", path="src/repro/core/x.py", message="m", line=3):
+    return Diagnostic(code=code, message=message, path=path, line=line)
+
+
+# ----------------------------------------------------------------------
+# Unit level
+# ----------------------------------------------------------------------
+
+def test_fingerprint_is_line_insensitive():
+    assert fingerprint(diag(line=3)) == fingerprint(diag(line=99))
+
+
+def test_normalize_path_is_invocation_insensitive():
+    absolute = "/home/u/repo/src/repro/core/x.py"
+    relative = "src/repro/core/x.py"
+    assert normalize_path(absolute) == normalize_path(relative)
+
+
+def test_round_trip_and_apply(tmp_path):
+    path = tmp_path / "baseline.json"
+    accepted = [diag(message="one"), diag(message="two")]
+    write_baseline(path, accepted)
+    baseline = load_baseline(path)
+    current = [diag(message="one"), diag(message="three")]
+    new, matched, stale = apply_baseline(current, baseline)
+    assert matched == 1
+    assert stale == 1  # "two" was fixed but is still baselined
+    assert [d.message for d in new] == ["three"]
+
+
+def test_apply_respects_multiplicity(tmp_path):
+    path = tmp_path / "baseline.json"
+    write_baseline(path, [diag()])  # accepted once
+    current = [diag(), diag()]  # now appears twice
+    new, matched, stale = apply_baseline(current, load_baseline(path))
+    assert matched == 1 and stale == 0 and len(new) == 1
+
+
+@pytest.mark.parametrize(
+    "payload",
+    [
+        "not json at all",
+        json.dumps({"format": 99, "entries": []}),
+        json.dumps({"format": 1}),
+        json.dumps({"format": 1, "entries": [{"code": "REP001"}]}),
+    ],
+)
+def test_malformed_baselines_raise(tmp_path, payload):
+    path = tmp_path / "baseline.json"
+    path.write_text(payload, encoding="utf-8")
+    with pytest.raises(BaselineError):
+        load_baseline(path)
+
+
+def test_missing_baseline_raises(tmp_path):
+    with pytest.raises(BaselineError, match="not found"):
+        load_baseline(tmp_path / "absent.json")
+
+
+# ----------------------------------------------------------------------
+# CLI level
+# ----------------------------------------------------------------------
+
+VIOLATION = "import time\n\ndef stamp():\n    return time.time()\n"
+
+
+def make_tree(tmp_path):
+    module = tmp_path / "core" / "sim.py"
+    module.parent.mkdir(parents=True)
+    module.write_text(VIOLATION, encoding="utf-8")
+    return tmp_path
+
+
+def test_cli_baseline_update_then_clean_run(tmp_path):
+    tree = make_tree(tmp_path)
+    baseline = tmp_path / "lint_baseline.json"
+    updated = run_cli(
+        "core", "--select", "REP003", "--baseline", str(baseline), "--baseline-update", cwd=tree
+    )
+    assert updated.returncode == 0, updated.stderr
+    assert "updated with 1 findings" in updated.stdout
+    rerun = run_cli("core", "--select", "REP003", "--baseline", str(baseline), cwd=tree)
+    assert rerun.returncode == 0, rerun.stdout + rerun.stderr
+    assert "1 accepted, 0 stale, 0 new" in rerun.stdout
+
+
+def test_cli_new_finding_fails_against_baseline(tmp_path):
+    tree = make_tree(tmp_path)
+    baseline = tmp_path / "lint_baseline.json"
+    run_cli("core", "--select", "REP003", "--baseline", str(baseline), "--baseline-update", cwd=tree)
+    extra = tree / "core" / "fresh.py"
+    extra.write_text(VIOLATION, encoding="utf-8")
+    result = run_cli("core", "--select", "REP003", "--baseline", str(baseline), cwd=tree)
+    assert result.returncode == 1
+    assert "fresh.py" in result.stdout  # only the new finding reported
+    assert "sim.py" not in result.stdout
+    assert "1 accepted, 0 stale, 1 new" in result.stdout
+
+
+def test_cli_stale_entries_are_reported(tmp_path):
+    tree = make_tree(tmp_path)
+    baseline = tmp_path / "lint_baseline.json"
+    run_cli("core", "--select", "REP003", "--baseline", str(baseline), "--baseline-update", cwd=tree)
+    (tree / "core" / "sim.py").write_text(
+        "def stamp(hour):\n    return hour\n", encoding="utf-8"
+    )
+    result = run_cli("core", "--select", "REP003", "--baseline", str(baseline), cwd=tree)
+    assert result.returncode == 0
+    assert "0 accepted, 1 stale, 0 new" in result.stdout
+
+
+def test_cli_baseline_update_requires_baseline(tmp_path):
+    tree = make_tree(tmp_path)
+    result = run_cli("core", "--select", "REP003", "--baseline-update", cwd=tree)
+    assert result.returncode == 2
+    assert "--baseline-update requires --baseline" in result.stderr
+
+
+def test_cli_malformed_baseline_is_invocation_error(tmp_path):
+    tree = make_tree(tmp_path)
+    bad = tmp_path / "bad.json"
+    bad.write_text("{}", encoding="utf-8")
+    result = run_cli("core", "--select", "REP003", "--baseline", str(bad), cwd=tree)
+    assert result.returncode == 2
+    assert "repro.lint: error" in result.stderr
+
+
+def test_cli_baseline_works_with_json_format(tmp_path):
+    tree = make_tree(tmp_path)
+    baseline = tmp_path / "lint_baseline.json"
+    run_cli("core", "--select", "REP003", "--baseline", str(baseline), "--baseline-update", cwd=tree)
+    result = run_cli(
+        "core", "--select", "REP003", "--baseline", str(baseline), "--format", "json", cwd=tree
+    )
+    assert result.returncode == 0
+    payload = json.loads(result.stdout)
+    assert payload["summary"]["count"] == 0

@@ -74,3 +74,57 @@ def test_list_rules_shows_catalogue():
     for code in ("REP001", "REP004", "REP008"):
         assert code in result.stdout
     assert "rationale:" in result.stdout
+
+
+def test_list_rules_includes_project_analyses():
+    result = run_lint("--list-rules")
+    assert result.returncode == 0
+    for code in ("REP101", "REP102", "REP103"):
+        assert code in result.stdout
+    assert "project-wide, --project" in result.stdout
+
+
+def test_project_flag_runs_rep1xx(tmp_path):
+    bad = tmp_path / "pkg" / "serve" / "boot.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text(
+        "import threading\n\n"
+        "def run():\n"
+        "    keeper = threading.Thread(target=print, daemon=False)\n"
+        "    keeper.start()\n",
+        encoding="utf-8",
+    )
+    without = run_lint("--select", "REP010", str(bad.parent.parent))
+    assert without.returncode == 0  # daemon= is explicit; file rules quiet
+    with_project = run_lint(
+        "--project", "--select", "REP102", str(bad.parent.parent)
+    )
+    assert with_project.returncode == 1
+    assert "REP102" in with_project.stdout
+    assert "never joined" in with_project.stdout
+
+
+def test_rep1xx_select_requires_project_flag(tmp_path):
+    clean = tmp_path / "clean.py"
+    clean.write_text("X = 1\n")
+    result = run_lint("--select", "REP101", str(clean))
+    assert result.returncode == 2
+    assert "unknown rule codes" in result.stderr
+
+
+def test_project_json_format(tmp_path):
+    module = tmp_path / "pkg" / "core" / "sim.py"
+    module.parent.mkdir(parents=True)
+    module.write_text(
+        "import numpy as np\n\n"
+        "def draw():\n"
+        "    return np.random.default_rng().random()\n",
+        encoding="utf-8",
+    )
+    result = run_lint(
+        "--project", "--select", "REP101", "--format", "json",
+        str(module.parent.parent),
+    )
+    assert result.returncode == 1
+    payload = json.loads(result.stdout)
+    assert payload["summary"]["by_code"] == {"REP101": 1}

@@ -1,0 +1,215 @@
+"""Unit tests for the project model: module naming, symbol tables,
+import resolution, and the conservative call graph."""
+
+from pathlib import Path
+
+from repro.lint.engine import _build_context
+from repro.lint.project.model import ProjectModel
+from tests.lint.project_fixtures import build_package
+
+
+def build_model(tmp_path, files):
+    root = build_package(tmp_path, files)
+    contexts = []
+    for path in sorted(root.rglob("*.py")):
+        context = _build_context(path.read_text(encoding="utf-8"), str(path))
+        contexts.append(context)
+    return ProjectModel.build(contexts, root)
+
+
+def test_module_naming_and_symbols(tmp_path):
+    model = build_model(
+        tmp_path,
+        {
+            "__init__.py": "",
+            "core/__init__.py": "",
+            "core/sim.py": (
+                "def run():\n    pass\n"
+                "\n"
+                "class Engine:\n"
+                "    def step(self):\n        pass\n"
+            ),
+        },
+    )
+    assert "pkg.core.sim" in model.modules
+    assert "pkg.core" in model.modules  # __init__.py names the package
+    assert "pkg.core.sim.run" in model.functions
+    assert "pkg.core.sim.Engine.step" in model.functions
+    engine = model.classes["pkg.core.sim.Engine"]
+    assert engine.methods == ("pkg.core.sim.Engine.step",)
+    assert model.modules["pkg.core.sim"].subpackage == "core"
+
+
+def test_absolute_and_relative_imports_resolve(tmp_path):
+    model = build_model(
+        tmp_path,
+        {
+            "util.py": "def helper():\n    pass\n",
+            "core/absolute.py": (
+                "from pkg.util import helper\n"
+                "\n"
+                "def caller():\n    helper()\n"
+            ),
+            "core/relative.py": (
+                "from ..util import helper\n"
+                "\n"
+                "def caller():\n    helper()\n"
+            ),
+        },
+    )
+    for module in ("absolute", "relative"):
+        caller = model.functions[f"pkg.core.{module}.caller"]
+        edges = [callee.qualname for _, callee in model.callees(caller)]
+        assert edges == ["pkg.util.helper"], module
+
+
+def test_reexport_chasing_through_package_init(tmp_path):
+    model = build_model(
+        tmp_path,
+        {
+            "inner/impl.py": "def work():\n    pass\n",
+            "inner/__init__.py": "from pkg.inner.impl import work\n",
+            "outer.py": (
+                "from pkg.inner import work\n"
+                "\n"
+                "def caller():\n    work()\n"
+            ),
+        },
+    )
+    caller = model.functions["pkg.outer.caller"]
+    edges = [callee.qualname for _, callee in model.callees(caller)]
+    assert edges == ["pkg.inner.impl.work"]
+
+
+def test_self_method_and_constructor_resolution(tmp_path):
+    model = build_model(
+        tmp_path,
+        {
+            "app.py": (
+                "class Widget:\n"
+                "    def __init__(self):\n        pass\n"
+                "\n"
+                "class App:\n"
+                "    def run(self):\n"
+                "        self.helper()\n"
+                "        Widget()\n"
+                "\n"
+                "    def helper(self):\n        pass\n"
+            ),
+        },
+    )
+    run = model.functions["pkg.app.App.run"]
+    edges = sorted(callee.qualname for _, callee in model.callees(run))
+    assert edges == ["pkg.app.App.helper", "pkg.app.Widget.__init__"]
+
+
+def test_bare_name_fallback_skips_generic_methods(tmp_path):
+    model = build_model(
+        tmp_path,
+        {
+            "a.py": (
+                "class Store:\n"
+                "    def get(self, key):\n        pass\n"
+                "\n"
+                "    def reprice(self):\n        pass\n"
+            ),
+            "b.py": (
+                "def caller(thing):\n"
+                "    thing.get('x')\n"
+                "    thing.reprice()\n"
+            ),
+        },
+    )
+    caller = model.functions["pkg.b.caller"]
+    strict = [callee.qualname for _, callee in model.callees(caller)]
+    assert strict == []  # neither attribute call resolves precisely
+    fallback = [
+        callee.qualname
+        for _, callee in model.callees(caller, bare_fallback=True)
+    ]
+    # 'reprice' falls back conservatively; 'get' is too generic to.
+    assert fallback == ["pkg.a.Store.reprice"]
+
+
+def test_lock_attribute_detection_and_under_lock_sites(tmp_path):
+    model = build_model(
+        tmp_path,
+        {
+            "serve/app.py": (
+                "import threading\n"
+                "\n"
+                "class App:\n"
+                "    def __init__(self):\n"
+                "        self._fleet_lock = threading.Lock()\n"
+                "        self._cv = threading.Condition()\n"
+                "\n"
+                "    def locked(self):\n"
+                "        with self._fleet_lock:\n"
+                "            self.mutate()\n"
+                "\n"
+                "    def unlocked(self):\n"
+                "        self.mutate()\n"
+                "\n"
+                "    def mutate(self):\n        pass\n"
+            ),
+        },
+    )
+    app = model.classes["pkg.serve.app.App"]
+    assert "_fleet_lock" in app.lock_attrs
+    locked_site = model.functions["pkg.serve.app.App.locked"].calls
+    unlocked_site = model.functions["pkg.serve.app.App.unlocked"].calls
+    assert [s.under_lock for s in locked_site if s.bare == "mutate"] == [True]
+    assert [s.under_lock for s in unlocked_site if s.bare == "mutate"] == [False]
+
+
+def test_base_chain_matches_through_local_bases(tmp_path):
+    model = build_model(
+        tmp_path,
+        {
+            "serve/handlers.py": (
+                "from http.server import BaseHTTPRequestHandler\n"
+                "\n"
+                "class CommonHandler(BaseHTTPRequestHandler):\n"
+                "    pass\n"
+                "\n"
+                "class IngestHandler(CommonHandler):\n"
+                "    pass\n"
+                "\n"
+                "class Unrelated:\n"
+                "    pass\n"
+            ),
+        },
+    )
+    ingest = model.classes["pkg.serve.handlers.IngestHandler"]
+    unrelated = model.classes["pkg.serve.handlers.Unrelated"]
+    assert model.base_chain_matches(ingest, "RequestHandler")
+    assert not model.base_chain_matches(unrelated, "RequestHandler")
+
+
+def test_module_level_code_becomes_pseudo_function(tmp_path):
+    model = build_model(
+        tmp_path,
+        {
+            "constants.py": (
+                "import numpy as np\n"
+                "\n"
+                "TABLE = np.random.default_rng().random(4)\n"
+            ),
+        },
+    )
+    pseudo = model.functions["pkg.constants.<module>"]
+    assert any(site.bare == "default_rng" for site in pseudo.calls)
+
+
+def test_docs_file_discovery(tmp_path):
+    root = build_package(
+        tmp_path,
+        {"serve/server.py": "x = 1\n"},
+        docs={"serving.md": "# serving\n"},
+    )
+    context = _build_context("x = 1\n", str(root / "serve" / "server.py"))
+    model = ProjectModel.build([context], root)
+    found = model.docs_file("serving.md")
+    assert found is not None
+    assert found == Path(tmp_path) / "docs" / "serving.md"
+    assert model.docs_file("missing.md") is None

@@ -1,0 +1,521 @@
+"""Each REP1xx analysis catches its seeded true positive and stays
+quiet on the corresponding clean fixture — the acceptance criteria of
+the whole-program layer."""
+
+import pytest
+
+from tests.lint.project_fixtures import MATCHING_DOCS, codes, run_project
+
+# ----------------------------------------------------------------------
+# REP101 — determinism taint
+# ----------------------------------------------------------------------
+
+TAINTED_WORKLOAD = (
+    "import numpy as np\n"
+    "\n"
+    "def draw():\n"
+    "    return np.random.default_rng().random()\n"
+)
+
+SEEDED_WORKLOAD = (
+    "import numpy as np\n"
+    "\n"
+    "def draw(seed):\n"
+    "    return np.random.default_rng(seed).random()\n"
+)
+
+FASTSIM = (
+    "from pkg.workload.gen import draw\n"
+    "\n"
+    "def simulate(hours):\n"
+    "    return [draw() for _ in range(hours)]\n"
+)
+
+
+def test_rep101_flags_cross_module_rng_reaching_core(tmp_path):
+    report = run_project(
+        tmp_path,
+        {
+            "workload/gen.py": TAINTED_WORKLOAD,
+            "core/fastsim.py": FASTSIM,
+        },
+        select=["REP101"],
+    )
+    assert codes(report) == ["REP101"]
+    finding = report.diagnostics[0]
+    assert finding.path.endswith("core/fastsim.py")  # flagged at the sink
+    assert "default_rng() without a seed" in finding.message
+    assert "simulate" in finding.message and "draw" in finding.message
+
+
+def test_rep101_quiet_when_rng_is_seeded(tmp_path):
+    report = run_project(
+        tmp_path,
+        {
+            "workload/gen.py": SEEDED_WORKLOAD,
+            "core/fastsim.py": (
+                "from pkg.workload.gen import draw\n"
+                "\n"
+                "def simulate(hours, seed):\n"
+                "    return [draw(seed) for _ in range(hours)]\n"
+            ),
+        },
+        select=["REP101"],
+    )
+    assert report.clean
+
+
+def test_rep101_quiet_when_taint_never_reaches_decision_code(tmp_path):
+    # The source exists, but only analysis-free code calls it.
+    report = run_project(
+        tmp_path,
+        {
+            "workload/gen.py": TAINTED_WORKLOAD,
+            "experiments/driver.py": (
+                "from pkg.workload.gen import draw\n"
+                "\n"
+                "def shuffle_inputs():\n"
+                "    return draw()\n"
+            ),
+            "core/fastsim.py": "def simulate(hours):\n    return hours\n",
+        },
+        select=["REP101"],
+    )
+    assert report.clean
+
+
+def test_rep101_wall_clock_through_two_hops(tmp_path):
+    report = run_project(
+        tmp_path,
+        {
+            "workload/clockutil.py": (
+                "import time\n"
+                "\n"
+                "def stamp():\n"
+                "    return time.time()\n"
+            ),
+            "workload/mid.py": (
+                "from pkg.workload.clockutil import stamp\n"
+                "\n"
+                "def label():\n"
+                "    return stamp()\n"
+            ),
+            "analysis/report.py": (
+                "from pkg.workload.mid import label\n"
+                "\n"
+                "def summarize(rows):\n"
+                "    return (label(), len(rows))\n"
+            ),
+        },
+        select=["REP101"],
+    )
+    assert codes(report) == ["REP101"]
+    finding = report.diagnostics[0]
+    assert finding.path.endswith("analysis/report.py")
+    assert "wall-clock read time.time()" in finding.message
+    assert "summarize -> mid.label -> clockutil.stamp" in finding.message
+
+
+def test_rep101_set_iteration_is_a_source(tmp_path):
+    report = run_project(
+        tmp_path,
+        {
+            "core/sim.py": (
+                "def spread(prices):\n"
+                "    return [p for p in set(prices)]\n"
+            ),
+        },
+        select=["REP101"],
+    )
+    assert codes(report) == ["REP101"]
+    assert "unordered" in report.diagnostics[0].message
+
+
+def test_rep101_perf_counter_is_not_a_source(tmp_path):
+    report = run_project(
+        tmp_path,
+        {
+            "core/sim.py": (
+                "import time\n"
+                "\n"
+                "def timed(fn):\n"
+                "    began = time.perf_counter()\n"
+                "    fn()\n"
+                "    return time.perf_counter() - began\n"
+            ),
+        },
+        select=["REP101"],
+    )
+    assert report.clean
+
+
+# ----------------------------------------------------------------------
+# REP102 — concurrency discipline
+# ----------------------------------------------------------------------
+
+UNLOCKED_APP = (
+    "import threading\n"
+    "\n"
+    "class App:\n"
+    "    def __init__(self):\n"
+    "        self._state_lock = threading.Lock()\n"
+    "        self.count = 0\n"
+    "\n"
+    "    def ingest(self, events):\n"
+    "        self.count += len(events)\n"
+)
+
+LOCKED_APP = UNLOCKED_APP.replace(
+    "    def ingest(self, events):\n        self.count += len(events)\n",
+    "    def ingest(self, events):\n"
+    "        with self._state_lock:\n"
+    "            self.count += len(events)\n",
+)
+
+HANDLER = (
+    "from http.server import BaseHTTPRequestHandler\n"
+    "\n"
+    "class Handler(BaseHTTPRequestHandler):\n"
+    "    def do_POST(self):\n"
+    "        self.server.app.ingest([1])\n"
+)
+
+
+def test_rep102_flags_unlocked_shared_write_in_handler_path(tmp_path):
+    report = run_project(
+        tmp_path,
+        {"serve/server.py": HANDLER + "\n" + UNLOCKED_APP},
+        docs={"serving.md": MATCHING_DOCS},
+        select=["REP102"],
+    )
+    assert codes(report) == ["REP102"]
+    finding = report.diagnostics[0]
+    assert "'count'" in finding.message
+    assert "without holding a lock" in finding.message
+
+
+def test_rep102_quiet_when_write_is_locked(tmp_path):
+    report = run_project(
+        tmp_path,
+        {"serve/server.py": HANDLER + "\n" + LOCKED_APP},
+        docs={"serving.md": MATCHING_DOCS},
+        select=["REP102"],
+    )
+    assert report.clean
+
+
+def test_rep102_locked_suffix_convention_is_honoured(tmp_path):
+    # _checkpoint_locked writes without its own lock, but every caller
+    # holds one — the *_locked suffix states the contract.
+    source = (
+        "import threading\n"
+        "from http.server import BaseHTTPRequestHandler\n"
+        "\n"
+        "class Handler(BaseHTTPRequestHandler):\n"
+        "    def do_POST(self):\n"
+        "        self.server.app.ingest([1])\n"
+        "\n"
+        "class App:\n"
+        "    def __init__(self):\n"
+        "        self._state_lock = threading.Lock()\n"
+        "        self.count = 0\n"
+        "\n"
+        "    def ingest(self, events):\n"
+        "        with self._state_lock:\n"
+        "            self._checkpoint_locked(events)\n"
+        "\n"
+        "    def _checkpoint_locked(self, events):\n"
+        "        self.count += len(events)\n"
+    )
+    report = run_project(
+        tmp_path,
+        {"serve/server.py": source},
+        docs={"serving.md": MATCHING_DOCS},
+        select=["REP102"],
+    )
+    assert report.clean
+
+
+def test_rep102_write_reached_under_callers_lock_is_clean(tmp_path):
+    # FleetState-style: the mutating class owns no lock; the only
+    # handler-reachable edge into it runs under the app's lock.
+    source = (
+        "import threading\n"
+        "from http.server import BaseHTTPRequestHandler\n"
+        "\n"
+        "class Handler(BaseHTTPRequestHandler):\n"
+        "    def do_POST(self):\n"
+        "        self.server.app.ingest([1])\n"
+        "\n"
+        "class Fleet:\n"
+        "    def __init__(self):\n"
+        "        self.hours = 0\n"
+        "\n"
+        "    def advance(self, events):\n"
+        "        self.hours += len(events)\n"
+        "\n"
+        "class App:\n"
+        "    def __init__(self):\n"
+        "        self._fleet_lock = threading.Lock()\n"
+        "        self.fleet = Fleet()\n"
+        "\n"
+        "    def ingest(self, events):\n"
+        "        with self._fleet_lock:\n"
+        "            self.fleet.advance(events)\n"
+    )
+    report = run_project(
+        tmp_path,
+        {"serve/server.py": source},
+        docs={"serving.md": MATCHING_DOCS},
+        select=["REP102"],
+    )
+    assert report.clean
+
+
+def test_rep102_thread_started_before_subprocess_spawn(tmp_path):
+    source = (
+        "import subprocess\n"
+        "import threading\n"
+        "\n"
+        "def boot():\n"
+        "    pump = threading.Thread(target=print, daemon=True)\n"
+        "    pump.start()\n"
+        "    return subprocess.Popen(['true'])\n"
+    )
+    report = run_project(
+        tmp_path,
+        {"serve/boot.py": source},
+        docs={"serving.md": MATCHING_DOCS},
+        select=["REP102"],
+    )
+    assert codes(report) == ["REP102"]
+    assert "spawned after a thread" in report.diagnostics[0].message
+
+
+def test_rep102_spawn_before_threads_is_clean(tmp_path):
+    source = (
+        "import subprocess\n"
+        "import threading\n"
+        "\n"
+        "def boot():\n"
+        "    worker = subprocess.Popen(['true'])\n"
+        "    pump = threading.Thread(target=print, daemon=True)\n"
+        "    pump.start()\n"
+        "    pump.join()\n"
+        "    return worker\n"
+    )
+    report = run_project(
+        tmp_path,
+        {"serve/boot.py": source},
+        docs={"serving.md": MATCHING_DOCS},
+        select=["REP102"],
+    )
+    assert report.clean
+
+
+def test_rep102_non_daemon_thread_leak(tmp_path):
+    source = (
+        "import threading\n"
+        "\n"
+        "def run():\n"
+        "    keeper = threading.Thread(target=print, daemon=False)\n"
+        "    keeper.start()\n"
+    )
+    report = run_project(
+        tmp_path,
+        {"serve/boot.py": source},
+        docs={"serving.md": MATCHING_DOCS},
+        select=["REP102"],
+    )
+    assert codes(report) == ["REP102"]
+    assert "never joined" in report.diagnostics[0].message
+
+
+def test_rep102_out_of_serve_code_is_out_of_scope(tmp_path):
+    report = run_project(
+        tmp_path,
+        {"experiments/driver.py": UNLOCKED_APP},
+        select=["REP102"],
+    )
+    assert report.clean
+
+
+# ----------------------------------------------------------------------
+# REP103 — API-contract drift
+# ----------------------------------------------------------------------
+
+ENVELOPE = (
+    "SCHEMA_VERSION = 1\n"
+    "\n"
+    "def envelope(payload):\n"
+    '    wrapped = {"schema": SCHEMA_VERSION}\n'
+    "    wrapped.update(payload)\n"
+    "    return wrapped\n"
+    "\n"
+    "def error_envelope(kind, message):\n"
+    '    return {"schema": SCHEMA_VERSION,\n'
+    '            "error": {"kind": kind, "message": message}}\n'
+)
+
+DOCUMENTED_SERVER = (
+    "from pkg.serve.envelope import envelope\n"
+    "\n"
+    "class Server:\n"
+    "    def dispatch(self, route):\n"
+    '        if route == ("POST", "/v1/events"):\n'
+    "            self._send_json(200, envelope({}))\n"
+    "        else:\n"
+    "            self._send_json(400, envelope({}))\n"
+    "\n"
+    "    def _send_json(self, status, body):\n"
+    "        pass\n"
+)
+
+
+def test_rep103_clean_when_code_and_docs_agree(tmp_path):
+    report = run_project(
+        tmp_path,
+        {"serve/envelope.py": ENVELOPE, "serve/server.py": DOCUMENTED_SERVER},
+        docs={"serving.md": MATCHING_DOCS},
+        select=["REP103"],
+    )
+    assert report.clean
+
+
+def test_rep103_flags_undocumented_route(tmp_path):
+    server = DOCUMENTED_SERVER.replace(
+        'if route == ("POST", "/v1/events"):',
+        'if route == ("POST", "/v1/events") or route == ("GET", "/v1/debug"):',
+    )
+    report = run_project(
+        tmp_path,
+        {"serve/envelope.py": ENVELOPE, "serve/server.py": server},
+        docs={"serving.md": MATCHING_DOCS},
+        select=["REP103"],
+    )
+    assert codes(report) == ["REP103"]
+    assert any(
+        "GET /v1/debug" in d.message and "missing from the route table" in d.message
+        for d in report.diagnostics
+    )
+
+
+def test_rep103_flags_documented_but_unimplemented_route(tmp_path):
+    docs = MATCHING_DOCS.replace(
+        "| `/v1/events`  | POST   | ingest  |",
+        "| `/v1/events`  | POST   | ingest  |\n"
+        "| `/v1/ghost`   | GET    | nothing |",
+    )
+    report = run_project(
+        tmp_path,
+        {"serve/envelope.py": ENVELOPE, "serve/server.py": DOCUMENTED_SERVER},
+        docs={"serving.md": docs},
+        select=["REP103"],
+    )
+    assert any(
+        "documents GET /v1/ghost" in d.message for d in report.diagnostics
+    )
+
+
+def test_rep103_flags_undocumented_status_code(tmp_path):
+    server = DOCUMENTED_SERVER.replace(
+        "self._send_json(400, envelope({}))",
+        "self._send_json(418, envelope({}))",
+    )
+    report = run_project(
+        tmp_path,
+        {"serve/envelope.py": ENVELOPE, "serve/server.py": server},
+        docs={"serving.md": MATCHING_DOCS},
+        select=["REP103"],
+    )
+    assert any("status code 418" in d.message for d in report.diagnostics)
+
+
+def test_rep103_flags_undocumented_envelope_key(tmp_path):
+    envelope = ENVELOPE.replace(
+        '    wrapped = {"schema": SCHEMA_VERSION}\n',
+        '    wrapped = {"schema": SCHEMA_VERSION, "trace": None}\n',
+    )
+    report = run_project(
+        tmp_path,
+        {"serve/envelope.py": envelope, "serve/server.py": DOCUMENTED_SERVER},
+        docs={"serving.md": MATCHING_DOCS},
+        select=["REP103"],
+    )
+    assert any(
+        "envelope key 'trace'" in d.message for d in report.diagnostics
+    )
+
+
+def test_rep103_flags_schema_version_skew(tmp_path):
+    envelope = ENVELOPE.replace("SCHEMA_VERSION = 1", "SCHEMA_VERSION = 2")
+    report = run_project(
+        tmp_path,
+        {"serve/envelope.py": envelope, "serve/server.py": DOCUMENTED_SERVER},
+        docs={"serving.md": MATCHING_DOCS},
+        select=["REP103"],
+    )
+    assert any("SCHEMA_VERSION is 2" in d.message for d in report.diagnostics)
+
+
+def test_rep103_flags_envelope_bypass(tmp_path):
+    server = DOCUMENTED_SERVER.replace(
+        "self._send_json(200, envelope({}))",
+        'self._send_json(200, {"raw": True})',
+    )
+    report = run_project(
+        tmp_path,
+        {"serve/envelope.py": ENVELOPE, "serve/server.py": server},
+        docs={"serving.md": MATCHING_DOCS},
+        select=["REP103"],
+    )
+    assert any(
+        "without the versioned envelope" in d.message for d in report.diagnostics
+    )
+
+
+def test_rep103_flags_missing_docs_file(tmp_path):
+    report = run_project(
+        tmp_path,
+        {"serve/envelope.py": ENVELOPE, "serve/server.py": DOCUMENTED_SERVER},
+        select=["REP103"],
+    )
+    assert any(
+        "docs/serving.md was not found" in d.message for d in report.diagnostics
+    )
+
+
+# ----------------------------------------------------------------------
+# Cross-cutting: suppressions and selection apply to REP1xx too
+# ----------------------------------------------------------------------
+
+def test_project_finding_respects_inline_suppression(tmp_path):
+    suppressed = UNLOCKED_APP.replace(
+        "        self.count += len(events)\n",
+        "        self.count += len(events)  # repro-lint: disable=REP102\n",
+    )
+    report = run_project(
+        tmp_path,
+        {"serve/server.py": HANDLER + "\n" + suppressed},
+        docs={"serving.md": MATCHING_DOCS},
+        select=["REP102"],
+    )
+    assert report.clean
+
+
+def test_project_finding_respects_file_wide_suppression(tmp_path):
+    suppressed = "# repro-lint: disable-file=REP102\n" + HANDLER + "\n" + UNLOCKED_APP
+    report = run_project(
+        tmp_path,
+        {"serve/server.py": suppressed},
+        docs={"serving.md": MATCHING_DOCS},
+        select=["REP102"],
+    )
+    assert report.clean
+
+
+def test_rep1xx_codes_unknown_without_project_mode():
+    from repro.lint.engine import LintConfigError, lint_paths
+
+    with pytest.raises(LintConfigError, match="REP101"):
+        lint_paths(["src"], select=["REP101"])

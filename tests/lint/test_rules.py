@@ -215,3 +215,59 @@ def test_rep003_scopes_cover_parallel_and_serve():
     assert "REP003" in codes_of(lint_source(source, filename="serve/server.py"))
     ok = "import time\n\ndef span():\n    return time.perf_counter()\n"
     assert "REP003" not in codes_of(lint_source(ok, filename="serve/server.py"))
+
+
+def test_rep002_scope_covers_marketplace():
+    source = "import numpy as np\n\nrng = np.random.default_rng()\n"
+    assert "REP002" in codes_of(lint_source(source, filename="marketplace/seller.py"))
+
+
+def test_rep003_scope_covers_marketplace():
+    source = "import time\n\ndef stamp():\n    return time.time()\n"
+    assert "REP003" in codes_of(lint_source(source, filename="marketplace/market.py"))
+
+
+def test_suppression_with_no_codes_suppresses_nothing():
+    source = (
+        "import time\n\n"
+        "def stamp():\n"
+        "    return time.time()  # repro-lint: disable=\n"
+    )
+    assert "REP003" in codes_of(lint_source(source, filename="core/sim.py"))
+
+
+def test_suppression_with_unknown_code_suppresses_nothing():
+    source = (
+        "import time\n\n"
+        "def stamp():\n"
+        "    return time.time()  # repro-lint: disable=REP999\n"
+    )
+    assert "REP003" in codes_of(lint_source(source, filename="core/sim.py"))
+
+
+def test_suppression_mixing_unknown_and_known_codes_still_works():
+    source = (
+        "import time\n\n"
+        "def stamp():\n"
+        "    return time.time()  # repro-lint: disable=REP999,REP003\n"
+    )
+    assert "REP003" not in codes_of(lint_source(source, filename="core/sim.py"))
+
+
+def test_suppression_disable_all_silences_the_line():
+    source = (
+        "import time\n\n"
+        "def stamp():\n"
+        "    return time.time()  # repro-lint: disable=all\n"
+    )
+    assert "REP003" not in codes_of(lint_source(source, filename="core/sim.py"))
+
+
+def test_file_wide_disable_all_silences_every_rule():
+    source = (
+        "# repro-lint: disable-file=all\n"
+        "import time\n\n"
+        "def stamp():\n"
+        "    return time.time()\n"
+    )
+    assert codes_of(lint_source(source, filename="core/sim.py")) == set()

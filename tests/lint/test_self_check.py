@@ -25,6 +25,21 @@ def test_repo_is_lint_clean():
     assert report.files_checked > 50  # the whole package was actually walked
 
 
+def test_repo_is_project_lint_clean():
+    """The CI gate for the whole-program analyses: REP101/102/103 over
+    src/repro must report nothing beyond the committed baseline (which
+    is empty — every finding the analyses surfaced was fixed)."""
+    from repro.lint import apply_baseline, lint_project, load_baseline
+
+    report = lint_project([SRC / "repro"])
+    baseline = load_baseline(ROOT / "lint_baseline.json")
+    new, _, stale = apply_baseline(report.diagnostics, baseline)
+    messages = "\n".join(d.render() for d in new)
+    assert not new, f"repro.lint --project found new violations:\n{messages}"
+    assert stale == 0, "lint_baseline.json has stale entries; run --baseline-update"
+    assert report.files_checked > 50
+
+
 def test_lint_cli_exits_zero_on_repo():
     result = subprocess.run(
         [sys.executable, "-m", "repro.lint", str(SRC / "repro")],
@@ -33,6 +48,32 @@ def test_lint_cli_exits_zero_on_repo():
         env={"PYTHONPATH": str(SRC), "PATH": ""},
     )
     assert result.returncode == 0, result.stdout + result.stderr
+
+
+def test_project_lint_cli_exits_zero_on_repo():
+    """``python -m repro.lint --project --format json`` — the exact CI
+    invocation — must exit 0 with zero non-baselined diagnostics."""
+    import json
+
+    result = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro.lint",
+            "--project",
+            "--format",
+            "json",
+            "--baseline",
+            str(ROOT / "lint_baseline.json"),
+            str(SRC / "repro"),
+        ],
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": str(SRC), "PATH": ""},
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    payload = json.loads(result.stdout)
+    assert payload["summary"]["count"] == 0
 
 
 @pytest.mark.skipif(shutil.which("ruff") is None, reason="ruff not installed")
