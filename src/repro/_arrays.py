@@ -1,0 +1,55 @@
+"""Shared coercion of count-valued inputs to ``int64`` arrays.
+
+The simulation engines (:mod:`repro.core.fastsim`,
+:mod:`repro.core.popsim`) and the columnar trace store
+(:mod:`repro.workload.store`) all consume instance counts — demands and
+reservation schedules — as integer arrays. Historically ``run_fast``
+coerced with a bare ``.astype(np.int64)``, which silently *truncates*
+fractional values (``1.9 → 1``) and lets non-finite floats through as
+garbage. :func:`as_count_array` is the single strict replacement: float
+inputs are accepted only when every value is finite and exactly
+integral, anything else raises the caller's error type with a message
+naming the offending argument.
+"""
+
+from __future__ import annotations
+
+from typing import Type
+
+import numpy as np
+
+
+def as_count_array(
+    values: object,
+    name: str,
+    error: "Type[Exception]",
+) -> np.ndarray:
+    """Coerce ``values`` to an ``int64`` array of instance counts.
+
+    Integer (and boolean) arrays pass through with a dtype cast only.
+    Floating-point arrays must be finite and exactly integral —
+    ``1.0`` is accepted, ``1.9``, ``nan`` and ``inf`` raise ``error``.
+    Shape and sign are *not* checked here; callers keep their own
+    (message-stable) dimensionality and non-negativity validation.
+    """
+    array = np.asarray(values)
+    if array.dtype == object or np.issubdtype(array.dtype, np.bool_):
+        # object arrays (mixed types) and explicit booleans: go through a
+        # best-effort float view so mixed garbage fails loudly below.
+        try:
+            array = array.astype(np.float64)
+        except (TypeError, ValueError):
+            raise error(f"{name} must be numeric, got dtype object") from None
+    if np.issubdtype(array.dtype, np.integer):
+        return array.astype(np.int64, copy=False)
+    if not np.issubdtype(array.dtype, np.floating):
+        raise error(f"{name} must be integer-valued, got dtype {array.dtype}")
+    if not np.all(np.isfinite(array)):
+        raise error(f"{name} must be finite (no nan/inf values)")
+    rounded = np.rint(array)
+    if not np.array_equal(rounded, array):
+        raise error(
+            f"{name} must be whole instance counts; fractional values would "
+            "be silently truncated (e.g. 1.9 -> 1)"
+        )
+    return rounded.astype(np.int64)

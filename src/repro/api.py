@@ -11,8 +11,11 @@ from here would have been seamless).
 The surface groups into:
 
 * **Engines** — :func:`run_policy` (reference simulator),
-  :func:`run_fast` (vectorised batch engine), :func:`run_stream`
-  (exact event-by-event engine), :func:`run_offline_optimal` (OPT).
+  :func:`run_fast` (vectorised batch engine), :func:`run_population`
+  (population-tensor engine over ``(users × hours)`` matrices, with
+  :class:`PopulationStore` as its columnar trace store),
+  :func:`run_stream` (exact event-by-event engine),
+  :func:`run_offline_optimal` (OPT).
 * **Experiments** — :func:`run_user` / :func:`run_sweep` over the
   paper's synthetic population, with :class:`ExperimentConfig`,
   :class:`SweepResult`, and :class:`UserOutcome`.
@@ -28,6 +31,7 @@ from repro._version import __version__
 from repro.core.account import CostBreakdown, CostModel, HourlyFeeMode
 from repro.core.fastsim import FastPolicyKind, FastResult, FastSale, run_fast
 from repro.core.offline import run_offline_optimal
+from repro.core.popsim import PopulationResult, run_population
 from repro.core.policies import (
     ALL_SELLING_POLICIES,
     ONLINE_POLICIES,
@@ -51,11 +55,13 @@ from repro.experiments.population import (
     build_experiment_population,
 )
 from repro.experiments.runner import (
+    SWEEP_ENGINES,
     SweepResult,
     UserOutcome,
     run_sweep,
     run_user,
 )
+from repro.workload.store import PopulationStore
 from repro.pricing.catalog import paper_experiment_plan
 from repro.pricing.plan import PricingPlan
 from repro.serve.server import AdvisoryApp, build_app
@@ -93,11 +99,15 @@ __all__ = [
     "FastSale",
     "run_fast",
     "run_offline_optimal",
+    "PopulationResult",
+    "PopulationStore",
+    "run_population",
     "StreamTracker",
     "run_stream",
     # experiments
     "ExperimentConfig",
     "ExperimentUser",
+    "SWEEP_ENGINES",
     "SweepResult",
     "UserOutcome",
     "build_experiment_population",

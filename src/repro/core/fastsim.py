@@ -21,10 +21,12 @@ of the analysis (Eq. (15): the instance serves nothing after the spot).
 from __future__ import annotations
 
 import enum
+import math
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro._arrays import as_count_array
 from repro.core.account import CostBreakdown, CostModel, HourlyFeeMode
 from repro.core.breakeven import break_even_working_hours, validate_phi
 from repro.errors import SimulationError
@@ -34,6 +36,23 @@ from repro.errors import SimulationError
 #: here could alter any :class:`FastResult`, so stale cached outcomes are
 #: invalidated. v2 = the incremental running-sum ``l`` computation.
 ENGINE_VERSION = 2
+
+
+def validate_threshold_scale(threshold_scale: float) -> float:
+    """Reject negative and non-finite β multipliers; returns the value.
+
+    ``nan`` passes a bare ``< 0`` guard and then poisons every
+    ``working < scale·β`` comparison (all False), silently disabling
+    selling — so non-finite values are rejected loudly instead. Shared
+    by :func:`run_fast` and :func:`repro.core.popsim.run_population`.
+    """
+    if not math.isfinite(threshold_scale):
+        raise SimulationError(
+            f"threshold_scale must be finite, got {threshold_scale!r}"
+        )
+    if threshold_scale < 0:
+        raise SimulationError(f"threshold_scale must be >= 0, got {threshold_scale!r}")
+    return threshold_scale
 
 
 class FastPolicyKind(enum.Enum):
@@ -86,8 +105,8 @@ def run_fast(
     0.5 → Algorithm 2's ``A_{T/2}``, 0.25 → ``A_{T/4}``); it is ignored
     for ``KEEP_RESERVED``.
     """
-    d = np.asarray(demands).astype(np.int64)
-    n = np.asarray(reservations).astype(np.int64)
+    d = as_count_array(demands, "demands", SimulationError)
+    n = as_count_array(reservations, "reservations", SimulationError)
     if d.ndim != 1 or n.ndim != 1 or d.size != n.size:
         raise SimulationError(
             "demands and reservations must be 1-D arrays of equal length"
@@ -98,8 +117,7 @@ def run_fast(
     period = model.period
     if kind is not FastPolicyKind.KEEP_RESERVED:
         validate_phi(phi)
-    if threshold_scale < 0:
-        raise SimulationError(f"threshold_scale must be >= 0, got {threshold_scale!r}")
+    validate_threshold_scale(threshold_scale)
 
     decision_age = round(phi * period)
     beta = break_even_working_hours(model.plan, model.selling_discount, phi)

@@ -1,0 +1,380 @@
+"""Population-tensor engine: one policy over every user in one pass.
+
+:func:`repro.core.fastsim.run_fast` renders Algorithm 1/2 faithfully for
+*one* user; sweeping a population through it costs one Python loop per
+user (≈257 users/sec in ``BENCH_sweep.json``), which is fatal for the
+ROADMAP's millions-of-users target. This module runs the same decision
+rule over a whole ``(users × hours)`` demand/reservation tensor with
+numpy doing the user dimension, and is proven **bit-identical** to
+``run_fast`` per user (``tests/core/test_popsim.py`` sweeps ≥40 seeds ×
+3 φ × 3 policy kinds).
+
+Why the rule vectorises across users
+------------------------------------
+
+Users never interact, so the only obstacle is the *within*-user
+sequential structure: each decision batch rewrites history
+(``r_effective[t0:end] -= 1`` per sale), which feeds later windows. Two
+observations collapse it:
+
+1. History rewrites are strictly per-user: a sale of user ``u`` only
+   edits row ``u``. The only ordering that matters is each user's *own*
+   windows in ascending ``t0`` — exactly the order the per-user loop
+   visits them. So the engine runs in *rounds*: round ``j`` handles
+   every user's ``j``-th reservation event at once (different ``t0``
+   per row, gathered with one fancy index), reads the current
+   ``r_effective`` tensor, and applies the row-local rewrites before
+   round ``j+1``. The loop length becomes the maximum events per user,
+   not the number of distinct decision hours.
+2. Within one window the batch loop (the pseudocode's ``i = 1..n_t``)
+   reduces to an order statistic. With ``c_k = r_eff_k − d_k − l_k``
+   over the window, instance ``i`` (with ``s`` sales so far in the
+   batch) is free at hour ``k`` iff ``c_k > i − 1 + s``, so its working
+   time is ``φT − F(i − 1 + s)`` where ``F(m) = #{k : c_k > m}`` is
+   non-increasing in ``m``. Working time is therefore non-decreasing
+   over the batch: once one instance is kept, every later instance is
+   kept too, and the number sold is determined by the ``j0``-th largest
+   value of ``c`` alone (``j0`` = the smallest free-hour count that
+   still sells, a run-level constant). One ``np.partition`` per window
+   replaces the per-instance loop — for every user at once.
+
+Float identity: β, ``scale·β``, the per-sale income and the cost-model
+products are computed with exactly the expressions ``run_fast`` uses,
+and the sale-income accumulator is reproduced by a sequential-sum table
+(``k`` sales = ``k`` repeated ``+=``, not ``k·income``), so costs match
+bitwise, not approximately.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._arrays import as_count_array
+from repro.core.account import CostBreakdown, CostModel, HourlyFeeMode
+from repro.core.breakeven import break_even_working_hours, validate_phi
+from repro.core.fastsim import FastPolicyKind, validate_threshold_scale
+from repro.errors import SimulationError
+
+#: Default number of users processed per tensor block by the streaming
+#: helpers (bounds peak memory at roughly ``4 × block × horizon × 8``
+#: bytes of working set regardless of population size).
+DEFAULT_BLOCK_USERS = 4096
+
+
+@dataclass(frozen=True)
+class PopulationResult:
+    """Per-user outputs of one population-tensor run (aligned arrays).
+
+    The four cost components reproduce :class:`CostBreakdown`'s fields;
+    :meth:`total_costs` applies the same expression as
+    ``CostBreakdown.total`` so totals are bit-identical to per-user
+    ``run_fast`` results.
+    """
+
+    kind: FastPolicyKind
+    phi: float
+    on_demand: np.ndarray  # (U,) float64 — o_t · p totals
+    upfront: np.ndarray  # (U,) float64 — n_t · R totals
+    reserved_hourly: np.ndarray  # (U,) float64 — billed hours · α · p
+    sale_income: np.ndarray  # (U,) float64
+    instances_sold: np.ndarray  # (U,) int64
+
+    @property
+    def n_users(self) -> int:
+        return int(self.instances_sold.size)
+
+    def total_costs(self) -> np.ndarray:
+        """Per-user net cost, same evaluation order as Eq. (1)'s total."""
+        return self.on_demand + self.upfront + self.reserved_hourly - self.sale_income
+
+    def breakdown(self, user: int) -> CostBreakdown:
+        """One user's :class:`CostBreakdown` (bitwise ``run_fast`` match)."""
+        return CostBreakdown(
+            on_demand=float(self.on_demand[user]),
+            upfront=float(self.upfront[user]),
+            reserved_hourly=float(self.reserved_hourly[user]),
+            sale_income=float(self.sale_income[user]),
+        )
+
+    @classmethod
+    def concatenate(
+        cls, results: "list[PopulationResult]"
+    ) -> "PopulationResult":
+        """Stitch block results (same policy) back into one population."""
+        if not results:
+            raise SimulationError("cannot concatenate zero population results")
+        first = results[0]
+        for other in results[1:]:
+            if other.kind is not first.kind or other.phi != first.phi:
+                raise SimulationError(
+                    "population blocks ran different policies: "
+                    f"{(first.kind, first.phi)} vs {(other.kind, other.phi)}"
+                )
+        return cls(
+            kind=first.kind,
+            phi=first.phi,
+            on_demand=np.concatenate([r.on_demand for r in results]),
+            upfront=np.concatenate([r.upfront for r in results]),
+            reserved_hourly=np.concatenate([r.reserved_hourly for r in results]),
+            sale_income=np.concatenate([r.sale_income for r in results]),
+            instances_sold=np.concatenate([r.instances_sold for r in results]),
+        )
+
+
+class PopulationPrecompute:
+    """Validated tensors plus the policy-independent intermediates.
+
+    ``run_population`` derives the active-instance timeline and the
+    reservation prefix sum from ``(demands, reservations, period)``
+    alone — nothing about φ, the policy kind, or the threshold scale
+    enters them. A sweep runs ~7 policies over the *same* block, so
+    :func:`prepare_population` lets callers validate once and share
+    those tensors across every policy run of the block. All held arrays
+    are treated as read-only by the engine (sale rewrites always go to
+    fresh per-run arrays), which is what keeps sharing bit-safe.
+    """
+
+    __slots__ = ("demands", "reservations", "period", "active", "_prefix")
+
+    def __init__(
+        self, demands: np.ndarray, reservations: np.ndarray, period: int
+    ) -> None:
+        self.demands = demands
+        self.reservations = reservations
+        self.period = period
+        self.active = _active_timeline(reservations, period)
+        self._prefix: "np.ndarray | None" = None
+
+    @property
+    def reservation_prefix(self) -> np.ndarray:
+        """``[0, cumsum(n)]`` per row — built lazily: only the windowed
+        online path reads it (KEEP / All-Selling runs never pay for it)."""
+        if self._prefix is None:
+            n = self.reservations
+            self._prefix = np.concatenate(
+                [np.zeros((n.shape[0], 1), dtype=np.int64), np.cumsum(n, axis=1)],
+                axis=1,
+            )
+        return self._prefix
+
+
+def prepare_population(
+    demands: np.ndarray, reservations: np.ndarray, period: int
+) -> PopulationPrecompute:
+    """Validate one ``(users × hours)`` block and precompute the
+    policy-independent tensors, for sharing across ``run_population``
+    calls (pass the result as ``precomputed=``)."""
+    d = as_count_array(demands, "demands", SimulationError)
+    n = as_count_array(reservations, "reservations", SimulationError)
+    if d.ndim != 2 or n.ndim != 2 or d.shape != n.shape:
+        raise SimulationError(
+            "demands and reservations must be 2-D (users x hours) arrays "
+            f"of equal shape, got {d.shape} and {n.shape}"
+        )
+    if np.any(d < 0) or np.any(n < 0):
+        raise SimulationError("demands and reservations must be non-negative")
+    if d.shape[1] == 0:
+        raise SimulationError("the horizon must cover at least one hour")
+    return PopulationPrecompute(d, n, period)
+
+
+def _active_timeline(reservations: np.ndarray, period: int) -> np.ndarray:
+    """Active-reservation tensor: each ``n[u, h]`` covers ``[h, h+T)``.
+
+    Built with a difference array + row cumsum instead of a per-user
+    loop over reservation hours.
+    """
+    horizon = reservations.shape[1]
+    delta = reservations.copy()
+    if period < horizon:
+        # Reservations expiring inside the horizon stop contributing at
+        # h + T; later ones run off the end and need no terminator.
+        delta[:, period:] -= reservations[:, : horizon - period]
+    return np.cumsum(delta, axis=1)
+
+
+def _sequential_income_table(per_sale_income: float, max_sales: int) -> np.ndarray:
+    """``table[k]`` = ``k`` repeated float ``+=`` of ``per_sale_income``.
+
+    ``run_fast`` accumulates sale income with one addition per sale;
+    ``k · income`` rounds differently in the last ulp, so the exact
+    running sums are tabulated instead (``max_sales`` is small: it is
+    bounded by the largest per-user reservation total).
+    """
+    table = np.empty(max_sales + 1, dtype=np.float64)
+    acc = 0.0
+    for count in range(max_sales + 1):
+        table[count] = acc
+        acc += per_sale_income
+    return table
+
+
+def run_population(
+    demands: np.ndarray,
+    reservations: np.ndarray,
+    model: CostModel,
+    phi: float = 0.75,
+    kind: FastPolicyKind = FastPolicyKind.ONLINE,
+    threshold_scale: float = 1.0,
+    precomputed: "PopulationPrecompute | None" = None,
+) -> PopulationResult:
+    """Run one selling policy over a whole ``(users × hours)`` tensor.
+
+    ``demands`` and ``reservations`` are 2-D integer arrays of equal
+    shape — row ``u`` is exactly the ``(d, n)`` pair ``run_fast`` would
+    receive for user ``u``, and the returned per-user costs and sale
+    counts are bit-identical to per-user ``run_fast`` calls. Inputs are
+    validated with the same strictness (non-negative, integral, finite;
+    ``threshold_scale`` finite and ≥ 0).
+
+    When sweeping several policies over the same block, build a
+    :func:`prepare_population` once and pass it as ``precomputed`` —
+    the validation and the policy-independent tensors are then shared
+    instead of being rebuilt per policy (``demands``/``reservations``
+    positional arguments are ignored in that case).
+    """
+    period = model.period
+    if precomputed is None:
+        precomputed = prepare_population(demands, reservations, period)
+    elif precomputed.period != period:
+        raise SimulationError(
+            "precomputed block was prepared for a "
+            f"{precomputed.period}-hour period but the cost model uses "
+            f"{period} hours"
+        )
+    d = precomputed.demands
+    n = precomputed.reservations
+    users, horizon = d.shape
+    if kind is not FastPolicyKind.KEEP_RESERVED:
+        validate_phi(phi)
+    validate_threshold_scale(threshold_scale)
+
+    decision_age = round(phi * period)
+    beta = break_even_working_hours(model.plan, model.selling_discount, phi)
+
+    r_physical = precomputed.active
+    total_sold = np.zeros(users, dtype=np.int64)
+    evaluate = (
+        kind is not FastPolicyKind.KEEP_RESERVED
+        and 0 < decision_age < period
+    )
+    per_sale_income = 0.0
+    # Sales' effect on the active-instance timeline, as a difference
+    # array (one extra column swallows end == horizon): r_physical is
+    # never edited in the loop, the cumsum below applies every sale at
+    # once at the end of the run.
+    sale_delta: "np.ndarray | None" = None
+    if evaluate:
+        remaining_fraction = 1.0 - decision_age / period
+        per_sale_income = model.sale_income(remaining_fraction)
+        if kind is FastPolicyKind.ONLINE:
+            scaled_beta = threshold_scale * beta
+            # Largest integer working time that still sells under the
+            # strict ``working < scale·β`` test (exact: ceil on floats).
+            max_selling_working = math.ceil(scaled_beta) - 1
+            # Smallest free-hour count F that sells (working = φT − F).
+            min_selling_free = decision_age - max_selling_working
+        else:  # ALL_SELLING sells regardless of the free-hour count.
+            min_selling_free = 0
+
+        # Batches whose decision hour lands inside the horizon
+        # (t0 < horizon − φT), in row-major = per-user ascending order.
+        event_rows, event_t0 = np.nonzero(n[:, : max(horizon - decision_age, 0)])
+        if event_rows.size == 0 or min_selling_free > decision_age:
+            # No batches, or even a fully idle window (F = φT) keeps.
+            pass
+        elif min_selling_free <= 0:
+            # Every instance of every batch sells (All-Selling, or a
+            # scale·β so large the working-time test always passes) —
+            # no window needs reading, the whole run is closed-form.
+            counts = n[event_rows, event_t0]
+            sale_delta = np.zeros((users, horizon + 1), dtype=np.int64)
+            np.subtract.at(sale_delta, (event_rows, event_t0 + decision_age), counts)
+            np.add.at(
+                sale_delta,
+                (event_rows, np.minimum(event_t0 + period, horizon)),
+                counts,
+            )
+            np.add.at(total_sold, event_rows, counts)
+        else:
+            # Round j handles every user's j-th batch at once; a user's
+            # own rounds run in ascending t0 (row-major nonzero order),
+            # which is the only ordering the history rewrites need.
+            sale_delta = np.zeros((users, horizon + 1), dtype=np.int64)
+            # The same collapse as run_fast: the l running sum always
+            # reads the *original* schedule, so one prefix sum serves
+            # every window (and every policy of the block).
+            n_prefix = precomputed.reservation_prefix
+            # Window expression tensor: expression[u, k] =
+            # r_eff[u, k] − d[u, k] − n_prefix[u, k+1]. The free-slack
+            # value of window t0 is expression[u, k] + n_prefix[u, t0+1]
+            # — a per-row constant, which commutes with taking an order
+            # statistic, so it is added to the *pivot* after the
+            # partition and only one tensor gather is needed per round.
+            # Sale rewrites of r_eff edit this tensor identically.
+            expression = r_physical - d - n_prefix[:, 1:]
+            events_per_user = np.bincount(event_rows, minlength=users)
+            event_start = np.concatenate(([0], np.cumsum(events_per_user)))
+            # j0-th largest slack value per user: the pivot deciding how
+            # many batch instances clear the break-even test.
+            pivot_column = decision_age - min_selling_free
+            window_offsets = np.arange(decision_age)
+            for round_index in range(int(events_per_user.max(initial=0))):
+                rows = np.flatnonzero(events_per_user > round_index)
+                t0 = event_t0[event_start[rows] + round_index]
+                cols = t0[:, None] + window_offsets
+                window = expression[rows[:, None], cols]
+                pivot = (
+                    np.partition(window, pivot_column, axis=1)[:, pivot_column]
+                    + n_prefix[rows, t0 + 1]
+                )
+                batch_sizes = n[rows, t0]
+                # Selling i instances needs c_(j0) > 2(i−1): each sale
+                # both advances the batch index and rewrites history.
+                sold = np.where(
+                    pivot >= 1,
+                    np.minimum(batch_sizes, (pivot - 1) // 2 + 1),
+                    0,
+                )
+                sellers = np.flatnonzero(sold > 0)
+                if sellers.size == 0:
+                    continue
+                sell_rows = rows[sellers]
+                sell_t0 = t0[sellers]
+                sell_counts = sold[sellers]
+                sell_end = np.minimum(sell_t0 + period, horizon)
+                # One row per seller within a round: plain fancy
+                # assignment is safe (no duplicate indices).
+                sale_delta[sell_rows, sell_t0 + decision_age] -= sell_counts
+                sale_delta[sell_rows, sell_end] += sell_counts
+                total_sold[sell_rows] += sell_counts
+                for row, start, stop, count in zip(
+                    sell_rows.tolist(),
+                    sell_t0.tolist(),
+                    sell_end.tolist(),
+                    sell_counts.tolist(),
+                ):
+                    expression[row, start:stop] -= count
+
+    if sale_delta is not None and total_sold.any():
+        r_physical = r_physical + np.cumsum(sale_delta, axis=1)[:, :horizon]
+    on_demand_hours = np.maximum(d - r_physical, 0).sum(axis=1)
+    if model.fee_mode is HourlyFeeMode.ACTIVE:
+        billed_hours = r_physical.sum(axis=1)
+    else:
+        billed_hours = np.minimum(d, r_physical).sum(axis=1)
+    income_table = _sequential_income_table(
+        per_sale_income, int(total_sold.max(initial=0))
+    )
+    return PopulationResult(
+        kind=kind,
+        phi=phi,
+        on_demand=on_demand_hours.astype(np.float64) * model.p,
+        upfront=n.sum(axis=1).astype(np.float64) * model.big_r,
+        reserved_hourly=billed_hours.astype(np.float64) * model.alpha * model.p,
+        sale_income=income_table[total_sold],
+        instances_sold=total_sold,
+    )

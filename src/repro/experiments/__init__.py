@@ -30,6 +30,7 @@ from repro.core.policies import (
 )
 from repro.experiments.population import ExperimentUser, build_experiment_population
 from repro.experiments.runner import (
+    SWEEP_ENGINES,
     SweepResult,
     UserOutcome,
     run_sweep,
@@ -42,6 +43,7 @@ __all__ = [
     "PAPER_SELLING_DISCOUNT",
     "ExperimentUser",
     "build_experiment_population",
+    "SWEEP_ENGINES",
     "run_sweep",
     "run_user",
     "SweepResult",

@@ -30,7 +30,7 @@ from repro.experiments import (
     theory,
 )
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.runner import SweepResult, run_sweep
+from repro.experiments.runner import SWEEP_ENGINES, SweepResult, run_sweep
 from repro.parallel.cache import DEFAULT_CACHE_ROOT
 
 _SCALES = {
@@ -88,6 +88,16 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--engine",
+        choices=SWEEP_ENGINES,
+        default="user",
+        help=(
+            "sweep execution engine: 'user' simulates one user at a time, "
+            "'population' runs user-blocks as (users x hours) tensors; "
+            "results are bit-identical (default: %(default)s)"
+        ),
+    )
+    parser.add_argument(
         "--cache",
         action="store_true",
         help="reuse per-user sweep results cached on disk (see --cache-dir)",
@@ -140,7 +150,7 @@ def main(argv: "list[str] | None" = None) -> int:
         print(
             f"running population sweep ({config.total_users} users, "
             f"T={config.period_hours}h, horizon={config.horizon}h, "
-            f"workers={args.workers or 'auto'}"
+            f"workers={args.workers or 'auto'}, engine={args.engine}"
             f"{', cached' if args.cache else ''})...",
             file=sys.stderr,
         )
@@ -148,6 +158,7 @@ def main(argv: "list[str] | None" = None) -> int:
             config,
             workers=args.workers,
             cache=args.cache_dir if args.cache else None,
+            engine=args.engine,
         )
         print(f"sweep done in {time.perf_counter() - started:.1f}s", file=sys.stderr)
         if sweep.timing is not None:

@@ -15,6 +15,7 @@ engine version)``. See ``docs/parallel_execution.md``.
 
 from __future__ import annotations
 
+import math
 import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -27,15 +28,25 @@ from repro.analysis.normalize import normalize_costs
 from repro.core.account import CostModel
 from repro.core.fastsim import ENGINE_VERSION, FastPolicyKind, run_fast
 from repro.core.offline import run_offline_optimal
+from repro.core.popsim import (
+    DEFAULT_BLOCK_USERS,
+    prepare_population,
+    run_population,
+)
 from repro.core import policies as _policies
 from repro.errors import ExperimentError
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.population import ExperimentUser, build_experiment_population
 from repro.parallel.cache import ResultCache, as_cache
 from repro.parallel.hashing import stable_hash
-from repro.parallel.pool import parallel_map, resolve_workers
+from repro.parallel.pool import CHUNKS_PER_WORKER, parallel_map, resolve_workers
 from repro.parallel.timing import StageTimer, SweepTiming
 from repro.workload.groups import FluctuationGroup
+
+#: The sweep execution engines: per-user ``run_fast`` (the oracle) and
+#: the population-tensor path of :mod:`repro.core.popsim`. Outcomes are
+#: bit-identical either way; only the throughput differs.
+SWEEP_ENGINES = ("user", "population")
 
 #: Names historically defined here; they now live in
 #: :mod:`repro.core.policies` and importing them from this module warns.
@@ -278,6 +289,157 @@ def _run_sweep_task(task: _SweepTask) -> UserOutcome:
     )
 
 
+@dataclass(frozen=True)
+class _PopulationBlockTask:
+    """One picklable block of population-engine work (B users × policies)."""
+
+    demands: np.ndarray  # (B, H) int64
+    reservations: np.ndarray  # (B, H) int64
+    model: CostModel
+    include_opt: bool
+    include_all_selling: bool
+
+
+def _run_population_block(
+    task: _PopulationBlockTask,
+) -> "list[tuple[dict[str, float], dict[str, int]]]":
+    """Module-level worker: every policy over one ``(B × H)`` tensor block.
+
+    Returns per-user ``(costs, instances_sold)`` rows in block order, with
+    the policy dicts in the same insertion order as :func:`_simulate_user`
+    so the assembled outcomes compare equal to the per-user path.
+    """
+    d, n, model = task.demands, task.reservations, task.model
+    block_users = d.shape[0]
+    columns: "list[tuple[str, np.ndarray, np.ndarray]]" = []
+
+    # Validation and the policy-independent tensors (active timeline,
+    # reservation prefix) are shared by every policy run of the block.
+    prepared = prepare_population(d, n, model.period)
+    keep = run_population(d, n, model, kind=FastPolicyKind.KEEP_RESERVED,
+                          precomputed=prepared)
+    columns.append(
+        (_policies.POLICY_KEEP, keep.total_costs(), np.zeros(block_users, dtype=np.int64))
+    )
+    for name, phi in _policies.ONLINE_POLICIES.items():
+        result = run_population(d, n, model, phi=phi, precomputed=prepared)
+        columns.append((name, result.total_costs(), result.instances_sold))
+    if task.include_all_selling:
+        for name, phi in _policies.ALL_SELLING_POLICIES.items():
+            result = run_population(
+                d, n, model, phi=phi, kind=FastPolicyKind.ALL_SELLING,
+                precomputed=prepared,
+            )
+            columns.append((name, result.total_costs(), result.instances_sold))
+    opt_results = None
+    if task.include_opt:
+        # OPT has no tensor formulation (its sale schedule is a per-user
+        # search); fall back to the per-user oracle inside the block.
+        opt_results = [
+            run_offline_optimal(d[user], n[user], model) for user in range(block_users)
+        ]
+
+    rows: "list[tuple[dict[str, float], dict[str, int]]]" = []
+    for user in range(block_users):
+        costs = {name: float(totals[user]) for name, totals, _ in columns}
+        sold = {name: int(counts[user]) for name, _, counts in columns}
+        if opt_results is not None:
+            costs[_policies.POLICY_OPT] = opt_results[user].total_cost
+            sold[_policies.POLICY_OPT] = opt_results[user].instances_sold
+        rows.append((costs, sold))
+    return rows
+
+
+def _population_block_size(n_pending: int, workers: int) -> int:
+    """User-block size for the population engine's fan-out.
+
+    Sized so each worker sees ~:data:`CHUNKS_PER_WORKER` blocks (load
+    balance) while never exceeding :data:`DEFAULT_BLOCK_USERS` (bounded
+    per-block tensor memory).
+    """
+    resolved = resolve_workers(workers)
+    if resolved <= 1:
+        return min(DEFAULT_BLOCK_USERS, max(1, n_pending))
+    target = math.ceil(n_pending / (resolved * CHUNKS_PER_WORKER))
+    return max(1, min(DEFAULT_BLOCK_USERS, target))
+
+
+def _run_population_sweep(
+    population: "list[ExperimentUser]",
+    pending: "list[int]",
+    model: CostModel,
+    include_opt: bool,
+    include_all_selling: bool,
+    workers: int,
+    on_progress: "Callable[[int], None] | None",
+) -> "list[UserOutcome]":
+    """Simulate the pending users through the population-tensor engine.
+
+    Users are packed into contiguous user-blocks, each block travels to a
+    worker as one ``(B × H)`` tensor task, and the per-user outcomes come
+    back bit-identical to :func:`_simulate_user` (the popsim guarantee).
+    """
+    horizons = {len(population[index].schedule.demands) for index in pending}
+    if len(horizons) > 1:
+        raise ExperimentError(
+            "engine='population' needs one common horizon across users, got "
+            f"{sorted(horizons)}; use engine='user' for mixed-horizon "
+            "populations"
+        )
+    block_size = _population_block_size(len(pending), workers)
+    blocks = [
+        pending[start : start + block_size]
+        for start in range(0, len(pending), block_size)
+    ]
+    tasks = [
+        _PopulationBlockTask(
+            demands=np.stack(
+                [population[index].schedule.demands.values for index in block]
+            ),
+            reservations=np.stack(
+                [population[index].schedule.reservations for index in block]
+            ),
+            model=model,
+            include_opt=include_opt,
+            include_all_selling=include_all_selling,
+        )
+        for block in blocks
+    ]
+    if on_progress is None:
+        block_progress = None
+    else:
+        reporter = on_progress
+        npending = len(pending)
+
+        def block_progress(done_blocks: int) -> None:
+            # Blocks are equal-sized except the last; clamp to pending.
+            reporter(min(npending, done_blocks * block_size))
+
+    block_rows = parallel_map(
+        _run_population_block,
+        tasks,
+        workers=workers,
+        chunk_size=1,
+        progress=block_progress,
+    )
+    rows = [row for block in block_rows for row in block]
+    computed: "list[UserOutcome]" = []
+    for (costs, sold), index in zip(rows, pending):
+        user = population[index]
+        computed.append(
+            UserOutcome(
+                user_id=user.user_id,
+                group=user.group,
+                cv=user.cv,
+                imitator=user.imitator_name,
+                instances_reserved=user.schedule.total_reserved,
+                costs=costs,
+                instances_sold=sold,
+            )
+        )
+    return computed
+
+
 def user_cache_key(
     config: ExperimentConfig,
     user: ExperimentUser,
@@ -352,17 +514,24 @@ def run_sweep(
     progress: "Callable[[int, int], None] | None | _Unset" = _UNSET,
     workers: "int | _Unset" = _UNSET,
     cache: "ResultCache | str | Path | None | _Unset" = _UNSET,
+    engine: "str | _Unset" = _UNSET,
 ) -> SweepResult:
     """Run the full population sweep (building the population if needed).
 
     Everything after ``config`` is keyword-only (a positional tail still
     works for one release behind a :class:`DeprecationWarning`).
-    ``workers`` fans users out over a process pool (``1`` = the serial
+    ``workers`` fans work out over a process pool (``1`` = the serial
     in-process path, ``0``/``None`` = one worker per core); results are
     identical regardless of the worker count. ``cache`` — a
     :class:`~repro.parallel.cache.ResultCache` or a directory path —
     skips users whose outcome is already stored for this exact
-    configuration. Stage timings land on ``SweepResult.timing``.
+    configuration. ``engine`` selects the execution path: ``"user"``
+    (default) simulates one user at a time through ``run_fast``;
+    ``"population"`` runs user-blocks through the tensor engine of
+    :mod:`repro.core.popsim` — outcomes are bit-identical either way
+    (cache entries are shared across engines for the same reason), but
+    the population path needs one common horizon. Stage timings land on
+    ``SweepResult.timing``.
     """
     given: "dict[str, object]" = {
         "users": users,
@@ -371,6 +540,7 @@ def run_sweep(
         "progress": progress,
         "workers": workers,
         "cache": cache,
+        "engine": engine,
     }
     _absorb_positional_tail(
         "run_sweep",
@@ -382,6 +552,7 @@ def run_sweep(
             "progress",
             "workers",
             "cache",
+            "engine",
         ),
         given,
     )
@@ -397,6 +568,11 @@ def run_sweep(
     progress = given["progress"] if given["progress"] is not _UNSET else None  # type: ignore[assignment]
     workers = int(given["workers"]) if given["workers"] is not _UNSET else 1  # type: ignore[call-overload]
     cache = given["cache"] if given["cache"] is not _UNSET else None  # type: ignore[assignment]
+    engine = str(given["engine"]) if given["engine"] is not _UNSET else "user"
+    if engine not in SWEEP_ENGINES:
+        raise ExperimentError(
+            f"unknown sweep engine {engine!r}; choose one of {SWEEP_ENGINES}"
+        )
     timer = StageTimer()
     store = as_cache(cache)
     with timer.stage("population"):
@@ -432,10 +608,6 @@ def run_sweep(
         progress(done_offset, total)
 
     with timer.stage("simulate"):
-        tasks = [
-            _SweepTask(population[index], model, include_opt, include_all_selling)
-            for index in pending
-        ]
         if progress is None:
             on_progress = None
         else:
@@ -444,9 +616,24 @@ def run_sweep(
             def on_progress(done: int) -> None:
                 reporter(done_offset + done, total)
 
-        computed = parallel_map(
-            _run_sweep_task, tasks, workers=workers, progress=on_progress
-        )
+        if engine == "population":
+            computed = _run_population_sweep(
+                population,
+                pending,
+                model,
+                include_opt,
+                include_all_selling,
+                workers,
+                on_progress,
+            )
+        else:
+            tasks = [
+                _SweepTask(population[index], model, include_opt, include_all_selling)
+                for index in pending
+            ]
+            computed = parallel_map(
+                _run_sweep_task, tasks, workers=workers, progress=on_progress
+            )
 
     if store is not None and pending:
         with timer.stage("cache-store"):

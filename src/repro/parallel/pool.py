@@ -36,12 +36,19 @@ class ParallelExecutionError(ReproError):
 
 
 def resolve_workers(workers: "int | None") -> int:
-    """Normalise a ``workers`` argument: ``None``/``0`` means "use every
-    core", negative values are rejected."""
+    """Normalise a ``workers`` argument to a concrete pool size.
+
+    ``None`` and ``0`` both mean "one worker per CPU core"; any positive
+    count is used as-is; negative values are rejected (they are neither a
+    valid pool size nor the auto-detect sentinel).
+    """
     if workers is None or workers == 0:
         return max(1, os.cpu_count() or 1)
     if workers < 0:
-        raise ParallelExecutionError(f"workers must be >= 1, got {workers!r}")
+        raise ParallelExecutionError(
+            "workers must be a positive count, or 0/None for one worker "
+            f"per core; got {workers!r}"
+        )
     return workers
 
 
@@ -72,7 +79,10 @@ def parallel_map(
     must be a module-level callable). ``progress`` receives the running
     count of completed items: once per item in the serial path, once per
     finished chunk in the parallel path. Results always come back in
-    input order; a worker exception propagates to the caller unchanged.
+    input order; a worker exception propagates to the caller unchanged,
+    and every not-yet-started chunk is cancelled first so a poisoned
+    item aborts the whole map promptly instead of letting the remaining
+    work run to completion behind the raised error.
     """
     workers = resolve_workers(workers)
     items = list(items)
@@ -95,14 +105,22 @@ def parallel_map(
             pool.submit(_apply_chunk, fn, chunk): index
             for index, chunk in enumerate(chunks)
         }
-        while pending:
-            done, _ = wait(pending, return_when=FIRST_COMPLETED)
-            for future in done:
-                index = pending.pop(future)
-                chunk_results[index] = future.result()  # re-raises worker errors
-                completed_items += len(chunks[index])
-                if progress is not None:
-                    progress(completed_items)
+        try:
+            while pending:
+                done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    index = pending.pop(future)
+                    chunk_results[index] = future.result()  # re-raises worker errors
+                    completed_items += len(chunks[index])
+                    if progress is not None:
+                        progress(completed_items)
+        except BaseException:
+            # First failure: drop every not-yet-started chunk so the pool
+            # shutdown below only waits for chunks already in flight,
+            # instead of running the whole remaining map to completion.
+            for future in pending:
+                future.cancel()
+            raise
     ordered: "List[ResultT]" = []
     for index, result in enumerate(chunk_results):
         if result is None:

@@ -39,6 +39,7 @@ from repro.workload.scenarios import (
     WebApplication,
     scenario,
 )
+from repro.workload.store import STORE_FORMAT, PopulationStore
 from repro.workload.stats import (
     FluctuationStats,
     autocorrelation,
@@ -87,6 +88,8 @@ __all__ = [
     "save_demand_csv",
     "load_usage_log",
     "load_resource_csv",
+    "PopulationStore",
+    "STORE_FORMAT",
     "SCENARIOS",
     "scenario",
     "WebApplication",

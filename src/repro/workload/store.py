@@ -1,0 +1,262 @@
+"""Columnar, memory-mappable population trace store.
+
+The population engine (:mod:`repro.core.popsim`) consumes ``(users ×
+hours)`` tensors; this module is the storage shape that feeds it at
+scale. A :class:`PopulationStore` keeps one contiguous ``int64`` demand
+matrix plus the reservation schedules in compressed sparse-row form
+(per-user offsets into flat ``hours``/``counts`` columns — reservations
+are sparse: most users reserve at a handful of hours), and can be saved
+as plain ``.npy`` files that reload *memory-mapped*. A 100k–1M-user
+population then streams through the engine in bounded memory: each
+user-block touches only its slice of the mapped demand matrix, and the
+dense reservation block is materialised per block on the fly
+(``benchmarks/bench_population.py`` records the peak-RSS evidence).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro._arrays import as_count_array
+from repro.errors import WorkloadError
+
+#: On-disk layout version (bump on any file/meta shape change).
+STORE_FORMAT = 1
+
+_META_FILE = "meta.json"
+_DEMANDS_FILE = "demands.npy"
+_RES_INDPTR_FILE = "res_indptr.npy"
+_RES_HOURS_FILE = "res_hours.npy"
+_RES_COUNTS_FILE = "res_counts.npy"
+
+
+@dataclass
+class PopulationStore:
+    """One population's traces in columnar (users × hours) form.
+
+    ``demands`` is the dense demand matrix (row = user); the
+    reservation schedules are CSR-encoded: user ``u``'s reservations
+    live at positions ``res_indptr[u]:res_indptr[u+1]`` of the parallel
+    ``res_hours``/``res_counts`` columns. The optional metadata columns
+    carry sweep provenance (ids, fluctuation groups, σ/μ, imitator
+    names) when the store was built from experiment users.
+    """
+
+    demands: np.ndarray
+    res_indptr: np.ndarray
+    res_hours: np.ndarray
+    res_counts: np.ndarray
+    user_ids: "list[str] | None" = None
+    groups: "list[str] | None" = None
+    cvs: "list[float] | None" = None
+    imitators: "list[str] | None" = None
+
+    def __post_init__(self) -> None:
+        if self.demands.ndim != 2:
+            raise WorkloadError(
+                f"demands must be a (users x hours) matrix, got shape "
+                f"{self.demands.shape}"
+            )
+        users = self.demands.shape[0]
+        if self.res_indptr.shape != (users + 1,):
+            raise WorkloadError(
+                f"res_indptr must have {users + 1} entries, got "
+                f"{self.res_indptr.shape}"
+            )
+        if self.res_hours.shape != self.res_counts.shape:
+            raise WorkloadError("res_hours and res_counts must be parallel columns")
+        if users and int(self.res_indptr[-1]) != self.res_hours.size:
+            raise WorkloadError(
+                "res_indptr does not close over the reservation columns"
+            )
+        for name in ("user_ids", "groups", "cvs", "imitators"):
+            column = getattr(self, name)
+            if column is not None and len(column) != users:
+                raise WorkloadError(
+                    f"{name} has {len(column)} entries for {users} users"
+                )
+
+    # ------------------------------------------------------------------
+    # Shape
+    # ------------------------------------------------------------------
+
+    @property
+    def n_users(self) -> int:
+        return int(self.demands.shape[0])
+
+    @property
+    def horizon(self) -> int:
+        return int(self.demands.shape[1])
+
+    def reserved_totals(self) -> np.ndarray:
+        """Per-user total reservations (sum of each user's counts)."""
+        totals = np.zeros(self.n_users, dtype=np.int64)
+        if self.res_counts.size:
+            cumulative = np.concatenate(([0], np.cumsum(self.res_counts)))
+            totals = cumulative[self.res_indptr[1:]] - cumulative[self.res_indptr[:-1]]
+        return totals
+
+    # ------------------------------------------------------------------
+    # Block access (the popsim feeding interface)
+    # ------------------------------------------------------------------
+
+    def iter_blocks(self, block_users: int) -> "Iterator[tuple[int, int]]":
+        """Yield contiguous ``(start, stop)`` user ranges of ≤ ``block_users``."""
+        if block_users < 1:
+            raise WorkloadError(f"block_users must be >= 1, got {block_users!r}")
+        for start in range(0, self.n_users, block_users):
+            yield start, min(start + block_users, self.n_users)
+
+    def demands_block(self, start: int, stop: int) -> np.ndarray:
+        """The demand rows of one user block (a view; zero-copy on mmap)."""
+        self._check_range(start, stop)
+        return np.asarray(self.demands[start:stop])
+
+    def reservations_block(self, start: int, stop: int) -> np.ndarray:
+        """Densified reservation rows of one user block."""
+        self._check_range(start, stop)
+        dense = np.zeros((stop - start, self.horizon), dtype=np.int64)
+        lo, hi = int(self.res_indptr[start]), int(self.res_indptr[stop])
+        if hi > lo:
+            lengths = np.diff(self.res_indptr[start : stop + 1])
+            rows = np.repeat(np.arange(stop - start), lengths)
+            dense[rows, self.res_hours[lo:hi]] = self.res_counts[lo:hi]
+        return dense
+
+    def _check_range(self, start: int, stop: int) -> None:
+        if not 0 <= start < stop <= self.n_users:
+            raise WorkloadError(
+                f"user range [{start}, {stop}) is outside the population "
+                f"of {self.n_users}"
+            )
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_dense(
+        cls,
+        demands: np.ndarray,
+        reservations: np.ndarray,
+        user_ids: "Sequence[str] | None" = None,
+        groups: "Sequence[str] | None" = None,
+        cvs: "Sequence[float] | None" = None,
+        imitators: "Sequence[str] | None" = None,
+    ) -> "PopulationStore":
+        """Build from dense ``(users × hours)`` demand/reservation arrays."""
+        d = as_count_array(demands, "demands", WorkloadError)
+        n = as_count_array(reservations, "reservations", WorkloadError)
+        if d.ndim != 2 or n.shape != d.shape:
+            raise WorkloadError(
+                "demands and reservations must be 2-D arrays of equal shape, "
+                f"got {d.shape} and {n.shape}"
+            )
+        if np.any(d < 0) or np.any(n < 0):
+            raise WorkloadError("demands and reservations must be non-negative")
+        rows, hours = np.nonzero(n)
+        return cls(
+            demands=np.ascontiguousarray(d),
+            res_indptr=np.concatenate(
+                ([0], np.cumsum(np.bincount(rows, minlength=d.shape[0])))
+            ).astype(np.int64),
+            res_hours=hours.astype(np.int64),
+            res_counts=n[rows, hours].astype(np.int64),
+            user_ids=list(user_ids) if user_ids is not None else None,
+            groups=list(groups) if groups is not None else None,
+            cvs=[float(v) for v in cvs] if cvs is not None else None,
+            imitators=list(imitators) if imitators is not None else None,
+        )
+
+    @classmethod
+    def from_users(cls, users: "Sequence[object]") -> "PopulationStore":
+        """Build from experiment users (duck-typed
+        :class:`repro.experiments.population.ExperimentUser` objects:
+        anything with ``user_id``, ``group``, ``cv``, ``imitator_name``
+        and a ``schedule`` carrying ``demands``/``reservations``).
+        All users must share one horizon."""
+        if not users:
+            raise WorkloadError("cannot build a store from zero users")
+        horizons = {len(user.schedule.demands) for user in users}
+        if len(horizons) != 1:
+            raise WorkloadError(
+                f"users mix horizons {sorted(horizons)}; a population store "
+                "needs one common (users x hours) shape"
+            )
+        demands = np.stack([user.schedule.demands.values for user in users])
+        reservations = np.stack([user.schedule.reservations for user in users])
+        return cls.from_dense(
+            demands,
+            reservations,
+            user_ids=[user.user_id for user in users],
+            groups=[user.group.value for user in users],
+            cvs=[user.cv for user in users],
+            imitators=[user.imitator_name for user in users],
+        )
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def save(self, directory: "str | Path") -> Path:
+        """Write the store as plain ``.npy`` columns + a JSON manifest."""
+        root = Path(directory)
+        root.mkdir(parents=True, exist_ok=True)
+        np.save(root / _DEMANDS_FILE, np.ascontiguousarray(self.demands))
+        np.save(root / _RES_INDPTR_FILE, self.res_indptr)
+        np.save(root / _RES_HOURS_FILE, self.res_hours)
+        np.save(root / _RES_COUNTS_FILE, self.res_counts)
+        meta = {
+            "format": STORE_FORMAT,
+            "n_users": self.n_users,
+            "horizon": self.horizon,
+            "user_ids": self.user_ids,
+            "groups": self.groups,
+            "cvs": self.cvs,
+            "imitators": self.imitators,
+        }
+        with (root / _META_FILE).open("w", encoding="utf-8") as handle:
+            json.dump(meta, handle)
+        return root
+
+    @classmethod
+    def load(cls, directory: "str | Path", mmap: bool = True) -> "PopulationStore":
+        """Reload a saved store; ``mmap=True`` maps the demand matrix
+        read-only so arbitrarily large populations open without loading."""
+        root = Path(directory)
+        meta_path = root / _META_FILE
+        if not meta_path.exists():
+            raise WorkloadError(f"no population store at {root} (missing meta.json)")
+        with meta_path.open(encoding="utf-8") as handle:
+            try:
+                meta = json.load(handle)
+            except ValueError as error:
+                raise WorkloadError(f"corrupt store manifest at {meta_path}") from error
+        if meta.get("format") != STORE_FORMAT:
+            raise WorkloadError(
+                f"population store at {root} has format {meta.get('format')!r}; "
+                f"this build reads format {STORE_FORMAT}"
+            )
+        mode = "r" if mmap else None
+        store = cls(
+            demands=np.load(root / _DEMANDS_FILE, mmap_mode=mode),
+            res_indptr=np.load(root / _RES_INDPTR_FILE),
+            res_hours=np.load(root / _RES_HOURS_FILE),
+            res_counts=np.load(root / _RES_COUNTS_FILE),
+            user_ids=meta.get("user_ids"),
+            groups=meta.get("groups"),
+            cvs=meta.get("cvs"),
+            imitators=meta.get("imitators"),
+        )
+        if (store.n_users, store.horizon) != (meta.get("n_users"), meta.get("horizon")):
+            raise WorkloadError(
+                f"population store at {root} is torn: manifest says "
+                f"{meta.get('n_users')}x{meta.get('horizon')}, arrays are "
+                f"{store.n_users}x{store.horizon}"
+            )
+        return store

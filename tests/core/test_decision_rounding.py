@@ -1,0 +1,120 @@
+"""Decision-spot rounding pins: ``round(φ·T)`` uses Python's banker's
+rounding, so half-hour boundaries (odd ``φ·T`` multiples of 0.5) round
+to the *even* neighbour, not always up. Every layer that derives the
+decision hour — ``decision_age_hours``, ``ReservedInstance``,
+``run_fast``, the reference ``SellingSimulator``, and the population
+engine — must land on the same hour, pinned here against hand-computed
+values so a rounding-mode change in any one engine fails loudly."""
+
+import numpy as np
+import pytest
+
+from repro.core.account import CostModel
+from repro.core.breakeven import decision_age_hours
+from repro.core.fastsim import FastPolicyKind, run_fast
+from repro.core.instance import ReservedInstance
+from repro.core.policies import OnlineSellingPolicy
+from repro.core.popsim import run_population
+from repro.core.simulator import run_policy
+from repro.pricing.plan import PricingPlan
+
+# (period T, φ, expected round(φ·T)) — every row is a x.5 boundary, and
+# the expectation follows round-half-to-even: 1.5 → 2 but 2.5 → 2,
+# 4.5 → 4, 7.5 → 8, 10.5 → 10. A naive "round half up" engine would
+# disagree on four of the six rows.
+BOUNDARY_CASES = [
+    (6, 0.25, 2),  # 1.5 rounds up to even 2
+    (5, 0.5, 2),  # 2.5 rounds down to even 2
+    (6, 0.75, 4),  # 4.5 rounds down to even 4
+    (10, 0.75, 8),  # 7.5 rounds up to even 8
+    (14, 0.75, 10),  # 10.5 rounds down to even 10
+    (2, 0.25, 0),  # 0.5 rounds to 0: degenerate, no decision at all
+]
+
+
+def boundary_model(period):
+    plan = PricingPlan(
+        on_demand_hourly=1.0,
+        upfront=float(period),
+        alpha=0.25,
+        period_hours=period,
+        name=f"odd-{period}",
+    )
+    return CostModel(plan=plan, selling_discount=0.5)
+
+
+def idle_user(period):
+    """One reservation at hour 0 and zero demand: working time is 0, so
+    the online policy always sells — exactly at the decision hour."""
+    horizon = 2 * period
+    demands = np.zeros(horizon, dtype=np.int64)
+    reservations = np.zeros(horizon, dtype=np.int64)
+    reservations[0] = 1
+    return demands, reservations
+
+
+class TestDecisionSpotAgreement:
+    @pytest.mark.parametrize("period, phi, expected", BOUNDARY_CASES)
+    def test_breakeven_decision_age(self, period, phi, expected):
+        model = boundary_model(period)
+        assert decision_age_hours(model.plan, phi) == expected
+
+    @pytest.mark.parametrize("period, phi, expected", BOUNDARY_CASES)
+    def test_instance_decision_hour(self, period, phi, expected):
+        instance = ReservedInstance(instance_id=1, reserved_at=0, period=period)
+        assert instance.decision_hour(phi) == expected
+
+    @pytest.mark.parametrize("period, phi, expected", BOUNDARY_CASES)
+    def test_run_fast_sale_hour(self, period, phi, expected):
+        model = boundary_model(period)
+        demands, reservations = idle_user(period)
+        result = run_fast(demands, reservations, model, phi=phi)
+        if 0 < expected < period:
+            assert result.instances_sold == 1
+            assert result.sales[0].hour == expected
+        else:
+            # A decision spot rounded to age 0 never evaluates: the
+            # instance is kept even though it is completely idle.
+            assert result.instances_sold == 0
+
+    @pytest.mark.parametrize("period, phi, expected", BOUNDARY_CASES)
+    def test_reference_simulator_sale_hour(self, period, phi, expected):
+        model = boundary_model(period)
+        demands, reservations = idle_user(period)
+        result = run_policy(demands, reservations, model, OnlineSellingPolicy(phi))
+        if 0 < expected < period:
+            assert result.instances_sold == 1
+            assert result.sales[0].hour == expected
+        else:
+            assert result.instances_sold == 0
+
+    @pytest.mark.parametrize("period, phi, expected", BOUNDARY_CASES)
+    def test_population_engine_agrees(self, period, phi, expected):
+        model = boundary_model(period)
+        demands, reservations = idle_user(period)
+        population = run_population(
+            demands[None, :], reservations[None, :], model, phi=phi
+        )
+        fast = run_fast(demands, reservations, model, phi=phi)
+        assert int(population.instances_sold[0]) == fast.instances_sold
+        assert population.total_costs()[0] == fast.total_cost
+        assert population.breakdown(0).sale_income == fast.breakdown.sale_income
+
+    @pytest.mark.parametrize("period, phi, expected", BOUNDARY_CASES)
+    def test_all_selling_uses_the_same_spot(self, period, phi, expected):
+        model = boundary_model(period)
+        demands, reservations = idle_user(period)
+        result = run_fast(
+            demands, reservations, model, phi=phi, kind=FastPolicyKind.ALL_SELLING
+        )
+        if 0 < expected < period:
+            assert result.instances_sold == 1
+            assert result.sales[0].hour == expected
+        else:
+            assert result.instances_sold == 0
+
+
+def test_bankers_rounding_is_what_python_does():
+    # The pins above encode round-half-to-even; this guards the premise.
+    assert round(1.5) == 2 and round(2.5) == 2
+    assert round(4.5) == 4 and round(7.5) == 8 and round(10.5) == 10

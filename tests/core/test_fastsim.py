@@ -60,6 +60,33 @@ class TestValidation:
         with pytest.raises(SimulationError):
             run_fast(S1_DEMANDS, S1_RESERVATIONS, toy_model, threshold_scale=-1.0)
 
+    def test_non_finite_threshold_scale(self, toy_model):
+        # Regression: NaN passed the old `< 0` guard and silently
+        # disabled selling (every `working < nan·β` test is False).
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(SimulationError, match="finite"):
+                run_fast(S1_DEMANDS, S1_RESERVATIONS, toy_model, threshold_scale=bad)
+
+    def test_fractional_demand_rejected(self, toy_model):
+        # Regression: 1.9 was silently truncated to 1 by the int64 cast.
+        with pytest.raises(SimulationError, match="whole instance counts"):
+            run_fast(np.array([1.9, 0.0]), np.zeros(2), toy_model)
+        with pytest.raises(SimulationError, match="whole instance counts"):
+            run_fast(np.zeros(2), np.array([0.0, 0.5]), toy_model)
+
+    def test_non_finite_demand_rejected(self, toy_model):
+        with pytest.raises(SimulationError, match="finite"):
+            run_fast(np.array([np.nan, 0.0]), np.zeros(2), toy_model)
+
+    def test_integral_floats_accepted(self, toy_model):
+        exact = run_fast(
+            S1_DEMANDS.astype(np.float64), S1_RESERVATIONS.astype(np.float64),
+            toy_model, phi=0.5,
+        )
+        reference = run_fast(S1_DEMANDS, S1_RESERVATIONS, toy_model, phi=0.5)
+        assert exact.total_cost == reference.total_cost
+        assert exact.instances_sold == reference.instances_sold
+
 
 def random_case(rng, horizon=64):
     demands = rng.integers(0, 6, size=horizon)

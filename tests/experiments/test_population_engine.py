@@ -1,0 +1,139 @@
+"""The sweep's ``engine="population"`` path must be indistinguishable
+from the per-user path: same outcomes bitwise, same cache entries (both
+directions), same policy set — serial or fanned out over workers."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.population import build_experiment_population
+from repro.experiments.runner import (
+    SWEEP_ENGINES,
+    _population_block_size,
+    run_sweep,
+)
+
+CONFIG = ExperimentConfig(users_per_group=4, period_hours=96, seed=17, label="pop")
+
+
+@pytest.fixture(scope="module")
+def population():
+    return build_experiment_population(CONFIG)
+
+
+@pytest.fixture(scope="module")
+def user_engine_sweep(population):
+    return run_sweep(CONFIG, users=population, engine="user")
+
+
+def outcomes_equal(a, b):
+    """Exact (bitwise) equality of two outcome lists."""
+    if len(a) != len(b):
+        return False
+    return all(dataclasses.asdict(x) == dataclasses.asdict(y) for x, y in zip(a, b))
+
+
+class TestEngineEquivalence:
+    def test_population_engine_matches_user_engine(
+        self, population, user_engine_sweep
+    ):
+        sweep = run_sweep(CONFIG, users=population, engine="population")
+        assert outcomes_equal(user_engine_sweep.outcomes, sweep.outcomes)
+        assert sweep.policy_names == user_engine_sweep.policy_names
+
+    def test_population_engine_with_workers(self, population, user_engine_sweep):
+        sweep = run_sweep(CONFIG, users=population, engine="population", workers=2)
+        assert outcomes_equal(user_engine_sweep.outcomes, sweep.outcomes)
+
+    def test_population_engine_with_opt(self, population):
+        via_user = run_sweep(
+            CONFIG, users=population, engine="user", include_opt=True
+        )
+        via_population = run_sweep(
+            CONFIG, users=population, engine="population", include_opt=True
+        )
+        assert outcomes_equal(via_user.outcomes, via_population.outcomes)
+        assert "OPT" in via_population.policy_names
+
+    def test_population_engine_without_all_selling(self, population):
+        via_user = run_sweep(
+            CONFIG, users=population, engine="user", include_all_selling=False
+        )
+        via_population = run_sweep(
+            CONFIG, users=population, engine="population", include_all_selling=False
+        )
+        assert outcomes_equal(via_user.outcomes, via_population.outcomes)
+
+    def test_csv_export_is_byte_identical(
+        self, population, user_engine_sweep, tmp_path
+    ):
+        sweep = run_sweep(CONFIG, users=population, engine="population", workers=3)
+        user_path = tmp_path / "user.csv"
+        population_path = tmp_path / "population.csv"
+        user_engine_sweep.to_csv(user_path)
+        sweep.to_csv(population_path)
+        assert user_path.read_bytes() == population_path.read_bytes()
+
+    def test_progress_reaches_total(self, population):
+        calls = []
+        run_sweep(
+            CONFIG,
+            users=population,
+            engine="population",
+            workers=2,
+            progress=lambda done, total: calls.append((done, total)),
+        )
+        assert calls[-1] == (len(population), len(population))
+        assert [done for done, _ in calls] == sorted(done for done, _ in calls)
+
+
+class TestEngineCacheInterop:
+    """Outcomes are bit-identical across engines, so cache entries are
+    deliberately shared: either engine must consume the other's cache."""
+
+    def test_population_consumes_user_cache(self, population, tmp_path):
+        cache = tmp_path / "cache"
+        first = run_sweep(CONFIG, users=population, engine="user", cache=cache)
+        warm = run_sweep(CONFIG, users=population, engine="population", cache=cache)
+        assert warm.timing.cache_hits == len(population)
+        assert warm.timing.cache_misses == 0
+        assert outcomes_equal(first.outcomes, warm.outcomes)
+
+    def test_user_consumes_population_cache(self, population, tmp_path):
+        cache = tmp_path / "cache"
+        first = run_sweep(
+            CONFIG, users=population, engine="population", cache=cache
+        )
+        assert first.timing.cache_misses == len(population)
+        warm = run_sweep(CONFIG, users=population, engine="user", cache=cache)
+        assert warm.timing.cache_hits == len(population)
+        assert outcomes_equal(first.outcomes, warm.outcomes)
+
+
+class TestEngineValidation:
+    def test_unknown_engine_rejected(self, population):
+        with pytest.raises(ExperimentError, match="unknown sweep engine"):
+            run_sweep(CONFIG, users=population, engine="quantum")
+
+    def test_engine_names_are_stable(self):
+        assert SWEEP_ENGINES == ("user", "population")
+
+    def test_mixed_horizons_rejected(self, population):
+        longer = ExperimentConfig(
+            users_per_group=1, period_hours=96, horizon_periods=3, seed=17,
+            label="long",
+        )
+        mixed = population + build_experiment_population(longer)
+        with pytest.raises(ExperimentError, match="common horizon"):
+            run_sweep(CONFIG, users=mixed, engine="population")
+        # The per-user engine keeps accepting the same mix.
+        sweep = run_sweep(CONFIG, users=mixed, engine="user")
+        assert len(sweep.outcomes) == len(mixed)
+
+    def test_block_size_bounds(self):
+        assert _population_block_size(10, 1) == 10
+        assert _population_block_size(100_000, 1) <= 4096
+        assert _population_block_size(100, 4) >= 1
+        assert _population_block_size(1, 8) == 1

@@ -1,5 +1,9 @@
 """Unit tests for repro.parallel.cache, .pool, and .timing."""
 
+import os
+import time
+from pathlib import Path
+
 import pytest
 
 from repro.parallel.cache import CacheError, ResultCache, as_cache
@@ -68,6 +72,16 @@ def _boom(x):
     raise ValueError(f"boom on {x}")
 
 
+def _sleep_and_mark(item):
+    """Poisoned when index < 0; otherwise sleep, then leave a marker file."""
+    directory, index = item
+    if index < 0:
+        raise ValueError("poisoned item")
+    time.sleep(0.2)
+    Path(directory).joinpath(f"done-{index}").touch()
+    return index
+
+
 class TestParallelMap:
     def test_serial_path(self):
         seen = []
@@ -96,8 +110,38 @@ class TestParallelMap:
         assert resolve_workers(3) == 3
         assert resolve_workers(None) >= 1
         assert resolve_workers(0) >= 1
-        with pytest.raises(ParallelExecutionError):
-            resolve_workers(-1)
+
+    def test_workers_zero_and_none_mean_one_per_core(self):
+        per_core = max(1, os.cpu_count() or 1)
+        assert resolve_workers(0) == per_core
+        assert resolve_workers(None) == per_core
+
+    def test_negative_workers_message_names_the_sentinel(self):
+        # Regression: the old message claimed "workers must be >= 1", but
+        # 0 is valid (it means one worker per core) — the error must not
+        # contradict the accepted values.
+        for bad in (-1, -8):
+            with pytest.raises(
+                ParallelExecutionError, match="positive count, or 0/None"
+            ) as excinfo:
+                resolve_workers(bad)
+            assert "must be >= 1" not in str(excinfo.value)
+            assert repr(bad) in str(excinfo.value)
+
+    def test_poisoned_item_aborts_promptly(self, tmp_path):
+        # One poisoned item plus many slow ones: on the first worker
+        # failure the pending chunks must be cancelled, not run to
+        # completion behind the raised error. Without cancellation two
+        # workers would grind through 40 × 0.2s of sleeps (≥ 4s) and
+        # leave 40 marker files.
+        items = [(str(tmp_path), -1)] + [(str(tmp_path), i) for i in range(40)]
+        started = time.monotonic()
+        with pytest.raises(ValueError, match="poisoned"):
+            parallel_map(_sleep_and_mark, items, workers=2, chunk_size=1)
+        elapsed = time.monotonic() - started
+        completed = list(tmp_path.glob("done-*"))
+        assert len(completed) < 40, "pending chunks ran to completion"
+        assert elapsed < 2.5, f"abort took {elapsed:.1f}s; futures not cancelled"
 
     def test_default_chunk_size(self):
         assert default_chunk_size(0, 4) == 1

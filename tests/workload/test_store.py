@@ -1,0 +1,163 @@
+"""Unit tests for repro.workload.store: the columnar population store
+must round-trip traces exactly (dense ↔ CSR ↔ disk ↔ mmap) and feed the
+population engine the same tensors it would get from dense arrays."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.popsim import run_population
+from repro.errors import WorkloadError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.population import build_experiment_population
+from repro.workload.store import STORE_FORMAT, PopulationStore
+
+CONFIG = ExperimentConfig(users_per_group=2, period_hours=96, seed=23, label="store")
+
+
+def small_population():
+    rng = np.random.default_rng(5)
+    demands = rng.integers(0, 4, size=(9, 32))
+    reservations = np.where(
+        rng.random((9, 32)) < 0.2, rng.integers(1, 3, size=(9, 32)), 0
+    )
+    return demands, reservations
+
+
+class TestFromDense:
+    def test_round_trips_blocks(self):
+        demands, reservations = small_population()
+        store = PopulationStore.from_dense(demands, reservations)
+        assert (store.n_users, store.horizon) == (9, 32)
+        assert np.array_equal(store.demands_block(0, 9), demands)
+        assert np.array_equal(store.reservations_block(0, 9), reservations)
+        assert np.array_equal(store.reservations_block(3, 7), reservations[3:7])
+        assert np.array_equal(store.reserved_totals(), reservations.sum(axis=1))
+
+    def test_iter_blocks_covers_population_once(self):
+        demands, reservations = small_population()
+        store = PopulationStore.from_dense(demands, reservations)
+        ranges = list(store.iter_blocks(4))
+        assert ranges == [(0, 4), (4, 8), (8, 9)]
+        with pytest.raises(WorkloadError):
+            list(store.iter_blocks(0))
+
+    def test_block_range_validation(self):
+        demands, reservations = small_population()
+        store = PopulationStore.from_dense(demands, reservations)
+        with pytest.raises(WorkloadError):
+            store.demands_block(5, 3)
+        with pytest.raises(WorkloadError):
+            store.reservations_block(0, 10)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(WorkloadError):
+            PopulationStore.from_dense(np.ones((2, 4)), np.zeros((2, 5)))
+        with pytest.raises(WorkloadError):
+            PopulationStore.from_dense(np.full((1, 4), 1.9), np.zeros((1, 4)))
+        with pytest.raises(WorkloadError):
+            PopulationStore.from_dense(np.full((1, 4), -1), np.zeros((1, 4)))
+
+    def test_metadata_column_lengths_validated(self):
+        demands, reservations = small_population()
+        with pytest.raises(WorkloadError):
+            PopulationStore.from_dense(demands, reservations, user_ids=["only-one"])
+
+
+class TestFromUsers:
+    def test_carries_traces_and_metadata(self):
+        users = build_experiment_population(CONFIG)
+        store = PopulationStore.from_users(users)
+        assert store.n_users == len(users)
+        assert store.horizon == CONFIG.horizon
+        for index, user in enumerate(users):
+            assert np.array_equal(
+                store.demands_block(index, index + 1)[0],
+                user.schedule.demands.values,
+            )
+            assert np.array_equal(
+                store.reservations_block(index, index + 1)[0],
+                user.schedule.reservations,
+            )
+        assert store.user_ids == [user.user_id for user in users]
+        assert store.groups == [user.group.value for user in users]
+        assert store.imitators == [user.imitator_name for user in users]
+        assert store.cvs == pytest.approx([user.cv for user in users])
+
+    def test_rejects_empty_and_mixed_horizons(self):
+        with pytest.raises(WorkloadError):
+            PopulationStore.from_users([])
+        users = build_experiment_population(CONFIG)
+        short = ExperimentConfig(
+            users_per_group=2, period_hours=48, seed=23, label="short"
+        )
+        mixed = users + build_experiment_population(short)
+        with pytest.raises(WorkloadError, match="horizon"):
+            PopulationStore.from_users(mixed)
+
+
+class TestPersistence:
+    def test_save_load_round_trip_mmap(self, tmp_path):
+        demands, reservations = small_population()
+        store = PopulationStore.from_dense(
+            demands, reservations, user_ids=[f"u{i}" for i in range(9)]
+        )
+        root = store.save(tmp_path / "pop")
+        loaded = PopulationStore.load(root)
+        # mmap mode: the demand matrix is backed by the file, not RAM.
+        assert isinstance(loaded.demands, np.memmap)
+        assert np.array_equal(loaded.demands_block(0, 9), demands)
+        assert np.array_equal(loaded.reservations_block(0, 9), reservations)
+        assert loaded.user_ids == store.user_ids
+        eager = PopulationStore.load(root, mmap=False)
+        assert not isinstance(eager.demands, np.memmap)
+        assert np.array_equal(eager.demands_block(0, 9), demands)
+
+    def test_loaded_blocks_feed_popsim_identically(self, tmp_path, toy_model):
+        demands, reservations = small_population()
+        root = PopulationStore.from_dense(demands, reservations).save(tmp_path / "p")
+        loaded = PopulationStore.load(root)
+        whole = run_population(demands, reservations, toy_model, phi=0.5)
+        for start, stop in loaded.iter_blocks(4):
+            block = run_population(
+                loaded.demands_block(start, stop),
+                loaded.reservations_block(start, stop),
+                toy_model,
+                phi=0.5,
+            )
+            assert np.array_equal(
+                block.total_costs(), whole.total_costs()[start:stop]
+            )
+            assert np.array_equal(
+                block.instances_sold, whole.instances_sold[start:stop]
+            )
+
+    def test_missing_store_raises(self, tmp_path):
+        with pytest.raises(WorkloadError, match="no population store"):
+            PopulationStore.load(tmp_path / "nowhere")
+
+    def test_format_mismatch_raises(self, tmp_path):
+        demands, reservations = small_population()
+        root = PopulationStore.from_dense(demands, reservations).save(tmp_path / "v")
+        meta = json.loads((root / "meta.json").read_text(encoding="utf-8"))
+        meta["format"] = STORE_FORMAT + 1
+        (root / "meta.json").write_text(json.dumps(meta), encoding="utf-8")
+        with pytest.raises(WorkloadError, match="format"):
+            PopulationStore.load(root)
+
+    def test_torn_store_raises(self, tmp_path):
+        demands, reservations = small_population()
+        root = PopulationStore.from_dense(demands, reservations).save(tmp_path / "t")
+        meta = json.loads((root / "meta.json").read_text(encoding="utf-8"))
+        meta["n_users"] = 999
+        (root / "meta.json").write_text(json.dumps(meta), encoding="utf-8")
+        with pytest.raises(WorkloadError, match="torn"):
+            PopulationStore.load(root)
+
+    def test_corrupt_manifest_raises(self, tmp_path):
+        demands, reservations = small_population()
+        root = PopulationStore.from_dense(demands, reservations).save(tmp_path / "c")
+        (root / "meta.json").write_text("{not json", encoding="utf-8")
+        with pytest.raises(WorkloadError, match="corrupt"):
+            PopulationStore.load(root)
