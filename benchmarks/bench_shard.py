@@ -2,9 +2,20 @@
 
 Not a paper artefact — this guards the sharding layer: end-to-end
 ingest through the front router (consistent hashing, per-shard fan-out,
-seq stamping, envelope parsing) at shard counts N=1, 2, 4, plus p50/p99
-per-batch ingest latency. The record format is documented in
-docs/serving.md.
+seq stamping, envelope parsing) at shard counts N=1, 2, 4, over *both*
+router→worker transports:
+
+* ``binary`` — PR 8's persistent length-prefixed frame connections with
+  the per-worker WAL (the default);
+* ``json`` — PR 5's one JSON-over-HTTP request per hop with
+  ``--checkpoint-interval 1`` (kept as the comparison baseline).
+
+Setup cost (booting the cluster, dialling connections, the first
+batch's lazy channel establishment and seq resync) is measured apart
+from steady-state ingest, so the recorded events/s no longer smears
+one-off connection setup across the run. The front hop reuses one
+persistent HTTP/1.1 connection for the same reason. The record format
+is documented in docs/serving.md.
 
 Run standalone (writes ``BENCH_shard.json`` at the repo root)::
 
@@ -20,13 +31,15 @@ or via pytest (a scaled-down smoke pass)::
 from __future__ import annotations
 
 import argparse
+import http.client
 import json
+import os
 import platform
+import socket
 import statistics
 import tempfile
 import threading
 import time
-import urllib.request
 from pathlib import Path
 
 import numpy as np
@@ -36,6 +49,10 @@ from repro.core.account import CostModel
 from repro.pricing.catalog import paper_experiment_plan
 from repro.serve.shard import RouterServer, start_cluster
 from repro.serve.state import STATE_VERSION
+
+#: Uncounted leading batches: they absorb lazy channel dialling, seq
+#: resync, and allocator warm-up, leaving the timed span steady-state.
+WARMUP_BATCHES = 2
 
 
 def build_model(period_hours: int) -> CostModel:
@@ -55,47 +72,80 @@ def _percentile(samples: "list[float]", q: float) -> float:
 
 
 def _measure_cluster(
-    model: CostModel, busy: np.ndarray, n_shards: int, checkpoint_dir: Path
+    model: CostModel,
+    busy: np.ndarray,
+    n_shards: int,
+    transport: str,
+    checkpoint_dir: Path,
 ) -> dict:
-    """Drive one cluster over the full event matrix via HTTP."""
+    """One cluster, one transport: setup vs steady-state split."""
     ids = [f"i-{k}" for k in range(busy.shape[1])]
-    router = start_cluster(model, n_shards, checkpoint_dir)
+    bodies = [
+        json.dumps(
+            {"events": [
+                {"instance": ids[k], "busy": bool(busy[hour][k])}
+                for k in range(len(ids))
+            ]}
+        ).encode("utf-8")
+        for hour in range(busy.shape[0])
+    ]
+
+    setup_began = time.perf_counter()
+    router = start_cluster(model, n_shards, checkpoint_dir, transport=transport)
     server = RouterServer(("127.0.0.1", 0), router)
-    url = f"http://127.0.0.1:{server.server_address[1]}/v1/events"
     thread = threading.Thread(target=server.serve_forever, daemon=True)
     thread.start()
+    connection = http.client.HTTPConnection(
+        "127.0.0.1", server.server_address[1], timeout=60
+    )
+    connection.connect()
+    # http.client writes headers and body as separate segments; without
+    # TCP_NODELAY, Nagle + delayed ACK stalls every request ~40ms and
+    # the bench measures the kernel timer, not the transport.
+    connection.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+
+    def post(body: bytes) -> None:
+        connection.request(
+            "POST",
+            "/v1/events",
+            body=body,
+            headers={"Content-Type": "application/json"},
+        )
+        response = connection.getresponse()
+        response.read()
+        if response.status != 200:
+            raise RuntimeError(
+                f"ingest answered {response.status} over {transport}"
+            )
+
     latencies = []
     try:
+        # Warm-up: lazy worker connections dial, seqs resync, caches
+        # fill. Counted as setup, not steady-state.
+        for body in bodies[:WARMUP_BATCHES]:
+            post(body)
+        setup_seconds = time.perf_counter() - setup_began
+
+        steady = bodies[WARMUP_BATCHES:]
         began = time.perf_counter()
-        for hour in range(busy.shape[0]):
-            row = busy[hour]
-            body = json.dumps(
-                {"events": [
-                    {"instance": ids[k], "busy": bool(row[k])}
-                    for k in range(len(ids))
-                ]}
-            ).encode("utf-8")
-            request = urllib.request.Request(
-                url,
-                data=body,
-                headers={"Content-Type": "application/json"},
-                method="POST",
-            )
+        for body in steady:
             sent = time.perf_counter()
-            with urllib.request.urlopen(request, timeout=60) as response:
-                response.read()
+            post(body)
             latencies.append(time.perf_counter() - sent)
-        elapsed = time.perf_counter() - began
+        steady_seconds = time.perf_counter() - began
     finally:
+        connection.close()
         server.shutdown()
         server.server_close()
         thread.join(timeout=5)
         router.close()
-    events = busy.shape[0] * busy.shape[1]
+    events = len(steady) * busy.shape[1]
     return {
         "shards": n_shards,
-        "seconds": round(elapsed, 4),
-        "events_per_second": round(events / elapsed, 1),
+        "transport": transport,
+        "setup_seconds": round(setup_seconds, 4),
+        "steady_seconds": round(steady_seconds, 4),
+        "events_per_second": round(events / steady_seconds, 1),
         "ingest_p50_ms": round(_percentile(latencies, 50) * 1000, 3),
         "ingest_p99_ms": round(_percentile(latencies, 99) * 1000, 3),
     }
@@ -107,33 +157,52 @@ def run_bench(
     period_hours: int = 64,
     seed: int = 2018,
     shard_counts: "tuple[int, ...]" = (1, 2, 4),
+    transports: "tuple[str, ...]" = ("binary", "json"),
 ) -> dict:
-    """Measure router ingest throughput/latency per shard count."""
+    """Measure router ingest throughput/latency per shard count, for
+    the binary-frame transport and the legacy JSON hop."""
     model = build_model(period_hours)
     busy = _event_matrix(instances, hours, seed)
-    clusters = []
-    for n_shards in shard_counts:
-        with tempfile.TemporaryDirectory(prefix="repro-bench-shard-") as directory:
-            clusters.append(
-                _measure_cluster(model, busy, n_shards, Path(directory))
-            )
+    results: "dict[str, list[dict]]" = {}
+    for transport in transports:
+        clusters = []
+        for n_shards in shard_counts:
+            with tempfile.TemporaryDirectory(
+                prefix="repro-bench-shard-"
+            ) as directory:
+                clusters.append(
+                    _measure_cluster(
+                        model, busy, n_shards, transport, Path(directory)
+                    )
+                )
+        results[transport] = clusters
+    cpu_count = os.cpu_count() or 1
     return {
         "benchmark": "shard_ingest",
         "version": __version__,
         "state_version": STATE_VERSION,
         "created_unix": round(time.time(), 3),
         "host": {
+            "cpu_count": cpu_count,
             "platform": platform.platform(),
             "python": platform.python_version(),
         },
+        "note": (
+            "router and all shard worker processes share this host's "
+            f"{cpu_count} core(s); with fewer cores than shards, "
+            "events/s is not expected to rise monotonically with shard "
+            "count - the binary-vs-json comparison at each N is the "
+            "signal"
+        ),
         "config": {
             "instances": instances,
             "hours": hours,
-            "events": instances * hours,
+            "warmup_batches": WARMUP_BATCHES,
+            "steady_events": instances * max(hours - WARMUP_BATCHES, 0),
             "period_hours": period_hours,
             "seed": seed,
         },
-        "clusters": clusters,
+        "transports": results,
     }
 
 
@@ -152,6 +221,13 @@ def main(argv: "list[str] | None" = None) -> int:
         help="shard counts to measure, one cluster each",
     )
     parser.add_argument(
+        "--transports",
+        nargs="+",
+        choices=("binary", "json"),
+        default=["binary", "json"],
+        help="router->worker transports to measure",
+    )
+    parser.add_argument(
         "--output", type=Path, default=Path("BENCH_shard.json"), metavar="FILE"
     )
     args = parser.parse_args(argv)
@@ -161,15 +237,20 @@ def main(argv: "list[str] | None" = None) -> int:
         period_hours=args.period_hours,
         seed=args.seed,
         shard_counts=tuple(args.shards),
+        transports=tuple(args.transports),
     )
     args.output.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
     print(f"wrote {args.output}")
-    for cluster in record["clusters"]:
-        print(
-            f"  N={cluster['shards']}: {cluster['events_per_second']} events/s "
-            f"({cluster['seconds']}s, p50 {cluster['ingest_p50_ms']}ms, "
-            f"p99 {cluster['ingest_p99_ms']}ms)"
-        )
+    for transport, clusters in record["transports"].items():
+        for cluster in clusters:
+            print(
+                f"  {transport} N={cluster['shards']}: "
+                f"{cluster['events_per_second']} events/s "
+                f"(setup {cluster['setup_seconds']}s, "
+                f"steady {cluster['steady_seconds']}s, "
+                f"p50 {cluster['ingest_p50_ms']}ms, "
+                f"p99 {cluster['ingest_p99_ms']}ms)"
+            )
     return 0
 
 
@@ -179,13 +260,23 @@ def main(argv: "list[str] | None" = None) -> int:
 
 
 def test_bench_record_shape():
-    record = run_bench(instances=16, hours=6, period_hours=8, shard_counts=(1, 2))
+    record = run_bench(
+        instances=16,
+        hours=6,
+        period_hours=8,
+        shard_counts=(1, 2),
+        transports=("binary",),
+    )
     assert record["benchmark"] == "shard_ingest"
     assert record["state_version"] == STATE_VERSION
-    assert record["config"]["events"] == 16 * 6
-    assert [c["shards"] for c in record["clusters"]] == [1, 2]
-    for cluster in record["clusters"]:
+    assert record["host"]["cpu_count"] >= 1
+    assert record["config"]["steady_events"] == 16 * (6 - WARMUP_BATCHES)
+    clusters = record["transports"]["binary"]
+    assert [c["shards"] for c in clusters] == [1, 2]
+    for cluster in clusters:
+        assert cluster["transport"] == "binary"
         assert cluster["events_per_second"] > 0
+        assert cluster["setup_seconds"] > 0
         assert cluster["ingest_p50_ms"] <= cluster["ingest_p99_ms"]
 
 

@@ -35,7 +35,7 @@ GENERIC_METHOD_NAMES = frozenset(
         "get", "items", "keys", "values", "append", "add", "extend",
         "pop", "update", "join", "split", "strip", "format", "encode",
         "decode", "read", "write", "close", "copy", "sort", "index",
-        "count", "setdefault", "result", "render",
+        "count", "setdefault", "result", "render", "register",
     }
 )
 

@@ -26,8 +26,16 @@ pose — from a live feed of usage events:
 * :mod:`repro.serve.shard` — the sharded cluster: a router
   consistent-hashing instance ids onto N supervised ``repro.serve``
   worker subprocesses, with exactly-once fan-out, per-shard
-  checkpoint-backed restart, and merged reads that are bit-identical
-  to a single process (``python -m repro.serve --shards N``).
+  WAL + snapshot-backed restart, and merged reads that are
+  bit-identical to a single process (``python -m repro.serve
+  --shards N``).
+* :mod:`repro.serve.transport` — the cluster's binary hop: a compact
+  stdlib codec, length-prefixed CRC-checked frames, one selector-loop
+  hub multiplexing persistent pipelined worker connections, and the
+  worker-side frame server.
+* :mod:`repro.serve.wal` — the per-worker write-ahead log: fsync'd
+  append per applied batch, snapshot compaction, torn-tail healing,
+  and version-gated replay.
 
 See ``docs/serving.md`` for the API schema and the state model.
 """
@@ -43,6 +51,9 @@ from repro.serve.envelope import SCHEMA_VERSION, envelope, error_envelope
 from repro.serve.errors import (
     ApiError,
     CheckpointError,
+    CodecError,
+    FrameError,
+    FrameTooLargeError,
     PayloadTooLargeError,
     RequestValidationError,
     SchemaSkewError,
@@ -52,9 +63,32 @@ from repro.serve.errors import (
     ShardError,
     ShardProtocolError,
     ShardUnavailableError,
+    TransportClosedError,
+    TransportError,
     UnknownResourceError,
+    WalCorruptionError,
+    WalError,
+    WalTruncatedError,
+    WalVersionError,
 )
 from repro.serve.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.serve.transport import (
+    WIRE_VERSION,
+    BinaryServer,
+    FrameDecoder,
+    TransportHub,
+    WorkerChannel,
+    dumpb,
+    encode_frame,
+    loadb,
+)
+from repro.serve.wal import (
+    WAL_FORMAT,
+    Wal,
+    WalEntry,
+    WalRecovery,
+    read_wal,
+)
 from repro.serve.state import (
     STATE_VERSION,
     FleetDecision,
@@ -68,12 +102,17 @@ from repro.serve.state import (
 
 __all__ = [
     "ApiError",
+    "BinaryServer",
     "CHECKPOINT_FORMAT",
     "Checkpoint",
     "CheckpointError",
+    "CodecError",
     "Counter",
     "FleetDecision",
     "FleetState",
+    "FrameDecoder",
+    "FrameError",
+    "FrameTooLargeError",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
@@ -90,12 +129,29 @@ __all__ = [
     "ShardUnavailableError",
     "StreamDecision",
     "StreamTracker",
+    "TransportClosedError",
+    "TransportError",
+    "TransportHub",
     "UnknownResourceError",
     "Verdict",
+    "WAL_FORMAT",
+    "WIRE_VERSION",
+    "Wal",
+    "WalCorruptionError",
+    "WalEntry",
+    "WalError",
+    "WalRecovery",
+    "WalTruncatedError",
+    "WalVersionError",
+    "WorkerChannel",
     "breakdown_from_counts",
+    "dumpb",
+    "encode_frame",
     "envelope",
     "error_envelope",
     "load_checkpoint",
+    "loadb",
+    "read_wal",
     "restore_checkpoint",
     "run_stream",
     "save_checkpoint",

@@ -144,8 +144,15 @@ def save_checkpoint(
     fleet: FleetState,
     events_ingested: int = 0,
     extra: "Optional[Dict[str, object]]" = None,
+    fsync: bool = False,
 ) -> Path:
-    """Atomically write ``fleet`` to ``path``; returns the path."""
+    """Atomically write ``fleet`` to ``path``; returns the path.
+
+    With ``fsync=True`` the temp file is synced before the rename (and
+    the directory entry after it, best-effort) — required by the WAL's
+    compaction ordering, where the snapshot must be durable *before*
+    the log tail covering it is dropped.
+    """
     target = Path(path)
     target.parent.mkdir(parents=True, exist_ok=True)
     encoded = json.dumps(fleet_to_payload(fleet, events_ingested, extra))
@@ -155,12 +162,31 @@ def save_checkpoint(
     try:
         with os.fdopen(fd, "w", encoding="utf-8") as handle:
             handle.write(encoded)
+            if fsync:
+                handle.flush()
+                os.fsync(handle.fileno())
         os.replace(temp_name, target)
+        if fsync:
+            _fsync_directory(target.parent)
     except OSError:
         with contextlib.suppress(OSError):
             os.unlink(temp_name)
         raise
     return target
+
+
+def _fsync_directory(directory: Path) -> None:
+    """Best-effort directory fsync so a rename survives power loss."""
+    try:
+        dir_fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(dir_fd)
+    except OSError:  # repro-lint: disable=REP007 - platform without dir fsync
+        pass
+    finally:
+        os.close(dir_fd)
 
 
 def restore_checkpoint(path: "str | Path") -> Checkpoint:

@@ -84,3 +84,59 @@ class ShardProtocolError(ShardError):
     """A shard answered outside the envelope contract (bad schema/shape)."""
 
     status = 502
+
+
+class TransportError(ShardError):
+    """Base class for binary-transport failures (framing, codec, link)."""
+
+    status = 502
+
+
+class FrameError(TransportError):
+    """A frame failed validation: bad magic, version skew, CRC mismatch,
+    or an unknown frame type — the byte stream can no longer be trusted
+    and the connection is severed."""
+
+    status = 502
+
+
+class FrameTooLargeError(FrameError):
+    """A frame header declares a payload beyond the configured cap."""
+
+    status = 502
+
+
+class CodecError(TransportError):
+    """A binary payload could not be encoded or decoded (unsupported
+    type, truncated value, trailing bytes, depth bomb)."""
+
+    status = 502
+
+
+class TransportClosedError(ShardUnavailableError, TransportError):
+    """The persistent connection to a worker is gone (EOF, reset, or a
+    reply deadline passed); retryable — the router reconnects."""
+
+    status = 503
+
+
+class WalError(ServeError):
+    """Base class for write-ahead-log failures."""
+
+
+class WalCorruptionError(WalError):
+    """The WAL header or an interior record is unreadable garbage."""
+
+
+class WalTruncatedError(WalCorruptionError):
+    """The WAL tail is torn (partial record or CRC-failed last entries).
+
+    Raised by strict recovery; non-strict recovery truncates the tail,
+    reports it, and lets the router's seq retry re-apply the lost batch.
+    """
+
+
+class WalVersionError(WalError):
+    """The WAL was written by a different format or state-machine
+    version; replaying it could produce different decisions, so the
+    worker refuses to load it."""

@@ -41,6 +41,26 @@ DEFAULT_BUCKETS = (
     2.5,
 )
 
+#: Buckets for the binary transport's per-hop latency, in seconds. The
+#: persistent-connection hop targets tens of microseconds, far below
+#: :data:`DEFAULT_BUCKETS`' floor, so these start at 50µs; the top end
+#: still covers a worker restart riding through a retry.
+TRANSPORT_BUCKETS = (
+    0.00005,
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    1.0,
+)
+
 _LabelKey = Tuple[Tuple[str, str], ...]
 
 

@@ -109,6 +109,7 @@ class AdvisoryApp:
         events_ingested: int = 0,
         last_seq: "Optional[int]" = None,
         last_response: "Optional[Dict[str, object]]" = None,
+        checkpoint_fsync: bool = False,
     ) -> None:
         if max_batch <= 0:
             raise ServeStateError(f"max_batch must be positive, got {max_batch!r}")
@@ -121,6 +122,7 @@ class AdvisoryApp:
         self.max_inflight = max_inflight
         self.checkpoint_path = Path(checkpoint_path) if checkpoint_path else None
         self.checkpoint_interval = checkpoint_interval
+        self.checkpoint_fsync = checkpoint_fsync
         self.registry = registry if registry is not None else MetricsRegistry()
         self._fleet_lock = threading.Lock()
         self._inflight_lock = threading.Lock()
@@ -369,7 +371,11 @@ class AdvisoryApp:
             extra["ingest_last_seq"] = self._last_seq
             extra["ingest_last_response"] = self._last_response
         save_checkpoint(
-            self.checkpoint_path, self.fleet, self._events_ingested, extra=extra
+            self.checkpoint_path,
+            self.fleet,
+            self._events_ingested,
+            extra=extra,
+            fsync=self.checkpoint_fsync,
         )
         self._events_since_checkpoint = 0
         self.checkpoints_total.inc()
@@ -386,12 +392,22 @@ class AdvisoryApp:
     def events_ingested(self) -> int:
         return self._events_ingested
 
+    @property
+    def last_seq(self) -> "Optional[int]":
+        """The last applied ingest batch seq (the dedupe watermark)."""
+        with self._fleet_lock:
+            return self._last_seq
+
 
 class AdvisoryRequestHandler(BaseHTTPRequestHandler):
     """Maps HTTP requests onto :class:`AdvisoryApp` calls."""
 
     server_version = f"repro-serve/{__version__}"
     protocol_version = "HTTP/1.1"
+    # Responses leave as separate header/body segments; on a keep-alive
+    # connection Nagle + the peer's delayed ACK would stall every reply
+    # ~40ms, so small request/response traffic needs TCP_NODELAY.
+    disable_nagle_algorithm = True
 
     @property
     def app(self) -> AdvisoryApp:
@@ -511,6 +527,7 @@ def build_app(
     checkpoint_interval: "int | _Unset" = _UNSET,
     max_batch: "int | _Unset" = _UNSET,
     max_inflight: "int | _Unset" = _UNSET,
+    checkpoint_fsync: bool = False,
 ) -> AdvisoryApp:
     """Assemble an app, restoring fleet state from ``checkpoint_path``
     when a checkpoint exists there (a fresh fleet otherwise).
@@ -578,6 +595,7 @@ def build_app(
         events_ingested=events_ingested,
         last_seq=last_seq,
         last_response=last_response,
+        checkpoint_fsync=checkpoint_fsync,
     )
 
 
@@ -663,6 +681,56 @@ def build_parser() -> argparse.ArgumentParser:
             "(default: %(default)s = single process)"
         ),
     )
+    parser.add_argument(
+        "--transport",
+        choices=("http", "binary"),
+        default="http",
+        help=(
+            "worker wire protocol: 'http' serves the JSON API; 'binary' "
+            "serves length-prefixed binary frames (the shard supervisor's "
+            "worker mode — requires --wal) (default: %(default)s)"
+        ),
+    )
+    parser.add_argument(
+        "--shard-transport",
+        choices=("binary", "json"),
+        default="binary",
+        help=(
+            "with --shards > 1: protocol of the router->worker hop; "
+            "'json' keeps PR 5's per-request HTTP path for comparison "
+            "(default: %(default)s)"
+        ),
+    )
+    parser.add_argument(
+        "--wal",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help=(
+            "binary worker mode: append applied ingest batches to this "
+            "write-ahead log; restart replays only the tail past the "
+            "snapshot"
+        ),
+    )
+    parser.add_argument(
+        "--snapshot-interval",
+        type=int,
+        default=64,
+        metavar="N",
+        help=(
+            "binary worker mode: snapshot + compact the WAL every N "
+            "applied batches (default: %(default)s)"
+        ),
+    )
+    parser.add_argument(
+        "--wal-fsync",
+        choices=("always", "never"),
+        default="always",
+        help=(
+            "binary worker mode: fsync policy per WAL append "
+            "(default: %(default)s)"
+        ),
+    )
     return parser
 
 
@@ -678,6 +746,10 @@ def main(argv: "Optional[Sequence[str]]" = None) -> int:
         from repro.serve.shard import run_cluster
 
         return run_cluster(args)
+    if args.transport == "binary":
+        from repro.serve.shard import run_binary_worker
+
+        return run_binary_worker(args)
     plan = paper_experiment_plan()
     if args.period_hours != plan.period_hours:
         plan = plan.with_period(args.period_hours)

@@ -18,9 +18,24 @@ Topology
                           │     │     │
                         ckpt0 ckpt1 ckpt2    per-shard atomic checkpoints
 
-Each worker is a stock ``python -m repro.serve`` process owning the
+Each worker is a ``python -m repro.serve`` process owning the
 :class:`~repro.serve.server.AdvisoryApp` + FleetState for its id
-subset, checkpointing after **every** ingested batch. The router:
+subset. Two transports carry the router→worker hop:
+
+* ``binary`` (default) — one persistent connection per worker speaking
+  the length-prefixed, CRC-checked frames of
+  :mod:`repro.serve.transport`, multiplexed by a single selector-loop
+  :class:`~repro.serve.transport.TransportHub`; requests pipeline over
+  the link instead of paying a TCP + HTTP setup per call. Durability
+  moves from checkpoint-per-batch to a per-worker write-ahead log
+  (:mod:`repro.serve.wal`): each applied batch is fsync'd to the WAL
+  before the reply, the JSON snapshot is rewritten only every
+  ``snapshot_interval`` batches, and a restarted worker replays just
+  the WAL tail past its snapshot — never full history.
+* ``json`` — PR 5's one-JSON-over-HTTP-request-per-call path, kept for
+  benchmark trajectory comparison (BENCH_shard.json measures both).
+
+The router:
 
 * partitions an ingest batch by :class:`HashRing` (event order within a
   shard is preserved), fans the sub-batches out concurrently, and
@@ -57,6 +72,7 @@ import hashlib
 import json
 import os
 import re
+import signal
 import subprocess
 import sys
 import tempfile
@@ -75,8 +91,15 @@ from repro.core.account import CostModel
 from repro.core.breakeven import PAPER_DECISION_FRACTIONS
 from repro.pricing.catalog import paper_experiment_plan
 from repro.serve.checkpoint import save_checkpoint
-from repro.serve.envelope import SCHEMA_VERSION, envelope, error_kind, require_schema
+from repro.serve.envelope import (
+    SCHEMA_VERSION,
+    envelope,
+    error_envelope,
+    error_kind,
+    require_schema,
+)
 from repro.serve.errors import (
+    ApiError,
     CheckpointError,
     PayloadTooLargeError,
     SchemaSkewError,
@@ -85,17 +108,21 @@ from repro.serve.errors import (
     ShardError,
     ShardProtocolError,
     ShardUnavailableError,
+    TransportClosedError,
     UnknownResourceError,
 )
-from repro.serve.metrics import MetricsRegistry
+from repro.serve.metrics import TRANSPORT_BUCKETS, MetricsRegistry
 from repro.serve.server import (
     DEFAULT_MAX_BATCH,
     DEFAULT_MAX_INFLIGHT,
     AdvisoryApp,
     AdvisoryRequestHandler,
     AdvisoryServer,
+    build_app,
 )
 from repro.serve.state import FleetState, ServeStateError, breakdown_from_counts
+from repro.serve.transport import BinaryServer, TransportHub, WorkerChannel
+from repro.serve.wal import Wal, WalRecovery
 
 #: Virtual nodes per shard on the hash ring; more points smooth the
 #: id distribution at negligible memory cost.
@@ -111,7 +138,20 @@ DEFAULT_BACKOFF_CAP = 1.0
 #: Per-request socket timeout toward a shard, seconds.
 DEFAULT_REQUEST_TIMEOUT = 30.0
 
-_LISTEN_RE = re.compile(r"listening on http://([0-9.]+):(\d+)")
+#: Binary workers snapshot + compact the WAL every this many applied
+#: batches; a restart replays at most this many from the tail.
+DEFAULT_SNAPSHOT_INTERVAL = 64
+
+_LISTEN_RE = re.compile(r"listening on (binary|http)://([0-9.]+):(\d+)")
+
+#: Router op name → the HTTP route the ``json`` transport maps it to
+#: (the ``binary`` transport carries the op name itself in the frame).
+_OP_ROUTES: "Dict[str, Tuple[str, str]]" = {
+    "ingest": ("POST", "/v1/events"),
+    "decisions": ("GET", "/v1/decisions"),
+    "costs": ("GET", "/v1/costs"),
+    "health": ("GET", "/healthz"),
+}
 
 
 def _hash64(key: str) -> int:
@@ -155,11 +195,15 @@ class HashRing:
 class ShardSupervisor:
     """Owns one worker subprocess: spawn, port discovery, restart, stop.
 
-    The worker is a stock ``python -m repro.serve`` bound to an
-    ephemeral port with ``--checkpoint-interval 1``: every applied batch
-    is durable (state *and* the batch's response) before the router sees
-    the reply, so a ``kill -9`` at any point is recoverable by
-    restarting from the checkpoint and retrying the in-flight seq.
+    The worker is a ``python -m repro.serve`` process bound to an
+    ephemeral port. With the default ``binary`` transport it runs the
+    frame server with a write-ahead log: every applied batch is durable
+    in the WAL (events *and* the batch's response) before the router
+    sees the reply, the JSON snapshot is compacted in every
+    ``snapshot_interval`` batches, and a ``kill -9`` at any point is
+    recoverable by replaying the WAL tail and retrying the in-flight
+    seq. With ``transport="json"`` it serves the plain HTTP API with
+    ``--checkpoint-interval 1`` (PR 5's behaviour).
     """
 
     def __init__(
@@ -169,19 +213,48 @@ class ShardSupervisor:
         host: str = "127.0.0.1",
         max_batch: int = DEFAULT_MAX_BATCH,
         boot_timeout: float = 30.0,
+        transport: str = "binary",
+        wal_path: "str | Path | None" = None,
+        snapshot_interval: int = DEFAULT_SNAPSHOT_INTERVAL,
+        wal_fsync: str = "always",
     ) -> None:
+        if transport not in ("binary", "json"):
+            raise ServeStateError(
+                f"transport must be 'binary' or 'json', got {transport!r}"
+            )
         self.index = index
         self.checkpoint_path = Path(checkpoint_path)
         self.host = host
         self.max_batch = max_batch
         self.boot_timeout = boot_timeout
+        self.transport = transport
+        self.wal_path = (
+            Path(wal_path)
+            if wal_path is not None
+            else self.checkpoint_path.with_suffix(".wal")
+        )
+        self.snapshot_interval = snapshot_interval
+        self.wal_fsync = wal_fsync
         self.base_url: "Optional[str]" = None
+        #: The worker's announced ``(host, port)``.
+        self.worker_address: "Optional[Tuple[str, int]]" = None
+        #: Test hook: when set, the router dials this address instead of
+        #: the worker's own — the fault-injection proxy installs itself
+        #: here and forwards to :attr:`worker_address`.
+        self.address_override: "Optional[Tuple[str, int]]" = None
         self.process: "Optional[subprocess.Popen[str]]" = None
         self.restarts = 0
         # Lifecycle writes (process/base_url/restarts) are serialized:
         # restart() runs on router request threads, and two threads that
         # both see a dead worker must not both spawn a replacement.
         self._lifecycle_lock = threading.Lock()
+
+    @property
+    def dial_address(self) -> "Optional[Tuple[str, int]]":
+        """Where the router should connect (override wins, for tests)."""
+        if self.address_override is not None:
+            return self.address_override
+        return self.worker_address
 
     def start(self) -> None:
         """Spawn the worker and block until it announces its port."""
@@ -202,11 +275,22 @@ class ShardSupervisor:
             "0",
             "--checkpoint",
             str(self.checkpoint_path),
-            "--checkpoint-interval",
-            "1",
             "--max-batch",
             str(self.max_batch),
         ]
+        if self.transport == "binary":
+            command += [
+                "--transport",
+                "binary",
+                "--wal",
+                str(self.wal_path),
+                "--snapshot-interval",
+                str(self.snapshot_interval),
+                "--wal-fsync",
+                self.wal_fsync,
+            ]
+        else:
+            command += ["--checkpoint-interval", "1"]
         env = dict(os.environ)
         package_root = str(Path(__file__).resolve().parents[2])
         existing = env.get("PYTHONPATH")
@@ -235,7 +319,13 @@ class ShardSupervisor:
                 )
             match = _LISTEN_RE.search(line)
             if match:
-                self.base_url = f"http://{match.group(1)}:{match.group(2)}"
+                scheme, announced_host, announced_port = match.groups()
+                self.worker_address = (announced_host, int(announced_port))
+                self.base_url = (
+                    f"http://{announced_host}:{announced_port}"
+                    if scheme == "http"
+                    else None
+                )
                 break
             if time.perf_counter() > deadline:
                 self._stop_locked()
@@ -311,12 +401,18 @@ class ShardRouter:
         attempts: int = DEFAULT_ATTEMPTS,
         backoff_base: float = DEFAULT_BACKOFF_BASE,
         backoff_cap: float = DEFAULT_BACKOFF_CAP,
+        transport: str = "binary",
     ) -> None:
         if not supervisors:
             raise ServeStateError("a shard cluster needs at least one shard")
         if attempts < 1:
             raise ServeStateError(f"attempts must be >= 1, got {attempts!r}")
+        if transport not in ("binary", "json"):
+            raise ServeStateError(
+                f"transport must be 'binary' or 'json', got {transport!r}"
+            )
         self.model = model
+        self.transport = transport
         self.supervisors = list(supervisors)
         self.ring = ring if ring is not None else HashRing(len(self.supervisors))
         if self.ring.n_shards != len(self.supervisors):
@@ -338,6 +434,16 @@ class ShardRouter:
         # Next seq per shard; None = unknown, resynced from the shard's
         # /healthz (its last applied seq survives in the checkpoint).
         self._seqs: "List[Optional[int]]" = [None] * len(self.supervisors)
+        # One persistent channel per shard (binary transport); dialled
+        # lazily, re-dialled after any transport failure.
+        self._channel_locks = [threading.Lock() for _ in self.supervisors]
+        self._channels: "List[Optional[WorkerChannel]]" = [None] * len(
+            self.supervisors
+        )
+        self._hub: "Optional[TransportHub]" = None
+        if transport == "binary":
+            self._hub = TransportHub()
+            self._hub.start()
         self._pool = ThreadPoolExecutor(
             max_workers=len(self.supervisors),
             thread_name_prefix="repro-shard-dispatch",
@@ -375,6 +481,12 @@ class ShardRouter:
             "Shard sub-batches that exhausted the retry budget.",
             labelnames=("shard",),
         )
+        self.hop_seconds = self.registry.histogram(
+            "repro_router_hop_seconds",
+            "Wall time of one router->worker call over the shard transport.",
+            labelnames=("shard", "op"),
+            buckets=TRANSPORT_BUCKETS,
+        )
 
     # ------------------------------------------------------------------
     # Admission control (same contract as AdvisoryApp)
@@ -399,19 +511,87 @@ class ShardRouter:
     # Shard RPC
     # ------------------------------------------------------------------
 
+    def _channel(self, shard_index: int) -> WorkerChannel:
+        """The shard's persistent channel, dialling if necessary."""
+        hub = self._hub
+        if hub is None:  # pragma: no cover - guarded by transport checks
+            raise ServeStateError("router has no transport hub (json mode)")
+        with self._channel_locks[shard_index]:
+            channel = self._channels[shard_index]
+            if channel is not None and not channel.closed:
+                return channel
+            address = self.supervisors[shard_index].dial_address
+            if address is None:
+                raise ShardUnavailableError(
+                    f"shard {shard_index} was never started"
+                )
+            channel = hub.connect(address, timeout=self.request_timeout)
+            self._channels[shard_index] = channel
+            return channel
+
+    def _invalidate_channel(
+        self, shard_index: int, channel: WorkerChannel
+    ) -> None:
+        """Forget a dead channel so the next attempt re-dials."""
+        with self._channel_locks[shard_index]:
+            if self._channels[shard_index] is channel:
+                self._channels[shard_index] = None
+        channel.close()
+
     def _request(
         self,
         shard_index: int,
-        method: str,
-        path: str,
+        op: str,
         body: "Optional[Dict[str, object]]" = None,
         timeout: "Optional[float]" = None,
     ) -> "Tuple[int, Dict[str, object]]":
-        """One HTTP round-trip to a shard; enforces the envelope."""
+        """One round-trip to a shard over the configured transport;
+        enforces the envelope either way."""
+        if self.transport == "binary":
+            return self._request_binary(shard_index, op, body, timeout)
+        return self._request_json(shard_index, op, body, timeout)
+
+    def _request_binary(
+        self,
+        shard_index: int,
+        op: str,
+        body: "Optional[Dict[str, object]]",
+        timeout: "Optional[float]",
+    ) -> "Tuple[int, Dict[str, object]]":
+        channel = self._channel(shard_index)
+        try:
+            status, parsed = channel.call(
+                op,
+                body if body is not None else {},
+                timeout if timeout is not None else self.request_timeout,
+            )
+        except TransportClosedError:
+            # Whether the link died or the reply missed its deadline,
+            # the channel's state is unknown — drop it and re-dial.
+            self._invalidate_channel(shard_index, channel)
+            raise
+        try:
+            return status, require_schema(parsed, source=f"shard {shard_index}")
+        except SchemaSkewError as error:
+            raise ShardProtocolError(str(error)) from error
+
+    def _request_json(
+        self,
+        shard_index: int,
+        op: str,
+        body: "Optional[Dict[str, object]]",
+        timeout: "Optional[float]",
+    ) -> "Tuple[int, Dict[str, object]]":
+        """PR 5's hop: one fresh JSON-over-HTTP request per call."""
         base_url = self.supervisors[shard_index].base_url
         if base_url is None:
             raise ShardUnavailableError(f"shard {shard_index} was never started")
-        data = json.dumps(body).encode("utf-8") if body is not None else None
+        method, path = _OP_ROUTES[op]
+        data: "Optional[bytes]" = None
+        if method == "POST":
+            data = json.dumps(body).encode("utf-8") if body is not None else None
+        elif body and isinstance(body.get("instance"), str):
+            path += "?instance=" + urllib.parse.quote(str(body["instance"]))
         request = urllib.request.Request(
             base_url + path,
             data=data,
@@ -442,17 +622,23 @@ class ShardRouter:
         except SchemaSkewError as error:
             raise ShardProtocolError(str(error)) from error
 
-    def _request_text(
-        self, shard_index: int, path: str, timeout: "Optional[float]" = None
-    ) -> str:
-        """One HTTP GET returning raw text (the /metrics exposition)."""
+    def _shard_metrics(self, shard_index: int) -> str:
+        """One shard's ``/metrics`` exposition text."""
+        if self.transport == "binary":
+            _status, parsed = self._request(shard_index, "metrics")
+            exposition = parsed.get("exposition")
+            if not isinstance(exposition, str):
+                raise ShardProtocolError(
+                    f"shard {shard_index} answered a metrics body without "
+                    "an 'exposition' string"
+                )
+            return exposition
         base_url = self.supervisors[shard_index].base_url
         if base_url is None:
             raise ShardUnavailableError(f"shard {shard_index} was never started")
         try:
             with urllib.request.urlopen(
-                base_url + path,
-                timeout=timeout if timeout is not None else self.request_timeout,
+                base_url + "/metrics", timeout=self.request_timeout
             ) as response:
                 return response.read().decode("utf-8")
         except (urllib.error.URLError, ConnectionError, TimeoutError, OSError) as error:
@@ -463,14 +649,14 @@ class ShardRouter:
     def _call_shard(
         self,
         shard_index: int,
-        method: str,
-        path: str,
+        op: str,
         body: "Optional[Dict[str, object]]" = None,
     ) -> "Tuple[int, Dict[str, object]]":
         """RPC with supervised restart and capped exponential backoff."""
         delay = self.backoff_base
         last_error: "Optional[ShardError]" = None
         label = {"shard": str(shard_index)}
+        hop_label = {"shard": str(shard_index), "op": op}
         for attempt in range(self.attempts):
             if attempt:
                 self.shard_retries_total.inc(labels=label)
@@ -485,7 +671,8 @@ class ShardRouter:
                     last_error = error
                     continue
             try:
-                return self._request(shard_index, method, path, body)
+                with self.hop_seconds.time(labels=hop_label):
+                    return self._request(shard_index, op, body)
             except ShardUnavailableError as error:
                 last_error = error
         self.shard_failures_total.inc(labels=label)
@@ -509,7 +696,7 @@ class ShardRouter:
         with self._shard_locks[shard_index]:
             seq = self._seqs[shard_index]
             if seq is None:
-                _, health = self._call_shard(shard_index, "GET", "/healthz")
+                _, health = self._call_shard(shard_index, "health")
                 applied = health.get("ingest_seq")
                 seq = int(applied) + 1 if isinstance(applied, int) else 1
             body: "Dict[str, object]" = {
@@ -518,9 +705,7 @@ class ShardRouter:
                 "events": events,
             }
             try:
-                status, parsed = self._call_shard(
-                    shard_index, "POST", "/v1/events", body
-                )
+                status, parsed = self._call_shard(shard_index, "ingest", body)
             except ShardError:
                 # Whether the shard applied this seq is unknown; resync
                 # from its checkpointed /healthz before the next batch.
@@ -632,9 +817,7 @@ class ShardRouter:
         if instance is not None:
             shard_index = self.ring.shard_for(instance)
             status, parsed = self._call_shard(
-                shard_index,
-                "GET",
-                "/v1/decisions?instance=" + urllib.parse.quote(instance),
+                shard_index, "decisions", {"instance": instance}
             )
             if status == 404:
                 error_body = parsed.get("error")
@@ -652,7 +835,7 @@ class ShardRouter:
                 "instances": parsed.get("instances", []),
                 "verdicts_by_phi": parsed.get("verdicts_by_phi", {}),
             }
-        replies = self._fan_out_get("/v1/decisions")
+        replies = self._fan_out_get("decisions")
         rows: "List[object]" = []
         verdicts: "Dict[str, Dict[str, int]]" = {}
         for _, parsed in replies:
@@ -677,7 +860,7 @@ class ShardRouter:
         uses — the result is bit-identical to serving the whole fleet
         from one process.
         """
-        replies = self._fan_out_get("/v1/costs")
+        replies = self._fan_out_get("costs")
         totals: "Dict[str, Dict[str, int]]" = {}
         for shard_index, parsed in replies:
             phis = parsed.get("phis")
@@ -714,10 +897,11 @@ class ShardRouter:
             }
         return {"phis": response}
 
-    def _fan_out_get(self, path: str) -> "List[Tuple[int, Dict[str, object]]]":
-        """GET ``path`` on every shard concurrently; raises on any failure."""
+    def _fan_out_get(self, op: str) -> "List[Tuple[int, Dict[str, object]]]":
+        """Run a read ``op`` on every shard concurrently; raises on any
+        failure."""
         futures = [
-            (shard_index, self._pool.submit(self._call_shard, shard_index, "GET", path))
+            (shard_index, self._pool.submit(self._call_shard, shard_index, op))
             for shard_index in range(len(self.supervisors))
         ]
         replies: "List[Tuple[int, Dict[str, object]]]" = []
@@ -732,7 +916,7 @@ class ShardRouter:
             if status != 200:
                 if first_error is None:
                     first_error = ShardProtocolError(
-                        f"shard {shard_index} answered {status} to GET {path}"
+                        f"shard {shard_index} answered {status} to a {op} read"
                     )
                 continue
             replies.append((shard_index, parsed))
@@ -757,7 +941,7 @@ class ShardRouter:
                 status = "degraded"
                 continue
             try:
-                _, parsed = self._request(shard_index, "GET", "/healthz")
+                _, parsed = self._request(shard_index, "health")
             except ShardError as error:
                 shards[key] = {
                     "status": "unreachable",
@@ -797,7 +981,7 @@ class ShardRouter:
             if not self.supervisors[shard_index].alive():
                 continue
             try:
-                exposition = self._request_text(shard_index, "/metrics")
+                exposition = self._shard_metrics(shard_index)
             except ShardError:
                 continue
             parts.append(
@@ -806,8 +990,10 @@ class ShardRouter:
         return "\n".join(part for part in parts if part)
 
     def close(self) -> None:
-        """Stop dispatch and every worker (final checkpoints included)."""
+        """Stop dispatch, the transport hub, and every worker."""
         self._pool.shutdown(wait=True)
+        if self._hub is not None:
+            self._hub.close()
         for supervisor in self.supervisors:
             supervisor.stop()
 
@@ -863,6 +1049,219 @@ class RouterServer(AdvisoryServer):
         self.app = router  # type: ignore[assignment]
 
 
+class ShardWorker:
+    """Glue between a :class:`~repro.serve.transport.BinaryServer` and
+    one :class:`~repro.serve.server.AdvisoryApp`: op dispatch, WAL
+    append-before-reply, periodic snapshot + compaction.
+
+    Durability protocol (the recovery state machine is documented in
+    ``docs/serving.md``):
+
+    1. ``recover()`` — restore the snapshot (done by ``build_app``
+       before construction), heal a torn WAL tail, replay every WAL
+       record with ``seq`` past the snapshot's watermark through the
+       *same* ``AdvisoryApp.ingest`` path, then snapshot + compact so
+       the next restart replays nothing already durable.
+    2. Every *applied* ingest batch (seq advanced the watermark) is
+       appended — events and the response — and fsync'd to the WAL
+       before the reply frame is sent. A retried seq dedupes inside
+       the app and is never re-logged.
+    3. Every ``snapshot_interval`` applied batches: write the fsync'd
+       snapshot, then drop WAL records at or below its watermark. A
+       crash between the two leaves stale records that replay skips.
+
+    Batches without a ``seq`` (not the router's — it always stamps one)
+    are applied but not WAL-logged; only the periodic snapshot covers
+    them.
+    """
+
+    def __init__(
+        self,
+        app: AdvisoryApp,
+        wal_path: "str | Path",
+        snapshot_interval: int = DEFAULT_SNAPSHOT_INTERVAL,
+        wal_fsync: str = "always",
+    ) -> None:
+        if snapshot_interval < 1:
+            raise ServeStateError(
+                f"snapshot_interval must be >= 1, got {snapshot_interval!r}"
+            )
+        if app.checkpoint_path is None:
+            raise ServeStateError(
+                "a binary shard worker needs a checkpoint path — WAL "
+                "compaction drops records only a snapshot makes durable"
+            )
+        self.app = app
+        self.wal_path = Path(wal_path)
+        self.snapshot_interval = snapshot_interval
+        self.wal_fsync = wal_fsync
+        # Serialises ingest apply + WAL append + snapshot/compact so the
+        # WAL's record order is exactly the apply order.
+        self._lock = threading.Lock()
+        self._wal: "Optional[Wal]" = None
+        self._batches_since_snapshot = 0
+
+        registry = app.registry
+        self.wal_appends_total = registry.counter(
+            "repro_serve_wal_appends_total",
+            "Ingest batches durably appended to the WAL.",
+        )
+        self.wal_replayed_total = registry.counter(
+            "repro_serve_wal_replayed_entries_total",
+            "WAL records replayed into the fleet at boot.",
+        )
+        self.wal_truncated_total = registry.counter(
+            "repro_serve_wal_truncated_entries_total",
+            "Torn or CRC-failed WAL tail records discarded at boot.",
+        )
+        self.wal_compactions_total = registry.counter(
+            "repro_serve_wal_compactions_total",
+            "Snapshot + WAL-compaction cycles completed.",
+        )
+        self.wal_append_seconds = registry.histogram(
+            "repro_serve_wal_append_seconds",
+            "Wall time appending one batch to the WAL (incl. fsync).",
+            buckets=TRANSPORT_BUCKETS,
+        )
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+
+    def recover(self) -> "Tuple[int, WalRecovery]":
+        """Open the WAL and replay its tail; returns
+        ``(batches_replayed, recovery)``.
+
+        Records with ``seq`` at or below the snapshot's watermark are
+        skipped — they survive only when a crash hit between snapshot
+        and compaction, and replaying them would double-apply.
+        """
+        with self._lock:
+            wal, recovery = Wal.open(
+                self.wal_path, fsync=self.wal_fsync, strict=False
+            )
+            self._wal = wal
+            if recovery.truncated_entries:
+                self.wal_truncated_total.inc(recovery.truncated_entries)
+                print(
+                    f"repro.serve: WAL {self.wal_path} had a torn tail — "
+                    f"{recovery.truncated_bytes} byte(s) discarded; the "
+                    "router's seq retry re-sends the lost batch",
+                    file=sys.stderr,
+                )
+            replayed = 0
+            for entry in recovery.entries:
+                watermark = self.app.last_seq
+                if watermark is not None and entry.seq <= watermark:
+                    continue
+                self.app.ingest(
+                    {
+                        "schema": SCHEMA_VERSION,
+                        "seq": entry.seq,
+                        "events": entry.events,
+                    }
+                )
+                replayed += 1
+            if replayed:
+                self.wal_replayed_total.inc(replayed)
+            if replayed or recovery.truncated_entries or recovery.entries:
+                self._snapshot_locked()
+        return replayed, recovery
+
+    # ------------------------------------------------------------------
+    # Op dispatch (BinaryServer handler)
+    # ------------------------------------------------------------------
+
+    def handle(
+        self, op: str, body: "Dict[str, object]"
+    ) -> "Tuple[int, Dict[str, object]]":
+        """One request frame's ``(status, envelope body)`` answer."""
+        try:
+            if op == "ingest":
+                return 200, envelope(self._ingest(body))
+            if op == "decisions":
+                instance = body.get("instance")
+                return 200, envelope(
+                    self.app.decisions(
+                        instance if isinstance(instance, str) else None
+                    )
+                )
+            if op == "costs":
+                return 200, envelope(self.app.costs())
+            if op == "health":
+                return 200, envelope(self.app.health())
+            if op == "metrics":
+                return 200, envelope(
+                    {"exposition": self.app.render_metrics()}
+                )
+            raise UnknownResourceError(f"no op {op!r}")
+        except ApiError as error:
+            return error.status, error_envelope(type(error).__name__, str(error))
+        except ServeError as error:
+            return 400, error_envelope(type(error).__name__, str(error))
+        except Exception as error:  # noqa: BLE001 - last-resort 500
+            return 500, error_envelope("InternalError", str(error))
+
+    def _ingest(self, body: "Dict[str, object]") -> "Dict[str, object]":
+        """Apply one batch, WAL it before replying, snapshot on cadence."""
+        self.app.admit()
+        try:
+            with self._lock:
+                wal = self._wal
+                if wal is None:
+                    raise ServeStateError(
+                        "worker WAL is not open (recover() was never run)"
+                    )
+                watermark = self.app.last_seq
+                response = self.app.ingest(body)
+                seq = body.get("seq")
+                applied = (
+                    isinstance(seq, int)
+                    and not isinstance(seq, bool)
+                    and seq != watermark
+                )
+                if applied:
+                    events = body.get("events")
+                    with self.wal_append_seconds.time():
+                        wal.append(
+                            int(seq),  # type: ignore[arg-type]
+                            list(events) if isinstance(events, list) else [],
+                            response,
+                        )
+                    self.wal_appends_total.inc()
+                    self._batches_since_snapshot += 1
+                    if self._batches_since_snapshot >= self.snapshot_interval:
+                        self._snapshot_locked()
+                return response
+        finally:
+            self.app.release()
+
+    # ------------------------------------------------------------------
+    # Snapshot + compaction
+    # ------------------------------------------------------------------
+
+    def _snapshot_locked(self) -> None:
+        """Snapshot-then-compact; caller holds ``_lock``.
+
+        Order is load-bearing: the fsync'd snapshot must be durable
+        before the WAL drops the records it covers.
+        """
+        self.app.checkpoint_now()
+        wal = self._wal
+        if wal is not None:
+            wal.compact(self.app.last_seq)
+            self.wal_compactions_total.inc()
+        self._batches_since_snapshot = 0
+
+    def shutdown(self) -> None:
+        """Final snapshot + compact, then close the WAL."""
+        with self._lock:
+            self._snapshot_locked()
+            if self._wal is not None:
+                self._wal.close()
+                self._wal = None
+
+
 def start_cluster(
     model: CostModel,
     n_shards: int,
@@ -876,14 +1275,17 @@ def start_cluster(
     attempts: int = DEFAULT_ATTEMPTS,
     backoff_base: float = DEFAULT_BACKOFF_BASE,
     backoff_cap: float = DEFAULT_BACKOFF_CAP,
+    transport: str = "binary",
+    snapshot_interval: int = DEFAULT_SNAPSHOT_INTERVAL,
+    wal_fsync: str = "always",
 ) -> ShardRouter:
     """Boot N supervised shard workers and return the router over them.
 
-    Each shard's checkpoint lives at ``checkpoint_dir/shard-<i>.json``;
-    when absent, an empty fleet with ``model``/``phis`` is checkpointed
-    first so the worker bootstraps its configuration from the file (an
-    existing checkpoint wins — restarts resume where the shard left
-    off).
+    Each shard's checkpoint lives at ``checkpoint_dir/shard-<i>.json``
+    (binary transport adds ``shard-<i>.wal`` beside it); when absent, an
+    empty fleet with ``model``/``phis`` is checkpointed first so the
+    worker bootstraps its configuration from the file (an existing
+    checkpoint wins — restarts resume where the shard left off).
     """
     if n_shards < 1:
         raise ServeStateError(f"n_shards must be >= 1, got {n_shards!r}")
@@ -899,7 +1301,14 @@ def start_cluster(
                 )
                 save_checkpoint(path, fleet)
             supervisor = ShardSupervisor(
-                shard_index, path, host=host, max_batch=max_batch
+                shard_index,
+                path,
+                host=host,
+                max_batch=max_batch,
+                transport=transport,
+                wal_path=directory / f"shard-{shard_index}.wal",
+                snapshot_interval=snapshot_interval,
+                wal_fsync=wal_fsync,
             )
             supervisor.start()
             supervisors.append(supervisor)
@@ -916,6 +1325,7 @@ def start_cluster(
         attempts=attempts,
         backoff_base=backoff_base,
         backoff_cap=backoff_cap,
+        transport=transport,
     )
 
 
@@ -943,6 +1353,9 @@ def run_cluster(args: argparse.Namespace) -> int:
             host=args.host,
             max_batch=args.max_batch,
             max_inflight=args.max_inflight,
+            transport=args.shard_transport,
+            snapshot_interval=args.snapshot_interval,
+            wal_fsync=args.wal_fsync,
         )
     except (ServeError, CheckpointError) as error:
         print(f"repro.serve: error: {error}", file=sys.stderr)
@@ -951,7 +1364,8 @@ def run_cluster(args: argparse.Namespace) -> int:
     host, port = server.server_address[:2]
     print(
         f"repro.serve router listening on http://{host}:{port} "
-        f"({args.shards} shards, plan {plan.name or 'paper'} "
+        f"({args.shards} shards over the {args.shard_transport} transport, "
+        f"plan {plan.name or 'paper'} "
         f"T={plan.period_hours}h, a={args.discount}, "
         f"checkpoints in {checkpoint_dir})",
         file=sys.stderr,
@@ -963,4 +1377,72 @@ def run_cluster(args: argparse.Namespace) -> int:
     finally:
         server.server_close()
         router.close()
+    return 0
+
+
+def run_binary_worker(args: argparse.Namespace) -> int:
+    """CLI entry for ``python -m repro.serve --transport binary``.
+
+    The shard supervisor's worker mode: recover snapshot + WAL tail,
+    then serve binary frames until SIGTERM/SIGINT, ending with a final
+    snapshot + compaction.
+    """
+    if args.wal is None:
+        print(
+            "repro.serve: error: --transport binary requires --wal",
+            file=sys.stderr,
+        )
+        return 2
+    if args.checkpoint is None:
+        print(
+            "repro.serve: error: --transport binary requires --checkpoint "
+            "(WAL compaction drops records only a snapshot makes durable)",
+            file=sys.stderr,
+        )
+        return 2
+    plan = paper_experiment_plan()
+    if args.period_hours != plan.period_hours:
+        plan = plan.with_period(args.period_hours)
+    model = CostModel(plan=plan, selling_discount=args.discount)
+    try:
+        app = build_app(
+            model,
+            phis=tuple(args.phi),
+            checkpoint_path=args.checkpoint,
+            checkpoint_interval=0,
+            max_batch=args.max_batch,
+            max_inflight=args.max_inflight,
+            checkpoint_fsync=True,
+        )
+        worker = ShardWorker(
+            app,
+            args.wal,
+            snapshot_interval=args.snapshot_interval,
+            wal_fsync=args.wal_fsync,
+        )
+        replayed, _recovery = worker.recover()
+    except (ServeError, CheckpointError) as error:
+        print(f"repro.serve: error: {error}", file=sys.stderr)
+        return 2
+    server = BinaryServer(args.host, args.port, worker.handle)
+    host, port = server.address
+    print(
+        f"repro.serve worker listening on binary://{host}:{port} "
+        f"(wal {args.wal}, snapshot every {args.snapshot_interval} "
+        f"batches, {replayed} batch(es) replayed from the WAL tail, "
+        f"{app.fleet.size} instance(s) restored)",
+        file=sys.stderr,
+    )
+
+    def _terminate(signum: int, frame: object) -> None:
+        raise SystemExit(0)
+
+    signal.signal(signal.SIGTERM, _terminate)
+    try:
+        server.serve_forever()
+    except (KeyboardInterrupt, SystemExit):
+        print("repro.serve: worker shutting down", file=sys.stderr)
+    finally:
+        server.close()
+        worker.shutdown()
     return 0

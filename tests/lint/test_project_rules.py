@@ -331,6 +331,115 @@ def test_rep102_non_daemon_thread_leak(tmp_path):
     assert "never joined" in report.diagnostics[0].message
 
 
+# Transport-hub shape (PR 8): a selector-loop thread completing pending
+# calls on a map shared with caller threads — the exact structure of
+# serve/transport.py's WorkerChannel/TransportHub.
+TRANSPORT_HUB = (
+    "import threading\n"
+    "\n"
+    "class Channel:\n"
+    "    def __init__(self):\n"
+    "        self._pending_lock = threading.Lock()\n"
+    "        self.pending = {}\n"
+    "\n"
+    "    def complete(self, reply):\n"
+    "        self.pending[reply] = True\n"
+    "\n"
+    "channel = Channel()\n"
+    "\n"
+    "def hub_loop():\n"
+    "    channel.complete(1)\n"
+    "\n"
+    "def boot():\n"
+    "    loop = threading.Thread(target=hub_loop, daemon=True)\n"
+    "    loop.start()\n"
+)
+
+
+def test_rep102_flags_unlocked_pending_map_in_transport_hub(tmp_path):
+    report = run_project(
+        tmp_path,
+        {"serve/transport.py": TRANSPORT_HUB},
+        docs={"serving.md": MATCHING_DOCS},
+        select=["REP102"],
+    )
+    assert codes(report) == ["REP102"]
+    assert "'pending'" in report.diagnostics[0].message
+
+
+def test_rep102_quiet_when_transport_completion_is_locked(tmp_path):
+    locked = TRANSPORT_HUB.replace(
+        "    def complete(self, reply):\n"
+        "        self.pending[reply] = True\n",
+        "    def complete(self, reply):\n"
+        "        with self._pending_lock:\n"
+        "            self.pending[reply] = True\n",
+    )
+    report = run_project(
+        tmp_path,
+        {"serve/transport.py": locked},
+        docs={"serving.md": MATCHING_DOCS},
+        select=["REP102"],
+    )
+    assert report.clean
+
+
+# WAL-worker shape (PR 8): the ingest path appends to a shared log; the
+# append must run under the worker's ingest lock (serve/shard.py's
+# ShardWorker._ingest holds it around Wal.append).
+WAL_WORKER = (
+    "import threading\n"
+    "from http.server import BaseHTTPRequestHandler\n"
+    "\n"
+    "class Handler(BaseHTTPRequestHandler):\n"
+    "    def do_POST(self):\n"
+    "        self.server.worker.ingest([1])\n"
+    "\n"
+    "class Wal:\n"
+    "    def __init__(self):\n"
+    "        self.dirty_bytes = 0\n"
+    "\n"
+    "    def append_record(self, record):\n"
+    "        self.dirty_bytes += len(record)\n"
+    "\n"
+    "class Worker:\n"
+    "    def __init__(self):\n"
+    "        self._ingest_lock = threading.Lock()\n"
+    "        self.wal = Wal()\n"
+    "\n"
+    "    def ingest(self, events):\n"
+    "        self.wal.append_record(events)\n"
+)
+
+
+def test_rep102_flags_unlocked_wal_append_from_handler_path(tmp_path):
+    report = run_project(
+        tmp_path,
+        {"serve/wal.py": WAL_WORKER},
+        docs={"serving.md": MATCHING_DOCS},
+        select=["REP102"],
+    )
+    assert codes(report) == ["REP102"]
+    assert "'dirty_bytes'" in report.diagnostics[0].message
+
+
+def test_rep102_quiet_when_wal_append_runs_under_ingest_lock(tmp_path):
+    locked = WAL_WORKER.replace(
+        "    def ingest(self, events):\n"
+        "        self.wal.append_record(events)\n",
+        "    def ingest(self, events):\n"
+        "        with self._ingest_lock:\n"
+        "            self.wal.append_record(events)\n",
+    )
+    report = run_project(
+        tmp_path,
+        {"serve/wal.py": locked},
+        docs={"serving.md": MATCHING_DOCS},
+        select=["REP102"],
+    )
+    assert report.clean
+
+
 def test_rep102_out_of_serve_code_is_out_of_scope(tmp_path):
     report = run_project(
         tmp_path,

@@ -1,0 +1,197 @@
+"""A fault-injecting TCP proxy for the router→worker binary transport.
+
+The cluster fault suite (``test_cluster_faults.py``) parks one
+:class:`FaultProxy` in front of each shard worker via the supervisor's
+``address_override`` test hook: the router dials the proxy, the proxy
+dials wherever the supervisor's *live* ``worker_address`` points (so a
+restarted worker on a fresh port is picked up automatically), and the
+request direction can be sabotaged on demand:
+
+* :meth:`FaultProxy.sever` — cut every live link mid-stream;
+* :meth:`FaultProxy.delay_next` — stall the next request frame;
+* :meth:`FaultProxy.drop_next` — swallow the next request frame;
+* :meth:`FaultProxy.duplicate_next` — deliver the next request frame
+  twice;
+* :meth:`FaultProxy.garbage_next` — replace the next request frame
+  with bytes that fail the frame check.
+
+The request pump is *frame-aware*: it reassembles complete frames with
+the production :class:`~repro.serve.transport.FrameDecoder` before
+forwarding, so a fault always lands on exactly one whole frame — never
+on a half-frame whose duplication would corrupt the stream by accident
+rather than by design. The response direction is a dumb byte relay.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from typing import Callable, List, Optional, Tuple
+
+from repro.serve.transport import FrameDecoder, FrameError, encode_frame
+
+#: Returns the current upstream ``(host, port)`` or ``None`` if the
+#: worker is down; read per-connection so restarts are followed.
+Resolver = Callable[[], "Optional[Tuple[str, int]]"]
+
+
+class FaultProxy:
+    """One listening socket relaying to a resolver-chosen upstream."""
+
+    def __init__(self, resolver: Resolver) -> None:
+        self._resolver = resolver
+        self._listener = socket.create_server(("127.0.0.1", 0))
+        #: Where the router should dial (install as ``address_override``).
+        self.address: "Tuple[str, int]" = self._listener.getsockname()[:2]
+        self._lock = threading.Lock()
+        self._links: "List[socket.socket]" = []
+        self._closed = False
+        self._delay_next = 0.0
+        self._drop_next = False
+        self._duplicate_next = False
+        self._garbage_next = False
+        #: Request frames forwarded upstream (faulted ones included).
+        self.frames_forwarded = 0
+        threading.Thread(
+            target=self._accept_loop, daemon=True, name="fault-proxy-accept"
+        ).start()
+
+    # -- fault controls (one-shot, armed from the test thread) -----------
+
+    def sever(self) -> None:
+        """Cut every live link now; the listener stays up for re-dials."""
+        with self._lock:
+            links, self._links = self._links, []
+        for sock in links:
+            _quietly_close(sock)
+
+    def delay_next(self, seconds: float) -> None:
+        with self._lock:
+            self._delay_next = seconds
+
+    def drop_next(self) -> None:
+        with self._lock:
+            self._drop_next = True
+
+    def duplicate_next(self) -> None:
+        with self._lock:
+            self._duplicate_next = True
+
+    def garbage_next(self) -> None:
+        with self._lock:
+            self._garbage_next = True
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+        _quietly_close(self._listener)
+        self.sever()
+
+    # -- plumbing --------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while True:
+            try:
+                client, _peer = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            upstream_address = self._resolver()
+            if upstream_address is None:
+                _quietly_close(client)
+                continue
+            try:
+                upstream = socket.create_connection(upstream_address, timeout=10)
+            except OSError:
+                _quietly_close(client)
+                continue
+            client.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            upstream.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            with self._lock:
+                if self._closed:
+                    _quietly_close(client)
+                    _quietly_close(upstream)
+                    return
+                self._links += [client, upstream]
+            threading.Thread(
+                target=self._pump_requests,
+                args=(client, upstream),
+                daemon=True,
+                name="fault-proxy-requests",
+            ).start()
+            threading.Thread(
+                target=self._pump_responses,
+                args=(upstream, client),
+                daemon=True,
+                name="fault-proxy-responses",
+            ).start()
+
+    def _pump_requests(self, client: socket.socket, upstream: socket.socket) -> None:
+        """Reassemble request frames and forward them, faults applied."""
+        decoder = FrameDecoder()
+        try:
+            while True:
+                try:
+                    data = client.recv(1 << 16)
+                except OSError:
+                    return
+                if not data:
+                    return
+                try:
+                    frames = decoder.feed(data)
+                except FrameError:
+                    return  # the router never sends garbage; link is dead
+                for frame_type, payload in frames:
+                    wire = encode_frame(frame_type, payload)
+                    with self._lock:
+                        delay, self._delay_next = self._delay_next, 0.0
+                        drop, self._drop_next = self._drop_next, False
+                        duplicate, self._duplicate_next = (
+                            self._duplicate_next,
+                            False,
+                        )
+                        garbage, self._garbage_next = self._garbage_next, False
+                        self.frames_forwarded += 1
+                    if delay:
+                        time.sleep(delay)
+                    if drop:
+                        continue
+                    if garbage:
+                        wire = b"\xde\xad" * (len(wire) // 2 + 1)
+                    try:
+                        upstream.sendall(wire)
+                        if duplicate:
+                            upstream.sendall(wire)
+                    except OSError:
+                        return
+        finally:
+            _quietly_close(client)
+            _quietly_close(upstream)
+
+    def _pump_responses(self, upstream: socket.socket, client: socket.socket) -> None:
+        try:
+            while True:
+                try:
+                    data = upstream.recv(1 << 16)
+                except OSError:
+                    return
+                if not data:
+                    return
+                try:
+                    client.sendall(data)
+                except OSError:
+                    return
+        finally:
+            _quietly_close(upstream)
+            _quietly_close(client)
+
+
+def _quietly_close(sock: socket.socket) -> None:
+    try:
+        sock.shutdown(socket.SHUT_RDWR)
+    except OSError:
+        pass  # not connected / already closed
+    try:
+        sock.close()
+    except OSError:
+        pass  # already closed

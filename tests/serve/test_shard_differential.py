@@ -2,11 +2,19 @@
 stream as a single-process :class:`AdvisoryApp` — with one worker
 ``kill -9``-ed and supervised-restarted mid-stream — produces
 bit-identical settled decisions, per-instance rows, verdict tallies,
-and per-φ CostBreakdowns."""
+and per-φ CostBreakdowns.
+
+Since PR 8 the cluster's router→worker hop defaults to the persistent
+binary-frame transport with per-worker write-ahead logs, so this suite
+is also the tentpole's correctness gate: the killed worker must recover
+from its snapshot plus only the WAL *tail* (bounded by
+``snapshot_interval``), never full history — asserted via the
+``repro_serve_wal_replayed_entries_total`` metric."""
 
 import json
 import os
 import random
+import re
 import signal
 import threading
 import urllib.request
@@ -23,6 +31,7 @@ PHIS = (0.75, 0.5, 0.25)
 N_SHARDS = 4
 N_INSTANCES = 24
 HOURS = 60  # past the last decision age (36) with post-decision tail
+SNAPSHOT_INTERVAL = 8  # small enough that the kill lands mid-interval
 
 
 def model() -> CostModel:
@@ -51,8 +60,14 @@ def streams():
 
     directory = tempfile.mkdtemp(prefix="repro-shard-diff-")
     router = start_cluster(
-        cost_model, N_SHARDS, directory, phis=PHIS, request_timeout=15.0
+        cost_model,
+        N_SHARDS,
+        directory,
+        phis=PHIS,
+        request_timeout=15.0,
+        snapshot_interval=SNAPSHOT_INTERVAL,
     )
+    assert router.transport == "binary"  # the tentpole path is the default
     server = RouterServer(("127.0.0.1", 0), router)
     base = f"http://127.0.0.1:{server.server_address[1]}"
     thread = threading.Thread(target=server.serve_forever, daemon=True)
@@ -90,10 +105,13 @@ def streams():
                 os.kill(victim.process.pid, signal.SIGKILL)
                 victim.process.wait()
         assert router.supervisors[2].restarts == 1
+        with urllib.request.urlopen(base + "/metrics", timeout=30) as response:
+            exposition = response.read().decode("utf-8")
         cluster_reads = {
             "decisions": get("/v1/decisions"),
             "costs": get("/v1/costs"),
             "health": get("/healthz"),
+            "metrics": exposition,
         }
     finally:
         server.shutdown()
@@ -150,3 +168,26 @@ def test_cluster_health_recovered(streams):
     assert cluster_reads["health"]["status"] == "ok"
     assert cluster_reads["health"]["events_ingested"] == single.events_ingested
     assert cluster_reads["health"]["instances"] == N_INSTANCES
+
+
+def test_restart_replayed_only_the_wal_tail(streams):
+    """The killed worker recovered from snapshot + WAL tail: it replayed
+    at least one batch (the kill landed mid-interval) but never more
+    than ``snapshot_interval`` — full-history replay would show ~25."""
+    _, cluster_reads, _, _ = streams
+    match = re.search(
+        r'^repro_serve_wal_replayed_entries_total\{shard="2"\} (\d+)$',
+        cluster_reads["metrics"],
+        re.MULTILINE,
+    )
+    assert match is not None, "shard 2 exported no WAL replay counter"
+    replayed = int(match.group(1))
+    assert 0 < replayed <= SNAPSHOT_INTERVAL
+    # The surviving shards replayed nothing.
+    for shard in (0, 1, 3):
+        other = re.search(
+            rf'^repro_serve_wal_replayed_entries_total\{{shard="{shard}"\}} (\d+)$',
+            cluster_reads["metrics"],
+            re.MULTILINE,
+        )
+        assert other is not None and int(other.group(1)) == 0

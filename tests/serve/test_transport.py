@@ -1,0 +1,356 @@
+"""Frame codec satellites: round-trip property tests, hostile-input
+rejection with typed errors, and partial-read reassembly.
+
+The binary hop's safety story is entirely here: any value the envelope
+layer can produce must survive ``dumpb``/``loadb`` bit-identically, and
+*no* byte stream — truncated, oversized, garbage, or CRC-flipped — may
+crash the decoder with anything other than the typed
+:class:`~repro.serve.errors.FrameError`/:class:`CodecError` family.
+
+Property tests use ``hypothesis`` when the container has it and fall
+back to a seeded stdlib generator otherwise, so the suite's coverage is
+identical in spirit either way and never requires an install.
+"""
+
+from __future__ import annotations
+
+import random
+import struct
+import zlib
+
+import pytest
+
+from repro.serve.errors import CodecError, FrameError, FrameTooLargeError
+from repro.serve.transport import (
+    FRAME_HEADER_SIZE,
+    FRAME_REQUEST,
+    FRAME_RESPONSE,
+    MAX_CODEC_DEPTH,
+    WIRE_VERSION,
+    FrameDecoder,
+    decode_payload,
+    dumpb,
+    encode_frame,
+    encode_request,
+    encode_response,
+    loadb,
+)
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - container-dependent
+    HAVE_HYPOTHESIS = False
+
+
+# ---------------------------------------------------------------------------
+# value generation (shared by both property-test backends)
+
+_SCALARS = (
+    None,
+    True,
+    False,
+    0,
+    -1,
+    1,
+    2**63 - 1,
+    -(2**63),
+    0.0,
+    -0.0,
+    1.5,
+    -273.15,
+    float("inf"),
+    "",
+    "ascii",
+    "unicode: φ→∞ 💸",
+    b"",
+    b"\x00\xff" * 3,
+)
+
+
+def random_value(rng: random.Random, depth: int = 0):
+    """One random codec-encodable value, nesting-bounded."""
+    if depth >= 4 or rng.random() < 0.6:
+        return rng.choice(_SCALARS)
+    if rng.random() < 0.5:
+        return [random_value(rng, depth + 1) for _ in range(rng.randrange(4))]
+    return {
+        f"k{i}-{rng.randrange(100)}": random_value(rng, depth + 1)
+        for i in range(rng.randrange(4))
+    }
+
+
+def assert_round_trip(value):
+    encoded = dumpb(value)
+    decoded = loadb(encoded)
+    assert decoded == value
+    # Re-encoding the decoded value is byte-stable (canonical form).
+    assert dumpb(decoded) == encoded
+
+
+# ---------------------------------------------------------------------------
+# codec round-trips
+
+def test_scalar_round_trips():
+    for value in _SCALARS:
+        if value != value:  # NaN compares unequal; handled below
+            continue
+        assert_round_trip(value)
+
+
+def test_nan_round_trips_as_nan():
+    decoded = loadb(dumpb(float("nan")))
+    assert decoded != decoded
+
+
+def test_nested_round_trip():
+    value = {
+        "schema": 1,
+        "seq": 7,
+        "events": [
+            {"instance": "i-001", "busy": True},
+            {"instance": "i-002", "demand": 3},
+        ],
+        "nested": {"list": [None, [1.25, "x"], {"deep": b"\x01"}]},
+    }
+    assert_round_trip(value)
+
+
+def test_seeded_random_round_trips():
+    """Stdlib fallback property test — always runs, fixed seed."""
+    rng = random.Random(0xEC2)
+    for _ in range(500):
+        assert_round_trip(random_value(rng))
+
+
+if HAVE_HYPOTHESIS:
+
+    json_like = st.recursive(
+        st.none()
+        | st.booleans()
+        | st.integers(min_value=-(2**63), max_value=2**63 - 1)
+        | st.floats(allow_nan=False)
+        | st.text(max_size=20)
+        | st.binary(max_size=20),
+        lambda children: st.lists(children, max_size=4)
+        | st.dictionaries(st.text(max_size=8), children, max_size=4),
+        max_leaves=25,
+    )
+
+    @settings(max_examples=200, deadline=None)
+    @given(json_like)
+    def test_hypothesis_round_trips(value):
+        assert_round_trip(value)
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.binary(max_size=64))
+    def test_hypothesis_garbage_never_crashes_decoder(data):
+        """Arbitrary bytes either decode or raise CodecError — nothing
+        else escapes (no struct.error, no RecursionError)."""
+        try:
+            loadb(data)
+        except CodecError:
+            pass
+
+
+# ---------------------------------------------------------------------------
+# codec rejection: typed errors, never silent truncation
+
+def test_int_overflow_rejected():
+    with pytest.raises(CodecError, match="64-bit"):
+        dumpb(2**63)
+    with pytest.raises(CodecError, match="64-bit"):
+        dumpb(-(2**63) - 1)
+
+
+def test_non_string_dict_key_rejected():
+    with pytest.raises(CodecError, match="key"):
+        dumpb({1: "x"})
+
+
+def test_unsupported_type_rejected():
+    with pytest.raises(CodecError):
+        dumpb(object())
+    with pytest.raises(CodecError):
+        dumpb({"x": {1, 2}})
+
+
+def test_excessive_nesting_rejected_both_ways():
+    value = "leaf"
+    for _ in range(MAX_CODEC_DEPTH + 1):
+        value = [value]
+    with pytest.raises(CodecError, match="deeper"):
+        dumpb(value)
+    # Hand-build the same shape on the wire: list tag + count 1, nested.
+    wire = b"\x07\x00\x00\x00\x01" * (MAX_CODEC_DEPTH + 1) + b"\x00"
+    with pytest.raises(CodecError, match="deeper"):
+        loadb(wire)
+
+
+def test_truncated_payload_rejected():
+    encoded = dumpb({"k": "value", "n": [1, 2, 3]})
+    for cut in range(len(encoded)):
+        with pytest.raises(CodecError):
+            loadb(encoded[:cut])
+
+
+def test_trailing_bytes_rejected():
+    with pytest.raises(CodecError, match="trailing"):
+        loadb(dumpb([1]) + b"\x00")
+
+
+def test_unknown_tag_rejected():
+    with pytest.raises(CodecError, match="tag"):
+        loadb(b"\x7f")
+
+
+# ---------------------------------------------------------------------------
+# framing
+
+def frame_of(payload: bytes, frame_type: int = FRAME_REQUEST) -> bytes:
+    return encode_frame(frame_type, payload)
+
+
+def test_frame_round_trip():
+    payload = dumpb({"schema": 1, "id": 3, "op": "ingest", "body": {}})
+    decoder = FrameDecoder()
+    frames = decoder.feed(frame_of(payload))
+    assert frames == [(FRAME_REQUEST, payload)]
+    assert decoder.buffered == 0
+
+
+def test_pipelined_frames_in_one_feed():
+    payloads = [dumpb({"id": i}) for i in range(5)]
+    stream = b"".join(
+        frame_of(p, FRAME_RESPONSE if i % 2 else FRAME_REQUEST)
+        for i, p in enumerate(payloads)
+    )
+    frames = FrameDecoder().feed(stream)
+    assert [p for _, p in frames] == payloads
+
+
+def test_byte_by_byte_reassembly():
+    payload = dumpb({"op": "decisions", "body": {"instance": "i-0"}})
+    wire = frame_of(payload)
+    decoder = FrameDecoder()
+    collected = []
+    for i in range(len(wire)):
+        collected.extend(decoder.feed(wire[i : i + 1]))
+        if i < len(wire) - 1:
+            assert collected == []  # nothing surfaces until the last byte
+    assert collected == [(FRAME_REQUEST, payload)]
+
+
+def test_random_chunk_reassembly():
+    """Frames split at arbitrary recv() boundaries reassemble exactly."""
+    rng = random.Random(20180613)
+    payloads = [dumpb({"seq": i, "blob": b"x" * rng.randrange(200)}) for i in range(20)]
+    wire = b"".join(frame_of(p) for p in payloads)
+    for _ in range(25):
+        decoder = FrameDecoder()
+        collected = []
+        position = 0
+        while position < len(wire):
+            step = rng.randrange(1, 8)
+            collected.extend(decoder.feed(wire[position : position + step]))
+            position += step
+        assert [p for _, p in collected] == payloads
+        assert decoder.buffered == 0
+
+
+def test_bad_magic_rejected():
+    wire = bytearray(frame_of(b"x"))
+    wire[0:2] = b"ZZ"
+    with pytest.raises(FrameError, match="magic"):
+        FrameDecoder().feed(bytes(wire))
+
+
+def test_version_skew_rejected():
+    wire = bytearray(frame_of(b"x"))
+    wire[2] = WIRE_VERSION + 1
+    with pytest.raises(FrameError, match="version"):
+        FrameDecoder().feed(bytes(wire))
+
+
+def test_unknown_frame_type_rejected():
+    wire = bytearray(frame_of(b"x"))
+    wire[3] = 0x7F
+    with pytest.raises(FrameError, match="type"):
+        FrameDecoder().feed(bytes(wire))
+
+
+def test_crc_corruption_rejected():
+    payload = dumpb({"schema": 1, "id": 1, "op": "health", "body": {}})
+    wire = bytearray(frame_of(payload))
+    wire[-1] ^= 0xFF  # flip a payload byte; header CRC no longer matches
+    with pytest.raises(FrameError, match="CRC"):
+        FrameDecoder().feed(bytes(wire))
+
+
+def test_every_single_bit_flip_is_caught_or_reframed():
+    """Flipping any one byte of a frame never yields the original
+    payload silently: it raises, or decodes to different bytes."""
+    payload = dumpb({"k": 7})
+    wire = frame_of(payload)
+    for i in range(len(wire)):
+        mutated = bytearray(wire)
+        mutated[i] ^= 0x01
+        decoder = FrameDecoder()
+        try:
+            frames = decoder.feed(bytes(mutated))
+        except FrameError:
+            continue
+        for _, decoded in frames:
+            assert decoded != payload or bytes(mutated) == wire
+
+
+def test_oversized_declaration_rejected_before_buffering():
+    """A hostile header declaring a huge payload is refused from the
+    header alone — the decoder must not wait for 2 GiB of bytes."""
+    decoder = FrameDecoder(max_payload=1024)
+    header = struct.pack("!2sBBII", b"RB", WIRE_VERSION, FRAME_REQUEST, 1 << 30, 0)
+    with pytest.raises(FrameTooLargeError):
+        decoder.feed(header)
+
+
+def test_oversized_encode_rejected():
+    with pytest.raises(FrameTooLargeError):
+        encode_frame(FRAME_REQUEST, b"x" * 2048, max_payload=1024)
+
+
+def test_truncated_stream_stays_buffered_not_erroneous():
+    """A short read is not an error — the decoder just waits."""
+    wire = frame_of(dumpb({"k": 1}))
+    decoder = FrameDecoder()
+    assert decoder.feed(wire[: FRAME_HEADER_SIZE - 2]) == []
+    assert decoder.buffered == FRAME_HEADER_SIZE - 2
+    assert decoder.feed(wire[FRAME_HEADER_SIZE - 2 :]) == [(FRAME_REQUEST, dumpb({"k": 1}))]
+
+
+def test_crc_matches_zlib_reference():
+    payload = dumpb(["reference"])
+    wire = frame_of(payload)
+    _, _, _, length, crc = struct.unpack("!2sBBII", wire[:FRAME_HEADER_SIZE])
+    assert length == len(payload)
+    assert crc == zlib.crc32(payload) & 0xFFFFFFFF
+
+
+# ---------------------------------------------------------------------------
+# wire messages
+
+def test_request_response_message_round_trip():
+    _, request = FrameDecoder().feed(encode_request(9, "ingest", {"seq": 1}))[0]
+    message = decode_payload(request)
+    assert message == {"schema": 1, "id": 9, "op": "ingest", "body": {"seq": 1}}
+
+    kind, response = FrameDecoder().feed(encode_response(9, 200, {"ok": True}))[0]
+    assert kind == FRAME_RESPONSE
+    message = decode_payload(response)
+    assert message == {"schema": 1, "id": 9, "status": 200, "body": {"ok": True}}
+
+
+def test_decode_payload_requires_mapping():
+    with pytest.raises(CodecError, match="expected an object"):
+        decode_payload(dumpb([1, 2, 3]))
