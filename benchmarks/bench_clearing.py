@@ -1,0 +1,173 @@
+"""Bench: clearing overhead on the population engine, to BENCH_clearing.json.
+
+Not a paper artefact — this guards the clearing subsystem's cost: a
+clearing-enabled population sweep (stochastic pending listings instead
+of instant sales) must stay within 2x of the clearing-off users/sec at
+the BENCH_population config. Clearing is a post-pass over the sale
+events (one uniform per listing, ``searchsorted`` against a precomputed
+CDF), so the overhead should be a small constant factor, not a rewrite
+of the cost accumulation.
+
+Run standalone (writes ``BENCH_clearing.json`` at the repo root)::
+
+    PYTHONPATH=src python benchmarks/bench_clearing.py
+    PYTHONPATH=src python benchmarks/bench_clearing.py --regimes thin frozen
+
+or via pytest (a scaled-down smoke pass)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_clearing.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import resource
+import time
+from pathlib import Path
+
+from repro._version import __version__
+from repro.core.clearing import LIQUIDITY_REGIMES, ClearingModel
+from repro.core.fastsim import ENGINE_VERSION
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.population import build_experiment_population
+from repro.experiments.runner import run_sweep
+
+#: Regimes measured against the clearing-off baseline. ``thin`` is the
+#: stress case: low hazards keep listings open the longest, so its
+#: bookkeeping (per-user delay draws, deferred income, expiry fates) is
+#: the most expensive of the named regimes.
+DEFAULT_REGIMES = ("normal", "thin")
+
+#: The acceptance gate: clearing-on must keep at least half the
+#: clearing-off throughput.
+MAX_SLOWDOWN = 2.0
+
+
+def _peak_rss_mb() -> float:
+    """Process high-water resident set size, in MB (Linux: ru_maxrss KB)."""
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
+def _measure(config, population, clearing) -> dict:
+    """One population-engine sweep; users/sec from the simulate stage."""
+    sweep = run_sweep(
+        config, users=population, engine="population", clearing=clearing
+    )
+    simulate = sweep.timing.stage_seconds["simulate"]
+    return {
+        "simulate_seconds": round(simulate, 4),
+        "users_per_second": (
+            round(len(population) / simulate, 2) if simulate else None
+        ),
+        "peak_rss_mb": round(_peak_rss_mb(), 1),
+    }
+
+
+def run_bench(
+    config: "ExperimentConfig | None" = None,
+    regimes: "tuple[str, ...]" = DEFAULT_REGIMES,
+    clearing_seed: int = 0,
+) -> dict:
+    """Population-engine sweep throughput, clearing off vs each regime."""
+    config = config if config is not None else ExperimentConfig.default()
+    for regime in regimes:
+        if regime not in LIQUIDITY_REGIMES:
+            raise ValueError(
+                f"unknown liquidity regime {regime!r}; choose from "
+                f"{sorted(LIQUIDITY_REGIMES)}"
+            )
+    population = build_experiment_population(config)
+
+    off = _measure(config, population, clearing=None)
+    off_rate = off["users_per_second"] or 0.0
+    runs = {}
+    for regime in regimes:
+        record = _measure(
+            config,
+            population,
+            ClearingModel.for_regime(regime, seed=clearing_seed),
+        )
+        rate = record["users_per_second"] or 0.0
+        if rate:
+            record["slowdown_vs_off"] = round(off_rate / rate, 3)
+            record["within_target"] = record["slowdown_vs_off"] <= MAX_SLOWDOWN
+        runs[regime] = record
+
+    return {
+        "benchmark": "clearing_overhead",
+        "version": __version__,
+        "engine_version": ENGINE_VERSION,
+        "created_unix": round(time.time(), 3),
+        "host": {
+            "cpu_count": os.cpu_count() or 1,
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "config": {
+            "label": config.label,
+            "total_users": config.total_users,
+            "period_hours": config.period_hours,
+            "horizon_hours": config.horizon,
+            "engine": "population",
+            "clearing_seed": clearing_seed,
+        },
+        "clearing_off": off,
+        "clearing_on": runs,
+        "max_slowdown_target": MAX_SLOWDOWN,
+        "notes": [
+            "users_per_second comes from the sweep's simulate stage only "
+            "(population build and result packing excluded), matching "
+            "BENCH_population.json's sweep_config_comparison.",
+            "peak_rss_mb is the process-lifetime high-water mark, so later "
+            "runs can only report values >= earlier ones.",
+        ],
+    }
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--regimes", nargs="+", default=list(DEFAULT_REGIMES), metavar="REGIME"
+    )
+    parser.add_argument("--clearing-seed", type=int, default=0, metavar="SEED")
+    parser.add_argument(
+        "--output", type=Path, default=Path("BENCH_clearing.json"), metavar="FILE"
+    )
+    args = parser.parse_args(argv)
+    record = run_bench(
+        regimes=tuple(args.regimes), clearing_seed=args.clearing_seed
+    )
+    args.output.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {args.output}")
+    off = record["clearing_off"]
+    print(f"  clearing off: {off['users_per_second']} u/s")
+    for regime, run in record["clearing_on"].items():
+        print(
+            f"  clearing {regime}: {run['users_per_second']} u/s "
+            f"({run.get('slowdown_vs_off', '?')}x, "
+            f"target <= {record['max_slowdown_target']}x)"
+        )
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# pytest smoke pass (scaled down: correctness of the record, not the numbers)
+# ---------------------------------------------------------------------------
+
+
+def test_bench_record_shape():
+    tiny = ExperimentConfig(users_per_group=2, period_hours=96, seed=3, label="bench")
+    record = run_bench(config=tiny, regimes=("thin",))
+    assert record["benchmark"] == "clearing_overhead"
+    assert record["engine_version"] == ENGINE_VERSION
+    assert record["clearing_off"]["users_per_second"] > 0
+    run = record["clearing_on"]["thin"]
+    assert run["users_per_second"] > 0
+    assert "slowdown_vs_off" in run
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

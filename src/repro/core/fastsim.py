@@ -29,6 +29,7 @@ import numpy as np
 from repro._arrays import as_count_array
 from repro.core.account import CostBreakdown, CostModel, HourlyFeeMode
 from repro.core.breakeven import break_even_working_hours, validate_phi
+from repro.core.clearing import ClearingModel, ClearingProfile
 from repro.errors import SimulationError
 
 #: Version of the fast engine's numerical behaviour. Part of the sweep
@@ -74,6 +75,28 @@ class FastSale:
 
 
 @dataclass(frozen=True)
+class FastListing:
+    """One marketplace listing opened by a SELL decision under clearing.
+
+    ``delay`` is the drawn open-hours-to-clear; a draw of the full
+    clearing window means the listing never clears (it expires back to
+    KEEP at ``listed_at + window``). ``outcome`` is what the horizon
+    actually observed: ``"cleared"`` (income booked at ``cleared_at``),
+    ``"expired"`` (window closed unsold inside the horizon), or
+    ``"open"`` (still on the book when the simulation ended — no income,
+    the unit kept serving).
+    """
+
+    reserved_at: int
+    batch_index: int
+    listed_at: int
+    delay: int
+    cleared_at: "int | None"
+    outcome: str
+    income: float
+
+
+@dataclass(frozen=True)
 class FastResult:
     """Outputs of one fast-engine run."""
 
@@ -81,6 +104,9 @@ class FastResult:
     sales: tuple[FastSale, ...]
     on_demand: np.ndarray
     r_physical: np.ndarray
+    #: Listing lifecycle records; empty when no clearing model was given
+    #: (instant sales, the paper's semantics).
+    listings: tuple[FastListing, ...] = ()
 
     @property
     def total_cost(self) -> float:
@@ -90,6 +116,25 @@ class FastResult:
     def instances_sold(self) -> int:
         return len(self.sales)
 
+    @property
+    def instances_cleared(self) -> int:
+        """Sales that actually cleared on the marketplace.
+
+        Without a clearing model every sale clears instantly, so this
+        equals :attr:`instances_sold`.
+        """
+        if not self.listings:
+            return len(self.sales)
+        return sum(1 for listing in self.listings if listing.outcome == "cleared")
+
+    @property
+    def listings_expired(self) -> int:
+        return sum(1 for listing in self.listings if listing.outcome == "expired")
+
+    @property
+    def listings_open(self) -> int:
+        return sum(1 for listing in self.listings if listing.outcome == "open")
+
 
 def run_fast(
     demands: np.ndarray,
@@ -98,12 +143,27 @@ def run_fast(
     phi: float = 0.75,
     kind: FastPolicyKind = FastPolicyKind.ONLINE,
     threshold_scale: float = 1.0,
+    *,
+    clearing: "ClearingModel | None" = None,
+    clearing_key: object = 0,
 ) -> FastResult:
     """Run one selling policy over ``(d, n)`` with the array engine.
 
     ``phi`` selects the decision spot (0.75 → Algorithm 1's ``A_{3T/4}``,
     0.5 → Algorithm 2's ``A_{T/2}``, 0.25 → ``A_{T/4}``); it is ignored
     for ``KEEP_RESERVED``.
+
+    With a :class:`~repro.core.clearing.ClearingModel`, SELL decisions
+    open listings instead of completing: the decision sequence itself is
+    unchanged (the pseudocode's history rewrite happens at the decision,
+    exactly as the seller stops *counting* the unit), but the physical
+    timeline keeps serving — and billing — until the drawn clearing
+    hour, income is booked at the cleared discount on the remaining
+    fraction *at the clearing hour*, and listings whose window closes
+    unsold revert to KEEP. ``clearing_key`` selects the per-user uniform
+    stream (``clearing.stream(clearing_key)``; one draw per sale). In
+    the ``instant`` regime every draw yields delay 0 and the result is
+    bit-identical to ``clearing=None``.
     """
     d = as_count_array(demands, "demands", SimulationError)
     n = as_count_array(reservations, "reservations", SimulationError)
@@ -118,6 +178,11 @@ def run_fast(
     if kind is not FastPolicyKind.KEEP_RESERVED:
         validate_phi(phi)
     validate_threshold_scale(threshold_scale)
+    if clearing is not None and not isinstance(clearing, ClearingModel):
+        raise SimulationError(
+            f"clearing must be a ClearingModel or None, got "
+            f"{type(clearing).__name__}"
+        )
 
     decision_age = round(phi * period)
     beta = break_even_working_hours(model.plan, model.selling_discount, phi)
@@ -132,11 +197,24 @@ def run_fast(
         r_effective[start:end] += n[start]
 
     sales: list[FastSale] = []
+    listings: list[FastListing] = []
+    # Cleared listings as (clear_hour, creation_seq, income): income is
+    # accumulated in clearing order, matching the streaming tracker's
+    # book-at-clear-hour order; in the instant limit every delay is 0 so
+    # this collapses to today's decision-order accumulation.
+    cleared_entries: "list[tuple[int, int, float]]" = []
     income = 0.0
     evaluate = (
         kind is not FastPolicyKind.KEEP_RESERVED
         and 0 < decision_age < period
     )
+    clear_profile: "ClearingProfile | None" = None
+    clear_rng: "np.random.Generator | None" = None
+    if clearing is not None and evaluate:
+        clear_profile = clearing.profile(
+            model.selling_discount, period, decision_age
+        )
+        clear_rng = clearing.stream(clearing_key)
     if evaluate:
         remaining_fraction = 1.0 - decision_age / period
         per_sale_income = model.sale_income(remaining_fraction)
@@ -169,14 +247,71 @@ def run_fast(
                 if not sell:
                     continue
                 end = min(t0 + period, horizon)
-                r_physical[t:end] -= 1  # future: the instance stops serving
                 r_effective[t0:end] -= 1  # history rewrite (lines 17-21)
-                income += per_sale_income
                 sales.append(
                     FastSale(
                         reserved_at=t0, batch_index=i, hour=t, working_hours=working
                     )
                 )
+                if clear_profile is None:
+                    r_physical[t:end] -= 1  # future: the unit stops serving
+                    income += per_sale_income
+                    continue
+                # Clearing: the decision opened a listing. The unit keeps
+                # serving (and billing) until the drawn clearing hour; a
+                # draw of the full window means it never clears.
+                delay = clear_profile.sample_delay(clear_rng.random())
+                seq = len(listings)
+                if delay < clear_profile.window:
+                    clear_at = t + delay
+                    if clear_at < horizon:
+                        r_physical[clear_at:end] -= 1
+                        clear_fraction = 1.0 - (clear_at - t0) / period
+                        sale_value = (
+                            (1.0 - model.marketplace_fee)
+                            * float(clear_profile.discounts[delay])
+                            * clear_fraction
+                            * model.big_r
+                        )
+                        cleared_entries.append((clear_at, seq, sale_value))
+                        listings.append(
+                            FastListing(
+                                reserved_at=t0,
+                                batch_index=i,
+                                listed_at=t,
+                                delay=delay,
+                                cleared_at=clear_at,
+                                outcome="cleared",
+                                income=sale_value,
+                            )
+                        )
+                    else:
+                        listings.append(
+                            FastListing(
+                                reserved_at=t0,
+                                batch_index=i,
+                                listed_at=t,
+                                delay=delay,
+                                cleared_at=None,
+                                outcome="open",
+                                income=0.0,
+                            )
+                        )
+                else:
+                    expire_at = t + clear_profile.window
+                    listings.append(
+                        FastListing(
+                            reserved_at=t0,
+                            batch_index=i,
+                            listed_at=t,
+                            delay=delay,
+                            cleared_at=None,
+                            outcome="expired" if expire_at < horizon else "open",
+                            income=0.0,
+                        )
+                    )
+        for _clear_at, _seq, sale_value in sorted(cleared_entries):
+            income += sale_value
 
     on_demand = np.maximum(d - r_physical, 0)
     if model.fee_mode is HourlyFeeMode.ACTIVE:
@@ -194,4 +329,5 @@ def run_fast(
         sales=tuple(sales),
         on_demand=on_demand,
         r_physical=r_physical,
+        listings=tuple(listings),
     )

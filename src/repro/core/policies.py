@@ -29,6 +29,12 @@ from repro.core.breakeven import (
     break_even_working_hours,
     validate_phi,
 )
+from repro.core.clearing import (
+    SCHEDULE_ADAPTIVE,
+    SCHEDULE_LADDER,
+    ClearingModel,
+    DiscountSchedule,
+)
 from repro.core.instance import ReservedInstance
 from repro.errors import PolicyError
 from repro.pricing.plan import PricingPlan
@@ -160,6 +166,83 @@ class OnlineSellingPolicy(SellingPolicy):
     def paper_policies(cls) -> "list[OnlineSellingPolicy]":
         """The three algorithms in the paper's presentation order."""
         return [cls.a_3t4(), cls.a_t2(), cls.a_t4()]
+
+
+class ListedSellingPolicy(OnlineSellingPolicy):
+    """The break-even rule plus a managed listing-price schedule.
+
+    Promotes the price-cutting sellers of
+    :mod:`repro.marketplace.seller` into first-class policies: the
+    *sell decision* stays the paper's Algorithm 1/2 at φ (so decision
+    sequences — and the reference simulator — are unchanged), while the
+    attached :class:`~repro.core.clearing.DiscountSchedule` governs the
+    asking discount while the listing waits on the marketplace. Every
+    execution layer runs it the same way: pass ``policy.phi`` as the
+    decision fraction and ``policy.clearing_model(...)`` as the
+    ``clearing=`` argument of ``run_fast`` / ``run_population`` /
+    ``run_sweep`` / the serve layer.
+    """
+
+    def __init__(
+        self,
+        phi: float,
+        schedule: DiscountSchedule,
+        threshold_scale: float = 1.0,
+        name: "str | None" = None,
+    ) -> None:
+        super().__init__(phi, threshold_scale)
+        if not isinstance(schedule, DiscountSchedule):
+            raise PolicyError(
+                f"schedule must be a DiscountSchedule, got {type(schedule).__name__}"
+            )
+        self.schedule = schedule
+        self.name = name if name is not None else f"{self.name}/{schedule.kind}"
+
+    def clearing_model(
+        self, liquidity: str = "normal", seed: int = 0, **overrides: object
+    ) -> ClearingModel:
+        """This policy's clearing process in one liquidity regime."""
+        return ClearingModel.for_regime(
+            liquidity, seed=seed, schedule=self.schedule, **overrides
+        )
+
+    # The promoted marketplace sellers -------------------------------------
+
+    @classmethod
+    def adaptive(
+        cls,
+        phi: float,
+        start_discount: float = 1.0,
+        floor_discount: float = 0.5,
+        decay_per_day: float = 0.05,
+    ) -> "ListedSellingPolicy":
+        """The promoted ``AdaptiveDiscountSeller``: start near the cap,
+        decay toward a floor while unsold."""
+        return cls(
+            phi,
+            DiscountSchedule(
+                kind=SCHEDULE_ADAPTIVE,
+                start_discount=start_discount,
+                floor_discount=floor_discount,
+                decay_per_day=decay_per_day,
+            ),
+        )
+
+    @classmethod
+    def ladder(
+        cls,
+        phi: float,
+        rungs: "tuple[float, ...]" = (1.0, 0.85, 0.7),
+        step_hours: int = 168,
+    ) -> "ListedSellingPolicy":
+        """The promoted re-list ladder: step down through ``rungs`` every
+        ``step_hours`` open hours, holding the last rung."""
+        return cls(
+            phi,
+            DiscountSchedule(
+                kind=SCHEDULE_LADDER, ladder=tuple(rungs), step_hours=step_hours
+            ),
+        )
 
 
 class KeepReservedPolicy(SellingPolicy):

@@ -55,6 +55,7 @@ import numpy as np
 from repro._arrays import as_count_array
 from repro.core.account import CostBreakdown, CostModel, HourlyFeeMode
 from repro.core.breakeven import break_even_working_hours, validate_phi
+from repro.core.clearing import ClearingModel
 from repro.core.fastsim import FastPolicyKind, validate_threshold_scale
 from repro.errors import SimulationError
 
@@ -81,6 +82,13 @@ class PopulationResult:
     reserved_hourly: np.ndarray  # (U,) float64 — billed hours · α · p
     sale_income: np.ndarray  # (U,) float64
     instances_sold: np.ndarray  # (U,) int64
+    #: Listing-lifecycle tallies, populated only when a clearing model
+    #: ran (``None`` under the paper's instant-sale semantics). A SELL
+    #: decision counts in ``instances_sold`` either way; under clearing
+    #: it lands in exactly one of cleared/expired/open.
+    instances_cleared: "np.ndarray | None" = None  # (U,) int64
+    listings_expired: "np.ndarray | None" = None  # (U,) int64
+    listings_open: "np.ndarray | None" = None  # (U,) int64
 
     @property
     def n_users(self) -> int:
@@ -113,6 +121,18 @@ class PopulationResult:
                     "population blocks ran different policies: "
                     f"{(first.kind, first.phi)} vs {(other.kind, other.phi)}"
                 )
+        with_clearing = [r.instances_cleared is not None for r in results]
+        if any(with_clearing) and not all(with_clearing):
+            raise SimulationError(
+                "cannot concatenate population blocks that mix clearing-on "
+                "and clearing-off runs"
+            )
+
+        def _cat_optional(name: str) -> "np.ndarray | None":
+            if not all(with_clearing):
+                return None
+            return np.concatenate([getattr(r, name) for r in results])
+
         return cls(
             kind=first.kind,
             phi=first.phi,
@@ -121,6 +141,9 @@ class PopulationResult:
             reserved_hourly=np.concatenate([r.reserved_hourly for r in results]),
             sale_income=np.concatenate([r.sale_income for r in results]),
             instances_sold=np.concatenate([r.instances_sold for r in results]),
+            instances_cleared=_cat_optional("instances_cleared"),
+            listings_expired=_cat_optional("listings_expired"),
+            listings_open=_cat_optional("listings_open"),
         )
 
 
@@ -212,6 +235,92 @@ def _sequential_income_table(per_sale_income: float, max_sales: int) -> np.ndarr
     return table
 
 
+def _apply_clearing(
+    clearing: ClearingModel,
+    clearing_keys: "list[object]",
+    model: CostModel,
+    sale_rows: np.ndarray,
+    sale_t0: np.ndarray,
+    decision_age: int,
+    period: int,
+    horizon: int,
+    users: int,
+    sale_delta: np.ndarray,
+) -> "tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]":
+    """Vectorised clearing over the collected per-sale events.
+
+    ``sale_rows``/``sale_t0`` carry one entry per SELL decision in the
+    engine's emission order — per user that is ascending ``t0`` and
+    ascending batch index, exactly the order ``run_fast`` draws its
+    scalar uniforms in. Grouping with a *stable* argsort therefore
+    preserves each user's draw order, and because
+    ``Generator.random(size=k)`` consumes the stream identically to
+    ``k`` scalar draws, the delays match the per-user engine draw for
+    draw. Returns per-user ``(income, cleared, expired, open)`` and
+    writes the physical-timeline clear events into ``sale_delta``.
+    """
+    profile = clearing.profile(model.selling_discount, period, decision_age)
+    order = np.argsort(sale_rows, kind="stable")
+    rows = sale_rows[order]
+    t0 = sale_t0[order]
+    uniforms = np.empty(rows.size, dtype=np.float64)
+    boundaries = np.flatnonzero(np.diff(rows)) + 1
+    group_starts = np.concatenate(([0], boundaries))
+    group_stops = np.concatenate((boundaries, [rows.size]))
+    for start, stop in zip(group_starts.tolist(), group_stops.tolist()):
+        user = int(rows[start])
+        uniforms[start:stop] = clearing.stream(clearing_keys[user]).random(
+            stop - start
+        )
+    delays = profile.sample_delays(uniforms)
+    listed_at = t0 + decision_age
+    clear_at = listed_at + delays
+    has_clear_draw = delays < profile.window
+    cleared = has_clear_draw & (clear_at < horizon)
+    expired = ~has_clear_draw & (listed_at + profile.window < horizon)
+    still_open = ~cleared & ~expired
+
+    income = np.zeros(users, dtype=np.float64)
+    rows_cleared = rows[cleared]
+    if rows_cleared.size:
+        t0_cleared = t0[cleared]
+        tc = clear_at[cleared]
+        end = np.minimum(t0_cleared + period, horizon)
+        # Duplicate (row, hour) pairs are possible — several listings of
+        # one user can clear the same hour — so the unbuffered add is
+        # required, unlike the decision-time path.
+        np.add.at(sale_delta, (rows_cleared, tc), -1)
+        np.add.at(sale_delta, (rows_cleared, end), 1)
+        # Income per cleared listing, with run_fast's exact expression
+        # order ((1−fee) · a(w) · remaining · R, left to right).
+        clear_fraction = 1.0 - (tc - t0_cleared) / period
+        values = (
+            (1.0 - model.marketplace_fee)
+            * profile.discounts[delays[cleared]]
+            * clear_fraction
+            * model.big_r
+        )
+        # Accumulate per user sequentially in (clear hour, listing
+        # order): the order income is booked in streaming serving, and
+        # a plain repeated ``+=`` so the float sum matches run_fast
+        # (pairwise reductions round differently in the last ulp).
+        cleared_bounds = np.flatnonzero(np.diff(rows_cleared)) + 1
+        starts = np.concatenate(([0], cleared_bounds))
+        stops = np.concatenate((cleared_bounds, [rows_cleared.size]))
+        for start, stop in zip(starts.tolist(), stops.tolist()):
+            user = int(rows_cleared[start])
+            by_clear_hour = np.argsort(tc[start:stop], kind="stable")
+            acc = 0.0
+            for value in values[start:stop][by_clear_hour].tolist():
+                acc += value
+            income[user] = acc
+
+    cleared_counts = np.bincount(rows_cleared, minlength=users)
+    expired_counts = np.bincount(rows[expired], minlength=users)
+    open_counts = np.bincount(rows[still_open], minlength=users)
+    return income, cleared_counts, expired_counts, open_counts
+
+
 def run_population(
     demands: np.ndarray,
     reservations: np.ndarray,
@@ -220,6 +329,9 @@ def run_population(
     kind: FastPolicyKind = FastPolicyKind.ONLINE,
     threshold_scale: float = 1.0,
     precomputed: "PopulationPrecompute | None" = None,
+    *,
+    clearing: "ClearingModel | None" = None,
+    clearing_keys: "list[object] | None" = None,
 ) -> PopulationResult:
     """Run one selling policy over a whole ``(users × hours)`` tensor.
 
@@ -235,6 +347,17 @@ def run_population(
     the validation and the policy-independent tensors are then shared
     instead of being rebuilt per policy (``demands``/``reservations``
     positional arguments are ignored in that case).
+
+    With a :class:`~repro.core.clearing.ClearingModel`, SELL decisions
+    open listings whose clearing delays are drawn vectorised — one
+    uniform per sale from the per-user stream
+    ``clearing.stream(clearing_keys[u])`` — and the clear events are
+    composed with the same difference-array cost accumulation the
+    instant path uses. Per user the outputs are bit-identical to
+    ``run_fast(..., clearing=clearing, clearing_key=clearing_keys[u])``
+    (``tests/core/test_clearing.py``). ``clearing_keys`` defaults to the
+    row index within this block; pass stable per-user keys (for example
+    user ids) when the same population is split across blocks.
     """
     period = model.period
     if precomputed is None:
@@ -251,6 +374,22 @@ def run_population(
     if kind is not FastPolicyKind.KEEP_RESERVED:
         validate_phi(phi)
     validate_threshold_scale(threshold_scale)
+    if clearing is not None and not isinstance(clearing, ClearingModel):
+        raise SimulationError(
+            f"clearing must be a ClearingModel or None, got "
+            f"{type(clearing).__name__}"
+        )
+    resolved_keys: "list[object] | None" = None
+    if clearing is not None:
+        if clearing_keys is None:
+            resolved_keys = list(range(users))
+        else:
+            resolved_keys = list(clearing_keys)
+            if len(resolved_keys) != users:
+                raise SimulationError(
+                    f"clearing_keys must have one entry per user "
+                    f"({users}), got {len(resolved_keys)}"
+                )
 
     decision_age = round(phi * period)
     beta = break_even_working_hours(model.plan, model.selling_discount, phi)
@@ -267,6 +406,12 @@ def run_population(
     # never edited in the loop, the cumsum below applies every sale at
     # once at the end of the run.
     sale_delta: "np.ndarray | None" = None
+    # Under clearing the physical timeline changes at the *drawn clear
+    # hour*, not the decision hour, so the branches below collect one
+    # event per sold instance (per user in run_fast's draw order)
+    # instead of writing decision-time deltas.
+    event_rows_parts: "list[np.ndarray]" = []
+    event_t0_parts: "list[np.ndarray]" = []
     if evaluate:
         remaining_fraction = 1.0 - decision_age / period
         per_sale_income = model.sale_income(remaining_fraction)
@@ -291,19 +436,29 @@ def run_population(
             # scale·β so large the working-time test always passes) —
             # no window needs reading, the whole run is closed-form.
             counts = n[event_rows, event_t0]
-            sale_delta = np.zeros((users, horizon + 1), dtype=np.int64)
-            np.subtract.at(sale_delta, (event_rows, event_t0 + decision_age), counts)
-            np.add.at(
-                sale_delta,
-                (event_rows, np.minimum(event_t0 + period, horizon)),
-                counts,
-            )
             np.add.at(total_sold, event_rows, counts)
+            if clearing is None:
+                sale_delta = np.zeros((users, horizon + 1), dtype=np.int64)
+                np.subtract.at(
+                    sale_delta, (event_rows, event_t0 + decision_age), counts
+                )
+                np.add.at(
+                    sale_delta,
+                    (event_rows, np.minimum(event_t0 + period, horizon)),
+                    counts,
+                )
+            else:
+                # Expand batches to per-sale events; nonzero's row-major
+                # order keeps each user's sales in ascending t0 / batch
+                # order, matching run_fast's draw order.
+                event_rows_parts.append(np.repeat(event_rows, counts))
+                event_t0_parts.append(np.repeat(event_t0, counts))
         else:
             # Round j handles every user's j-th batch at once; a user's
             # own rounds run in ascending t0 (row-major nonzero order),
             # which is the only ordering the history rewrites need.
-            sale_delta = np.zeros((users, horizon + 1), dtype=np.int64)
+            if clearing is None:
+                sale_delta = np.zeros((users, horizon + 1), dtype=np.int64)
             # The same collapse as run_fast: the l running sum always
             # reads the *original* schedule, so one prefix sum serves
             # every window (and every policy of the block).
@@ -346,10 +501,17 @@ def run_population(
                 sell_t0 = t0[sellers]
                 sell_counts = sold[sellers]
                 sell_end = np.minimum(sell_t0 + period, horizon)
-                # One row per seller within a round: plain fancy
-                # assignment is safe (no duplicate indices).
-                sale_delta[sell_rows, sell_t0 + decision_age] -= sell_counts
-                sale_delta[sell_rows, sell_end] += sell_counts
+                if clearing is None:
+                    # One row per seller within a round: plain fancy
+                    # assignment is safe (no duplicate indices).
+                    sale_delta[sell_rows, sell_t0 + decision_age] -= sell_counts
+                    sale_delta[sell_rows, sell_end] += sell_counts
+                else:
+                    # Rounds visit each user's batches in ascending t0,
+                    # so appending round by round keeps every user's
+                    # events in run_fast's draw order.
+                    event_rows_parts.append(np.repeat(sell_rows, sell_counts))
+                    event_t0_parts.append(np.repeat(sell_t0, sell_counts))
                 total_sold[sell_rows] += sell_counts
                 for row, start, stop, count in zip(
                     sell_rows.tolist(),
@@ -359,6 +521,34 @@ def run_population(
                 ):
                     expression[row, start:stop] -= count
 
+    instances_cleared: "np.ndarray | None" = None
+    listings_expired: "np.ndarray | None" = None
+    listings_open: "np.ndarray | None" = None
+    if clearing is not None:
+        clearing_income = np.zeros(users, dtype=np.float64)
+        instances_cleared = np.zeros(users, dtype=np.int64)
+        listings_expired = np.zeros(users, dtype=np.int64)
+        listings_open = np.zeros(users, dtype=np.int64)
+        if event_rows_parts:
+            sale_delta = np.zeros((users, horizon + 1), dtype=np.int64)
+            (
+                clearing_income,
+                instances_cleared,
+                listings_expired,
+                listings_open,
+            ) = _apply_clearing(
+                clearing,
+                resolved_keys,
+                model,
+                np.concatenate(event_rows_parts),
+                np.concatenate(event_t0_parts),
+                decision_age,
+                period,
+                horizon,
+                users,
+                sale_delta,
+            )
+
     if sale_delta is not None and total_sold.any():
         r_physical = r_physical + np.cumsum(sale_delta, axis=1)[:, :horizon]
     on_demand_hours = np.maximum(d - r_physical, 0).sum(axis=1)
@@ -366,15 +556,22 @@ def run_population(
         billed_hours = r_physical.sum(axis=1)
     else:
         billed_hours = np.minimum(d, r_physical).sum(axis=1)
-    income_table = _sequential_income_table(
-        per_sale_income, int(total_sold.max(initial=0))
-    )
+    if clearing is None:
+        income_table = _sequential_income_table(
+            per_sale_income, int(total_sold.max(initial=0))
+        )
+        sale_income = income_table[total_sold]
+    else:
+        sale_income = clearing_income
     return PopulationResult(
         kind=kind,
         phi=phi,
         on_demand=on_demand_hours.astype(np.float64) * model.p,
         upfront=n.sum(axis=1).astype(np.float64) * model.big_r,
         reserved_hourly=billed_hours.astype(np.float64) * model.alpha * model.p,
-        sale_income=income_table[total_sold],
+        sale_income=sale_income,
         instances_sold=total_sold,
+        instances_cleared=instances_cleared,
+        listings_expired=listings_expired,
+        listings_open=listings_open,
     )

@@ -7,6 +7,7 @@ from repro.experiments import (  # noqa: F401  (re-exported experiment modules)
     fig2,
     fig3,
     fig4,
+    liquidity,
     optgap,
     stability,
     table1,
@@ -67,4 +68,5 @@ __all__ = [
     "stability",
     "optgap",
     "breakdown",
+    "liquidity",
 ]

@@ -15,10 +15,12 @@ import sys
 import time
 from pathlib import Path
 
+from repro.core.clearing import LIQUIDITY_REGIMES, ClearingModel
 from repro.experiments import (
     ablations,
     breakdown,
     fig1,
+    liquidity,
     optgap,
     fig2,
     fig3,
@@ -45,7 +47,7 @@ _SWEEP_EXPERIMENTS = ("fig3", "fig4", "table2", "table3")
 _ALL = ("table1", "fig1", "fig2", "fig3", "fig4", "table2", "table3", "theory", "ablations")
 
 #: Extra experiments not part of ``all`` (opt-in: slower or exploratory).
-_EXTRA = ("stability", "optgap", "breakdown")
+_EXTRA = ("stability", "optgap", "breakdown", "liquidity")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -109,13 +111,43 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="root of the on-disk result cache (default: %(default)s)",
     )
+    parser.add_argument(
+        "--clearing",
+        choices=("off", *sorted(LIQUIDITY_REGIMES)),
+        default="off",
+        help=(
+            "marketplace liquidity regime for the population sweep: sales "
+            "become pending listings that clear stochastically instead of "
+            "instantly ('off' keeps the paper's instant-sale model; "
+            "default: %(default)s)"
+        ),
+    )
+    parser.add_argument(
+        "--clearing-seed",
+        type=int,
+        default=0,
+        metavar="SEED",
+        help="seed of the clearing model's hazard draws (default: %(default)s)",
+    )
     return parser
 
 
 def run_experiment(
-    name: str, config: ExperimentConfig, sweep: "SweepResult | None" = None
+    name: str,
+    config: ExperimentConfig,
+    sweep: "SweepResult | None" = None,
+    *,
+    clearing_seed: int = 0,
+    workers: int = 1,
+    cache: "Path | None" = None,
+    engine: str = "user",
 ) -> str:
-    """Run one experiment by name and return its rendered report."""
+    """Run one experiment by name and return its rendered report.
+
+    ``clearing_seed``/``workers``/``cache``/``engine`` only matter to
+    the ``liquidity`` experiment, which runs its own multi-regime sweeps
+    instead of consuming the shared one.
+    """
     if name == "table1":
         return table1.render(table1.run())
     if name == "fig1":
@@ -132,6 +164,16 @@ def run_experiment(
         return optgap.render(optgap.run(config))
     if name == "breakdown":
         return breakdown.render(breakdown.run(config))
+    if name == "liquidity":
+        return liquidity.render(
+            liquidity.run(
+                config,
+                clearing_seed=clearing_seed,
+                workers=workers,
+                cache=cache,
+                engine=engine,
+            )
+        )
     if name in _SWEEP_EXPERIMENTS:
         if sweep is None:
             sweep = run_sweep(config)
@@ -144,6 +186,11 @@ def main(argv: "list[str] | None" = None) -> int:
     args = build_parser().parse_args(argv)
     config = _SCALES[args.scale](seed=args.seed)
     names = _ALL if args.experiment == "all" else (args.experiment,)
+    clearing = (
+        ClearingModel.for_regime(args.clearing, seed=args.clearing_seed)
+        if args.clearing != "off"
+        else None
+    )
     sweep = None
     if any(name in _SWEEP_EXPERIMENTS for name in names):
         started = time.perf_counter()
@@ -151,7 +198,8 @@ def main(argv: "list[str] | None" = None) -> int:
             f"running population sweep ({config.total_users} users, "
             f"T={config.period_hours}h, horizon={config.horizon}h, "
             f"workers={args.workers or 'auto'}, engine={args.engine}"
-            f"{', cached' if args.cache else ''})...",
+            f"{', cached' if args.cache else ''}"
+            f"{f', clearing={args.clearing}' if clearing is not None else ''})...",
             file=sys.stderr,
         )
         sweep = run_sweep(
@@ -159,6 +207,7 @@ def main(argv: "list[str] | None" = None) -> int:
             workers=args.workers,
             cache=args.cache_dir if args.cache else None,
             engine=args.engine,
+            clearing=clearing,
         )
         print(f"sweep done in {time.perf_counter() - started:.1f}s", file=sys.stderr)
         if sweep.timing is not None:
@@ -166,7 +215,15 @@ def main(argv: "list[str] | None" = None) -> int:
     if args.output is not None:
         args.output.mkdir(parents=True, exist_ok=True)
     for name in names:
-        report = run_experiment(name, config, sweep=sweep)
+        report = run_experiment(
+            name,
+            config,
+            sweep=sweep,
+            clearing_seed=args.clearing_seed,
+            workers=args.workers,
+            cache=args.cache_dir if args.cache else None,
+            engine=args.engine,
+        )
         print(f"\n{'=' * 72}\n{name}\n{'=' * 72}")
         print(report)
         if args.output is not None:

@@ -26,6 +26,7 @@ import numpy as np
 from repro._compat import UNSET, Unset, absorb_positional_tail
 from repro.analysis.normalize import normalize_costs
 from repro.core.account import CostModel
+from repro.core.clearing import ClearingModel
 from repro.core.fastsim import ENGINE_VERSION, FastPolicyKind, run_fast
 from repro.core.offline import run_offline_optimal
 from repro.core.popsim import (
@@ -80,7 +81,9 @@ def __getattr__(name: str) -> object:
 
 
 #: Schema version of the cached per-user payload (bump on shape changes).
-_CACHE_FORMAT = 1
+#: Format 2 adds the optional per-policy ``instances_cleared`` counts of
+#: clearing-enabled sweeps.
+_CACHE_FORMAT = 2
 
 
 @dataclass(frozen=True)
@@ -94,6 +97,10 @@ class UserOutcome:
     instances_reserved: int
     costs: dict[str, float]
     instances_sold: dict[str, int]
+    #: Per-policy sales that actually cleared on the marketplace; only
+    #: populated by clearing-enabled sweeps (``None`` otherwise, where
+    #: every sale clears instantly).
+    instances_cleared: "dict[str, int] | None" = None
 
 
 @dataclass
@@ -185,34 +192,56 @@ def _simulate_user(
     model: CostModel,
     include_opt: bool,
     include_all_selling: bool,
+    clearing: "ClearingModel | None" = None,
 ) -> UserOutcome:
-    """Run every policy for one user against a prebuilt cost model."""
+    """Run every policy for one user against a prebuilt cost model.
+
+    With a clearing model the online and all-selling policies run under
+    stochastic sale clearing (each user's draw stream is keyed by
+    ``user_id``, so outcomes survive any re-batching); the offline
+    optimum stays the paper's instant-sale baseline — the clairvoyant
+    benchmark the degradation is measured against.
+    """
     demands = user.schedule.demands.values
     reservations = user.schedule.reservations
     costs: dict[str, float] = {}
     sold: dict[str, int] = {}
+    cleared: "dict[str, int] | None" = {} if clearing is not None else None
 
     keep = run_fast(demands, reservations, model, kind=FastPolicyKind.KEEP_RESERVED)
     costs[_policies.POLICY_KEEP] = keep.total_cost
     sold[_policies.POLICY_KEEP] = 0
+    if cleared is not None:
+        cleared[_policies.POLICY_KEEP] = 0
 
     for name, phi in _policies.ONLINE_POLICIES.items():
-        result = run_fast(demands, reservations, model, phi=phi)
+        result = run_fast(
+            demands, reservations, model, phi=phi,
+            clearing=clearing, clearing_key=user.user_id,
+        )
         costs[name] = result.total_cost
         sold[name] = result.instances_sold
+        if cleared is not None:
+            cleared[name] = result.instances_cleared
 
     if include_all_selling:
         for name, phi in _policies.ALL_SELLING_POLICIES.items():
             result = run_fast(
-                demands, reservations, model, phi=phi, kind=FastPolicyKind.ALL_SELLING
+                demands, reservations, model, phi=phi,
+                kind=FastPolicyKind.ALL_SELLING,
+                clearing=clearing, clearing_key=user.user_id,
             )
             costs[name] = result.total_cost
             sold[name] = result.instances_sold
+            if cleared is not None:
+                cleared[name] = result.instances_cleared
 
     if include_opt:
         result = run_offline_optimal(user.schedule.demands, reservations, model)
         costs[_policies.POLICY_OPT] = result.total_cost
         sold[_policies.POLICY_OPT] = result.instances_sold
+        if cleared is not None:
+            cleared[_policies.POLICY_OPT] = result.instances_sold
 
     return UserOutcome(
         user_id=user.user_id,
@@ -222,6 +251,7 @@ def _simulate_user(
         instances_reserved=user.schedule.total_reserved,
         costs=costs,
         instances_sold=sold,
+        instances_cleared=cleared,
     )
 
 
@@ -237,6 +267,7 @@ def run_user(
     include_opt: "bool | _Unset" = _UNSET,
     include_all_selling: "bool | _Unset" = _UNSET,
     model: "CostModel | _Unset | None" = _UNSET,
+    clearing: "ClearingModel | None" = None,
 ) -> UserOutcome:
     """Run every policy for one user.
 
@@ -264,7 +295,17 @@ def run_user(
         cost_model = config.cost_model()
     if not isinstance(cost_model, CostModel):
         raise TypeError(f"model must be a CostModel, got {cost_model!r}")
-    return _simulate_user(user, cost_model, opt, all_selling)
+    _validate_clearing(clearing)
+    return _simulate_user(user, cost_model, opt, all_selling, clearing)
+
+
+def _validate_clearing(clearing: object) -> "ClearingModel | None":
+    if clearing is not None and not isinstance(clearing, ClearingModel):
+        raise ExperimentError(
+            f"clearing must be a ClearingModel or None, got "
+            f"{type(clearing).__name__}"
+        )
+    return clearing
 
 
 # ----------------------------------------------------------------------
@@ -280,12 +321,14 @@ class _SweepTask:
     model: CostModel
     include_opt: bool
     include_all_selling: bool
+    clearing: "ClearingModel | None" = None
 
 
 def _run_sweep_task(task: _SweepTask) -> UserOutcome:
     """Module-level worker body, picklable for the process pool."""
     return _simulate_user(
-        task.user, task.model, task.include_opt, task.include_all_selling
+        task.user, task.model, task.include_opt, task.include_all_selling,
+        task.clearing,
     )
 
 
@@ -298,55 +341,89 @@ class _PopulationBlockTask:
     model: CostModel
     include_opt: bool
     include_all_selling: bool
+    clearing: "ClearingModel | None" = None
+    #: Per-user clearing stream keys (the user ids), block order; keeps
+    #: draws independent of how users were packed into blocks.
+    clearing_keys: "tuple[str, ...] | None" = None
 
 
 def _run_population_block(
     task: _PopulationBlockTask,
-) -> "list[tuple[dict[str, float], dict[str, int]]]":
+) -> "list[tuple[dict[str, float], dict[str, int], dict[str, int] | None]]":
     """Module-level worker: every policy over one ``(B × H)`` tensor block.
 
-    Returns per-user ``(costs, instances_sold)`` rows in block order, with
-    the policy dicts in the same insertion order as :func:`_simulate_user`
-    so the assembled outcomes compare equal to the per-user path.
+    Returns per-user ``(costs, instances_sold, instances_cleared)`` rows
+    in block order, with the policy dicts in the same insertion order as
+    :func:`_simulate_user` so the assembled outcomes compare equal to
+    the per-user path (``instances_cleared`` is ``None`` without a
+    clearing model).
     """
     d, n, model = task.demands, task.reservations, task.model
+    clearing, clearing_keys = task.clearing, task.clearing_keys
     block_users = d.shape[0]
-    columns: "list[tuple[str, np.ndarray, np.ndarray]]" = []
+    columns: "list[tuple[str, np.ndarray, np.ndarray, np.ndarray | None]]" = []
 
     # Validation and the policy-independent tensors (active timeline,
     # reservation prefix) are shared by every policy run of the block.
     prepared = prepare_population(d, n, model.period)
+    zero_counts = np.zeros(block_users, dtype=np.int64)
     keep = run_population(d, n, model, kind=FastPolicyKind.KEEP_RESERVED,
                           precomputed=prepared)
     columns.append(
-        (_policies.POLICY_KEEP, keep.total_costs(), np.zeros(block_users, dtype=np.int64))
+        (
+            _policies.POLICY_KEEP,
+            keep.total_costs(),
+            zero_counts,
+            zero_counts if clearing is not None else None,
+        )
     )
     for name, phi in _policies.ONLINE_POLICIES.items():
-        result = run_population(d, n, model, phi=phi, precomputed=prepared)
-        columns.append((name, result.total_costs(), result.instances_sold))
+        result = run_population(
+            d, n, model, phi=phi, precomputed=prepared,
+            clearing=clearing, clearing_keys=clearing_keys,
+        )
+        columns.append(
+            (name, result.total_costs(), result.instances_sold,
+             result.instances_cleared)
+        )
     if task.include_all_selling:
         for name, phi in _policies.ALL_SELLING_POLICIES.items():
             result = run_population(
                 d, n, model, phi=phi, kind=FastPolicyKind.ALL_SELLING,
                 precomputed=prepared,
+                clearing=clearing, clearing_keys=clearing_keys,
             )
-            columns.append((name, result.total_costs(), result.instances_sold))
+            columns.append(
+                (name, result.total_costs(), result.instances_sold,
+                 result.instances_cleared)
+            )
     opt_results = None
     if task.include_opt:
         # OPT has no tensor formulation (its sale schedule is a per-user
         # search); fall back to the per-user oracle inside the block.
+        # It also stays the instant-sale clairvoyant baseline under
+        # clearing (see _simulate_user).
         opt_results = [
             run_offline_optimal(d[user], n[user], model) for user in range(block_users)
         ]
 
-    rows: "list[tuple[dict[str, float], dict[str, int]]]" = []
+    rows: "list[tuple[dict[str, float], dict[str, int], dict[str, int] | None]]" = []
     for user in range(block_users):
-        costs = {name: float(totals[user]) for name, totals, _ in columns}
-        sold = {name: int(counts[user]) for name, _, counts in columns}
+        costs = {name: float(totals[user]) for name, totals, _, _ in columns}
+        sold = {name: int(counts[user]) for name, _, counts, _ in columns}
+        cleared: "dict[str, int] | None" = None
+        if clearing is not None:
+            cleared = {
+                name: int(cleared_counts[user])
+                for name, _, _, cleared_counts in columns
+                if cleared_counts is not None
+            }
         if opt_results is not None:
             costs[_policies.POLICY_OPT] = opt_results[user].total_cost
             sold[_policies.POLICY_OPT] = opt_results[user].instances_sold
-        rows.append((costs, sold))
+            if cleared is not None:
+                cleared[_policies.POLICY_OPT] = opt_results[user].instances_sold
+        rows.append((costs, sold, cleared))
     return rows
 
 
@@ -372,6 +449,7 @@ def _run_population_sweep(
     include_all_selling: bool,
     workers: int,
     on_progress: "Callable[[int], None] | None",
+    clearing: "ClearingModel | None" = None,
 ) -> "list[UserOutcome]":
     """Simulate the pending users through the population-tensor engine.
 
@@ -402,6 +480,12 @@ def _run_population_sweep(
             model=model,
             include_opt=include_opt,
             include_all_selling=include_all_selling,
+            clearing=clearing,
+            clearing_keys=(
+                tuple(population[index].user_id for index in block)
+                if clearing is not None
+                else None
+            ),
         )
         for block in blocks
     ]
@@ -424,7 +508,7 @@ def _run_population_sweep(
     )
     rows = [row for block in block_rows for row in block]
     computed: "list[UserOutcome]" = []
-    for (costs, sold), index in zip(rows, pending):
+    for (costs, sold, cleared), index in zip(rows, pending):
         user = population[index]
         computed.append(
             UserOutcome(
@@ -435,6 +519,7 @@ def _run_population_sweep(
                 instances_reserved=user.schedule.total_reserved,
                 costs=costs,
                 instances_sold=sold,
+                instances_cleared=cleared,
             )
         )
     return computed
@@ -445,29 +530,37 @@ def user_cache_key(
     user: ExperimentUser,
     include_opt: bool,
     include_all_selling: bool,
+    clearing: "ClearingModel | None" = None,
 ) -> str:
     """Content hash identifying one user's sweep outcome.
 
     Everything that can change the outcome is part of the key: the
     experiment configuration, the user's demand trace and imitated
-    reservations (by value, not by id), the policy set toggles, and the
-    fast engine's version. Anything else changing — process, session,
-    host — must *not* change the key, or the cache would never hit.
+    reservations (by value, not by id), the policy set toggles, the
+    clearing model (when one is attached — clearing-on and clearing-off
+    sweeps must never alias, and neither must two different regimes or
+    seeds), and the fast engine's version. Anything else changing —
+    process, session, host — must *not* change the key, or the cache
+    would never hit.
     """
-    return stable_hash(
-        {
-            "engine": ENGINE_VERSION,
-            "config": config.content_hash(),
-            "user_id": user.user_id,
-            "group": user.group,
-            "cv": user.cv,
-            "imitator": user.imitator_name,
-            "demands": user.schedule.demands.values,
-            "reservations": user.schedule.reservations,
-            "include_opt": include_opt,
-            "include_all_selling": include_all_selling,
-        }
-    )
+    key: "dict[str, object]" = {
+        "engine": ENGINE_VERSION,
+        "config": config.content_hash(),
+        "user_id": user.user_id,
+        "group": user.group,
+        "cv": user.cv,
+        "imitator": user.imitator_name,
+        "demands": user.schedule.demands.values,
+        "reservations": user.schedule.reservations,
+        "include_opt": include_opt,
+        "include_all_selling": include_all_selling,
+    }
+    if clearing is not None:
+        # Only added when present so pre-clearing cache entries keep
+        # their keys (an absent entry and an explicit None must hash
+        # identically to the historical key).
+        key["clearing"] = clearing.content_digest()
+    return stable_hash(key)
 
 
 def _outcome_payload(outcome: UserOutcome) -> dict:
@@ -481,6 +574,7 @@ def _outcome_payload(outcome: UserOutcome) -> dict:
         "instances_reserved": outcome.instances_reserved,
         "costs": outcome.costs,
         "instances_sold": outcome.instances_sold,
+        "instances_cleared": outcome.instances_cleared,
     }
 
 
@@ -490,6 +584,7 @@ def _outcome_from_payload(payload: dict) -> "UserOutcome | None":
     if payload.get("format") != _CACHE_FORMAT:
         return None
     try:
+        cleared_payload = payload.get("instances_cleared")
         return UserOutcome(
             user_id=payload["user_id"],
             group=FluctuationGroup(payload["group"]),
@@ -500,6 +595,11 @@ def _outcome_from_payload(payload: dict) -> "UserOutcome | None":
             instances_sold={
                 name: int(v) for name, v in payload["instances_sold"].items()
             },
+            instances_cleared=(
+                {name: int(v) for name, v in cleared_payload.items()}
+                if cleared_payload is not None
+                else None
+            ),
         )
     except (KeyError, TypeError, ValueError):
         return None
@@ -515,6 +615,7 @@ def run_sweep(
     workers: "int | _Unset" = _UNSET,
     cache: "ResultCache | str | Path | None | _Unset" = _UNSET,
     engine: "str | _Unset" = _UNSET,
+    clearing: "ClearingModel | None" = None,
 ) -> SweepResult:
     """Run the full population sweep (building the population if needed).
 
@@ -531,7 +632,13 @@ def run_sweep(
     :mod:`repro.core.popsim` — outcomes are bit-identical either way
     (cache entries are shared across engines for the same reason), but
     the population path needs one common horizon. Stage timings land on
-    ``SweepResult.timing``.
+    ``SweepResult.timing``. ``clearing`` attaches a
+    :class:`~repro.core.clearing.ClearingModel`: online and all-selling
+    sales clear stochastically (per-user streams keyed by ``user_id``,
+    so both engines and any worker count agree bit for bit) while the
+    offline optimum stays the instant-sale baseline; the cache key
+    incorporates the clearing configuration, so clearing-on and
+    clearing-off results can never alias.
     """
     given: "dict[str, object]" = {
         "users": users,
@@ -573,6 +680,7 @@ def run_sweep(
         raise ExperimentError(
             f"unknown sweep engine {engine!r}; choose one of {SWEEP_ENGINES}"
         )
+    _validate_clearing(clearing)
     timer = StageTimer()
     store = as_cache(cache)
     with timer.stage("population"):
@@ -588,7 +696,9 @@ def run_sweep(
     if store is not None:
         with timer.stage("cache-lookup"):
             for index, user in enumerate(population):
-                key = user_cache_key(config, user, include_opt, include_all_selling)
+                key = user_cache_key(
+                    config, user, include_opt, include_all_selling, clearing
+                )
                 keys[index] = key
                 payload = store.get(key)
                 restored = _outcome_from_payload(payload) if payload is not None else None
@@ -625,10 +735,14 @@ def run_sweep(
                 include_all_selling,
                 workers,
                 on_progress,
+                clearing,
             )
         else:
             tasks = [
-                _SweepTask(population[index], model, include_opt, include_all_selling)
+                _SweepTask(
+                    population[index], model, include_opt, include_all_selling,
+                    clearing,
+                )
                 for index in pending
             ]
             computed = parallel_map(

@@ -23,8 +23,12 @@ Sources
       ``for x in set(…)`` without a ``sorted`` wrapper).
 
 Sinks
-    Functions defined in ``core/`` (including ``core/fastsim.py``),
-    ``analysis/``, or ``serve/state.py``.
+    Functions defined in ``core/`` (including ``core/fastsim.py`` and
+    ``core/clearing.py``), ``analysis/``, ``marketplace/``, or
+    ``serve/state.py``. The marketplace joined the sink set when the
+    clearing engine wired its sellers and buyers into the decision
+    engines — a wall-clock or global-RNG read there now taints sweep
+    results the same way one in ``core/`` would.
 
 A finding is a sink function from which some call chain reaches a
 source; the message spells out one witness chain end to end.
@@ -118,7 +122,7 @@ def _set_iteration_sources(
 
 
 def _is_sink_module(subpackage: str, relative_parts: "Tuple[str, ...]") -> bool:
-    if subpackage in ("core", "analysis"):
+    if subpackage in ("core", "analysis", "marketplace"):
         return True
     return relative_parts == ("serve", "state.py")
 

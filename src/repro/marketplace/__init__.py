@@ -1,6 +1,7 @@
 """Reserved Instance Marketplace substrate (Section III-B rules)."""
 
 from repro.marketplace.ecosystem import (
+    DealHunter,
     EcosystemOutcome,
     SellerOutcome,
     clear_market,
@@ -29,6 +30,7 @@ from repro.marketplace.valuation import (
 from repro.marketplace.seller import (
     AdaptiveDiscountSeller,
     FixedDiscountSeller,
+    LadderDiscountSeller,
     SaleLatencyModel,
     SellerStrategy,
 )
@@ -49,12 +51,14 @@ __all__ = [
     "SellerStrategy",
     "FixedDiscountSeller",
     "AdaptiveDiscountSeller",
+    "LadderDiscountSeller",
     "SaleLatencyModel",
     "ListingValuation",
     "value_listing",
     "optimal_discount",
     "EcosystemOutcome",
     "SellerOutcome",
+    "DealHunter",
     "clear_market",
     "endogenous_buy_requests",
 ]

@@ -150,6 +150,55 @@ def endogenous_buy_requests(
     return requests
 
 
+@dataclass(frozen=True)
+class DealHunter:
+    """A bargain-seeking buyer riding the population's own demand.
+
+    :func:`endogenous_buy_requests` models rational buyers who pay up to
+    the fair prorated value. A deal hunter is pickier: it only takes
+    listings priced at or below ``bargain_fraction`` of that value —
+    exactly the under-priced inventory a price-cutting seller
+    (:class:`~repro.marketplace.seller.AdaptiveDiscountSeller`, the
+    re-list ladder) eventually produces. Pointing a hunter cohort at a
+    market measures how much of the sell-side's discounting is captured
+    by opportunistic demand rather than by genuine reservation need.
+    """
+
+    bargain_fraction: float = 0.8
+    participation: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.bargain_fraction <= 1.0:
+            raise MarketplaceError(
+                f"bargain_fraction must lie in (0, 1], got {self.bargain_fraction!r}"
+            )
+        if not 0.0 <= self.participation <= 1.0:
+            raise MarketplaceError(
+                f"participation must lie in [0, 1], got {self.participation!r}"
+            )
+
+    def requests(
+        self,
+        schedules: "list[ReservationSchedule]",
+        model: CostModel,
+        rng: "np.random.Generator | None" = None,
+    ) -> "list[BuyRequest]":
+        """The population's demand, re-priced to only chase bargains."""
+        return [
+            BuyRequest(
+                buyer_id=f"hunter-{request.buyer_id}",
+                instance_type=request.instance_type,
+                count=request.count,
+                max_unit_price=self.bargain_fraction * request.max_unit_price,
+                hour=request.hour,
+                value_per_period=self.bargain_fraction * model.plan.upfront,
+            )
+            for request in endogenous_buy_requests(
+                schedules, model, self.participation, rng
+            )
+        ]
+
+
 def clear_market(
     seller_schedules: "list[ReservationSchedule]",
     buy_requests: "list[BuyRequest]",

@@ -17,12 +17,32 @@ deeper discount ``a`` "makes the instance more attractive to buyers".
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.errors import MarketplaceError
+from repro.errors import MarketplaceError, SimulationError
 from repro.marketplace.listing import SERVICE_FEE_RATE, Listing
+
+
+def _require_finite(name: str, value: float) -> float:
+    """Non-finite inputs pass ordering checks silently (``nan <= 0`` is
+    false), so every numeric field is gated here before the range tests."""
+    try:
+        value = float(value)
+    except (TypeError, ValueError) as error:
+        raise SimulationError(f"{name} must be a number, got {value!r}") from error
+    if not math.isfinite(value):
+        raise SimulationError(f"{name} must be finite, got {value!r}")
+    return value
+
+
+def _require_int(name: str, value: object) -> int:
+    """An integral count; fractional floats are rejected, not truncated."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise SimulationError(f"{name} must be an integer, got {value!r}")
+    return int(value)
 
 
 @dataclass(frozen=True)
@@ -45,6 +65,11 @@ class BuyRequest:
     value_per_period: "float | None" = None
 
     def __post_init__(self) -> None:
+        _require_int("count", self.count)
+        _require_int("hour", self.hour)
+        _require_finite("max_unit_price", self.max_unit_price)
+        if self.value_per_period is not None:
+            _require_finite("value_per_period", self.value_per_period)
         if self.count <= 0:
             raise MarketplaceError(f"count must be positive, got {self.count!r}")
         if self.max_unit_price < 0:
@@ -221,6 +246,14 @@ class BuyerArrivalProcess:
     max_price_fraction: float = 1.0
 
     def __post_init__(self) -> None:
+        for name in (
+            "rate_per_hour",
+            "mean_count",
+            "reference_price",
+            "min_price_fraction",
+            "max_price_fraction",
+        ):
+            _require_finite(name, getattr(self, name))
         if self.rate_per_hour <= 0:
             raise MarketplaceError(
                 f"rate_per_hour must be positive, got {self.rate_per_hour!r}"
@@ -284,6 +317,7 @@ def simulate_market(
     service_fee_rate: float = SERVICE_FEE_RATE,
 ) -> MarketOutcome:
     """Run ``hours`` of buyer arrivals against a cohort of listings."""
+    _require_int("hours", hours)
     if hours <= 0:
         raise MarketplaceError(f"hours must be positive, got {hours!r}")
     market = Marketplace(service_fee_rate=service_fee_rate)

@@ -20,7 +20,7 @@ import numpy as np
 
 from repro.errors import MarketplaceError
 from repro.marketplace.listing import SERVICE_FEE_RATE, Listing
-from repro.marketplace.market import BuyerArrivalProcess, Marketplace
+from repro.marketplace.market import BuyerArrivalProcess, Marketplace, _require_int
 from repro.marketplace.seller import SellerStrategy
 
 
@@ -78,6 +78,7 @@ def simulate_repricing_market(
 
     A listing leaves the market when its remaining period burns out.
     """
+    _require_int("hours", hours)
     if hours <= 0:
         raise MarketplaceError(f"hours must be positive, got {hours!r}")
     proceeds = 0.0

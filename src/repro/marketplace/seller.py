@@ -8,9 +8,18 @@ upfront fee" (Section III-B). This module provides:
   wait (the behaviour Eq. (1) assumes);
 * :class:`AdaptiveDiscountSeller` — start near the cap and cut the price
   while unsold (a common real-marketplace tactic);
+* :class:`LadderDiscountSeller` — re-list at stepped-down rungs on a
+  fixed cadence (the "cancel and re-list cheaper" tactic arXiv
+  2005.12249 observes in listing histories);
 * :class:`SaleLatencyModel` — a reduced-form hazard model of how long a
   listing waits before selling as a function of its discount, fitted to
   whatever :func:`~repro.marketplace.market.simulate_market` produces.
+
+The price-cutting sellers are promoted into the decision engines via
+:meth:`~AdaptiveDiscountSeller.as_discount_schedule`: the returned
+:class:`~repro.core.clearing.DiscountSchedule` drops into a
+:class:`~repro.core.clearing.ClearingModel` and from there into
+``run_fast``/``run_population``/``repro.serve`` unchanged.
 """
 
 from __future__ import annotations
@@ -21,7 +30,24 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.errors import MarketplaceError
+from repro.core.clearing import (
+    SCHEDULE_ADAPTIVE,
+    SCHEDULE_LADDER,
+    DiscountSchedule,
+)
+from repro.errors import MarketplaceError, SimulationError
+
+
+def _require_finite(name: str, value: float) -> float:
+    """Non-finite rates silently pass ordering checks (``nan <= 0`` is
+    false), so every numeric field is gated here first."""
+    try:
+        value = float(value)
+    except (TypeError, ValueError) as error:
+        raise SimulationError(f"{name} must be a number, got {value!r}") from error
+    if not math.isfinite(value):
+        raise SimulationError(f"{name} must be finite, got {value!r}")
+    return value
 
 
 class SellerStrategy(abc.ABC):
@@ -39,6 +65,7 @@ class FixedDiscountSeller(SellerStrategy):
     discount: float = 0.8
 
     def __post_init__(self) -> None:
+        _require_finite("discount", self.discount)
         if not 0.0 <= self.discount <= 1.0:
             raise MarketplaceError(f"discount must lie in [0, 1], got {self.discount!r}")
 
@@ -46,6 +73,10 @@ class FixedDiscountSeller(SellerStrategy):
         if prorated_cap < 0:
             raise MarketplaceError(f"prorated_cap must be >= 0, got {prorated_cap!r}")
         return self.discount * prorated_cap
+
+    def as_discount_schedule(self) -> DiscountSchedule:
+        """This seller as a clearing-engine discount schedule."""
+        return DiscountSchedule(start_discount=self.discount)
 
 
 @dataclass(frozen=True)
@@ -61,6 +92,8 @@ class AdaptiveDiscountSeller(SellerStrategy):
     decay_per_day: float = 0.05
 
     def __post_init__(self) -> None:
+        for name in ("start_discount", "floor_discount", "decay_per_day"):
+            _require_finite(name, getattr(self, name))
         if not 0.0 <= self.floor_discount <= self.start_discount <= 1.0:
             raise MarketplaceError(
                 "need 0 <= floor_discount <= start_discount <= 1, got "
@@ -78,6 +111,74 @@ class AdaptiveDiscountSeller(SellerStrategy):
         discount = self.start_discount * (1.0 - self.decay_per_day) ** days
         return max(discount, self.floor_discount) * prorated_cap
 
+    def as_discount_schedule(self) -> DiscountSchedule:
+        """This seller as a clearing-engine discount schedule."""
+        return DiscountSchedule(
+            kind=SCHEDULE_ADAPTIVE,
+            start_discount=self.start_discount,
+            floor_discount=self.floor_discount,
+            decay_per_day=self.decay_per_day,
+        )
+
+    def as_selling_policy(self, phi: float):
+        """Promote to a first-class policy deciding at fraction ``phi``."""
+        from repro.core.policies import ListedSellingPolicy
+
+        return ListedSellingPolicy(phi, self.as_discount_schedule())
+
+
+@dataclass(frozen=True)
+class LadderDiscountSeller(SellerStrategy):
+    """Re-list down a fixed ladder of discounts every ``step_hours``.
+
+    Real sellers rarely reprice continuously: they cancel an unsold
+    listing after a week or two and re-list it cheaper. The ladder holds
+    its last rung once exhausted.
+    """
+
+    ladder: "tuple[float, ...]" = (1.0, 0.85, 0.7)
+    step_hours: int = 168
+
+    def __post_init__(self) -> None:
+        if not self.ladder:
+            raise MarketplaceError("ladder must be a non-empty tuple of discounts")
+        for index, rung in enumerate(self.ladder):
+            _require_finite(f"ladder[{index}]", rung)
+            if not 0.0 <= rung <= 1.0:
+                raise MarketplaceError(
+                    f"ladder[{index}] must lie in [0, 1], got {rung!r}"
+                )
+        if isinstance(self.step_hours, bool) or not isinstance(
+            self.step_hours, int
+        ):
+            raise SimulationError(
+                f"step_hours must be an integer hour count, got {self.step_hours!r}"
+            )
+        if self.step_hours < 1:
+            raise MarketplaceError(
+                f"step_hours must be >= 1, got {self.step_hours!r}"
+            )
+
+    def asking_price(self, prorated_cap: float, hours_listed: int) -> float:
+        if hours_listed < 0:
+            raise MarketplaceError(f"hours_listed must be >= 0, got {hours_listed!r}")
+        rung = min(hours_listed // self.step_hours, len(self.ladder) - 1)
+        return self.ladder[rung] * prorated_cap
+
+    def as_discount_schedule(self) -> DiscountSchedule:
+        """This seller as a clearing-engine discount schedule."""
+        return DiscountSchedule(
+            kind=SCHEDULE_LADDER,
+            ladder=self.ladder,
+            step_hours=self.step_hours,
+        )
+
+    def as_selling_policy(self, phi: float):
+        """Promote to a first-class policy deciding at fraction ``phi``."""
+        from repro.core.policies import ListedSellingPolicy
+
+        return ListedSellingPolicy(phi, self.as_discount_schedule())
+
 
 @dataclass(frozen=True)
 class SaleLatencyModel:
@@ -92,6 +193,8 @@ class SaleLatencyModel:
     sensitivity: float = 4.0
 
     def __post_init__(self) -> None:
+        _require_finite("base_hazard", self.base_hazard)
+        _require_finite("sensitivity", self.sensitivity)
         if self.base_hazard <= 0:
             raise MarketplaceError(
                 f"base_hazard must be positive, got {self.base_hazard!r}"
@@ -103,6 +206,7 @@ class SaleLatencyModel:
 
     def hazard(self, discount: float) -> float:
         """Per-hour sale probability for effective discount ``a``."""
+        _require_finite("discount", discount)
         if not 0.0 <= discount <= 1.0:
             raise MarketplaceError(f"discount must lie in [0, 1], got {discount!r}")
         return min(self.base_hazard * math.exp(self.sensitivity * (1.0 - discount)), 1.0)

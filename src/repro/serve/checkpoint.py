@@ -31,6 +31,8 @@ from pathlib import Path
 from typing import Dict, Optional, Tuple
 
 from repro.core.account import CostModel, HourlyFeeMode
+from repro.core.clearing import ClearingModel
+from repro.errors import SimulationError
 from repro.pricing.plan import PricingPlan
 from repro.serve.errors import CheckpointError, ServeStateError
 from repro.serve.state import STATE_VERSION, FleetState
@@ -38,7 +40,14 @@ from repro.serve.state import STATE_VERSION, FleetState
 #: Version of the checkpoint payload shape; bump on structural changes.
 #: Format 2 adds per-instance ``working_in_term`` (exact cost
 #: accounting) and an opaque ``extra`` dict (shard ingest bookkeeping).
-CHECKPOINT_FORMAT = 2
+#: Format 3 adds the fleet's clearing model and per-spot listing state
+#: (``clear_at``/``fate``); format-2 files still restore (no clearing,
+#: no open listings).
+CHECKPOINT_FORMAT = 3
+
+#: Older payload shapes this build still reads. Format 2 is a strict
+#: subset of format 3 — the listing fields default to "no listing".
+_COMPATIBLE_FORMATS = (2, CHECKPOINT_FORMAT)
 
 
 @dataclass
@@ -78,6 +87,9 @@ def fleet_to_payload(
         },
         "threshold_scale": fleet.threshold_scale,
         "phis": list(fleet.phis),
+        "clearing": (
+            fleet.clearing.to_payload() if fleet.clearing is not None else None
+        ),
         "events_ingested": int(events_ingested),
         "extra": dict(extra) if extra else {},
         "instances": fleet.snapshot_instances(),
@@ -89,10 +101,10 @@ def checkpoint_from_payload(payload: dict) -> Checkpoint:
     if not isinstance(payload, dict):
         raise CheckpointError("checkpoint payload is not a JSON object")
     fmt = payload.get("format")
-    if fmt != CHECKPOINT_FORMAT:
+    if fmt not in _COMPATIBLE_FORMATS:
         raise CheckpointError(
             f"checkpoint format {fmt!r} is not supported "
-            f"(this build reads format {CHECKPOINT_FORMAT})"
+            f"(this build reads formats {_COMPATIBLE_FORMATS})"
         )
     state_version = payload.get("state_version")
     if state_version != STATE_VERSION:
@@ -110,10 +122,17 @@ def checkpoint_from_payload(payload: dict) -> Checkpoint:
             marketplace_fee=float(model_spec["marketplace_fee"]),
             fee_mode=HourlyFeeMode(model_spec["fee_mode"]),
         )
+        clearing_spec = payload.get("clearing")
+        clearing = (
+            ClearingModel.from_payload(clearing_spec)
+            if clearing_spec is not None
+            else None
+        )
         fleet = FleetState(
             model,
             phis=tuple(float(phi) for phi in payload["phis"]),
             threshold_scale=float(payload["threshold_scale"]),
+            clearing=clearing,
         )
         fleet.restore_instances(payload["instances"])
         events_ingested = int(payload.get("events_ingested", 0))
@@ -124,7 +143,13 @@ def checkpoint_from_payload(payload: dict) -> Checkpoint:
             )
     except CheckpointError:
         raise
-    except (KeyError, TypeError, ValueError, ServeStateError) as error:
+    except (
+        KeyError,
+        TypeError,
+        ValueError,
+        ServeStateError,
+        SimulationError,
+    ) as error:
         raise CheckpointError(f"malformed checkpoint payload: {error}") from error
     return Checkpoint(fleet=fleet, events_ingested=events_ingested, extra=extra)
 

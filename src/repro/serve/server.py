@@ -52,6 +52,7 @@ from repro._compat import absorb_positional_tail as _absorb_positional_tail
 from repro._version import __version__
 from repro.core.account import CostModel
 from repro.core.breakeven import PAPER_DECISION_FRACTIONS
+from repro.core.clearing import LIQUIDITY_REGIMES, ClearingModel
 from repro.pricing.catalog import paper_experiment_plan
 from repro.serve.checkpoint import restore_checkpoint, save_checkpoint
 from repro.serve.envelope import SCHEMA_VERSION, envelope, error_envelope
@@ -79,15 +80,26 @@ DEFAULT_MAX_BATCH = 10_000
 #: Default cap on concurrently-executing ingest requests (excess: 429).
 DEFAULT_MAX_INFLIGHT = 8
 
+#: Histogram buckets (hours) for how long listings sit before clearing.
+#: The metrics default buckets are sub-second request latencies; listing
+#: delays run from same-hour clears to multi-week thin-market waits.
+CLEARING_DELAY_BUCKETS = (
+    1.0, 2.0, 4.0, 8.0, 24.0, 48.0, 96.0, 168.0, 336.0, 672.0,
+)
+
 
 def _decision_to_json(decision: FleetDecision) -> "Dict[str, object]":
-    return {
+    body: "Dict[str, object]" = {
         "instance": decision.instance,
         "phi": decision.phi,
         "verdict": decision.verdict.value,
         "working_hours": decision.working_hours,
         "age_hours": decision.age,
     }
+    if decision.listing is not None:
+        body["listing"] = decision.listing
+        body["waited_hours"] = decision.waited_hours
+    return body
 
 
 class AdvisoryApp:
@@ -162,6 +174,26 @@ class AdvisoryApp:
         )
         self.checkpoints_total = self.registry.counter(
             "repro_serve_checkpoints_total", "Checkpoints written."
+        )
+        self.listings_open_total = self.registry.counter(
+            "repro_serve_listings_open_total",
+            "Marketplace listings opened by SELL decisions, by phi.",
+            labelnames=("phi",),
+        )
+        self.listings_cleared_total = self.registry.counter(
+            "repro_serve_listings_cleared_total",
+            "Listings that found a buyer and cleared, by phi.",
+            labelnames=("phi",),
+        )
+        self.listings_expired_total = self.registry.counter(
+            "repro_serve_listings_expired_total",
+            "Listings whose window closed unsold (reverted to KEEP), by phi.",
+            labelnames=("phi",),
+        )
+        self.clearing_delay_hours = self.registry.histogram(
+            "repro_serve_clearing_delay_hours",
+            "Hours a cleared listing sat on the book before selling.",
+            buckets=CLEARING_DELAY_BUCKETS,
         )
 
     # ------------------------------------------------------------------
@@ -296,12 +328,21 @@ class AdvisoryApp:
                     self._checkpoint_locked()
         self.events_total.inc(len(instances))
         for decision in settled:
+            phi_label = {"phi": repr(decision.phi)}
             self.decisions_total.inc(
-                labels={
-                    "verdict": decision.verdict.value,
-                    "phi": repr(decision.phi),
-                }
+                labels={"verdict": decision.verdict.value, **phi_label}
             )
+            if decision.listing == "opened":
+                self.listings_open_total.inc(labels=phi_label)
+            elif decision.listing == "cleared":
+                if decision.waited_hours == 0:
+                    # Instant clear: the listing opened and cleared in
+                    # the same decision, so count the open here too.
+                    self.listings_open_total.inc(labels=phi_label)
+                self.listings_cleared_total.inc(labels=phi_label)
+                self.clearing_delay_hours.observe(float(decision.waited_hours))
+            elif decision.listing == "expired":
+                self.listings_expired_total.inc(labels=phi_label)
         return response
 
     def decisions(
@@ -528,9 +569,16 @@ def build_app(
     max_batch: "int | _Unset" = _UNSET,
     max_inflight: "int | _Unset" = _UNSET,
     checkpoint_fsync: bool = False,
+    clearing: "ClearingModel | None" = None,
 ) -> AdvisoryApp:
     """Assemble an app, restoring fleet state from ``checkpoint_path``
     when a checkpoint exists there (a fresh fleet otherwise).
+
+    ``clearing`` attaches a marketplace clearing model to a *fresh*
+    fleet (SELL decisions open listings and settle later — see
+    :class:`~repro.serve.state.FleetState`). A restored checkpoint
+    carries its own clearing model, which wins: mid-flight listings must
+    settle under the hazards they were drawn from.
 
     The configuration tail is keyword-only; passing it positionally is
     deprecated and supported for one release behind a
@@ -585,7 +633,9 @@ def build_app(
             if isinstance(stored_response, dict):
                 last_response = stored_response
     else:
-        fleet = FleetState(model, phis=resolved_phis)  # type: ignore[arg-type]
+        fleet = FleetState(
+            model, phis=resolved_phis, clearing=clearing  # type: ignore[arg-type]
+        )
     return AdvisoryApp(
         fleet,
         checkpoint_path=resolved_path,  # type: ignore[arg-type]
@@ -640,6 +690,23 @@ def build_parser() -> argparse.ArgumentParser:
         default=list(PAPER_DECISION_FRACTIONS),
         metavar="PHI",
         help="decision fractions to advise at (default: 0.75 0.5 0.25)",
+    )
+    parser.add_argument(
+        "--clearing",
+        choices=("off", *sorted(LIQUIDITY_REGIMES)),
+        default="off",
+        help=(
+            "marketplace liquidity regime: SELL decisions open listings "
+            "that clear stochastically instead of instantly; 'off' keeps "
+            "the paper's instant-sale semantics (default: %(default)s)"
+        ),
+    )
+    parser.add_argument(
+        "--clearing-seed",
+        type=int,
+        default=0,
+        metavar="SEED",
+        help="base seed of the clearing draw streams (default: %(default)s)",
     )
     parser.add_argument(
         "--checkpoint",
@@ -754,6 +821,11 @@ def main(argv: "Optional[Sequence[str]]" = None) -> int:
     if args.period_hours != plan.period_hours:
         plan = plan.with_period(args.period_hours)
     model = CostModel(plan=plan, selling_discount=args.discount)
+    clearing = (
+        ClearingModel.for_regime(args.clearing, seed=args.clearing_seed)
+        if args.clearing != "off"
+        else None
+    )
     try:
         app = build_app(
             model,
@@ -762,6 +834,7 @@ def main(argv: "Optional[Sequence[str]]" = None) -> int:
             checkpoint_interval=args.checkpoint_interval,
             max_batch=args.max_batch,
             max_inflight=args.max_inflight,
+            clearing=clearing,
         )
     except (ServeError, CheckpointError) as error:
         print(f"repro.serve: error: {error}", file=sys.stderr)

@@ -57,7 +57,8 @@ from repro.core.breakeven import (
     break_even_working_hours,
     validate_phi,
 )
-from repro.core.fastsim import FastPolicyKind, FastSale
+from repro.core.clearing import ClearingModel, ClearingProfile
+from repro.core.fastsim import FastListing, FastPolicyKind, FastSale
 from repro.serve.errors import ServeStateError
 
 #: Version of the serving state machine's behaviour. Part of every
@@ -73,6 +74,7 @@ class Verdict(enum.Enum):
     SELL = "sell"
     KEEP = "keep"
     PENDING = "pending"  # the decision hour has not been reached yet
+    WAIT_FOR_CLEAR = "wait-for-clear"  # listed, awaiting a marketplace buyer
 
 
 @dataclass(frozen=True)
@@ -106,7 +108,14 @@ class StreamTracker:
 
     Parameters mirror ``run_fast``: the cost model, the decision
     fraction ``phi``, the policy ``kind``, and ``threshold_scale``
-    (scales the break-even β; 1.0 is the paper's rule).
+    (scales the break-even β; 1.0 is the paper's rule). With a
+    :class:`~repro.core.clearing.ClearingModel` the tracker reproduces
+    ``run_fast(..., clearing=clearing, clearing_key=clearing_key)``:
+    SELL decisions open listings, the unit keeps serving (and billing)
+    until its drawn clearing hour, income books at the clearing hour,
+    and listings whose window closes unsold revert to serving out the
+    reservation. The decision sequence itself never changes — clearing
+    only splits the *physical* timeline from the effective one.
     """
 
     def __init__(
@@ -115,6 +124,9 @@ class StreamTracker:
         phi: float = 0.75,
         kind: FastPolicyKind = FastPolicyKind.ONLINE,
         threshold_scale: float = 1.0,
+        *,
+        clearing: "ClearingModel | None" = None,
+        clearing_key: object = 0,
     ) -> None:
         period = model.period
         if kind is not FastPolicyKind.KEEP_RESERVED:
@@ -139,10 +151,36 @@ class StreamTracker:
             self._per_sale_income = model.sale_income(remaining_fraction)
         else:
             self._per_sale_income = 0.0
+        if clearing is not None and not isinstance(clearing, ClearingModel):
+            raise ServeStateError(
+                f"clearing must be a ClearingModel or None, got "
+                f"{type(clearing).__name__}"
+            )
+        self.clearing = clearing
+        self._clear_profile: "ClearingProfile | None" = None
+        self._clear_rng: "np.random.Generator | None" = None
+        if clearing is not None and self._evaluate:
+            self._clear_profile = clearing.profile(
+                model.selling_discount, period, self._decision_age
+            )
+            self._clear_rng = clearing.stream(clearing_key)
 
         self.hour = 0
-        self._active = 0  # live value of both r_physical and r_effective
+        # Without clearing ``_active`` is the live value of *both*
+        # r_physical and r_effective. With clearing it tracks the
+        # effective count (decisions); ``_pending_serving`` counts sold
+        # units still physically serving — listed-but-uncleared and
+        # expired-listing units — so ``_active + _pending_serving`` is
+        # the live r_physical that costs bill against.
+        self._active = 0
         self._pending_expiry: Dict[int, int] = {}
+        self._pending_serving = 0
+        self._pending_serving_drop: Dict[int, int] = {}
+        self._pending_income: Dict[int, List[float]] = {}
+        # (reserved_at, batch_index, listed_at, delay, fate_hour, fate,
+        #  income) — fate is "clear" or "expire"; rendered lazily by
+        # :attr:`listings` against the hours observed so far.
+        self._listings: "List[Tuple[int, int, int, int, int, str, float]]" = []
         self._total_reserved = 0
         self._od_hours = 0
         self._billed_hours = 0
@@ -177,8 +215,15 @@ class StreamTracker:
         n_new = int(reservations)
         t = self.hour
 
-        # 1. Expired reservations stop serving (and stop billing).
+        # 1. Expired reservations stop serving (and stop billing); sold
+        #    units clear (income books now, the unit stops serving) or
+        #    their listing window closes (an expired-fate unit serves
+        #    until its reservation expiry, handled by the same drop map).
         self._active -= self._pending_expiry.pop(t, 0)
+        if self.clearing is not None:
+            self._pending_serving -= self._pending_serving_drop.pop(t, 0)
+            for sale_value in self._pending_income.pop(t, ()):
+                self._income += sale_value
 
         # 2. New reservations arrive and open a decision window.
         if n_new:
@@ -215,13 +260,15 @@ class StreamTracker:
             slack = self._active - d - l_count + self._sales_total
             window.hist[slack] = window.hist.get(slack, 0) + 1
 
-        # 5. Book this hour's costs against the live reservation count.
-        if d > self._active:
-            self._od_hours += d - self._active
+        # 5. Book this hour's costs against the live *physical* count:
+        #    listed-but-uncleared units still serve and still bill.
+        live = self._active + self._pending_serving
+        if d > live:
+            self._od_hours += d - live
         if self.model.fee_mode is HourlyFeeMode.ACTIVE:
-            self._billed_hours += self._active
+            self._billed_hours += live
         else:
-            self._billed_hours += d if d < self._active else self._active
+            self._billed_hours += d if d < live else live
 
         self.hour = t + 1
         return emitted
@@ -257,9 +304,12 @@ class StreamTracker:
             if sell:
                 self._active -= 1
                 self._pending_expiry[window.expiry] -= 1
-                self._income += self._per_sale_income
                 self._sales_total += 1
                 verdict = Verdict.SELL
+                if self._clear_profile is None:
+                    self._income += self._per_sale_income
+                else:
+                    self._list_sale(window, t, i)
             else:
                 verdict = Verdict.KEEP
             emitted.append(
@@ -272,6 +322,46 @@ class StreamTracker:
                 )
             )
         return tuple(emitted)
+
+    def _list_sale(self, window: _OpenWindow, t: int, batch_index: int) -> None:
+        """Open a marketplace listing for one SELL decision at hour ``t``.
+
+        Draws the clearing delay, books delay-0 clears immediately
+        (scheduled clears for this hour were already booked in step 1,
+        so income accumulates in ``run_fast``'s (clear_hour, listing)
+        order), and schedules the physical-serving drop: at the clearing
+        hour for cleared-fate listings, at the reservation expiry for
+        expired-fate ones.
+        """
+        profile = self._clear_profile
+        delay = profile.sample_delay(self._clear_rng.random())
+        if delay < profile.window:
+            clear_at = t + delay
+            clear_fraction = 1.0 - (clear_at - window.t0) / self._period
+            sale_value = (
+                (1.0 - self.model.marketplace_fee)
+                * float(profile.discounts[delay])
+                * clear_fraction
+                * self.model.big_r
+            )
+            if delay == 0:
+                self._income += sale_value
+            else:
+                self._pending_serving += 1
+                self._pending_serving_drop[clear_at] = (
+                    self._pending_serving_drop.get(clear_at, 0) + 1
+                )
+                self._pending_income.setdefault(clear_at, []).append(sale_value)
+            fate_hour, fate, income = clear_at, "clear", sale_value
+        else:
+            self._pending_serving += 1
+            self._pending_serving_drop[window.expiry] = (
+                self._pending_serving_drop.get(window.expiry, 0) + 1
+            )
+            fate_hour, fate, income = t + profile.window, "expire", 0.0
+        self._listings.append(
+            (window.t0, batch_index, t, delay, fate_hour, fate, income)
+        )
 
     # ------------------------------------------------------------------
 
@@ -307,6 +397,65 @@ class StreamTracker:
         return len(self._open)
 
     @property
+    def listings(self) -> Tuple[FastListing, ...]:
+        """Listing lifecycle records, rendered against the hours seen so
+        far; after ``H`` observed hours this equals
+        ``run_fast(d[:H], n[:H], ..., clearing=...).listings`` exactly.
+        Empty without a clearing model."""
+        rendered: List[FastListing] = []
+        horizon = self.hour
+        for t0, batch_index, listed_at, delay, fate_hour, fate, income in (
+            self._listings
+        ):
+            settled = fate_hour < horizon
+            if fate == "clear":
+                outcome = "cleared" if settled else "open"
+                cleared_at = fate_hour if settled else None
+            else:
+                outcome = "expired" if settled else "open"
+                cleared_at = None
+            rendered.append(
+                FastListing(
+                    reserved_at=t0,
+                    batch_index=batch_index,
+                    listed_at=listed_at,
+                    delay=delay,
+                    cleared_at=cleared_at,
+                    outcome=outcome,
+                    income=income if (fate == "clear" and settled) else 0.0,
+                )
+            )
+        return tuple(rendered)
+
+    @property
+    def listings_open(self) -> int:
+        """Listings still on the marketplace book right now."""
+        return sum(
+            1 for record in self._listings if record[4] >= self.hour
+        )
+
+    @property
+    def instances_cleared(self) -> int:
+        """Sales that actually cleared on the marketplace; equals
+        :attr:`instances_sold` without a clearing model."""
+        if self.clearing is None:
+            return self.instances_sold
+        return sum(
+            1
+            for record in self._listings
+            if record[5] == "clear" and record[4] < self.hour
+        )
+
+    @property
+    def listings_expired(self) -> int:
+        """Listings whose clearing window closed without a buyer."""
+        return sum(
+            1
+            for record in self._listings
+            if record[5] == "expire" and record[4] < self.hour
+        )
+
+    @property
     def breakdown(self) -> CostBreakdown:
         """Eq. (1) cost components accumulated over the observed hours;
         equals the batch engine's breakdown for the same trace prefix."""
@@ -325,12 +474,20 @@ def run_stream(
     phi: float = 0.75,
     kind: FastPolicyKind = FastPolicyKind.ONLINE,
     threshold_scale: float = 1.0,
+    *,
+    clearing: "ClearingModel | None" = None,
+    clearing_key: object = 0,
 ) -> StreamTracker:
     """Feed a whole trace through a fresh :class:`StreamTracker` —
     the streaming counterpart of :func:`repro.core.fastsim.run_fast`,
     returning the tracker for inspection."""
     tracker = StreamTracker(
-        model, phi=phi, kind=kind, threshold_scale=threshold_scale
+        model,
+        phi=phi,
+        kind=kind,
+        threshold_scale=threshold_scale,
+        clearing=clearing,
+        clearing_key=clearing_key,
     )
     tracker.observe_trace(demands, reservations)
     return tracker
@@ -343,13 +500,21 @@ def run_stream(
 _PENDING = 0
 _SELL = 1
 _KEEP = 2
+_WAIT = 3
 
 _VERDICT_CODES = {
     _PENDING: Verdict.PENDING,
     _SELL: Verdict.SELL,
     _KEEP: Verdict.KEEP,
+    _WAIT: Verdict.WAIT_FOR_CLEAR,
 }
 _CODES_BY_VERDICT = {verdict: code for code, verdict in _VERDICT_CODES.items()}
+
+#: Listing fates per (instance, φ) under clearing: no listing, a drawn
+#: clearing hour ahead, or a window that will close unsold.
+_FATE_NONE = 0
+_FATE_CLEAR = 1
+_FATE_EXPIRE = 2
 
 
 @dataclass(frozen=True)
@@ -363,13 +528,23 @@ class PhiThreshold:
 
 @dataclass(frozen=True)
 class FleetDecision:
-    """A newly-settled verdict for one fleet instance at one φ."""
+    """A newly-settled verdict for one fleet instance at one φ.
+
+    Under a clearing model a SELL-rule hit first settles as
+    ``WAIT_FOR_CLEAR`` (``listing="opened"``); a second decision follows
+    when the listing resolves — ``SELL`` with ``listing="cleared"`` or
+    ``KEEP`` with ``listing="expired"`` — carrying the hours the listing
+    sat on the book in ``waited_hours``. Without clearing both fields
+    keep their defaults.
+    """
 
     instance: str
     phi: float
     verdict: Verdict
     working_hours: int
     age: int
+    listing: "str | None" = None
+    waited_hours: int = 0
 
 
 class FleetState:
@@ -394,7 +569,14 @@ class FleetState:
         phis: Sequence[float] = PAPER_DECISION_FRACTIONS,
         threshold_scale: float = 1.0,
         capacity: int = 64,
+        *,
+        clearing: "ClearingModel | None" = None,
     ) -> None:
+        if clearing is not None and not isinstance(clearing, ClearingModel):
+            raise ServeStateError(
+                f"clearing must be a ClearingModel or None, got "
+                f"{type(clearing).__name__}"
+            )
         if threshold_scale < 0:
             raise ServeStateError(
                 f"threshold_scale must be >= 0, got {threshold_scale!r}"
@@ -426,6 +608,15 @@ class FleetState:
         self.threshold_scale = threshold_scale
         self.thresholds: Tuple[PhiThreshold, ...] = tuple(thresholds)
         self._period = period
+        self.clearing = clearing
+        self._clear_profiles: "List[ClearingProfile] | None" = None
+        if clearing is not None:
+            self._clear_profiles = [
+                clearing.profile(
+                    model.selling_discount, period, threshold.decision_age
+                )
+                for threshold in self.thresholds
+            ]
         capacity = max(int(capacity), 1)
         self._age = np.zeros(capacity, dtype=np.int64)
         self._working = np.zeros(capacity, dtype=np.int64)
@@ -434,6 +625,12 @@ class FleetState:
         self._working_at = [
             np.full(capacity, -1, dtype=np.int64) for _ in thresholds
         ]
+        # Per-φ listing state: the age at which an open listing resolves
+        # (-1 = no listing pending) and its drawn fate.
+        self._clear_at = [
+            np.full(capacity, -1, dtype=np.int64) for _ in thresholds
+        ]
+        self._fate = [np.zeros(capacity, dtype=np.int8) for _ in thresholds]
         self._ids: List[str] = []
         self._index: Dict[str, int] = {}
 
@@ -476,6 +673,14 @@ class FleetState:
         self._working_at = [
             np.concatenate([w, np.full(extra, -1, dtype=np.int64)])
             for w in self._working_at
+        ]
+        self._clear_at = [
+            np.concatenate([c, np.full(extra, -1, dtype=np.int64)])
+            for c in self._clear_at
+        ]
+        self._fate = [
+            np.concatenate([f, np.zeros(extra, dtype=np.int8)])
+            for f in self._fate
         ]
 
     def register(self, instance_id: str) -> int:
@@ -536,24 +741,150 @@ class FleetState:
             self._working_in_term[idx] += flags * (ages <= self._period)
             for k, threshold in enumerate(self.thresholds):
                 hit = ages == threshold.decision_age
-                if not hit.any():
-                    continue
-                hit_idx = idx[hit]
-                working = self._working[hit_idx]
-                self._working_at[k][hit_idx] = working
-                sell = working < self.threshold_scale * threshold.beta
-                self._verdicts[k][hit_idx] = np.where(sell, _SELL, _KEEP)
-                for position, instance_index in enumerate(hit_idx):
-                    settled.append(
-                        FleetDecision(
-                            instance=self._ids[int(instance_index)],
-                            phi=threshold.phi,
-                            verdict=Verdict.SELL if sell[position] else Verdict.KEEP,
-                            working_hours=int(working[position]),
-                            age=threshold.decision_age,
+                if hit.any():
+                    hit_idx = idx[hit]
+                    working = self._working[hit_idx]
+                    self._working_at[k][hit_idx] = working
+                    sell = working < self.threshold_scale * threshold.beta
+                    if self._clear_profiles is None:
+                        self._verdicts[k][hit_idx] = np.where(sell, _SELL, _KEEP)
+                        for position, instance_index in enumerate(hit_idx):
+                            settled.append(
+                                FleetDecision(
+                                    instance=self._ids[int(instance_index)],
+                                    phi=threshold.phi,
+                                    verdict=(
+                                        Verdict.SELL
+                                        if sell[position]
+                                        else Verdict.KEEP
+                                    ),
+                                    working_hours=int(working[position]),
+                                    age=threshold.decision_age,
+                                )
+                            )
+                    else:
+                        settled.extend(
+                            self._decide_with_listings(
+                                k, threshold, hit_idx, working, sell
+                            )
                         )
-                    )
+                if self._clear_profiles is not None:
+                    settled.extend(self._settle_listings(k, threshold, idx, ages))
         return settled
+
+    def _decide_with_listings(
+        self,
+        k: int,
+        threshold: PhiThreshold,
+        hit_idx: np.ndarray,
+        working: np.ndarray,
+        sell: np.ndarray,
+    ) -> List[FleetDecision]:
+        """Decision-hour verdicts under a clearing model.
+
+        KEEP stays KEEP; a SELL-rule hit draws its clearing delay from a
+        per-(instance, φ) stream — deterministic, so a restored
+        checkpoint and the original process agree — and either clears on
+        the spot (delay 0 → SELL, ``listing="cleared"``) or opens a
+        listing (``WAIT_FOR_CLEAR``, resolution age and fate recorded
+        for :meth:`_settle_listings`).
+        """
+        profile = self._clear_profiles[k]
+        emitted: List[FleetDecision] = []
+        for position, instance_index in enumerate(hit_idx):
+            index = int(instance_index)
+            instance_id = self._ids[index]
+            hours = int(working[position])
+            if not sell[position]:
+                self._verdicts[k][index] = _KEEP
+                emitted.append(
+                    FleetDecision(
+                        instance=instance_id,
+                        phi=threshold.phi,
+                        verdict=Verdict.KEEP,
+                        working_hours=hours,
+                        age=threshold.decision_age,
+                    )
+                )
+                continue
+            stream = self.clearing.stream(f"{instance_id}#{threshold.phi!r}")
+            delay = profile.sample_delay(float(stream.random()))
+            if delay == 0:
+                self._verdicts[k][index] = _SELL
+                emitted.append(
+                    FleetDecision(
+                        instance=instance_id,
+                        phi=threshold.phi,
+                        verdict=Verdict.SELL,
+                        working_hours=hours,
+                        age=threshold.decision_age,
+                        listing="cleared",
+                        waited_hours=0,
+                    )
+                )
+                continue
+            self._verdicts[k][index] = _WAIT
+            if delay < profile.window:
+                self._clear_at[k][index] = threshold.decision_age + delay
+                self._fate[k][index] = _FATE_CLEAR
+            else:
+                self._clear_at[k][index] = threshold.decision_age + profile.window
+                self._fate[k][index] = _FATE_EXPIRE
+            emitted.append(
+                FleetDecision(
+                    instance=instance_id,
+                    phi=threshold.phi,
+                    verdict=Verdict.WAIT_FOR_CLEAR,
+                    working_hours=hours,
+                    age=threshold.decision_age,
+                    listing="opened",
+                    waited_hours=0,
+                )
+            )
+        return emitted
+
+    def _settle_listings(
+        self,
+        k: int,
+        threshold: PhiThreshold,
+        idx: np.ndarray,
+        ages: np.ndarray,
+    ) -> List[FleetDecision]:
+        """Resolve WAIT_FOR_CLEAR listings whose age reached the drawn
+        resolution hour: cleared-fate listings settle to SELL
+        (``listing="cleared"``), expired windows revert to KEEP
+        (``listing="expired"``)."""
+        waiting = self._verdicts[k][idx] == _WAIT
+        if not waiting.any():
+            return []
+        due = waiting & (ages == self._clear_at[k][idx])
+        if not due.any():
+            return []
+        emitted: List[FleetDecision] = []
+        for instance_index in idx[due]:
+            index = int(instance_index)
+            age = int(self._age[index])
+            waited = age - threshold.decision_age
+            if int(self._fate[k][index]) == _FATE_CLEAR:
+                self._verdicts[k][index] = _SELL
+                verdict, listing = Verdict.SELL, "cleared"
+            else:
+                self._verdicts[k][index] = _KEEP
+                verdict, listing = Verdict.KEEP, "expired"
+            self._clear_at[k][index] = -1
+            self._fate[k][index] = _FATE_NONE
+            emitted.append(
+                FleetDecision(
+                    instance=self._ids[index],
+                    phi=threshold.phi,
+                    verdict=verdict,
+                    working_hours=int(self._working_at[k][index]),
+                    age=age,
+                    listing=listing,
+                    waited_hours=waited,
+                )
+            )
+        return emitted
 
     # ------------------------------------------------------------------
 
@@ -569,10 +900,13 @@ class FleetState:
         for k, threshold in enumerate(self.thresholds):
             code = int(self._verdicts[k][index])
             working_at = int(self._working_at[k][index])
-            spots[repr(threshold.phi)] = {
+            spot: "Dict[str, object]" = {
                 "verdict": _VERDICT_CODES[code].value,
                 "working_at_decision": working_at if working_at >= 0 else None,
             }
+            if self.clearing is not None and code == _WAIT:
+                spot["listing_resolves_at_age"] = int(self._clear_at[k][index])
+            spots[repr(threshold.phi)] = spot
         return {
             "instance": self._ids[index],
             "age_hours": int(self._age[index]),
@@ -614,7 +948,13 @@ class FleetState:
         reservation at the decision age (later busy hours are on-demand,
         income is one marketplace sale); KEEP and PENDING instances bill
         through the reservation period and pay on-demand only after it
-        expires.
+        expires. A WAIT_FOR_CLEAR instance counts as unsold — physically
+        accurate while its listing is open, since the unit keeps serving
+        and billing until it clears; once the listing settles, the
+        verdict (SELL or KEEP) takes over. The exact clearing-hour
+        income/billing split lives in the trace-exact engines
+        (:class:`StreamTracker`, :func:`repro.core.fastsim.run_fast`),
+        not in this fleet approximation.
         """
         size = len(self._ids)
         period = self._period
@@ -671,6 +1011,8 @@ class FleetState:
                 spots[repr(threshold.phi)] = {
                     "verdict": int(self._verdicts[k][index]),
                     "working_at": int(self._working_at[k][index]),
+                    "clear_at": int(self._clear_at[k][index]),
+                    "fate": int(self._fate[k][index]),
                 }
             snapshot.append(
                 {
@@ -701,8 +1043,22 @@ class FleetState:
                         raise ServeStateError(
                             f"unknown verdict code {code!r} in checkpoint row"
                         )
+                    if code == _WAIT and self.clearing is None:
+                        raise ServeStateError(
+                            "checkpoint row holds an open listing but this "
+                            "fleet has no clearing model to settle it"
+                        )
                     self._verdicts[k][index] = code
                     self._working_at[k][index] = int(spot["working_at"])
+                    # Listing fields are absent in pre-clearing (format
+                    # 2) checkpoint rows; default to "no listing".
+                    fate = int(spot.get("fate", _FATE_NONE))
+                    if fate not in (_FATE_NONE, _FATE_CLEAR, _FATE_EXPIRE):
+                        raise ServeStateError(
+                            f"unknown listing fate {fate!r} in checkpoint row"
+                        )
+                    self._clear_at[k][index] = int(spot.get("clear_at", -1))
+                    self._fate[k][index] = fate
             except (KeyError, TypeError, ValueError) as error:
                 raise ServeStateError(
                     f"malformed fleet state row: {row!r}"

@@ -1,0 +1,163 @@
+"""Clearing-enabled sweeps: engine equivalence, cache non-aliasing
+(ISSUE 9 satellite), and the liquidity report."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.clearing import ClearingModel
+from repro.core.policies import ONLINE_POLICIES, POLICY_KEEP, POLICY_OPT
+from repro.errors import ExperimentError
+from repro.experiments import liquidity
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.population import build_experiment_population
+from repro.experiments.runner import run_sweep, user_cache_key
+
+CONFIG = ExperimentConfig(
+    users_per_group=3, period_hours=64, seed=23, marketplace_fee=0.05, label="clr"
+)
+THIN = ClearingModel.for_regime("thin", seed=5)
+
+
+@pytest.fixture(scope="module")
+def population():
+    return build_experiment_population(CONFIG)
+
+
+def outcomes_equal(a, b):
+    if len(a) != len(b):
+        return False
+    return all(dataclasses.asdict(x) == dataclasses.asdict(y) for x, y in zip(a, b))
+
+
+class TestEngines:
+    def test_user_and_population_engines_agree_under_clearing(self, population):
+        user = run_sweep(CONFIG, users=population, clearing=THIN)
+        tensor = run_sweep(
+            CONFIG, users=population, engine="population", clearing=THIN
+        )
+        assert outcomes_equal(user.outcomes, tensor.outcomes)
+
+    def test_instant_regime_matches_clearing_off_costs(self, population):
+        off = run_sweep(CONFIG, users=population)
+        instant = run_sweep(
+            CONFIG, users=population, clearing=ClearingModel.instant(seed=9)
+        )
+        for plain, cleared in zip(off.outcomes, instant.outcomes):
+            assert plain.costs == cleared.costs
+            assert plain.instances_sold == cleared.instances_sold
+            # Instant clearing fills every listing.
+            assert cleared.instances_cleared == cleared.instances_sold
+
+    def test_clearing_changes_costs_and_tallies(self, population):
+        off = run_sweep(CONFIG, users=population)
+        thin = run_sweep(CONFIG, users=population, clearing=THIN)
+        assert any(
+            plain.costs != slow.costs
+            for plain, slow in zip(off.outcomes, thin.outcomes)
+        )
+        listed = sum(
+            sum(o.instances_sold[name] for name in ONLINE_POLICIES)
+            for o in thin.outcomes
+        )
+        cleared = sum(
+            sum(o.instances_cleared[name] for name in ONLINE_POLICIES)
+            for o in thin.outcomes
+        )
+        assert 0 <= cleared < listed
+        for outcome in thin.outcomes:
+            assert outcome.instances_cleared[POLICY_KEEP] == 0
+
+    def test_opt_stays_instant_baseline(self, population):
+        thin = run_sweep(CONFIG, users=population, include_opt=True, clearing=THIN)
+        off = run_sweep(CONFIG, users=population, include_opt=True)
+        for plain, slow in zip(off.outcomes, thin.outcomes):
+            assert slow.costs[POLICY_OPT] == plain.costs[POLICY_OPT]
+            assert (
+                slow.instances_cleared[POLICY_OPT]
+                == slow.instances_sold[POLICY_OPT]
+            )
+
+    def test_rejects_non_clearing_model(self, population):
+        with pytest.raises(ExperimentError, match="ClearingModel"):
+            run_sweep(CONFIG, users=population, clearing="thin")
+
+
+class TestCacheNonAliasing:
+    """Clearing-on and clearing-off results must never share an entry."""
+
+    def test_keys_differ_with_clearing(self, population):
+        user = population[0]
+        off = user_cache_key(CONFIG, user, False, True)
+        on = user_cache_key(CONFIG, user, False, True, THIN)
+        assert off != on
+
+    def test_explicit_none_matches_historical_key(self, population):
+        user = population[0]
+        assert user_cache_key(CONFIG, user, False, True) == user_cache_key(
+            CONFIG, user, False, True, None
+        )
+
+    def test_different_clearing_configs_differ(self, population):
+        user = population[0]
+        keys = {
+            user_cache_key(CONFIG, user, False, True, clearing)
+            for clearing in (
+                THIN,
+                ClearingModel.for_regime("thin", seed=6),
+                ClearingModel.for_regime("deep", seed=5),
+                ClearingModel.instant(seed=5),
+            )
+        }
+        assert len(keys) == 4
+
+    def test_clearing_run_misses_cold_cache_warmed_without(self, population, tmp_path):
+        cache = tmp_path / "cache"
+        run_sweep(CONFIG, users=population, cache=cache)
+        thin = run_sweep(CONFIG, users=population, cache=cache, clearing=THIN)
+        assert thin.timing.cache_hits == 0
+        assert thin.timing.cache_misses == len(population)
+
+    def test_clearing_outcomes_round_trip_through_cache(self, population, tmp_path):
+        cache = tmp_path / "cache"
+        cold = run_sweep(CONFIG, users=population, cache=cache, clearing=THIN)
+        warm = run_sweep(CONFIG, users=population, cache=cache, clearing=THIN)
+        assert warm.timing.cache_hits == len(population)
+        assert outcomes_equal(cold.outcomes, warm.outcomes)
+        assert all(o.instances_cleared is not None for o in warm.outcomes)
+
+
+class TestLiquidityReport:
+    @pytest.fixture(scope="class")
+    def result(self, population):
+        return liquidity.run(CONFIG, regimes=("deep", "normal", "thin"))
+
+    def test_covers_instant_plus_three_regimes(self, result):
+        regimes = {row.regime for row in result.rows}
+        assert regimes == {"instant", "deep", "normal", "thin"}
+        assert len(result.rows) == 4 * len(ONLINE_POLICIES)
+
+    def test_instant_rows_clear_everything(self, result):
+        for row in result.rows_for("instant"):
+            assert row.instances_cleared == row.instances_listed
+            assert row.clear_fraction == 1.0
+
+    def test_degradation_nonnegative_vs_instant(self, result):
+        for regime in result.regimes:
+            for policy in ONLINE_POLICIES:
+                assert liquidity.LiquidityResult.degradation(
+                    result, policy, regime
+                ) >= 0.0
+
+    def test_render_mentions_every_regime_and_bound(self, result):
+        report = liquidity.render(result)
+        for regime in ("instant", "deep", "normal", "thin"):
+            assert regime in report
+        assert "bound" in report
+        assert "Degradation vs instant baseline" in report
+
+    def test_requires_three_regimes(self):
+        with pytest.raises(ExperimentError, match="at least 3"):
+            liquidity.run(CONFIG, regimes=("thin", "normal"))
+        with pytest.raises(ExperimentError, match="unknown liquidity regime"):
+            liquidity.run(CONFIG, regimes=("thin", "normal", "molasses"))
