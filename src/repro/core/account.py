@@ -119,16 +119,26 @@ class CostBreakdown:
     upfront: float = 0.0
     reserved_hourly: float = 0.0
     sale_income: float = 0.0
+    #: Buy-back cost of cancellation-aware policies (prorated upfront
+    #: plus penalty surcharge); 0.0 for every policy that never re-buys,
+    #: keeping all pre-existing constructions and totals unchanged.
+    rebuy: float = 0.0
 
     @property
     def total(self) -> float:
         """Net cost: expenses minus marketplace income."""
-        return self.on_demand + self.upfront + self.reserved_hourly - self.sale_income
+        return (
+            self.on_demand
+            + self.upfront
+            + self.reserved_hourly
+            - self.sale_income
+            + self.rebuy
+        )
 
     @property
     def gross(self) -> float:
         """Expenses before marketplace income."""
-        return self.on_demand + self.upfront + self.reserved_hourly
+        return self.on_demand + self.upfront + self.reserved_hourly + self.rebuy
 
     def __add__(self, other: "CostBreakdown") -> "CostBreakdown":
         if not isinstance(other, CostBreakdown):
@@ -138,13 +148,20 @@ class CostBreakdown:
             upfront=self.upfront + other.upfront,
             reserved_hourly=self.reserved_hourly + other.reserved_hourly,
             sale_income=self.sale_income + other.sale_income,
+            rebuy=self.rebuy + other.rebuy,
         )
 
     def approx_equal(self, other: "CostBreakdown", tolerance: float = 1e-9) -> bool:
         """Component-wise closeness check (for engine-equivalence tests)."""
         return all(
             math.isclose(getattr(self, name), getattr(other, name), abs_tol=tolerance)
-            for name in ("on_demand", "upfront", "reserved_hourly", "sale_income")
+            for name in (
+                "on_demand",
+                "upfront",
+                "reserved_hourly",
+                "sale_income",
+                "rebuy",
+            )
         )
 
 
@@ -155,7 +172,14 @@ class HourlyCosts:
     aggregate :class:`CostBreakdown`.
     """
 
-    __slots__ = ("horizon", "on_demand", "upfront", "reserved_hourly", "sale_income")
+    __slots__ = (
+        "horizon",
+        "on_demand",
+        "upfront",
+        "reserved_hourly",
+        "sale_income",
+        "rebuy",
+    )
 
     def __init__(self, horizon: int) -> None:
         if horizon <= 0:
@@ -165,6 +189,7 @@ class HourlyCosts:
         self.upfront = np.zeros(horizon, dtype=np.float64)
         self.reserved_hourly = np.zeros(horizon, dtype=np.float64)
         self.sale_income = np.zeros(horizon, dtype=np.float64)
+        self.rebuy = np.zeros(horizon, dtype=np.float64)
 
     def record_on_demand(self, hour: int, count: int, model: CostModel) -> None:
         """Book ``o_t * p`` at ``hour``."""
@@ -182,9 +207,56 @@ class HourlyCosts:
         """Book one sale's income at ``hour``."""
         self.sale_income[hour] += model.sale_income(remaining_fraction)
 
+    def record_rebuy(
+        self,
+        hour: int,
+        remaining_fraction: float,
+        penalty: float,
+        model: CostModel,
+    ) -> None:
+        """Book one cancellation buy-back at ``hour``: the prorated
+        upfront a seller pays to re-acquire a sold reservation, plus the
+        ``penalty`` surcharge — ``(1 + penalty) · a · rp · R``."""
+        if not 0.0 <= remaining_fraction <= 1.0:
+            raise SimulationError(
+                f"remaining_fraction must lie in [0, 1], got {remaining_fraction!r}"
+            )
+        self.rebuy[hour] += (
+            (1.0 + penalty)
+            * model.selling_discount
+            * remaining_fraction
+            * model.big_r
+        )
+
+    def record_rebuy_surcharge(
+        self,
+        hour: int,
+        remaining_fraction: float,
+        penalty: float,
+        model: CostModel,
+    ) -> None:
+        """Book only the ``penalty`` part of a buy-back —
+        ``penalty · a · rp · R`` — for the coupled loop, where the
+        purchasing stepper already books the replacement reservation's
+        full upfront; a zero penalty books exactly 0.0, keeping the
+        penalty-free coupled run bit-identical."""
+        if not 0.0 <= remaining_fraction <= 1.0:
+            raise SimulationError(
+                f"remaining_fraction must lie in [0, 1], got {remaining_fraction!r}"
+            )
+        self.rebuy[hour] += (
+            penalty * model.selling_discount * remaining_fraction * model.big_r
+        )
+
     def per_hour_total(self) -> np.ndarray:
         """The C_t series."""
-        return self.on_demand + self.upfront + self.reserved_hourly - self.sale_income
+        return (
+            self.on_demand
+            + self.upfront
+            + self.reserved_hourly
+            - self.sale_income
+            + self.rebuy
+        )
 
     def breakdown(self) -> CostBreakdown:
         """Aggregate the per-hour series into Eq. (1) component totals."""
@@ -193,6 +265,7 @@ class HourlyCosts:
             upfront=float(self.upfront.sum()),
             reserved_hourly=float(self.reserved_hourly.sum()),
             sale_income=float(self.sale_income.sum()),
+            rebuy=float(self.rebuy.sum()),
         )
 
     @property

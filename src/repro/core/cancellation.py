@@ -1,0 +1,216 @@
+"""Sell-then-rebuy cancellation: the static rank rule shared by engines.
+
+"Online Resource Allocation with Cancellations" (arXiv 2210.11570)
+studies allocations that may be cancelled at a penalty. Mapped onto the
+paper's marketplace: a seller who followed Algorithm 1/2 and sold a
+reservation may later find the demand it served has *returned* — and
+can cancel the sale economically by buying a replacement reservation on
+the marketplace at the prorated upfront plus a penalty surcharge.
+
+The decision sequence is untouched — exactly the invariant the clearing
+engine established: sell/keep decisions (and therefore the history
+rewrites, the sale tuples, and every differential against the reference
+simulator) are identical with and without cancellation; only the
+physical serving timeline and the income/expense ledger change.
+
+The re-buy trigger is deliberately *static* so every execution layer —
+the per-user batch engine, the population tensor engine, and the
+incremental serving fleet — computes the identical outcome from the
+same inputs with no simulation interleaving:
+
+* ``r_base`` is the physical serving timeline including sales and
+  clearing but **excluding** re-buys;
+* sold units are ranked by sale order (decision hour, then batch
+  index); unit ``s`` watches its window ``[watch_from, term_end)`` —
+  from its clearing hour (the decision hour under instant sales) to its
+  original term end — and sees the *residual* unmet demand
+  ``d(h) − r_base(h) − rank_s(h)``, where ``rank_s(h)`` counts senior
+  sold units whose watch windows cover ``h`` (each senior unit absorbs
+  one unit of returned demand, whether or not it actually re-bought —
+  that self-consistency is what makes the rule order-free);
+* unit ``s`` re-buys at the ``trigger_hours``-th distinct hour with
+  positive residual unmet demand, paying
+  ``(1 + penalty) · a · rp · R`` — the marketplace price of its own
+  listing at the re-buy hour, plus the surcharge — and serves again to
+  term end.
+
+Listings that expired or were still open at the horizon never sold, so
+they never watch; under instant sales every sale watches from its
+decision hour.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.account import CostModel
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class CancellationModel:
+    """The buy-back terms of a cancellation-aware policy.
+
+    Parameters
+    ----------
+    penalty:
+        Surcharge fraction over the marketplace price of the re-bought
+        reservation: the buy-back costs ``(1 + penalty) · a · rp · R``.
+        0 means re-buying at exactly the listed price.
+    trigger_hours:
+        How many distinct hours of residual unmet demand a sold unit
+        must observe inside its watch window before re-buying; 1 re-buys
+        at the first returned-demand hour.
+    """
+
+    penalty: float = 0.25
+    trigger_hours: int = 1
+
+    def __post_init__(self) -> None:
+        penalty = float(self.penalty)
+        if not math.isfinite(penalty) or penalty < 0.0:
+            raise SimulationError(
+                f"penalty must be finite and >= 0, got {self.penalty!r}"
+            )
+        object.__setattr__(self, "penalty", penalty)
+        if isinstance(self.trigger_hours, bool) or not isinstance(
+            self.trigger_hours, (int, np.integer)
+        ):
+            raise SimulationError(
+                f"trigger_hours must be an integer, got {self.trigger_hours!r}"
+            )
+        if int(self.trigger_hours) < 1:
+            raise SimulationError(
+                f"trigger_hours must be >= 1, got {self.trigger_hours!r}"
+            )
+        object.__setattr__(self, "trigger_hours", int(self.trigger_hours))
+
+    def to_payload(self) -> dict:
+        """JSON-ready form (checkpoints, cache keys)."""
+        return {"penalty": self.penalty, "trigger_hours": self.trigger_hours}
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "CancellationModel":
+        if not isinstance(payload, dict):
+            raise SimulationError("cancellation payload must be an object")
+        return cls(
+            penalty=float(payload.get("penalty", 0.25)),
+            trigger_hours=int(payload.get("trigger_hours", 1)),
+        )
+
+    def content_digest(self) -> str:
+        """Stable identity for :func:`repro.parallel.hashing.stable_hash`."""
+        parts = [
+            "cancellation",
+            repr(float(self.penalty)),
+            repr(int(self.trigger_hours)),
+        ]
+        return hashlib.sha256("|".join(parts).encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class SoldUnit:
+    """One sold reservation's watch window, in sale order."""
+
+    reserved_at: int
+    #: First watched hour: the clearing hour (= the decision hour under
+    #: instant sales).
+    watch_from: int
+    #: One past the last watched hour: ``min(reserved_at + T, horizon)``.
+    term_end: int
+
+
+@dataclass(frozen=True)
+class Rebuy:
+    """One executed buy-back."""
+
+    unit_index: int
+    reserved_at: int
+    hour: int
+    cost: float
+
+
+@dataclass(frozen=True)
+class RebuyOutcome:
+    """What :func:`apply_rebuys` decided.
+
+    ``r_after`` is ``r_base`` plus each re-bought unit serving again
+    over ``[rebuy hour, term end)``; ``rebuy_cost`` accumulates the
+    per-unit costs in sale order (the deterministic accumulation order
+    every engine shares).
+    """
+
+    rebuys: "tuple[Rebuy, ...]"
+    r_after: np.ndarray
+    rebuy_cost: float
+
+
+def rebuy_cost_at(
+    model: CostModel,
+    period: int,
+    reserved_at: int,
+    hour: int,
+    penalty: float,
+) -> float:
+    """The buy-back price at ``hour``: ``(1 + penalty) · a · rp · R``.
+
+    The remaining fraction is measured from the unit's own reservation
+    start, exactly like the sale income it earlier collected.
+    """
+    remaining = 1.0 - (hour - reserved_at) / period
+    return (1.0 + penalty) * model.selling_discount * remaining * model.big_r
+
+
+def apply_rebuys(
+    demands: np.ndarray,
+    r_base: np.ndarray,
+    units: "Sequence[SoldUnit]",
+    period: int,
+    model: CostModel,
+    cancellation: CancellationModel,
+) -> RebuyOutcome:
+    """Run the static rank rule over one user's sold units.
+
+    Pure function of its inputs: both batch engines call it with the
+    identical ``(d, r_base, units)`` triple (their equivalence on those
+    is already differential-tested), so their cancellation outcomes are
+    bit-identical by construction. The serving fleet's incremental form
+    reproduces the same rule one event at a time for single-reservation
+    instances (where the rank is always zero).
+    """
+    d = np.asarray(demands)
+    base = np.asarray(r_base)
+    horizon = d.shape[0]
+    cover = np.zeros(horizon, dtype=np.int64)
+    r_after = base.copy()
+    rebuys: "list[Rebuy]" = []
+    total = 0.0
+    for index, unit in enumerate(units):
+        start = unit.watch_from
+        end = unit.term_end
+        if start < end:
+            window = slice(start, end)
+            residual = d[window] - base[window] - cover[window]
+            hours = np.flatnonzero(residual > 0)
+            if hours.size >= cancellation.trigger_hours:
+                hour = start + int(hours[cancellation.trigger_hours - 1])
+                cost = rebuy_cost_at(
+                    model, period, unit.reserved_at, hour, cancellation.penalty
+                )
+                r_after[hour:end] += 1
+                rebuys.append(
+                    Rebuy(
+                        unit_index=index,
+                        reserved_at=unit.reserved_at,
+                        hour=hour,
+                        cost=cost,
+                    )
+                )
+                total += cost
+            cover[window] += 1
+    return RebuyOutcome(rebuys=tuple(rebuys), r_after=r_after, rebuy_cost=total)

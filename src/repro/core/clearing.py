@@ -45,6 +45,8 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from repro.core.streams import key_to_int as _key_to_int  # noqa: F401 - re-export
+from repro.core.streams import stream as _stream
 from repro.errors import SimulationError
 
 #: Per-instance-type liquidity tiers: multipliers on the base hazard.
@@ -91,30 +93,6 @@ def _require_count(name: str, value: object) -> int:
     if count < 0:
         raise SimulationError(f"{name} must be >= 0, got {count!r}")
     return count
-
-
-def _key_to_int(key: object) -> int:
-    """Deterministic non-negative integer identity for a stream key.
-
-    Python's built-in ``hash`` is randomised per process, so string keys
-    (user ids, serve instance ids) are folded through SHA-256 instead —
-    the same key yields the same stream in every process and session.
-    """
-    if isinstance(key, bool):
-        raise SimulationError(f"clearing stream key must not be a bool: {key!r}")
-    if isinstance(key, (int, np.integer)):
-        value = int(key)
-        if value < 0:
-            raise SimulationError(
-                f"integer clearing stream keys must be >= 0, got {value!r}"
-            )
-        return value
-    if isinstance(key, str):
-        digest = hashlib.sha256(key.encode("utf-8")).digest()
-        return int.from_bytes(digest[:16], "big")
-    raise SimulationError(
-        f"clearing stream key must be an int or str, got {type(key).__name__}"
-    )
 
 
 @dataclass(frozen=True)
@@ -375,8 +353,12 @@ class ClearingModel:
         return ClearingProfile(window=window, cdf=cdf, discounts=discounts)
 
     def stream(self, key: object) -> np.random.Generator:
-        """The seeded per-key delay stream (one uniform per listing)."""
-        return np.random.default_rng((int(self.seed), _key_to_int(key)))
+        """The seeded per-key delay stream (one uniform per listing).
+
+        Delegates to :func:`repro.core.streams.stream`, the shared
+        per-key randomness contract.
+        """
+        return _stream(int(self.seed), key)
 
     # ------------------------------------------------------------------
 

@@ -30,7 +30,7 @@ import numpy as np
 from repro.core.account import CostModel, HourlyCosts, HourlyFeeMode
 from repro.core.instance import ReservedInstance
 from repro.core.ledger import ReservationLedger
-from repro.core.policies import SellingPolicy
+from repro.core.policies import CancellationAwareSellingPolicy, SellingPolicy
 from repro.core.simulator import (
     SaleRecord,
     SimulationResult,
@@ -62,11 +62,30 @@ def run_coupled(
     on_demand = np.zeros(horizon, dtype=np.int64)
     reservations = np.zeros(horizon, dtype=np.int64)
     pending: dict[int, list[ReservedInstance]] = {}
+    # A cancellation-aware seller pays its penalty when the purchasing
+    # loop re-reserves while an earlier sale's term is still running:
+    # each sale opens a window [sale hour, term end), and new
+    # reservations consume open windows FIFO (oldest sale first), each
+    # booking the penalty surcharge on the sold unit's remaining term.
+    # The decision rule, the schedule, and the sale income are exactly
+    # the underlying online policy's; with penalty=0 the surcharge is
+    # 0.0 and the run is bit-identical to the penalty-free policy.
+    cancellation = (
+        policy.cancellation
+        if isinstance(policy, CancellationAwareSellingPolicy)
+        else None
+    )
+    sold_windows: "list[tuple[int, int]]" = []  # (reserved_at, term_end) FIFO
 
     for hour in range(horizon):
         demand = int(trace.values[hour])
         for instance in pending.pop(hour, ()):
+            sales_before = len(sales)
             evaluate_decision(policy, instance, hour, ledger, model, costs, sales)
+            if cancellation is not None and len(sales) > sales_before:
+                sold_windows.append(
+                    (instance.reserved_at, min(instance.reserved_at + period, horizon))
+                )
 
         count = int(stepper.step(hour, demand, ledger.active_count(hour)))
         if count < 0:
@@ -77,6 +96,15 @@ def run_coupled(
             costs.record_upfront(hour, count, model)
             for instance in created:
                 schedule_decision(policy, instance, horizon, pending)
+            if cancellation is not None and sold_windows:
+                sold_windows = [w for w in sold_windows if hour < w[1]]
+                matched = sold_windows[:count]
+                for reserved_at, _term_end in matched:
+                    remaining = 1.0 - (hour - reserved_at) / period
+                    costs.record_rebuy_surcharge(
+                        hour, remaining, cancellation.penalty, model
+                    )
+                sold_windows = sold_windows[count:]
 
         active = ledger.active_count(hour)
         needed = ledger.on_demand_needed(hour)

@@ -29,6 +29,12 @@ import numpy as np
 from repro._arrays import as_count_array
 from repro.core.account import CostBreakdown, CostModel, HourlyFeeMode
 from repro.core.breakeven import break_even_working_hours, validate_phi
+from repro.core.cancellation import (
+    CancellationModel,
+    Rebuy,
+    SoldUnit,
+    apply_rebuys,
+)
 from repro.core.clearing import ClearingModel, ClearingProfile
 from repro.errors import SimulationError
 
@@ -107,6 +113,9 @@ class FastResult:
     #: Listing lifecycle records; empty when no clearing model was given
     #: (instant sales, the paper's semantics).
     listings: tuple[FastListing, ...] = ()
+    #: Buy-backs executed by a cancellation-aware run; empty without a
+    #: cancellation model.
+    rebuys: "tuple[Rebuy, ...]" = ()
 
     @property
     def total_cost(self) -> float:
@@ -135,6 +144,11 @@ class FastResult:
     def listings_open(self) -> int:
         return sum(1 for listing in self.listings if listing.outcome == "open")
 
+    @property
+    def instances_rebought(self) -> int:
+        """Sold units bought back by the cancellation rule."""
+        return len(self.rebuys)
+
 
 def run_fast(
     demands: np.ndarray,
@@ -146,6 +160,7 @@ def run_fast(
     *,
     clearing: "ClearingModel | None" = None,
     clearing_key: object = 0,
+    cancellation: "CancellationModel | None" = None,
 ) -> FastResult:
     """Run one selling policy over ``(d, n)`` with the array engine.
 
@@ -164,6 +179,15 @@ def run_fast(
     stream (``clearing.stream(clearing_key)``; one draw per sale). In
     the ``instant`` regime every draw yields delay 0 and the result is
     bit-identical to ``clearing=None``.
+
+    With a :class:`~repro.core.cancellation.CancellationModel`, sold
+    units may be bought back when demand returns (the static rank rule
+    of :mod:`repro.core.cancellation`): the decision sequence — and
+    therefore ``sales`` and ``listings`` — is *identical* to the
+    cancellation-free run, but ``r_physical`` regains each re-bought
+    unit from its re-buy hour, the breakdown's ``rebuy`` component books
+    the buy-back prices, and on-demand/billed hours are recomputed from
+    the repaired timeline.
     """
     d = as_count_array(demands, "demands", SimulationError)
     n = as_count_array(reservations, "reservations", SimulationError)
@@ -182,6 +206,11 @@ def run_fast(
         raise SimulationError(
             f"clearing must be a ClearingModel or None, got "
             f"{type(clearing).__name__}"
+        )
+    if cancellation is not None and not isinstance(cancellation, CancellationModel):
+        raise SimulationError(
+            f"cancellation must be a CancellationModel or None, got "
+            f"{type(cancellation).__name__}"
         )
 
     decision_age = round(phi * period)
@@ -313,6 +342,34 @@ def run_fast(
         for _clear_at, _seq, sale_value in sorted(cleared_entries):
             income += sale_value
 
+    rebuys: "tuple[Rebuy, ...]" = ()
+    rebuy_cost = 0.0
+    if cancellation is not None and evaluate:
+        units: "list[SoldUnit]" = []
+        if clear_profile is None:
+            for sale in sales:
+                units.append(
+                    SoldUnit(
+                        reserved_at=sale.reserved_at,
+                        watch_from=sale.hour,
+                        term_end=min(sale.reserved_at + period, horizon),
+                    )
+                )
+        else:
+            for listing in listings:
+                if listing.outcome == "cleared":
+                    units.append(
+                        SoldUnit(
+                            reserved_at=listing.reserved_at,
+                            watch_from=listing.cleared_at,
+                            term_end=min(listing.reserved_at + period, horizon),
+                        )
+                    )
+        outcome = apply_rebuys(d, r_physical, units, period, model, cancellation)
+        r_physical = outcome.r_after
+        rebuys = outcome.rebuys
+        rebuy_cost = outcome.rebuy_cost
+
     on_demand = np.maximum(d - r_physical, 0)
     if model.fee_mode is HourlyFeeMode.ACTIVE:
         billed_hours = int(r_physical.sum())
@@ -323,6 +380,7 @@ def run_fast(
         upfront=float(n.sum()) * model.big_r,
         reserved_hourly=billed_hours * model.alpha * model.p,
         sale_income=income,
+        rebuy=rebuy_cost,
     )
     return FastResult(
         breakdown=breakdown,
@@ -330,4 +388,5 @@ def run_fast(
         on_demand=on_demand,
         r_physical=r_physical,
         listings=tuple(listings),
+        rebuys=rebuys,
     )

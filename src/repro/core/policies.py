@@ -35,7 +35,11 @@ from repro.core.clearing import (
     ClearingModel,
     DiscountSchedule,
 )
+from repro.core.cancellation import CancellationModel
 from repro.core.instance import ReservedInstance
+from repro.core.randomized import SpotDistribution
+from repro.core.streams import stream as _stream
+from repro.core.streams import validate_seed
 from repro.errors import PolicyError
 from repro.pricing.plan import PricingPlan
 
@@ -58,6 +62,13 @@ POLICY_ALL_T2 = "All-Selling@T/2"
 POLICY_ALL_T4 = "All-Selling@T/4"
 #: The offline optimum.
 POLICY_OPT = "OPT"
+#: The randomized §VII policy (default name; spec-built instances may
+#: carry a parameterised name derived from this prefix).
+POLICY_RANDOMIZED = "Randomized"
+#: The cancellation-aware (sell-then-rebuy) family at the paper's spots.
+POLICY_CANCEL_3T4 = "Cancel@3T/4"
+POLICY_CANCEL_T2 = "Cancel@T/2"
+POLICY_CANCEL_T4 = "Cancel@T/4"
 
 #: The three online algorithms with their decision fractions.
 ONLINE_POLICIES: "dict[str, float]" = {
@@ -71,6 +82,13 @@ ALL_SELLING_POLICIES: "dict[str, float]" = {
     POLICY_ALL_3T4: PHI_3T4,
     POLICY_ALL_T2: PHI_T2,
     POLICY_ALL_T4: PHI_T4,
+}
+
+#: The cancellation-aware family at each paper spot.
+CANCELLATION_POLICIES: "dict[str, float]" = {
+    POLICY_CANCEL_3T4: PHI_3T4,
+    POLICY_CANCEL_T2: PHI_T2,
+    POLICY_CANCEL_T4: PHI_T4,
 }
 
 
@@ -273,11 +291,25 @@ class AllSellingPolicy(SellingPolicy):
 
 
 class RandomizedSellingPolicy(SellingPolicy):
-    """Future-work extension: evaluate each instance at a random spot.
+    """The paper's §VII randomized algorithm, production form.
 
-    Each instance draws its decision fraction from ``spots`` (uniformly,
-    or with the given ``weights``), deterministically from ``seed`` and
-    the instance id, then applies the break-even rule at that spot.
+    Each entity (a sweep user, a serve instance) draws its decision
+    fraction from ``spots`` — uniformly, or with the given ``weights`` —
+    then applies the break-even rule at the drawn spot. The draw is one
+    uniform from the shared per-key stream
+    (:func:`repro.core.streams.stream` on ``(seed, key)``), inverted
+    through the cumulative weights with ``searchsorted`` — exactly the
+    clearing model's delay-draw idiom. That contract is what makes the
+    per-user engine, the population tensor engine, and a
+    killed-and-restored server agree bit-for-bit on every drawn spot;
+    the old per-call ``np.random.default_rng((seed, instance_id))``
+    construction (pinned by the migration test in
+    ``tests/core/test_randomized_production.py``) could not be
+    reproduced from a vectorised path and is gone.
+
+    ``spots=(phi,)`` degenerates to the deterministic ``A_{φT}`` rule —
+    every draw yields ``phi`` — which the differential tests use as the
+    reduction property.
     """
 
     def __init__(
@@ -285,6 +317,7 @@ class RandomizedSellingPolicy(SellingPolicy):
         spots: "tuple[float, ...]" = (PHI_T4, PHI_T2, PHI_3T4),
         weights: "tuple[float, ...] | None" = None,
         seed: int = 0,
+        name: "str | None" = None,
     ) -> None:
         if not spots:
             raise PolicyError("spots must be a non-empty tuple of decision fractions")
@@ -299,17 +332,111 @@ class RandomizedSellingPolicy(SellingPolicy):
             self._probabilities = tuple(w / total for w in weights)
         else:
             self._probabilities = tuple(1.0 / len(spots) for _ in spots)
-        self.spots = tuple(spots)
-        self.seed = seed
-        self.name = "Randomized"
+        self.spots = tuple(float(phi) for phi in spots)
+        self.seed = validate_seed(seed)
+        # CDF of the spot menu; the last entry is forced to 1.0 so a
+        # uniform arbitrarily close to 1 still maps into the menu.
+        cumulative = np.cumsum(np.asarray(self._probabilities, dtype=np.float64))
+        cumulative[-1] = 1.0
+        self._cumulative = cumulative
+        self.name = POLICY_RANDOMIZED if name is None else name
+
+    @classmethod
+    def from_distribution(
+        cls,
+        distribution: SpotDistribution,
+        seed: int = 0,
+        name: "str | None" = None,
+    ) -> "RandomizedSellingPolicy":
+        """Adopt an (LP-optimised) :class:`SpotDistribution` verbatim."""
+        if not isinstance(distribution, SpotDistribution):
+            raise PolicyError(
+                "distribution must be a SpotDistribution, got "
+                f"{type(distribution).__name__}"
+            )
+        return cls(
+            spots=distribution.spots,
+            weights=distribution.probabilities,
+            seed=seed,
+            name=name,
+        )
+
+    @property
+    def probabilities(self) -> "tuple[float, ...]":
+        """The normalised spot probabilities, menu order."""
+        return self._probabilities
+
+    @property
+    def distribution(self) -> SpotDistribution:
+        """This policy's spot menu as an analysable distribution."""
+        return SpotDistribution(self.spots, self._probabilities)
+
+    def draw_spot(self, key: object) -> float:
+        """The decision spot drawn for one entity key.
+
+        One uniform from ``stream(seed, key)``, inverted through the
+        cumulative menu weights — deterministic per key across
+        processes, engines, and restarts.
+        """
+        u = _stream(self.seed, key).random()
+        index = int(np.searchsorted(self._cumulative, u, side="right"))
+        return self.spots[min(index, len(self.spots) - 1)]
+
+    def draw_spots(self, keys: "list[object]") -> np.ndarray:
+        """Per-key drawn spots, one stream per key (vector convenience).
+
+        Consumes exactly one draw per key, so it agrees bit-for-bit
+        with repeated :meth:`draw_spot` calls.
+        """
+        return np.asarray([self.draw_spot(key) for key in keys], dtype=np.float64)
 
     def decision_fraction(self, instance: ReservedInstance) -> float:
-        rng = np.random.default_rng((self.seed, instance.instance_id))
-        index = rng.choice(len(self.spots), p=self._probabilities)
-        return self.spots[int(index)]
+        return self.draw_spot(instance.instance_id)
 
     def should_sell(self, working_hours: float, context: DecisionContext) -> bool:
         return working_hours < context.beta
+
+
+class CancellationAwareSellingPolicy(OnlineSellingPolicy):
+    """Sell now, optionally re-buy at a penalty when demand returns.
+
+    The "Online Resource Allocation with Cancellations" (arXiv
+    2210.11570) direction grafted onto the paper's rule: the *sell
+    decision* is exactly Algorithm 1/2 at ``phi`` (decision sequences
+    are unchanged — the invariant the clearing engine established), but
+    a sold unit is watched for the rest of its term. If unmet demand
+    returns for ``trigger_hours`` distinct hours inside the sold unit's
+    watch window, the seller *cancels the sale economically*: a
+    replacement reservation is bought back at the prorated upfront plus
+    a ``penalty`` surcharge, and the unit serves again to term end. The
+    re-buy rule itself is the static rank rule of
+    :mod:`repro.core.cancellation`, shared verbatim by ``run_fast``,
+    ``run_population``, and the serving fleet.
+    """
+
+    def __init__(
+        self,
+        phi: float,
+        penalty: float = 0.25,
+        trigger_hours: int = 1,
+        threshold_scale: float = 1.0,
+        name: "str | None" = None,
+    ) -> None:
+        super().__init__(phi, threshold_scale)
+        self.cancellation = CancellationModel(
+            penalty=penalty, trigger_hours=trigger_hours
+        )
+        self.name = (
+            f"Cancel@{self._spot_label(phi)}" if name is None else name
+        )
+
+    @property
+    def penalty(self) -> float:
+        return self.cancellation.penalty
+
+    @property
+    def trigger_hours(self) -> int:
+        return self.cancellation.trigger_hours
 
 
 class ScriptedSellingPolicy(SellingPolicy):

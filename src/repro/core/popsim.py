@@ -55,8 +55,10 @@ import numpy as np
 from repro._arrays import as_count_array
 from repro.core.account import CostBreakdown, CostModel, HourlyFeeMode
 from repro.core.breakeven import break_even_working_hours, validate_phi
+from repro.core.cancellation import CancellationModel, SoldUnit, apply_rebuys
 from repro.core.clearing import ClearingModel
 from repro.core.fastsim import FastPolicyKind, validate_threshold_scale
+from repro.core.policies import RandomizedSellingPolicy
 from repro.errors import SimulationError
 
 #: Default number of users processed per tensor block by the streaming
@@ -89,6 +91,13 @@ class PopulationResult:
     instances_cleared: "np.ndarray | None" = None  # (U,) int64
     listings_expired: "np.ndarray | None" = None  # (U,) int64
     listings_open: "np.ndarray | None" = None  # (U,) int64
+    #: Cancellation tallies, populated only when a
+    #: :class:`~repro.core.cancellation.CancellationModel` ran.
+    rebuy: "np.ndarray | None" = None  # (U,) float64 — buy-back cost totals
+    instances_rebought: "np.ndarray | None" = None  # (U,) int64
+    #: The per-user drawn decision fraction of a randomized run
+    #: (:func:`run_population_randomized`); ``phi`` is NaN in that case.
+    drawn_phi: "np.ndarray | None" = None  # (U,) float64
 
     @property
     def n_users(self) -> int:
@@ -96,7 +105,12 @@ class PopulationResult:
 
     def total_costs(self) -> np.ndarray:
         """Per-user net cost, same evaluation order as Eq. (1)'s total."""
-        return self.on_demand + self.upfront + self.reserved_hourly - self.sale_income
+        totals = (
+            self.on_demand + self.upfront + self.reserved_hourly - self.sale_income
+        )
+        if self.rebuy is not None:
+            totals = totals + self.rebuy
+        return totals
 
     def breakdown(self, user: int) -> CostBreakdown:
         """One user's :class:`CostBreakdown` (bitwise ``run_fast`` match)."""
@@ -105,6 +119,7 @@ class PopulationResult:
             upfront=float(self.upfront[user]),
             reserved_hourly=float(self.reserved_hourly[user]),
             sale_income=float(self.sale_income[user]),
+            rebuy=0.0 if self.rebuy is None else float(self.rebuy[user]),
         )
 
     @classmethod
@@ -121,15 +136,14 @@ class PopulationResult:
                     "population blocks ran different policies: "
                     f"{(first.kind, first.phi)} vs {(other.kind, other.phi)}"
                 )
-        with_clearing = [r.instances_cleared is not None for r in results]
-        if any(with_clearing) and not all(with_clearing):
-            raise SimulationError(
-                "cannot concatenate population blocks that mix clearing-on "
-                "and clearing-off runs"
-            )
-
-        def _cat_optional(name: str) -> "np.ndarray | None":
-            if not all(with_clearing):
+        def _cat_optional(name: str, label: str) -> "np.ndarray | None":
+            present = [getattr(r, name) is not None for r in results]
+            if any(present) and not all(present):
+                raise SimulationError(
+                    f"cannot concatenate population blocks that mix "
+                    f"{label}-on and {label}-off runs"
+                )
+            if not all(present):
                 return None
             return np.concatenate([getattr(r, name) for r in results])
 
@@ -141,9 +155,12 @@ class PopulationResult:
             reserved_hourly=np.concatenate([r.reserved_hourly for r in results]),
             sale_income=np.concatenate([r.sale_income for r in results]),
             instances_sold=np.concatenate([r.instances_sold for r in results]),
-            instances_cleared=_cat_optional("instances_cleared"),
-            listings_expired=_cat_optional("listings_expired"),
-            listings_open=_cat_optional("listings_open"),
+            instances_cleared=_cat_optional("instances_cleared", "clearing"),
+            listings_expired=_cat_optional("listings_expired", "clearing"),
+            listings_open=_cat_optional("listings_open", "clearing"),
+            rebuy=_cat_optional("rebuy", "cancellation"),
+            instances_rebought=_cat_optional("instances_rebought", "cancellation"),
+            drawn_phi=_cat_optional("drawn_phi", "randomized"),
         )
 
 
@@ -246,7 +263,10 @@ def _apply_clearing(
     horizon: int,
     users: int,
     sale_delta: np.ndarray,
-) -> "tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]":
+) -> (
+    "tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, "
+    "tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]]"
+):
     """Vectorised clearing over the collected per-sale events.
 
     ``sale_rows``/``sale_t0`` carry one entry per SELL decision in the
@@ -256,8 +276,11 @@ def _apply_clearing(
     preserves each user's draw order, and because
     ``Generator.random(size=k)`` consumes the stream identically to
     ``k`` scalar draws, the delays match the per-user engine draw for
-    draw. Returns per-user ``(income, cleared, expired, open)`` and
-    writes the physical-timeline clear events into ``sale_delta``.
+    draw. Returns per-user ``(income, cleared, expired, open)`` plus the
+    per-sale event arrays ``(rows, t0, clear_at, cleared)`` sorted by
+    row (each user's listings in decision order — what the cancellation
+    post-pass ranks by), and writes the physical-timeline clear events
+    into ``sale_delta``.
     """
     profile = clearing.profile(model.selling_discount, period, decision_age)
     order = np.argsort(sale_rows, kind="stable")
@@ -318,7 +341,12 @@ def _apply_clearing(
     cleared_counts = np.bincount(rows_cleared, minlength=users)
     expired_counts = np.bincount(rows[expired], minlength=users)
     open_counts = np.bincount(rows[still_open], minlength=users)
-    return income, cleared_counts, expired_counts, open_counts
+    return income, cleared_counts, expired_counts, open_counts, (
+        rows,
+        t0,
+        clear_at,
+        cleared,
+    )
 
 
 def run_population(
@@ -332,6 +360,7 @@ def run_population(
     *,
     clearing: "ClearingModel | None" = None,
     clearing_keys: "list[object] | None" = None,
+    cancellation: "CancellationModel | None" = None,
 ) -> PopulationResult:
     """Run one selling policy over a whole ``(users × hours)`` tensor.
 
@@ -358,6 +387,15 @@ def run_population(
     (``tests/core/test_clearing.py``). ``clearing_keys`` defaults to the
     row index within this block; pass stable per-user keys (for example
     user ids) when the same population is split across blocks.
+
+    With a :class:`~repro.core.cancellation.CancellationModel`, the
+    static rank rule of :func:`repro.core.cancellation.apply_rebuys`
+    runs as a per-user post-pass over the sold units (cleared listings
+    under clearing, every sale under instant semantics) — decisions,
+    sale income and the listing lifecycle are untouched; the physical
+    timeline gains the re-bought serving hours and the result carries
+    per-user ``rebuy`` cost and ``instances_rebought`` tallies,
+    bit-identical to ``run_fast(..., cancellation=cancellation)``.
     """
     period = model.period
     if precomputed is None:
@@ -378,6 +416,11 @@ def run_population(
         raise SimulationError(
             f"clearing must be a ClearingModel or None, got "
             f"{type(clearing).__name__}"
+        )
+    if cancellation is not None and not isinstance(cancellation, CancellationModel):
+        raise SimulationError(
+            f"cancellation must be a CancellationModel or None, got "
+            f"{type(cancellation).__name__}"
         )
     resolved_keys: "list[object] | None" = None
     if clearing is not None:
@@ -409,7 +452,11 @@ def run_population(
     # Under clearing the physical timeline changes at the *drawn clear
     # hour*, not the decision hour, so the branches below collect one
     # event per sold instance (per user in run_fast's draw order)
-    # instead of writing decision-time deltas.
+    # instead of writing decision-time deltas. The cancellation
+    # post-pass also needs the per-sale events (it ranks sold units in
+    # that same order), so instant-path runs collect them too — on top
+    # of, not instead of, their decision-time deltas.
+    collect_events = clearing is not None or cancellation is not None
     event_rows_parts: "list[np.ndarray]" = []
     event_t0_parts: "list[np.ndarray]" = []
     if evaluate:
@@ -447,7 +494,7 @@ def run_population(
                     (event_rows, np.minimum(event_t0 + period, horizon)),
                     counts,
                 )
-            else:
+            if collect_events:
                 # Expand batches to per-sale events; nonzero's row-major
                 # order keeps each user's sales in ascending t0 / batch
                 # order, matching run_fast's draw order.
@@ -506,7 +553,7 @@ def run_population(
                     # assignment is safe (no duplicate indices).
                     sale_delta[sell_rows, sell_t0 + decision_age] -= sell_counts
                     sale_delta[sell_rows, sell_end] += sell_counts
-                else:
+                if collect_events:
                     # Rounds visit each user's batches in ascending t0,
                     # so appending round by round keeps every user's
                     # events in run_fast's draw order.
@@ -524,6 +571,8 @@ def run_population(
     instances_cleared: "np.ndarray | None" = None
     listings_expired: "np.ndarray | None" = None
     listings_open: "np.ndarray | None" = None
+    sale_events: "tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray] | None"
+    sale_events = None
     if clearing is not None:
         clearing_income = np.zeros(users, dtype=np.float64)
         instances_cleared = np.zeros(users, dtype=np.int64)
@@ -536,6 +585,7 @@ def run_population(
                 instances_cleared,
                 listings_expired,
                 listings_open,
+                sale_events,
             ) = _apply_clearing(
                 clearing,
                 resolved_keys,
@@ -551,6 +601,57 @@ def run_population(
 
     if sale_delta is not None and total_sold.any():
         r_physical = r_physical + np.cumsum(sale_delta, axis=1)[:, :horizon]
+
+    rebuy_costs: "np.ndarray | None" = None
+    instances_rebought: "np.ndarray | None" = None
+    if cancellation is not None:
+        rebuy_costs = np.zeros(users, dtype=np.float64)
+        instances_rebought = np.zeros(users, dtype=np.int64)
+        if clearing is None and event_rows_parts:
+            # Instant sales: every sale is a sold unit watching from its
+            # decision hour. The round-wise appends interleave users, so
+            # a stable row sort restores each user's (t0, batch) order.
+            rows_all = np.concatenate(event_rows_parts)
+            t0_all = np.concatenate(event_t0_parts)
+            order = np.argsort(rows_all, kind="stable")
+            sale_events = (
+                rows_all[order],
+                t0_all[order],
+                t0_all[order] + decision_age,
+                np.ones(rows_all.size, dtype=bool),
+            )
+        if sale_events is not None:
+            unit_rows, unit_t0, unit_watch, unit_sold = sale_events
+            boundaries = np.flatnonzero(np.diff(unit_rows)) + 1
+            group_starts = np.concatenate(([0], boundaries))
+            group_stops = np.concatenate((boundaries, [unit_rows.size]))
+            for start, stop in zip(group_starts.tolist(), group_stops.tolist()):
+                user = int(unit_rows[start])
+                units = [
+                    SoldUnit(
+                        reserved_at=int(t0),
+                        watch_from=int(watch),
+                        term_end=min(int(t0) + period, horizon),
+                    )
+                    for t0, watch, sold in zip(
+                        unit_t0[start:stop].tolist(),
+                        unit_watch[start:stop].tolist(),
+                        unit_sold[start:stop].tolist(),
+                    )
+                    if sold
+                ]
+                if not units:
+                    continue
+                outcome = apply_rebuys(
+                    d[user], r_physical[user], units, period, model, cancellation
+                )
+                if outcome.rebuys:
+                    # r_physical is a fresh array whenever sales (and
+                    # therefore units) exist — safe to edit in place.
+                    r_physical[user] = outcome.r_after
+                    rebuy_costs[user] = outcome.rebuy_cost
+                    instances_rebought[user] = len(outcome.rebuys)
+
     on_demand_hours = np.maximum(d - r_physical, 0).sum(axis=1)
     if model.fee_mode is HourlyFeeMode.ACTIVE:
         billed_hours = r_physical.sum(axis=1)
@@ -574,4 +675,120 @@ def run_population(
         instances_cleared=instances_cleared,
         listings_expired=listings_expired,
         listings_open=listings_open,
+        rebuy=rebuy_costs,
+        instances_rebought=instances_rebought,
+    )
+
+
+def run_population_randomized(
+    demands: np.ndarray,
+    reservations: np.ndarray,
+    model: CostModel,
+    policy: RandomizedSellingPolicy,
+    *,
+    user_keys: "list[object] | None" = None,
+    threshold_scale: float = 1.0,
+    clearing: "ClearingModel | None" = None,
+    clearing_keys: "list[object] | None" = None,
+    cancellation: "CancellationModel | None" = None,
+) -> PopulationResult:
+    """Run a :class:`RandomizedSellingPolicy` over a population tensor.
+
+    One decision fraction is drawn per user from the policy's per-key
+    uniform stream — ``policy.draw_spot(user_keys[u])`` — and the run
+    then *is* the deterministic online engine at that φ: rows are
+    grouped by drawn spot, each group runs through
+    :func:`run_population` at its φ, and the per-user outputs scatter
+    back into the original row order. Per user the result is therefore
+    bit-identical to ``run_fast`` at the drawn φ (and to the serving
+    fleet, which draws from the same stream keyed the same way); a
+    single-spot menu reduces bit-identically to the plain deterministic
+    run.
+
+    ``user_keys`` (default: the row index) are the draw keys; pass the
+    same stable per-user keys the serving layer uses to reproduce its
+    draws. ``clearing_keys`` keeps its :func:`run_population` meaning
+    and defaults to the row index of the *full* block, so grouping does
+    not re-key the clearing streams. The returned result carries
+    ``drawn_phi`` and has ``phi`` set to NaN (no single fraction
+    describes the run).
+    """
+    if not isinstance(policy, RandomizedSellingPolicy):
+        raise SimulationError(
+            f"policy must be a RandomizedSellingPolicy, got "
+            f"{type(policy).__name__}"
+        )
+    precomputed = prepare_population(demands, reservations, model.period)
+    users = precomputed.demands.shape[0]
+    keys: "list[object]" = (
+        list(range(users)) if user_keys is None else list(user_keys)
+    )
+    if len(keys) != users:
+        raise SimulationError(
+            f"user_keys must have one entry per user ({users}), got {len(keys)}"
+        )
+    resolved_clearing_keys: "list[object] | None" = None
+    if clearing is not None:
+        resolved_clearing_keys = (
+            list(range(users)) if clearing_keys is None else list(clearing_keys)
+        )
+        if len(resolved_clearing_keys) != users:
+            raise SimulationError(
+                f"clearing_keys must have one entry per user ({users}), "
+                f"got {len(resolved_clearing_keys)}"
+            )
+
+    drawn = policy.draw_spots(keys)
+
+    def _alloc(dtype: type) -> np.ndarray:
+        return np.zeros(users, dtype=dtype)
+
+    out: "dict[str, np.ndarray | None]" = {
+        "on_demand": _alloc(np.float64),
+        "upfront": _alloc(np.float64),
+        "reserved_hourly": _alloc(np.float64),
+        "sale_income": _alloc(np.float64),
+        "instances_sold": _alloc(np.int64),
+        "instances_cleared": _alloc(np.int64) if clearing is not None else None,
+        "listings_expired": _alloc(np.int64) if clearing is not None else None,
+        "listings_open": _alloc(np.int64) if clearing is not None else None,
+        "rebuy": _alloc(np.float64) if cancellation is not None else None,
+        "instances_rebought": (
+            _alloc(np.int64) if cancellation is not None else None
+        ),
+    }
+    for phi in np.unique(drawn).tolist():
+        rows = np.flatnonzero(drawn == phi)
+        group = run_population(
+            precomputed.demands[rows],
+            precomputed.reservations[rows],
+            model,
+            phi=phi,
+            kind=FastPolicyKind.ONLINE,
+            threshold_scale=threshold_scale,
+            clearing=clearing,
+            clearing_keys=(
+                None
+                if resolved_clearing_keys is None
+                else [resolved_clearing_keys[row] for row in rows.tolist()]
+            ),
+            cancellation=cancellation,
+        )
+        for name, target in out.items():
+            if target is not None:
+                target[rows] = getattr(group, name)
+    return PopulationResult(
+        kind=FastPolicyKind.ONLINE,
+        phi=float("nan"),
+        on_demand=out["on_demand"],
+        upfront=out["upfront"],
+        reserved_hourly=out["reserved_hourly"],
+        sale_income=out["sale_income"],
+        instances_sold=out["instances_sold"],
+        instances_cleared=out["instances_cleared"],
+        listings_expired=out["listings_expired"],
+        listings_open=out["listings_open"],
+        rebuy=out["rebuy"],
+        instances_rebought=out["instances_rebought"],
+        drawn_phi=drawn.astype(np.float64),
     )

@@ -16,6 +16,7 @@ import time
 from pathlib import Path
 
 from repro.core.clearing import LIQUIDITY_REGIMES, ClearingModel
+from repro.core.policyspec import parse_policies
 from repro.experiments import (
     ablations,
     breakdown,
@@ -25,6 +26,7 @@ from repro.experiments import (
     fig2,
     fig3,
     fig4,
+    randomized,
     stability,
     table1,
     table2,
@@ -47,7 +49,7 @@ _SWEEP_EXPERIMENTS = ("fig3", "fig4", "table2", "table3")
 _ALL = ("table1", "fig1", "fig2", "fig3", "fig4", "table2", "table3", "theory", "ablations")
 
 #: Extra experiments not part of ``all`` (opt-in: slower or exploratory).
-_EXTRA = ("stability", "optgap", "breakdown", "liquidity")
+_EXTRA = ("stability", "optgap", "breakdown", "liquidity", "randomized")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -129,6 +131,17 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SEED",
         help="seed of the clearing model's hazard draws (default: %(default)s)",
     )
+    parser.add_argument(
+        "--policies",
+        default=None,
+        metavar="SPECS",
+        help=(
+            "extra policy specs for the population sweep, ';'-separated "
+            "(specs contain commas), e.g. "
+            "\"randomized:seed=7;cancellation:phi=0.75\"; see "
+            "docs/randomized.md for the grammar"
+        ),
+    )
     return parser
 
 
@@ -164,6 +177,8 @@ def run_experiment(
         return optgap.render(optgap.run(config))
     if name == "breakdown":
         return breakdown.render(breakdown.run(config))
+    if name == "randomized":
+        return randomized.render(randomized.run(config))
     if name == "liquidity":
         return liquidity.render(
             liquidity.run(
@@ -185,6 +200,12 @@ def run_experiment(
 def main(argv: "list[str] | None" = None) -> int:
     args = build_parser().parse_args(argv)
     config = _SCALES[args.scale](seed=args.seed)
+    if args.policies:
+        config = config.scaled(
+            policies=tuple(
+                spec.canonical() for spec in parse_policies(args.policies)
+            )
+        )
     names = _ALL if args.experiment == "all" else (args.experiment,)
     clearing = (
         ClearingModel.for_regime(args.clearing, seed=args.clearing_seed)

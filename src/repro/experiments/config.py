@@ -30,6 +30,38 @@ PAPER_ALPHA = 0.25
 PAPER_SELLING_DISCOUNT = 0.8
 
 
+def _canonical_policy_specs(specs: "tuple[str, ...]") -> "tuple[str, ...]":
+    """Parse, canonicalise, and name-check extra sweep policy specs."""
+    from repro.core import policies as _policies
+    from repro.core.policyspec import PolicySpec
+
+    standard = {
+        _policies.POLICY_KEEP,
+        _policies.POLICY_OPT,
+        *_policies.ONLINE_POLICIES,
+        *_policies.ALL_SELLING_POLICIES,
+    }
+    canonical: "list[str]" = []
+    names: "list[str]" = []
+    for spec in specs:
+        parsed = PolicySpec(spec)
+        name = parsed.build().name
+        if name in standard:
+            raise ExperimentError(
+                f"policy spec {parsed.canonical()!r} produces the display "
+                f"name {name!r}, which collides with the standard sweep "
+                "set; give it a distinct name=... parameter"
+            )
+        if name in names:
+            raise ExperimentError(
+                f"policy specs produce the duplicate display name {name!r}; "
+                "give each a distinct name=... parameter"
+            )
+        canonical.append(parsed.canonical())
+        names.append(name)
+    return tuple(canonical)
+
+
 @dataclass(frozen=True)
 class ExperimentConfig:
     """Scalable rendition of the paper's experimental settings."""
@@ -43,6 +75,11 @@ class ExperimentConfig:
     mean_demand: float = 5.0
     marketplace_fee: float = 0.0
     fee_mode: HourlyFeeMode = HourlyFeeMode.ACTIVE
+    #: Extra policy specs (see :mod:`repro.core.policyspec`) appended
+    #: after the standard sweep set — canonical spec strings, stored
+    #: declaratively so the configuration (and the cache key derived
+    #: from :meth:`content_hash`) never carries pickled policy objects.
+    policies: "tuple[str, ...]" = ()
     label: str = "default"
 
     def __post_init__(self) -> None:
@@ -62,6 +99,10 @@ class ExperimentConfig:
         if not 0.0 <= self.selling_discount <= 1.0:
             raise ExperimentError(
                 f"selling_discount must lie in [0, 1], got {self.selling_discount!r}"
+            )
+        if self.policies:
+            object.__setattr__(
+                self, "policies", _canonical_policy_specs(self.policies)
             )
 
     # ------------------------------------------------------------------
@@ -108,19 +149,23 @@ class ExperimentConfig:
         """
         from repro.parallel.hashing import stable_hash
 
-        return stable_hash(
-            {
-                "users_per_group": self.users_per_group,
-                "period_hours": self.period_hours,
-                "horizon_periods": self.horizon_periods,
-                "seed": self.seed,
-                "selling_discount": self.selling_discount,
-                "alpha": self.alpha,
-                "mean_demand": self.mean_demand,
-                "marketplace_fee": self.marketplace_fee,
-                "fee_mode": self.fee_mode,
-            }
-        )
+        key: "dict[str, object]" = {
+            "users_per_group": self.users_per_group,
+            "period_hours": self.period_hours,
+            "horizon_periods": self.horizon_periods,
+            "seed": self.seed,
+            "selling_discount": self.selling_discount,
+            "alpha": self.alpha,
+            "mean_demand": self.mean_demand,
+            "marketplace_fee": self.marketplace_fee,
+            "fee_mode": self.fee_mode,
+        }
+        if self.policies:
+            # Only added when present, so configurations predating the
+            # policy-spec field keep their historical digests (an empty
+            # tuple and an absent field must hash identically).
+            key["policies"] = self.policies
+        return stable_hash(key)
 
     # Presets --------------------------------------------------------------
 

@@ -1,0 +1,262 @@
+"""Randomized-selling experiment: §VII's speculation, verified end to end.
+
+Three claims tie the proof-model design of :mod:`repro.core.randomized`
+to the production engines:
+
+1. **Engine fidelity.** Running the adversary family through the
+   population-tensor engine (one single-reservation user per profile,
+   the proofs' ``USAGE`` billing, no marketplace fee) reproduces the
+   proof model's per-profile online costs bitwise-closely, so the
+   worst-case ratios below are *population-scale empirical* numbers,
+   not closed-form re-derivations.
+2. **Bounds verification.** For each deterministic spot, the empirical
+   worst-case ratio against the proofs' benchmark (OPT restricted to
+   sell no earlier than the spot, ε ∈ [φ, 1]) must respect the closed
+   forms of :mod:`repro.core.ratios` — and come within a documented
+   fraction of them (:data:`BOUND_TOLERANCE`): the proved bounds are
+   suprema over θ and continuous ε, so a finite family on an hourly
+   grid stresses them from below without attaining them.
+3. **The mixture wins.** The LP-optimised spot distribution's worst
+   *expected* ratio (oblivious adversary, unrestricted OPT — the
+   benchmark :func:`repro.core.randomized.optimize_distribution` plays
+   against) must be strictly below every deterministic spot's worst
+   ratio on the same family, empirically, through the same tensor
+   engine.
+
+Run with ``python -m repro randomized``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.core.account import CostModel, HourlyFeeMode
+from repro.core.breakeven import PAPER_DECISION_FRACTIONS
+from repro.core.popsim import run_population
+from repro.core.randomized import (
+    RandomizedDesign,
+    adversary_profiles,
+    optimize_distribution,
+)
+from repro.core.ratios import (
+    adversarial_case1_profile,
+    adversarial_case2_profile,
+    competitive_ratio_for_plan,
+)
+from repro.core.single import offline_single_cost
+from repro.errors import ExperimentError
+from repro.experiments.config import ExperimentConfig
+
+#: Documented tolerance of the empirical-vs-closed-form check: the
+#: population-scale worst case must stay below the proved bound (up to
+#: float slack) and reach at least this fraction of it. The structured
+#: two-block family plus the Case-1/Case-2 constructions lands in the
+#: 0.82–0.93 range across the paper's three spots at every preset
+#: scale; 0.75 leaves headroom without letting the check go vacuous.
+BOUND_TOLERANCE = 0.75
+
+#: Float slack on "never exceeds the proved bound".
+BOUND_SLACK = 1e-9
+
+
+@dataclass(frozen=True)
+class SpotRow:
+    """One deterministic spot's empirical-vs-proved comparison."""
+
+    phi: float
+    probability: float  # the LP's weight on this spot
+    closed_form: float  # proved ratio (plan's own θ)
+    empirical_restricted: float  # worst ratio vs the proofs' ε ∈ [φ, 1] OPT
+    empirical_unrestricted: float  # worst ratio vs unrestricted OPT
+
+    @property
+    def within_tolerance(self) -> bool:
+        return (
+            self.empirical_restricted <= self.closed_form + BOUND_SLACK
+            and self.empirical_restricted >= BOUND_TOLERANCE * self.closed_form
+        )
+
+
+@dataclass(frozen=True)
+class RandomizedExperimentResult:
+    """Everything the ``randomized`` report shows."""
+
+    config: ExperimentConfig
+    design: RandomizedDesign
+    rows: list[SpotRow]
+    #: The mixture's empirical worst expected ratio (unrestricted OPT),
+    #: computed from the tensor-engine cost columns.
+    mixture_ratio: float
+    #: Largest |popsim − proof-model| per-profile cost discrepancy.
+    engine_discrepancy: float
+    n_profiles: int
+
+    @property
+    def best_deterministic(self) -> float:
+        return min(row.empirical_unrestricted for row in self.rows)
+
+    @property
+    def mixture_beats_deterministic(self) -> bool:
+        return self.mixture_ratio < self.best_deterministic
+
+    @property
+    def bounds_verified(self) -> bool:
+        return all(row.within_tolerance for row in self.rows)
+
+    @property
+    def improvement(self) -> float:
+        """Relative gain of the mixture over the best single spot."""
+        return 1.0 - self.mixture_ratio / self.best_deterministic
+
+
+def run(
+    config: ExperimentConfig,
+    spots: "tuple[float, ...]" = PAPER_DECISION_FRACTIONS,
+) -> RandomizedExperimentResult:
+    """Optimise the mixture and verify it at population scale."""
+    plan = config.plan()
+    a = config.selling_discount
+    period = plan.period_hours
+
+    profiles = adversary_profiles(period)
+    for phi in spots:
+        # The proofs' dedicated worst-case constructions join the grid
+        # family so the empirical check genuinely stresses each bound.
+        profiles.append(adversarial_case1_profile(plan, a, phi))
+        profiles.append(adversarial_case2_profile(plan, a, phi))
+
+    design = optimize_distribution(plan, a, spots=spots, profiles=profiles)
+
+    # One single-reservation user per adversary profile, in the proofs'
+    # billing convention — the tensor engine then *is* the proof model.
+    model = CostModel(
+        plan=plan,
+        selling_discount=a,
+        marketplace_fee=0.0,
+        fee_mode=HourlyFeeMode.USAGE,
+    )
+    demands = np.stack([profile.astype(np.int64) for profile in profiles])
+    reservations = np.zeros_like(demands)
+    reservations[:, 0] = 1
+
+    opt_unrestricted = np.array(
+        [offline_single_cost(p, plan, a)[0] for p in profiles]
+    )
+    feasible = opt_unrestricted > 0
+
+    cost_columns: "dict[float, np.ndarray]" = {}
+    discrepancy = 0.0
+    from repro.core.single import online_single_cost
+
+    rows: "list[SpotRow]" = []
+    weights = dict(
+        zip(design.distribution.spots, design.distribution.probabilities)
+    )
+    for phi in spots:
+        result = run_population(demands, reservations, model, phi=phi)
+        costs = result.total_costs()
+        cost_columns[phi] = costs
+        reference = np.array(
+            [online_single_cost(p, plan, a, phi)[0] for p in profiles]
+        )
+        discrepancy = max(discrepancy, float(np.abs(costs - reference).max()))
+
+        decision_age = round(phi * period)
+        opt_restricted = np.array(
+            [
+                offline_single_cost(p, plan, a, min_age=decision_age)[0]
+                for p in profiles
+            ]
+        )
+        restricted_feasible = opt_restricted > 0
+        rows.append(
+            SpotRow(
+                phi=phi,
+                probability=float(weights[phi]),
+                closed_form=competitive_ratio_for_plan(
+                    plan, a, phi, use_paper_theta=False
+                ),
+                empirical_restricted=float(
+                    (costs[restricted_feasible] / opt_restricted[restricted_feasible]).max()
+                ),
+                empirical_unrestricted=float(
+                    (costs[feasible] / opt_unrestricted[feasible]).max()
+                ),
+            )
+        )
+
+    expected = np.zeros(len(profiles))
+    for phi in spots:
+        weight = float(weights[phi])
+        if weight:
+            expected += weight * cost_columns[phi]
+    mixture_ratio = float((expected[feasible] / opt_unrestricted[feasible]).max())
+
+    if discrepancy > 1e-9:
+        raise ExperimentError(
+            f"population engine deviates from the proof model by "
+            f"{discrepancy!r} on the adversary family; the empirical "
+            "verification would be meaningless"
+        )
+    return RandomizedExperimentResult(
+        config=config,
+        design=design,
+        rows=rows,
+        mixture_ratio=mixture_ratio,
+        engine_discrepancy=discrepancy,
+        n_profiles=len(profiles),
+    )
+
+
+def render(result: RandomizedExperimentResult) -> str:
+    """Human-readable report."""
+    lines = [
+        "Randomized selling (Section VII): LP-optimised spot mixture",
+        f"profiles: {result.n_profiles} two-block adversaries "
+        f"(T={result.config.period_hours}h, a={result.config.selling_discount})",
+        f"engine check: max |popsim - proof model| = "
+        f"{result.engine_discrepancy:.2e}",
+        "",
+    ]
+    header = [
+        "spot",
+        "P(spot)",
+        "proved bound",
+        "empirical (eps>=phi)",
+        "within tol",
+        "empirical (free OPT)",
+    ]
+    table = []
+    for row in result.rows:
+        table.append(
+            [
+                f"phi={row.phi:g}",
+                f"{row.probability:.4f}",
+                f"{row.closed_form:.4f}",
+                f"{row.empirical_restricted:.4f}",
+                "yes" if row.within_tolerance else "NO",
+                f"{row.empirical_unrestricted:.4f}",
+            ]
+        )
+    lines.append(format_table(header, table))
+    lines.append("")
+    lines.append(
+        f"mixture worst expected ratio : {result.mixture_ratio:.4f}"
+    )
+    lines.append(
+        f"best deterministic spot      : {result.best_deterministic:.4f}"
+    )
+    verdict = "yes" if result.mixture_beats_deterministic else "NO"
+    lines.append(
+        f"mixture beats every spot     : {verdict} "
+        f"({result.improvement:.1%} better than the best spot)"
+    )
+    lines.append(
+        f"bounds verified within tol   : "
+        f"{'yes' if result.bounds_verified else 'NO'} "
+        f"(empirical in [{BOUND_TOLERANCE:.2f}, 1.0] x proved bound)"
+    )
+    return "\n".join(lines)

@@ -33,8 +33,10 @@ from repro.core.popsim import (
     DEFAULT_BLOCK_USERS,
     prepare_population,
     run_population,
+    run_population_randomized,
 )
 from repro.core import policies as _policies
+from repro.core.policyspec import PolicySpec
 from repro.errors import ExperimentError
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.population import ExperimentUser, build_experiment_population
@@ -187,12 +189,68 @@ class SweepResult:
                 writer.writerow(row)
 
 
+def _simulate_spec_policy(
+    spec_text: str,
+    demands: np.ndarray,
+    reservations: np.ndarray,
+    model: CostModel,
+    user_id: str,
+    clearing: "ClearingModel | None",
+) -> "tuple[str, float, int, int]":
+    """Run one extra spec policy for one user through ``run_fast``.
+
+    The spec-kind dispatch shared by both execution engines: a
+    randomized spec draws its φ from the per-user stream (keyed by
+    ``user_id``, the same key the population path uses) and then *is*
+    the deterministic online run at that φ; a cancellation spec is the
+    online run plus the re-buy post-pass. Returns
+    ``(name, total_cost, sold, cleared)``.
+    """
+    policy = PolicySpec(spec_text).build()
+    if isinstance(policy, _policies.KeepReservedPolicy):
+        result = run_fast(
+            demands, reservations, model, kind=FastPolicyKind.KEEP_RESERVED
+        )
+        return policy.name, result.total_cost, 0, 0
+    if isinstance(policy, _policies.RandomizedSellingPolicy):
+        result = run_fast(
+            demands, reservations, model, phi=policy.draw_spot(user_id),
+            clearing=clearing, clearing_key=user_id,
+        )
+    elif isinstance(policy, _policies.CancellationAwareSellingPolicy):
+        result = run_fast(
+            demands, reservations, model, phi=policy.phi,
+            threshold_scale=policy.threshold_scale,
+            clearing=clearing, clearing_key=user_id,
+            cancellation=policy.cancellation,
+        )
+    elif isinstance(policy, _policies.AllSellingPolicy):
+        result = run_fast(
+            demands, reservations, model, phi=policy.phi,
+            kind=FastPolicyKind.ALL_SELLING,
+            clearing=clearing, clearing_key=user_id,
+        )
+    else:
+        result = run_fast(
+            demands, reservations, model, phi=policy.phi,
+            threshold_scale=policy.threshold_scale,
+            clearing=clearing, clearing_key=user_id,
+        )
+    return (
+        policy.name,
+        result.total_cost,
+        result.instances_sold,
+        result.instances_cleared,
+    )
+
+
 def _simulate_user(
     user: ExperimentUser,
     model: CostModel,
     include_opt: bool,
     include_all_selling: bool,
     clearing: "ClearingModel | None" = None,
+    extra_policies: "tuple[str, ...]" = (),
 ) -> UserOutcome:
     """Run every policy for one user against a prebuilt cost model.
 
@@ -200,7 +258,9 @@ def _simulate_user(
     stochastic sale clearing (each user's draw stream is keyed by
     ``user_id``, so outcomes survive any re-batching); the offline
     optimum stays the paper's instant-sale baseline — the clairvoyant
-    benchmark the degradation is measured against.
+    benchmark the degradation is measured against. ``extra_policies``
+    (canonical spec strings, from ``ExperimentConfig.policies``) run
+    after the standard set and before OPT.
     """
     demands = user.schedule.demands.values
     reservations = user.schedule.reservations
@@ -235,6 +295,15 @@ def _simulate_user(
             sold[name] = result.instances_sold
             if cleared is not None:
                 cleared[name] = result.instances_cleared
+
+    for spec_text in extra_policies:
+        name, total, sold_count, cleared_count = _simulate_spec_policy(
+            spec_text, demands, reservations, model, user.user_id, clearing
+        )
+        costs[name] = total
+        sold[name] = sold_count
+        if cleared is not None:
+            cleared[name] = cleared_count
 
     if include_opt:
         result = run_offline_optimal(user.schedule.demands, reservations, model)
@@ -296,7 +365,9 @@ def run_user(
     if not isinstance(cost_model, CostModel):
         raise TypeError(f"model must be a CostModel, got {cost_model!r}")
     _validate_clearing(clearing)
-    return _simulate_user(user, cost_model, opt, all_selling, clearing)
+    return _simulate_user(
+        user, cost_model, opt, all_selling, clearing, config.policies
+    )
 
 
 def _validate_clearing(clearing: object) -> "ClearingModel | None":
@@ -322,13 +393,15 @@ class _SweepTask:
     include_opt: bool
     include_all_selling: bool
     clearing: "ClearingModel | None" = None
+    #: Canonical spec strings (never pickled policy objects).
+    extra_policies: "tuple[str, ...]" = ()
 
 
 def _run_sweep_task(task: _SweepTask) -> UserOutcome:
     """Module-level worker body, picklable for the process pool."""
     return _simulate_user(
         task.user, task.model, task.include_opt, task.include_all_selling,
-        task.clearing,
+        task.clearing, task.extra_policies,
     )
 
 
@@ -345,6 +418,11 @@ class _PopulationBlockTask:
     #: Per-user clearing stream keys (the user ids), block order; keeps
     #: draws independent of how users were packed into blocks.
     clearing_keys: "tuple[str, ...] | None" = None
+    #: Canonical spec strings of the extra policies (never pickles).
+    extra_policies: "tuple[str, ...]" = ()
+    #: Per-user draw keys (the user ids), block order; set whenever
+    #: extra policies run so randomized draws survive any re-batching.
+    user_ids: "tuple[str, ...] | None" = None
 
 
 def _run_population_block(
@@ -397,6 +475,54 @@ def _run_population_block(
                 (name, result.total_costs(), result.instances_sold,
                  result.instances_cleared)
             )
+    for spec_text in task.extra_policies:
+        policy = PolicySpec(spec_text).build()
+        if isinstance(policy, _policies.KeepReservedPolicy):
+            result = run_population(
+                d, n, model, kind=FastPolicyKind.KEEP_RESERVED,
+                precomputed=prepared,
+            )
+            columns.append(
+                (
+                    policy.name,
+                    result.total_costs(),
+                    zero_counts,
+                    zero_counts if clearing is not None else None,
+                )
+            )
+            continue
+        if isinstance(policy, _policies.RandomizedSellingPolicy):
+            result = run_population_randomized(
+                d, n, model, policy,
+                user_keys=list(task.user_ids or ()) or None,
+                clearing=clearing,
+                clearing_keys=(
+                    list(clearing_keys) if clearing_keys is not None else None
+                ),
+            )
+        elif isinstance(policy, _policies.CancellationAwareSellingPolicy):
+            result = run_population(
+                d, n, model, phi=policy.phi,
+                threshold_scale=policy.threshold_scale, precomputed=prepared,
+                clearing=clearing, clearing_keys=clearing_keys,
+                cancellation=policy.cancellation,
+            )
+        elif isinstance(policy, _policies.AllSellingPolicy):
+            result = run_population(
+                d, n, model, phi=policy.phi, kind=FastPolicyKind.ALL_SELLING,
+                precomputed=prepared,
+                clearing=clearing, clearing_keys=clearing_keys,
+            )
+        else:
+            result = run_population(
+                d, n, model, phi=policy.phi,
+                threshold_scale=policy.threshold_scale, precomputed=prepared,
+                clearing=clearing, clearing_keys=clearing_keys,
+            )
+        columns.append(
+            (policy.name, result.total_costs(), result.instances_sold,
+             result.instances_cleared)
+        )
     opt_results = None
     if task.include_opt:
         # OPT has no tensor formulation (its sale schedule is a per-user
@@ -450,6 +576,7 @@ def _run_population_sweep(
     workers: int,
     on_progress: "Callable[[int], None] | None",
     clearing: "ClearingModel | None" = None,
+    extra_policies: "tuple[str, ...]" = (),
 ) -> "list[UserOutcome]":
     """Simulate the pending users through the population-tensor engine.
 
@@ -484,6 +611,12 @@ def _run_population_sweep(
             clearing_keys=(
                 tuple(population[index].user_id for index in block)
                 if clearing is not None
+                else None
+            ),
+            extra_policies=extra_policies,
+            user_ids=(
+                tuple(population[index].user_id for index in block)
+                if extra_policies
                 else None
             ),
         )
@@ -736,12 +869,13 @@ def run_sweep(
                 workers,
                 on_progress,
                 clearing,
+                config.policies,
             )
         else:
             tasks = [
                 _SweepTask(
                     population[index], model, include_opt, include_all_selling,
-                    clearing,
+                    clearing, config.policies,
                 )
                 for index in pending
             ]

@@ -23,12 +23,14 @@ Sources
       ``for x in set(…)`` without a ``sorted`` wrapper).
 
 Sinks
-    Functions defined in ``core/`` (including ``core/fastsim.py`` and
-    ``core/clearing.py``), ``analysis/``, ``marketplace/``, or
-    ``serve/state.py``. The marketplace joined the sink set when the
-    clearing engine wired its sellers and buyers into the decision
-    engines — a wall-clock or global-RNG read there now taints sweep
-    results the same way one in ``core/`` would.
+    Functions defined in ``core/`` (including ``core/fastsim.py``,
+    ``core/clearing.py``, and ``core/policyspec.py``), ``analysis/``,
+    ``marketplace/``, ``serve/state.py``, or ``serve/checkpoint.py``.
+    The marketplace joined the sink set when the clearing engine wired
+    its sellers and buyers into the decision engines; the checkpoint
+    module joined when format 4 made restore re-draw randomized spots —
+    a nondeterministic read there would break the kill-and-restore
+    bit-identity the serve differential proves.
 
 A finding is a sink function from which some call chain reaches a
 source; the message spells out one witness chain end to end.
@@ -124,7 +126,10 @@ def _set_iteration_sources(
 def _is_sink_module(subpackage: str, relative_parts: "Tuple[str, ...]") -> bool:
     if subpackage in ("core", "analysis", "marketplace"):
         return True
-    return relative_parts == ("serve", "state.py")
+    # serve/state.py decides; serve/checkpoint.py rebuilds the decider
+    # (including randomized re-draws at restore) — both must be pure
+    # functions of their inputs.
+    return relative_parts in (("serve", "state.py"), ("serve", "checkpoint.py"))
 
 
 @register_project_rule

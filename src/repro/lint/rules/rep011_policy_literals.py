@@ -15,8 +15,10 @@ _POLICY_NAMES = frozenset(
     {
         _policies.POLICY_KEEP,
         _policies.POLICY_OPT,
+        _policies.POLICY_RANDOMIZED,
         *_policies.ONLINE_POLICIES,
         *_policies.ALL_SELLING_POLICIES,
+        *_policies.CANCELLATION_POLICIES,
     }
 )
 

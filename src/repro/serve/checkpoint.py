@@ -43,11 +43,15 @@ from repro.serve.state import STATE_VERSION, FleetState
 #: Format 3 adds the fleet's clearing model and per-spot listing state
 #: (``clear_at``/``fate``); format-2 files still restore (no clearing,
 #: no open listings).
-CHECKPOINT_FORMAT = 3
+#: Format 4 adds the fleet's canonical policy specs plus per-instance
+#: randomized draws (``drawn``) and cancellation re-buy state
+#: (``rebuys``); formats 2 and 3 still restore (no extra policies).
+CHECKPOINT_FORMAT = 4
 
-#: Older payload shapes this build still reads. Format 2 is a strict
-#: subset of format 3 — the listing fields default to "no listing".
-_COMPATIBLE_FORMATS = (2, CHECKPOINT_FORMAT)
+#: Older payload shapes this build still reads. Formats 2 and 3 are
+#: strict subsets of format 4 — the listing fields default to "no
+#: listing" and the policy fields to "no extra policies".
+_COMPATIBLE_FORMATS = (2, 3, CHECKPOINT_FORMAT)
 
 
 @dataclass
@@ -87,6 +91,10 @@ def fleet_to_payload(
         },
         "threshold_scale": fleet.threshold_scale,
         "phis": list(fleet.phis),
+        # Canonical spec strings, never pickles: the checkpoint carries
+        # the construction recipe (seed, spots, penalty, ...) so a
+        # restored fleet re-draws and re-watches identically.
+        "policies": [spec.canonical() for spec in fleet.policy_specs],
         "clearing": (
             fleet.clearing.to_payload() if fleet.clearing is not None else None
         ),
@@ -128,11 +136,18 @@ def checkpoint_from_payload(payload: dict) -> Checkpoint:
             if clearing_spec is not None
             else None
         )
+        policies = payload.get("policies", ())
+        if not isinstance(policies, (list, tuple)):
+            raise CheckpointError(
+                f"checkpoint 'policies' must be an array of spec strings, "
+                f"got {type(policies).__name__}"
+            )
         fleet = FleetState(
             model,
             phis=tuple(float(phi) for phi in payload["phis"]),
             threshold_scale=float(payload["threshold_scale"]),
             clearing=clearing,
+            policies=tuple(str(spec) for spec in policies),
         )
         fleet.restore_instances(payload["instances"])
         events_ingested = int(payload.get("events_ingested", 0))

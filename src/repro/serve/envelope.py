@@ -4,40 +4,118 @@ One wire contract for the whole serving layer — the single-process
 server, the shard workers, and the shard router all exchange exactly
 these shapes:
 
-* success: ``{"schema": 1, ...payload...}``
-* error:   ``{"schema": 1, "error": {"kind": "<TypeName>", "message": "..."}}``
+* success: ``{"schema": 2, ...payload...}``
+* error:   ``{"schema": 2, "error": {"kind": "<TypeName>", "message": "..."}}``
 
 ``schema`` is the wire-format version. The router stamps it on every
 request it forwards and refuses any response whose version differs
 (:func:`require_schema`): a mixed-version cluster fails loudly at the
 first RPC instead of silently mis-merging decisions.
+
+Schema history
+--------------
+* **1** — the original envelope.
+* **2** — decision rows and instance rows may carry policy provenance
+  (``policy_spec``, ``drawn_phi``, ``rebuys``), and ``/v1/costs`` may
+  carry a ``policies`` section (cancellation re-buy counts).
+
+External clients negotiate *down*: a request carrying an
+``X-Repro-Schema: 1`` header (or an ingest body with ``"schema": 1``)
+gets schema-1 responses with the schema-2-only keys stripped
+(:func:`downgrade_payload`) — old clients keep working against a new
+server. Router↔shard traffic never negotiates: both ends of a cluster
+must speak :data:`SCHEMA_VERSION` exactly.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from repro.serve.errors import SchemaSkewError
 
 #: Version of the serve wire format. Bump on any change to response or
 #: request shapes; router and shards refuse to interoperate across
-#: versions.
-SCHEMA_VERSION = 1
+#: versions (external clients may negotiate down, see SUPPORTED_SCHEMAS).
+SCHEMA_VERSION = 2
+
+#: Schemas this build can *answer in*, newest first. Clients request one
+#: via the ``X-Repro-Schema`` header; anything else is a skew error.
+SUPPORTED_SCHEMAS = (1, SCHEMA_VERSION)
+
+#: Response keys that exist only in schema 2; stripped (recursively)
+#: when answering a schema-1 client.
+_SCHEMA2_KEYS = frozenset({"policy_spec", "drawn_phi", "rebuys", "policies"})
 
 
-def envelope(payload: "Dict[str, object]") -> "Dict[str, object]":
-    """Wrap a success payload in the versioned envelope."""
-    wrapped: "Dict[str, object]" = {"schema": SCHEMA_VERSION}
+def envelope(
+    payload: "Dict[str, object]", schema: int = SCHEMA_VERSION
+) -> "Dict[str, object]":
+    """Wrap a success payload in the versioned envelope.
+
+    ``schema`` is the version the *client* negotiated; payload content
+    must already match it (see :func:`downgrade_payload`).
+    """
+    wrapped: "Dict[str, object]" = {"schema": schema}
     wrapped.update(payload)
     return wrapped
 
 
-def error_envelope(kind: str, message: str) -> "Dict[str, object]":
+def error_envelope(
+    kind: str, message: str, schema: int = SCHEMA_VERSION
+) -> "Dict[str, object]":
     """The one error shape every serve endpoint returns."""
     return {
-        "schema": SCHEMA_VERSION,
+        "schema": schema,
         "error": {"kind": kind, "message": message},
     }
+
+
+def negotiate_schema(header: "Optional[str]") -> int:
+    """Resolve a client's ``X-Repro-Schema`` request header.
+
+    No header means the current version. A header naming a supported
+    version selects it; anything else raises
+    :class:`~repro.serve.errors.SchemaSkewError` (the client asked for a
+    contract this build cannot honour — failing is safer than answering
+    in a shape it does not expect).
+    """
+    if header is None or not header.strip():
+        return SCHEMA_VERSION
+    try:
+        requested = int(header.strip())
+    except ValueError as error:
+        raise SchemaSkewError(
+            f"X-Repro-Schema must be an integer, got {header!r}"
+        ) from error
+    if requested not in SUPPORTED_SCHEMAS:
+        raise SchemaSkewError(
+            f"requested envelope schema {requested} is not supported "
+            f"(this build answers schemas {SUPPORTED_SCHEMAS})"
+        )
+    return requested
+
+
+def downgrade_payload(payload: object, schema: int) -> object:
+    """Return ``payload`` shaped for ``schema``.
+
+    Schema 2 returns the payload untouched. Schema 1 returns a deep
+    copy with every schema-2-only key removed, so pre-provenance
+    clients see exactly the shapes they were written against.
+    """
+    if schema >= SCHEMA_VERSION:
+        return payload
+    if isinstance(payload, dict):
+        return {
+            key: downgrade_payload(value, schema)
+            for key, value in payload.items()
+            if key not in _SCHEMA2_KEYS
+        }
+    if isinstance(payload, list):
+        stripped: "List[object]" = [
+            downgrade_payload(item, schema) for item in payload
+        ]
+        return stripped
+    return payload
 
 
 def require_schema(body: object, source: str = "peer") -> "Dict[str, object]":

@@ -53,9 +53,18 @@ from repro._version import __version__
 from repro.core.account import CostModel
 from repro.core.breakeven import PAPER_DECISION_FRACTIONS
 from repro.core.clearing import LIQUIDITY_REGIMES, ClearingModel
+from repro.core.policyspec import parse_policies
+from repro.errors import PolicyError
 from repro.pricing.catalog import paper_experiment_plan
 from repro.serve.checkpoint import restore_checkpoint, save_checkpoint
-from repro.serve.envelope import SCHEMA_VERSION, envelope, error_envelope
+from repro.serve.envelope import (
+    SCHEMA_VERSION,
+    SUPPORTED_SCHEMAS,
+    downgrade_payload,
+    envelope,
+    error_envelope,
+    negotiate_schema,
+)
 from repro.serve.errors import (
     ApiError,
     CheckpointError,
@@ -72,6 +81,7 @@ from repro.serve.state import (
     FleetState,
     ServeStateError,
     breakdown_from_counts,
+    rebuy_outlay_from_counts,
 )
 
 #: Default cap on events per ingest request (oversize batches get 413).
@@ -99,6 +109,12 @@ def _decision_to_json(decision: FleetDecision) -> "Dict[str, object]":
     if decision.listing is not None:
         body["listing"] = decision.listing
         body["waited_hours"] = decision.waited_hours
+    # Schema-2 provenance: which configured policy this verdict belongs
+    # to, and (randomized) the spot the instance's draw landed on.
+    if decision.policy_spec is not None:
+        body["policy_spec"] = decision.policy_spec
+    if decision.drawn_phi is not None:
+        body["drawn_phi"] = decision.drawn_phi
     return body
 
 
@@ -195,6 +211,11 @@ class AdvisoryApp:
             "Hours a cleared listing sat on the book before selling.",
             buckets=CLEARING_DELAY_BUCKETS,
         )
+        self.rebuys_gauge = self.registry.gauge(
+            "repro_serve_rebuys",
+            "Cancellation re-buys booked, by canonical policy spec.",
+            labelnames=("policy",),
+        )
 
     # ------------------------------------------------------------------
     # Admission control (backpressure)
@@ -268,10 +289,10 @@ class AdvisoryApp:
         """Extract and validate the optional ``schema``/``seq`` fields."""
         if not isinstance(payload, dict):
             return None  # _validate_events rejects non-dict bodies
-        if "schema" in payload and payload["schema"] != SCHEMA_VERSION:
+        if "schema" in payload and payload["schema"] not in SUPPORTED_SCHEMAS:
             raise SchemaSkewError(
                 f"ingest body carries envelope schema {payload['schema']!r}; "
-                f"this server speaks {SCHEMA_VERSION}"
+                f"this server answers schemas {SUPPORTED_SCHEMAS}"
             )
         if "seq" not in payload:
             return None
@@ -363,6 +384,8 @@ class AdvisoryApp:
         """Per-φ cost counts plus the priced breakdowns (Eq. (1))."""
         with self._fleet_lock:
             counts = self.fleet.cost_counts()
+            rebuys = self.fleet.rebuy_counts()
+            penalties = self.fleet.cancellation_penalties()
         phis: "Dict[str, object]" = {}
         for threshold in self.fleet.thresholds:
             key = repr(threshold.phi)
@@ -379,7 +402,23 @@ class AdvisoryApp:
                     "total": breakdown.total,
                 },
             }
-        return {"phis": phis}
+        body: "Dict[str, object]" = {"phis": phis}
+        if rebuys:
+            # Schema-2 section: cancellation re-buy surcharges on top of
+            # the per-φ menu above. Counts stay integers so a sharded
+            # deployment can sum them exactly and price once; `penalty`
+            # rides along so the router needn't parse the spec string.
+            body["policies"] = {
+                spec: {
+                    "counts": entry,
+                    "penalty": penalties[spec],
+                    "rebuy_outlay": rebuy_outlay_from_counts(
+                        self.fleet.model, penalties[spec], entry
+                    ),
+                }
+                for spec, entry in rebuys.items()
+            }
+        return body
 
     def health(self) -> "Dict[str, object]":
         with self._fleet_lock:
@@ -397,6 +436,11 @@ class AdvisoryApp:
     def render_metrics(self) -> str:
         with self._fleet_lock:
             self.instances_gauge.set(self.fleet.size)
+            rebuys = self.fleet.rebuy_counts()
+        for spec, entry in rebuys.items():
+            self.rebuys_gauge.set(
+                float(entry["rebuys"]), labels={"policy": spec}
+            )
         return self.registry.render()
 
     # ------------------------------------------------------------------
@@ -474,11 +518,18 @@ class AdvisoryRequestHandler(BaseHTTPRequestHandler):
         body = json.dumps(payload).encode("utf-8")
         self._send_payload(status, body, "application/json; charset=utf-8")
 
+    #: Envelope schema negotiated for the current request (reset per
+    #: dispatch from the ``X-Repro-Schema`` header).
+    _schema = SCHEMA_VERSION
+
     def _send_ok(self, payload: "Dict[str, object]") -> None:
-        self._send_json(200, envelope(payload))
+        shaped = downgrade_payload(payload, self._schema)
+        self._send_json(
+            200, envelope(shaped, self._schema)  # type: ignore[arg-type]
+        )
 
     def _send_error_json(self, status: int, kind: str, message: str) -> None:
-        self._send_json(status, error_envelope(kind, message))
+        self._send_json(status, error_envelope(kind, message, self._schema))
 
     def _read_json_body(self) -> object:
         length_header = self.headers.get("Content-Length")
@@ -511,6 +562,15 @@ class AdvisoryRequestHandler(BaseHTTPRequestHandler):
     def _dispatch(self, method: str) -> None:
         parsed = urlparse(self.path)
         route = (method, parsed.path.rstrip("/") or "/")
+        # Negotiate the response schema before routing so even error
+        # envelopes leave in the version the client asked for. A bad
+        # header is itself answered (in the current schema).
+        self._schema = SCHEMA_VERSION
+        try:
+            self._schema = negotiate_schema(self.headers.get("X-Repro-Schema"))
+        except SchemaSkewError as error:
+            self._send_error_json(error.status, type(error).__name__, str(error))
+            return
         try:
             if route == ("GET", "/healthz"):
                 self._send_ok(self.app.health())
@@ -570,6 +630,7 @@ def build_app(
     max_inflight: "int | _Unset" = _UNSET,
     checkpoint_fsync: bool = False,
     clearing: "ClearingModel | None" = None,
+    policies: "Sequence[object] | None" = None,
 ) -> AdvisoryApp:
     """Assemble an app, restoring fleet state from ``checkpoint_path``
     when a checkpoint exists there (a fresh fleet otherwise).
@@ -579,6 +640,13 @@ def build_app(
     :class:`~repro.serve.state.FleetState`). A restored checkpoint
     carries its own clearing model, which wins: mid-flight listings must
     settle under the hazards they were drawn from.
+
+    ``policies`` attaches extra policy specs (randomized / cancellation
+    families, see :func:`repro.core.policyspec.parse_policies`) to a
+    *fresh* fleet. A restored checkpoint carries its own specs, which
+    win for the same reason the clearing model does: drawn spots and
+    re-buy watches must continue under the configuration they were
+    created with.
 
     The configuration tail is keyword-only; passing it positionally is
     deprecated and supported for one release behind a
@@ -634,7 +702,10 @@ def build_app(
                 last_response = stored_response
     else:
         fleet = FleetState(
-            model, phis=resolved_phis, clearing=clearing  # type: ignore[arg-type]
+            model,
+            phis=resolved_phis,  # type: ignore[arg-type]
+            clearing=clearing,
+            policies=policies,
         )
     return AdvisoryApp(
         fleet,
@@ -699,6 +770,18 @@ def build_parser() -> argparse.ArgumentParser:
             "marketplace liquidity regime: SELL decisions open listings "
             "that clear stochastically instead of instantly; 'off' keeps "
             "the paper's instant-sale semantics (default: %(default)s)"
+        ),
+    )
+    parser.add_argument(
+        "--policies",
+        default=None,
+        metavar="SPECS",
+        help=(
+            "extra policy specs beyond the per-phi thresholds, "
+            "';'-separated (e.g. "
+            "'randomized:seed=7,spots=0.25|0.5|0.75;"
+            "cancellation:phi=0.5,penalty=0.1,trigger=24'); "
+            "see repro.core.policyspec for the grammar"
         ),
     )
     parser.add_argument(
@@ -827,6 +910,9 @@ def main(argv: "Optional[Sequence[str]]" = None) -> int:
         else None
     )
     try:
+        policies = (
+            parse_policies(args.policies) if args.policies else None
+        )
         app = build_app(
             model,
             phis=tuple(args.phi),
@@ -835,8 +921,9 @@ def main(argv: "Optional[Sequence[str]]" = None) -> int:
             max_batch=args.max_batch,
             max_inflight=args.max_inflight,
             clearing=clearing,
+            policies=policies,
         )
-    except (ServeError, CheckpointError) as error:
+    except (ServeError, CheckpointError, PolicyError) as error:
         print(f"repro.serve: error: {error}", file=sys.stderr)
         return 2
     server = AdvisoryServer((args.host, args.port), app)

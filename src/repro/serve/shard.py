@@ -89,6 +89,8 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from repro._version import __version__
 from repro.core.account import CostModel
 from repro.core.breakeven import PAPER_DECISION_FRACTIONS
+from repro.core.policyspec import parse_policies
+from repro.errors import PolicyError
 from repro.pricing.catalog import paper_experiment_plan
 from repro.serve.checkpoint import save_checkpoint
 from repro.serve.envelope import (
@@ -120,7 +122,12 @@ from repro.serve.server import (
     AdvisoryServer,
     build_app,
 )
-from repro.serve.state import FleetState, ServeStateError, breakdown_from_counts
+from repro.serve.state import (
+    FleetState,
+    ServeStateError,
+    breakdown_from_counts,
+    rebuy_outlay_from_counts,
+)
 from repro.serve.transport import BinaryServer, TransportHub, WorkerChannel
 from repro.serve.wal import Wal, WalRecovery
 
@@ -862,6 +869,10 @@ class ShardRouter:
         """
         replies = self._fan_out_get("costs")
         totals: "Dict[str, Dict[str, int]]" = {}
+        # Cancellation re-buy counts merge under the same discipline:
+        # sum the shards' integers, keep one penalty, price once.
+        rebuy_totals: "Dict[str, Dict[str, int]]" = {}
+        rebuy_penalties: "Dict[str, float]" = {}
         for shard_index, parsed in replies:
             phis = parsed.get("phis")
             if not isinstance(phis, dict):
@@ -880,6 +891,25 @@ class ShardRouter:
                 )
                 for field in merged:
                     merged[field] += int(counts.get(field, 0))  # type: ignore[call-overload]
+            policies = parsed.get("policies")
+            if isinstance(policies, dict):
+                for spec_key, entry in policies.items():
+                    counts = (
+                        entry.get("counts") if isinstance(entry, dict) else None
+                    )
+                    if not isinstance(counts, dict):
+                        raise ShardProtocolError(
+                            f"shard {shard_index} answered malformed re-buy "
+                            f"counts for policy {spec_key!r}"
+                        )
+                    merged = rebuy_totals.setdefault(
+                        str(spec_key), {"rebuys": 0, "rebuy_age_sum": 0}
+                    )
+                    for field in merged:
+                        merged[field] += int(counts.get(field, 0))  # type: ignore[call-overload]
+                    rebuy_penalties.setdefault(
+                        str(spec_key), float(entry["penalty"])  # type: ignore[index, arg-type]
+                    )
         response: "Dict[str, object]" = {}
         for phi_key, counts in sorted(
             totals.items(), key=lambda item: -float(item[0])
@@ -895,7 +925,19 @@ class ShardRouter:
                     "total": breakdown.total,
                 },
             }
-        return {"phis": response}
+        body: "Dict[str, object]" = {"phis": response}
+        if rebuy_totals:
+            body["policies"] = {
+                spec_key: {
+                    "counts": counts,
+                    "penalty": rebuy_penalties[spec_key],
+                    "rebuy_outlay": rebuy_outlay_from_counts(
+                        self.model, rebuy_penalties[spec_key], counts
+                    ),
+                }
+                for spec_key, counts in sorted(rebuy_totals.items())
+            }
+        return body
 
     def _fan_out_get(self, op: str) -> "List[Tuple[int, Dict[str, object]]]":
         """Run a read ``op`` on every shard concurrently; raises on any
@@ -1278,14 +1320,18 @@ def start_cluster(
     transport: str = "binary",
     snapshot_interval: int = DEFAULT_SNAPSHOT_INTERVAL,
     wal_fsync: str = "always",
+    policies: "Optional[Sequence[object]]" = None,
 ) -> ShardRouter:
     """Boot N supervised shard workers and return the router over them.
 
     Each shard's checkpoint lives at ``checkpoint_dir/shard-<i>.json``
     (binary transport adds ``shard-<i>.wal`` beside it); when absent, an
-    empty fleet with ``model``/``phis`` is checkpointed first so the
-    worker bootstraps its configuration from the file (an existing
-    checkpoint wins — restarts resume where the shard left off).
+    empty fleet with ``model``/``phis``/``policies`` is checkpointed
+    first so the worker bootstraps its configuration from the file (an
+    existing checkpoint wins — restarts resume where the shard left
+    off). ``policies`` travel as canonical spec strings inside the
+    checkpoint, so workers need no extra flags and every shard draws
+    from the same per-instance-id streams.
     """
     if n_shards < 1:
         raise ServeStateError(f"n_shards must be >= 1, got {n_shards!r}")
@@ -1297,7 +1343,10 @@ def start_cluster(
             path = directory / f"shard-{shard_index}.json"
             if not path.exists():
                 fleet = FleetState(
-                    model, phis=phis, threshold_scale=threshold_scale
+                    model,
+                    phis=phis,
+                    threshold_scale=threshold_scale,
+                    policies=policies,
                 )
                 save_checkpoint(path, fleet)
             supervisor = ShardSupervisor(
@@ -1345,6 +1394,11 @@ def run_cluster(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
     try:
+        policies = (
+            parse_policies(args.policies)
+            if getattr(args, "policies", None)
+            else None
+        )
         router = start_cluster(
             model,
             args.shards,
@@ -1356,8 +1410,9 @@ def run_cluster(args: argparse.Namespace) -> int:
             transport=args.shard_transport,
             snapshot_interval=args.snapshot_interval,
             wal_fsync=args.wal_fsync,
+            policies=policies,
         )
-    except (ServeError, CheckpointError) as error:
+    except (ServeError, CheckpointError, PolicyError) as error:
         print(f"repro.serve: error: {error}", file=sys.stderr)
         return 2
     server = RouterServer((args.host, args.port), router)
@@ -1405,6 +1460,11 @@ def run_binary_worker(args: argparse.Namespace) -> int:
         plan = plan.with_period(args.period_hours)
     model = CostModel(plan=plan, selling_discount=args.discount)
     try:
+        policies = (
+            parse_policies(args.policies)
+            if getattr(args, "policies", None)
+            else None
+        )
         app = build_app(
             model,
             phis=tuple(args.phi),
@@ -1413,6 +1473,7 @@ def run_binary_worker(args: argparse.Namespace) -> int:
             max_batch=args.max_batch,
             max_inflight=args.max_inflight,
             checkpoint_fsync=True,
+            policies=policies,
         )
         worker = ShardWorker(
             app,
@@ -1421,7 +1482,7 @@ def run_binary_worker(args: argparse.Namespace) -> int:
             wal_fsync=args.wal_fsync,
         )
         replayed, _recovery = worker.recover()
-    except (ServeError, CheckpointError) as error:
+    except (ServeError, CheckpointError, PolicyError) as error:
         print(f"repro.serve: error: {error}", file=sys.stderr)
         return 2
     server = BinaryServer(args.host, args.port, worker.handle)

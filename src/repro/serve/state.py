@@ -47,7 +47,7 @@ import enum
 from bisect import bisect_left
 from dataclasses import dataclass, field
 from itertools import accumulate
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -59,6 +59,12 @@ from repro.core.breakeven import (
 )
 from repro.core.clearing import ClearingModel, ClearingProfile
 from repro.core.fastsim import FastListing, FastPolicyKind, FastSale
+from repro.core.policies import (
+    CancellationAwareSellingPolicy,
+    RandomizedSellingPolicy,
+)
+from repro.core.policyspec import SPEC_KEEP, PolicySpec
+from repro.errors import PolicyError
 from repro.serve.errors import ServeStateError
 
 #: Version of the serving state machine's behaviour. Part of every
@@ -545,6 +551,12 @@ class FleetDecision:
     age: int
     listing: "str | None" = None
     waited_hours: int = 0
+    #: Provenance (schema 2): the canonical policy spec this decision
+    #: belongs to, and — for a randomized policy — the φ the policy's
+    #: per-instance stream drew for this instance. ``None`` for plain
+    #: menu decisions (and stripped from schema-1 responses).
+    policy_spec: "str | None" = None
+    drawn_phi: "float | None" = None
 
 
 class FleetState:
@@ -571,6 +583,7 @@ class FleetState:
         capacity: int = 64,
         *,
         clearing: "ClearingModel | None" = None,
+        policies: "Sequence[object] | None" = None,
     ) -> None:
         if clearing is not None and not isinstance(clearing, ClearingModel):
             raise ServeStateError(
@@ -585,9 +598,55 @@ class FleetState:
             raise ServeStateError("at least one decision fraction is required")
         if len(set(phis)) != len(phis):
             raise ServeStateError(f"duplicate decision fractions in {phis!r}")
+        # Declarative policy specs ride on top of the φ menu: each spec's
+        # decision fractions join the menu, a randomized spec additionally
+        # draws one menu spot per instance at registration, and each
+        # cancellation spec watches its sold instances for returning
+        # demand. Specs are stored canonically (never as pickles) so the
+        # checkpoint and the wire carry the exact construction recipe.
+        specs: "List[PolicySpec]" = []
+        randomized_spec: "Optional[PolicySpec]" = None
+        randomized_policy: "Optional[RandomizedSellingPolicy]" = None
+        cancellation_specs: "List[Tuple[PolicySpec, CancellationAwareSellingPolicy]]" = []
+        menu = [float(phi) for phi in phis]
+        for given in policies or ():
+            try:
+                spec = given if isinstance(given, PolicySpec) else PolicySpec(given)
+            except PolicyError as error:
+                raise ServeStateError(str(error)) from error
+            if spec.kind == SPEC_KEEP:
+                raise ServeStateError(
+                    "a keep policy never sells — the advisory fleet has "
+                    "nothing to track for it; drop the spec"
+                )
+            policy = spec.build()
+            policy_scale = getattr(policy, "threshold_scale", threshold_scale)
+            if policy_scale != threshold_scale:
+                raise ServeStateError(
+                    f"policy spec {spec.canonical()!r} carries "
+                    f"scale={policy_scale!r} but the fleet evaluates every "
+                    f"decision fraction at threshold_scale="
+                    f"{threshold_scale!r}; they must agree"
+                )
+            if isinstance(policy, RandomizedSellingPolicy):
+                if randomized_policy is not None:
+                    raise ServeStateError(
+                        "at most one randomized policy spec per fleet — a "
+                        "second one would need its own per-instance draws"
+                    )
+                randomized_spec, randomized_policy = spec, policy
+                for spot in policy.spots:
+                    if spot not in menu:
+                        menu.append(spot)
+            else:
+                if isinstance(policy, CancellationAwareSellingPolicy):
+                    cancellation_specs.append((spec, policy))
+                if policy.phi not in menu:
+                    menu.append(float(policy.phi))
+            specs.append(spec)
         period = model.period
         thresholds = []
-        for phi in phis:
+        for phi in menu:
             validate_phi(phi)
             age = round(phi * period)
             if not 0 < age < period:
@@ -609,6 +668,17 @@ class FleetState:
         self.thresholds: Tuple[PhiThreshold, ...] = tuple(thresholds)
         self._period = period
         self.clearing = clearing
+        spot_index = {
+            threshold.phi: k for k, threshold in enumerate(self.thresholds)
+        }
+        self.policy_specs: Tuple[PolicySpec, ...] = tuple(specs)
+        self._randomized_spec = randomized_spec
+        self._randomized = randomized_policy
+        self._cancellations: "Tuple[Tuple[PolicySpec, CancellationAwareSellingPolicy, int], ...]" = tuple(
+            (spec, policy, spot_index[float(policy.phi)])
+            for spec, policy in cancellation_specs
+        )
+        self._spot_index = spot_index
         self._clear_profiles: "List[ClearingProfile] | None" = None
         if clearing is not None:
             self._clear_profiles = [
@@ -631,6 +701,18 @@ class FleetState:
             np.full(capacity, -1, dtype=np.int64) for _ in thresholds
         ]
         self._fate = [np.zeros(capacity, dtype=np.int8) for _ in thresholds]
+        # Randomized policy: the menu index each instance's per-key
+        # stream drew at registration (-1 = no randomized policy).
+        self._drawn = np.full(capacity, -1, dtype=np.int64)
+        # Cancellation policies: per-policy rebuy state — the age at
+        # which the re-buy was booked (-1 = none yet) and the count of
+        # in-term busy hours observed since the SELL verdict settled.
+        self._rebuy_age = [
+            np.full(capacity, -1, dtype=np.int64) for _ in self._cancellations
+        ]
+        self._busy_after_sale = [
+            np.zeros(capacity, dtype=np.int64) for _ in self._cancellations
+        ]
         self._ids: List[str] = []
         self._index: Dict[str, int] = {}
 
@@ -682,9 +764,27 @@ class FleetState:
             np.concatenate([f, np.zeros(extra, dtype=np.int8)])
             for f in self._fate
         ]
+        self._drawn = np.concatenate(
+            [self._drawn, np.full(extra, -1, dtype=np.int64)]
+        )
+        self._rebuy_age = [
+            np.concatenate([r, np.full(extra, -1, dtype=np.int64)])
+            for r in self._rebuy_age
+        ]
+        self._busy_after_sale = [
+            np.concatenate([b, np.zeros(extra, dtype=np.int64)])
+            for b in self._busy_after_sale
+        ]
 
     def register(self, instance_id: str) -> int:
-        """Start tracking ``instance_id`` at age 0 (idempotent)."""
+        """Start tracking ``instance_id`` at age 0 (idempotent).
+
+        Under a randomized policy, registration is also the draw: the
+        policy's per-key stream (seeded by the spec, keyed by the
+        instance id) picks this instance's decision spot once, here —
+        deterministic, so a restored checkpoint and the original
+        process agree on every draw.
+        """
         if not instance_id or not isinstance(instance_id, str):
             raise ServeStateError(
                 f"instance ids must be non-empty strings, got {instance_id!r}"
@@ -696,6 +796,9 @@ class FleetState:
         self._grow(index + 1)
         self._ids.append(instance_id)
         self._index[instance_id] = index
+        if self._randomized is not None:
+            spot = self._randomized.draw_spot(instance_id)
+            self._drawn[index] = self._spot_index[float(spot)]
         return index
 
     # ------------------------------------------------------------------
@@ -739,6 +842,30 @@ class FleetState:
             # A busy hour is covered by the reservation while the
             # (post-advance) age is within the reservation period.
             self._working_in_term[idx] += flags * (ages <= self._period)
+            # Cancellation watch, BEFORE this round's verdicts settle:
+            # the busy hour just applied precedes any decision landing at
+            # this age, so only instances whose SELL verdict settled on
+            # an earlier event count it. Under clearing the verdict turns
+            # SELL only when the listing clears, so open and expired
+            # listings never watch — matching apply_rebuys' watch_from.
+            for c, (_spec, policy, k_c) in enumerate(self._cancellations):
+                watching = (
+                    (self._verdicts[k_c][idx] == _SELL)
+                    & (self._rebuy_age[c][idx] == -1)
+                    & (flags == 1)
+                    & (ages <= self._period)
+                )
+                if watching.any():
+                    watch_idx = idx[watching]
+                    self._busy_after_sale[c][watch_idx] += 1
+                    trigger = policy.cancellation.trigger_hours
+                    hit = self._busy_after_sale[c][watch_idx] >= trigger
+                    if hit.any():
+                        # The triggering busy hour spans ages [h-1, h);
+                        # book the re-buy at its start, matching the
+                        # batch engines' trigger hour.
+                        hit_idx = watch_idx[hit]
+                        self._rebuy_age[c][hit_idx] = self._age[hit_idx] - 1
             for k, threshold in enumerate(self.thresholds):
                 hit = ages == threshold.decision_age
                 if hit.any():
@@ -760,6 +887,7 @@ class FleetState:
                                     ),
                                     working_hours=int(working[position]),
                                     age=threshold.decision_age,
+                                    **self._provenance(int(instance_index), k),
                                 )
                             )
                     else:
@@ -771,6 +899,21 @@ class FleetState:
                 if self._clear_profiles is not None:
                     settled.extend(self._settle_listings(k, threshold, idx, ages))
         return settled
+
+    def _provenance(self, index: int, k: int) -> "Dict[str, object]":
+        """Schema-2 provenance fields for one decision at menu index
+        ``k``: the randomized spec (with the instance's drawn φ) when
+        ``k`` is this instance's drawn spot, else the cancellation spec
+        deciding at that φ, else nothing."""
+        if self._randomized_spec is not None and int(self._drawn[index]) == k:
+            return {
+                "policy_spec": self._randomized_spec.canonical(),
+                "drawn_phi": self.thresholds[k].phi,
+            }
+        for spec, _policy, k_c in self._cancellations:
+            if k_c == k:
+                return {"policy_spec": spec.canonical()}
+        return {}
 
     def _decide_with_listings(
         self,
@@ -795,6 +938,7 @@ class FleetState:
             index = int(instance_index)
             instance_id = self._ids[index]
             hours = int(working[position])
+            provenance = self._provenance(index, k)
             if not sell[position]:
                 self._verdicts[k][index] = _KEEP
                 emitted.append(
@@ -804,6 +948,7 @@ class FleetState:
                         verdict=Verdict.KEEP,
                         working_hours=hours,
                         age=threshold.decision_age,
+                        **provenance,
                     )
                 )
                 continue
@@ -820,6 +965,7 @@ class FleetState:
                         age=threshold.decision_age,
                         listing="cleared",
                         waited_hours=0,
+                        **provenance,
                     )
                 )
                 continue
@@ -839,6 +985,7 @@ class FleetState:
                     age=threshold.decision_age,
                     listing="opened",
                     waited_hours=0,
+                    **provenance,
                 )
             )
         return emitted
@@ -882,6 +1029,7 @@ class FleetState:
                     age=age,
                     listing=listing,
                     waited_hours=waited,
+                    **self._provenance(index, k),
                 )
             )
         return emitted
@@ -907,12 +1055,26 @@ class FleetState:
             if self.clearing is not None and code == _WAIT:
                 spot["listing_resolves_at_age"] = int(self._clear_at[k][index])
             spots[repr(threshold.phi)] = spot
-        return {
+        row: "Dict[str, object]" = {
             "instance": self._ids[index],
             "age_hours": int(self._age[index]),
             "working_hours": int(self._working[index]),
             "decisions": spots,
         }
+        if self._randomized_spec is not None:
+            drawn = int(self._drawn[index])
+            row["policy_spec"] = self._randomized_spec.canonical()
+            row["drawn_phi"] = repr(self.thresholds[drawn].phi)
+        if self._cancellations:
+            row["rebuys"] = {
+                spec.canonical(): (
+                    int(self._rebuy_age[c][index])
+                    if self._rebuy_age[c][index] >= 0
+                    else None
+                )
+                for c, (spec, _policy, _k) in enumerate(self._cancellations)
+            }
+        return row
 
     def rows(self) -> "List[Dict[str, object]]":
         """Every instance's advisory state, in registration order."""
@@ -986,6 +1148,35 @@ class FleetState:
             }
         return counts
 
+    def rebuy_counts(self) -> "Dict[str, Dict[str, int]]":
+        """Per-cancellation-policy re-buy counts, keyed by canonical spec.
+
+        Both fields are exact integers — the number of re-buys booked
+        and the sum of the ages (hours since reservation) at which they
+        were booked — so a sharded deployment sums them across shards
+        and prices the totals once (:func:`rebuy_outlay_from_counts`),
+        the same integers-then-price-once discipline as
+        :meth:`cost_counts`.
+        """
+        size = len(self._ids)
+        counts: "Dict[str, Dict[str, int]]" = {}
+        for c, (spec, _policy, _k) in enumerate(self._cancellations):
+            ages = self._rebuy_age[c][:size]
+            booked = ages >= 0
+            counts[spec.canonical()] = {
+                "rebuys": int(np.count_nonzero(booked)),
+                "rebuy_age_sum": int(ages[booked].sum()),
+            }
+        return counts
+
+    def cancellation_penalties(self) -> "Dict[str, float]":
+        """Per-cancellation-policy re-buy penalty, keyed by canonical
+        spec — the pricing input that pairs with :meth:`rebuy_counts`."""
+        return {
+            spec.canonical(): float(policy.cancellation.penalty)
+            for spec, policy, _k in self._cancellations
+        }
+
     def cost_breakdowns(self) -> "Dict[str, CostBreakdown]":
         """Per-φ :class:`~repro.core.account.CostBreakdown`, keyed by
         ``repr(phi)`` — the priced form of :meth:`cost_counts`."""
@@ -1014,15 +1205,24 @@ class FleetState:
                     "clear_at": int(self._clear_at[k][index]),
                     "fate": int(self._fate[k][index]),
                 }
-            snapshot.append(
-                {
-                    "id": instance_id,
-                    "age": int(self._age[index]),
-                    "working": int(self._working[index]),
-                    "working_in_term": int(self._working_in_term[index]),
-                    "spots": spots,
+            row: "Dict[str, object]" = {
+                "id": instance_id,
+                "age": int(self._age[index]),
+                "working": int(self._working[index]),
+                "working_in_term": int(self._working_in_term[index]),
+                "spots": spots,
+            }
+            if self._randomized is not None:
+                row["drawn"] = int(self._drawn[index])
+            if self._cancellations:
+                row["rebuys"] = {
+                    spec.canonical(): {
+                        "age": int(self._rebuy_age[c][index]),
+                        "busy": int(self._busy_after_sale[c][index]),
+                    }
+                    for c, (spec, _policy, _k) in enumerate(self._cancellations)
                 }
-            )
+            snapshot.append(row)
         return snapshot
 
     def restore_instances(self, rows: "Iterable[Dict[str, object]]") -> None:
@@ -1059,6 +1259,30 @@ class FleetState:
                         )
                     self._clear_at[k][index] = int(spot.get("clear_at", -1))
                     self._fate[k][index] = fate
+                if self._randomized is not None and "drawn" in row:
+                    # register() already re-drew this instance's spot
+                    # from the policy's deterministic stream; the stored
+                    # draw must agree or the checkpoint was written
+                    # under a different randomized spec.
+                    stored = int(row["drawn"])  # type: ignore[call-overload]
+                    if stored != int(self._drawn[index]):
+                        raise ServeStateError(
+                            f"checkpoint drew menu spot {stored} for "
+                            f"{row['id']!r} but this fleet's randomized "
+                            f"policy draws {int(self._drawn[index])} — "
+                            "the specs (seed or spots) disagree"
+                        )
+                rebuys = row.get("rebuys", {})
+                if not isinstance(rebuys, dict):
+                    raise ServeStateError(
+                        f"malformed rebuy state in fleet row: {rebuys!r}"
+                    )
+                for c, (spec, _policy, _k) in enumerate(self._cancellations):
+                    entry = rebuys.get(spec.canonical())
+                    if entry is None:
+                        continue
+                    self._rebuy_age[c][index] = int(entry["age"])
+                    self._busy_after_sale[c][index] = int(entry["busy"])
             except (KeyError, TypeError, ValueError) as error:
                 raise ServeStateError(
                     f"malformed fleet state row: {row!r}"
@@ -1091,6 +1315,32 @@ def breakdown_from_counts(
         upfront=float(instances) * model.big_r,
         reserved_hourly=billed_hours * model.alpha * model.p,
         sale_income=float(sold) * per_sale,
+    )
+
+
+def rebuy_outlay_from_counts(
+    model: CostModel, penalty: float, counts: "Dict[str, int]"
+) -> float:
+    """Price one cancellation policy's integer re-buy counts.
+
+    Each re-buy at age ``h`` costs ``(1 + penalty) · a · (1 − h/T) · R``
+    (a marketplace re-purchase of the remaining term at the selling
+    discount, plus the penalty premium — :mod:`repro.core.cancellation`).
+    Summed over re-buys that is
+    ``(1 + penalty) · a · R · (rebuys − Σh / T)``, priced here exactly
+    once from the integer pair so per-shard counts merge bit-identically
+    (the :func:`breakdown_from_counts` discipline).
+    """
+    try:
+        rebuys = int(counts["rebuys"])
+        age_sum = int(counts["rebuy_age_sum"])
+    except (KeyError, TypeError, ValueError) as error:
+        raise ServeStateError(f"malformed rebuy counts: {counts!r}") from error
+    return (
+        (1.0 + penalty)
+        * model.selling_discount
+        * (float(rebuys) - age_sum / model.period)
+        * model.big_r
     )
 
 

@@ -1,0 +1,214 @@
+"""Randomized selling in the production engines: per-key draws are
+deterministic across engines and processes, ``run_population_randomized``
+is bit-identical to per-user ``run_fast`` at each drawn spot, a
+single-spot menu reduces to the deterministic run, and the migration
+from the old per-call ``np.random.default_rng((seed, instance_id))``
+idiom is pinned."""
+
+import numpy as np
+import pytest
+
+from repro.core.fastsim import run_fast
+from repro.core.policies import RandomizedSellingPolicy
+from repro.core.popsim import run_population, run_population_randomized
+from repro.core.randomized import SpotDistribution
+from repro.core.streams import key_to_int, stream, uniform
+from repro.errors import PolicyError, SimulationError
+from tests.core.test_popsim import N_SEEDS, PHIS, random_population
+
+SPOT_MENUS = (
+    (0.25, 0.5, 0.75),
+    (0.5, 0.75),
+    (0.125, 0.375, 0.625, 0.875),
+)
+
+
+class TestDrawDeterminism:
+    def test_draws_depend_only_on_seed_and_key(self):
+        first = RandomizedSellingPolicy(seed=7)
+        second = RandomizedSellingPolicy(seed=7)
+        keys = list(range(50)) + [f"i-{k}" for k in range(50)]
+        # Same draws from a fresh policy object, in any call order.
+        forward = [first.draw_spot(key) for key in keys]
+        backward = [second.draw_spot(key) for key in reversed(keys)]
+        assert forward == backward[::-1]
+        # Repeated calls never advance hidden state.
+        assert first.draw_spot(keys[0]) == forward[0]
+
+    def test_draw_spots_matches_scalar_draws(self):
+        policy = RandomizedSellingPolicy(seed=3)
+        keys = [f"user-{k}" for k in range(32)]
+        vector = policy.draw_spots(keys)
+        assert vector.tolist() == [policy.draw_spot(key) for key in keys]
+
+    def test_seeds_give_different_draw_families(self):
+        keys = list(range(200))
+        a = RandomizedSellingPolicy(seed=0).draw_spots(keys)
+        b = RandomizedSellingPolicy(seed=1).draw_spots(keys)
+        assert not np.array_equal(a, b)
+
+    def test_every_spot_is_reachable(self):
+        drawn = set(RandomizedSellingPolicy(seed=0).draw_spots(range(500)))
+        assert drawn == {0.25, 0.5, 0.75}
+
+    def test_degenerate_weights_pin_the_draw(self):
+        keys = list(range(100))
+        always_last = RandomizedSellingPolicy(weights=(0.0, 0.0, 1.0))
+        assert set(always_last.draw_spots(keys)) == {0.75}
+        always_first = RandomizedSellingPolicy(weights=(1.0, 0.0, 0.0))
+        assert set(always_first.draw_spots(keys)) == {0.25}
+
+    def test_string_key_draw_is_pinned(self):
+        # The cross-process contract: string ids fold through SHA-256,
+        # so these exact values must hold in every process and session.
+        assert key_to_int("i-42") == 41223935179884800772504770348551521136
+        assert uniform(7, "i-42") == 0.6976888619086954
+        assert RandomizedSellingPolicy(seed=7).draw_spot("i-42") == 0.75
+
+    def test_uniform_is_the_stream_head(self):
+        assert uniform(5, "k") == stream(5, "k").random()
+
+
+class TestMigrationFromPerCallRng:
+    """Pins the old per-call ``np.random.default_rng((seed, instance_id))``
+    construction and the semantics the rewrite kept/changed."""
+
+    def test_integer_keys_keep_the_legacy_first_draw(self):
+        # For integer keys the per-key stream *is* the legacy generator,
+        # so the new one-draw-per-key policy returns exactly the old
+        # construction's first draw — existing integer-keyed sweeps
+        # reproduce their historical draws.
+        policy = RandomizedSellingPolicy(seed=7)
+        for instance_id in range(64):
+            legacy = np.random.default_rng((7, instance_id))
+            u = legacy.random()
+            index = int(np.searchsorted(policy._cumulative, u, side="right"))
+            expected = policy.spots[min(index, len(policy.spots) - 1)]
+            assert policy.draw_spot(instance_id) == expected
+
+    def test_legacy_construction_rejected_string_ids(self):
+        # The old idiom could not seed from a serve instance id at all
+        # (and ``hash(str)`` is randomised per process); the per-key
+        # stream handles strings deterministically instead.
+        with pytest.raises((TypeError, ValueError)):
+            np.random.default_rng((7, "i-42"))
+        assert RandomizedSellingPolicy(seed=7).draw_spot("i-42") == 0.75
+
+    def test_one_draw_per_key_not_per_call(self):
+        # The semantic change: a shared generator drawn once per
+        # *decision call* drifts with call count; the policy's draw is a
+        # pure function of the key, however often it is consulted.
+        shared = np.random.default_rng((7, 0))
+        per_call = [float(shared.random()) for _ in range(3)]
+        assert len(set(per_call)) == 3  # the legacy stream drifted
+        policy = RandomizedSellingPolicy(seed=7)
+        assert len({policy.draw_spot(0) for _ in range(3)}) == 1
+
+
+class TestPopulationDifferential:
+    """The acceptance gate: ≥40 seeds × 3 spot menus, every user exactly
+    equal to ``run_fast`` at its drawn φ."""
+
+    @pytest.mark.parametrize("spots", SPOT_MENUS)
+    def test_bit_identical_to_run_fast_at_drawn_phi(self, toy_model, spots):
+        demands, reservations = random_population(N_SEEDS)
+        policy = RandomizedSellingPolicy(spots=spots, seed=11)
+        result = run_population_randomized(
+            demands, reservations, toy_model, policy
+        )
+        totals = result.total_costs()
+        assert np.isnan(result.phi)
+        # Default keys are the row index; the engine's draws must be the
+        # policy's own.
+        expected_drawn = policy.draw_spots(range(demands.shape[0]))
+        assert np.array_equal(result.drawn_phi, expected_drawn)
+        assert len(set(result.drawn_phi.tolist())) > 1  # genuinely mixed
+        for user in range(demands.shape[0]):
+            fast = run_fast(
+                demands[user],
+                reservations[user],
+                toy_model,
+                phi=float(result.drawn_phi[user]),
+            )
+            breakdown = result.breakdown(user)
+            assert breakdown.on_demand == fast.breakdown.on_demand, user
+            assert breakdown.upfront == fast.breakdown.upfront, user
+            assert breakdown.reserved_hourly == fast.breakdown.reserved_hourly, user
+            assert breakdown.sale_income == fast.breakdown.sale_income, user
+            assert totals[user] == fast.total_cost, user
+            assert int(result.instances_sold[user]) == fast.instances_sold, user
+
+    def test_string_user_keys_reproduce_serve_style_draws(self, toy_model):
+        demands, reservations = random_population(16, start_seed=100)
+        policy = RandomizedSellingPolicy(seed=5)
+        keys = [f"i-{k:03d}" for k in range(16)]
+        result = run_population_randomized(
+            demands, reservations, toy_model, policy, user_keys=keys
+        )
+        assert np.array_equal(result.drawn_phi, policy.draw_spots(keys))
+
+    @pytest.mark.parametrize("phi", PHIS)
+    def test_single_spot_menu_reduces_to_deterministic_run(self, toy_model, phi):
+        demands, reservations = random_population(N_SEEDS)
+        policy = RandomizedSellingPolicy(spots=(phi,), seed=9)
+        randomized = run_population_randomized(
+            demands, reservations, toy_model, policy
+        )
+        deterministic = run_population(demands, reservations, toy_model, phi=phi)
+        assert np.array_equal(randomized.drawn_phi, np.full(N_SEEDS, phi))
+        assert np.array_equal(
+            randomized.total_costs(), deterministic.total_costs()
+        )
+        assert np.array_equal(
+            randomized.instances_sold, deterministic.instances_sold
+        )
+
+    def test_wrong_policy_type_is_rejected(self, toy_model):
+        demands, reservations = random_population(4)
+        with pytest.raises(SimulationError, match="RandomizedSellingPolicy"):
+            run_population_randomized(demands, reservations, toy_model, 0.75)
+
+    def test_user_keys_must_cover_every_row(self, toy_model):
+        demands, reservations = random_population(4)
+        with pytest.raises(SimulationError, match="user_keys"):
+            run_population_randomized(
+                demands,
+                reservations,
+                toy_model,
+                RandomizedSellingPolicy(),
+                user_keys=["a", "b"],
+            )
+
+
+class TestPolicyConstruction:
+    def test_from_distribution_adopts_the_mixture(self):
+        distribution = SpotDistribution((0.25, 0.5, 0.75), (0.2, 0.3, 0.5))
+        policy = RandomizedSellingPolicy.from_distribution(distribution, seed=4)
+        assert policy.spots == distribution.spots
+        assert policy.probabilities == distribution.probabilities
+        assert policy.seed == 4
+        assert policy.distribution == distribution
+
+    def test_from_distribution_requires_a_distribution(self):
+        with pytest.raises(PolicyError):
+            RandomizedSellingPolicy.from_distribution((0.25, 0.5, 0.75))
+
+    def test_weights_are_normalised(self):
+        policy = RandomizedSellingPolicy(spots=(0.5, 0.75), weights=(1.0, 3.0))
+        assert policy.probabilities == (0.25, 0.75)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"spots": ()},
+            {"spots": (1.5,)},
+            {"spots": (0.5, 0.75), "weights": (1.0,)},
+            {"spots": (0.5, 0.75), "weights": (-1.0, 2.0)},
+            {"spots": (0.5, 0.75), "weights": (0.0, 0.0)},
+            {"seed": -1},
+            {"seed": 0.5},
+        ],
+    )
+    def test_invalid_construction_is_rejected(self, kwargs):
+        with pytest.raises((PolicyError, SimulationError)):
+            RandomizedSellingPolicy(**kwargs)

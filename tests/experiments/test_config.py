@@ -71,3 +71,37 @@ class TestValidation:
     def test_discount_range(self):
         with pytest.raises(ExperimentError):
             ExperimentConfig(selling_discount=1.5)
+
+
+class TestPolicySpecs:
+    def test_specs_are_canonicalised_on_construction(self):
+        config = ExperimentConfig(
+            policies=(" randomized : seed=7 ", "online:phi=0.50,name=extra")
+        )
+        assert config.policies == (
+            "randomized:seed=7",
+            "online:phi=0.5,name=extra",
+        )
+
+    def test_specs_colliding_with_the_standard_sweep_are_rejected(self):
+        with pytest.raises(ExperimentError, match="collides"):
+            ExperimentConfig(policies=("online:phi=0.5",))
+
+    def test_bad_spec_is_rejected_at_construction(self):
+        with pytest.raises(Exception, match="policy"):
+            ExperimentConfig(policies=("no-such-kind:phi=0.5",))
+
+    def test_content_hash_keys_on_policies_only_when_set(self):
+        # An empty tuple hashes like the field never existed, so configs
+        # predating the policy-spec API keep their cache entries …
+        assert (
+            ExperimentConfig().content_hash()
+            == ExperimentConfig(policies=()).content_hash()
+        )
+        # … while any actual spec changes the digest.
+        with_policies = ExperimentConfig(policies=("randomized:seed=7",))
+        assert with_policies.content_hash() != ExperimentConfig().content_hash()
+        assert (
+            with_policies.content_hash()
+            != ExperimentConfig(policies=("randomized:seed=8",)).content_hash()
+        )

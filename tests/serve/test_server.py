@@ -66,7 +66,7 @@ def test_healthz_reports_ok(served):
     _, base = served
     status, body = request("GET", f"{base}/healthz")
     assert status == 200
-    assert body["schema"] == 1
+    assert body["schema"] == 2
     assert body["status"] == "ok"
     assert body["instances"] == 0
 
@@ -112,7 +112,7 @@ def test_validation_errors_are_400(served):
     ):
         status, body = request("POST", f"{base}/v1/events", payload)
         assert status == 400, payload
-        assert body["schema"] == 1, payload
+        assert body["schema"] == 2, payload
         assert body["error"]["kind"] == "RequestValidationError", payload
 
 

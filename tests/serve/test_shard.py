@@ -125,7 +125,7 @@ def test_cluster_lifecycle(cluster):
     events = [{"instance": i, "busy": True} for i in ids]
     status, body = request("POST", f"{base}/v1/events", {"events": events})
     assert status == 200
-    assert body["schema"] == 1
+    assert body["schema"] == 2
     assert body["accepted"] == len(ids)
     assert set(body["shards"]) == {"0", "1"}
     assert all(entry["status"] == "ok" for entry in body["shards"].values())

@@ -343,12 +343,12 @@ def test_crc_matches_zlib_reference():
 def test_request_response_message_round_trip():
     _, request = FrameDecoder().feed(encode_request(9, "ingest", {"seq": 1}))[0]
     message = decode_payload(request)
-    assert message == {"schema": 1, "id": 9, "op": "ingest", "body": {"seq": 1}}
+    assert message == {"schema": 2, "id": 9, "op": "ingest", "body": {"seq": 1}}
 
     kind, response = FrameDecoder().feed(encode_response(9, 200, {"ok": True}))[0]
     assert kind == FRAME_RESPONSE
     message = decode_payload(response)
-    assert message == {"schema": 1, "id": 9, "status": 200, "body": {"ok": True}}
+    assert message == {"schema": 2, "id": 9, "status": 200, "body": {"ok": True}}
 
 
 def test_decode_payload_requires_mapping():
